@@ -1,0 +1,14 @@
+//! # flextoe-apps — application workloads
+//!
+//! The memcached-like KV store, memtier-like generator, and RPC echo
+//! machinery the paper's evaluation runs, written once against the
+//! stack-agnostic [`stack::StackApi`] so "identical application binaries"
+//! run on FlexTOE and every baseline stack (§5).
+
+pub mod kv;
+pub mod rpc;
+pub mod stack;
+
+pub use kv::{KvServerApp, KvServerConfig, MemtierApp, MemtierConfig, KV_APP_CYCLES};
+pub use rpc::{ClientConfig, LoadMode, RpcClientApp, RpcServerApp, ServerConfig, StackInit};
+pub use stack::{FlexToeStack, SockEvent, StackApi, StackOp};

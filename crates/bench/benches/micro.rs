@@ -1,0 +1,151 @@
+//! Criterion microbenchmarks on the data-path's hot structures: the
+//! checksum/CRC paths, segment build/parse, the reorder buffer, the
+//! Carousel wheel, the protocol state machine, and the eBPF VM.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+use flextoe_core::proto::{self, RxSummary};
+use flextoe_core::reorder::Reorder;
+use flextoe_core::sched::Carousel;
+use flextoe_core::ProtoState;
+use flextoe_ebpf::{programs, Map, MapSet, Vm};
+use flextoe_sim::{Duration, Time};
+use flextoe_wire::{crc32, SegmentSpec, SegmentView, SeqNum, TcpFlags};
+
+fn bench_wire(c: &mut Criterion) {
+    let payload = vec![0xabu8; 1448];
+    let spec = SegmentSpec {
+        src_port: 1,
+        dst_port: 2,
+        flags: TcpFlags::ACK | TcpFlags::PSH,
+        payload_len: payload.len(),
+        ..Default::default()
+    };
+    let frame = spec.emit(&payload);
+
+    let mut g = c.benchmark_group("wire");
+    g.throughput(Throughput::Bytes(frame.len() as u64));
+    g.bench_function("emit_mtu_segment", |b| b.iter(|| spec.emit(black_box(&payload))));
+    g.bench_function("parse_mtu_segment", |b| {
+        b.iter(|| SegmentView::parse(black_box(&frame), true).unwrap())
+    });
+    g.bench_function("crc32_4tuple", |b| b.iter(|| crc32(black_box(&frame[26..38]))));
+    g.finish();
+}
+
+fn bench_proto(c: &mut Criterion) {
+    c.bench_function("proto/rx_in_order", |b| {
+        let mut ps = ProtoState {
+            ack: SeqNum(0),
+            rx_avail: u32::MAX / 2,
+            remote_win: u16::MAX,
+            ..Default::default()
+        };
+        let mut seq = 0u32;
+        b.iter(|| {
+            let sum = RxSummary {
+                seq: SeqNum(seq),
+                flags: TcpFlags::ACK | TcpFlags::PSH,
+                window: u16::MAX,
+                payload_len: 1448,
+                ..Default::default()
+            };
+            seq = seq.wrapping_add(1448);
+            black_box(proto::rx_segment(&mut ps, &sum))
+        })
+    });
+    c.bench_function("proto/tx_next", |b| {
+        let mut ps = ProtoState {
+            remote_win: u16::MAX,
+            tx_avail: u32::MAX / 2,
+            ..Default::default()
+        };
+        b.iter(|| {
+            if ps.tx_sent > 40_000 {
+                ps.tx_sent = 0; // "ack" everything
+            }
+            black_box(proto::tx_next(&mut ps, 1448))
+        })
+    });
+}
+
+fn bench_reorder(c: &mut Criterion) {
+    c.bench_function("reorder/in_order_push", |b| {
+        let mut r = Reorder::new();
+        let mut seq = 0u64;
+        b.iter(|| {
+            let out = r.push(seq, seq);
+            seq += 1;
+            black_box(out)
+        })
+    });
+    c.bench_function("reorder/window_of_8_shuffled", |b| {
+        let mut r: Reorder<u64> = Reorder::new();
+        let mut base = 0u64;
+        b.iter(|| {
+            // deliver a window of 8 in worst-case (reversed) order
+            for i in (0..8).rev() {
+                black_box(r.push(base + i, base + i));
+            }
+            base += 8;
+        })
+    });
+}
+
+fn bench_carousel(c: &mut Criterion) {
+    c.bench_function("carousel/trigger_uncongested", |b| {
+        let mut car = Carousel::with_defaults();
+        for conn in 0..64 {
+            car.register(conn);
+            car.update_sendable(conn, u32::MAX / 2, Time::ZERO);
+        }
+        b.iter(|| black_box(car.next_trigger(Time::ZERO, 1448)))
+    });
+    c.bench_function("carousel/trigger_paced", |b| {
+        let mut car = Carousel::with_defaults();
+        for conn in 0..64 {
+            car.register(conn);
+            car.set_rate(conn, 100); // 100 ps/byte
+            car.update_sendable(conn, u32::MAX / 2, Time::ZERO);
+        }
+        let mut now = Time::ZERO;
+        b.iter(|| {
+            now = now + Duration::from_ns(200);
+            black_box(car.next_trigger(now, 1448))
+        })
+    });
+}
+
+fn bench_ebpf(c: &mut Criterion) {
+    let mut frame = vec![0u8; 64];
+    frame[12..14].copy_from_slice(&0x0800u16.to_be_bytes());
+    frame[14] = 0x45;
+    frame[23] = 6;
+    c.bench_function("ebpf/null_program", |b| {
+        let prog = programs::null_pass();
+        let mut vm = Vm::new();
+        let mut maps = MapSet::new();
+        b.iter(|| black_box(vm.run(&prog, &mut frame, &mut maps).unwrap()))
+    });
+    c.bench_function("ebpf/splice_miss", |b| {
+        let mut maps = MapSet::new();
+        let fd = maps.add(Map::hash(
+            programs::SPLICE_KEY_SIZE,
+            programs::SPLICE_VALUE_SIZE,
+            64,
+        ));
+        let prog = programs::splice(fd);
+        let mut vm = Vm::new();
+        b.iter(|| black_box(vm.run(&prog, &mut frame, &mut maps).unwrap()))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_wire,
+    bench_proto,
+    bench_reorder,
+    bench_carousel,
+    bench_ebpf
+);
+criterion_main!(benches);

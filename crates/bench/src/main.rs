@@ -1,0 +1,51 @@
+//! FlexTOE reproduction experiment harness: one subcommand per table and
+//! figure of the paper's evaluation (see DESIGN.md §3 for the index).
+//!
+//! ```text
+//! cargo run -p flextoe-bench --release -- all
+//! cargo run -p flextoe-bench --release -- table3 fig15
+//! ```
+
+mod exp;
+mod harness;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let run_all = args.is_empty() || args.iter().any(|a| a == "all");
+    let want = |name: &str| run_all || args.iter().any(|a| a == name);
+
+    let experiments: &[(&str, fn())] = &[
+        ("table1", exp::table1),
+        ("table2", exp::table2),
+        ("table3", exp::table3),
+        ("table4", exp::table4),
+        ("table5", exp::table5),
+        ("table6", exp::table6),
+        ("fig8", exp::fig8),
+        ("fig9", exp::fig9),
+        ("fig10", exp::fig10),
+        ("fig11", exp::fig11),
+        ("fig12", exp::fig12),
+        ("fig13", exp::fig13),
+        ("fig14", exp::fig14),
+        ("fig15", exp::fig15),
+        ("fig16", exp::fig16),
+        ("ablate-reorder", exp::ablate_reorder),
+    ];
+    let mut ran = 0;
+    for (name, f) in experiments {
+        if want(name) {
+            let t0 = std::time::Instant::now();
+            f();
+            eprintln!("[{name} done in {:.1}s]\n", t0.elapsed().as_secs_f64());
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("unknown experiment; available:");
+        for (name, _) in experiments {
+            eprintln!("  {name}");
+        }
+        std::process::exit(2);
+    }
+}

@@ -1,0 +1,159 @@
+//! DCTCP [1] as a rate-based control-plane policy — the paper's default
+//! ("DCTCP is our default congestion control policy", §5).
+//!
+//! The fraction of ECN-marked bytes per window feeds the standard
+//! `alpha ← (1−g)·alpha + g·F` estimator; on congestion the rate is cut by
+//! `alpha/2`, otherwise it increases additively (with slow-start doubling
+//! while no congestion has ever been seen). Loss (fast-retx/RTO) halves
+//! the rate. This mirrors TAS's rate-based DCTCP adaptation, which
+//! FlexTOE's control plane inherits (§D).
+
+use super::{CongestionControl, FlowStats};
+
+#[derive(Clone, Debug)]
+pub struct Dctcp {
+    rate: u64,
+    alpha: f64,
+    /// EWMA gain g (RFC 8257 recommends 1/16).
+    g: f64,
+    line_rate: u64,
+    min_rate: u64,
+    /// Additive-increase step per iteration, bytes/s.
+    ai_step: u64,
+    slow_start: bool,
+}
+
+impl Dctcp {
+    pub fn new(line_rate_bytes: u64) -> Dctcp {
+        Dctcp {
+            rate: line_rate_bytes / 10,
+            alpha: 0.0,
+            g: 1.0 / 16.0,
+            line_rate: line_rate_bytes,
+            min_rate: 10_000, // 10 kB/s floor
+            ai_step: line_rate_bytes / 100,
+            slow_start: true,
+        }
+    }
+}
+
+impl CongestionControl for Dctcp {
+    fn update(&mut self, stats: &FlowStats) -> u64 {
+        let total = stats.acked_bytes.max(1) as f64;
+        let frac = (stats.ecn_bytes as f64 / total).min(1.0);
+        self.alpha = (1.0 - self.g) * self.alpha + self.g * frac;
+
+        if stats.rto_fired || stats.fast_retx > 0 {
+            self.slow_start = false;
+            self.rate = (self.rate / 2).max(self.min_rate);
+        } else if frac > 0.0 {
+            self.slow_start = false;
+            let cut = 1.0 - self.alpha / 2.0;
+            self.rate = ((self.rate as f64 * cut) as u64).max(self.min_rate);
+        } else if stats.acked_bytes > 0 {
+            self.rate = if self.slow_start {
+                (self.rate * 2).min(self.line_rate)
+            } else {
+                (self.rate + self.ai_step).min(self.line_rate)
+            };
+        }
+        self.rate
+    }
+
+    fn rate(&self) -> u64 {
+        self.rate
+    }
+
+    fn name(&self) -> &'static str {
+        "dctcp"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(acked: u32, ecn: u32) -> FlowStats {
+        FlowStats {
+            acked_bytes: acked,
+            ecn_bytes: ecn,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn slow_start_doubles_to_line_rate() {
+        let line = 5_000_000_000;
+        let mut cc = Dctcp::new(line);
+        let mut last = cc.rate();
+        for _ in 0..10 {
+            let r = cc.update(&stats(100_000, 0));
+            assert!(r >= last);
+            last = r;
+        }
+        assert_eq!(last, line, "uncongested flow reaches line rate");
+    }
+
+    #[test]
+    fn ecn_marks_cut_rate_proportionally() {
+        let line = 5_000_000_000;
+        let mut cc = Dctcp::new(line);
+        for _ in 0..10 {
+            cc.update(&stats(100_000, 0));
+        }
+        let before = cc.rate();
+        // full marking drives alpha up and the rate down hard
+        for _ in 0..20 {
+            cc.update(&stats(100_000, 100_000));
+        }
+        assert!(cc.rate() < before / 4, "{} !<< {}", cc.rate(), before);
+        // light marking cuts gently
+        let mut cc2 = Dctcp::new(line);
+        for _ in 0..10 {
+            cc2.update(&stats(100_000, 0));
+        }
+        let before2 = cc2.rate();
+        cc2.update(&stats(100_000, 5_000)); // 5% marks
+        assert!(cc2.rate() > before2 / 2, "light marking ≠ halving");
+    }
+
+    #[test]
+    fn loss_halves_rate_and_recovers_additively() {
+        let line = 5_000_000_000;
+        let mut cc = Dctcp::new(line);
+        for _ in 0..10 {
+            cc.update(&stats(100_000, 0));
+        }
+        let before = cc.rate();
+        let after = cc.update(&FlowStats {
+            acked_bytes: 0,
+            fast_retx: 1,
+            ..Default::default()
+        });
+        assert_eq!(after, before / 2);
+        // additive recovery, no more slow start
+        let r1 = cc.update(&stats(100_000, 0));
+        let r2 = cc.update(&stats(100_000, 0));
+        assert_eq!(r2 - r1, r1 - after);
+    }
+
+    #[test]
+    fn rate_floor_holds() {
+        let mut cc = Dctcp::new(5_000_000_000);
+        for _ in 0..100 {
+            cc.update(&FlowStats {
+                rto_fired: true,
+                ..Default::default()
+            });
+        }
+        assert_eq!(cc.rate(), 10_000);
+    }
+
+    #[test]
+    fn idle_flow_keeps_rate() {
+        let mut cc = Dctcp::new(5_000_000_000);
+        let r = cc.rate();
+        // no acks, no marks: nothing changes
+        assert_eq!(cc.update(&stats(0, 0)), r);
+    }
+}

@@ -1,0 +1,75 @@
+//! Congestion-control framework (§D).
+//!
+//! "FlexTOE provides a generic control-plane framework to implement
+//! different rate and window-based congestion control algorithms … The
+//! control-plane runs a loop over the set of active flows to compute a new
+//! transmission rate, periodically. … In each iteration, the control-plane
+//! reads per-flow congestion control statistics from the data-path to
+//! calculate a new rate or window for the flow."
+//!
+//! Algorithms are pure: `(stats, state) -> new rate`. The control plane
+//! converts rates to the scheduler's interval-per-byte representation
+//! (the NFP cannot divide, §3.4).
+
+pub mod dctcp;
+pub mod timely;
+
+pub use dctcp::Dctcp;
+pub use timely::Timely;
+
+/// Statistics harvested from the data-path post-processor each iteration
+/// (Table 5 post partition: `cnt_ackb`, `cnt_ecnb`, `cnt_fretx`,
+/// `rtt_est`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlowStats {
+    /// Bytes acknowledged since the last harvest.
+    pub acked_bytes: u32,
+    /// ECN-marked bytes since the last harvest.
+    pub ecn_bytes: u32,
+    /// Fast retransmits since the last harvest.
+    pub fast_retx: u8,
+    /// Smoothed RTT estimate, microseconds.
+    pub rtt_us: u32,
+    /// Whether an RTO fired since the last harvest.
+    pub rto_fired: bool,
+}
+
+/// A rate-based congestion-control algorithm.
+pub trait CongestionControl {
+    /// One control iteration for one flow; returns the new rate in
+    /// bytes/second.
+    fn update(&mut self, stats: &FlowStats) -> u64;
+    /// Current rate without updating.
+    fn rate(&self) -> u64;
+    fn name(&self) -> &'static str;
+}
+
+/// Convert a rate to the scheduler's pacing interval (ps per byte).
+/// A rate at or above `line_rate` is treated as uncongested (interval 0 —
+/// the Carousel round-robin bypass, §3.4).
+pub fn rate_to_interval(rate_bps_bytes: u64, line_rate_bytes: u64) -> u64 {
+    if rate_bps_bytes == 0 {
+        return u64::MAX;
+    }
+    if rate_bps_bytes >= line_rate_bytes {
+        return 0;
+    }
+    1_000_000_000_000 / rate_bps_bytes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_conversion() {
+        let line = 5_000_000_000; // 40 Gbps in bytes/s
+        assert_eq!(rate_to_interval(line, line), 0);
+        assert_eq!(rate_to_interval(line * 2, line), 0);
+        // 1 GB/s -> 1000 ps/byte
+        assert_eq!(rate_to_interval(1_000_000_000, line), 1_000);
+        // 1 MB/s -> 1_000_000 ps/byte
+        assert_eq!(rate_to_interval(1_000_000, line), 1_000_000);
+        assert_eq!(rate_to_interval(0, line), u64::MAX);
+    }
+}

@@ -1,0 +1,185 @@
+//! TIMELY [34]: RTT-gradient congestion control, the paper's second
+//! control-plane policy (§2.1, §D: "FlexTOE implements DCTCP and TIMELY").
+//!
+//! The data-path's accurate ACK timestamps (§3.1.3 "Stamp") provide the
+//! RTT samples; the control plane computes the gradient — exactly the
+//! computation that is too expensive on FPCs (§2.3: 1,500 cycles/RTT).
+
+use super::{CongestionControl, FlowStats};
+
+#[derive(Clone, Debug)]
+pub struct Timely {
+    rate: u64,
+    prev_rtt_us: f64,
+    /// EWMA of the normalized RTT gradient.
+    gradient: f64,
+    line_rate: u64,
+    min_rate: u64,
+    ai_step: u64,
+    /// Below this RTT, always increase (us).
+    t_low: f64,
+    /// Above this RTT, always decrease (us).
+    t_high: f64,
+    /// Multiplicative-decrease factor β.
+    beta: f64,
+    /// Gradient EWMA weight α.
+    alpha: f64,
+    /// Consecutive gradient-increase steps (HAI mode).
+    hai_count: u32,
+}
+
+impl Timely {
+    pub fn new(line_rate_bytes: u64) -> Timely {
+        Timely {
+            rate: line_rate_bytes / 10,
+            prev_rtt_us: 0.0,
+            gradient: 0.0,
+            line_rate: line_rate_bytes,
+            min_rate: 10_000,
+            ai_step: line_rate_bytes / 100,
+            t_low: 50.0,
+            t_high: 500.0,
+            beta: 0.8,
+            alpha: 0.875,
+            hai_count: 0,
+        }
+    }
+
+    /// Minimum-RTT normalization base (data-center scale).
+    const MIN_RTT_US: f64 = 20.0;
+}
+
+impl CongestionControl for Timely {
+    fn update(&mut self, stats: &FlowStats) -> u64 {
+        if stats.rto_fired {
+            self.rate = (self.rate / 2).max(self.min_rate);
+            return self.rate;
+        }
+        if stats.rtt_us == 0 {
+            return self.rate; // no sample yet
+        }
+        let rtt = stats.rtt_us as f64;
+        let delta = if self.prev_rtt_us > 0.0 {
+            rtt - self.prev_rtt_us
+        } else {
+            0.0
+        };
+        self.prev_rtt_us = rtt;
+        let norm = delta / Self::MIN_RTT_US;
+        self.gradient = self.alpha * self.gradient + (1.0 - self.alpha) * norm;
+
+        if rtt < self.t_low {
+            self.hai_count += 1;
+            let mult = if self.hai_count >= 5 { 5 } else { 1 };
+            self.rate = (self.rate + self.ai_step * mult).min(self.line_rate);
+        } else if rtt > self.t_high {
+            self.hai_count = 0;
+            let cut = 1.0 - self.beta * (1.0 - self.t_high / rtt);
+            self.rate = ((self.rate as f64 * cut) as u64).max(self.min_rate);
+        } else if self.gradient <= 0.0 {
+            self.hai_count += 1;
+            let mult = if self.hai_count >= 5 { 5 } else { 1 };
+            self.rate = (self.rate + self.ai_step * mult).min(self.line_rate);
+        } else {
+            self.hai_count = 0;
+            let cut = 1.0 - self.beta * self.gradient.min(1.0);
+            self.rate = ((self.rate as f64 * cut) as u64).max(self.min_rate);
+        }
+        self.rate
+    }
+
+    fn rate(&self) -> u64 {
+        self.rate
+    }
+
+    fn name(&self) -> &'static str {
+        "timely"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rtt(rtt_us: u32) -> FlowStats {
+        FlowStats {
+            acked_bytes: 100_000,
+            rtt_us,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn low_rtt_grows_to_line_rate() {
+        let line = 5_000_000_000;
+        let mut cc = Timely::new(line);
+        for _ in 0..200 {
+            cc.update(&rtt(20));
+        }
+        assert_eq!(cc.rate(), line);
+    }
+
+    #[test]
+    fn hai_mode_accelerates_growth() {
+        let line = 5_000_000_000;
+        let mut a = Timely::new(line);
+        let mut gains = Vec::new();
+        let mut prev = a.rate();
+        for _ in 0..8 {
+            let r = a.update(&rtt(20));
+            gains.push(r - prev);
+            prev = r;
+        }
+        assert!(gains[7] > gains[0], "HAI kicks in after 5 steps: {gains:?}");
+    }
+
+    #[test]
+    fn high_rtt_cuts_multiplicatively() {
+        let line = 5_000_000_000;
+        let mut cc = Timely::new(line);
+        for _ in 0..50 {
+            cc.update(&rtt(20));
+        }
+        let before = cc.rate();
+        cc.update(&rtt(2_000)); // way above t_high
+        assert!(cc.rate() < before / 2, "{} vs {}", cc.rate(), before);
+    }
+
+    #[test]
+    fn rising_gradient_in_band_decreases() {
+        let line = 5_000_000_000;
+        let mut cc = Timely::new(line);
+        for _ in 0..20 {
+            cc.update(&rtt(60));
+        }
+        let before = cc.rate();
+        // steeply rising RTT inside [t_low, t_high]
+        for r in [100, 150, 200, 260, 330] {
+            cc.update(&rtt(r));
+        }
+        assert!(cc.rate() < before);
+    }
+
+    #[test]
+    fn falling_gradient_in_band_increases() {
+        let line = 5_000_000_000;
+        let mut cc = Timely::new(line);
+        cc.update(&rtt(400));
+        let before = cc.rate();
+        for r in [350, 300, 250, 200, 150] {
+            cc.update(&rtt(r));
+        }
+        assert!(cc.rate() > before);
+    }
+
+    #[test]
+    fn rto_halves() {
+        let mut cc = Timely::new(5_000_000_000);
+        let before = cc.rate();
+        cc.update(&FlowStats {
+            rto_fired: true,
+            ..Default::default()
+        });
+        assert_eq!(cc.rate(), before / 2);
+    }
+}

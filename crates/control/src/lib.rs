@@ -1,0 +1,716 @@
+//! # flextoe-control — the FlexTOE control plane (§D, Figure 2)
+//!
+//! "Connection management, retransmission, and congestion control are part
+//! of a separate control-plane, which executes in its own protection
+//! domain, either on control cores of the SmartNIC or on the host."
+//!
+//! This crate implements that control plane as a simulation node:
+//!
+//! * **Connection control**: the TCP handshake state machine for passive
+//!   (listen/accept) and active (connect) opens, port and buffer
+//!   allocation, data-path state install/teardown (§D "Connection
+//!   control"). Non-data-path segments reach it via the pre-processing
+//!   stage's redirect path.
+//! * **Congestion control**: a per-flow policy loop (DCTCP or TIMELY)
+//!   harvesting post-processor statistics and programming pacing
+//!   intervals into the NIC flow scheduler via MMIO (§3.4).
+//! * **Retransmission timeouts**: stall detection injecting HC retransmit
+//!   descriptors (§3.1.1).
+//!
+//! ARP is statically configured (`add_peer`) — the testbed's address
+//! resolution, not an experiment subject.
+
+pub mod cc;
+pub mod rto;
+
+use std::collections::HashMap;
+
+use flextoe_core::hostmem::{shared_buf, AppToNic, SharedBuf, SharedCtxQueue};
+use flextoe_core::segment::ConnEntry;
+use flextoe_core::stages::{Doorbell, Redirect, RegisterCtx, SchedCtl};
+use flextoe_core::{NicHandle, PostState, PreState, ProtoState};
+use flextoe_nfp::MacTx;
+use flextoe_sim::{try_cast, Ctx, Duration, Msg, Node, NodeId, Tick};
+use flextoe_wire::{
+    Ecn, FourTuple, Frame, Ip4, MacAddr, SegmentSpec, SegmentView, SeqNum, TcpFlags, TcpOptions,
+};
+
+use cc::{rate_to_interval, CongestionControl, Dctcp, FlowStats, Timely};
+use rto::RtoTracker;
+
+/// The control plane's own context-queue id (for HC injections).
+pub const CTRL_CTX: u16 = u16::MAX;
+
+/// Which congestion-control policy the control plane runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CcAlgo {
+    Dctcp,
+    Timely,
+    /// Congestion control disabled — the Table 4 "off" rows.
+    None,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct CtrlConfig {
+    pub cc: CcAlgo,
+    /// Control-loop iteration interval (§D: per-RTT per flow; we run a
+    /// fixed loop over all flows).
+    pub cc_interval: Duration,
+    pub min_rto: Duration,
+    /// SYN retransmission interval and attempt limit.
+    pub syn_retry: Duration,
+    pub syn_attempts: u32,
+}
+
+impl Default for CtrlConfig {
+    fn default() -> Self {
+        CtrlConfig {
+            cc: CcAlgo::Dctcp,
+            cc_interval: Duration::from_us(50),
+            min_rto: Duration::from_ms(1),
+            syn_retry: Duration::from_ms(5),
+            syn_attempts: 4,
+        }
+    }
+}
+
+// ---- application interface (used by libTOE) ------------------------------
+
+pub enum AppRequest {
+    /// Listen on `port`; incoming connections are auto-accepted and
+    /// announced with [`AppReply::Accepted`].
+    Listen {
+        port: u16,
+        ctx: u16,
+        queue: SharedCtxQueue,
+        reply_to: NodeId,
+    },
+    Connect {
+        remote_ip: Ip4,
+        remote_port: u16,
+        ctx: u16,
+        queue: SharedCtxQueue,
+        reply_to: NodeId,
+        /// Application cookie echoed in the reply.
+        opaque: u64,
+    },
+    /// Fully tear down a closed connection's data-path state.
+    Teardown { conn: u32 },
+}
+
+pub enum AppReply {
+    Accepted {
+        conn: u32,
+        port: u16,
+        peer: (Ip4, u16),
+        rx_buf: SharedBuf,
+        tx_buf: SharedBuf,
+    },
+    Connected {
+        conn: u32,
+        opaque: u64,
+        rx_buf: SharedBuf,
+        tx_buf: SharedBuf,
+    },
+    ConnectFailed {
+        opaque: u64,
+    },
+}
+
+// ---- internal records ------------------------------------------------------
+
+struct Listener {
+    ctx: u16,
+    queue: SharedCtxQueue,
+    reply_to: NodeId,
+}
+
+struct PendingActive {
+    local_port: u16,
+    remote_ip: Ip4,
+    remote_port: u16,
+    iss: u32,
+    ctx: u16,
+    queue: SharedCtxQueue,
+    reply_to: NodeId,
+    opaque: u64,
+    attempts: u32,
+}
+
+struct PendingPassive {
+    iss: u32,
+    listen_port: u16,
+}
+
+struct SynRetry {
+    key: FourTuple,
+}
+
+pub struct ControlPlane {
+    cfg: CtrlConfig,
+    nic: NicHandle,
+    arp: HashMap<Ip4, MacAddr>,
+    listeners: HashMap<u16, Listener>,
+    /// Active opens in flight, keyed by the *RX* 4-tuple we expect.
+    active: HashMap<FourTuple, PendingActive>,
+    /// Passive opens awaiting the final ACK, keyed by RX 4-tuple.
+    passive: HashMap<FourTuple, PendingPassive>,
+    next_port: u16,
+    cc: Vec<Option<Box<dyn CongestionControl>>>,
+    rto: RtoTracker,
+    rto_fired_since: Vec<bool>,
+    kernel_q: SharedCtxQueue,
+    registered_kernel_q: bool,
+    cc_armed: bool,
+    pub established: u64,
+    pub resets_sent: u64,
+    pub redirected_frames: u64,
+}
+
+impl ControlPlane {
+    pub fn new(cfg: CtrlConfig, nic: NicHandle) -> ControlPlane {
+        let min_rto = cfg.min_rto;
+        ControlPlane {
+            cfg,
+            nic,
+            arp: HashMap::new(),
+            listeners: HashMap::new(),
+            active: HashMap::new(),
+            passive: HashMap::new(),
+            next_port: 40_000,
+            cc: Vec::new(),
+            rto: RtoTracker::new(min_rto),
+            rto_fired_since: Vec::new(),
+            kernel_q: flextoe_core::hostmem::shared_ctxq(1024),
+            registered_kernel_q: false,
+            cc_armed: false,
+            established: 0,
+            resets_sent: 0,
+            redirected_frames: 0,
+        }
+    }
+
+    /// Static ARP entry (testbed configuration).
+    pub fn add_peer(&mut self, ip: Ip4, mac: MacAddr) {
+        self.arp.insert(ip, mac);
+    }
+
+    fn local_ip(&self) -> Ip4 {
+        self.nic.table.borrow().nic.ip
+    }
+    fn local_mac(&self) -> MacAddr {
+        self.nic.table.borrow().nic.mac
+    }
+
+    /// Host → NIC frame injection latency (driver + MMIO + DMA).
+    fn inject_latency(&self) -> Duration {
+        self.nic.cfg.platform.pcie.write_latency + Duration::from_ns(600)
+    }
+
+    fn send_frame(&self, ctx: &mut Ctx<'_>, frame: Vec<u8>) {
+        ctx.send(self.nic.mac, self.inject_latency(), MacTx(Frame(frame)));
+    }
+
+    fn mmio(&self, ctx: &mut Ctx<'_>, msg: SchedCtl) {
+        ctx.send(self.nic.sched, self.nic.cfg.platform.pcie.mmio_latency, msg);
+    }
+
+    fn handshake_spec(&self, dst_mac: MacAddr, dst_ip: Ip4, sport: u16, dport: u16) -> SegmentSpec {
+        SegmentSpec {
+            src_mac: self.local_mac(),
+            dst_mac,
+            src_ip: self.local_ip(),
+            dst_ip,
+            src_port: sport,
+            dst_port: dport,
+            ecn: Ecn::NotEct,
+            window: u16::MAX,
+            options: TcpOptions {
+                mss: Some(self.nic.cfg.mss as u16),
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+    }
+
+    fn ensure_kernel_q(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.registered_kernel_q {
+            self.registered_kernel_q = true;
+            ctx.send(
+                self.nic.ctxq,
+                self.nic.cfg.platform.pcie.mmio_latency,
+                RegisterCtx {
+                    ctx: CTRL_CTX,
+                    queue: self.kernel_q.clone(),
+                    app: None,
+                },
+            );
+        }
+    }
+
+    fn arm_cc(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.cc_armed {
+            self.cc_armed = true;
+            ctx.wake(self.cfg.cc_interval, Tick);
+        }
+    }
+
+    /// Deterministic ISS (a real stack uses a clock + hash; determinism
+    /// matters more here).
+    fn iss(&mut self, ctx: &mut Ctx<'_>) -> u32 {
+        ctx.rng.next_u32()
+    }
+
+    // ---- handshake ---------------------------------------------------------
+
+    #[allow(clippy::too_many_arguments)]
+    fn start_connect(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        remote_ip: Ip4,
+        remote_port: u16,
+        app_ctx: u16,
+        queue: SharedCtxQueue,
+        reply_to: NodeId,
+        opaque: u64,
+    ) {
+        let Some(&dst_mac) = self.arp.get(&remote_ip) else {
+            ctx.send(reply_to, Duration::ZERO, AppReply::ConnectFailed { opaque });
+            return;
+        };
+        let local_port = self.next_port;
+        self.next_port = self.next_port.wrapping_add(1).max(40_000);
+        let iss = self.iss(ctx);
+        let mut spec = self.handshake_spec(dst_mac, remote_ip, local_port, remote_port);
+        spec.seq = SeqNum(iss);
+        spec.flags = TcpFlags::SYN;
+        let frame = spec.emit_zeroed();
+        self.send_frame(ctx, frame);
+        // key: the SYN-ACK we expect (src = peer)
+        let key = FourTuple::new(remote_ip, remote_port, self.local_ip(), local_port);
+        self.active.insert(
+            key,
+            PendingActive {
+                local_port,
+                remote_ip,
+                remote_port,
+                iss,
+                ctx: app_ctx,
+                queue,
+                reply_to,
+                opaque,
+                attempts: 1,
+            },
+        );
+        ctx.wake(self.cfg.syn_retry, SynRetry { key });
+    }
+
+    fn retry_syn(&mut self, ctx: &mut Ctx<'_>, key: FourTuple) {
+        let give_up = {
+            let Some(p) = self.active.get_mut(&key) else {
+                return; // established or failed meanwhile
+            };
+            p.attempts += 1;
+            p.attempts > self.cfg.syn_attempts
+        };
+        if give_up {
+            let p = self.active.remove(&key).unwrap();
+            ctx.send(
+                p.reply_to,
+                Duration::ZERO,
+                AppReply::ConnectFailed { opaque: p.opaque },
+            );
+            return;
+        }
+        let p = &self.active[&key];
+        let Some(&dst_mac) = self.arp.get(&p.remote_ip) else {
+            return;
+        };
+        let mut spec = self.handshake_spec(dst_mac, p.remote_ip, p.local_port, p.remote_port);
+        spec.seq = SeqNum(p.iss);
+        spec.flags = TcpFlags::SYN;
+        let frame = spec.emit_zeroed();
+        self.send_frame(ctx, frame);
+        ctx.wake(self.cfg.syn_retry, SynRetry { key });
+    }
+
+    /// Install an established connection into the data path (§D).
+    #[allow(clippy::too_many_arguments)]
+    fn install(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        peer_ip: Ip4,
+        peer_port: u16,
+        local_port: u16,
+        iss: u32,
+        peer_iss: u32,
+        remote_win: u16,
+        app_ctx: u16,
+        queue: SharedCtxQueue,
+    ) -> (u32, SharedBuf, SharedBuf) {
+        let peer_mac = *self.arp.get(&peer_ip).expect("peer in arp table");
+        let cfg = self.nic.cfg.clone();
+        let tuple_rx = FourTuple::new(peer_ip, peer_port, self.local_ip(), local_port);
+        let group = (tuple_rx.flow_hash() as usize) % cfg.n_groups;
+        let rx_buf = shared_buf(cfg.rx_buf_size);
+        let tx_buf = shared_buf(cfg.tx_buf_size);
+
+        let proto = ProtoState {
+            seq: SeqNum(iss.wrapping_add(1)),
+            ack: SeqNum(peer_iss.wrapping_add(1)),
+            rx_avail: cfg.rx_buf_size,
+            remote_win,
+            ..Default::default()
+        };
+        let entry = ConnEntry {
+            pre: PreState {
+                peer_mac,
+                peer_ip,
+                local_port,
+                remote_port: peer_port,
+                flow_group: group as u8,
+            },
+            proto,
+            post: PostState {
+                context: app_ctx,
+                rx_size: cfg.rx_buf_size,
+                tx_size: cfg.tx_buf_size,
+                ..Default::default()
+            },
+            tuple_rx,
+            tx_buf: tx_buf.clone(),
+            rx_buf: rx_buf.clone(),
+            ctxq: queue,
+            active: true,
+        };
+        let conn = self.nic.table.borrow_mut().install(entry);
+        self.nic.db.borrow_mut().insert(tuple_rx, conn);
+        self.mmio(ctx, SchedCtl::Register { conn, group });
+
+        // per-flow congestion control + RTO monitoring
+        let line = self.nic.cfg.platform.mac_bps / 8;
+        let algo: Option<Box<dyn CongestionControl>> = match self.cfg.cc {
+            CcAlgo::Dctcp => Some(Box::new(Dctcp::new(line))),
+            CcAlgo::Timely => Some(Box::new(Timely::new(line))),
+            CcAlgo::None => None,
+        };
+        if self.cc.len() <= conn as usize {
+            self.cc.resize_with(conn as usize + 1, || None);
+            self.rto_fired_since.resize(conn as usize + 1, false);
+        }
+        self.cc[conn as usize] = algo;
+        self.rto_fired_since[conn as usize] = false;
+        self.rto.register(conn);
+        self.established += 1;
+        self.ensure_kernel_q(ctx);
+        self.arm_cc(ctx);
+        (conn, rx_buf, tx_buf)
+    }
+
+    fn send_rst(&mut self, ctx: &mut Ctx<'_>, view: &SegmentView) {
+        self.resets_sent += 1;
+        let mut spec = self.handshake_spec(view.src_mac, view.src_ip, view.dst_port, view.src_port);
+        spec.options = TcpOptions::default();
+        spec.seq = view.ack;
+        spec.ack = view.seq_end();
+        spec.flags = TcpFlags::RST | TcpFlags::ACK;
+        let frame = spec.emit_zeroed();
+        self.send_frame(ctx, frame);
+    }
+
+    fn on_redirect(&mut self, ctx: &mut Ctx<'_>, frame: Vec<u8>) {
+        self.redirected_frames += 1;
+        let Ok(view) = SegmentView::parse(&frame, true) else {
+            return;
+        };
+        let tuple = view.four_tuple();
+        let flags = view.flags;
+
+        if flags.rst() {
+            // peer reset: tear down any matching connection or pending open
+            if let Some(p) = self.active.remove(&tuple) {
+                ctx.send(
+                    p.reply_to,
+                    Duration::ZERO,
+                    AppReply::ConnectFailed { opaque: p.opaque },
+                );
+            }
+            self.passive.remove(&tuple);
+            let conn = self.nic.db.borrow().get(&tuple);
+            if let Some(conn) = conn {
+                self.teardown_now(ctx, conn);
+            }
+            return;
+        }
+
+        if flags.syn() && !flags.ack() {
+            // passive open
+            if !self.listeners.contains_key(&view.dst_port) {
+                self.send_rst(ctx, &view);
+                return;
+            }
+            let iss = self.iss(ctx);
+            self.passive.insert(
+                tuple,
+                PendingPassive {
+                    iss,
+                    listen_port: view.dst_port,
+                },
+            );
+            let mut spec =
+                self.handshake_spec(view.src_mac, view.src_ip, view.dst_port, view.src_port);
+            spec.seq = SeqNum(iss);
+            spec.ack = view.seq + 1;
+            spec.flags = TcpFlags::SYN | TcpFlags::ACK;
+            let frame = spec.emit_zeroed();
+            self.send_frame(ctx, frame);
+            return;
+        }
+
+        if flags.syn() && flags.ack() {
+            // SYN-ACK for an active open
+            let Some(p) = self.active.remove(&tuple) else {
+                self.send_rst(ctx, &view);
+                return;
+            };
+            // final handshake ACK
+            let mut spec =
+                self.handshake_spec(view.src_mac, p.remote_ip, p.local_port, p.remote_port);
+            spec.options = TcpOptions::default();
+            spec.seq = SeqNum(p.iss.wrapping_add(1));
+            spec.ack = view.seq + 1;
+            spec.flags = TcpFlags::ACK;
+            let ackframe = spec.emit_zeroed();
+            self.send_frame(ctx, ackframe);
+            let (conn, rx_buf, tx_buf) = self.install(
+                ctx,
+                p.remote_ip,
+                p.remote_port,
+                p.local_port,
+                p.iss,
+                view.seq.0,
+                view.window,
+                p.ctx,
+                p.queue.clone(),
+            );
+            ctx.send(
+                p.reply_to,
+                Duration::ZERO,
+                AppReply::Connected {
+                    conn,
+                    opaque: p.opaque,
+                    rx_buf,
+                    tx_buf,
+                },
+            );
+            return;
+        }
+
+        if flags.ack() {
+            // final ACK of a passive handshake (redirected as unknown flow)
+            if let Some(pp) = self.passive.remove(&tuple) {
+                let listener = self
+                    .listeners
+                    .get(&pp.listen_port)
+                    .expect("listener for pending passive");
+                let (l_ctx, l_queue, l_reply) =
+                    (listener.ctx, listener.queue.clone(), listener.reply_to);
+                let (conn, rx_buf, tx_buf) = self.install(
+                    ctx,
+                    view.src_ip,
+                    view.src_port,
+                    view.dst_port,
+                    pp.iss,
+                    view.seq.0.wrapping_sub(1),
+                    view.window,
+                    l_ctx,
+                    l_queue,
+                );
+                ctx.send(
+                    l_reply,
+                    Duration::ZERO,
+                    AppReply::Accepted {
+                        conn,
+                        port: pp.listen_port,
+                        peer: (view.src_ip, view.src_port),
+                        rx_buf,
+                        tx_buf,
+                    },
+                );
+                // data may have ridden on the ACK (or raced it): replay the
+                // frame through the NIC so the data-path processes it.
+                if view.payload_len > 0 || view.flags.fin() {
+                    ctx.send(self.nic.mac, self.inject_latency(), Frame(frame));
+                }
+            }
+            // otherwise: stray segment for an unknown connection — ignore.
+        }
+    }
+
+    // ---- CC / RTO loop ------------------------------------------------------
+
+    fn cc_iteration(&mut self, ctx: &mut Ctx<'_>) {
+        let conns: Vec<u32> = self.nic.table.borrow().iter().map(|(c, _)| c).collect();
+        if conns.is_empty() {
+            self.cc_armed = false;
+            return;
+        }
+        let mut to_teardown = Vec::new();
+        for conn in conns {
+            let mut table = self.nic.table.borrow_mut();
+            let Some(entry) = table.get_mut(conn) else {
+                continue;
+            };
+            let stats_raw = (
+                entry.post.cnt_ackb,
+                entry.post.cnt_ecnb,
+                entry.post.cnt_fretx,
+                entry.post.rtt_est,
+            );
+            entry.post.cnt_ackb = 0;
+            entry.post.cnt_ecnb = 0;
+            entry.post.cnt_fretx = 0;
+            let snd_una = entry.proto.snd_una();
+            let in_flight = entry.proto.tx_sent;
+            let closed = entry.proto.fin_received
+                && entry.proto.fin_sent
+                && !entry.proto.fin_pending
+                && entry.proto.tx_sent == 0;
+            drop(table);
+
+            if closed {
+                to_teardown.push(conn);
+                continue;
+            }
+
+            // RTO monitoring
+            let fired = self
+                .rto
+                .observe(conn, snd_una, in_flight, ctx.now(), stats_raw.3.max(20));
+            if fired {
+                ctx.stats.bump("ctrl.rto_fired", 1);
+                if self.rto_fired_since.len() > conn as usize {
+                    self.rto_fired_since[conn as usize] = true;
+                }
+                let _ = self
+                    .kernel_q
+                    .borrow_mut()
+                    .to_nic
+                    .push(AppToNic::Retransmit { conn });
+                ctx.send(
+                    self.nic.ctxq,
+                    self.nic.cfg.platform.pcie.mmio_latency,
+                    Doorbell { ctx: CTRL_CTX },
+                );
+            }
+
+            // congestion control
+            if let Some(Some(algo)) = self.cc.get_mut(conn as usize) {
+                let stats = FlowStats {
+                    acked_bytes: stats_raw.0,
+                    ecn_bytes: stats_raw.1,
+                    fast_retx: stats_raw.2,
+                    rtt_us: stats_raw.3,
+                    rto_fired: std::mem::take(&mut self.rto_fired_since[conn as usize]),
+                };
+                let old = algo.rate();
+                let new = algo.update(&stats);
+                if new != old {
+                    let line = self.nic.cfg.platform.mac_bps / 8;
+                    self.mmio(
+                        ctx,
+                        SchedCtl::SetRate {
+                            conn,
+                            interval_ps_per_byte: rate_to_interval(new, line),
+                        },
+                    );
+                }
+            }
+        }
+        for conn in to_teardown {
+            self.teardown_now(ctx, conn);
+        }
+        ctx.wake(self.cfg.cc_interval, Tick);
+    }
+
+    fn teardown_now(&mut self, ctx: &mut Ctx<'_>, conn: u32) {
+        let mut table = self.nic.table.borrow_mut();
+        if let Some(entry) = table.remove(conn) {
+            self.nic.db.borrow_mut().remove(&entry.tuple_rx);
+        }
+        drop(table);
+        self.mmio(ctx, SchedCtl::Unregister { conn });
+        self.rto.unregister(conn);
+        if let Some(slot) = self.cc.get_mut(conn as usize) {
+            *slot = None;
+        }
+        ctx.stats.bump("ctrl.teardown", 1);
+    }
+}
+
+impl Node for ControlPlane {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let msg = match try_cast::<Redirect>(msg) {
+            Ok(r) => {
+                self.on_redirect(ctx, r.0 .0);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match try_cast::<Tick>(msg) {
+            Ok(_) => {
+                self.cc_iteration(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match try_cast::<SynRetry>(msg) {
+            Ok(r) => {
+                self.retry_syn(ctx, r.key);
+                return;
+            }
+            Err(m) => m,
+        };
+        let req = flextoe_sim::cast::<AppRequest>(msg);
+        match *req {
+            AppRequest::Listen {
+                port,
+                ctx: app_ctx,
+                ref queue,
+                reply_to,
+            } => {
+                self.listeners.insert(
+                    port,
+                    Listener {
+                        ctx: app_ctx,
+                        queue: queue.clone(),
+                        reply_to,
+                    },
+                );
+            }
+            AppRequest::Connect {
+                remote_ip,
+                remote_port,
+                ctx: app_ctx,
+                ref queue,
+                reply_to,
+                opaque,
+            } => {
+                self.start_connect(
+                    ctx,
+                    remote_ip,
+                    remote_port,
+                    app_ctx,
+                    queue.clone(),
+                    reply_to,
+                    opaque,
+                );
+            }
+            AppRequest::Teardown { conn } => self.teardown_now(ctx, conn),
+        }
+    }
+
+    fn name(&self) -> String {
+        "control-plane".to_string()
+    }
+}

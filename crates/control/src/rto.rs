@@ -1,0 +1,168 @@
+//! Retransmission-timeout monitoring (§D: "We also monitor retransmission
+//! timeouts in the control iteration").
+//!
+//! The control plane watches each flow's `snd_una` progress; when a flow
+//! has unacknowledged data and no progress for an RTO, it injects an HC
+//! retransmit descriptor (§3.1.1: "Retransmissions in response to timeouts
+//! are triggered by the control-plane"). RTO = max(min_rto, 4 × sRTT) with
+//! exponential backoff, as in TAS.
+
+use flextoe_sim::{Duration, Time};
+use flextoe_wire::SeqNum;
+
+#[derive(Clone, Copy, Debug)]
+struct FlowRto {
+    last_una: SeqNum,
+    /// When `last_una` last advanced (or data first appeared).
+    since: Time,
+    backoff: u32,
+    armed: bool,
+}
+
+pub struct RtoTracker {
+    flows: Vec<Option<FlowRto>>,
+    pub min_rto: Duration,
+    pub max_rto: Duration,
+    pub fired: u64,
+}
+
+impl RtoTracker {
+    pub fn new(min_rto: Duration) -> RtoTracker {
+        RtoTracker {
+            flows: Vec::new(),
+            min_rto,
+            max_rto: Duration::from_ms(200),
+            fired: 0,
+        }
+    }
+
+    pub fn register(&mut self, conn: u32) {
+        let idx = conn as usize;
+        if idx >= self.flows.len() {
+            self.flows.resize(idx + 1, None);
+        }
+        self.flows[idx] = Some(FlowRto {
+            last_una: SeqNum(0),
+            since: Time::ZERO,
+            backoff: 0,
+            armed: false,
+        });
+    }
+
+    pub fn unregister(&mut self, conn: u32) {
+        if let Some(slot) = self.flows.get_mut(conn as usize) {
+            *slot = None;
+        }
+    }
+
+    /// One control-loop observation of a flow. Returns `true` when an RTO
+    /// fires (caller injects the retransmit and halves the rate).
+    pub fn observe(&mut self, conn: u32, snd_una: SeqNum, in_flight: u32, now: Time, srtt_us: u32) -> bool {
+        let Some(Some(f)) = self.flows.get_mut(conn as usize) else {
+            return false;
+        };
+        if in_flight == 0 {
+            f.armed = false;
+            f.backoff = 0;
+            f.last_una = snd_una;
+            return false;
+        }
+        if !f.armed || snd_una != f.last_una {
+            // progress (or newly armed): reset the timer
+            let progressed = f.armed && snd_una != f.last_una;
+            f.armed = true;
+            f.last_una = snd_una;
+            f.since = now;
+            if progressed {
+                f.backoff = 0;
+            }
+            return false;
+        }
+        let base = Duration::from_us(4 * srtt_us.max(1) as u64).max(self.min_rto);
+        let rto = (base * (1u64 << f.backoff.min(6))).min(self.max_rto);
+        if now.saturating_since(f.since) >= rto {
+            f.since = now;
+            f.backoff += 1;
+            self.fired += 1;
+            return true;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MIN: Duration = Duration::from_ms(1);
+
+    #[test]
+    fn fires_after_stall() {
+        let mut t = RtoTracker::new(MIN);
+        t.register(1);
+        let una = SeqNum(1000);
+        assert!(!t.observe(1, una, 500, Time::from_us(0), 100)); // arms
+        assert!(!t.observe(1, una, 500, Time::from_us(500), 100));
+        assert!(t.observe(1, una, 500, Time::from_us(1100), 100));
+        assert_eq!(t.fired, 1);
+    }
+
+    #[test]
+    fn progress_resets_timer() {
+        let mut t = RtoTracker::new(MIN);
+        t.register(1);
+        t.observe(1, SeqNum(1000), 500, Time::from_us(0), 100);
+        // ack progress at 900us
+        assert!(!t.observe(1, SeqNum(1500), 500, Time::from_us(900), 100));
+        // 0.95ms after progress (not 1.85ms after arming): no fire yet
+        assert!(!t.observe(1, SeqNum(1500), 500, Time::from_us(1850), 100));
+        // 1.05ms after progress: fires
+        assert!(t.observe(1, SeqNum(1500), 500, Time::from_us(1950), 100));
+    }
+
+    #[test]
+    fn backoff_doubles() {
+        let mut t = RtoTracker::new(MIN);
+        t.register(1);
+        let una = SeqNum(0);
+        t.observe(1, una, 100, Time::from_us(0), 10);
+        assert!(t.observe(1, una, 100, Time::from_ms(1), 10)); // first RTO at 1ms
+        // second RTO needs 2ms more
+        assert!(!t.observe(1, una, 100, Time::from_us(2500), 10));
+        assert!(t.observe(1, una, 100, Time::from_ms(3), 10));
+        // third needs 4ms
+        assert!(!t.observe(1, una, 100, Time::from_ms(6), 10));
+        assert!(t.observe(1, una, 100, Time::from_ms(7), 10));
+    }
+
+    #[test]
+    fn empty_flight_disarms_and_clears_backoff() {
+        let mut t = RtoTracker::new(MIN);
+        t.register(1);
+        t.observe(1, SeqNum(0), 100, Time::from_us(0), 10);
+        assert!(t.observe(1, SeqNum(0), 100, Time::from_ms(1), 10));
+        assert!(!t.observe(1, SeqNum(100), 0, Time::from_ms(2), 10)); // drained
+        // re-armed fresh: base RTO again
+        assert!(!t.observe(1, SeqNum(100), 50, Time::from_ms(3), 10));
+        assert!(!t.observe(1, SeqNum(100), 50, Time::from_us(3900), 10));
+        assert!(t.observe(1, SeqNum(100), 50, Time::from_us(4100), 10));
+    }
+
+    #[test]
+    fn srtt_scales_rto() {
+        let mut t = RtoTracker::new(MIN);
+        t.register(1);
+        t.observe(1, SeqNum(0), 100, Time::ZERO, 1000); // srtt 1ms -> rto 4ms
+        assert!(!t.observe(1, SeqNum(0), 100, Time::from_ms(2), 1000));
+        assert!(t.observe(1, SeqNum(0), 100, Time::from_ms(4), 1000));
+    }
+
+    #[test]
+    fn unregistered_never_fires() {
+        let mut t = RtoTracker::new(MIN);
+        assert!(!t.observe(7, SeqNum(0), 100, Time::from_ms(100), 10));
+        t.register(7);
+        t.unregister(7);
+        assert!(!t.observe(7, SeqNum(0), 100, Time::from_ms(100), 10));
+    }
+}

@@ -1,0 +1,243 @@
+//! Host-memory structures shared between libTOE, the control plane, and
+//! the NIC data-path: per-socket payload buffers and per-thread context
+//! queues (Figure 2).
+//!
+//! In the real system these live in 1 GB hugepages mapped into all three
+//! protection domains, accessed by the NIC through DMA; here they are
+//! `Rc<RefCell<…>>` shared by the simulation nodes, with DMA/MMIO *timing*
+//! charged through `flextoe-nfp`. Segments are never buffered on the NIC —
+//! one-shot offload (§3 design principle 1) — so these buffers are the
+//! only payload storage in the system.
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+/// A per-socket circular payload buffer (RX or TX PAYLOAD-BUF).
+///
+/// Positions are *free-running* u32 byte counters (wrapping mod 2³²); the
+/// buffer index is `pos % size`. Producers and consumers track their own
+/// positions; the buffer itself is raw storage, exactly like a hugepage
+/// region.
+#[derive(Debug)]
+pub struct PayloadBuf {
+    data: Vec<u8>,
+}
+
+impl PayloadBuf {
+    pub fn new(size: u32) -> PayloadBuf {
+        assert!(size > 0 && size.is_power_of_two(), "size must be a power of two");
+        PayloadBuf {
+            data: vec![0; size as usize],
+        }
+    }
+
+    pub fn size(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    #[inline]
+    fn idx(&self, pos: u32) -> usize {
+        (pos as usize) & (self.data.len() - 1)
+    }
+
+    /// Copy `src` into the buffer at linear position `pos` (wraps).
+    pub fn write(&mut self, pos: u32, src: &[u8]) {
+        assert!(src.len() <= self.data.len(), "write larger than buffer");
+        let start = self.idx(pos);
+        let first = (self.data.len() - start).min(src.len());
+        self.data[start..start + first].copy_from_slice(&src[..first]);
+        if first < src.len() {
+            self.data[..src.len() - first].copy_from_slice(&src[first..]);
+        }
+    }
+
+    /// Copy `len` bytes at linear position `pos` into `dst` (wraps).
+    pub fn read(&self, pos: u32, dst: &mut [u8]) {
+        assert!(dst.len() <= self.data.len(), "read larger than buffer");
+        let start = self.idx(pos);
+        let first = (self.data.len() - start).min(dst.len());
+        dst[..first].copy_from_slice(&self.data[start..start + first]);
+        if first < dst.len() {
+            let rest = dst.len() - first;
+            dst[first..].copy_from_slice(&self.data[..rest]);
+        }
+    }
+
+    pub fn read_vec(&self, pos: u32, len: u32) -> Vec<u8> {
+        let mut v = vec![0; len as usize];
+        self.read(pos, &mut v);
+        v
+    }
+}
+
+/// Shared handle to a payload buffer.
+pub type SharedBuf = Rc<RefCell<PayloadBuf>>;
+
+pub fn shared_buf(size: u32) -> SharedBuf {
+    Rc::new(RefCell::new(PayloadBuf::new(size)))
+}
+
+/// Descriptors the application/control-plane sends to the NIC (via a
+/// context queue + doorbell; §3.1.1 "HC requests may be batched").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AppToNic {
+    /// libTOE appended `len` bytes to the socket TX buffer.
+    TxAppend { conn: u32, len: u32 },
+    /// libTOE consumed `len` bytes from the socket RX buffer.
+    RxConsumed { conn: u32, len: u32 },
+    /// Application closed the connection (FIN after pending data).
+    Close { conn: u32 },
+    /// Control plane: retransmission timeout — reset to go-back-N.
+    Retransmit { conn: u32 },
+}
+
+/// Notifications the NIC data-path delivers to libTOE (§3.1.3 "Notify").
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NicToApp {
+    /// `len` new bytes are readable in the socket RX buffer.
+    RxAvail { conn: u32, len: u32, fin: bool },
+    /// `len` bytes of the socket TX buffer were acknowledged and freed.
+    TxFreed { conn: u32, len: u32 },
+}
+
+/// One direction of a context queue (bounded, in host shared memory).
+#[derive(Debug)]
+pub struct CtxQueueInner<T> {
+    q: VecDeque<T>,
+    capacity: usize,
+    pub enqueued: u64,
+    pub full_rejects: u64,
+}
+
+impl<T> CtxQueueInner<T> {
+    pub fn new(capacity: usize) -> Self {
+        CtxQueueInner {
+            q: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            enqueued: 0,
+            full_rejects: 0,
+        }
+    }
+
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.q.len() >= self.capacity {
+            self.full_rejects += 1;
+            return Err(item);
+        }
+        self.q.push_back(item);
+        self.enqueued += 1;
+        Ok(())
+    }
+
+    pub fn pop(&mut self) -> Option<T> {
+        self.q.pop_front()
+    }
+
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// Drain up to `n` entries (doorbell batching).
+    pub fn pop_batch(&mut self, n: usize) -> Vec<T> {
+        let take = n.min(self.q.len());
+        self.q.drain(..take).collect()
+    }
+}
+
+/// A per-thread context-queue pair (Figure 2: "pairs of context queues,
+/// one for each communication direction").
+#[derive(Debug)]
+pub struct CtxQueuePair {
+    pub to_nic: CtxQueueInner<AppToNic>,
+    pub to_app: CtxQueueInner<NicToApp>,
+}
+
+impl CtxQueuePair {
+    pub fn new(capacity: usize) -> CtxQueuePair {
+        CtxQueuePair {
+            to_nic: CtxQueueInner::new(capacity),
+            to_app: CtxQueueInner::new(capacity),
+        }
+    }
+}
+
+pub type SharedCtxQueue = Rc<RefCell<CtxQueuePair>>;
+
+pub fn shared_ctxq(capacity: usize) -> SharedCtxQueue {
+    Rc::new(RefCell::new(CtxQueuePair::new(capacity)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut b = PayloadBuf::new(64);
+        b.write(10, b"hello");
+        let mut out = [0u8; 5];
+        b.read(10, &mut out);
+        assert_eq!(&out, b"hello");
+    }
+
+    #[test]
+    fn wrapping_write_and_read() {
+        let mut b = PayloadBuf::new(16);
+        b.write(12, b"abcdefgh"); // wraps: 12..16 then 0..4
+        assert_eq!(b.read_vec(12, 8), b"abcdefgh");
+        assert_eq!(b.read_vec(14, 2), b"cd");
+        assert_eq!(b.read_vec(0, 4), b"efgh");
+    }
+
+    #[test]
+    fn free_running_positions_wrap_mod_size() {
+        let mut b = PayloadBuf::new(16);
+        b.write(5, b"xy");
+        // position 5 + k*16 aliases the same cells
+        assert_eq!(b.read_vec(5 + 32, 2), b"xy");
+        b.write(u32::MAX - 1, b"zw"); // positions 2^32-2, 2^32-1 -> idx 14,15
+        assert_eq!(b.read_vec(14, 2), b"zw");
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        PayloadBuf::new(100);
+    }
+
+    #[test]
+    fn ctx_queue_fifo_and_capacity() {
+        let mut q: CtxQueueInner<u32> = CtxQueueInner::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.full_rejects, 1);
+        assert_eq!(q.pop(), Some(1));
+        q.push(3).unwrap();
+        assert_eq!(q.pop_batch(10), vec![2, 3]);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ctx_queue_pair_directions_independent() {
+        let pair = shared_ctxq(8);
+        pair.borrow_mut()
+            .to_nic
+            .push(AppToNic::TxAppend { conn: 1, len: 64 })
+            .unwrap();
+        pair.borrow_mut()
+            .to_app
+            .push(NicToApp::TxFreed { conn: 1, len: 64 })
+            .unwrap();
+        assert_eq!(pair.borrow().to_nic.len(), 1);
+        assert_eq!(pair.borrow().to_app.len(), 1);
+        assert_eq!(
+            pair.borrow_mut().to_nic.pop(),
+            Some(AppToNic::TxAppend { conn: 1, len: 64 })
+        );
+    }
+}

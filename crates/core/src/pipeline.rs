@@ -1,0 +1,126 @@
+//! Pipeline assembly: wires the data-path stages, the hardware models,
+//! and the MAC into a simulation (Figure 2 + §4.1 "FPC mapping").
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use flextoe_nfp::{ConnDb, DmaEngine, MacPort};
+use flextoe_sim::{NodeId, Sim};
+
+use crate::segment::{shared_conn_table, NicConfig, SharedConnTable};
+use crate::stages::{
+    ctxq::CtxqStage, dmast::DmaStage, post::PostStage, pre::PreStage, proto_stage::ProtoStage,
+    schedn::SchedNode, seqr::SeqrNode, PipeCfg, SharedCfg,
+};
+
+/// All node ids and shared handles of one FlexTOE NIC instance.
+pub struct FlexToeNic {
+    pub cfg: SharedCfg,
+    pub seqr: NodeId,
+    pub pre: NodeId,
+    pub protos: Vec<NodeId>,
+    pub posts: Vec<NodeId>,
+    pub dma_stage: NodeId,
+    pub dma_engine: NodeId,
+    pub ctxq: NodeId,
+    pub sched: NodeId,
+    pub mac: NodeId,
+    /// The control-plane node this NIC redirects non-data-path traffic to.
+    pub ctrl: NodeId,
+    pub table: SharedConnTable,
+    pub db: Rc<RefCell<ConnDb>>,
+}
+
+impl FlexToeNic {
+    /// Build a NIC into `sim`. `wire_out` is where egress frames go (a
+    /// link endpoint); `ctrl` is the control-plane node (may be a
+    /// reserved id filled later). Ingress frames must be delivered to the
+    /// returned `mac` node.
+    pub fn build(sim: &mut Sim, cfg: PipeCfg, nic_cfg: NicConfig, wire_out: NodeId, ctrl: NodeId) -> FlexToeNic {
+        let cfg: SharedCfg = Rc::new(cfg);
+        let table = shared_conn_table(nic_cfg);
+        let db = Rc::new(RefCell::new(ConnDb::new(&cfg.platform)));
+
+        // reserve everything first (the graph is cyclic)
+        let seqr = sim.reserve_node();
+        let pre = sim.reserve_node();
+        let protos: Vec<NodeId> = (0..cfg.n_groups).map(|_| sim.reserve_node()).collect();
+        let posts: Vec<NodeId> = (0..cfg.n_groups).map(|_| sim.reserve_node()).collect();
+        let dma_stage = sim.reserve_node();
+        let dma_engine = sim.reserve_node();
+        let ctxq = sim.reserve_node();
+        let sched = sim.reserve_node();
+        let mac = sim.reserve_node();
+
+        sim.fill_node(mac, MacPort::new(cfg.platform.mac_bps, wire_out, seqr));
+        sim.fill_node(dma_engine, DmaEngine::new(cfg.platform.pcie));
+
+        let mut seqr_node = SeqrNode::new(cfg.clone(), mac);
+        seqr_node.pre_pool = vec![pre];
+        seqr_node.protos = protos.clone();
+        seqr_node.mac = mac;
+        sim.fill_node(seqr, seqr_node);
+
+        sim.fill_node(
+            pre,
+            PreStage::new(cfg.clone(), table.clone(), db.clone(), seqr, ctrl, mac),
+        );
+
+        for g in 0..cfg.n_groups {
+            sim.fill_node(
+                protos[g],
+                ProtoStage::new(cfg.clone(), g, table.clone(), posts[g]),
+            );
+            sim.fill_node(
+                posts[g],
+                PostStage::new(cfg.clone(), g, table.clone(), dma_stage, sched, ctxq),
+            );
+        }
+
+        sim.fill_node(
+            dma_stage,
+            DmaStage::new(cfg.clone(), table.clone(), dma_engine, seqr, ctxq),
+        );
+        sim.fill_node(ctxq, CtxqStage::new(cfg.clone(), dma_engine, seqr));
+        sim.fill_node(sched, SchedNode::new(cfg.clone(), seqr));
+
+        FlexToeNic {
+            cfg,
+            seqr,
+            pre,
+            protos,
+            posts,
+            dma_stage,
+            dma_engine,
+            ctxq,
+            sched,
+            mac,
+            ctrl,
+            table,
+            db,
+        }
+    }
+
+    /// Lightweight handle for the control plane and libTOE.
+    pub fn handle(&self) -> NicHandle {
+        NicHandle {
+            cfg: self.cfg.clone(),
+            table: self.table.clone(),
+            db: self.db.clone(),
+            sched: self.sched,
+            ctxq: self.ctxq,
+            mac: self.mac,
+        }
+    }
+}
+
+/// The subset of NIC access the control plane and libTOE need.
+#[derive(Clone)]
+pub struct NicHandle {
+    pub cfg: SharedCfg,
+    pub table: SharedConnTable,
+    pub db: Rc<RefCell<ConnDb>>,
+    pub sched: NodeId,
+    pub ctxq: NodeId,
+    pub mac: NodeId,
+}

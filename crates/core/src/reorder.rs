@@ -1,0 +1,170 @@
+//! Sequencing and reordering (§3.2).
+//!
+//! "We assign a sequence number to each segment entering the pipeline. The
+//! parallel pipeline stages can operate on each segment in any order. The
+//! protocol stage requires in-order processing and we buffer and re-order
+//! segments that arrive out-of-order before admitting them to the protocol
+//! stage. Similarly, we buffer and re-order segments for transmission
+//! before admitting them to the NBI."
+//!
+//! Items that leave the pipeline early (redirected to the control plane,
+//! dropped by an XDP module, or filtered) are *skipped* so the stream
+//! doesn't stall on a hole.
+
+use std::collections::BTreeMap;
+
+/// An in-order release buffer over dense sequence numbers.
+pub struct Reorder<T> {
+    next: u64,
+    pending: BTreeMap<u64, T>,
+    skipped: std::collections::BTreeSet<u64>,
+    /// High-water mark of buffered items (a Table 2 tracepoint).
+    pub max_held: usize,
+    pub reordered: u64,
+}
+
+impl<T> Default for Reorder<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Reorder<T> {
+    pub fn new() -> Reorder<T> {
+        Reorder {
+            next: 0,
+            pending: BTreeMap::new(),
+            skipped: Default::default(),
+            max_held: 0,
+            reordered: 0,
+        }
+    }
+
+    pub fn held(&self) -> usize {
+        self.pending.len()
+    }
+
+    pub fn next_expected(&self) -> u64 {
+        self.next
+    }
+
+    fn drain_ready(&mut self, out: &mut Vec<T>) {
+        loop {
+            if let Some(item) = self.pending.remove(&self.next) {
+                out.push(item);
+                self.next += 1;
+            } else if self.skipped.remove(&self.next) {
+                self.next += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Offer item with sequence `seq`; returns all items now releasable in
+    /// order (possibly empty, possibly several).
+    pub fn push(&mut self, seq: u64, item: T) -> Vec<T> {
+        debug_assert!(seq >= self.next, "sequence {seq} already released");
+        let mut out = Vec::new();
+        if seq == self.next {
+            out.push(item);
+            self.next += 1;
+            self.drain_ready(&mut out);
+        } else {
+            self.reordered += 1;
+            self.pending.insert(seq, item);
+            self.max_held = self.max_held.max(self.pending.len());
+        }
+        out
+    }
+
+    /// Mark `seq` as never arriving (item left the pipeline early);
+    /// returns any items this unblocks.
+    pub fn skip(&mut self, seq: u64) -> Vec<T> {
+        let mut out = Vec::new();
+        if seq == self.next {
+            self.next += 1;
+            self.drain_ready(&mut out);
+        } else if seq > self.next {
+            self.skipped.insert(seq);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn in_order_passthrough() {
+        let mut r = Reorder::new();
+        assert_eq!(r.push(0, "a"), vec!["a"]);
+        assert_eq!(r.push(1, "b"), vec!["b"]);
+        assert_eq!(r.held(), 0);
+        assert_eq!(r.reordered, 0);
+    }
+
+    #[test]
+    fn out_of_order_buffered_and_released_together() {
+        let mut r = Reorder::new();
+        assert!(r.push(2, "c").is_empty());
+        assert!(r.push(1, "b").is_empty());
+        assert_eq!(r.held(), 2);
+        assert_eq!(r.push(0, "a"), vec!["a", "b", "c"]);
+        assert_eq!(r.held(), 0);
+        assert_eq!(r.max_held, 2);
+        assert_eq!(r.reordered, 2);
+    }
+
+    #[test]
+    fn skip_unblocks_stream() {
+        let mut r = Reorder::new();
+        assert!(r.push(1, "b").is_empty());
+        assert_eq!(r.skip(0), vec!["b"]);
+        assert_eq!(r.next_expected(), 2);
+    }
+
+    #[test]
+    fn skip_in_the_middle() {
+        let mut r = Reorder::new();
+        assert!(r.push(3, "d").is_empty());
+        r.skip(1);
+        r.skip(2);
+        assert_eq!(r.push(0, "a"), vec!["a", "d"]);
+    }
+
+    #[test]
+    fn interleaved_skips_and_items() {
+        let mut r = Reorder::new();
+        let mut released = Vec::new();
+        // arrival order: 4, skip 2, 0, 3, skip 1
+        released.extend(r.push(4, 4));
+        released.extend(r.skip(2));
+        released.extend(r.push(0, 0));
+        released.extend(r.push(3, 3));
+        released.extend(r.skip(1));
+        assert_eq!(released, vec![0, 3, 4]);
+        assert_eq!(r.next_expected(), 5);
+    }
+
+    #[test]
+    fn large_random_permutation_releases_in_order() {
+        let mut r = Reorder::new();
+        let n = 1000u64;
+        // deterministic pseudo-random permutation
+        let mut order: Vec<u64> = (0..n).collect();
+        let mut s = 12345u64;
+        for i in (1..order.len()).rev() {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let j = (s >> 33) as usize % (i + 1);
+            order.swap(i, j);
+        }
+        let mut released = Vec::new();
+        for seq in order {
+            released.extend(r.push(seq, seq));
+        }
+        assert_eq!(released, (0..n).collect::<Vec<_>>());
+        assert_eq!(r.held(), 0);
+    }
+}

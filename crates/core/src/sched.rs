@@ -1,0 +1,378 @@
+//! The Carousel flow scheduler (§3.4).
+//!
+//! "We implement our flow scheduler based on Carousel. Carousel schedules
+//! a large number of flows using a time wheel. Based on the next
+//! transmission time, as computed from rate limits and windows, we enqueue
+//! flows into corresponding slots in the time wheel. … To conserve work,
+//! the flow scheduler only adds flows with a non-zero transmit window into
+//! the time wheel and bypasses the rate limiter for uncongested flows.
+//! These flows are scheduled round-robin."
+//!
+//! Rates are programmed by the control plane in *interval-per-byte* units
+//! (cycles/byte in hardware — the NFP has no division; here ps/byte),
+//! "enabl[ing] the flow scheduler to compute the time slot using only
+//! multiplication".
+
+use std::collections::VecDeque;
+
+use flextoe_sim::{Duration, Time};
+
+#[derive(Clone, Copy, Debug, Default)]
+struct ConnSched {
+    registered: bool,
+    /// Bytes currently eligible (FS feedback from the protocol stage).
+    sendable: u32,
+    /// Pacing interval in ps/byte; 0 = uncongested (round-robin bypass).
+    interval_ps_per_byte: u64,
+    /// Earliest next transmission (pacing state).
+    next_send: Time,
+    /// Whether the connection currently sits in the wheel or RR queue.
+    queued: bool,
+}
+
+/// A TX trigger emitted by the scheduler: "transmission is triggered by
+/// the flow scheduler when a connection can send segments" (§3.1.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Trigger {
+    pub conn: u32,
+    /// Estimated segment payload (actual length decided by the protocol
+    /// stage, which is authoritative).
+    pub bytes_est: u32,
+}
+
+pub struct Carousel {
+    granularity: Duration,
+    slots: Vec<VecDeque<u32>>,
+    /// Index of the slot covering `wheel_base`.
+    cur_slot: usize,
+    wheel_base: Time,
+    rr: VecDeque<u32>,
+    conns: Vec<ConnSched>,
+    pub triggers: u64,
+    pub empty_pops: u64,
+}
+
+/// Default slot granularity: 1 µs ("a time wheel with a small slot
+/// granularity and large horizon", §4 "Flow scheduler").
+pub const DEFAULT_GRANULARITY: Duration = Duration::from_us(1);
+/// Default horizon: 4096 slots ≈ 4 ms.
+pub const DEFAULT_SLOTS: usize = 4096;
+
+impl Carousel {
+    pub fn new(granularity: Duration, n_slots: usize) -> Carousel {
+        assert!(n_slots >= 2 && granularity > Duration::ZERO);
+        Carousel {
+            granularity,
+            slots: (0..n_slots).map(|_| VecDeque::new()).collect(),
+            cur_slot: 0,
+            wheel_base: Time::ZERO,
+            rr: VecDeque::new(),
+            conns: Vec::new(),
+            triggers: 0,
+            empty_pops: 0,
+        }
+    }
+
+    pub fn with_defaults() -> Carousel {
+        Carousel::new(DEFAULT_GRANULARITY, DEFAULT_SLOTS)
+    }
+
+    fn conn_mut(&mut self, conn: u32) -> &mut ConnSched {
+        let idx = conn as usize;
+        if idx >= self.conns.len() {
+            self.conns.resize(idx + 1, ConnSched::default());
+        }
+        &mut self.conns[idx]
+    }
+
+    pub fn register(&mut self, conn: u32) {
+        let c = self.conn_mut(conn);
+        *c = ConnSched {
+            registered: true,
+            ..Default::default()
+        };
+    }
+
+    pub fn unregister(&mut self, conn: u32) {
+        // Lazy removal: stale queue entries are discarded on pop.
+        if let Some(c) = self.conns.get_mut(conn as usize) {
+            c.registered = false;
+            c.sendable = 0;
+        }
+    }
+
+    /// Control-plane MMIO: program the pacing interval (0 = uncongested).
+    pub fn set_rate(&mut self, conn: u32, interval_ps_per_byte: u64) {
+        self.conn_mut(conn).interval_ps_per_byte = interval_ps_per_byte;
+    }
+
+    pub fn rate_of(&self, conn: u32) -> u64 {
+        self.conns
+            .get(conn as usize)
+            .map(|c| c.interval_ps_per_byte)
+            .unwrap_or(0)
+    }
+
+    /// FS feedback: absolute sendable-byte count from the protocol stage.
+    pub fn update_sendable(&mut self, conn: u32, sendable: u32, now: Time) {
+        let c = self.conn_mut(conn);
+        if !c.registered {
+            return;
+        }
+        c.sendable = sendable;
+        if sendable > 0 && !c.queued {
+            c.queued = true;
+            let (uncongested, next_send) = (c.interval_ps_per_byte == 0, c.next_send);
+            if uncongested {
+                self.rr.push_back(conn);
+            } else {
+                self.enqueue_wheel(conn, next_send.max(now), now);
+            }
+        }
+    }
+
+    fn enqueue_wheel(&mut self, conn: u32, at: Time, now: Time) {
+        self.advance(now);
+        let n = self.slots.len();
+        let offset_slots = if at <= self.wheel_base {
+            0
+        } else {
+            (((at - self.wheel_base).ps()) / self.granularity.ps()) as usize
+        };
+        // Clamp beyond-horizon deadlines to the furthest slot.
+        let offset = offset_slots.min(n - 1);
+        let slot = (self.cur_slot + offset) % n;
+        self.slots[slot].push_back(conn);
+    }
+
+    /// Rotate the wheel so `cur_slot` covers `now`, spilling due flows
+    /// into the RR (ready) queue.
+    fn advance(&mut self, now: Time) {
+        let n = self.slots.len();
+        while self.wheel_base + self.granularity <= now {
+            // everything in the current slot is due
+            while let Some(conn) = self.slots[self.cur_slot].pop_front() {
+                self.rr.push_back(conn);
+            }
+            self.cur_slot = (self.cur_slot + 1) % n;
+            self.wheel_base = self.wheel_base + self.granularity;
+        }
+    }
+
+    /// Emit the next TX trigger if any connection is due.
+    pub fn next_trigger(&mut self, now: Time, mss: u32) -> Option<Trigger> {
+        self.advance(now);
+        // Current slot's flows are due too (deadline passed within slot).
+        while let Some(conn) = self.slots[self.cur_slot].front().copied() {
+            let due = self
+                .conns
+                .get(conn as usize)
+                .map(|c| c.next_send <= now)
+                .unwrap_or(true);
+            if due {
+                self.slots[self.cur_slot].pop_front();
+                self.rr.push_back(conn);
+            } else {
+                break;
+            }
+        }
+        while let Some(conn) = self.rr.pop_front() {
+            let c = &mut self.conns[conn as usize];
+            if !c.registered || c.sendable == 0 {
+                c.queued = false;
+                self.empty_pops += 1;
+                continue;
+            }
+            let bytes = c.sendable.min(mss);
+            c.sendable -= bytes;
+            if c.interval_ps_per_byte > 0 {
+                c.next_send =
+                    c.next_send.max(now) + Duration::from_ps(bytes as u64 * c.interval_ps_per_byte);
+            }
+            if c.sendable > 0 {
+                let (uncongested, next_send) = (c.interval_ps_per_byte == 0, c.next_send);
+                if uncongested {
+                    self.rr.push_back(conn);
+                } else {
+                    self.enqueue_wheel(conn, next_send, now);
+                }
+            } else {
+                c.queued = false;
+            }
+            self.triggers += 1;
+            return Some(Trigger {
+                conn,
+                bytes_est: bytes,
+            });
+        }
+        None
+    }
+
+    /// Earliest instant at which a trigger may become available, for the
+    /// scheduler node's wake-up timer. `None` when completely idle.
+    pub fn earliest_work(&self, now: Time) -> Option<Time> {
+        if !self.rr.is_empty() {
+            return Some(now);
+        }
+        let n = self.slots.len();
+        for i in 0..n {
+            let slot = (self.cur_slot + i) % n;
+            if !self.slots[slot].is_empty() {
+                let t = self.wheel_base + self.granularity * (i as u64);
+                return Some(t.max(now));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MSS: u32 = 1448;
+
+    #[test]
+    fn uncongested_flow_round_robin() {
+        let mut c = Carousel::with_defaults();
+        for conn in 0..3 {
+            c.register(conn);
+            c.update_sendable(conn, 2 * MSS, Time::ZERO);
+        }
+        let order: Vec<u32> = (0..6)
+            .map(|_| c.next_trigger(Time::ZERO, MSS).unwrap().conn)
+            .collect();
+        assert_eq!(order, vec![0, 1, 2, 0, 1, 2], "round-robin fairness");
+        assert!(c.next_trigger(Time::ZERO, MSS).is_none(), "all drained");
+    }
+
+    #[test]
+    fn trigger_sizes_track_sendable() {
+        let mut c = Carousel::with_defaults();
+        c.register(1);
+        c.update_sendable(1, MSS + 100, Time::ZERO);
+        assert_eq!(
+            c.next_trigger(Time::ZERO, MSS),
+            Some(Trigger { conn: 1, bytes_est: MSS })
+        );
+        assert_eq!(
+            c.next_trigger(Time::ZERO, MSS),
+            Some(Trigger { conn: 1, bytes_est: 100 })
+        );
+        assert_eq!(c.next_trigger(Time::ZERO, MSS), None);
+    }
+
+    #[test]
+    fn rate_limited_flow_paced_by_wheel() {
+        let mut c = Carousel::with_defaults();
+        c.register(7);
+        // 1448 B at ~10 µs per segment -> ~6.9 ps/byte… use 7 ps/byte ≈ 10.1µs/MSS
+        c.set_rate(7, 7_000); // 7000 ps/byte -> MSS takes ~10.1 ms? no: 1448*7000ps = 10.1us
+        c.update_sendable(7, 10 * MSS, Time::ZERO);
+        let t0 = c.next_trigger(Time::ZERO, MSS).unwrap();
+        assert_eq!(t0.conn, 7);
+        // immediately after, the flow is paced — not eligible yet
+        assert!(c.next_trigger(Time::from_us(1), MSS).is_none());
+        // after the pacing interval it fires again
+        let t = c.next_trigger(Time::from_us(11), MSS);
+        assert!(t.is_some(), "flow due after pacing interval");
+    }
+
+    #[test]
+    fn work_conserving_mix() {
+        let mut c = Carousel::with_defaults();
+        c.register(1); // paced hard
+        c.set_rate(1, 1_000_000); // 1.448ms per MSS
+        c.register(2); // uncongested
+        c.update_sendable(1, 10 * MSS, Time::ZERO);
+        c.update_sendable(2, 3 * MSS, Time::ZERO);
+        // flow 1 fires once (first segment unpaced), then flow 2 dominates
+        let mut seen = Vec::new();
+        let mut now = Time::ZERO;
+        for _ in 0..4 {
+            if let Some(t) = c.next_trigger(now, MSS) {
+                seen.push(t.conn);
+            }
+            now = now + Duration::from_us(1);
+        }
+        assert_eq!(seen.iter().filter(|&&x| x == 2).count(), 3);
+        assert_eq!(seen.iter().filter(|&&x| x == 1).count(), 1);
+    }
+
+    #[test]
+    fn zero_window_flows_not_in_wheel() {
+        // "the flow scheduler only adds flows with a non-zero transmit
+        // window into the time wheel"
+        let mut c = Carousel::with_defaults();
+        c.register(3);
+        c.update_sendable(3, 0, Time::ZERO);
+        assert!(c.earliest_work(Time::ZERO).is_none());
+        assert!(c.next_trigger(Time::ZERO, MSS).is_none());
+        c.update_sendable(3, 500, Time::ZERO);
+        assert_eq!(c.earliest_work(Time::ZERO), Some(Time::ZERO));
+    }
+
+    #[test]
+    fn unregistered_conn_never_triggers() {
+        let mut c = Carousel::with_defaults();
+        c.register(5);
+        c.update_sendable(5, MSS, Time::ZERO);
+        c.unregister(5);
+        assert!(c.next_trigger(Time::ZERO, MSS).is_none());
+        assert_eq!(c.empty_pops, 1);
+        // updates after unregister are ignored
+        c.update_sendable(5, MSS, Time::ZERO);
+        assert!(c.next_trigger(Time::ZERO, MSS).is_none());
+    }
+
+    #[test]
+    fn earliest_work_points_at_wheel_slot() {
+        let mut c = Carousel::with_defaults();
+        c.register(9);
+        c.set_rate(9, 10_000); // 14.48us per MSS
+        c.update_sendable(9, 2 * MSS, Time::ZERO);
+        // first trigger immediate
+        c.next_trigger(Time::ZERO, MSS).unwrap();
+        let next = c.earliest_work(Time::ZERO).unwrap();
+        assert!(next > Time::ZERO && next <= Time::from_us(15), "{next:?}");
+    }
+
+    #[test]
+    fn beyond_horizon_clamped_not_lost() {
+        let mut c = Carousel::new(Duration::from_us(1), 16); // 16us horizon
+        c.register(2);
+        c.set_rate(2, 1_000_000); // MSS pacing 1.448ms >> horizon
+        c.update_sendable(2, 2 * MSS, Time::ZERO);
+        c.next_trigger(Time::ZERO, MSS).unwrap();
+        // the second segment is clamped to the horizon's far edge; it must
+        // still fire eventually.
+        let mut fired = false;
+        let mut now = Time::ZERO;
+        for _ in 0..2000 {
+            now = now + Duration::from_us(2);
+            if c.next_trigger(now, MSS).is_some() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired, "clamped flow starved");
+    }
+
+    #[test]
+    fn fairness_across_many_flows() {
+        // 64 uncongested flows with equal backlog drain near-equally —
+        // the Fig. 16 property at small scale.
+        let mut c = Carousel::with_defaults();
+        let n = 64u32;
+        for conn in 0..n {
+            c.register(conn);
+            c.update_sendable(conn, 100 * MSS, Time::ZERO);
+        }
+        let mut counts = vec![0u32; n as usize];
+        for _ in 0..(n * 10) {
+            let t = c.next_trigger(Time::ZERO, MSS).unwrap();
+            counts[t.conn as usize] += 1;
+        }
+        assert!(counts.iter().all(|&x| x == 10), "{counts:?}");
+    }
+}

@@ -1,0 +1,227 @@
+//! Work items flowing through the data-path pipeline, and the connection
+//! table shared by its stages.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use flextoe_sim::Time;
+use flextoe_wire::{FourTuple, Ip4, MacAddr, SegmentView};
+
+use crate::hostmem::{AppToNic, SharedBuf, SharedCtxQueue};
+use crate::proto::{RxOutcome, RxSummary, TxSeg};
+use crate::state::{PostState, PreState, ProtoState};
+
+/// NIC-level identity (shared by all connections of this NIC).
+#[derive(Clone, Copy, Debug)]
+pub struct NicConfig {
+    pub mac: MacAddr,
+    pub ip: Ip4,
+}
+
+/// Everything the data-path knows about one established connection.
+/// The control plane installs an entry at connection setup (§D) and the
+/// stage nodes access their own partitions of it.
+pub struct ConnEntry {
+    pub pre: PreState,
+    pub proto: ProtoState,
+    pub post: PostState,
+    /// 4-tuple as it appears on *incoming* segments (src = peer).
+    pub tuple_rx: FourTuple,
+    pub tx_buf: SharedBuf,
+    pub rx_buf: SharedBuf,
+    pub ctxq: SharedCtxQueue,
+    pub active: bool,
+}
+
+/// The connection table in NIC memory. Index = connection id, allocated by
+/// the control plane "in such a way that we minimize collisions on the
+/// direct-mapped CLS cache" (§4.1) — i.e. densely.
+pub struct ConnTable {
+    pub nic: NicConfig,
+    conns: Vec<Option<ConnEntry>>,
+}
+
+impl ConnTable {
+    pub fn new(nic: NicConfig) -> ConnTable {
+        ConnTable {
+            nic,
+            conns: Vec::new(),
+        }
+    }
+
+    pub fn install(&mut self, entry: ConnEntry) -> u32 {
+        // reuse the lowest free index to keep ids dense
+        for (i, slot) in self.conns.iter_mut().enumerate() {
+            if slot.is_none() {
+                *slot = Some(entry);
+                return i as u32;
+            }
+        }
+        self.conns.push(Some(entry));
+        (self.conns.len() - 1) as u32
+    }
+
+    pub fn remove(&mut self, conn: u32) -> Option<ConnEntry> {
+        self.conns.get_mut(conn as usize)?.take()
+    }
+
+    pub fn get(&self, conn: u32) -> Option<&ConnEntry> {
+        self.conns.get(conn as usize)?.as_ref()
+    }
+
+    pub fn get_mut(&mut self, conn: u32) -> Option<&mut ConnEntry> {
+        self.conns.get_mut(conn as usize)?.as_mut()
+    }
+
+    pub fn len(&self) -> usize {
+        self.conns.iter().filter(|c| c.is_some()).count()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &ConnEntry)> {
+        self.conns
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.as_ref().map(|e| (i as u32, e)))
+    }
+}
+
+pub type SharedConnTable = Rc<RefCell<ConnTable>>;
+
+pub fn shared_conn_table(nic: NicConfig) -> SharedConnTable {
+    Rc::new(RefCell::new(ConnTable::new(nic)))
+}
+
+/// A receive-workflow item (Figure 6).
+pub struct RxWork {
+    pub frame: Vec<u8>,
+    /// Filled by pre-processing (Val/Id/Sum).
+    pub view: Option<SegmentView>,
+    pub summary: RxSummary,
+    pub conn: u32,
+    pub group: usize,
+    /// Filled by the protocol stage (Win).
+    pub outcome: Option<RxOutcome>,
+    /// Filled by post-processing (Ack/ECN/Stamp).
+    pub ack_frame: Option<Vec<u8>>,
+    /// Assigned by the protocol stage when an ACK will be emitted.
+    pub nbi_seq: Option<u64>,
+    pub arrival: Time,
+}
+
+/// A transmit-workflow item (Figure 5).
+pub struct TxWork {
+    pub conn: u32,
+    pub group: usize,
+    /// Filled by the protocol stage (Seq): sequence range + buffer pos.
+    pub seg: Option<TxSeg>,
+    /// Prepared by pre-processing (Alloc/Head): Ethernet/IP identity of
+    /// the segment. The DMA stage emits the final frame once the payload
+    /// has been fetched from host memory.
+    pub spec: Option<flextoe_wire::SegmentSpec>,
+    /// Authoritative sendable-byte count after the protocol stage ran
+    /// (flow-scheduler resync).
+    pub sendable_after: Option<u32>,
+    pub nbi_seq: Option<u64>,
+    pub arrival: Time,
+}
+
+/// A host-control item (Figure 4).
+pub struct HcWork {
+    pub desc: AppToNic,
+    pub conn: u32,
+    pub group: usize,
+    /// Authoritative sendable-byte count after the protocol stage (the
+    /// post-processor's FS step, Figure 4).
+    pub sendable_after: Option<u32>,
+    /// A window-update ACK should be pushed (receive window re-opened).
+    pub window_update: bool,
+    /// Snapshot for that window-update ACK (zero-length TxSeg) and its
+    /// NBI ordering slot, filled by the protocol stage.
+    pub win_ack: Option<TxSeg>,
+    pub nbi_seq: Option<u64>,
+    pub arrival: Time,
+}
+
+/// One unit travelling the pipeline with its sequencing tag (§3.2).
+pub enum Work {
+    Rx(RxWork),
+    Tx(TxWork),
+    Hc(HcWork),
+}
+
+impl Work {
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Work::Rx(_) => "rx",
+            Work::Tx(_) => "tx",
+            Work::Hc(_) => "hc",
+        }
+    }
+    pub fn group(&self) -> usize {
+        match self {
+            Work::Rx(w) => w.group,
+            Work::Tx(w) => w.group,
+            Work::Hc(w) => w.group,
+        }
+    }
+}
+
+/// The message exchanged between pipeline stages: a work item plus the
+/// pipeline sequence number assigned at entry (§3.2).
+pub struct PipelineMsg {
+    pub entry_seq: u64,
+    pub work: Work,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hostmem::{shared_buf, shared_ctxq};
+
+    fn entry() -> ConnEntry {
+        ConnEntry {
+            pre: PreState::default(),
+            proto: ProtoState::default(),
+            post: PostState::default(),
+            tuple_rx: FourTuple::new(Ip4::host(2), 1000, Ip4::host(1), 80),
+            tx_buf: shared_buf(1024),
+            rx_buf: shared_buf(1024),
+            ctxq: shared_ctxq(64),
+            active: true,
+        }
+    }
+
+    #[test]
+    fn install_reuses_lowest_free_slot() {
+        let mut t = ConnTable::new(NicConfig {
+            mac: MacAddr::local(1),
+            ip: Ip4::host(1),
+        });
+        let a = t.install(entry());
+        let b = t.install(entry());
+        let c = t.install(entry());
+        assert_eq!((a, b, c), (0, 1, 2));
+        t.remove(b);
+        assert_eq!(t.len(), 2);
+        let d = t.install(entry());
+        assert_eq!(d, 1, "freed slot reused to keep ids dense");
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn get_and_iter() {
+        let mut t = ConnTable::new(NicConfig {
+            mac: MacAddr::local(1),
+            ip: Ip4::host(1),
+        });
+        let a = t.install(entry());
+        assert!(t.get(a).is_some());
+        assert!(t.get(99).is_none());
+        t.get_mut(a).unwrap().proto.tx_avail = 7;
+        assert_eq!(t.get(a).unwrap().proto.tx_avail, 7);
+        assert_eq!(t.iter().count(), 1);
+    }
+}

@@ -1,0 +1,271 @@
+//! The context-queue stage (§3.1.1, §4 "Context queues").
+//!
+//! Polls doorbells, fetches HC descriptors from host context queues over
+//! PCIe, and delivers notification descriptors back — "the limited pool
+//! size flow-controls host interactions. If allocation fails, processing
+//! stops and is retried later." Applications are woken via MSI-X
+//! interrupts converted to eventfds by the driver (§4 "Driver") when a
+//! queue transitions from empty.
+
+use std::collections::{HashMap, VecDeque};
+
+use flextoe_nfp::{DmaDir, DmaReq, FpcTimer};
+use flextoe_sim::{cast, try_cast, Ctx, Duration, Msg, Node, NodeId, Time};
+
+use crate::costs;
+use crate::hostmem::{AppToNic, SharedCtxQueue};
+use crate::segment::{HcWork, Work};
+use crate::stages::{AppNotify, Doorbell, FreeDesc, NotifyJob, RegisterCtx, SharedCfg};
+
+/// Descriptor-buffer pool size (flow control of host interactions).
+pub const DESC_POOL: usize = 256;
+/// HC descriptors fetched per DMA batch ("HC requests may be batched").
+pub const FETCH_BATCH: usize = 16;
+/// Size of one descriptor on the wire.
+const DESC_BYTES: usize = 32;
+
+pub struct CtxRegistration {
+    pub queue: SharedCtxQueue,
+    /// Application node to wake on notification (None = pure polling).
+    pub app: Option<NodeId>,
+}
+
+struct FetchDone {
+    #[allow(dead_code)] // kept for tracepoint symmetry with NotifyDone
+    ctx: u16,
+    descs: Vec<AppToNic>,
+}
+
+struct NotifyDone {
+    ctx: u16,
+    desc: crate::hostmem::NicToApp,
+}
+
+pub struct CtxqStage {
+    cfg: SharedCfg,
+    fpc: FpcTimer,
+    contexts: HashMap<u16, CtxRegistration>,
+    pool: usize,
+    /// Contexts with undrained to-NIC entries, waiting for pool space.
+    dirty: VecDeque<u16>,
+    /// Routing.
+    pub engine: NodeId,
+    pub seqr: NodeId,
+    pub doorbells: u64,
+    pub hc_fetched: u64,
+    pub notifies_delivered: u64,
+    pub interrupts: u64,
+}
+
+impl CtxqStage {
+    pub fn new(cfg: SharedCfg, engine: NodeId, seqr: NodeId) -> CtxqStage {
+        CtxqStage {
+            fpc: FpcTimer::new(cfg.platform.clock, cfg.platform.threads_per_fpc),
+            cfg,
+            contexts: HashMap::new(),
+            pool: DESC_POOL,
+            dirty: VecDeque::new(),
+            engine,
+            seqr,
+            doorbells: 0,
+            hc_fetched: 0,
+            notifies_delivered: 0,
+            interrupts: 0,
+        }
+    }
+
+    pub fn register(&mut self, ctx_id: u16, reg: CtxRegistration) {
+        self.contexts.insert(ctx_id, reg);
+    }
+
+    fn exec(&mut self, ctx: &mut Ctx<'_>, cost: flextoe_nfp::Cost) -> Duration {
+        let done = self.fpc.execute(ctx.now(), cost + self.cfg.trace_cost());
+        done.saturating_since(ctx.now())
+    }
+
+    /// Start fetching descriptors for `ctx_id` if pool space allows.
+    fn pump_fetch(&mut self, ctx: &mut Ctx<'_>, ctx_id: u16) {
+        let Some(reg) = self.contexts.get(&ctx_id) else {
+            return;
+        };
+        if self.pool == 0 {
+            if !self.dirty.contains(&ctx_id) {
+                self.dirty.push_back(ctx_id);
+            }
+            return;
+        }
+        let batch = {
+            let mut q = reg.queue.borrow_mut();
+            let n = FETCH_BATCH.min(self.pool);
+            q.to_nic.pop_batch(n)
+        };
+        if batch.is_empty() {
+            return;
+        }
+        self.pool -= batch.len();
+        let bytes = batch.len() * DESC_BYTES;
+        let d = self.exec(ctx, costs::CTXQ_STAGE);
+        if self.cfg.platform.hw_dma {
+            ctx.send(
+                self.engine,
+                d,
+                DmaReq {
+                    bytes,
+                    dir: DmaDir::HostToNic,
+                    reply_to: ctx.self_id(),
+                    token: Box::new(FetchDone {
+                        ctx: ctx_id,
+                        descs: batch,
+                    }),
+                },
+            );
+        } else {
+            ctx.wake(
+                d,
+                FetchDone {
+                    ctx: ctx_id,
+                    descs: batch,
+                },
+            );
+        }
+        // more waiting? re-check after this batch completes
+        let more = self
+            .contexts
+            .get(&ctx_id)
+            .map(|r| !r.queue.borrow().to_nic.is_empty())
+            .unwrap_or(false);
+        if more && !self.dirty.contains(&ctx_id) {
+            self.dirty.push_back(ctx_id);
+        }
+    }
+
+    fn resume_dirty(&mut self, ctx: &mut Ctx<'_>) {
+        if self.pool == 0 {
+            return;
+        }
+        if let Some(ctx_id) = self.dirty.pop_front() {
+            self.pump_fetch(ctx, ctx_id);
+        }
+    }
+
+    fn conn_of(desc: &AppToNic) -> u32 {
+        match *desc {
+            AppToNic::TxAppend { conn, .. }
+            | AppToNic::RxConsumed { conn, .. }
+            | AppToNic::Close { conn }
+            | AppToNic::Retransmit { conn } => conn,
+        }
+    }
+}
+
+impl Node for CtxqStage {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let msg = match try_cast::<RegisterCtx>(msg) {
+            Ok(reg) => {
+                self.register(
+                    reg.ctx,
+                    CtxRegistration {
+                        queue: reg.queue,
+                        app: reg.app,
+                    },
+                );
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match try_cast::<Doorbell>(msg) {
+            Ok(db) => {
+                self.doorbells += 1;
+                self.pump_fetch(ctx, db.ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match try_cast::<FetchDone>(msg) {
+            Ok(done) => {
+                // descriptors arrived in NIC memory: enter the pipeline
+                self.hc_fetched += done.descs.len() as u64;
+                let d = self.exec(ctx, costs::CTXQ_STAGE);
+                for desc in done.descs {
+                    let work = Work::Hc(HcWork {
+                        conn: Self::conn_of(&desc),
+                        desc,
+                        group: 0,
+                        sendable_after: None,
+                        window_update: false,
+                        win_ack: None,
+                        nbi_seq: None,
+                        arrival: ctx.now(),
+                    });
+                    ctx.send(self.seqr, d + self.cfg.hop_cross(), work);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match try_cast::<FreeDesc>(msg) {
+            Ok(_) => {
+                self.pool = (self.pool + 1).min(DESC_POOL);
+                self.resume_dirty(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match try_cast::<NotifyJob>(msg) {
+            Ok(job) => {
+                // DMA the notification descriptor into the host queue
+                let d = self.exec(ctx, costs::CTXQ_STAGE);
+                if self.cfg.platform.hw_dma {
+                    ctx.send(
+                        self.engine,
+                        d,
+                        DmaReq {
+                            bytes: DESC_BYTES,
+                            dir: DmaDir::NicToHost,
+                            reply_to: ctx.self_id(),
+                            token: Box::new(NotifyDone {
+                                ctx: job.ctx,
+                                desc: job.desc,
+                            }),
+                        },
+                    );
+                } else {
+                    ctx.wake(
+                        d,
+                        NotifyDone {
+                            ctx: job.ctx,
+                            desc: job.desc,
+                        },
+                    );
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let done = cast::<NotifyDone>(msg);
+        let Some(reg) = self.contexts.get(&done.ctx) else {
+            return;
+        };
+        let was_empty = reg.queue.borrow().to_app.is_empty();
+        let accepted = reg.queue.borrow_mut().to_app.push(done.desc).is_ok();
+        if !accepted {
+            ctx.stats.bump("ctxq.notify_drops", 1);
+            return;
+        }
+        self.notifies_delivered += 1;
+        // interrupt on empty->nonempty transition (MSI-X -> eventfd)
+        if was_empty {
+            if let Some(app) = reg.app {
+                self.interrupts += 1;
+                // driver interrupt handling + eventfd wake
+                let irq_latency = self.cfg.platform.pcie.write_latency + Duration::from_us(2);
+                ctx.send(app, irq_latency, AppNotify { ctx: done.ctx });
+            }
+        }
+        let _ = Time::ZERO;
+    }
+
+    fn name(&self) -> String {
+        "ctxq-stage".to_string()
+    }
+}

@@ -1,0 +1,317 @@
+//! The DMA stage (§3.1).
+//!
+//! Stateless: enqueues payload transactions to the PCIe block and, once a
+//! transfer completes, moves the bytes and releases downstream effects in
+//! the mandated order — "this ordering is necessary to prevent the host
+//! and the peer from receiving notifications before the data transfer to
+//! the host socket receive buffer is complete" (§3.1.3).
+//!
+//! On the x86/BlueField ports there is no DMA engine: payload is copied
+//! through shared memory on the stage's own core (§E).
+
+use std::collections::HashMap;
+
+use flextoe_nfp::{Cost, DmaDir, DmaReq, FpcTimer};
+use flextoe_sim::{cast, try_cast, Ctx, Duration, Msg, Node, NodeId};
+use flextoe_wire::TcpOptions;
+
+use crate::costs;
+use crate::hostmem::NicToApp;
+use crate::proto::{Placement, TxSeg};
+use crate::segment::SharedConnTable;
+use crate::stages::{DmaJob, DmaJobKind, NbiSubmit, NotifyJob, SharedCfg};
+
+/// Continuation token flowing through the DMA engine.
+struct DmaToken(u64);
+
+enum Cont {
+    Rx {
+        conn: u32,
+        group: usize,
+        frame: Vec<u8>,
+        placement: Placement,
+        ack: Option<(u64, Vec<u8>)>,
+        notifies: Vec<(u16, NicToApp)>,
+    },
+    Tx {
+        conn: u32,
+        group: usize,
+        nbi_seq: u64,
+        spec: flextoe_wire::SegmentSpec,
+        seg: TxSeg,
+    },
+}
+
+pub struct DmaStage {
+    cfg: SharedCfg,
+    fpcs: Vec<FpcTimer>,
+    rr: usize,
+    table: SharedConnTable,
+    /// In-flight continuations keyed by token.
+    pending: HashMap<u64, Cont>,
+    next_token: u64,
+    /// Routing.
+    pub engine: NodeId,
+    pub seqr: NodeId,
+    pub ctxq: NodeId,
+    pub rx_payload_bytes: u64,
+    pub tx_payload_bytes: u64,
+}
+
+impl DmaStage {
+    pub fn new(
+        cfg: SharedCfg,
+        table: SharedConnTable,
+        engine: NodeId,
+        seqr: NodeId,
+        ctxq: NodeId,
+    ) -> DmaStage {
+        // "DMA managers are replicated to hide PCIe latencies" (§4.1).
+        let fpcs = (0..2)
+            .map(|_| FpcTimer::new(cfg.platform.clock, cfg.threads_per_fpc))
+            .collect();
+        DmaStage {
+            cfg,
+            fpcs,
+            rr: 0,
+            table,
+            pending: HashMap::new(),
+            next_token: 0,
+            engine,
+            seqr,
+            ctxq,
+            rx_payload_bytes: 0,
+            tx_payload_bytes: 0,
+        }
+    }
+
+    fn exec(&mut self, ctx: &mut Ctx<'_>, cost: Cost) -> Duration {
+        let i = self.rr % self.fpcs.len();
+        self.rr += 1;
+        let done = self.fpcs[i].execute(ctx.now(), cost + self.cfg.trace_cost());
+        done.saturating_since(ctx.now())
+    }
+
+    /// Software-copy latency on ports without a DMA engine (§E).
+    fn sw_copy_cost(&self, bytes: usize) -> Cost {
+        Cost::new(
+            bytes as u64 / self.cfg.platform.copy_bytes_per_cycle.max(1) + 20,
+            0,
+        )
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_>, bytes: usize, dir: DmaDir, cont: Cont) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(token, cont);
+        if self.cfg.platform.hw_dma {
+            let d = self.exec(ctx, costs::DMA_STAGE);
+            ctx.send(
+                self.engine,
+                d,
+                DmaReq {
+                    bytes,
+                    dir,
+                    reply_to: ctx.self_id(),
+                    token: Box::new(DmaToken(token)),
+                },
+            );
+        } else {
+            // software copy: the stage core does the move itself
+            let d = self.exec(ctx, costs::DMA_STAGE + self.sw_copy_cost(bytes));
+            ctx.wake(d, DmaToken(token));
+        }
+    }
+
+    fn complete(&mut self, ctx: &mut Ctx<'_>, token: u64) {
+        let Some(cont) = self.pending.remove(&token) else {
+            return;
+        };
+        match cont {
+            Cont::Rx {
+                conn,
+                group,
+                frame,
+                placement,
+                ack,
+                notifies,
+            } => {
+                // payload now in host memory: perform the byte movement
+                let table = self.table.borrow();
+                if let Some(entry) = table.get(conn) {
+                    let src = &frame[placement.frame_off as usize + payload_base(&frame)
+                        ..placement.frame_off as usize + payload_base(&frame) + placement.len as usize];
+                    entry.rx_buf.borrow_mut().write(placement.buf_pos, src);
+                    self.rx_payload_bytes += placement.len as u64;
+                }
+                drop(table);
+                self.release_rx(ctx, group, ack, notifies);
+            }
+            Cont::Tx {
+                conn,
+                group,
+                nbi_seq,
+                mut spec,
+                seg,
+            } => {
+                let now_us = ctx.now().as_us() as u32;
+                let table = self.table.borrow();
+                let payload = table
+                    .get(conn)
+                    .map(|e| e.tx_buf.borrow().read_vec(seg.buf_pos, seg.len));
+                drop(table);
+                let Some(payload) = payload else { return };
+                self.tx_payload_bytes += seg.len as u64;
+                // finalize the frame: protocol fields + timestamps + payload
+                spec.seq = seg.seq;
+                spec.ack = seg.ack;
+                spec.window = seg.window;
+                spec.flags = flextoe_wire::TcpFlags::ACK
+                    | flextoe_wire::TcpFlags::PSH
+                    | if seg.fin {
+                        flextoe_wire::TcpFlags::FIN
+                    } else {
+                        flextoe_wire::TcpFlags(0)
+                    };
+                spec.options = TcpOptions {
+                    timestamp: Some((now_us, seg.ts_echo)),
+                    ..Default::default()
+                };
+                spec.payload_len = payload.len();
+                let d = self.exec(ctx, costs::CHECKSUM);
+                let frame = spec.emit(&payload);
+                ctx.send(
+                    self.seqr,
+                    d,
+                    NbiSubmit {
+                        group,
+                        nbi_seq,
+                        frame,
+                    },
+                );
+            }
+        }
+    }
+
+    /// Release an RX item's ACK + notifications (post-payload ordering).
+    fn release_rx(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        group: usize,
+        ack: Option<(u64, Vec<u8>)>,
+        notifies: Vec<(u16, NicToApp)>,
+    ) {
+        let d = self.exec(ctx, costs::DMA_STAGE);
+        if let Some((nbi_seq, frame)) = ack {
+            ctx.send(
+                self.seqr,
+                d,
+                NbiSubmit {
+                    group,
+                    nbi_seq,
+                    frame,
+                },
+            );
+        }
+        for (ctx_id, desc) in notifies {
+            ctx.send(self.ctxq, d, NotifyJob { ctx: ctx_id, desc });
+        }
+    }
+}
+
+/// Byte offset of the TCP payload in one of our frames.
+fn payload_base(frame: &[u8]) -> usize {
+    use flextoe_wire::{TcpPacket, ETH_HDR_LEN, IPV4_HDR_LEN};
+    let tcp_off = ETH_HDR_LEN + IPV4_HDR_LEN;
+    TcpPacket::new_checked(&frame[tcp_off..])
+        .map(|t| tcp_off + t.data_offset())
+        .unwrap_or(tcp_off + 20)
+}
+
+impl Node for DmaStage {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let msg = match try_cast::<DmaToken>(msg) {
+            Ok(tok) => {
+                self.complete(ctx, tok.0);
+                return;
+            }
+            Err(m) => m,
+        };
+        let job = cast::<DmaJob>(msg);
+        match job.kind {
+            DmaJobKind::RxPlace {
+                frame,
+                placement,
+                ack,
+                notifies,
+            } => match placement {
+                Some(placement) => {
+                    // One frame's payload: the placement length was trimmed
+                    // by the protocol stage to fit the receive window.
+                    self.issue(
+                        ctx,
+                        placement.len as usize,
+                        DmaDir::NicToHost,
+                        Cont::Rx {
+                            conn: job.conn,
+                            group: job.group,
+                            frame,
+                            placement,
+                            ack,
+                            notifies,
+                        },
+                    );
+                }
+                None => self.release_rx(ctx, job.group, ack, notifies),
+            },
+            DmaJobKind::TxFetch { nbi_seq, spec, seg } => {
+                if seg.len == 0 {
+                    // bare FIN / window probe: nothing to fetch
+                    self.pending.insert(
+                        self.next_token,
+                        Cont::Tx {
+                            conn: job.conn,
+                            group: job.group,
+                            nbi_seq,
+                            spec,
+                            seg,
+                        },
+                    );
+                    let tok = DmaToken(self.next_token);
+                    self.next_token += 1;
+                    let d = self.exec(ctx, costs::DMA_STAGE);
+                    ctx.wake(d, tok);
+                } else {
+                    self.issue(
+                        ctx,
+                        seg.len as usize,
+                        DmaDir::HostToNic,
+                        Cont::Tx {
+                            conn: job.conn,
+                            group: job.group,
+                            nbi_seq,
+                            spec,
+                            seg,
+                        },
+                    );
+                }
+            }
+            DmaJobKind::AckOnly { nbi_seq, frame } => {
+                let d = self.exec(ctx, costs::DMA_STAGE);
+                ctx.send(
+                    self.seqr,
+                    d,
+                    NbiSubmit {
+                        group: job.group,
+                        nbi_seq,
+                        frame,
+                    },
+                );
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        "dma-stage".to_string()
+    }
+}

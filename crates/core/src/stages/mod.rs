@@ -1,0 +1,222 @@
+//! The data-path pipeline stages as simulation nodes (§3.1, Figure 3).
+//!
+//! Each stage node owns one or more FPC timers (replication, §3.3) and the
+//! stage-private state of §A. Stages communicate through timestamped
+//! messages; inter-stage queue latencies (CLS rings intra-island, IMEM
+//! work queues across islands, §4.1 "FPC mapping") are charged on the
+//! sending side.
+
+pub mod ctxq;
+pub mod dmast;
+pub mod post;
+pub mod pre;
+pub mod proto_stage;
+pub mod schedn;
+pub mod seqr;
+
+use std::rc::Rc;
+
+use flextoe_nfp::Platform;
+use flextoe_sim::Duration;
+
+/// Pipeline configuration — the knobs behind Table 3, Figure 14 and the
+/// Table 2 extension rows.
+#[derive(Clone)]
+pub struct PipeCfg {
+    pub platform: Platform,
+    pub mss: u32,
+    /// Flow-group pipelines (protocol islands). Agilio CX40: 4.
+    pub n_groups: usize,
+    /// Pre-processor FPC pool size (pre-processors "handle segments for
+    /// any flow", §4.1), shared across groups.
+    pub pre_replicas: usize,
+    /// Post-processor replicas per flow-group.
+    pub post_replicas: usize,
+    /// Hardware threads per FPC (1 disables intra-FPC parallelism —
+    /// the Table 3 ablation knob).
+    pub threads_per_fpc: usize,
+    /// Sequencing + reordering enabled (§3.2; ablation knob).
+    pub reorder: bool,
+    /// Verify IP/TCP checksums on ingress (hardware offload on real NICs).
+    pub verify_checksums: bool,
+    /// Table 2 "Statistics and profiling": all 48 tracepoints enabled.
+    pub tracepoints: bool,
+    /// FPCs running the flow scheduler.
+    pub sched_fpcs: usize,
+    /// Default per-socket buffer sizes installed by the control plane.
+    pub rx_buf_size: u32,
+    pub tx_buf_size: u32,
+}
+
+impl PipeCfg {
+    /// The full Agilio CX40 configuration (§4.1): four flow-group islands,
+    /// 4 FPCs on pre/post per island, 8 hardware threads.
+    pub fn agilio_full() -> PipeCfg {
+        PipeCfg {
+            platform: flextoe_nfp::agilio_cx40(),
+            mss: flextoe_wire::MSS_WITH_TS as u32,
+            n_groups: 4,
+            pre_replicas: 8, // 2 per island
+            post_replicas: 2,
+            threads_per_fpc: 8,
+            reorder: true,
+            verify_checksums: true,
+            tracepoints: false,
+            sched_fpcs: 4,
+            rx_buf_size: 64 * 1024,
+            tx_buf_size: 64 * 1024,
+        }
+    }
+
+    /// Table 3 "+ Pipelining": one island, no replication, single-threaded
+    /// FPCs.
+    pub fn agilio_pipelined_only() -> PipeCfg {
+        PipeCfg {
+            n_groups: 1,
+            pre_replicas: 1,
+            post_replicas: 1,
+            threads_per_fpc: 1,
+            sched_fpcs: 1,
+            ..Self::agilio_full()
+        }
+    }
+
+    /// Table 3 "+ Intra-FPC parallelism".
+    pub fn agilio_intra_fpc() -> PipeCfg {
+        PipeCfg {
+            threads_per_fpc: 8,
+            ..Self::agilio_pipelined_only()
+        }
+    }
+
+    /// Table 3 "+ Replicated pre/post".
+    pub fn agilio_replicated() -> PipeCfg {
+        PipeCfg {
+            pre_replicas: 2,
+            post_replicas: 2,
+            sched_fpcs: 2,
+            ..Self::agilio_intra_fpc()
+        }
+    }
+
+    /// §E ports: single pipeline, platform-specific costs. `replicated`
+    /// gives the FlexTOE-2x configuration (9 cores) vs FlexTOE-scalar (7).
+    pub fn port(platform: Platform, replicated: bool) -> PipeCfg {
+        PipeCfg {
+            platform,
+            n_groups: 1,
+            pre_replicas: if replicated { 2 } else { 1 },
+            post_replicas: if replicated { 2 } else { 1 },
+            threads_per_fpc: platform.threads_per_fpc,
+            sched_fpcs: 1,
+            ..Self::agilio_full()
+        }
+    }
+
+    /// Intra-island hop latency (CLS ring).
+    pub fn hop_intra(&self) -> Duration {
+        self.platform.cycles(self.platform.mem.cls)
+    }
+
+    /// Cross-island hop latency (IMEM/EMEM work queue).
+    pub fn hop_cross(&self) -> Duration {
+        self.platform.cycles(self.platform.mem.imem)
+    }
+
+    /// Tracepoint overhead per stage transition, when enabled.
+    pub fn trace_cost(&self) -> flextoe_nfp::Cost {
+        if self.tracepoints {
+            crate::costs::ext::TRACEPOINTS_PER_STAGE
+        } else {
+            flextoe_nfp::Cost::ZERO
+        }
+    }
+}
+
+pub type SharedCfg = Rc<PipeCfg>;
+
+// ---- inter-stage messages ------------------------------------------------
+
+/// A frame redirected to the control plane (non-data-path segments,
+/// XDP_REDIRECT verdicts).
+pub struct Redirect(pub flextoe_wire::Frame);
+
+/// Pre → sequencer: this entry sequence number left the pipeline early.
+pub struct ProtoSkip(pub u64);
+
+/// DMA/post → sequencer: a finished frame for NBI admission (§3.2).
+pub struct NbiSubmit {
+    pub group: usize,
+    pub nbi_seq: u64,
+    pub frame: Vec<u8>,
+}
+
+/// Post → scheduler: FS feedback with the authoritative sendable count.
+pub struct FsUpdate {
+    pub conn: u32,
+    pub sendable: u32,
+}
+
+/// Control plane → scheduler messages (rate programming is MMIO, §3.4).
+pub enum SchedCtl {
+    Register { conn: u32, group: usize },
+    Unregister { conn: u32 },
+    /// Pacing interval in ps/byte (0 = uncongested). The control plane
+    /// precomputes this — the NFP cannot divide.
+    SetRate { conn: u32, interval_ps_per_byte: u64 },
+}
+
+/// libTOE / control plane → context-queue stage: MMIO doorbell.
+pub struct Doorbell {
+    pub ctx: u16,
+}
+
+/// Context-queue stage → application node: MSI-X/eventfd wakeup.
+pub struct AppNotify {
+    pub ctx: u16,
+}
+
+/// Post → context-queue stage: return an HC descriptor to the pool.
+pub struct FreeDesc;
+
+/// Post-processing → DMA stage job descriptors.
+pub struct DmaJob {
+    pub conn: u32,
+    pub group: usize,
+    pub kind: DmaJobKind,
+}
+
+pub enum DmaJobKind {
+    /// RX: place payload into the host receive buffer, then (ordering
+    /// constraint, §3.1.3) release the ACK and the app notification.
+    RxPlace {
+        frame: Vec<u8>,
+        placement: Option<crate::proto::Placement>,
+        ack: Option<(u64, Vec<u8>)>,
+        notifies: Vec<(u16, crate::hostmem::NicToApp)>,
+    },
+    /// TX: fetch payload from the host transmit buffer, emit the frame.
+    TxFetch {
+        nbi_seq: u64,
+        spec: flextoe_wire::SegmentSpec,
+        seg: crate::proto::TxSeg,
+    },
+    /// A standalone ACK (window update) with no payload movement.
+    AckOnly { nbi_seq: u64, frame: Vec<u8> },
+}
+
+/// Context-queue stage input: deliver a notification descriptor to an
+/// application context queue (after its DMA write completes).
+pub struct NotifyJob {
+    pub ctx: u16,
+    pub desc: crate::hostmem::NicToApp,
+}
+
+/// Register an application context with the context-queue stage (done by
+/// the control plane at application startup, §D).
+pub struct RegisterCtx {
+    pub ctx: u16,
+    pub queue: crate::hostmem::SharedCtxQueue,
+    /// Application node to wake via MSI-X/eventfd (None = pure polling).
+    pub app: Option<flextoe_sim::NodeId>,
+}

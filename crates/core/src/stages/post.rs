@@ -1,0 +1,308 @@
+//! The post-processing stage (§3.1.3).
+//!
+//! RX: **Ack** — prepare the acknowledgment segment; **ECN/Stamp** — ECN
+//! feedback and timestamps for RTT estimation; **Stats** — congestion
+//! statistics for the control plane and flow-scheduler updates; **Pos** —
+//! host buffer placement for the DMA stage; allocate the context-queue
+//! notification.
+//!
+//! Post-processor state is "read-only after connection establishment,
+//! enabl[ing] coordination-free scaling" — the stage is replicated
+//! per flow group.
+
+use flextoe_nfp::FpcTimer;
+use flextoe_sim::{cast, Ctx, Msg, Node, NodeId};
+use flextoe_wire::{Ecn, SegmentSpec, TcpFlags, TcpOptions};
+
+use crate::costs;
+use crate::hostmem::NicToApp;
+use crate::proto::TxSeg;
+use crate::segment::{PipelineMsg, SharedConnTable, Work};
+use crate::stages::{DmaJob, DmaJobKind, FreeDesc, FsUpdate, SharedCfg};
+
+pub struct PostStage {
+    cfg: SharedCfg,
+    pub group: usize,
+    fpcs: Vec<FpcTimer>,
+    rr: usize,
+    table: SharedConnTable,
+    /// Routing.
+    pub dma: NodeId,
+    pub sched: NodeId,
+    pub ctxq: NodeId,
+    pub acks_prepared: u64,
+    pub notifications: u64,
+}
+
+impl PostStage {
+    pub fn new(
+        cfg: SharedCfg,
+        group: usize,
+        table: SharedConnTable,
+        dma: NodeId,
+        sched: NodeId,
+        ctxq: NodeId,
+    ) -> PostStage {
+        let fpcs = (0..cfg.post_replicas.max(1))
+            .map(|_| FpcTimer::new(cfg.platform.clock, cfg.threads_per_fpc))
+            .collect();
+        PostStage {
+            cfg,
+            group,
+            fpcs,
+            rr: 0,
+            table,
+            dma,
+            sched,
+            ctxq,
+            acks_prepared: 0,
+            notifications: 0,
+        }
+    }
+
+    fn exec(&mut self, ctx: &mut Ctx<'_>, cost: flextoe_nfp::Cost) -> flextoe_sim::Duration {
+        let i = self.rr % self.fpcs.len();
+        self.rr += 1;
+        let done = self.fpcs[i].execute(ctx.now(), cost + self.cfg.trace_cost());
+        done.saturating_since(ctx.now())
+    }
+
+    /// Build an ACK frame by reversing the identity of a received segment
+    /// and stamping ECN/timestamp feedback (Ack + ECN + Stamp).
+    fn build_ack(
+        &self,
+        now_us: u32,
+        view: &flextoe_wire::SegmentView,
+        out: &crate::proto::RxOutcome,
+        tsval_peer: u32,
+        fin_ack: bool,
+    ) -> Vec<u8> {
+        let mut flags = TcpFlags::ACK;
+        if out.ecn_echo {
+            flags = flags | TcpFlags::ECE;
+        }
+        let _ = fin_ack; // the ack number already covers the FIN
+        let spec = SegmentSpec {
+            src_mac: view.dst_mac,
+            dst_mac: view.src_mac,
+            src_ip: view.dst_ip,
+            dst_ip: view.src_ip,
+            src_port: view.dst_port,
+            dst_port: view.src_port,
+            seq: out.ack_seq,
+            ack: out.ack_no,
+            flags,
+            window: out.ack_window,
+            ecn: Ecn::NotEct,
+            options: TcpOptions {
+                timestamp: Some((now_us, tsval_peer)),
+                ..Default::default()
+            },
+            payload_len: 0,
+        };
+        spec.emit_zeroed()
+    }
+}
+
+impl Node for PostStage {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let pm = cast::<PipelineMsg>(msg);
+        let now_us = ctx.now().as_us() as u32;
+        match pm.work {
+            Work::Rx(w) => {
+                let out = w.outcome.expect("post stage after protocol");
+                let view = w.view.expect("post stage after pre");
+                let mut cost = costs::POST_RX;
+
+                // ---- Stats: congestion counters + RTT estimate ----------
+                let mut table = self.table.borrow_mut();
+                let Some(entry) = table.get_mut(w.conn) else {
+                    return;
+                };
+                let post = &mut entry.post;
+                post.cnt_ackb += out.acked_bytes;
+                if w.summary.ecn_ce {
+                    post.cnt_ecnb += w.summary.payload_len;
+                }
+                if out.fast_retransmit {
+                    post.cnt_fretx = post.cnt_fretx.saturating_add(1);
+                }
+                if let Some(tsecr) = out.rtt_sample_ts {
+                    // our ACK stamps carry microseconds; RTT = now - echo
+                    let rtt = now_us.wrapping_sub(tsecr);
+                    if rtt < 1_000_000 {
+                        // EWMA 7/8, as TAS
+                        post.rtt_est = if post.rtt_est == 0 {
+                            rtt
+                        } else {
+                            (post.rtt_est * 7 + rtt) / 8
+                        };
+                    }
+                }
+                let ctx_id = post.context;
+                drop(table);
+
+                // ---- FS update -------------------------------------------
+                if out.update_scheduler {
+                    ctx.send(
+                        self.sched,
+                        self.cfg.hop_cross(),
+                        FsUpdate {
+                            conn: w.conn,
+                            sendable: out.sendable,
+                        },
+                    );
+                }
+
+                // ---- Ack + ECN + Stamp -----------------------------------
+                let ack = if out.send_ack {
+                    self.acks_prepared += 1;
+                    cost += costs::CHECKSUM;
+                    let frame =
+                        self.build_ack(now_us, &view, &out, w.summary.tsval, out.fin_delivered);
+                    Some((w.nbi_seq.expect("proto assigned nbi for ack"), frame))
+                } else {
+                    None
+                };
+
+                // ---- Notifications ---------------------------------------
+                let mut notifies = Vec::new();
+                if out.delivered > 0 || out.fin_delivered {
+                    notifies.push((
+                        ctx_id,
+                        NicToApp::RxAvail {
+                            conn: w.conn,
+                            len: out.delivered,
+                            fin: out.fin_delivered,
+                        },
+                    ));
+                }
+                if out.acked_bytes > 0 {
+                    notifies.push((
+                        ctx_id,
+                        NicToApp::TxFreed {
+                            conn: w.conn,
+                            len: out.acked_bytes,
+                        },
+                    ));
+                }
+                self.notifications += notifies.len() as u64;
+
+                // ---- Pos: hand off to the DMA stage -----------------------
+                let d = self.exec(ctx, cost);
+                ctx.send(
+                    self.dma,
+                    d + self.cfg.hop_cross(),
+                    DmaJob {
+                        conn: w.conn,
+                        group: self.group,
+                        kind: DmaJobKind::RxPlace {
+                            frame: w.frame,
+                            placement: out.placement,
+                            ack,
+                            notifies,
+                        },
+                    },
+                );
+            }
+            Work::Tx(w) => {
+                let seg = w.seg.expect("post stage after protocol");
+                let spec = w.spec.expect("post stage after pre");
+                if let Some(sendable) = w.sendable_after {
+                    ctx.send(
+                        self.sched,
+                        self.cfg.hop_cross(),
+                        FsUpdate {
+                            conn: w.conn,
+                            sendable,
+                        },
+                    );
+                }
+                let d = self.exec(ctx, costs::POST_TX);
+                ctx.send(
+                    self.dma,
+                    d + self.cfg.hop_cross(),
+                    DmaJob {
+                        conn: w.conn,
+                        group: self.group,
+                        kind: DmaJobKind::TxFetch {
+                            nbi_seq: w.nbi_seq.expect("proto assigned nbi for tx"),
+                            spec,
+                            seg,
+                        },
+                    },
+                );
+            }
+            Work::Hc(w) => {
+                // FS + Free (Figure 4)
+                if let Some(sendable) = w.sendable_after {
+                    ctx.send(
+                        self.sched,
+                        self.cfg.hop_cross(),
+                        FsUpdate {
+                            conn: w.conn,
+                            sendable,
+                        },
+                    );
+                }
+                let mut cost = costs::POST_HC;
+                // Window-update ACK (receive window re-opened).
+                if let (Some(seg), Some(nbi_seq)) = (w.win_ack, w.nbi_seq) {
+                    cost += costs::CHECKSUM;
+                    let table = self.table.borrow();
+                    if let Some(entry) = table.get(w.conn) {
+                        let frame = ack_from_identity(&table.nic, &entry.pre, &seg, now_us);
+                        drop(table);
+                        let d = self.exec(ctx, cost);
+                        ctx.send(
+                            self.dma,
+                            d + self.cfg.hop_cross(),
+                            DmaJob {
+                                conn: w.conn,
+                                group: self.group,
+                                kind: DmaJobKind::AckOnly { nbi_seq, frame },
+                            },
+                        );
+                        ctx.send(self.ctxq, self.cfg.hop_cross(), FreeDesc);
+                        return;
+                    }
+                }
+                let d = self.exec(ctx, cost);
+                // return the HC descriptor to the pool (Free)
+                ctx.send(self.ctxq, d + self.cfg.hop_cross(), FreeDesc);
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("post-stage[{}]", self.group)
+    }
+}
+
+/// Build a bare ACK from connection identity (window updates).
+fn ack_from_identity(
+    nic: &crate::segment::NicConfig,
+    pre: &crate::state::PreState,
+    seg: &TxSeg,
+    now_us: u32,
+) -> Vec<u8> {
+    SegmentSpec {
+        src_mac: nic.mac,
+        dst_mac: pre.peer_mac,
+        src_ip: nic.ip,
+        dst_ip: pre.peer_ip,
+        src_port: pre.local_port,
+        dst_port: pre.remote_port,
+        seq: seg.seq,
+        ack: seg.ack,
+        flags: TcpFlags::ACK,
+        window: seg.window,
+        ecn: Ecn::NotEct,
+        options: TcpOptions {
+            timestamp: Some((now_us, seg.ts_echo)),
+            ..Default::default()
+        },
+        payload_len: 0,
+    }
+    .emit_zeroed()
+}

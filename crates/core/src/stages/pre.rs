@@ -1,0 +1,291 @@
+//! The pre-processing stage (§3.1).
+//!
+//! RX (Figure 6): **Val** — validate the segment header and filter
+//! non-data-path segments to the control plane; **Id** — resolve the
+//! connection index via the active-connection database; **Sum** — build
+//! the header summary; **Steer** — route to the flow-group's protocol
+//! stage. XDP ingress modules run here, on the raw frame.
+//!
+//! TX (Figure 5): **Alloc** — allocate a segment in NIC memory; **Head** —
+//! prepare Ethernet and IP headers from pre-processor connection state;
+//! **Steer**.
+//!
+//! HC (Figure 4): **Steer** the fetched descriptor to its flow group.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use flextoe_nfp::{ConnDb, FpcTimer, LookupCache, MacTx};
+use flextoe_sim::{cast, Ctx, Msg, Node, NodeId};
+use flextoe_wire::{Ecn, Frame, SegmentSpec, SegmentView, TcpOptions};
+
+use crate::costs;
+use crate::module::{ModuleChain, ModuleVerdict};
+use crate::proto::RxSummary;
+use crate::segment::{PipelineMsg, SharedConnTable, Work};
+use crate::stages::{ProtoSkip, Redirect, SharedCfg};
+
+pub struct PreStage {
+    cfg: SharedCfg,
+    fpcs: Vec<FpcTimer>,
+    rr: usize,
+    table: SharedConnTable,
+    db: Rc<RefCell<ConnDb>>,
+    lookup: LookupCache,
+    /// XDP / extension modules at the RX-ingress hook (§3.3).
+    pub ingress: ModuleChain,
+    /// Routing.
+    pub seqr: NodeId,
+    pub ctrl: NodeId,
+    pub mac: NodeId,
+    // counters
+    pub redirected: u64,
+    pub xdp_tx: u64,
+    pub dropped: u64,
+    pub malformed: u64,
+    pub unknown_flow: u64,
+}
+
+impl PreStage {
+    pub fn new(
+        cfg: SharedCfg,
+        table: SharedConnTable,
+        db: Rc<RefCell<ConnDb>>,
+        seqr: NodeId,
+        ctrl: NodeId,
+        mac: NodeId,
+    ) -> PreStage {
+        let fpcs = (0..cfg.pre_replicas.max(1))
+            .map(|_| FpcTimer::new(cfg.platform.clock, cfg.threads_per_fpc))
+            .collect();
+        let lookup = LookupCache::new(&cfg.platform);
+        PreStage {
+            cfg,
+            fpcs,
+            rr: 0,
+            table,
+            db,
+            lookup,
+            ingress: ModuleChain::new(),
+            seqr,
+            ctrl,
+            mac,
+            redirected: 0,
+            xdp_tx: 0,
+            dropped: 0,
+            malformed: 0,
+            unknown_flow: 0,
+        }
+    }
+
+    fn exec(&mut self, ctx: &mut Ctx<'_>, cost: flextoe_nfp::Cost) -> flextoe_sim::Duration {
+        let i = self.rr % self.fpcs.len();
+        self.rr += 1;
+        let done = self.fpcs[i].execute(ctx.now(), cost + self.cfg.trace_cost());
+        done.saturating_since(ctx.now())
+    }
+
+    fn skip(&mut self, ctx: &mut Ctx<'_>, entry_seq: u64, delay: flextoe_sim::Duration) {
+        ctx.send(self.seqr, delay, ProtoSkip(entry_seq));
+    }
+
+    fn process_rx(&mut self, ctx: &mut Ctx<'_>, entry_seq: u64, mut work: crate::segment::RxWork) {
+        let mut cost = costs::PRE_RX;
+
+        // --- XDP / extension ingress modules (raw frame) ---
+        if !self.ingress.is_empty() {
+            let (verdict, mcost) = self.ingress.run(ctx.now(), &mut work.frame);
+            cost += mcost;
+            match verdict {
+                ModuleVerdict::Pass => {}
+                ModuleVerdict::Drop => {
+                    self.dropped += 1;
+                    let d = self.exec(ctx, cost);
+                    self.skip(ctx, entry_seq, d);
+                    return;
+                }
+                ModuleVerdict::Tx => {
+                    // send out the MAC, bypassing the TCP data-path
+                    self.xdp_tx += 1;
+                    // the harness re-checksums spliced frames
+                    fixup_checksums(&mut work.frame);
+                    let d = self.exec(ctx, cost + costs::CHECKSUM);
+                    ctx.send(self.mac, d, MacTx(Frame(work.frame)));
+                    self.skip(ctx, entry_seq, d);
+                    return;
+                }
+                ModuleVerdict::Redirect => {
+                    self.redirected += 1;
+                    let d = self.exec(ctx, cost);
+                    let pcie = self.cfg.platform.pcie.write_latency;
+                    ctx.send(self.ctrl, d + pcie, Redirect(Frame(work.frame)));
+                    self.skip(ctx, entry_seq, d);
+                    return;
+                }
+            }
+        }
+
+        // --- Val ---
+        let view = match SegmentView::parse(&work.frame, self.cfg.verify_checksums) {
+            Ok(v) => v,
+            Err(_) => {
+                self.malformed += 1;
+                ctx.stats.bump("pre.malformed", 1);
+                let d = self.exec(ctx, cost);
+                self.skip(ctx, entry_seq, d);
+                return;
+            }
+        };
+        // Non-data-path segments (SYN/RST/…) go to the control plane.
+        if !view.flags.is_datapath() {
+            self.redirected += 1;
+            let d = self.exec(ctx, cost);
+            let pcie = self.cfg.platform.pcie.write_latency;
+            ctx.send(self.ctrl, d + pcie, Redirect(Frame(work.frame)));
+            self.skip(ctx, entry_seq, d);
+            return;
+        }
+
+        // --- Id (active-connection database lookup, §4.1) ---
+        let tuple = view.four_tuple();
+        let (conn, lcost) = self.lookup.resolve(&tuple, &mut self.db.borrow_mut());
+        cost += lcost;
+        let Some(conn) = conn else {
+            // segment for an unknown connection -> control plane
+            self.unknown_flow += 1;
+            let d = self.exec(ctx, cost);
+            let pcie = self.cfg.platform.pcie.write_latency;
+            ctx.send(self.ctrl, d + pcie, Redirect(Frame(work.frame)));
+            self.skip(ctx, entry_seq, d);
+            return;
+        };
+
+        // --- Sum ---
+        work.summary = RxSummary {
+            seq: view.seq,
+            ack: view.ack,
+            flags: view.flags,
+            window: view.window,
+            payload_len: view.payload_len as u32,
+            tsval: view.tsval,
+            tsecr: view.tsecr,
+            has_ts: view.has_ts,
+            ecn_ce: view.ecn.is_ce(),
+        };
+        work.conn = conn;
+        work.group = self
+            .table
+            .borrow()
+            .get(conn)
+            .map(|e| e.pre.flow_group as usize)
+            .unwrap_or(0)
+            % self.cfg.n_groups;
+        work.view = Some(view);
+
+        // --- Steer: back to the sequencer for in-order protocol admission
+        let d = self.exec(ctx, cost);
+        ctx.send(
+            self.seqr,
+            d,
+            PipelineMsg {
+                entry_seq,
+                work: Work::Rx(work),
+            },
+        );
+    }
+
+    fn process_tx(&mut self, ctx: &mut Ctx<'_>, entry_seq: u64, mut work: crate::segment::TxWork) {
+        // --- Alloc + Head: Ethernet/IP identity from pre-processor state
+        let table = self.table.borrow();
+        let Some(entry) = table.get(work.conn) else {
+            drop(table);
+            let d = self.exec(ctx, costs::PRE_TX);
+            self.skip(ctx, entry_seq, d);
+            return;
+        };
+        let nic = table.nic;
+        work.spec = Some(SegmentSpec {
+            src_mac: nic.mac,
+            dst_mac: entry.pre.peer_mac,
+            src_ip: nic.ip,
+            dst_ip: entry.pre.peer_ip,
+            src_port: entry.pre.local_port,
+            dst_port: entry.pre.remote_port,
+            // DCTCP: data segments are ECT-marked (§3.1.3, [1])
+            ecn: Ecn::Ect0,
+            options: TcpOptions::default(),
+            ..Default::default()
+        });
+        work.group = entry.pre.flow_group as usize % self.cfg.n_groups;
+        drop(table);
+        let d = self.exec(ctx, costs::PRE_TX);
+        ctx.send(
+            self.seqr,
+            d,
+            PipelineMsg {
+                entry_seq,
+                work: Work::Tx(work),
+            },
+        );
+    }
+
+    fn process_hc(&mut self, ctx: &mut Ctx<'_>, entry_seq: u64, mut work: crate::segment::HcWork) {
+        let group = self
+            .table
+            .borrow()
+            .get(work.conn)
+            .map(|e| e.pre.flow_group as usize)
+            .unwrap_or(0)
+            % self.cfg.n_groups;
+        work.group = group;
+        let d = self.exec(ctx, costs::PRE_HC);
+        ctx.send(
+            self.seqr,
+            d,
+            PipelineMsg {
+                entry_seq,
+                work: Work::Hc(work),
+            },
+        );
+    }
+}
+
+/// Recompute IP + TCP checksums after a module rewrote headers.
+pub fn fixup_checksums(frame: &mut [u8]) {
+    use flextoe_wire::{Ipv4Packet, TcpPacket, ETH_HDR_LEN, IPV4_HDR_LEN};
+    if frame.len() < ETH_HDR_LEN + IPV4_HDR_LEN {
+        return;
+    }
+    let (src, dst, total) = {
+        let Ok(ip) = Ipv4Packet::new_checked(&frame[ETH_HDR_LEN..]) else {
+            return;
+        };
+        (ip.src(), ip.dst(), ip.total_len() as usize)
+    };
+    {
+        let mut ip = Ipv4Packet(&mut frame[ETH_HDR_LEN..]);
+        ip.fill_checksum();
+    }
+    let tcp_range = ETH_HDR_LEN + IPV4_HDR_LEN..ETH_HDR_LEN + total;
+    if frame.len() >= tcp_range.end {
+        if let Ok(mut tcp) = TcpPacket::new_checked(&mut frame[tcp_range]) {
+            tcp.fill_checksum(src, dst);
+        }
+    }
+}
+
+impl Node for PreStage {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let pm = cast::<PipelineMsg>(msg);
+        let entry_seq = pm.entry_seq;
+        match pm.work {
+            Work::Rx(w) => self.process_rx(ctx, entry_seq, w),
+            Work::Tx(w) => self.process_tx(ctx, entry_seq, w),
+            Work::Hc(w) => self.process_hc(ctx, entry_seq, w),
+        }
+    }
+
+    fn name(&self) -> String {
+        "pre-stage".to_string()
+    }
+}

@@ -1,0 +1,219 @@
+//! The protocol stage — the pipeline's only hazard (§3.1).
+//!
+//! One node per flow group; it "executes data-path code that must
+//! atomically modify protocol state" and "cannot execute in parallel with
+//! other stages" *for the same connection*: the FPC's eight hardware
+//! threads still interleave different connections, but items of one
+//! connection serialize (modeled with a per-connection busy time).
+//!
+//! The connection-state cache hierarchy of §4.1 (local CAM → CLS →
+//! EMEM-SRAM → EMEM-DRAM) charges the state-fetch cost — the mechanism
+//! behind Fig. 13's connection-scalability curve.
+
+use std::collections::HashMap;
+
+use flextoe_nfp::{ConnStateCache, FpcTimer};
+use flextoe_sim::{cast, Ctx, Msg, Node, NodeId, Time};
+
+use crate::costs;
+use crate::hostmem::AppToNic;
+use crate::proto;
+use crate::segment::{PipelineMsg, SharedConnTable, Work};
+use crate::stages::SharedCfg;
+
+pub struct ProtoStage {
+    cfg: SharedCfg,
+    pub group: usize,
+    fpc: FpcTimer,
+    cache: ConnStateCache,
+    /// Per-connection atomic-section serialization.
+    conn_busy: HashMap<u32, Time>,
+    table: SharedConnTable,
+    /// Monotone per-group NBI sequence (frames emitted in protocol order).
+    next_nbi: u64,
+    /// Routing: this group's post-processing stage.
+    pub post: NodeId,
+    pub rx_segments: u64,
+    pub tx_segments: u64,
+    pub hc_events: u64,
+    pub ooo_segments: u64,
+    pub fast_retx: u64,
+    pub empty_tx: u64,
+}
+
+impl ProtoStage {
+    pub fn new(cfg: SharedCfg, group: usize, table: SharedConnTable, post: NodeId) -> ProtoStage {
+        ProtoStage {
+            fpc: FpcTimer::new(cfg.platform.clock, cfg.threads_per_fpc),
+            cache: ConnStateCache::with_defaults(&cfg.platform),
+            cfg,
+            group,
+            conn_busy: HashMap::new(),
+            table,
+            next_nbi: 0,
+            post,
+            rx_segments: 0,
+            tx_segments: 0,
+            hc_events: 0,
+            ooo_segments: 0,
+            fast_retx: 0,
+            empty_tx: 0,
+        }
+    }
+
+    pub fn state_cache(&self) -> &ConnStateCache {
+        &self.cache
+    }
+
+    fn exec(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        conn: u32,
+        logic_cost: flextoe_nfp::Cost,
+    ) -> flextoe_sim::Duration {
+        let (fetch, _) = self.cache.access(conn);
+        let arrival = ctx
+            .now()
+            .max(self.conn_busy.get(&conn).copied().unwrap_or(Time::ZERO));
+        let done = self
+            .fpc
+            .execute(arrival, logic_cost + fetch + self.cfg.trace_cost());
+        self.conn_busy.insert(conn, done);
+        done.saturating_since(ctx.now())
+    }
+
+    fn alloc_nbi(&mut self) -> u64 {
+        let s = self.next_nbi;
+        self.next_nbi += 1;
+        s
+    }
+}
+
+impl Node for ProtoStage {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let pm = cast::<PipelineMsg>(msg);
+        let entry_seq = pm.entry_seq;
+        match pm.work {
+            Work::Rx(mut w) => {
+                self.rx_segments += 1;
+                let logic = if w.summary.payload_len == 0 && !w.summary.flags.fin() {
+                    costs::PROTO_RX_ACK
+                } else {
+                    costs::PROTO_RX
+                };
+                let d = self.exec(ctx, w.conn, logic);
+                let mut table = self.table.borrow_mut();
+                let Some(entry) = table.get_mut(w.conn) else {
+                    return; // torn down while in flight
+                };
+                let out = proto::rx_segment(&mut entry.proto, &w.summary);
+                drop(table);
+                if out.out_of_order {
+                    self.ooo_segments += 1;
+                    ctx.stats.bump("proto.ooo", 1);
+                }
+                if out.fast_retransmit {
+                    self.fast_retx += 1;
+                    ctx.stats.bump("proto.fast_retx", 1);
+                }
+                if out.send_ack {
+                    w.nbi_seq = Some(self.alloc_nbi());
+                }
+                w.outcome = Some(out);
+                ctx.send(
+                    self.post,
+                    d + self.cfg.hop_intra(),
+                    PipelineMsg {
+                        entry_seq,
+                        work: Work::Rx(w),
+                    },
+                );
+                // A fast retransmit re-opens sendable bytes immediately:
+                // the post stage forwards the FS update from the outcome.
+            }
+            Work::Tx(mut w) => {
+                let d = self.exec(ctx, w.conn, costs::PROTO_TX);
+                let mut table = self.table.borrow_mut();
+                let Some(entry) = table.get_mut(w.conn) else {
+                    return;
+                };
+                let seg = proto::tx_next(&mut entry.proto, self.cfg.mss);
+                let sendable = entry.proto.sendable();
+                drop(table);
+                match seg {
+                    Some(seg) => {
+                        self.tx_segments += 1;
+                        w.seg = Some(seg);
+                        w.sendable_after = Some(sendable);
+                        w.nbi_seq = Some(self.alloc_nbi());
+                        ctx.send(
+                            self.post,
+                            d + self.cfg.hop_intra(),
+                            PipelineMsg {
+                                entry_seq,
+                                work: Work::Tx(w),
+                            },
+                        );
+                    }
+                    None => {
+                        // scheduler raced an ACK/window change; item dies
+                        self.empty_tx += 1;
+                    }
+                }
+            }
+            Work::Hc(mut w) => {
+                self.hc_events += 1;
+                let d = self.exec(ctx, w.conn, costs::PROTO_HC);
+                let mut table = self.table.borrow_mut();
+                let Some(entry) = table.get_mut(w.conn) else {
+                    return;
+                };
+                match w.desc {
+                    AppToNic::TxAppend { len, .. } => {
+                        proto::hc_tx_append(&mut entry.proto, len);
+                    }
+                    AppToNic::RxConsumed { len, .. } => {
+                        w.window_update =
+                            proto::hc_rx_consumed(&mut entry.proto, len, self.cfg.mss);
+                        if w.window_update {
+                            w.win_ack = Some(crate::proto::TxSeg {
+                                seq: entry.proto.seq,
+                                ack: entry.proto.ack,
+                                buf_pos: 0,
+                                len: 0,
+                                fin: false,
+                                window: proto::advertised_window(&entry.proto),
+                                ts_echo: entry.proto.next_ts,
+                            });
+                        }
+                    }
+                    AppToNic::Close { .. } => {
+                        proto::hc_close(&mut entry.proto);
+                    }
+                    AppToNic::Retransmit { .. } => {
+                        proto::hc_retransmit(&mut entry.proto);
+                        ctx.stats.bump("proto.rto_retx", 1);
+                    }
+                }
+                w.sendable_after =
+                    Some(entry.proto.sendable() + u32::from(entry.proto.fin_pending && !entry.proto.fin_sent));
+                drop(table);
+                if w.win_ack.is_some() {
+                    w.nbi_seq = Some(self.alloc_nbi());
+                }
+                ctx.send(
+                    self.post,
+                    d + self.cfg.hop_intra(),
+                    PipelineMsg {
+                        entry_seq,
+                        work: Work::Hc(w),
+                    },
+                );
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("proto-stage[{}]", self.group)
+    }
+}

@@ -1,0 +1,161 @@
+//! The sequencing / reordering node (§3.2).
+//!
+//! Three functions on one node (a further island in the real layout):
+//!
+//! 1. **Entry sequencing**: every work item entering the pipeline — RX
+//!    frames from the NBI, TX triggers from the flow scheduler, HC
+//!    descriptors from the context-queue stage — receives a pipeline
+//!    sequence number.
+//! 2. **Protocol admission**: after the (replicated, parallel)
+//!    pre-processing stage, items are restored to entry order before
+//!    being steered to their flow-group's protocol stage.
+//! 3. **NBI admission**: finished frames are restored to protocol-stage
+//!    emission order (per flow-group) before transmission.
+
+use flextoe_sim::{cast, try_cast, Ctx, Msg, Node, NodeId};
+use flextoe_wire::Frame;
+
+use crate::costs;
+use crate::reorder::Reorder;
+use crate::segment::{PipelineMsg, RxWork, Work};
+use crate::stages::{NbiSubmit, ProtoSkip, SharedCfg};
+use flextoe_nfp::{FpcTimer, MacTx};
+
+pub struct SeqrNode {
+    cfg: SharedCfg,
+    fpc: FpcTimer,
+    next_entry: u64,
+    /// Protocol-admission reorderers, one per flow group… but entry
+    /// sequencing is global, so admission ordering is global too: a single
+    /// reorderer releases to the right group's protocol stage.
+    admit: Reorder<PipelineMsg>,
+    /// NBI-admission reorderers, one lane per flow group.
+    nbi: Vec<Reorder<Vec<u8>>>,
+    /// Routing.
+    pub pre_pool: Vec<NodeId>,
+    pre_rr: usize,
+    pub protos: Vec<NodeId>,
+    pub mac: NodeId,
+    pub rx_frames: u64,
+    pub tx_triggers: u64,
+}
+
+impl SeqrNode {
+    pub fn new(cfg: SharedCfg, _mac: NodeId) -> SeqrNode {
+        let n_groups = cfg.n_groups;
+        SeqrNode {
+            fpc: FpcTimer::new(cfg.platform.clock, cfg.platform.threads_per_fpc),
+            cfg,
+            next_entry: 0,
+            admit: Reorder::new(),
+            nbi: (0..n_groups).map(|_| Reorder::new()).collect(),
+            pre_pool: Vec::new(),
+            pre_rr: 0,
+            protos: Vec::new(),
+            mac: 0,
+            rx_frames: 0,
+            tx_triggers: 0,
+        }
+    }
+
+    fn enter(&mut self, ctx: &mut Ctx<'_>, work: Work) {
+        let entry_seq = self.next_entry;
+        self.next_entry += 1;
+        let done = self.fpc.execute(ctx.now(), costs::SEQR + self.cfg.trace_cost());
+        let delay = done.saturating_since(ctx.now()) + self.cfg.hop_intra();
+        // round-robin across the pre-processor pool ("pre-processors
+        // handle segments for any flow", §4.1)
+        let to = self.pre_pool[self.pre_rr % self.pre_pool.len()];
+        self.pre_rr += 1;
+        ctx.send(to, delay, PipelineMsg { entry_seq, work });
+    }
+
+    fn admit_proto(&mut self, ctx: &mut Ctx<'_>, released: Vec<PipelineMsg>) {
+        for msg in released {
+            let group = msg.work.group();
+            let done = self.fpc.execute(ctx.now(), costs::SEQR);
+            let delay = done.saturating_since(ctx.now()) + self.cfg.hop_cross();
+            ctx.send(self.protos[group], delay, msg);
+        }
+    }
+
+    fn admit_nbi(&mut self, ctx: &mut Ctx<'_>, frames: Vec<Vec<u8>>) {
+        for frame in frames {
+            let done = self.fpc.execute(ctx.now(), costs::SEQR);
+            let delay = done.saturating_since(ctx.now()) + self.cfg.hop_cross();
+            ctx.send(self.mac, delay, MacTx(Frame(frame)));
+        }
+    }
+}
+
+impl Node for SeqrNode {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        // raw ingress frame from the MAC
+        let msg = match try_cast::<Frame>(msg) {
+            Ok(frame) => {
+                self.rx_frames += 1;
+                let work = Work::Rx(RxWork {
+                    frame: frame.0,
+                    view: None,
+                    summary: Default::default(),
+                    conn: 0,
+                    group: 0,
+                    outcome: None,
+                    ack_frame: None,
+                    nbi_seq: None,
+                    arrival: ctx.now(),
+                });
+                self.enter(ctx, work);
+                return;
+            }
+            Err(m) => m,
+        };
+        // work entering from scheduler (TX) or context-queue stage (HC)
+        let msg = match try_cast::<Work>(msg) {
+            Ok(work) => {
+                if matches!(*work, Work::Tx(_)) {
+                    self.tx_triggers += 1;
+                }
+                self.enter(ctx, *work);
+                return;
+            }
+            Err(m) => m,
+        };
+        // pre-processing finished: admit to protocol in entry order
+        let msg = match try_cast::<PipelineMsg>(msg) {
+            Ok(pm) => {
+                if self.cfg.reorder {
+                    let released = self.admit.push(pm.entry_seq, *pm);
+                    self.admit_proto(ctx, released);
+                } else {
+                    self.admit_proto(ctx, vec![*pm]);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        // pre-processing dropped/redirected an item
+        let msg = match try_cast::<ProtoSkip>(msg) {
+            Ok(skip) => {
+                if self.cfg.reorder {
+                    let released = self.admit.skip(skip.0);
+                    self.admit_proto(ctx, released);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        // finished frame for transmission
+        let sub = cast::<NbiSubmit>(msg);
+        if self.cfg.reorder {
+            let released = self.nbi[sub.group].push(sub.nbi_seq, sub.frame);
+            self.admit_nbi(ctx, released);
+        } else {
+            self.admit_nbi(ctx, vec![sub.frame]);
+        }
+    }
+
+    fn name(&self) -> String {
+        "seqr".to_string()
+    }
+}

@@ -1,0 +1,295 @@
+//! eBPF instruction encoding and an assembler-style program builder.
+//!
+//! We implement the classic 64-bit eBPF instruction format (the subset the
+//! NFP eBPF offload supports): ALU64/ALU32, jumps, memory loads/stores,
+//! byte-order conversions, helper calls, and the two-slot 64-bit immediate
+//! load. FlexTOE "supports C and XDP programs written in eBPF" (§1); our
+//! data-path executes these programs through `flextoe_ebpf::Vm`.
+
+/// Registers r0–r10 (r10 = read-only frame pointer).
+pub type Reg = u8;
+pub const R0: Reg = 0;
+pub const R1: Reg = 1;
+pub const R2: Reg = 2;
+pub const R3: Reg = 3;
+pub const R4: Reg = 4;
+pub const R5: Reg = 5;
+pub const R6: Reg = 6;
+pub const R7: Reg = 7;
+pub const R8: Reg = 8;
+pub const R9: Reg = 9;
+pub const R10: Reg = 10;
+
+/// One 8-byte instruction slot.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Insn {
+    pub op: u8,
+    pub dst: Reg,
+    pub src: Reg,
+    pub off: i16,
+    pub imm: i32,
+}
+
+// ---- opcode classes ----
+pub const BPF_LD: u8 = 0x00;
+pub const BPF_LDX: u8 = 0x01;
+pub const BPF_ST: u8 = 0x02;
+pub const BPF_STX: u8 = 0x03;
+pub const BPF_ALU: u8 = 0x04;
+pub const BPF_JMP: u8 = 0x05;
+pub const BPF_JMP32: u8 = 0x06;
+pub const BPF_ALU64: u8 = 0x07;
+
+// ---- size modifiers ----
+pub const BPF_W: u8 = 0x00; // 4 bytes
+pub const BPF_H: u8 = 0x08; // 2 bytes
+pub const BPF_B: u8 = 0x10; // 1 byte
+pub const BPF_DW: u8 = 0x18; // 8 bytes
+pub const BPF_MEM: u8 = 0x60;
+pub const BPF_IMM: u8 = 0x00;
+
+// ---- source modifier ----
+pub const BPF_K: u8 = 0x00; // immediate
+pub const BPF_X: u8 = 0x08; // register
+
+// ---- ALU / JMP operations (high nibble) ----
+pub const BPF_ADD: u8 = 0x00;
+pub const BPF_SUB: u8 = 0x10;
+pub const BPF_MUL: u8 = 0x20;
+pub const BPF_DIV: u8 = 0x30;
+pub const BPF_OR: u8 = 0x40;
+pub const BPF_AND: u8 = 0x50;
+pub const BPF_LSH: u8 = 0x60;
+pub const BPF_RSH: u8 = 0x70;
+pub const BPF_NEG: u8 = 0x80;
+pub const BPF_MOD: u8 = 0x90;
+pub const BPF_XOR: u8 = 0xa0;
+pub const BPF_MOV: u8 = 0xb0;
+pub const BPF_ARSH: u8 = 0xc0;
+pub const BPF_END: u8 = 0xd0;
+
+pub const BPF_JA: u8 = 0x00;
+pub const BPF_JEQ: u8 = 0x10;
+pub const BPF_JGT: u8 = 0x20;
+pub const BPF_JGE: u8 = 0x30;
+pub const BPF_JSET: u8 = 0x40;
+pub const BPF_JNE: u8 = 0x50;
+pub const BPF_JSGT: u8 = 0x60;
+pub const BPF_JSGE: u8 = 0x70;
+pub const BPF_CALL: u8 = 0x80;
+pub const BPF_EXIT: u8 = 0x90;
+pub const BPF_JLT: u8 = 0xa0;
+pub const BPF_JLE: u8 = 0xb0;
+pub const BPF_JSLT: u8 = 0xc0;
+pub const BPF_JSLE: u8 = 0xd0;
+
+// ---- byte-order (BPF_END) flavours ----
+pub const BPF_TO_LE: u8 = 0x00;
+pub const BPF_TO_BE: u8 = 0x08;
+
+/// Helper function ids (the subset our XDP data-path exposes).
+pub mod helpers {
+    /// `void *bpf_map_lookup_elem(map_fd, key_ptr)` → value ptr or 0.
+    pub const MAP_LOOKUP: i32 = 1;
+    /// `int bpf_map_update_elem(map_fd, key_ptr, value_ptr, flags)`.
+    pub const MAP_UPDATE: i32 = 2;
+    /// `int bpf_map_delete_elem(map_fd, key_ptr)`.
+    pub const MAP_DELETE: i32 = 3;
+    /// `u32 bpf_get_prandom_u32()` (deterministic in simulation).
+    pub const PRANDOM: i32 = 7;
+    /// `s64 bpf_csum_diff(from_ptr, from_size, to_ptr, to_size, seed)`.
+    pub const CSUM_DIFF: i32 = 28;
+}
+
+/// XDP verdicts (§3.3): the result codes a module returns.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum XdpAction {
+    Aborted = 0,
+    /// Drop the packet.
+    Drop = 1,
+    /// Forward to the next FlexTOE pipeline stage.
+    Pass = 2,
+    /// Send the packet out the MAC.
+    Tx = 3,
+    /// Redirect the packet to the control plane.
+    Redirect = 4,
+}
+
+impl XdpAction {
+    pub fn from_ret(v: u64) -> XdpAction {
+        match v {
+            1 => XdpAction::Drop,
+            2 => XdpAction::Pass,
+            3 => XdpAction::Tx,
+            4 => XdpAction::Redirect,
+            _ => XdpAction::Aborted,
+        }
+    }
+}
+
+/// xdp_md context layout as seen by programs (offsets in bytes):
+/// `data` (u32 @0), `data_end` (u32 @4).
+pub const XDP_MD_DATA: i16 = 0;
+pub const XDP_MD_DATA_END: i16 = 4;
+
+/// Assembler-style builder with label-based jumps.
+#[derive(Default)]
+pub struct ProgBuilder {
+    insns: Vec<Insn>,
+    labels: std::collections::HashMap<String, usize>,
+    fixups: Vec<(usize, String)>,
+}
+
+impl ProgBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, i: Insn) -> &mut Self {
+        self.insns.push(i);
+        self
+    }
+
+    pub fn label(&mut self, name: &str) -> &mut Self {
+        self.labels.insert(name.to_string(), self.insns.len());
+        self
+    }
+
+    // ---- ALU64 ----
+    pub fn alu64_imm(&mut self, op: u8, dst: Reg, imm: i32) -> &mut Self {
+        self.push(Insn { op: BPF_ALU64 | BPF_K | op, dst, src: 0, off: 0, imm })
+    }
+    pub fn alu64_reg(&mut self, op: u8, dst: Reg, src: Reg) -> &mut Self {
+        self.push(Insn { op: BPF_ALU64 | BPF_X | op, dst, src, off: 0, imm: 0 })
+    }
+    pub fn alu32_imm(&mut self, op: u8, dst: Reg, imm: i32) -> &mut Self {
+        self.push(Insn { op: BPF_ALU | BPF_K | op, dst, src: 0, off: 0, imm })
+    }
+    pub fn alu32_reg(&mut self, op: u8, dst: Reg, src: Reg) -> &mut Self {
+        self.push(Insn { op: BPF_ALU | BPF_X | op, dst, src, off: 0, imm: 0 })
+    }
+    pub fn mov64_imm(&mut self, dst: Reg, imm: i32) -> &mut Self {
+        self.alu64_imm(BPF_MOV, dst, imm)
+    }
+    pub fn mov64_reg(&mut self, dst: Reg, src: Reg) -> &mut Self {
+        self.alu64_reg(BPF_MOV, dst, src)
+    }
+    pub fn add64_imm(&mut self, dst: Reg, imm: i32) -> &mut Self {
+        self.alu64_imm(BPF_ADD, dst, imm)
+    }
+    /// Load a full 64-bit immediate (two instruction slots).
+    pub fn ld_imm64(&mut self, dst: Reg, v: u64) -> &mut Self {
+        self.push(Insn {
+            op: BPF_LD | BPF_IMM | BPF_DW,
+            dst,
+            src: 0,
+            off: 0,
+            imm: v as u32 as i32,
+        });
+        self.push(Insn { op: 0, dst: 0, src: 0, off: 0, imm: (v >> 32) as u32 as i32 })
+    }
+    /// Byte-order conversion: to big-endian of width 16/32/64.
+    pub fn be(&mut self, dst: Reg, bits: i32) -> &mut Self {
+        self.push(Insn { op: BPF_ALU | BPF_TO_BE | BPF_END, dst, src: 0, off: 0, imm: bits })
+    }
+
+    // ---- memory ----
+    pub fn ldx(&mut self, size: u8, dst: Reg, src: Reg, off: i16) -> &mut Self {
+        self.push(Insn { op: BPF_LDX | BPF_MEM | size, dst, src, off, imm: 0 })
+    }
+    pub fn stx(&mut self, size: u8, dst: Reg, src: Reg, off: i16) -> &mut Self {
+        self.push(Insn { op: BPF_STX | BPF_MEM | size, dst, src, off, imm: 0 })
+    }
+    pub fn st_imm(&mut self, size: u8, dst: Reg, off: i16, imm: i32) -> &mut Self {
+        self.push(Insn { op: BPF_ST | BPF_MEM | size, dst, src: 0, off, imm })
+    }
+
+    // ---- control flow ----
+    pub fn jmp_imm(&mut self, op: u8, dst: Reg, imm: i32, target: &str) -> &mut Self {
+        self.fixups.push((self.insns.len(), target.to_string()));
+        self.push(Insn { op: BPF_JMP | BPF_K | op, dst, src: 0, off: 0, imm })
+    }
+    pub fn jmp_reg(&mut self, op: u8, dst: Reg, src: Reg, target: &str) -> &mut Self {
+        self.fixups.push((self.insns.len(), target.to_string()));
+        self.push(Insn { op: BPF_JMP | BPF_X | op, dst, src, off: 0, imm: 0 })
+    }
+    pub fn jmp32_imm(&mut self, op: u8, dst: Reg, imm: i32, target: &str) -> &mut Self {
+        self.fixups.push((self.insns.len(), target.to_string()));
+        self.push(Insn { op: BPF_JMP32 | BPF_K | op, dst, src: 0, off: 0, imm })
+    }
+    pub fn ja(&mut self, target: &str) -> &mut Self {
+        self.fixups.push((self.insns.len(), target.to_string()));
+        self.push(Insn { op: BPF_JMP | BPF_JA, dst: 0, src: 0, off: 0, imm: 0 })
+    }
+    pub fn call(&mut self, helper: i32) -> &mut Self {
+        self.push(Insn { op: BPF_JMP | BPF_CALL, dst: 0, src: 0, off: 0, imm: helper })
+    }
+    pub fn exit(&mut self) -> &mut Self {
+        self.push(Insn { op: BPF_JMP | BPF_EXIT, dst: 0, src: 0, off: 0, imm: 0 })
+    }
+    /// `mov r0, <action>; exit`.
+    pub fn ret(&mut self, action: XdpAction) -> &mut Self {
+        self.mov64_imm(R0, action as i32);
+        self.exit()
+    }
+
+    /// Resolve labels and produce the instruction stream.
+    pub fn build(&mut self) -> Vec<Insn> {
+        for (at, name) in &self.fixups {
+            let target = *self
+                .labels
+                .get(name)
+                .unwrap_or_else(|| panic!("undefined label {name}"));
+            // off is relative to the *next* instruction
+            self.insns[*at].off = (target as i64 - *at as i64 - 1) as i16;
+        }
+        self.fixups.clear();
+        self.insns.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_resolves_forward_and_backward_labels() {
+        let mut b = ProgBuilder::new();
+        b.label("start")
+            .mov64_imm(R0, 0)
+            .jmp_imm(BPF_JEQ, R1, 0, "end")
+            .ja("start")
+            .label("end")
+            .exit();
+        let p = b.build();
+        assert_eq!(p[1].off, 1); // skips the ja
+        assert_eq!(p[2].off, -3); // back to start
+    }
+
+    #[test]
+    fn ld_imm64_uses_two_slots() {
+        let mut b = ProgBuilder::new();
+        b.ld_imm64(R3, 0xdead_beef_1234_5678);
+        let p = b.build();
+        assert_eq!(p.len(), 2);
+        assert_eq!(p[0].imm as u32, 0x1234_5678);
+        assert_eq!(p[1].imm as u32, 0xdead_beef);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined label")]
+    fn unresolved_label_panics() {
+        let mut b = ProgBuilder::new();
+        b.ja("nowhere");
+        b.build();
+    }
+
+    #[test]
+    fn xdp_action_mapping() {
+        assert_eq!(XdpAction::from_ret(2), XdpAction::Pass);
+        assert_eq!(XdpAction::from_ret(1), XdpAction::Drop);
+        assert_eq!(XdpAction::from_ret(3), XdpAction::Tx);
+        assert_eq!(XdpAction::from_ret(4), XdpAction::Redirect);
+        assert_eq!(XdpAction::from_ret(99), XdpAction::Aborted);
+    }
+}

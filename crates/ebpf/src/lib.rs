@@ -1,0 +1,25 @@
+//! # flextoe-ebpf — a from-scratch eBPF subset VM for XDP data-path modules
+//!
+//! FlexTOE "supports C and XDP programs written in eBPF … eBPF programs
+//! can be compiled to NFP assembly" (§3.3, §5.1). This crate provides the
+//! equivalent substrate for the reproduction: an interpreter for the
+//! classic 64-bit eBPF instruction set (ALU64/ALU32, jumps, memory,
+//! byte-order ops, helper calls), BPF hash/array maps shared with the
+//! control plane, a load-time verifier, an assembler-style program
+//! builder, and the prebuilt programs the paper evaluates — null,
+//! vlan-strip, firewall, and AccelTCP-style connection splicing
+//! (Listing 1).
+//!
+//! The VM reports executed instruction counts so the data-path can charge
+//! XDP stages against the FPC cost model (Table 2's overhead rows).
+
+pub mod insn;
+pub mod maps;
+pub mod programs;
+pub mod verifier;
+pub mod vm;
+
+pub use insn::{helpers, Insn, ProgBuilder, XdpAction};
+pub use maps::{shared_maps, Map, MapError, MapSet, SharedMaps};
+pub use verifier::{verify, VerifyError};
+pub use vm::{RunResult, Trap, Vm, HELPER_ADJUST_HEAD, MD_DATA, MD_DATA_END};

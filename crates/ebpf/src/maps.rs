@@ -1,0 +1,246 @@
+//! BPF maps (§3.3): "XDP modules may use BPF maps (arrays, hash tables) to
+//! store and modify state atomically, which may be modified by the
+//! control-plane. For example, a firewall module may store blacklisted IPs
+//! in a hash map and the control-plane may add or remove entries
+//! dynamically."
+//!
+//! Maps are shared between the data-path VM and the control plane through
+//! `Rc<RefCell<MapSet>>`; single-threaded simulation makes every operation
+//! trivially atomic, matching the hardware's atomic map engines.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MapError {
+    NoSuchMap,
+    KeySize,
+    ValueSize,
+    Full,
+    IndexOutOfBounds,
+}
+
+#[derive(Debug)]
+pub enum Map {
+    Hash {
+        key_size: usize,
+        value_size: usize,
+        max_entries: usize,
+        data: HashMap<Vec<u8>, Vec<u8>>,
+    },
+    Array {
+        value_size: usize,
+        data: Vec<Vec<u8>>,
+    },
+}
+
+impl Map {
+    pub fn hash(key_size: usize, value_size: usize, max_entries: usize) -> Map {
+        Map::Hash {
+            key_size,
+            value_size,
+            max_entries,
+            data: HashMap::new(),
+        }
+    }
+
+    pub fn array(value_size: usize, n_entries: usize) -> Map {
+        Map::Array {
+            value_size,
+            data: vec![vec![0; value_size]; n_entries],
+        }
+    }
+
+    pub fn key_size(&self) -> usize {
+        match self {
+            Map::Hash { key_size, .. } => *key_size,
+            Map::Array { .. } => 4,
+        }
+    }
+
+    pub fn value_size(&self) -> usize {
+        match self {
+            Map::Hash { value_size, .. } | Map::Array { value_size, .. } => *value_size,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        match self {
+            Map::Hash { data, .. } => data.len(),
+            Map::Array { data, .. } => data.len(),
+        }
+    }
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn lookup(&self, key: &[u8]) -> Result<Option<&[u8]>, MapError> {
+        match self {
+            Map::Hash { key_size, data, .. } => {
+                if key.len() != *key_size {
+                    return Err(MapError::KeySize);
+                }
+                Ok(data.get(key).map(|v| v.as_slice()))
+            }
+            Map::Array { data, .. } => {
+                if key.len() != 4 {
+                    return Err(MapError::KeySize);
+                }
+                let idx = u32::from_le_bytes(key.try_into().unwrap()) as usize;
+                Ok(data.get(idx).map(|v| v.as_slice()))
+            }
+        }
+    }
+
+    pub fn update(&mut self, key: &[u8], value: &[u8]) -> Result<(), MapError> {
+        match self {
+            Map::Hash {
+                key_size,
+                value_size,
+                max_entries,
+                data,
+            } => {
+                if key.len() != *key_size {
+                    return Err(MapError::KeySize);
+                }
+                if value.len() != *value_size {
+                    return Err(MapError::ValueSize);
+                }
+                if !data.contains_key(key) && data.len() >= *max_entries {
+                    return Err(MapError::Full);
+                }
+                data.insert(key.to_vec(), value.to_vec());
+                Ok(())
+            }
+            Map::Array { value_size, data } => {
+                if key.len() != 4 {
+                    return Err(MapError::KeySize);
+                }
+                if value.len() != *value_size {
+                    return Err(MapError::ValueSize);
+                }
+                let idx = u32::from_le_bytes(key.try_into().unwrap()) as usize;
+                let slot = data.get_mut(idx).ok_or(MapError::IndexOutOfBounds)?;
+                slot.copy_from_slice(value);
+                Ok(())
+            }
+        }
+    }
+
+    pub fn delete(&mut self, key: &[u8]) -> Result<bool, MapError> {
+        match self {
+            Map::Hash { key_size, data, .. } => {
+                if key.len() != *key_size {
+                    return Err(MapError::KeySize);
+                }
+                Ok(data.remove(key).is_some())
+            }
+            // array entries are zeroed, not removed
+            Map::Array { value_size, data } => {
+                if key.len() != 4 {
+                    return Err(MapError::KeySize);
+                }
+                let idx = u32::from_le_bytes(key.try_into().unwrap()) as usize;
+                let slot = data.get_mut(idx).ok_or(MapError::IndexOutOfBounds)?;
+                slot.iter_mut().for_each(|b| *b = 0);
+                let _ = value_size;
+                Ok(true)
+            }
+        }
+    }
+
+    /// Mutable view of a value (the VM writes through returned pointers).
+    pub fn value_mut(&mut self, key: &[u8]) -> Option<&mut Vec<u8>> {
+        match self {
+            Map::Hash { data, .. } => data.get_mut(key),
+            Map::Array { data, .. } => {
+                let idx = u32::from_le_bytes(key.try_into().ok()?) as usize;
+                data.get_mut(idx)
+            }
+        }
+    }
+}
+
+/// The maps available to one XDP program (fd = index).
+#[derive(Default, Debug)]
+pub struct MapSet {
+    maps: Vec<Map>,
+}
+
+impl MapSet {
+    pub fn new() -> MapSet {
+        MapSet::default()
+    }
+
+    pub fn add(&mut self, map: Map) -> u32 {
+        self.maps.push(map);
+        (self.maps.len() - 1) as u32
+    }
+
+    pub fn get(&self, fd: u32) -> Result<&Map, MapError> {
+        self.maps.get(fd as usize).ok_or(MapError::NoSuchMap)
+    }
+
+    pub fn get_mut(&mut self, fd: u32) -> Result<&mut Map, MapError> {
+        self.maps.get_mut(fd as usize).ok_or(MapError::NoSuchMap)
+    }
+}
+
+pub type SharedMaps = Rc<RefCell<MapSet>>;
+
+pub fn shared_maps() -> SharedMaps {
+    Rc::new(RefCell::new(MapSet::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_map_crud() {
+        let mut m = Map::hash(4, 8, 16);
+        assert_eq!(m.lookup(&[1, 2, 3, 4]).unwrap(), None);
+        m.update(&[1, 2, 3, 4], &[9; 8]).unwrap();
+        assert_eq!(m.lookup(&[1, 2, 3, 4]).unwrap(), Some(&[9u8; 8][..]));
+        assert!(m.delete(&[1, 2, 3, 4]).unwrap());
+        assert!(!m.delete(&[1, 2, 3, 4]).unwrap());
+    }
+
+    #[test]
+    fn hash_map_size_checks() {
+        let mut m = Map::hash(4, 8, 2);
+        assert_eq!(m.update(&[1, 2, 3], &[0; 8]), Err(MapError::KeySize));
+        assert_eq!(m.update(&[1, 2, 3, 4], &[0; 7]), Err(MapError::ValueSize));
+        m.update(&[1, 0, 0, 0], &[0; 8]).unwrap();
+        m.update(&[2, 0, 0, 0], &[0; 8]).unwrap();
+        assert_eq!(m.update(&[3, 0, 0, 0], &[0; 8]), Err(MapError::Full));
+        // overwriting an existing key is allowed at capacity
+        m.update(&[1, 0, 0, 0], &[1; 8]).unwrap();
+    }
+
+    #[test]
+    fn array_map_semantics() {
+        let mut m = Map::array(4, 3);
+        m.update(&2u32.to_le_bytes(), &[7, 7, 7, 7]).unwrap();
+        assert_eq!(m.lookup(&2u32.to_le_bytes()).unwrap(), Some(&[7u8, 7, 7, 7][..]));
+        assert_eq!(
+            m.update(&9u32.to_le_bytes(), &[0; 4]),
+            Err(MapError::IndexOutOfBounds)
+        );
+        // delete zeroes
+        m.delete(&2u32.to_le_bytes()).unwrap();
+        assert_eq!(m.lookup(&2u32.to_le_bytes()).unwrap(), Some(&[0u8; 4][..]));
+    }
+
+    #[test]
+    fn mapset_fds() {
+        let mut s = MapSet::new();
+        let a = s.add(Map::hash(4, 4, 8));
+        let b = s.add(Map::array(8, 2));
+        assert_eq!((a, b), (0, 1));
+        assert!(s.get(0).is_ok());
+        assert!(s.get(2).is_err());
+        s.get_mut(1).unwrap().update(&0u32.to_le_bytes(), &[1; 8]).unwrap();
+    }
+}

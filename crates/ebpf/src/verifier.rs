@@ -1,0 +1,182 @@
+//! A static verifier for XDP programs loaded into the data-path.
+//!
+//! Much lighter than the kernel's: the VM bounds-checks every access at
+//! runtime, so the verifier only rejects structurally broken programs
+//! (bad opcodes, wild jumps, missing exit) before they are installed —
+//! the same contract the NFP offload toolchain enforces at load time.
+
+use crate::insn::*;
+
+pub const MAX_INSNS: usize = 4096;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VerifyError {
+    Empty,
+    TooLong(usize),
+    BadOpcode { pc: usize, op: u8 },
+    BadRegister { pc: usize, reg: u8 },
+    JumpOutOfRange { pc: usize, target: i64 },
+    NoExit,
+    TruncatedLdImm64 { pc: usize },
+    WriteToFp { pc: usize },
+}
+
+pub fn verify(prog: &[Insn]) -> Result<(), VerifyError> {
+    if prog.is_empty() {
+        return Err(VerifyError::Empty);
+    }
+    if prog.len() > MAX_INSNS {
+        return Err(VerifyError::TooLong(prog.len()));
+    }
+    let mut has_exit = false;
+    let mut pc = 0usize;
+    while pc < prog.len() {
+        let insn = prog[pc];
+        if insn.dst > 10 || insn.src > 10 {
+            return Err(VerifyError::BadRegister {
+                pc,
+                reg: insn.dst.max(insn.src),
+            });
+        }
+        let class = insn.op & 0x07;
+        match class {
+            BPF_ALU | BPF_ALU64 => {
+                let op = insn.op & 0xf0;
+                let known = matches!(
+                    op,
+                    BPF_ADD
+                        | BPF_SUB
+                        | BPF_MUL
+                        | BPF_DIV
+                        | BPF_OR
+                        | BPF_AND
+                        | BPF_LSH
+                        | BPF_RSH
+                        | BPF_NEG
+                        | BPF_MOD
+                        | BPF_XOR
+                        | BPF_MOV
+                        | BPF_ARSH
+                        | BPF_END
+                );
+                if !known {
+                    return Err(VerifyError::BadOpcode { pc, op: insn.op });
+                }
+                if insn.dst == R10 {
+                    return Err(VerifyError::WriteToFp { pc });
+                }
+            }
+            BPF_JMP | BPF_JMP32 => {
+                let op = insn.op & 0xf0;
+                match op {
+                    BPF_EXIT => has_exit = true,
+                    BPF_CALL => {}
+                    BPF_JA | BPF_JEQ | BPF_JNE | BPF_JGT | BPF_JGE | BPF_JLT | BPF_JLE
+                    | BPF_JSET | BPF_JSGT | BPF_JSGE | BPF_JSLT | BPF_JSLE => {
+                        let target = pc as i64 + 1 + insn.off as i64;
+                        if target < 0 || target as usize >= prog.len() {
+                            return Err(VerifyError::JumpOutOfRange { pc, target });
+                        }
+                    }
+                    _ => return Err(VerifyError::BadOpcode { pc, op: insn.op }),
+                }
+            }
+            BPF_LDX | BPF_ST | BPF_STX => {
+                if (insn.op & 0x18) > BPF_DW {
+                    return Err(VerifyError::BadOpcode { pc, op: insn.op });
+                }
+                if class == BPF_STX || class == BPF_ST {
+                    // stores *through* r10 are fine; overwriting r10 is not
+                    // (register writes happen only via LDX dst)
+                }
+                if class == BPF_LDX && insn.dst == R10 {
+                    return Err(VerifyError::WriteToFp { pc });
+                }
+            }
+            BPF_LD => {
+                if insn.op == (BPF_LD | BPF_IMM | BPF_DW) {
+                    if pc + 1 >= prog.len() {
+                        return Err(VerifyError::TruncatedLdImm64 { pc });
+                    }
+                    if insn.dst == R10 {
+                        return Err(VerifyError::WriteToFp { pc });
+                    }
+                    pc += 1; // skip the second slot
+                } else {
+                    return Err(VerifyError::BadOpcode { pc, op: insn.op });
+                }
+            }
+            _ => return Err(VerifyError::BadOpcode { pc, op: insn.op }),
+        }
+        pc += 1;
+    }
+    if !has_exit {
+        return Err(VerifyError::NoExit);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_minimal_program() {
+        let mut b = ProgBuilder::new();
+        b.ret(XdpAction::Pass);
+        assert_eq!(verify(&b.build()), Ok(()));
+    }
+
+    #[test]
+    fn rejects_empty_and_no_exit() {
+        assert_eq!(verify(&[]), Err(VerifyError::Empty));
+        let mut b = ProgBuilder::new();
+        b.mov64_imm(R0, 2);
+        assert_eq!(verify(&b.build()), Err(VerifyError::NoExit));
+    }
+
+    #[test]
+    fn rejects_wild_jump() {
+        let prog = [Insn { op: BPF_JMP | BPF_JA, dst: 0, src: 0, off: 100, imm: 0 }];
+        assert!(matches!(
+            verify(&prog),
+            Err(VerifyError::JumpOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_register_and_opcode() {
+        let prog = [Insn { op: BPF_ALU64 | BPF_MOV, dst: 12, src: 0, off: 0, imm: 0 }];
+        assert!(matches!(verify(&prog), Err(VerifyError::BadRegister { .. })));
+        let prog = [Insn { op: 0xff, dst: 0, src: 0, off: 0, imm: 0 }];
+        assert!(matches!(verify(&prog), Err(VerifyError::BadOpcode { .. })));
+    }
+
+    #[test]
+    fn rejects_truncated_ld_imm64() {
+        let prog = [Insn { op: BPF_LD | BPF_IMM | BPF_DW, dst: 1, src: 0, off: 0, imm: 0 }];
+        assert!(matches!(
+            verify(&prog),
+            Err(VerifyError::TruncatedLdImm64 { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_fp_overwrite() {
+        let mut b = ProgBuilder::new();
+        b.mov64_imm(R10, 0).exit();
+        assert!(matches!(verify(&b.build()), Err(VerifyError::WriteToFp { .. })));
+    }
+
+    #[test]
+    fn accepts_prebuilt_programs() {
+        for prog in [
+            crate::programs::null_pass(),
+            crate::programs::vlan_strip(),
+            crate::programs::firewall(0),
+            crate::programs::splice(0),
+        ] {
+            assert_eq!(verify(&prog), Ok(()), "prebuilt program failed verify");
+        }
+    }
+}

@@ -1,0 +1,720 @@
+//! The eBPF interpreter.
+//!
+//! A register VM over virtual address regions: the packet, a 512-byte
+//! stack, the `xdp_md` context, and map values returned by lookups. All
+//! accesses are bounds-checked at runtime (the static verifier in
+//! `verifier.rs` catches structural problems before a program is loaded).
+
+use crate::insn::*;
+use crate::maps::MapSet;
+
+pub const STACK_SIZE: usize = 512;
+
+const PKT_BASE: u64 = 0x1_0000_0000;
+const STACK_BASE: u64 = 0x2_0000_0000;
+const CTX_BASE: u64 = 0x3_0000_0000;
+const MAP_BASE: u64 = 0x4_0000_0000;
+const MAP_STRIDE: u64 = 0x1_0000;
+
+/// `xdp_md` field offsets in our VM (u64 virtual pointers).
+pub const MD_DATA: i16 = 0;
+pub const MD_DATA_END: i16 = 8;
+
+/// Why a program trapped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    OutOfBounds { addr: u64, size: u8 },
+    BadOpcode(u8),
+    BadRegister(u8),
+    WriteToFp,
+    InsnLimit,
+    BadHelper(i32),
+    BadMapFd(u32),
+    PcOutOfRange(i64),
+    AdjustHeadOutOfRange,
+}
+
+/// Result of a completed run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunResult {
+    pub ret: u64,
+    /// Instructions executed (drives the FPC cost model in the data-path).
+    pub insns: u64,
+    /// Bytes trimmed from the packet front by `bpf_xdp_adjust_head`.
+    pub head_adjust: i32,
+}
+
+/// Additional helper: `bpf_xdp_adjust_head(ctx, delta)` (Linux id 44).
+pub const HELPER_ADJUST_HEAD: i32 = 44;
+
+struct MapRef {
+    fd: u32,
+    key: Vec<u8>,
+}
+
+pub struct Vm {
+    max_insns: u64,
+    prandom_state: u64,
+}
+
+impl Default for Vm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Vm {
+    pub fn new() -> Vm {
+        Vm {
+            max_insns: 65_536,
+            prandom_state: 0x5eed_1234_abcd_9876,
+        }
+    }
+
+    pub fn with_insn_limit(max_insns: u64) -> Vm {
+        Vm { max_insns, ..Vm::new() }
+    }
+
+    /// Run `prog` over `packet` with `maps`. The packet may be mutated;
+    /// on a positive `head_adjust` the caller must trim that many bytes
+    /// from the front (the data-path harness does this).
+    pub fn run(
+        &mut self,
+        prog: &[Insn],
+        packet: &mut [u8],
+        maps: &mut MapSet,
+    ) -> Result<RunResult, Trap> {
+        let mut reg = [0u64; 11];
+        let mut stack = [0u8; STACK_SIZE];
+        let mut pkt_off: usize = 0; // adjust_head offset into `packet`
+        let mut map_refs: Vec<MapRef> = Vec::new();
+        // r1 = ctx pointer, r10 = frame pointer (top of stack)
+        reg[R1 as usize] = CTX_BASE;
+        reg[R10 as usize] = STACK_BASE + STACK_SIZE as u64;
+
+        let mut pc: i64 = 0;
+        let mut executed = 0u64;
+
+        macro_rules! load_region {
+            ($addr:expr, $n:expr) => {{
+                let addr: u64 = $addr;
+                let n: usize = $n;
+                let mut buf = [0u8; 8];
+                if addr >= PKT_BASE && addr + n as u64 <= PKT_BASE + packet.len() as u64 {
+                    let a = (addr - PKT_BASE) as usize;
+                    if a < pkt_off {
+                        return Err(Trap::OutOfBounds { addr, size: n as u8 });
+                    }
+                    buf[..n].copy_from_slice(&packet[a..a + n]);
+                } else if addr >= STACK_BASE && addr + n as u64 <= STACK_BASE + STACK_SIZE as u64 {
+                    let a = (addr - STACK_BASE) as usize;
+                    buf[..n].copy_from_slice(&stack[a..a + n]);
+                } else if addr >= CTX_BASE && addr + n as u64 <= CTX_BASE + 16 {
+                    // materialize xdp_md on the fly
+                    let data = PKT_BASE + pkt_off as u64;
+                    let data_end = PKT_BASE + packet.len() as u64;
+                    let mut md = [0u8; 16];
+                    md[0..8].copy_from_slice(&data.to_le_bytes());
+                    md[8..16].copy_from_slice(&data_end.to_le_bytes());
+                    let a = (addr - CTX_BASE) as usize;
+                    buf[..n].copy_from_slice(&md[a..a + n]);
+                } else if addr >= MAP_BASE {
+                    let slot = ((addr - MAP_BASE) / MAP_STRIDE) as usize;
+                    let off = ((addr - MAP_BASE) % MAP_STRIDE) as usize;
+                    let mr = map_refs.get(slot).ok_or(Trap::OutOfBounds { addr, size: n as u8 })?;
+                    let map = maps.get_mut(mr.fd).map_err(|_| Trap::BadMapFd(mr.fd))?;
+                    let val = map
+                        .value_mut(&mr.key)
+                        .ok_or(Trap::OutOfBounds { addr, size: n as u8 })?;
+                    if off + n > val.len() {
+                        return Err(Trap::OutOfBounds { addr, size: n as u8 });
+                    }
+                    buf[..n].copy_from_slice(&val[off..off + n]);
+                } else {
+                    return Err(Trap::OutOfBounds { addr, size: n as u8 });
+                }
+                u64::from_le_bytes(buf)
+            }};
+        }
+
+        macro_rules! store_region {
+            ($addr:expr, $n:expr, $val:expr) => {{
+                let addr: u64 = $addr;
+                let n: usize = $n;
+                let bytes = ($val as u64).to_le_bytes();
+                if addr >= PKT_BASE && addr + n as u64 <= PKT_BASE + packet.len() as u64 {
+                    let a = (addr - PKT_BASE) as usize;
+                    if a < pkt_off {
+                        return Err(Trap::OutOfBounds { addr, size: n as u8 });
+                    }
+                    packet[a..a + n].copy_from_slice(&bytes[..n]);
+                } else if addr >= STACK_BASE && addr + n as u64 <= STACK_BASE + STACK_SIZE as u64 {
+                    let a = (addr - STACK_BASE) as usize;
+                    stack[a..a + n].copy_from_slice(&bytes[..n]);
+                } else if addr >= MAP_BASE {
+                    let slot = ((addr - MAP_BASE) / MAP_STRIDE) as usize;
+                    let off = ((addr - MAP_BASE) % MAP_STRIDE) as usize;
+                    let mr = map_refs.get(slot).ok_or(Trap::OutOfBounds { addr, size: n as u8 })?;
+                    let map = maps.get_mut(mr.fd).map_err(|_| Trap::BadMapFd(mr.fd))?;
+                    let val = map
+                        .value_mut(&mr.key)
+                        .ok_or(Trap::OutOfBounds { addr, size: n as u8 })?;
+                    if off + n > val.len() {
+                        return Err(Trap::OutOfBounds { addr, size: n as u8 });
+                    }
+                    val[off..off + n].copy_from_slice(&bytes[..n]);
+                } else {
+                    // ctx is read-only
+                    return Err(Trap::OutOfBounds { addr, size: n as u8 });
+                }
+            }};
+        }
+
+        loop {
+            if executed >= self.max_insns {
+                return Err(Trap::InsnLimit);
+            }
+            if pc < 0 || pc as usize >= prog.len() {
+                return Err(Trap::PcOutOfRange(pc));
+            }
+            let insn = prog[pc as usize];
+            executed += 1;
+            let dst = insn.dst as usize;
+            let src = insn.src as usize;
+            if dst > 10 || src > 10 {
+                return Err(Trap::BadRegister(insn.dst.max(insn.src)));
+            }
+            let class = insn.op & 0x07;
+            match class {
+                BPF_ALU64 | BPF_ALU => {
+                    let is64 = class == BPF_ALU64;
+                    let op = insn.op & 0xf0;
+                    if op == BPF_END {
+                        // byte order conversion (we model a little-endian
+                        // host, so TO_BE swaps, TO_LE masks)
+                        let v = reg[dst];
+                        let to_be = insn.op & 0x08 != 0;
+                        reg[dst] = match (insn.imm, to_be) {
+                            (16, true) => (v as u16).swap_bytes() as u64,
+                            (32, true) => (v as u32).swap_bytes() as u64,
+                            (64, true) => v.swap_bytes(),
+                            (16, false) => v & 0xffff,
+                            (32, false) => v & 0xffff_ffff,
+                            (64, false) => v,
+                            _ => return Err(Trap::BadOpcode(insn.op)),
+                        };
+                        pc += 1;
+                        continue;
+                    }
+                    if insn.dst == R10 {
+                        return Err(Trap::WriteToFp);
+                    }
+                    let rhs = if insn.op & BPF_X != 0 {
+                        reg[src]
+                    } else {
+                        insn.imm as i64 as u64
+                    };
+                    let lhs = reg[dst];
+                    let (l, r) = if is64 {
+                        (lhs, rhs)
+                    } else {
+                        (lhs as u32 as u64, rhs as u32 as u64)
+                    };
+                    let result = match op {
+                        BPF_ADD => l.wrapping_add(r),
+                        BPF_SUB => l.wrapping_sub(r),
+                        BPF_MUL => l.wrapping_mul(r),
+                        BPF_DIV => {
+                            if r == 0 {
+                                0
+                            } else {
+                                l / r
+                            }
+                        }
+                        BPF_MOD => {
+                            if r == 0 {
+                                l
+                            } else {
+                                l % r
+                            }
+                        }
+                        BPF_OR => l | r,
+                        BPF_AND => l & r,
+                        BPF_XOR => l ^ r,
+                        BPF_LSH => {
+                            if is64 {
+                                l.wrapping_shl(r as u32)
+                            } else {
+                                (l as u32).wrapping_shl(r as u32) as u64
+                            }
+                        }
+                        BPF_RSH => {
+                            if is64 {
+                                l.wrapping_shr(r as u32)
+                            } else {
+                                (l as u32).wrapping_shr(r as u32) as u64
+                            }
+                        }
+                        BPF_ARSH => {
+                            if is64 {
+                                (l as i64).wrapping_shr(r as u32) as u64
+                            } else {
+                                ((l as u32 as i32).wrapping_shr(r as u32)) as u32 as u64
+                            }
+                        }
+                        BPF_NEG => (l as i64).wrapping_neg() as u64,
+                        BPF_MOV => r,
+                        _ => return Err(Trap::BadOpcode(insn.op)),
+                    };
+                    reg[dst] = if is64 { result } else { result as u32 as u64 };
+                    pc += 1;
+                }
+                BPF_JMP | BPF_JMP32 => {
+                    let op = insn.op & 0xf0;
+                    match op {
+                        BPF_CALL => {
+                            self.helper_call(
+                                insn.imm,
+                                &mut reg,
+                                &mut map_refs,
+                                maps,
+                                packet,
+                                &mut pkt_off,
+                                &mut stack,
+                            )?;
+                            pc += 1;
+                            continue;
+                        }
+                        BPF_EXIT => {
+                            return Ok(RunResult {
+                                ret: reg[R0 as usize],
+                                insns: executed,
+                                head_adjust: pkt_off as i32,
+                            });
+                        }
+                        BPF_JA => {
+                            pc += 1 + insn.off as i64;
+                            continue;
+                        }
+                        _ => {}
+                    }
+                    let rhs = if insn.op & BPF_X != 0 {
+                        reg[src]
+                    } else {
+                        insn.imm as i64 as u64
+                    };
+                    let lhs = reg[dst];
+                    let (l, r) = if class == BPF_JMP32 {
+                        (lhs as u32 as u64, rhs as u32 as u64)
+                    } else {
+                        (lhs, rhs)
+                    };
+                    let take = match op {
+                        BPF_JEQ => l == r,
+                        BPF_JNE => l != r,
+                        BPF_JGT => l > r,
+                        BPF_JGE => l >= r,
+                        BPF_JLT => l < r,
+                        BPF_JLE => l <= r,
+                        BPF_JSET => l & r != 0,
+                        BPF_JSGT => (l as i64) > (r as i64),
+                        BPF_JSGE => (l as i64) >= (r as i64),
+                        BPF_JSLT => (l as i64) < (r as i64),
+                        BPF_JSLE => (l as i64) <= (r as i64),
+                        _ => return Err(Trap::BadOpcode(insn.op)),
+                    };
+                    pc += if take { 1 + insn.off as i64 } else { 1 };
+                }
+                BPF_LDX => {
+                    let n = size_of(insn.op)?;
+                    let addr = reg[src].wrapping_add(insn.off as i64 as u64);
+                    reg[dst] = load_region!(addr, n);
+                    pc += 1;
+                }
+                BPF_STX => {
+                    let n = size_of(insn.op)?;
+                    let addr = reg[dst].wrapping_add(insn.off as i64 as u64);
+                    store_region!(addr, n, reg[src]);
+                    pc += 1;
+                }
+                BPF_ST => {
+                    let n = size_of(insn.op)?;
+                    let addr = reg[dst].wrapping_add(insn.off as i64 as u64);
+                    store_region!(addr, n, insn.imm as i64 as u64);
+                    pc += 1;
+                }
+                BPF_LD => {
+                    // LD_IMM64: two slots
+                    if insn.op == (BPF_LD | BPF_IMM | BPF_DW) {
+                        if pc as usize + 1 >= prog.len() {
+                            return Err(Trap::PcOutOfRange(pc + 1));
+                        }
+                        let hi = prog[pc as usize + 1].imm as u32 as u64;
+                        if insn.dst == R10 {
+                            return Err(Trap::WriteToFp);
+                        }
+                        reg[dst] = (insn.imm as u32 as u64) | (hi << 32);
+                        pc += 2;
+                    } else {
+                        return Err(Trap::BadOpcode(insn.op));
+                    }
+                }
+                _ => return Err(Trap::BadOpcode(insn.op)),
+            }
+
+            // helper closures capture these macros; nothing here
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn helper_call(
+        &mut self,
+        id: i32,
+        reg: &mut [u64; 11],
+        map_refs: &mut Vec<MapRef>,
+        maps: &mut MapSet,
+        packet: &mut [u8],
+        pkt_off: &mut usize,
+        stack: &mut [u8; STACK_SIZE],
+    ) -> Result<(), Trap> {
+        // local byte readers for helper arguments (stack or packet only)
+        let read = |addr: u64, len: usize| -> Result<Vec<u8>, Trap> {
+            let mut v = vec![0u8; len];
+            for (i, b) in v.iter_mut().enumerate() {
+                let a = addr + i as u64;
+                *b = if a >= PKT_BASE && a < PKT_BASE + packet.len() as u64 {
+                    packet[(a - PKT_BASE) as usize]
+                } else if a >= STACK_BASE && a < STACK_BASE + STACK_SIZE as u64 {
+                    stack[(a - STACK_BASE) as usize]
+                } else {
+                    return Err(Trap::OutOfBounds { addr: a, size: 1 });
+                };
+            }
+            Ok(v)
+        };
+        match id {
+            helpers::MAP_LOOKUP => {
+                let fd = reg[R1 as usize] as u32;
+                let map = maps.get(fd).map_err(|_| Trap::BadMapFd(fd))?;
+                let key = read(reg[R2 as usize], map.key_size())?;
+                let found = map.lookup(&key).map_err(|_| Trap::BadMapFd(fd))?.is_some();
+                reg[R0 as usize] = if found {
+                    let slot = map_refs.len() as u64;
+                    map_refs.push(MapRef { fd, key });
+                    MAP_BASE + slot * MAP_STRIDE
+                } else {
+                    0
+                };
+            }
+            helpers::MAP_UPDATE => {
+                let fd = reg[R1 as usize] as u32;
+                let (ksz, vsz) = {
+                    let map = maps.get(fd).map_err(|_| Trap::BadMapFd(fd))?;
+                    (map.key_size(), map.value_size())
+                };
+                let key = read(reg[R2 as usize], ksz)?;
+                let val = read(reg[R3 as usize], vsz)?;
+                let map = maps.get_mut(fd).map_err(|_| Trap::BadMapFd(fd))?;
+                reg[R0 as usize] = match map.update(&key, &val) {
+                    Ok(()) => 0,
+                    Err(_) => (-1i64) as u64,
+                };
+            }
+            helpers::MAP_DELETE => {
+                let fd = reg[R1 as usize] as u32;
+                let ksz = maps.get(fd).map_err(|_| Trap::BadMapFd(fd))?.key_size();
+                let key = read(reg[R2 as usize], ksz)?;
+                let map = maps.get_mut(fd).map_err(|_| Trap::BadMapFd(fd))?;
+                reg[R0 as usize] = match map.delete(&key) {
+                    Ok(true) => 0,
+                    _ => (-1i64) as u64,
+                };
+            }
+            helpers::PRANDOM => {
+                self.prandom_state = self
+                    .prandom_state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                reg[R0 as usize] = (self.prandom_state >> 33) as u32 as u64;
+            }
+            HELPER_ADJUST_HEAD => {
+                let delta = reg[R2 as usize] as i64 as i32;
+                let new = *pkt_off as i64 + delta as i64;
+                if new < 0 || new as usize > packet.len() {
+                    return Err(Trap::AdjustHeadOutOfRange);
+                }
+                *pkt_off = new as usize;
+                reg[R0 as usize] = 0;
+            }
+            other => return Err(Trap::BadHelper(other)),
+        }
+        Ok(())
+    }
+}
+
+fn size_of(op: u8) -> Result<usize, Trap> {
+    match op & 0x18 {
+        BPF_W => Ok(4),
+        BPF_H => Ok(2),
+        BPF_B => Ok(1),
+        BPF_DW => Ok(8),
+        _ => Err(Trap::BadOpcode(op)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maps::{Map, MapSet};
+
+    fn run(prog: &[Insn], pkt: &mut Vec<u8>) -> RunResult {
+        let mut maps = MapSet::new();
+        let res = Vm::new().run(prog, pkt, &mut maps).unwrap();
+        if res.head_adjust > 0 {
+            pkt.drain(..res.head_adjust as usize);
+        }
+        res
+    }
+
+    #[test]
+    fn mov_add_exit() {
+        let mut b = ProgBuilder::new();
+        b.mov64_imm(R0, 40).alu64_imm(BPF_ADD, R0, 2).exit();
+        let mut pkt = vec![];
+        assert_eq!(run(&b.build(), &mut pkt).ret, 42);
+    }
+
+    #[test]
+    fn alu32_truncates() {
+        let mut b = ProgBuilder::new();
+        b.ld_imm64(R0, 0xffff_ffff_ffff_ffff)
+            .alu32_imm(BPF_ADD, R0, 1) // 32-bit add wraps to 0
+            .exit();
+        let mut pkt = vec![];
+        assert_eq!(run(&b.build(), &mut pkt).ret, 0);
+    }
+
+    #[test]
+    fn division_by_zero_is_zero() {
+        let mut b = ProgBuilder::new();
+        b.mov64_imm(R0, 100)
+            .mov64_imm(R1, 0)
+            .alu64_reg(BPF_DIV, R0, R1)
+            .exit();
+        let mut pkt = vec![];
+        assert_eq!(run(&b.build(), &mut pkt).ret, 0);
+    }
+
+    #[test]
+    fn packet_load_and_store() {
+        // read byte 0, add 1, store to byte 1, return byte1
+        let mut b = ProgBuilder::new();
+        b.ldx(BPF_DW, R2, R1, MD_DATA) // r2 = data ptr
+            .ldx(BPF_B, R0, R2, 0)
+            .alu64_imm(BPF_ADD, R0, 1)
+            .stx(BPF_B, R2, R0, 1)
+            .ldx(BPF_B, R0, R2, 1)
+            .exit();
+        let mut pkt = vec![10u8, 0, 0];
+        let r = run(&b.build(), &mut pkt);
+        assert_eq!(r.ret, 11);
+        assert_eq!(pkt, vec![10, 11, 0]);
+    }
+
+    #[test]
+    fn bounds_check_data_end() {
+        // standard XDP pattern: if data + 4 > data_end -> return DROP
+        let build = |need: i32| {
+            let mut b = ProgBuilder::new();
+            b.ldx(BPF_DW, R2, R1, MD_DATA)
+                .ldx(BPF_DW, R3, R1, MD_DATA_END)
+                .mov64_reg(R4, R2)
+                .alu64_imm(BPF_ADD, R4, need)
+                .jmp_reg(BPF_JGT, R4, R3, "oob")
+                .ret(XdpAction::Pass)
+                .label("oob")
+                .ret(XdpAction::Drop);
+            b.build()
+        };
+        let mut pkt = vec![0u8; 4];
+        assert_eq!(run(&build(4), &mut pkt).ret, XdpAction::Pass as u64);
+        assert_eq!(run(&build(5), &mut pkt).ret, XdpAction::Drop as u64);
+    }
+
+    #[test]
+    fn out_of_bounds_load_traps() {
+        let mut b = ProgBuilder::new();
+        b.ldx(BPF_DW, R2, R1, MD_DATA).ldx(BPF_W, R0, R2, 100).exit();
+        let prog = b.build();
+        let mut pkt = vec![0u8; 8];
+        let mut maps = MapSet::new();
+        let err = Vm::new().run(&prog, &mut pkt, &mut maps).unwrap_err();
+        assert!(matches!(err, Trap::OutOfBounds { .. }));
+    }
+
+    #[test]
+    fn stack_roundtrip() {
+        let mut b = ProgBuilder::new();
+        b.mov64_imm(R2, 0x1234)
+            .stx(BPF_W, R10, R2, -8)
+            .ldx(BPF_W, R0, R10, -8)
+            .exit();
+        let mut pkt = vec![];
+        assert_eq!(run(&b.build(), &mut pkt).ret, 0x1234);
+    }
+
+    #[test]
+    fn write_to_fp_traps() {
+        let mut b = ProgBuilder::new();
+        b.mov64_imm(R10, 0).exit();
+        let mut pkt = vec![];
+        let mut maps = MapSet::new();
+        assert_eq!(
+            Vm::new().run(&b.build(), &mut pkt, &mut maps).unwrap_err(),
+            Trap::WriteToFp
+        );
+    }
+
+    #[test]
+    fn infinite_loop_hits_insn_limit() {
+        let mut b = ProgBuilder::new();
+        b.label("loop").ja("loop");
+        let mut pkt = vec![];
+        let mut maps = MapSet::new();
+        assert_eq!(
+            Vm::with_insn_limit(1000)
+                .run(&b.build(), &mut pkt, &mut maps)
+                .unwrap_err(),
+            Trap::InsnLimit
+        );
+    }
+
+    #[test]
+    fn byte_order_swap() {
+        let mut b = ProgBuilder::new();
+        b.ld_imm64(R0, 0x1122).be(R0, 16).exit();
+        let mut pkt = vec![];
+        assert_eq!(run(&b.build(), &mut pkt).ret, 0x2211);
+        let mut b = ProgBuilder::new();
+        b.ld_imm64(R0, 0x11223344).be(R0, 32).exit();
+        let mut pkt = vec![];
+        assert_eq!(run(&b.build(), &mut pkt).ret, 0x44332211);
+    }
+
+    #[test]
+    fn map_lookup_update_through_pointer() {
+        let mut maps = MapSet::new();
+        let fd = maps.add(Map::hash(4, 8, 16));
+        maps.get_mut(fd)
+            .unwrap()
+            .update(&[1, 2, 3, 4], &[5, 0, 0, 0, 0, 0, 0, 0])
+            .unwrap();
+        // key on stack; lookup; increment value via returned pointer
+        let mut b = ProgBuilder::new();
+        b.st_imm(BPF_B, R10, -4, 1)
+            .st_imm(BPF_B, R10, -3, 2)
+            .st_imm(BPF_B, R10, -2, 3)
+            .st_imm(BPF_B, R10, -1, 4)
+            .mov64_imm(R1, fd as i32)
+            .mov64_reg(R2, R10)
+            .alu64_imm(BPF_ADD, R2, -4)
+            .call(helpers::MAP_LOOKUP)
+            .jmp_imm(BPF_JEQ, R0, 0, "miss")
+            .ldx(BPF_DW, R3, R0, 0)
+            .alu64_imm(BPF_ADD, R3, 10)
+            .stx(BPF_DW, R0, R3, 0)
+            .mov64_reg(R0, R3)
+            .exit()
+            .label("miss")
+            .mov64_imm(R0, -1)
+            .exit();
+        let prog = b.build();
+        let mut pkt = vec![];
+        let res = Vm::new().run(&prog, &mut pkt, &mut maps).unwrap();
+        assert_eq!(res.ret, 15);
+        // the write persisted into the map
+        assert_eq!(
+            maps.get(fd).unwrap().lookup(&[1, 2, 3, 4]).unwrap().unwrap()[0],
+            15
+        );
+    }
+
+    #[test]
+    fn map_lookup_miss_returns_null() {
+        let mut maps = MapSet::new();
+        let fd = maps.add(Map::hash(4, 4, 4));
+        let mut b = ProgBuilder::new();
+        b.st_imm(BPF_W, R10, -4, 0x55)
+            .mov64_imm(R1, fd as i32)
+            .mov64_reg(R2, R10)
+            .alu64_imm(BPF_ADD, R2, -4)
+            .call(helpers::MAP_LOOKUP)
+            .exit();
+        let mut pkt = vec![];
+        let res = Vm::new().run(&b.build(), &mut pkt, &mut maps).unwrap();
+        assert_eq!(res.ret, 0);
+    }
+
+    #[test]
+    fn map_delete_via_helper() {
+        let mut maps = MapSet::new();
+        let fd = maps.add(Map::hash(4, 4, 4));
+        maps.get_mut(fd).unwrap().update(&[9, 9, 9, 9], &[1, 1, 1, 1]).unwrap();
+        let mut b = ProgBuilder::new();
+        b.st_imm(BPF_B, R10, -4, 9)
+            .st_imm(BPF_B, R10, -3, 9)
+            .st_imm(BPF_B, R10, -2, 9)
+            .st_imm(BPF_B, R10, -1, 9)
+            .mov64_imm(R1, fd as i32)
+            .mov64_reg(R2, R10)
+            .alu64_imm(BPF_ADD, R2, -4)
+            .call(helpers::MAP_DELETE)
+            .exit();
+        let mut pkt = vec![];
+        let res = Vm::new().run(&b.build(), &mut pkt, &mut maps).unwrap();
+        assert_eq!(res.ret, 0);
+        assert!(maps.get(fd).unwrap().is_empty());
+    }
+
+    #[test]
+    fn adjust_head_strips_front_bytes() {
+        let mut b = ProgBuilder::new();
+        b.mov64_imm(R2, 4)
+            .call(HELPER_ADJUST_HEAD)
+            .ldx(BPF_DW, R2, R1, MD_DATA) // reload data after adjust
+            .ldx(BPF_B, R0, R2, 0)
+            .exit();
+        let mut pkt = vec![1u8, 2, 3, 4, 5, 6];
+        let r = run(&b.build(), &mut pkt);
+        assert_eq!(r.head_adjust, 4);
+        assert_eq!(r.ret, 5); // first byte after the strip
+        assert_eq!(pkt, vec![5, 6]);
+    }
+
+    #[test]
+    fn insn_count_reported() {
+        let mut b = ProgBuilder::new();
+        b.mov64_imm(R0, 0);
+        for _ in 0..10 {
+            b.alu64_imm(BPF_ADD, R0, 1);
+        }
+        b.exit();
+        let mut pkt = vec![];
+        let r = run(&b.build(), &mut pkt);
+        assert_eq!(r.ret, 10);
+        assert_eq!(r.insns, 12);
+    }
+
+    #[test]
+    fn jmp32_compares_low_word() {
+        let mut b = ProgBuilder::new();
+        b.ld_imm64(R1, 0xffff_ffff_0000_0005u64)
+            // JMP32 JEQ r1, 5 -> taken (low 32 bits equal)
+            .jmp32_imm(BPF_JEQ, R1, 5, "yes")
+            .ret(XdpAction::Drop)
+            .label("yes")
+            .ret(XdpAction::Pass);
+        let mut pkt = vec![];
+        assert_eq!(run(&b.build(), &mut pkt).ret, XdpAction::Pass as u64);
+    }
+}

@@ -1,0 +1,894 @@
+//! The baseline host TCP engine: a complete run-to-completion TCP stack
+//! (handshake, data path, recovery, AIMD congestion control) in one
+//! simulation node, parameterized by [`StackKind`].
+//!
+//! The *protocol* logic reuses `flextoe_core::proto` — the same code the
+//! FlexTOE protocol stage executes — so baselines interoperate with
+//! FlexTOE on the wire byte-for-byte. The differences the paper measures
+//! are expressed as policies:
+//!
+//! * **receiver reassembly** — one OOO interval (TAS / FlexTOE-baseline),
+//!   multi-interval SACK-like (Linux), or drop-all-OOO (Chelsio, §5.3:
+//!   "Chelsio has a very steep decline in throughput"),
+//! * **sender retransmission** — go-back-N, or first-segment-only
+//!   (NewReno-ish Linux: "more sophisticated reassembly and recovery"),
+//! * **cost model** — per-packet cycles on the processing core
+//!   ([`StackCosts`]), which is the application core for in-kernel stacks.
+
+use std::collections::HashMap;
+
+use flextoe_core::hostmem::{shared_buf, AppToNic, SharedBuf};
+use flextoe_core::proto::{self, RxSummary};
+use flextoe_core::ProtoState;
+use flextoe_nfp::{Cost, FpcTimer};
+use flextoe_sim::{try_cast, Ctx, Duration, Msg, Node, NodeId, Tick, Time};
+use flextoe_wire::{
+    Ecn, FourTuple, Frame, Ip4, MacAddr, SegmentSpec, SegmentView, SeqNum, TcpFlags, TcpOptions,
+    MSS_WITH_TS,
+};
+
+use crate::costs::{StackCosts, StackKind};
+use crate::shared::{AppSock, HostConnect, HostListen, HostSyscall, HostWake, SharedAppSide};
+use flextoe_apps::SockEvent;
+
+const MSS: u32 = MSS_WITH_TS as u32;
+const INIT_CWND: u32 = 10 * MSS;
+const BUF_SIZE: u32 = 64 * 1024;
+/// Max extra OOO intervals for the Linux receiver (plus the primary one).
+const LINUX_INTERVALS: usize = 31;
+
+struct HostConn {
+    ps: ProtoState,
+    tuple_rx: FourTuple,
+    peer_mac: MacAddr,
+    rx_buf: SharedBuf,
+    tx_buf: SharedBuf,
+    side: SharedAppSide,
+    app: NodeId,
+    /// Peer's true advertised window (ps.remote_win is clamped by cwnd).
+    peer_win: u16,
+    cwnd: u32,
+    ssthresh: u32,
+    /// Extra reassembly intervals beyond the primary (Linux only).
+    extra: Vec<(SeqNum, u32)>,
+    // RTO state
+    last_una: SeqNum,
+    stall_since: Time,
+    backoff: u32,
+    srtt_us: u32,
+    active: bool,
+}
+
+impl HostConn {
+    fn clamp_window(&mut self) {
+        let cwnd16 = self.cwnd.min(u16::MAX as u32) as u16;
+        self.ps.remote_win = self.peer_win.min(cwnd16);
+    }
+}
+
+struct PendingActive {
+    iss: u32,
+    local_port: u16,
+    remote_ip: Ip4,
+    remote_port: u16,
+    opaque: u64,
+    side: SharedAppSide,
+    app: NodeId,
+}
+
+struct Listener {
+    side: SharedAppSide,
+    app: NodeId,
+}
+
+struct PendingPassive {
+    iss: u32,
+    port: u16,
+}
+
+/// Resume transmission after backpressure.
+struct PumpTx {
+    conn: u32,
+}
+
+pub struct HostStackNode {
+    pub kind: StackKind,
+    costs: StackCosts,
+    clock: flextoe_sim::Clock,
+    pub mac: MacAddr,
+    pub ip: Ip4,
+    link_out: NodeId,
+    mac_bps: u64,
+    mac_free: Time,
+    /// Processing core(s) for TCP work.
+    core: FpcTimer,
+    /// Extra fixed latency per packet (Chelsio's ASIC pipeline).
+    nic_latency: Duration,
+    conns: Vec<Option<HostConn>>,
+    lookup: HashMap<FourTuple, u32>,
+    listeners: HashMap<u16, Listener>,
+    active: HashMap<FourTuple, PendingActive>,
+    passive: HashMap<FourTuple, PendingPassive>,
+    arp: HashMap<Ip4, MacAddr>,
+    next_port: u16,
+    rto_armed: bool,
+    /// Lock-contention multiplier (set by multi-core experiments).
+    pub n_app_cores: u32,
+    /// Payload-copy cycles per byte (socket-buffer copies; §E's
+    /// TAS-nocopy variant sets this to zero).
+    pub copy_cycles_per_byte: f64,
+    pub rx_packets: u64,
+    pub tx_packets: u64,
+    pub retransmits: u64,
+    pub established: u64,
+}
+
+impl HostStackNode {
+    pub fn new(kind: StackKind, mac: MacAddr, ip: Ip4, link_out: NodeId) -> Self {
+        let (clock, threads, mac_bps, nic_latency) = match kind {
+            StackKind::FlexBaselineFpc => (
+                flextoe_sim::clocks::FPC_800MHZ,
+                1,
+                40_000_000_000,
+                Duration::ZERO,
+            ),
+            StackKind::Chelsio => (
+                flextoe_sim::clocks::HOST_2GHZ,
+                1,
+                100_000_000_000, // Terminator T62100: 100 Gbps
+                Duration::from_us(2),
+            ),
+            _ => (flextoe_sim::clocks::HOST_2GHZ, 1, 40_000_000_000, Duration::ZERO),
+        };
+        HostStackNode {
+            kind,
+            costs: kind.costs(),
+            clock,
+            mac,
+            ip,
+            link_out,
+            mac_bps,
+            mac_free: Time::ZERO,
+            core: FpcTimer::new(clock, threads),
+            nic_latency,
+            conns: Vec::new(),
+            lookup: HashMap::new(),
+            listeners: HashMap::new(),
+            active: HashMap::new(),
+            passive: HashMap::new(),
+            arp: HashMap::new(),
+            next_port: 42_000,
+            rto_armed: false,
+            n_app_cores: 1,
+            copy_cycles_per_byte: 0.07,
+            rx_packets: 0,
+            tx_packets: 0,
+            retransmits: 0,
+            established: 0,
+        }
+    }
+
+    pub fn add_peer(&mut self, ip: Ip4, mac: MacAddr) {
+        self.arp.insert(ip, mac);
+    }
+
+    /// Per-packet TCP processing cost with lock contention and the
+    /// payload-length-dependent copy share.
+    fn pkt_cost_len(&self, payload: usize) -> Cost {
+        let scale = 1.0 + self.costs.contention * (self.n_app_cores.saturating_sub(1)) as f64;
+        Cost::new(
+            (self.costs.per_packet_stack as f64 * scale) as u64
+                + (payload as f64 * self.copy_cycles_per_byte) as u64,
+            self.costs.per_packet_mem,
+        )
+    }
+
+    fn pkt_cost(&self) -> Cost {
+        self.pkt_cost_len(0)
+    }
+
+    /// Re-platform this stack (Fig. 14 ports): change the processing
+    /// clock and NIC rate.
+    pub fn set_platform(&mut self, clock: flextoe_sim::Clock, mac_bps: u64) {
+        self.clock = clock;
+        self.core = FpcTimer::new(clock, 1);
+        self.mac_bps = mac_bps;
+    }
+
+    fn charge(&mut self, now: Time, cost: Cost) -> Duration {
+        let done = self.core.execute(now, cost);
+        done.saturating_since(now)
+    }
+
+    /// Transmit a frame, serialized on the NIC at line rate.
+    fn emit(&mut self, ctx: &mut Ctx<'_>, after: Duration, frame: Vec<u8>) {
+        self.tx_packets += 1;
+        let bits = frame.len() as u64 * 8;
+        let ser = Duration::from_ps(bits.saturating_mul(1_000_000_000_000) / self.mac_bps);
+        let start = (ctx.now() + after + self.nic_latency).max(self.mac_free);
+        self.mac_free = start + ser;
+        ctx.send_at(self.link_out, self.mac_free, Frame(frame));
+    }
+
+    fn take(&mut self, id: u32) -> Option<HostConn> {
+        self.conns.get_mut(id as usize)?.take()
+    }
+
+    fn put(&mut self, id: u32, c: HostConn) {
+        self.conns[id as usize] = Some(c);
+    }
+
+    fn arm_rto(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.rto_armed {
+            self.rto_armed = true;
+            ctx.wake(Duration::from_ms(1), Tick);
+        }
+    }
+
+    // ---- transmission -------------------------------------------------------
+
+    fn pump_tx(&mut self, ctx: &mut Ctx<'_>, id: u32) {
+        let Some(mut c) = self.take(id) else { return };
+        let (my_mac, my_ip) = (self.mac, self.ip);
+        let mut budget = 64;
+        let now = ctx.now();
+        let mut sent_any = false;
+        loop {
+            c.clamp_window();
+            if budget == 0 {
+                ctx.wake(Duration::from_us(1), PumpTx { conn: id });
+                break;
+            }
+            let Some(seg) = proto::tx_next(&mut c.ps, MSS) else {
+                break;
+            };
+            budget -= 1;
+            sent_any = true;
+            let payload = c.tx_buf.borrow().read_vec(seg.buf_pos, seg.len);
+            let mut spec = spec_for(my_mac, my_ip, &c);
+            spec.seq = seg.seq;
+            spec.ack = seg.ack;
+            spec.window = seg.window;
+            spec.flags = TcpFlags::ACK
+                | TcpFlags::PSH
+                | if seg.fin { TcpFlags::FIN } else { TcpFlags(0) };
+            spec.options = TcpOptions {
+                timestamp: Some((now.as_us() as u32, seg.ts_echo)),
+                ..Default::default()
+            };
+            spec.payload_len = payload.len();
+            let frame = spec.emit(&payload);
+            let cost = self.pkt_cost_len(payload.len());
+            let d = self.charge(now, cost);
+            self.emit(ctx, d, frame);
+        }
+        self.put(id, c);
+        if sent_any {
+            self.arm_rto(ctx);
+        }
+    }
+
+    /// Retransmit after loss, per sender policy.
+    fn retransmit(&mut self, ctx: &mut Ctx<'_>, id: u32, first_seg_only: bool) {
+        self.retransmits += 1;
+        let now = ctx.now();
+        let Some(mut c) = self.take(id) else { return };
+        let (my_mac, my_ip) = (self.mac, self.ip);
+        if first_seg_only && c.ps.tx_sent > 0 {
+            // NewReno-lite: resend only the first unacknowledged segment.
+            let len = c.ps.tx_sent.min(MSS);
+            let una = c.ps.snd_una();
+            let pos = c.ps.tx_pos.wrapping_sub(c.ps.tx_sent);
+            let payload = c.tx_buf.borrow().read_vec(pos, len);
+            let mut spec = spec_for(my_mac, my_ip, &c);
+            spec.seq = una;
+            spec.ack = c.ps.ack;
+            spec.window = proto::advertised_window(&c.ps);
+            spec.flags = TcpFlags::ACK | TcpFlags::PSH;
+            spec.options = TcpOptions {
+                timestamp: Some((now.as_us() as u32, c.ps.next_ts)),
+                ..Default::default()
+            };
+            spec.payload_len = payload.len();
+            let frame = spec.emit(&payload);
+            let cost = self.pkt_cost();
+            let d = self.charge(now, cost);
+            self.emit(ctx, d, frame);
+            self.put(id, c);
+        } else {
+            proto::go_back_n(&mut c.ps);
+            self.put(id, c);
+            self.pump_tx(ctx, id);
+        }
+    }
+
+    // ---- receive --------------------------------------------------------------
+
+    fn on_data_segment(&mut self, ctx: &mut Ctx<'_>, id: u32, view: &SegmentView, frame: &[u8]) {
+        let now = ctx.now();
+        let kind = self.kind;
+        let cost = self.pkt_cost_len(view.payload_len);
+        let d = self.charge(now, cost);
+        let Some(mut c) = self.take(id) else {
+            return;
+        };
+        let c = &mut c;
+        let mut sum = RxSummary {
+            seq: view.seq,
+            ack: view.ack,
+            flags: view.flags,
+            window: view.window,
+            payload_len: view.payload_len as u32,
+            tsval: view.tsval,
+            tsecr: view.tsecr,
+            has_ts: view.has_ts,
+            ecn_ce: view.ecn.is_ce(),
+        };
+        // Track the peer's true window; cwnd clamping happens on send.
+        if sum.flags.ack() {
+            c.peer_win = sum.window;
+        }
+
+        // Chelsio: "RDMA-like" receiver — drop all out-of-order payload.
+        if kind == StackKind::Chelsio && sum.payload_len > 0 && sum.seq.after(c.ps.ack) {
+            sum.payload_len = 0; // process ACK side only
+            sum.flags = TcpFlags(sum.flags.0 & !TcpFlags::FIN.0);
+            let out = proto::rx_segment(&mut c.ps, &sum);
+            let _ = out;
+            // duplicate ACK to trigger sender retransmission
+            let taken = std::mem::replace(c, dummy_conn());
+            self.put(id, taken);
+            self.send_ack(ctx, id, d, false);
+            return;
+        }
+
+        let old_cwnd_acked;
+        let out = proto::rx_segment(&mut c.ps, &sum);
+        old_cwnd_acked = out.acked_bytes;
+
+        // payload placement into the host receive buffer
+        if let Some(p) = out.placement {
+            let base = view.payload_off;
+            let src = &frame[base + p.frame_off as usize..base + (p.frame_off + p.len) as usize];
+            c.rx_buf.borrow_mut().write(p.buf_pos, src);
+        }
+
+        // Linux: absorb disjoint OOO segments into extra intervals.
+        let mut delivered = out.delivered;
+        let fin_delivered = out.fin_delivered;
+        if kind == StackKind::Linux {
+            if out.dropped && out.out_of_order && c.extra.len() < LINUX_INTERVALS {
+                let seg_seq = sum.seq.max(c.ps.ack);
+                let len = sum.payload_len - (seg_seq - sum.seq);
+                let within = (seg_seq - c.ps.ack) + len <= c.ps.rx_avail;
+                if len > 0 && within {
+                    let pos = c.ps.rx_pos.wrapping_add(seg_seq - c.ps.ack);
+                    let base = view.payload_off + (seg_seq - sum.seq) as usize;
+                    c.rx_buf
+                        .borrow_mut()
+                        .write(pos, &frame[base..base + len as usize]);
+                    merge_interval(&mut c.extra, seg_seq, len);
+                }
+            }
+            // flush side intervals reachable from the new rcv_nxt
+            loop {
+                let Some(idx) = c
+                    .extra
+                    .iter()
+                    .position(|(s, l)| s.before_eq(c.ps.ack) && (*s + *l).after(c.ps.ack))
+                else {
+                    break;
+                };
+                let (s, l) = c.extra.remove(idx);
+                let flush = (s + l) - c.ps.ack;
+                c.ps.ack += flush;
+                c.ps.rx_pos = c.ps.rx_pos.wrapping_add(flush);
+                c.ps.rx_avail -= flush;
+                delivered += flush;
+            }
+            c.extra.retain(|(s, l)| (*s + *l).after(c.ps.ack));
+        }
+
+        // AIMD congestion control
+        if old_cwnd_acked > 0 {
+            if c.cwnd < c.ssthresh {
+                c.cwnd += old_cwnd_acked.min(MSS); // slow start
+            } else {
+                c.cwnd += (MSS as u64 * old_cwnd_acked as u64 / c.cwnd as u64) as u32;
+            }
+            c.cwnd = c.cwnd.min(BUF_SIZE);
+            c.backoff = 0;
+        }
+        if let Some(tsecr) = out.rtt_sample_ts {
+            let rtt = (now.as_us() as u32).wrapping_sub(tsecr);
+            if rtt < 1_000_000 {
+                c.srtt_us = if c.srtt_us == 0 { rtt } else { (c.srtt_us * 7 + rtt) / 8 };
+            }
+        }
+        let fast_retx = out.fast_retransmit;
+        if fast_retx {
+            c.ssthresh = (c.cwnd / 2).max(2 * MSS);
+            c.cwnd = c.ssthresh;
+        }
+
+        // application notifications
+        if delivered > 0 || fin_delivered || out.acked_bytes > 0 {
+            let mut side = c.side.borrow_mut();
+            if let Some(s) = side.socks.get_mut(&id) {
+                if delivered > 0 {
+                    s.rx_ready += delivered;
+                }
+                if out.acked_bytes > 0 {
+                    s.tx_free += out.acked_bytes;
+                }
+            }
+            drop(side);
+            if delivered > 0 {
+                wake_app(ctx, c, d, SockEvent::Readable { conn: id, available: delivered });
+            }
+            if out.acked_bytes > 0 {
+                wake_app(ctx, c, d, SockEvent::Writable { conn: id, free: out.acked_bytes });
+            }
+            if fin_delivered {
+                wake_app(ctx, c, d, SockEvent::Eof { conn: id });
+            }
+        }
+
+        let taken = std::mem::replace(c, dummy_conn());
+        self.put(id, taken);
+        if out.send_ack {
+            self.send_ack(ctx, id, d, out.ecn_echo);
+        }
+        if fast_retx {
+            let first_only = kind == StackKind::Linux;
+            self.retransmit(ctx, id, first_only);
+        }
+        // window/ack progress may allow more transmission
+        self.pump_tx(ctx, id);
+    }
+
+    fn send_ack(&mut self, ctx: &mut Ctx<'_>, id: u32, after: Duration, ece: bool) {
+        let now_us = ctx.now().as_us() as u32;
+        let Some(c) = self.take(id) else {
+            return;
+        };
+        let mut spec = spec_for(self.mac, self.ip, &c);
+        spec.ecn = Ecn::NotEct;
+        spec.seq = c.ps.seq;
+        spec.ack = c.ps.ack;
+        spec.window = proto::advertised_window(&c.ps);
+        spec.flags = if ece { TcpFlags::ACK | TcpFlags::ECE } else { TcpFlags::ACK };
+        spec.options = TcpOptions {
+            timestamp: Some((now_us, c.ps.next_ts)),
+            ..Default::default()
+        };
+        let frame = spec.emit_zeroed();
+        self.put(id, c);
+        self.emit(ctx, after, frame);
+    }
+
+    // ---- handshake --------------------------------------------------------------
+
+    fn install(
+        &mut self,
+        peer_ip: Ip4,
+        peer_port: u16,
+        local_port: u16,
+        iss: u32,
+        peer_iss: u32,
+        peer_win: u16,
+        side: SharedAppSide,
+        app: NodeId,
+    ) -> u32 {
+        let peer_mac = *self.arp.get(&peer_ip).expect("arp");
+        let tuple_rx = FourTuple::new(peer_ip, peer_port, self.ip, local_port);
+        let rx_buf = shared_buf(BUF_SIZE);
+        let tx_buf = shared_buf(BUF_SIZE);
+        let mut conn = HostConn {
+            ps: ProtoState {
+                seq: SeqNum(iss.wrapping_add(1)),
+                ack: SeqNum(peer_iss.wrapping_add(1)),
+                rx_avail: BUF_SIZE,
+                remote_win: peer_win,
+                ..Default::default()
+            },
+            tuple_rx,
+            peer_mac,
+            rx_buf: rx_buf.clone(),
+            tx_buf: tx_buf.clone(),
+            side: side.clone(),
+            app,
+            peer_win,
+            cwnd: INIT_CWND,
+            ssthresh: BUF_SIZE,
+            extra: Vec::new(),
+            last_una: SeqNum(iss.wrapping_add(1)),
+            stall_since: Time::ZERO,
+            backoff: 0,
+            srtt_us: 0,
+            active: true,
+        };
+        conn.clamp_window();
+        let id = self
+            .conns
+            .iter()
+            .position(|c| c.is_none())
+            .unwrap_or(self.conns.len());
+        if id == self.conns.len() {
+            self.conns.push(None);
+        }
+        self.conns[id] = Some(conn);
+        self.lookup.insert(tuple_rx, id as u32);
+        side.borrow_mut().socks.insert(
+            id as u32,
+            AppSock {
+                rx_buf,
+                tx_buf,
+                rx_pos: 0,
+                rx_ready: 0,
+                tx_pos: 0,
+                tx_free: BUF_SIZE,
+                closed: false,
+            },
+        );
+        self.established += 1;
+        id as u32
+    }
+
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, frame: Vec<u8>) {
+        self.rx_packets += 1;
+        let Ok(view) = SegmentView::parse(&frame, true) else {
+            return;
+        };
+        let tuple = view.four_tuple();
+        if let Some(&id) = self.lookup.get(&tuple) {
+            if view.flags.rst() {
+                self.teardown(id);
+                return;
+            }
+            if view.flags.is_datapath() {
+                self.on_data_segment(ctx, id, &view, &frame);
+                return;
+            }
+            return; // stray handshake segment for a live conn
+        }
+        let flags = view.flags;
+        if flags.syn() && !flags.ack() {
+            if let Some(listener) = self.listeners.get(&view.dst_port) {
+                let iss = ctx.rng.next_u32();
+                self.passive.insert(tuple, PendingPassive { iss, port: view.dst_port });
+                let _ = listener;
+                let mut spec = SegmentSpec {
+                    src_mac: self.mac,
+                    dst_mac: view.src_mac,
+                    src_ip: self.ip,
+                    dst_ip: view.src_ip,
+                    src_port: view.dst_port,
+                    dst_port: view.src_port,
+                    window: u16::MAX,
+                    options: TcpOptions { mss: Some(MSS as u16), ..Default::default() },
+                    ..Default::default()
+                };
+                spec.seq = SeqNum(iss);
+                spec.ack = view.seq + 1;
+                spec.flags = TcpFlags::SYN | TcpFlags::ACK;
+                let f = spec.emit_zeroed();
+                self.emit(ctx, Duration::ZERO, f);
+            }
+            return;
+        }
+        if flags.syn() && flags.ack() {
+            if let Some(p) = self.active.remove(&tuple) {
+                // final ACK
+                let mut spec = SegmentSpec {
+                    src_mac: self.mac,
+                    dst_mac: view.src_mac,
+                    src_ip: self.ip,
+                    dst_ip: p.remote_ip,
+                    src_port: p.local_port,
+                    dst_port: p.remote_port,
+                    window: u16::MAX,
+                    ..Default::default()
+                };
+                spec.seq = SeqNum(p.iss.wrapping_add(1));
+                spec.ack = view.seq + 1;
+                spec.flags = TcpFlags::ACK;
+                let f = spec.emit_zeroed();
+                self.emit(ctx, Duration::ZERO, f);
+                let id = self.install(
+                    p.remote_ip,
+                    p.remote_port,
+                    p.local_port,
+                    p.iss,
+                    view.seq.0,
+                    view.window,
+                    p.side.clone(),
+                    p.app,
+                );
+                let c = self.conns[id as usize].as_ref().unwrap();
+                wake_app(ctx, c, Duration::ZERO, SockEvent::Connected { conn: id, opaque: p.opaque });
+            }
+            return;
+        }
+        if flags.ack() {
+            if let Some(pp) = self.passive.remove(&tuple) {
+                let listener = self.listeners.get(&pp.port).expect("listener");
+                let (side, app) = (listener.side.clone(), listener.app);
+                let id = self.install(
+                    view.src_ip,
+                    view.src_port,
+                    view.dst_port,
+                    pp.iss,
+                    view.seq.0.wrapping_sub(1),
+                    view.window,
+                    side,
+                    app,
+                );
+                let c = self.conns[id as usize].as_ref().unwrap();
+                wake_app(
+                    ctx,
+                    c,
+                    Duration::ZERO,
+                    SockEvent::Accepted { conn: id, port: pp.port, peer: (view.src_ip, view.src_port) },
+                );
+                if view.payload_len > 0 || view.flags.fin() {
+                    self.on_frame(ctx, frame); // replay: now an installed conn
+                }
+            }
+        }
+    }
+
+    fn teardown(&mut self, id: u32) {
+        if let Some(Some(c)) = self.conns.get_mut(id as usize) {
+            c.active = false;
+            let tuple = c.tuple_rx;
+            self.conns[id as usize] = None;
+            self.lookup.remove(&tuple);
+        }
+    }
+
+    fn rto_scan(&mut self, ctx: &mut Ctx<'_>) {
+        let now = ctx.now();
+        let mut fire = Vec::new();
+        for (id, slot) in self.conns.iter_mut().enumerate() {
+            let Some(c) = slot else { continue };
+            // fully closed -> reclaim
+            if c.ps.fin_received && c.ps.fin_sent && !c.ps.fin_pending && c.ps.tx_sent == 0 {
+                fire.push((id as u32, true));
+                continue;
+            }
+            if c.ps.tx_sent == 0 {
+                c.backoff = 0;
+                c.last_una = c.ps.snd_una();
+                c.stall_since = now;
+                continue;
+            }
+            let una = c.ps.snd_una();
+            if una != c.last_una {
+                c.last_una = una;
+                c.stall_since = now;
+                c.backoff = 0;
+                continue;
+            }
+            let base = Duration::from_us(4 * c.srtt_us.max(250) as u64);
+            let rto = base * (1 << c.backoff.min(6));
+            if now.saturating_since(c.stall_since) >= rto {
+                c.stall_since = now;
+                c.backoff += 1;
+                c.ssthresh = (c.cwnd / 2).max(2 * MSS);
+                c.cwnd = 2 * MSS;
+                fire.push((id as u32, false));
+            }
+        }
+        for (id, close) in fire {
+            if close {
+                self.teardown(id);
+            } else {
+                self.retransmit(ctx, id, false); // RTO is always go-back-N
+            }
+        }
+        if self.conns.iter().any(|c| c.is_some()) {
+            ctx.wake(Duration::from_ms(1), Tick);
+        } else {
+            self.rto_armed = false;
+        }
+    }
+
+    fn on_syscall(&mut self, ctx: &mut Ctx<'_>, side: SharedAppSide) {
+        let descs: Vec<AppToNic> = side.borrow_mut().to_stack.drain(..).collect();
+        for desc in descs {
+            match desc {
+                AppToNic::TxAppend { conn, len } => {
+                    if let Some(Some(c)) = self.conns.get_mut(conn as usize) {
+                        proto::hc_tx_append(&mut c.ps, len);
+                    }
+                    self.pump_tx(ctx, conn);
+                }
+                AppToNic::RxConsumed { conn, len } => {
+                    if let Some(Some(c)) = self.conns.get_mut(conn as usize) {
+                        if proto::hc_rx_consumed(&mut c.ps, len, MSS) {
+                            self.send_ack(ctx, conn, Duration::ZERO, false);
+                        }
+                    }
+                }
+                AppToNic::Close { conn } => {
+                    if let Some(Some(c)) = self.conns.get_mut(conn as usize) {
+                        proto::hc_close(&mut c.ps);
+                    }
+                    self.pump_tx(ctx, conn);
+                }
+                AppToNic::Retransmit { conn } => self.retransmit(ctx, conn, false),
+            }
+        }
+    }
+}
+
+impl Node for HostStackNode {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let msg = match try_cast::<Frame>(msg) {
+            Ok(frame) => {
+                self.on_frame(ctx, frame.0);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match try_cast::<HostSyscall>(msg) {
+            Ok(s) => {
+                self.on_syscall(ctx, s.side);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match try_cast::<HostListen>(msg) {
+            Ok(l) => {
+                self.listeners.insert(l.port, Listener { side: l.side, app: l.app });
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match try_cast::<HostConnect>(msg) {
+            Ok(c) => {
+                let local_port = self.next_port;
+                self.next_port = self.next_port.wrapping_add(1).max(42_000);
+                let iss = ctx.rng.next_u32();
+                let Some(&dst_mac) = self.arp.get(&c.ip) else {
+                    return;
+                };
+                let key = FourTuple::new(c.ip, c.port, self.ip, local_port);
+                self.active.insert(
+                    key,
+                    PendingActive {
+                        iss,
+                        local_port,
+                        remote_ip: c.ip,
+                        remote_port: c.port,
+                        opaque: c.opaque,
+                        side: c.side,
+                        app: c.app,
+                    },
+                );
+                let mut spec = SegmentSpec {
+                    src_mac: self.mac,
+                    dst_mac,
+                    src_ip: self.ip,
+                    dst_ip: c.ip,
+                    src_port: local_port,
+                    dst_port: c.port,
+                    window: u16::MAX,
+                    options: TcpOptions { mss: Some(MSS as u16), ..Default::default() },
+                    ..Default::default()
+                };
+                spec.seq = SeqNum(iss);
+                spec.flags = TcpFlags::SYN;
+                let f = spec.emit_zeroed();
+                self.emit(ctx, Duration::ZERO, f);
+                self.arm_rto(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match try_cast::<PumpTx>(msg) {
+            Ok(p) => {
+                self.pump_tx(ctx, p.conn);
+                return;
+            }
+            Err(m) => m,
+        };
+        let _ = flextoe_sim::cast::<Tick>(msg);
+        self.rto_scan(ctx);
+    }
+
+    fn name(&self) -> String {
+        format!("hoststack-{}", self.kind.name())
+    }
+}
+
+/// Placeholder used while a connection is checked out of the table.
+fn dummy_conn() -> HostConn {
+    HostConn {
+        ps: ProtoState::default(),
+        tuple_rx: FourTuple::new(Ip4(0), 0, Ip4(0), 0),
+        peer_mac: MacAddr::ZERO,
+        rx_buf: shared_buf(4),
+        tx_buf: shared_buf(4),
+        side: crate::shared::shared_app_side(),
+        app: 0,
+        peer_win: 0,
+        cwnd: 0,
+        ssthresh: 0,
+        extra: Vec::new(),
+        last_una: SeqNum(0),
+        stall_since: Time::ZERO,
+        backoff: 0,
+        srtt_us: 0,
+        active: false,
+    }
+}
+
+fn spec_for(mac: MacAddr, ip: Ip4, conn: &HostConn) -> SegmentSpec {
+    SegmentSpec {
+        src_mac: mac,
+        dst_mac: conn.peer_mac,
+        src_ip: ip,
+        dst_ip: conn.tuple_rx.src_ip,
+        src_port: conn.tuple_rx.dst_port,
+        dst_port: conn.tuple_rx.src_port,
+        ecn: Ecn::Ect0,
+        ..Default::default()
+    }
+}
+
+fn wake_app(ctx: &mut Ctx<'_>, conn: &HostConn, after: Duration, ev: SockEvent) {
+    conn.side.borrow_mut().events.push_back(ev);
+    ctx.send(conn.app, after + Duration::from_us(1), HostWake);
+}
+
+/// Merge `[s, s+l)` into the side-interval list (overlap-coalescing).
+fn merge_interval(list: &mut Vec<(SeqNum, u32)>, s: SeqNum, l: u32) {
+    let mut new_s = s;
+    let mut new_e = s + l;
+    list.retain(|(is, il)| {
+        let ie = *is + *il;
+        if is.before_eq(new_e) && new_s.before_eq(ie) {
+            new_s = new_s.min(*is);
+            new_e = new_e.max(ie);
+            false
+        } else {
+            true
+        }
+    });
+    list.push((new_s, new_e - new_s));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_intervals_coalesces() {
+        let mut l = Vec::new();
+        merge_interval(&mut l, SeqNum(100), 50);
+        merge_interval(&mut l, SeqNum(200), 50);
+        assert_eq!(l.len(), 2);
+        merge_interval(&mut l, SeqNum(150), 50); // bridges both
+        assert_eq!(l.len(), 1);
+        assert_eq!(l[0], (SeqNum(100), 150));
+        // overlapping extension
+        merge_interval(&mut l, SeqNum(240), 20);
+        assert_eq!(l[0], (SeqNum(100), 160));
+    }
+
+    #[test]
+    fn stack_kind_wiring() {
+        let n = HostStackNode::new(
+            StackKind::Chelsio,
+            MacAddr::local(1),
+            Ip4::host(1),
+            0,
+        );
+        assert_eq!(n.mac_bps, 100_000_000_000, "Chelsio is a 100G NIC");
+        assert_eq!(n.nic_latency, Duration::from_us(2));
+        let n = HostStackNode::new(StackKind::FlexBaselineFpc, MacAddr::local(1), Ip4::host(1), 0);
+        assert_eq!(n.clock.hz(), 800_000_000);
+    }
+}

@@ -1,0 +1,11 @@
+//! # flextoe-netsim — the network substrate
+//!
+//! Links with propagation delay and smoltcp-style fault injection, plus an
+//! output-queued switch with per-port shaping, DCTCP ECN marking, and
+//! WRED — everything the paper's robustness experiments (§5.3) exercise.
+
+pub mod link;
+pub mod switch;
+
+pub use link::{Faults, Link};
+pub use switch::{PortConfig, Switch, WredParams};

@@ -1,0 +1,176 @@
+//! Point-to-point links with propagation delay and fault injection.
+//!
+//! Fault injection follows the smoltcp example conventions: a drop
+//! probability, a corruption probability (one octet mutated), and an
+//! optional size limit. The §5.3 loss experiments "artificially induce
+//! packet losses in the network by randomly dropping packets … with a
+//! fixed probability" — that is this node.
+
+use flextoe_sim::{cast, Ctx, Duration, Msg, Node, NodeId};
+use flextoe_wire::Frame;
+
+#[derive(Clone, Copy, Debug)]
+pub struct Faults {
+    /// Probability a frame is silently dropped.
+    pub drop_chance: f64,
+    /// Probability one random octet is flipped.
+    pub corrupt_chance: f64,
+    /// Frames larger than this are dropped (None = no limit).
+    pub size_limit: Option<usize>,
+}
+
+impl Default for Faults {
+    fn default() -> Self {
+        Faults {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            size_limit: None,
+        }
+    }
+}
+
+pub struct Link {
+    pub to: NodeId,
+    pub propagation: Duration,
+    pub faults: Faults,
+    pub forwarded: u64,
+    pub dropped: u64,
+    pub corrupted: u64,
+}
+
+impl Link {
+    pub fn new(to: NodeId, propagation: Duration) -> Link {
+        Link {
+            to,
+            propagation,
+            faults: Faults::default(),
+            forwarded: 0,
+            dropped: 0,
+            corrupted: 0,
+        }
+    }
+
+    pub fn with_faults(to: NodeId, propagation: Duration, faults: Faults) -> Link {
+        Link {
+            faults,
+            ..Link::new(to, propagation)
+        }
+    }
+}
+
+impl Node for Link {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let mut frame = cast::<Frame>(msg);
+        if let Some(limit) = self.faults.size_limit {
+            if frame.len() > limit {
+                self.dropped += 1;
+                ctx.stats.bump("link.size_drops", 1);
+                return;
+            }
+        }
+        if ctx.rng.chance(self.faults.drop_chance) {
+            self.dropped += 1;
+            ctx.stats.bump("link.drops", 1);
+            return;
+        }
+        if ctx.rng.chance(self.faults.corrupt_chance) && !frame.is_empty() {
+            let idx = ctx.rng.below(frame.len() as u64) as usize;
+            let bit = 1u8 << ctx.rng.below(8);
+            frame.0[idx] ^= bit;
+            self.corrupted += 1;
+            ctx.stats.bump("link.corrupted", 1);
+        }
+        self.forwarded += 1;
+        ctx.send_boxed(self.to, self.propagation, frame);
+    }
+
+    fn name(&self) -> String {
+        "link".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextoe_sim::{Sim, Time};
+
+    struct Probe {
+        frames: Vec<(u64, Vec<u8>)>,
+    }
+    impl Node for Probe {
+        fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            let f = cast::<Frame>(msg);
+            self.frames.push((ctx.now().as_ns(), f.0));
+        }
+    }
+
+    #[test]
+    fn propagation_delay_applied() {
+        let mut sim = Sim::new(1);
+        let probe = sim.add_node(Probe { frames: vec![] });
+        let link = sim.add_node(Link::new(probe, Duration::from_us(1)));
+        sim.schedule(Time::from_ns(100), link, Frame(vec![1, 2]));
+        sim.run();
+        let p = sim.node_ref::<Probe>(probe);
+        assert_eq!(p.frames[0].0, 1100);
+        assert_eq!(p.frames[0].1, vec![1, 2]);
+    }
+
+    #[test]
+    fn drop_rate_respected() {
+        let mut sim = Sim::new(7);
+        let probe = sim.add_node(Probe { frames: vec![] });
+        let link = sim.add_node(Link::with_faults(
+            probe,
+            Duration::ZERO,
+            Faults {
+                drop_chance: 0.25,
+                ..Default::default()
+            },
+        ));
+        for i in 0..10_000u64 {
+            sim.schedule(Time::from_ns(i), link, Frame(vec![0]));
+        }
+        sim.run();
+        let got = sim.node_ref::<Probe>(probe).frames.len() as f64;
+        assert!((got / 10_000.0 - 0.75).abs() < 0.02, "{got}");
+        assert_eq!(sim.node_ref::<Link>(link).dropped, 10_000 - got as u64);
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let mut sim = Sim::new(3);
+        let probe = sim.add_node(Probe { frames: vec![] });
+        let link = sim.add_node(Link::with_faults(
+            probe,
+            Duration::ZERO,
+            Faults {
+                corrupt_chance: 1.0,
+                ..Default::default()
+            },
+        ));
+        sim.schedule(Time::ZERO, link, Frame(vec![0u8; 32]));
+        sim.run();
+        let p = &sim.node_ref::<Probe>(probe).frames[0].1;
+        let set_bits: u32 = p.iter().map(|b| b.count_ones()).sum();
+        assert_eq!(set_bits, 1);
+    }
+
+    #[test]
+    fn size_limit_drops_jumbo() {
+        let mut sim = Sim::new(1);
+        let probe = sim.add_node(Probe { frames: vec![] });
+        let link = sim.add_node(Link::with_faults(
+            probe,
+            Duration::ZERO,
+            Faults {
+                size_limit: Some(100),
+                ..Default::default()
+            },
+        ));
+        sim.schedule(Time::ZERO, link, Frame(vec![0; 101]));
+        sim.schedule(Time::ZERO, link, Frame(vec![0; 100]));
+        sim.run();
+        assert_eq!(sim.node_ref::<Probe>(probe).frames.len(), 1);
+    }
+}

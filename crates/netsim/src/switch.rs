@@ -1,0 +1,375 @@
+//! An output-queued Ethernet switch with ECN marking, WRED, and per-port
+//! shaping — the testbed's "100 Gbps Ethernet switch" plus the knobs the
+//! paper turns: random drops for §5.3, and for the incast experiment
+//! (Table 4) "traffic shaping on the switch to restrict port bandwidth …
+//! and WRED to perform tail drops when the switch buffer is exhausted."
+//!
+//! DCTCP needs the switch to mark ECN-capable packets with CE once the
+//! output queue exceeds the step threshold K [1]; marking rewrites the IP
+//! header ECN bits and refreshes the IPv4 checksum.
+
+use std::collections::{HashMap, VecDeque};
+
+use flextoe_sim::{cast, try_cast, Ctx, Duration, Msg, Node, NodeId};
+use flextoe_wire::{Ecn, EthFrame, Frame, Ipv4Packet, MacAddr, ETH_HDR_LEN};
+
+#[derive(Clone, Copy, Debug)]
+pub struct WredParams {
+    /// Queue depth (bytes) where random early drop begins.
+    pub min_bytes: usize,
+    /// Depth where the drop probability reaches `max_p` (beyond: tail drop).
+    pub max_bytes: usize,
+    pub max_p: f64,
+}
+
+#[derive(Clone, Copy, Debug)]
+pub struct PortConfig {
+    /// Egress rate in bits/second.
+    pub rate_bps: u64,
+    /// Output buffer capacity in bytes.
+    pub buf_bytes: usize,
+    /// DCTCP step-marking threshold K in bytes (None = no ECN marking).
+    pub ecn_threshold: Option<usize>,
+    pub wred: Option<WredParams>,
+}
+
+impl Default for PortConfig {
+    fn default() -> Self {
+        PortConfig {
+            rate_bps: 100_000_000_000,
+            buf_bytes: 512 * 1024,
+            // K ≈ 65 packets at 100G per the DCTCP guideline, scaled down
+            // to our shallow-buffer testbed switch.
+            ecn_threshold: Some(96 * 1024),
+            wred: None,
+        }
+    }
+}
+
+struct Port {
+    cfg: PortConfig,
+    to: NodeId,
+    queue: VecDeque<Frame>,
+    queue_bytes: usize,
+    transmitting: bool,
+    pub tx_frames: u64,
+    pub drops: u64,
+    pub ecn_marked: u64,
+}
+
+/// Egress-complete self message.
+struct PortDone(usize);
+
+pub struct Switch {
+    ports: Vec<Port>,
+    mac_table: HashMap<MacAddr, usize>,
+    /// Forwarding latency (lookup + crossbar).
+    pub latency: Duration,
+    pub flooded: u64,
+}
+
+impl Switch {
+    pub fn new() -> Switch {
+        Switch {
+            ports: Vec::new(),
+            mac_table: HashMap::new(),
+            latency: Duration::from_ns(500),
+            flooded: 0,
+        }
+    }
+
+    /// Add a port facing `to` (a link or MAC node); returns the port id.
+    pub fn add_port(&mut self, to: NodeId, cfg: PortConfig) -> usize {
+        self.ports.push(Port {
+            cfg,
+            to,
+            queue: VecDeque::new(),
+            queue_bytes: 0,
+            transmitting: false,
+            tx_frames: 0,
+            drops: 0,
+            ecn_marked: 0,
+        });
+        self.ports.len() - 1
+    }
+
+    /// Static MAC learning (testbed configuration).
+    pub fn learn(&mut self, mac: MacAddr, port: usize) {
+        self.mac_table.insert(mac, port);
+    }
+
+    pub fn port_stats(&self, port: usize) -> (u64, u64, u64) {
+        let p = &self.ports[port];
+        (p.tx_frames, p.drops, p.ecn_marked)
+    }
+
+    pub fn set_port_rate(&mut self, port: usize, rate_bps: u64) {
+        self.ports[port].cfg.rate_bps = rate_bps;
+    }
+
+    fn serialize(cfg: &PortConfig, bytes: usize) -> Duration {
+        Duration::from_ps((bytes as u64 * 8).saturating_mul(1_000_000_000_000) / cfg.rate_bps)
+    }
+
+    fn start_tx(&mut self, ctx: &mut Ctx<'_>, port: usize) {
+        let p = &mut self.ports[port];
+        if p.transmitting {
+            return;
+        }
+        let Some(frame) = p.queue.pop_front() else {
+            return;
+        };
+        p.queue_bytes -= frame.len();
+        p.transmitting = true;
+        p.tx_frames += 1;
+        let d = Self::serialize(&p.cfg, frame.len());
+        ctx.send_boxed(p.to, d, Box::new(frame));
+        ctx.wake(d, PortDone(port));
+    }
+
+    fn enqueue(&mut self, ctx: &mut Ctx<'_>, port: usize, mut frame: Frame) {
+        let p = &mut self.ports[port];
+        let len = frame.len();
+
+        // tail drop at capacity
+        if p.queue_bytes + len > p.cfg.buf_bytes {
+            p.drops += 1;
+            ctx.stats.bump("switch.tail_drops", 1);
+            return;
+        }
+        // WRED random early drop
+        if let Some(w) = p.cfg.wred {
+            if p.queue_bytes > w.min_bytes {
+                let span = (w.max_bytes - w.min_bytes).max(1) as f64;
+                let x = ((p.queue_bytes - w.min_bytes) as f64 / span).min(1.0);
+                if ctx.rng.chance(x * w.max_p) {
+                    p.drops += 1;
+                    ctx.stats.bump("switch.wred_drops", 1);
+                    return;
+                }
+            }
+        }
+        // DCTCP step marking: CE above K, for ECN-capable packets
+        if let Some(k) = p.cfg.ecn_threshold {
+            if p.queue_bytes > k {
+                if mark_ce(&mut frame.0) {
+                    p.ecn_marked += 1;
+                    ctx.stats.bump("switch.ecn_marked", 1);
+                }
+            }
+        }
+        p.queue_bytes += len;
+        p.queue.push_back(frame);
+        self.start_tx(ctx, port);
+    }
+}
+
+impl Default for Switch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Set CE on an ECN-capable IPv4 frame; returns whether it was marked.
+fn mark_ce(frame: &mut [u8]) -> bool {
+    if frame.len() < ETH_HDR_LEN + 20 {
+        return false;
+    }
+    let Ok(ip) = Ipv4Packet::new_checked(&frame[ETH_HDR_LEN..]) else {
+        return false;
+    };
+    match ip.ecn() {
+        Ecn::Ect0 | Ecn::Ect1 => {
+            let mut ip = Ipv4Packet(&mut frame[ETH_HDR_LEN..]);
+            ip.set_ecn(Ecn::Ce);
+            ip.fill_checksum();
+            true
+        }
+        Ecn::Ce => true,
+        Ecn::NotEct => false,
+    }
+}
+
+impl Node for Switch {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let msg = match try_cast::<PortDone>(msg) {
+            Ok(done) => {
+                self.ports[done.0].transmitting = false;
+                self.start_tx(ctx, done.0);
+                return;
+            }
+            Err(m) => m,
+        };
+        let frame = cast::<Frame>(msg);
+        let Ok(eth) = EthFrame::new_checked(frame.bytes()) else {
+            return;
+        };
+        let dst = eth.dst();
+        match self.mac_table.get(&dst) {
+            Some(&port) => {
+                // model forwarding latency by delaying our own enqueue via
+                // a self-send would re-order against PortDone; charge it on
+                // the wire instead: enqueue now, the egress serialization
+                // dominates. (The 500ns forwarding latency is added by the
+                // adjacent links in topology builders.)
+                self.enqueue(ctx, port, *frame);
+            }
+            None => {
+                self.flooded += 1;
+                ctx.stats.bump("switch.flooded", 1);
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        "switch".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextoe_sim::{Sim, Time};
+    use flextoe_wire::{Ecn, SegmentSpec, SegmentView};
+
+    struct Probe {
+        frames: Vec<(u64, Vec<u8>)>,
+    }
+    impl Node for Probe {
+        fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            let f = cast::<Frame>(msg);
+            self.frames.push((ctx.now().as_ns(), f.0));
+        }
+    }
+
+    fn tcp_frame(ecn: Ecn, len: usize) -> Vec<u8> {
+        SegmentSpec {
+            src_mac: MacAddr::local(1),
+            dst_mac: MacAddr::local(2),
+            src_ip: flextoe_wire::Ip4::host(1),
+            dst_ip: flextoe_wire::Ip4::host(2),
+            ecn,
+            payload_len: len,
+            ..Default::default()
+        }
+        .emit_zeroed()
+    }
+
+    fn one_port_switch(cfg: PortConfig) -> (Sim, flextoe_sim::NodeId, flextoe_sim::NodeId) {
+        let mut sim = Sim::new(1);
+        let probe = sim.add_node(Probe { frames: vec![] });
+        let mut sw = Switch::new();
+        let port = sw.add_port(probe, cfg);
+        sw.learn(MacAddr::local(2), port);
+        let swid = sim.add_node(sw);
+        (sim, swid, probe)
+    }
+
+    #[test]
+    fn forwards_by_mac_and_serializes() {
+        let (mut sim, sw, probe) = one_port_switch(PortConfig {
+            rate_bps: 10_000_000_000, // 10G
+            ..Default::default()
+        });
+        let f = tcp_frame(Ecn::NotEct, 1000);
+        let flen = f.len();
+        sim.schedule(Time::ZERO, sw, Frame(f.clone()));
+        sim.schedule(Time::ZERO, sw, Frame(f));
+        sim.run();
+        let p = sim.node_ref::<Probe>(probe);
+        assert_eq!(p.frames.len(), 2);
+        let ser_ns = (flen as u64 * 8) / 10; // bits / 10Gbps in ns
+        assert_eq!(p.frames[0].0, ser_ns);
+        assert_eq!(p.frames[1].0, 2 * ser_ns);
+    }
+
+    #[test]
+    fn unknown_mac_counted_not_forwarded() {
+        let (mut sim, sw, probe) = one_port_switch(Default::default());
+        let mut f = tcp_frame(Ecn::NotEct, 10);
+        f[0..6].copy_from_slice(&[9; 6]); // unknown dst
+        sim.schedule(Time::ZERO, sw, Frame(f));
+        sim.run();
+        assert!(sim.node_ref::<Probe>(probe).frames.is_empty());
+        assert_eq!(sim.node_ref::<Switch>(sw).flooded, 1);
+    }
+
+    #[test]
+    fn tail_drop_at_buffer_cap() {
+        let (mut sim, sw, probe) = one_port_switch(PortConfig {
+            rate_bps: 1_000_000, // 1 Mbps: queue builds instantly
+            buf_bytes: 3000,
+            ecn_threshold: None,
+            wred: None,
+        });
+        for _ in 0..10 {
+            sim.schedule(Time::ZERO, sw, Frame(tcp_frame(Ecn::NotEct, 1000)));
+        }
+        sim.run_until(Time::from_ms(1));
+        let s = sim.node_ref::<Switch>(sw);
+        assert!(s.port_stats(0).1 >= 7, "drops {}", s.port_stats(0).1);
+        let _ = probe;
+    }
+
+    #[test]
+    fn ecn_marking_above_threshold() {
+        let (mut sim, sw, probe) = one_port_switch(PortConfig {
+            rate_bps: 1_000_000,
+            buf_bytes: 1 << 20,
+            ecn_threshold: Some(2000),
+            wred: None,
+        });
+        for _ in 0..10 {
+            sim.schedule(Time::ZERO, sw, Frame(tcp_frame(Ecn::Ect0, 1000)));
+        }
+        sim.run_until(Time::from_ms(1000));
+        let marked = sim.node_ref::<Switch>(sw).port_stats(0).2;
+        assert!(marked >= 7, "marked {marked}");
+        // marked frames carry CE and still parse with a valid checksum
+        let p = sim.node_ref::<Probe>(probe);
+        let mut ce = 0;
+        for (_, f) in &p.frames {
+            let v = SegmentView::parse(f, true).expect("checksum refreshed");
+            if v.ecn == Ecn::Ce {
+                ce += 1;
+            }
+        }
+        assert_eq!(ce as u64, marked);
+    }
+
+    #[test]
+    fn not_ect_frames_never_marked() {
+        let (mut sim, sw, _probe) = one_port_switch(PortConfig {
+            rate_bps: 1_000_000,
+            buf_bytes: 1 << 20,
+            ecn_threshold: Some(0),
+            wred: None,
+        });
+        for _ in 0..5 {
+            sim.schedule(Time::ZERO, sw, Frame(tcp_frame(Ecn::NotEct, 500)));
+        }
+        sim.run_until(Time::from_ms(1000));
+        assert_eq!(sim.node_ref::<Switch>(sw).port_stats(0).2, 0);
+    }
+
+    #[test]
+    fn wred_drops_between_thresholds() {
+        let (mut sim, sw, probe) = one_port_switch(PortConfig {
+            rate_bps: 1_000_000,
+            buf_bytes: 1 << 20,
+            ecn_threshold: None,
+            wred: Some(WredParams {
+                min_bytes: 1000,
+                max_bytes: 20_000,
+                max_p: 1.0,
+            }),
+        });
+        for _ in 0..50 {
+            sim.schedule(Time::ZERO, sw, Frame(tcp_frame(Ecn::NotEct, 1000)));
+        }
+        sim.run_until(Time::from_ms(2000));
+        let drops = sim.node_ref::<Switch>(sw).port_stats(0).1;
+        assert!(drops > 10, "wred drops {drops}");
+        assert!(!sim.node_ref::<Probe>(probe).frames.is_empty());
+    }
+}

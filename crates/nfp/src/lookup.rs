@@ -1,0 +1,166 @@
+//! Active-connection database (§4.1).
+//!
+//! "To facilitate connection index lookup in the pre-processing stage, we
+//! employ the hardware lookup capability of IMEM to maintain a database of
+//! active connections. CAM is used to resolve hash collisions. The
+//! pre-processor computes a CRC-32 hash on a segment's 4-tuple to locate
+//! the connection index using the lookup engine. The pre-processor caches
+//! up to 128 lookup entries in its local memory via a direct-mapped cache
+//! on the hash value."
+
+use std::collections::HashMap;
+
+use flextoe_wire::FourTuple;
+
+use crate::cam::DirectMapped;
+use crate::fpc::Cost;
+use crate::params::Platform;
+
+/// The IMEM-resident connection database, shared by all pre-processors.
+/// (A `Rc<RefCell<ConnDb>>` in practice; the control plane inserts and
+/// removes entries, pre-processors look up.)
+pub struct ConnDb {
+    table: HashMap<FourTuple, u32>,
+    imem_cycles: u64,
+    pub lookups: u64,
+}
+
+impl ConnDb {
+    pub fn new(p: &Platform) -> ConnDb {
+        ConnDb {
+            table: HashMap::new(),
+            imem_cycles: p.mem.imem,
+            lookups: 0,
+        }
+    }
+
+    /// Control-plane insert when a connection reaches ESTABLISHED (§D).
+    pub fn insert(&mut self, tuple: FourTuple, conn: u32) {
+        // Both orientations resolve to the same connection; store the
+        // canonical (RX) orientation: segments arrive with src=peer.
+        self.table.insert(tuple, conn);
+    }
+
+    pub fn remove(&mut self, tuple: &FourTuple) -> Option<u32> {
+        self.table.remove(tuple)
+    }
+
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Raw lookup (no cost modelling) — control-plane use.
+    pub fn get(&self, tuple: &FourTuple) -> Option<u32> {
+        self.table.get(tuple).copied()
+    }
+
+    /// Lookup via the IMEM lookup engine: costs one IMEM access.
+    pub fn lookup_engine(&mut self, tuple: &FourTuple) -> (Option<u32>, Cost) {
+        self.lookups += 1;
+        (self.table.get(tuple).copied(), Cost::new(4, self.imem_cycles))
+    }
+}
+
+/// A pre-processor's private 128-entry direct-mapped lookup cache.
+pub struct LookupCache {
+    cache: DirectMapped<FourTuple>,
+    cached: HashMap<FourTuple, u32>,
+    local_cycles: u64,
+}
+
+impl LookupCache {
+    pub fn new(p: &Platform) -> LookupCache {
+        LookupCache {
+            cache: DirectMapped::new(128),
+            cached: HashMap::new(),
+            local_cycles: p.mem.local,
+        }
+    }
+
+    /// Resolve `tuple` to a connection index, consulting the local cache
+    /// first and falling back to the shared IMEM database.
+    pub fn resolve(&mut self, tuple: &FourTuple, db: &mut ConnDb) -> (Option<u32>, Cost) {
+        let hash = tuple.flow_hash() as u64;
+        if self.cache.access(tuple, hash) {
+            if let Some(&conn) = self.cached.get(tuple) {
+                // Stale entries are possible after control-plane removal;
+                // validate against the authoritative table only on use of
+                // the data-path (cheap shadow check here, free of cost).
+                if db.get(tuple) == Some(conn) {
+                    return (Some(conn), Cost::new(2, self.local_cycles));
+                }
+            }
+        }
+        let (res, mut cost) = db.lookup_engine(tuple);
+        cost += Cost::new(2, self.local_cycles);
+        if let Some(conn) = res {
+            self.cached.insert(*tuple, conn);
+        } else {
+            self.cached.remove(tuple);
+        }
+        (res, cost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::agilio_cx40;
+    use flextoe_wire::Ip4;
+
+    fn tuple(port: u16) -> FourTuple {
+        FourTuple::new(Ip4::host(2), port, Ip4::host(1), 11211)
+    }
+
+    #[test]
+    fn db_insert_lookup_remove() {
+        let p = agilio_cx40();
+        let mut db = ConnDb::new(&p);
+        db.insert(tuple(1000), 5);
+        let (hit, cost) = db.lookup_engine(&tuple(1000));
+        assert_eq!(hit, Some(5));
+        assert_eq!(cost.mem, p.mem.imem);
+        assert_eq!(db.lookup_engine(&tuple(1001)).0, None);
+        assert_eq!(db.remove(&tuple(1000)), Some(5));
+        assert!(db.is_empty());
+    }
+
+    #[test]
+    fn cache_hit_is_cheap_after_first_resolve() {
+        let p = agilio_cx40();
+        let mut db = ConnDb::new(&p);
+        let mut lc = LookupCache::new(&p);
+        db.insert(tuple(2000), 9);
+        let (r1, c1) = lc.resolve(&tuple(2000), &mut db);
+        assert_eq!(r1, Some(9));
+        assert!(c1.mem >= p.mem.imem); // cold: engine lookup
+        let (r2, c2) = lc.resolve(&tuple(2000), &mut db);
+        assert_eq!(r2, Some(9));
+        assert_eq!(c2.mem, p.mem.local); // warm: local cache
+    }
+
+    #[test]
+    fn stale_cache_entry_not_returned_after_removal() {
+        let p = agilio_cx40();
+        let mut db = ConnDb::new(&p);
+        let mut lc = LookupCache::new(&p);
+        db.insert(tuple(3000), 4);
+        lc.resolve(&tuple(3000), &mut db);
+        db.remove(&tuple(3000));
+        let (r, _) = lc.resolve(&tuple(3000), &mut db);
+        assert_eq!(r, None);
+    }
+
+    #[test]
+    fn unknown_flow_misses() {
+        let p = agilio_cx40();
+        let mut db = ConnDb::new(&p);
+        let mut lc = LookupCache::new(&p);
+        let (r, _) = lc.resolve(&tuple(1), &mut db);
+        assert_eq!(r, None);
+        assert_eq!(db.lookups, 1);
+    }
+}

@@ -1,0 +1,165 @@
+//! The MAC island / network block interface (NBI).
+//!
+//! Egress frames serialize at line rate (40 Gbps on the Agilio CX40);
+//! ingress frames are handed to the pipeline entry (the sequencer) after a
+//! small fixed NBI latency. "After DMA completes, it issues the segment to
+//! the NBI (TX), which transmits and frees it" (§3.1.2).
+
+use flextoe_sim::{try_cast, BoundedQueue, Ctx, Duration, Msg, Node, NodeId, Time};
+use flextoe_wire::Frame;
+
+/// A frame submitted by the data-path for transmission.
+pub struct MacTx(pub Frame);
+
+/// Ingress handoff latency (NBI packet-buffer to first pipeline stage).
+const NBI_INGRESS_LATENCY: Duration = Duration::from_ns(120);
+
+struct TxDone;
+
+pub struct MacPort {
+    bps: u64,
+    /// Where serialized egress frames go (a link endpoint).
+    pub wire_out: NodeId,
+    /// Where ingress frames go (pipeline entry / sequencer).
+    pub rx_to: NodeId,
+    egress_free: Time,
+    egress_q: BoundedQueue<Frame>,
+    transmitting: bool,
+    pub tx_frames: u64,
+    pub tx_bytes: u64,
+    pub rx_frames: u64,
+    pub rx_bytes: u64,
+}
+
+impl MacPort {
+    pub fn new(bps: u64, wire_out: NodeId, rx_to: NodeId) -> MacPort {
+        MacPort {
+            bps,
+            wire_out,
+            rx_to,
+            egress_free: Time::ZERO,
+            egress_q: BoundedQueue::new(4096),
+            transmitting: false,
+            tx_frames: 0,
+            tx_bytes: 0,
+            rx_frames: 0,
+            rx_bytes: 0,
+        }
+    }
+
+    fn serialize_time(&self, bytes: usize) -> Duration {
+        Duration::from_ps((bytes as u64 * 8).saturating_mul(1_000_000_000_000) / self.bps)
+    }
+
+    fn start_tx(&mut self, ctx: &mut Ctx<'_>) {
+        if self.transmitting {
+            return;
+        }
+        let Some(frame) = self.egress_q.pop() else {
+            return;
+        };
+        self.transmitting = true;
+        let d = self.serialize_time(frame.len());
+        self.tx_frames += 1;
+        self.tx_bytes += frame.len() as u64;
+        self.egress_free = ctx.now() + d;
+        // The frame "appears on the wire" when serialization completes.
+        ctx.send(self.wire_out, d, frame);
+        ctx.wake(d, TxDone);
+    }
+}
+
+impl Node for MacPort {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let msg = match try_cast::<MacTx>(msg) {
+            Ok(tx) => {
+                if !self.egress_q.push_or_drop(tx.0) {
+                    ctx.stats.bump("mac.tx_drops", 1);
+                }
+                self.start_tx(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match try_cast::<TxDone>(msg) {
+            Ok(_) => {
+                self.transmitting = false;
+                self.start_tx(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        // anything else is an ingress frame from the wire
+        let frame = flextoe_sim::cast::<Frame>(msg);
+        self.rx_frames += 1;
+        self.rx_bytes += frame.len() as u64;
+        ctx.send_boxed(self.rx_to, NBI_INGRESS_LATENCY, frame);
+    }
+
+    fn name(&self) -> String {
+        "mac-port".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextoe_sim::{cast, Sim};
+
+    struct Probe {
+        frames: Vec<(u64, usize)>, // (ns, len)
+    }
+    impl Node for Probe {
+        fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            let f = cast::<Frame>(msg);
+            self.frames.push((ctx.now().as_ns(), f.len()));
+        }
+    }
+
+    #[test]
+    fn egress_serializes_at_line_rate() {
+        let mut sim = Sim::new(1);
+        let wire = sim.add_node(Probe { frames: vec![] });
+        let rx = sim.add_node(Probe { frames: vec![] });
+        let mac = sim.add_node(MacPort::new(40_000_000_000, wire, rx));
+        // two back-to-back 1514B frames: 302.8ns each
+        sim.schedule(Time::ZERO, mac, MacTx(Frame(vec![0; 1514])));
+        sim.schedule(Time::ZERO, mac, MacTx(Frame(vec![0; 1514])));
+        sim.run();
+        let w = &sim.node_ref::<Probe>(wire).frames;
+        assert_eq!(w.len(), 2);
+        assert!((300..=305).contains(&w[0].0), "{}", w[0].0);
+        assert!((603..=610).contains(&w[1].0), "{}", w[1].0);
+        let m = sim.node_ref::<MacPort>(mac);
+        assert_eq!(m.tx_frames, 2);
+        assert_eq!(m.tx_bytes, 3028);
+    }
+
+    #[test]
+    fn ingress_forwards_to_pipeline() {
+        let mut sim = Sim::new(1);
+        let wire = sim.add_node(Probe { frames: vec![] });
+        let rx = sim.add_node(Probe { frames: vec![] });
+        let mac = sim.add_node(MacPort::new(40_000_000_000, wire, rx));
+        sim.schedule(Time::from_ns(50), mac, Frame(vec![1, 2, 3]));
+        sim.run();
+        let r = &sim.node_ref::<Probe>(rx).frames;
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0], (170, 3)); // 50 + 120ns NBI latency
+        assert_eq!(sim.node_ref::<MacPort>(mac).rx_frames, 1);
+    }
+
+    #[test]
+    fn interleaved_tx_keeps_order() {
+        let mut sim = Sim::new(1);
+        let wire = sim.add_node(Probe { frames: vec![] });
+        let rx = sim.add_node(Probe { frames: vec![] });
+        let mac = sim.add_node(MacPort::new(10_000_000_000, wire, rx));
+        for len in [100usize, 200, 300] {
+            sim.schedule(Time::ZERO, mac, MacTx(Frame(vec![0; len])));
+        }
+        sim.run();
+        let lens: Vec<usize> = sim.node_ref::<Probe>(wire).frames.iter().map(|f| f.1).collect();
+        assert_eq!(lens, vec![100, 200, 300]);
+    }
+}

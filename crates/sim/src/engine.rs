@@ -1,0 +1,481 @@
+//! The discrete-event engine.
+//!
+//! A simulation is a set of [`Node`]s (pipeline-stage FPCs, host cores,
+//! links, switch ports, …) exchanging timestamped messages through a global
+//! event queue. Execution is single-threaded and fully deterministic: ties
+//! in time are broken by enqueue order, and all randomness flows from one
+//! seeded generator.
+//!
+//! Latency travels in messages; genuinely shared memory (socket payload
+//! buffers, context queues, NIC memories) is shared via `Rc<RefCell<…>>`
+//! outside the engine, mirroring the real system's shared-memory design,
+//! with *access costs* charged through the hardware model.
+
+use std::any::Any;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::rng::Rng;
+use crate::stats::Stats;
+use crate::time::{Duration, Time};
+
+/// Identifies a node within one simulation.
+pub type NodeId = usize;
+
+/// A type-erased message. Receivers downcast with [`cast`] / [`try_cast`].
+pub type Msg = Box<dyn Any>;
+
+/// Downcast a message to a concrete type, panicking with a useful message
+/// on mismatch (a mismatch is always a wiring bug, never a runtime input).
+pub fn cast<T: 'static>(msg: Msg) -> Box<T> {
+    msg.downcast::<T>().unwrap_or_else(|m| {
+        panic!(
+            "message type mismatch: expected {}, got {:?}",
+            std::any::type_name::<T>(),
+            (*m).type_id()
+        )
+    })
+}
+
+/// Downcast a message, returning it back on mismatch.
+pub fn try_cast<T: 'static>(msg: Msg) -> Result<Box<T>, Msg> {
+    msg.downcast::<T>()
+}
+
+/// A simulation actor.
+///
+/// `Any` is a supertrait so the harness can reach into concrete nodes
+/// between runs (trait upcasting) for configuration and result collection.
+pub trait Node: Any {
+    /// Handle a message delivered at the current simulation time.
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg);
+
+    /// Diagnostic name (used in panics and traces).
+    fn name(&self) -> String {
+        std::any::type_name::<Self>().to_string()
+    }
+}
+
+/// Per-delivery context handed to a node. Outgoing sends are buffered and
+/// committed to the event queue when the handler returns.
+pub struct Ctx<'a> {
+    now: Time,
+    self_id: NodeId,
+    out: &'a mut Vec<(Time, NodeId, Msg)>,
+    pub rng: &'a mut Rng,
+    pub stats: &'a mut Stats,
+    halt: &'a mut bool,
+}
+
+impl<'a> Ctx<'a> {
+    #[inline]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+    #[inline]
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Send `msg` to node `to`, arriving `delay` from now.
+    #[inline]
+    pub fn send<M: Any>(&mut self, to: NodeId, delay: Duration, msg: M) {
+        self.out.push((self.now + delay, to, Box::new(msg)));
+    }
+
+    /// Send an already-boxed message.
+    #[inline]
+    pub fn send_boxed(&mut self, to: NodeId, delay: Duration, msg: Msg) {
+        self.out.push((self.now + delay, to, msg));
+    }
+
+    /// Send `msg` to node `to` at an absolute instant (>= now).
+    #[inline]
+    pub fn send_at<M: Any>(&mut self, to: NodeId, at: Time, msg: M) {
+        debug_assert!(at >= self.now, "scheduling into the past");
+        self.out.push((at.max(self.now), to, Box::new(msg)));
+    }
+
+    /// Schedule a message to self.
+    #[inline]
+    pub fn wake<M: Any>(&mut self, delay: Duration, msg: M) {
+        let id = self.self_id;
+        self.send(id, delay, msg);
+    }
+
+    /// Stop the simulation after this handler returns (used by experiment
+    /// terminators, e.g. "stop after N requests").
+    pub fn halt(&mut self) {
+        *self.halt = true;
+    }
+}
+
+struct Ev {
+    time: Time,
+    seq: u64,
+    to: NodeId,
+    msg: Msg,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl Eq for Ev {}
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert for earliest-first.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// The simulation: event queue + nodes + global RNG and statistics.
+pub struct Sim {
+    time: Time,
+    seq: u64,
+    queue: BinaryHeap<Ev>,
+    nodes: Vec<Option<Box<dyn Node>>>,
+    node_names: Vec<String>,
+    pub rng: Rng,
+    pub stats: Stats,
+    events_processed: u64,
+    halt: bool,
+    out_buf: Vec<(Time, NodeId, Msg)>,
+}
+
+impl Sim {
+    pub fn new(seed: u64) -> Sim {
+        Sim {
+            time: Time::ZERO,
+            seq: 0,
+            queue: BinaryHeap::new(),
+            nodes: Vec::new(),
+            node_names: Vec::new(),
+            rng: Rng::new(seed),
+            stats: Stats::new(),
+            events_processed: 0,
+            halt: false,
+            out_buf: Vec::new(),
+        }
+    }
+
+    pub fn now(&self) -> Time {
+        self.time
+    }
+
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// Add a node; returns its id.
+    pub fn add_node<N: Node>(&mut self, node: N) -> NodeId {
+        let id = self.nodes.len();
+        self.node_names.push(node.name());
+        self.nodes.push(Some(Box::new(node)));
+        id
+    }
+
+    /// Reserve a node slot to be filled later (for cyclic wiring).
+    pub fn reserve_node(&mut self) -> NodeId {
+        let id = self.nodes.len();
+        self.node_names.push("<reserved>".to_string());
+        self.nodes.push(None);
+        id
+    }
+
+    /// Fill a reserved slot.
+    pub fn fill_node<N: Node>(&mut self, id: NodeId, node: N) {
+        assert!(self.nodes[id].is_none(), "slot {id} already filled");
+        self.node_names[id] = node.name();
+        self.nodes[id] = Some(Box::new(node));
+    }
+
+    /// Mutable access to a concrete node (configuration, result harvest).
+    pub fn node_mut<N: Node>(&mut self, id: NodeId) -> &mut N {
+        let node = self.nodes[id]
+            .as_mut()
+            .unwrap_or_else(|| panic!("node {id} is vacant"));
+        let any: &mut dyn Any = node.as_mut();
+        any.downcast_mut::<N>().unwrap_or_else(|| {
+            panic!(
+                "node {id} is {}, not {}",
+                std::any::type_name::<N>(),
+                std::any::type_name::<N>()
+            )
+        })
+    }
+
+    /// Shared access to a concrete node.
+    pub fn node_ref<N: Node>(&self, id: NodeId) -> &N {
+        let node = self.nodes[id]
+            .as_ref()
+            .unwrap_or_else(|| panic!("node {id} is vacant"));
+        let any: &dyn Any = node.as_ref();
+        any.downcast_ref::<N>()
+            .unwrap_or_else(|| panic!("node {id} has unexpected type"))
+    }
+
+    /// Schedule a message from outside any handler (experiment kick-off).
+    pub fn schedule<M: Any>(&mut self, at: Time, to: NodeId, msg: M) {
+        self.push(at.max(self.time), to, Box::new(msg));
+    }
+
+    pub fn schedule_in<M: Any>(&mut self, delay: Duration, to: NodeId, msg: M) {
+        self.push(self.time + delay, to, Box::new(msg));
+    }
+
+    #[inline]
+    fn push(&mut self, time: Time, to: NodeId, msg: Msg) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.queue.push(Ev { time, seq, to, msg });
+    }
+
+    /// Deliver the next event. Returns `false` when the queue is empty or
+    /// the simulation was halted.
+    pub fn step(&mut self) -> bool {
+        if self.halt {
+            return false;
+        }
+        let Some(ev) = self.queue.pop() else {
+            return false;
+        };
+        debug_assert!(ev.time >= self.time, "event queue time reversal");
+        self.time = ev.time;
+        self.events_processed += 1;
+
+        let mut node = self.nodes[ev.to].take().unwrap_or_else(|| {
+            panic!(
+                "message delivered to vacant node {} ({})",
+                ev.to, self.node_names[ev.to]
+            )
+        });
+        {
+            let mut ctx = Ctx {
+                now: self.time,
+                self_id: ev.to,
+                out: &mut self.out_buf,
+                rng: &mut self.rng,
+                stats: &mut self.stats,
+                halt: &mut self.halt,
+            };
+            node.on_msg(&mut ctx, ev.msg);
+        }
+        self.nodes[ev.to] = Some(node);
+        let outs = std::mem::take(&mut self.out_buf);
+        for (time, to, msg) in outs {
+            self.push(time, to, msg);
+        }
+        self.out_buf = Vec::new();
+        true
+    }
+
+    /// Run until the queue drains, the halt flag is set, or `deadline` is
+    /// reached (events at exactly `deadline` are delivered).
+    pub fn run_until(&mut self, deadline: Time) {
+        while let Some(ev) = self.queue.peek() {
+            if ev.time > deadline || self.halt {
+                break;
+            }
+            self.step();
+        }
+        if !self.halt {
+            self.time = self.time.max(deadline.min(self.next_event_time().unwrap_or(deadline)));
+        }
+    }
+
+    /// Run until nothing is left or halted. Panics after `limit` events to
+    /// catch runaway zero-delay loops.
+    pub fn run_with_limit(&mut self, limit: u64) {
+        let start = self.events_processed;
+        while self.step() {
+            if self.events_processed - start > limit {
+                panic!("event limit {limit} exceeded — zero-delay loop?");
+            }
+        }
+    }
+
+    pub fn run(&mut self) {
+        while self.step() {}
+    }
+
+    pub fn next_event_time(&self) -> Option<Time> {
+        self.queue.peek().map(|e| e.time)
+    }
+
+    pub fn halted(&self) -> bool {
+        self.halt
+    }
+
+    pub fn clear_halt(&mut self) {
+        self.halt = false;
+    }
+}
+
+/// A generic unit tick message for self-scheduled polling loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tick;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Echo {
+        peer: Option<NodeId>,
+        hops_left: u32,
+        log: Vec<(u64, u32)>, // (ns, hops_left at receipt)
+    }
+
+    struct Ball(u32);
+
+    impl Node for Echo {
+        fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+            let ball = cast::<Ball>(msg);
+            self.log.push((ctx.now().as_ns(), ball.0));
+            self.hops_left = ball.0;
+            if ball.0 > 0 {
+                if let Some(peer) = self.peer {
+                    ctx.send(peer, Duration::from_ns(10), Ball(ball.0 - 1));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ping_pong_timing() {
+        let mut sim = Sim::new(1);
+        let a = sim.reserve_node();
+        let b = sim.add_node(Echo { peer: Some(a), hops_left: 0, log: vec![] });
+        sim.fill_node(a, Echo { peer: Some(b), hops_left: 0, log: vec![] });
+        sim.schedule(Time::ZERO, a, Ball(4));
+        sim.run();
+        let ea = sim.node_ref::<Echo>(a);
+        let eb = sim.node_ref::<Echo>(b);
+        assert_eq!(ea.log, vec![(0, 4), (20, 2), (40, 0)]);
+        assert_eq!(eb.log, vec![(10, 3), (30, 1)]);
+        assert_eq!(sim.now().as_ns(), 40);
+        assert_eq!(sim.events_processed(), 5);
+    }
+
+    struct Recorder {
+        seen: Vec<u32>,
+    }
+    impl Node for Recorder {
+        fn on_msg(&mut self, _ctx: &mut Ctx<'_>, msg: Msg) {
+            self.seen.push(*cast::<u32>(msg));
+        }
+    }
+
+    #[test]
+    fn fifo_tiebreak_at_same_time() {
+        let mut sim = Sim::new(1);
+        let r = sim.add_node(Recorder { seen: vec![] });
+        for i in 0..10u32 {
+            sim.schedule(Time::from_ns(5), r, i);
+        }
+        sim.run();
+        assert_eq!(sim.node_ref::<Recorder>(r).seen, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn run_until_stops_at_deadline() {
+        let mut sim = Sim::new(1);
+        let r = sim.add_node(Recorder { seen: vec![] });
+        sim.schedule(Time::from_ns(10), r, 1u32);
+        sim.schedule(Time::from_ns(20), r, 2u32);
+        sim.schedule(Time::from_ns(30), r, 3u32);
+        sim.run_until(Time::from_ns(20));
+        assert_eq!(sim.node_ref::<Recorder>(r).seen, vec![1, 2]);
+        sim.run();
+        assert_eq!(sim.node_ref::<Recorder>(r).seen, vec![1, 2, 3]);
+    }
+
+    struct Halter;
+    impl Node for Halter {
+        fn on_msg(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+            ctx.halt();
+        }
+    }
+
+    #[test]
+    fn halt_stops_immediately() {
+        let mut sim = Sim::new(1);
+        let h = sim.add_node(Halter);
+        let r = sim.add_node(Recorder { seen: vec![] });
+        sim.schedule(Time::from_ns(1), h, Tick);
+        sim.schedule(Time::from_ns(2), r, 9u32);
+        sim.run();
+        assert!(sim.halted());
+        assert!(sim.node_ref::<Recorder>(r).seen.is_empty());
+    }
+
+    struct SelfWaker {
+        fired: u32,
+    }
+    impl Node for SelfWaker {
+        fn on_msg(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+            self.fired += 1;
+            if self.fired < 5 {
+                ctx.wake(Duration::from_us(1), Tick);
+            }
+        }
+    }
+
+    #[test]
+    fn self_wake_polling_loop() {
+        let mut sim = Sim::new(1);
+        let w = sim.add_node(SelfWaker { fired: 0 });
+        sim.schedule(Time::ZERO, w, Tick);
+        sim.run();
+        assert_eq!(sim.node_ref::<SelfWaker>(w).fired, 5);
+        assert_eq!(sim.now().as_us(), 4);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let run = |seed| {
+            let mut sim = Sim::new(seed);
+            let r = sim.add_node(Recorder { seen: vec![] });
+            for _ in 0..100 {
+                let d = Duration::from_ns(sim.rng.below(1000));
+                let v = sim.rng.next_u32();
+                sim.schedule_in(d, r, v);
+            }
+            sim.run();
+            sim.node_ref::<Recorder>(r).seen.clone()
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+
+    #[test]
+    #[should_panic(expected = "event limit")]
+    fn zero_delay_loop_detected() {
+        struct Looper;
+        impl Node for Looper {
+            fn on_msg(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+                ctx.wake(Duration::ZERO, Tick);
+            }
+        }
+        let mut sim = Sim::new(1);
+        let l = sim.add_node(Looper);
+        sim.schedule(Time::ZERO, l, Tick);
+        sim.run_with_limit(1000);
+    }
+
+    #[test]
+    fn try_cast_returns_msg_on_mismatch() {
+        let m: Msg = Box::new(42u32);
+        let m = try_cast::<String>(m).unwrap_err();
+        assert_eq!(*cast::<u32>(m), 42);
+    }
+}

@@ -1,0 +1,133 @@
+//! Bounded FIFO with occupancy statistics.
+//!
+//! Inter-stage rings (CLS rings, IMEM/EMEM work queues) and switch port
+//! queues are all bounded; overflow behaviour (drop / backpressure) is a
+//! policy of the owner. This wrapper counts drops and tracks high-water
+//! occupancy — the paper's Table 2 profiling build traces "inter-module
+//! queue occupancies".
+
+use std::collections::VecDeque;
+
+#[derive(Debug, Clone)]
+pub struct BoundedQueue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+    pub enqueued: u64,
+    pub dropped: u64,
+    pub high_water: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        BoundedQueue {
+            items: VecDeque::with_capacity(capacity.min(1024)),
+            capacity,
+            enqueued: 0,
+            dropped: 0,
+            high_water: 0,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+    pub fn free(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Enqueue; on overflow the item is rejected and returned.
+    pub fn push(&mut self, item: T) -> Result<(), T> {
+        if self.is_full() {
+            self.dropped += 1;
+            return Err(item);
+        }
+        self.items.push_back(item);
+        self.enqueued += 1;
+        self.high_water = self.high_water.max(self.items.len());
+        Ok(())
+    }
+
+    /// Enqueue dropping on overflow (tail-drop); returns whether accepted.
+    pub fn push_or_drop(&mut self, item: T) -> bool {
+        self.push(item).is_ok()
+    }
+
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    pub fn peek(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    pub fn drain_all(&mut self) -> impl Iterator<Item = T> + '_ {
+        self.items.drain(..)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_order() {
+        let mut q = BoundedQueue::new(4);
+        for i in 0..4 {
+            assert!(q.push(i).is_ok());
+        }
+        assert!(q.is_full());
+        assert_eq!(q.pop(), Some(0));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.free(), 2);
+    }
+
+    #[test]
+    fn overflow_rejects_and_counts() {
+        let mut q = BoundedQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        assert_eq!(q.push(3), Err(3));
+        assert!(!q.push_or_drop(4));
+        assert_eq!(q.dropped, 2);
+        assert_eq!(q.enqueued, 2);
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut q = BoundedQueue::new(10);
+        for i in 0..7 {
+            q.push(i).unwrap();
+        }
+        for _ in 0..5 {
+            q.pop();
+        }
+        q.push(1).unwrap();
+        assert_eq!(q.high_water, 7);
+    }
+
+    #[test]
+    fn peek_and_drain() {
+        let mut q = BoundedQueue::new(3);
+        q.push("a").unwrap();
+        q.push("b").unwrap();
+        assert_eq!(q.peek(), Some(&"a"));
+        let all: Vec<_> = q.drain_all().collect();
+        assert_eq!(all, vec!["a", "b"]);
+        assert!(q.is_empty());
+    }
+}

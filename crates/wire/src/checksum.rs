@@ -1,0 +1,124 @@
+//! Internet checksum (RFC 1071) and the TCP pseudo-header sum.
+
+/// One's-complement sum of a byte slice, as used by IPv4/TCP/UDP.
+/// Odd-length data is padded with a zero byte, per the RFC.
+pub fn sum(data: &[u8]) -> u32 {
+    let mut acc = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for w in &mut chunks {
+        acc += u16::from_be_bytes([w[0], w[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        acc += u16::from_be_bytes([*last, 0]) as u32;
+    }
+    acc
+}
+
+/// Fold a 32-bit accumulator into a 16-bit one's-complement checksum.
+pub fn fold(mut acc: u32) -> u16 {
+    while acc > 0xffff {
+        acc = (acc & 0xffff) + (acc >> 16);
+    }
+    !(acc as u16)
+}
+
+/// Checksum of a self-contained header (e.g. the IPv4 header) whose
+/// checksum field is currently zero.
+pub fn checksum(data: &[u8]) -> u16 {
+    fold(sum(data))
+}
+
+/// Verify: summing data *including* a correct checksum folds to zero.
+pub fn is_valid(data: &[u8]) -> bool {
+    fold(sum(data)) == 0
+}
+
+/// The TCP/UDP pseudo-header contribution for IPv4.
+pub fn pseudo_header_sum(src: [u8; 4], dst: [u8; 4], protocol: u8, len: u16) -> u32 {
+    sum(&src) + sum(&dst) + protocol as u32 + len as u32
+}
+
+/// Incremental checksum update per RFC 1624 (HC' = ~(~HC + ~m + m')).
+/// Used by the connection-splicing XDP module, which rewrites addresses,
+/// ports, and sequence numbers without re-summing the payload.
+pub fn update16(check: u16, old: u16, new: u16) -> u16 {
+    // RFC 1624 eqn. 3: HC' = ~(~HC + ~m + m'); `fold` performs the final ~.
+    let acc = (!check) as u32 + (!old) as u32 + new as u32;
+    fold(acc)
+}
+
+/// 32-bit variant of [`update16`] (sequence/ack numbers, IPv4 addresses).
+pub fn update32(mut check: u16, old: u32, new: u32) -> u16 {
+    check = update16(check, (old >> 16) as u16, (new >> 16) as u16);
+    update16(check, old as u16, new as u16)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc1071_example() {
+        // Classic example: 00 01 f2 03 f4 f5 f6 f7 -> sum 2ddf0 -> fold ddf2 -> cksum 220d.
+        let data = [0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7];
+        assert_eq!(checksum(&data), !0xddf2);
+    }
+
+    #[test]
+    fn odd_length_padded() {
+        assert_eq!(sum(&[0xab]), 0xab00);
+        assert_eq!(sum(&[0x12, 0x34, 0x56]), 0x1234 + 0x5600);
+    }
+
+    #[test]
+    fn checksum_verifies_itself() {
+        let mut data = vec![0x45, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0, 0, 10, 0, 0, 1, 10, 0, 0, 2];
+        let ck = checksum(&data);
+        data[10] = (ck >> 8) as u8;
+        data[11] = ck as u8;
+        assert!(is_valid(&data));
+        data[3] ^= 1;
+        assert!(!is_valid(&data));
+    }
+
+    #[test]
+    fn incremental_update_matches_recompute_16() {
+        let mut data = vec![0u8; 40];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(37).wrapping_add(11);
+        }
+        // checksum with field at [2..4] zeroed
+        data[2] = 0;
+        data[3] = 0;
+        let ck = checksum(&data);
+        // change a 16-bit field and recompute both ways
+        let old = u16::from_be_bytes([data[6], data[7]]);
+        let new = 0xbeef;
+        data[6] = (new >> 8) as u8;
+        data[7] = new as u8;
+        let full = checksum(&data);
+        let inc = update16(ck, old, new);
+        assert_eq!(full, inc);
+    }
+
+    #[test]
+    fn incremental_update_matches_recompute_32() {
+        let mut data = vec![0u8; 60];
+        for (i, b) in data.iter_mut().enumerate() {
+            *b = (i as u8).wrapping_mul(91).wrapping_add(3);
+        }
+        data[0] = 0;
+        data[1] = 0;
+        let ck = checksum(&data);
+        let old = u32::from_be_bytes([data[8], data[9], data[10], data[11]]);
+        let new: u32 = 0xdead_beef;
+        data[8..12].copy_from_slice(&new.to_be_bytes());
+        assert_eq!(checksum(&data), update32(ck, old, new));
+    }
+
+    #[test]
+    fn pseudo_header_known_value() {
+        let ps = pseudo_header_sum([10, 0, 0, 1], [10, 0, 0, 2], 6, 20);
+        assert_eq!(ps, 0x0a00 + 0x0001 + 0x0a00 + 0x0002 + 6 + 20);
+    }
+}

@@ -1,0 +1,216 @@
+//! Ethernet II frames, MAC addresses, and 802.1Q VLAN tags.
+
+use core::fmt;
+
+/// A 48-bit MAC address.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct MacAddr(pub [u8; 6]);
+
+impl MacAddr {
+    pub const BROADCAST: MacAddr = MacAddr([0xff; 6]);
+    pub const ZERO: MacAddr = MacAddr([0; 6]);
+
+    /// Locally-administered unicast address derived from a small host id,
+    /// in the style of the smoltcp examples (02-00-00-00-00-xx).
+    pub fn local(id: u8) -> MacAddr {
+        MacAddr([0x02, 0, 0, 0, 0, id])
+    }
+
+    pub fn is_broadcast(&self) -> bool {
+        *self == Self::BROADCAST
+    }
+    pub fn is_multicast(&self) -> bool {
+        self.0[0] & 1 != 0
+    }
+}
+
+impl fmt::Debug for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+impl fmt::Display for MacAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0;
+        write!(
+            f,
+            "{:02x}:{:02x}:{:02x}:{:02x}:{:02x}:{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5]
+        )
+    }
+}
+
+/// EtherType values we speak.
+pub mod ethertype {
+    pub const IPV4: u16 = 0x0800;
+    pub const ARP: u16 = 0x0806;
+    pub const VLAN: u16 = 0x8100;
+}
+
+pub const ETH_HDR_LEN: usize = 14;
+pub const VLAN_TAG_LEN: usize = 4;
+
+/// View over an Ethernet II frame.
+pub struct EthFrame<T>(pub T);
+
+impl<T: AsRef<[u8]>> EthFrame<T> {
+    /// Wrap a buffer, validating the minimum length.
+    pub fn new_checked(buf: T) -> Result<Self, crate::WireError> {
+        if buf.as_ref().len() < ETH_HDR_LEN {
+            return Err(crate::WireError::Truncated("ethernet header"));
+        }
+        Ok(EthFrame(buf))
+    }
+
+    fn b(&self) -> &[u8] {
+        self.0.as_ref()
+    }
+
+    pub fn dst(&self) -> MacAddr {
+        MacAddr(self.b()[0..6].try_into().unwrap())
+    }
+    pub fn src(&self) -> MacAddr {
+        MacAddr(self.b()[6..12].try_into().unwrap())
+    }
+    pub fn ethertype(&self) -> u16 {
+        u16::from_be_bytes([self.b()[12], self.b()[13]])
+    }
+    pub fn payload(&self) -> &[u8] {
+        &self.b()[ETH_HDR_LEN..]
+    }
+    /// If the frame carries an 802.1Q tag, its VLAN id (low 12 bits of TCI).
+    pub fn vlan_id(&self) -> Option<u16> {
+        if self.ethertype() == ethertype::VLAN && self.b().len() >= ETH_HDR_LEN + VLAN_TAG_LEN {
+            Some(u16::from_be_bytes([self.b()[14], self.b()[15]]) & 0x0fff)
+        } else {
+            None
+        }
+    }
+    /// EtherType of the encapsulated protocol, looking through one VLAN tag.
+    pub fn inner_ethertype(&self) -> u16 {
+        if self.vlan_id().is_some() {
+            u16::from_be_bytes([self.b()[16], self.b()[17]])
+        } else {
+            self.ethertype()
+        }
+    }
+    /// Payload after any VLAN tag.
+    pub fn inner_payload(&self) -> &[u8] {
+        if self.vlan_id().is_some() {
+            &self.b()[ETH_HDR_LEN + VLAN_TAG_LEN..]
+        } else {
+            self.payload()
+        }
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> EthFrame<T> {
+    fn m(&mut self) -> &mut [u8] {
+        self.0.as_mut()
+    }
+
+    pub fn set_dst(&mut self, mac: MacAddr) {
+        self.m()[0..6].copy_from_slice(&mac.0);
+    }
+    pub fn set_src(&mut self, mac: MacAddr) {
+        self.m()[6..12].copy_from_slice(&mac.0);
+    }
+    pub fn set_ethertype(&mut self, et: u16) {
+        self.m()[12..14].copy_from_slice(&et.to_be_bytes());
+    }
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.m()[ETH_HDR_LEN..]
+    }
+}
+
+/// Remove an 802.1Q tag in place (the `vlan-strip` XDP module of Table 2).
+/// Returns the stripped VLAN id, or `None` if the frame was untagged.
+pub fn strip_vlan(frame: &mut Vec<u8>) -> Option<u16> {
+    let view = EthFrame::new_checked(frame.as_slice()).ok()?;
+    let vid = view.vlan_id()?;
+    let inner_et = [frame[16], frame[17]];
+    frame.copy_within(ETH_HDR_LEN + VLAN_TAG_LEN.., ETH_HDR_LEN);
+    frame[12..14].copy_from_slice(&inner_et);
+    frame.truncate(frame.len() - VLAN_TAG_LEN);
+    Some(vid)
+}
+
+/// Insert an 802.1Q tag in place (used by tests and workload generators).
+pub fn insert_vlan(frame: &mut Vec<u8>, vid: u16) {
+    assert!(frame.len() >= ETH_HDR_LEN);
+    let inner_et = [frame[12], frame[13]];
+    frame.splice(12..14, [0u8; 0]);
+    let tci = vid & 0x0fff;
+    let tag = [
+        (ethertype::VLAN >> 8) as u8,
+        ethertype::VLAN as u8,
+        (tci >> 8) as u8,
+        tci as u8,
+        inner_et[0],
+        inner_et[1],
+    ];
+    for (i, b) in tag.iter().enumerate() {
+        frame.insert(12 + i, *b);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame() -> Vec<u8> {
+        let mut f = vec![0u8; ETH_HDR_LEN + 4];
+        let mut v = EthFrame(&mut f[..]);
+        v.set_dst(MacAddr::local(1));
+        v.set_src(MacAddr::local(2));
+        v.set_ethertype(ethertype::IPV4);
+        f[14..18].copy_from_slice(&[0xde, 0xad, 0xbe, 0xef]);
+        f
+    }
+
+    #[test]
+    fn field_roundtrip() {
+        let f = frame();
+        let v = EthFrame::new_checked(&f[..]).unwrap();
+        assert_eq!(v.dst(), MacAddr::local(1));
+        assert_eq!(v.src(), MacAddr::local(2));
+        assert_eq!(v.ethertype(), ethertype::IPV4);
+        assert_eq!(v.payload(), &[0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(v.vlan_id(), None);
+        assert_eq!(v.inner_ethertype(), ethertype::IPV4);
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        assert!(EthFrame::new_checked(&[0u8; 13][..]).is_err());
+        assert!(EthFrame::new_checked(&[0u8; 14][..]).is_ok());
+    }
+
+    #[test]
+    fn vlan_insert_and_strip_roundtrip() {
+        let orig = frame();
+        let mut f = orig.clone();
+        insert_vlan(&mut f, 0x123);
+        let v = EthFrame::new_checked(&f[..]).unwrap();
+        assert_eq!(v.ethertype(), ethertype::VLAN);
+        assert_eq!(v.vlan_id(), Some(0x123));
+        assert_eq!(v.inner_ethertype(), ethertype::IPV4);
+        assert_eq!(v.inner_payload(), &[0xde, 0xad, 0xbe, 0xef]);
+        assert_eq!(f.len(), orig.len() + VLAN_TAG_LEN);
+
+        let vid = strip_vlan(&mut f);
+        assert_eq!(vid, Some(0x123));
+        assert_eq!(f, orig);
+        // stripping an untagged frame is a no-op
+        assert_eq!(strip_vlan(&mut f), None);
+        assert_eq!(f, orig);
+    }
+
+    #[test]
+    fn mac_properties() {
+        assert!(MacAddr::BROADCAST.is_broadcast());
+        assert!(MacAddr::BROADCAST.is_multicast());
+        assert!(!MacAddr::local(3).is_multicast());
+        assert_eq!(format!("{}", MacAddr::local(0x1f)), "02:00:00:00:00:1f");
+    }
+}

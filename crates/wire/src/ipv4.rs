@@ -1,0 +1,272 @@
+//! IPv4 addresses and header view (no options: IHL = 5).
+
+use core::fmt;
+
+use crate::checksum;
+
+/// An IPv4 address stored as a native-endian `u32` for cheap hashing.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Ip4(pub u32);
+
+impl Ip4 {
+    pub const fn new(a: u8, b: u8, c: u8, d: u8) -> Ip4 {
+        Ip4(u32::from_be_bytes([a, b, c, d]))
+    }
+    /// Test-network address 10.0.0.`id`.
+    pub const fn host(id: u8) -> Ip4 {
+        Ip4::new(10, 0, 0, id)
+    }
+    pub fn octets(self) -> [u8; 4] {
+        self.0.to_be_bytes()
+    }
+}
+
+impl fmt::Debug for Ip4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Display::fmt(self, f)
+    }
+}
+impl fmt::Display for Ip4 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let o = self.octets();
+        write!(f, "{}.{}.{}.{}", o[0], o[1], o[2], o[3])
+    }
+}
+
+/// IP protocol numbers.
+pub mod protocol {
+    pub const ICMP: u8 = 1;
+    pub const TCP: u8 = 6;
+    pub const UDP: u8 = 17;
+}
+
+/// ECN codepoints (RFC 3168), the low two bits of the TOS byte.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Ecn {
+    NotEct = 0b00,
+    Ect1 = 0b01,
+    Ect0 = 0b10,
+    Ce = 0b11,
+}
+
+impl Ecn {
+    pub fn from_bits(b: u8) -> Ecn {
+        match b & 0b11 {
+            0b00 => Ecn::NotEct,
+            0b01 => Ecn::Ect1,
+            0b10 => Ecn::Ect0,
+            _ => Ecn::Ce,
+        }
+    }
+    pub fn is_ce(self) -> bool {
+        self == Ecn::Ce
+    }
+}
+
+pub const IPV4_HDR_LEN: usize = 20;
+
+/// View over an IPv4 header + payload.
+pub struct Ipv4Packet<T>(pub T);
+
+impl<T: AsRef<[u8]>> Ipv4Packet<T> {
+    pub fn new_checked(buf: T) -> Result<Self, crate::WireError> {
+        let b = buf.as_ref();
+        if b.len() < IPV4_HDR_LEN {
+            return Err(crate::WireError::Truncated("ipv4 header"));
+        }
+        let p = Ipv4Packet(buf);
+        if p.version() != 4 {
+            return Err(crate::WireError::Malformed("ip version"));
+        }
+        if p.ihl() != 5 {
+            return Err(crate::WireError::Unsupported("ipv4 options"));
+        }
+        if (p.total_len() as usize) > p.0.as_ref().len() {
+            return Err(crate::WireError::Truncated("ipv4 total length"));
+        }
+        Ok(p)
+    }
+
+    fn b(&self) -> &[u8] {
+        self.0.as_ref()
+    }
+
+    pub fn version(&self) -> u8 {
+        self.b()[0] >> 4
+    }
+    pub fn ihl(&self) -> u8 {
+        self.b()[0] & 0x0f
+    }
+    pub fn dscp(&self) -> u8 {
+        self.b()[1] >> 2
+    }
+    pub fn ecn(&self) -> Ecn {
+        Ecn::from_bits(self.b()[1])
+    }
+    pub fn total_len(&self) -> u16 {
+        u16::from_be_bytes([self.b()[2], self.b()[3]])
+    }
+    pub fn ident(&self) -> u16 {
+        u16::from_be_bytes([self.b()[4], self.b()[5]])
+    }
+    pub fn ttl(&self) -> u8 {
+        self.b()[8]
+    }
+    pub fn protocol(&self) -> u8 {
+        self.b()[9]
+    }
+    pub fn header_checksum(&self) -> u16 {
+        u16::from_be_bytes([self.b()[10], self.b()[11]])
+    }
+    pub fn src(&self) -> Ip4 {
+        Ip4(u32::from_be_bytes(self.b()[12..16].try_into().unwrap()))
+    }
+    pub fn dst(&self) -> Ip4 {
+        Ip4(u32::from_be_bytes(self.b()[16..20].try_into().unwrap()))
+    }
+    /// Payload as delimited by `total_len` (ignores any trailing padding).
+    pub fn payload(&self) -> &[u8] {
+        &self.b()[IPV4_HDR_LEN..self.total_len() as usize]
+    }
+    pub fn verify_checksum(&self) -> bool {
+        checksum::is_valid(&self.b()[..IPV4_HDR_LEN])
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> Ipv4Packet<T> {
+    fn m(&mut self) -> &mut [u8] {
+        self.0.as_mut()
+    }
+
+    pub fn set_version_ihl(&mut self) {
+        self.m()[0] = 0x45;
+    }
+    pub fn set_ecn(&mut self, ecn: Ecn) {
+        let tos = self.m()[1] & !0b11;
+        self.m()[1] = tos | ecn as u8;
+    }
+    pub fn set_dscp(&mut self, dscp: u8) {
+        let ecn = self.m()[1] & 0b11;
+        self.m()[1] = (dscp << 2) | ecn;
+    }
+    pub fn set_total_len(&mut self, len: u16) {
+        self.m()[2..4].copy_from_slice(&len.to_be_bytes());
+    }
+    pub fn set_ident(&mut self, id: u16) {
+        self.m()[4..6].copy_from_slice(&id.to_be_bytes());
+    }
+    pub fn set_flags_df(&mut self) {
+        self.m()[6] = 0x40;
+        self.m()[7] = 0;
+    }
+    pub fn set_ttl(&mut self, ttl: u8) {
+        self.m()[8] = ttl;
+    }
+    pub fn set_protocol(&mut self, p: u8) {
+        self.m()[9] = p;
+    }
+    pub fn set_src(&mut self, ip: Ip4) {
+        self.m()[12..16].copy_from_slice(&ip.octets());
+    }
+    pub fn set_dst(&mut self, ip: Ip4) {
+        self.m()[16..20].copy_from_slice(&ip.octets());
+    }
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        &mut self.m()[IPV4_HDR_LEN..]
+    }
+    /// Zero, compute, and store the header checksum.
+    pub fn fill_checksum(&mut self) {
+        self.m()[10] = 0;
+        self.m()[11] = 0;
+        let ck = checksum::checksum(&self.b()[..IPV4_HDR_LEN]);
+        self.m()[10..12].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(payload_len: usize) -> Vec<u8> {
+        let mut buf = vec![0u8; IPV4_HDR_LEN + payload_len];
+        let mut p = Ipv4Packet(&mut buf[..]);
+        p.set_version_ihl();
+        p.set_total_len((IPV4_HDR_LEN + payload_len) as u16);
+        p.set_ident(0x1c46);
+        p.set_flags_df();
+        p.set_ttl(64);
+        p.set_protocol(protocol::TCP);
+        p.set_src(Ip4::host(1));
+        p.set_dst(Ip4::host(2));
+        p.fill_checksum();
+        buf
+    }
+
+    #[test]
+    fn roundtrip_and_checksum() {
+        let buf = packet(8);
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.version(), 4);
+        assert_eq!(p.ihl(), 5);
+        assert_eq!(p.total_len() as usize, 28);
+        assert_eq!(p.ttl(), 64);
+        assert_eq!(p.protocol(), protocol::TCP);
+        assert_eq!(p.src(), Ip4::host(1));
+        assert_eq!(p.dst(), Ip4::host(2));
+        assert!(p.verify_checksum());
+        assert_eq!(p.payload().len(), 8);
+    }
+
+    #[test]
+    fn corrupted_header_fails_checksum() {
+        let mut buf = packet(0);
+        buf[8] ^= 0xff; // ttl
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert!(!p.verify_checksum());
+    }
+
+    #[test]
+    fn rejects_bad_version_and_short() {
+        let mut buf = packet(0);
+        buf[0] = 0x65;
+        assert!(Ipv4Packet::new_checked(&buf[..]).is_err());
+        assert!(Ipv4Packet::new_checked(&buf[..10]).is_err());
+    }
+
+    #[test]
+    fn rejects_total_len_beyond_buffer() {
+        let mut buf = packet(4);
+        buf[2..4].copy_from_slice(&100u16.to_be_bytes());
+        assert!(Ipv4Packet::new_checked(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn ecn_codepoints() {
+        let mut buf = packet(0);
+        let mut p = Ipv4Packet(&mut buf[..]);
+        assert_eq!(p.ecn(), Ecn::NotEct);
+        p.set_ecn(Ecn::Ect0);
+        assert_eq!(p.ecn(), Ecn::Ect0);
+        p.set_ecn(Ecn::Ce);
+        assert!(p.ecn().is_ce());
+        // DSCP survives ECN updates
+        p.set_dscp(46);
+        p.set_ecn(Ecn::Ect0);
+        assert_eq!(p.dscp(), 46);
+    }
+
+    #[test]
+    fn payload_ignores_padding() {
+        // Ethernet pads short frames; total_len delimits the real payload.
+        let mut buf = packet(4);
+        buf.extend_from_slice(&[0xaa; 10]);
+        let p = Ipv4Packet::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.payload().len(), 4);
+    }
+
+    #[test]
+    fn ip_display() {
+        assert_eq!(format!("{}", Ip4::host(7)), "10.0.0.7");
+        assert_eq!(format!("{}", Ip4::new(192, 168, 69, 100)), "192.168.69.100");
+    }
+}

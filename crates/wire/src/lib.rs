@@ -1,0 +1,98 @@
+//! # flextoe-wire — packet formats for the FlexTOE reproduction
+//!
+//! Ethernet II / 802.1Q / IPv4 / TCP views over byte buffers in the style
+//! of `smoltcp::wire`: cheap field accessors rather than full
+//! deserialization, plus whole-segment build/parse helpers, checksums,
+//! CRC-32 flow hashing (the NFP's CRC acceleration), and a pcap writer for
+//! the tcpdump data-path extension.
+
+pub mod build;
+pub mod checksum;
+pub mod crc32;
+pub mod ethernet;
+pub mod flow;
+pub mod ipv4;
+pub mod pcap;
+pub mod tcp;
+
+pub use build::{SegmentSpec, SegmentView};
+pub use crc32::{crc32, Crc32};
+pub use ethernet::{ethertype, insert_vlan, strip_vlan, EthFrame, MacAddr, ETH_HDR_LEN};
+pub use flow::FourTuple;
+pub use ipv4::{protocol, Ecn, Ip4, Ipv4Packet, IPV4_HDR_LEN};
+pub use pcap::PcapWriter;
+pub use tcp::{SeqNum, TcpFlags, TcpOptions, TcpPacket, TCP_HDR_LEN, TCP_TS_OPT_LEN};
+
+/// Standard Ethernet MTU and the MSS values it implies.
+pub const MTU: usize = 1500;
+/// MSS when the 12-byte timestamp option is carried on every segment.
+pub const MSS_WITH_TS: usize = MTU - IPV4_HDR_LEN - TCP_HDR_LEN - TCP_TS_OPT_LEN; // 1448
+/// Total frame overhead for a timestamped segment (everything but payload).
+pub const FRAME_OVERHEAD_TS: usize = ETH_HDR_LEN + IPV4_HDR_LEN + TCP_HDR_LEN + TCP_TS_OPT_LEN;
+
+/// A raw frame travelling between simulation nodes (MAC blocks, links,
+/// switch ports). The newtype keeps message dispatch unambiguous.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame(pub Vec<u8>);
+
+impl Frame {
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+    pub fn bytes(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Errors from parsing wire formats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireError {
+    /// Buffer too short for the claimed structure.
+    Truncated(&'static str),
+    /// A field has an impossible value.
+    Malformed(&'static str),
+    /// Valid but something we do not implement (e.g. IPv4 options).
+    Unsupported(&'static str),
+    /// A checksum failed verification.
+    BadChecksum(&'static str),
+    /// Frame is not TCP/IPv4 (forwarded to the kernel path / control plane).
+    NotTcp,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            WireError::Truncated(w) => write!(f, "truncated: {w}"),
+            WireError::Malformed(w) => write!(f, "malformed: {w}"),
+            WireError::Unsupported(w) => write!(f, "unsupported: {w}"),
+            WireError::BadChecksum(w) => write!(f, "bad checksum: {w}"),
+            WireError::NotTcp => write!(f, "not a tcp/ipv4 frame"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mss_constant_matches_paper_figures() {
+        // Fig. 14 sweeps MSS up to 1448 — MTU minus TCP/IP + ts option.
+        assert_eq!(MSS_WITH_TS, 1448);
+        assert_eq!(FRAME_OVERHEAD_TS, 66);
+    }
+
+    #[test]
+    fn error_display() {
+        assert_eq!(WireError::NotTcp.to_string(), "not a tcp/ipv4 frame");
+        assert_eq!(
+            WireError::Truncated("x").to_string(),
+            "truncated: x"
+        );
+    }
+}

@@ -1,0 +1,164 @@
+//! libpcap capture-file writer.
+//!
+//! Backs the `tcpdump`-style traffic logging extension of Table 2 and the
+//! `packet_capture` example; output opens in Wireshark.
+
+use flextoe_sim::Time;
+
+const MAGIC: u32 = 0xa1b2_c3d4; // big/little detected by readers
+const VERSION_MAJOR: u16 = 2;
+const VERSION_MINOR: u16 = 4;
+const LINKTYPE_ETHERNET: u32 = 1;
+
+/// An in-memory pcap capture. All writes are infallible; callers persist
+/// the buffer (or not) at the end of a run.
+#[derive(Clone, Debug)]
+pub struct PcapWriter {
+    buf: Vec<u8>,
+    snaplen: u32,
+    packets: u64,
+}
+
+impl PcapWriter {
+    pub fn new() -> PcapWriter {
+        Self::with_snaplen(65535)
+    }
+
+    pub fn with_snaplen(snaplen: u32) -> PcapWriter {
+        let mut buf = Vec::with_capacity(4096);
+        buf.extend_from_slice(&MAGIC.to_le_bytes());
+        buf.extend_from_slice(&VERSION_MAJOR.to_le_bytes());
+        buf.extend_from_slice(&VERSION_MINOR.to_le_bytes());
+        buf.extend_from_slice(&0i32.to_le_bytes()); // thiszone
+        buf.extend_from_slice(&0u32.to_le_bytes()); // sigfigs
+        buf.extend_from_slice(&snaplen.to_le_bytes());
+        buf.extend_from_slice(&LINKTYPE_ETHERNET.to_le_bytes());
+        PcapWriter {
+            buf,
+            snaplen,
+            packets: 0,
+        }
+    }
+
+    /// Append one frame captured at simulated time `at`.
+    pub fn record(&mut self, at: Time, frame: &[u8]) {
+        let usec_total = at.as_us();
+        let sec = (usec_total / 1_000_000) as u32;
+        let usec = (usec_total % 1_000_000) as u32;
+        let incl = (frame.len() as u32).min(self.snaplen);
+        self.buf.extend_from_slice(&sec.to_le_bytes());
+        self.buf.extend_from_slice(&usec.to_le_bytes());
+        self.buf.extend_from_slice(&incl.to_le_bytes());
+        self.buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        self.buf.extend_from_slice(&frame[..incl as usize]);
+        self.packets += 1;
+    }
+
+    pub fn packets(&self) -> u64 {
+        self.packets
+    }
+
+    pub fn bytes(&self) -> &[u8] {
+        &self.buf
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+impl Default for PcapWriter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A parsed pcap record (for tests and the capture example's summary).
+#[derive(Debug, PartialEq, Eq)]
+pub struct PcapRecord {
+    pub sec: u32,
+    pub usec: u32,
+    pub orig_len: u32,
+    pub data: Vec<u8>,
+}
+
+/// Parse a capture produced by [`PcapWriter`] (little-endian only).
+pub fn parse(bytes: &[u8]) -> Result<Vec<PcapRecord>, crate::WireError> {
+    if bytes.len() < 24 {
+        return Err(crate::WireError::Truncated("pcap global header"));
+    }
+    let magic = u32::from_le_bytes(bytes[0..4].try_into().unwrap());
+    if magic != MAGIC {
+        return Err(crate::WireError::Malformed("pcap magic"));
+    }
+    let mut out = Vec::new();
+    let mut off = 24;
+    while off < bytes.len() {
+        if bytes.len() - off < 16 {
+            return Err(crate::WireError::Truncated("pcap record header"));
+        }
+        let sec = u32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+        let usec = u32::from_le_bytes(bytes[off + 4..off + 8].try_into().unwrap());
+        let incl = u32::from_le_bytes(bytes[off + 8..off + 12].try_into().unwrap()) as usize;
+        let orig_len = u32::from_le_bytes(bytes[off + 12..off + 16].try_into().unwrap());
+        off += 16;
+        if bytes.len() - off < incl {
+            return Err(crate::WireError::Truncated("pcap record data"));
+        }
+        out.push(PcapRecord {
+            sec,
+            usec,
+            orig_len,
+            data: bytes[off..off + incl].to_vec(),
+        });
+        off += incl;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_two_packets() {
+        let mut w = PcapWriter::new();
+        w.record(Time::from_us(1_500_000), &[1, 2, 3]);
+        w.record(Time::from_us(2_000_001), &[4, 5]);
+        assert_eq!(w.packets(), 2);
+        let recs = parse(w.bytes()).unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].sec, 1);
+        assert_eq!(recs[0].usec, 500_000);
+        assert_eq!(recs[0].data, vec![1, 2, 3]);
+        assert_eq!(recs[1].sec, 2);
+        assert_eq!(recs[1].usec, 1);
+        assert_eq!(recs[1].orig_len, 2);
+    }
+
+    #[test]
+    fn snaplen_truncates_but_keeps_orig_len() {
+        let mut w = PcapWriter::with_snaplen(4);
+        w.record(Time::ZERO, &[9; 100]);
+        let recs = parse(w.bytes()).unwrap();
+        assert_eq!(recs[0].data.len(), 4);
+        assert_eq!(recs[0].orig_len, 100);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse(&[0u8; 10]).is_err());
+        let mut w = PcapWriter::new();
+        w.record(Time::ZERO, &[1]);
+        let mut b = w.into_bytes();
+        b[0] = 0; // break magic
+        assert!(parse(&b).is_err());
+    }
+
+    #[test]
+    fn empty_capture_has_just_header() {
+        let w = PcapWriter::new();
+        assert_eq!(w.bytes().len(), 24);
+        assert!(parse(w.bytes()).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,521 @@
+//! TCP header view, flags, options, and sequence-number arithmetic.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+use crate::checksum;
+use crate::ipv4::Ip4;
+
+/// TCP flag bits (byte 13 of the header).
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct TcpFlags(pub u8);
+
+impl TcpFlags {
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    pub const URG: TcpFlags = TcpFlags(0x20);
+    pub const ECE: TcpFlags = TcpFlags(0x40);
+    pub const CWR: TcpFlags = TcpFlags(0x80);
+
+    pub fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+    pub fn intersects(self, other: TcpFlags) -> bool {
+        self.0 & other.0 != 0
+    }
+    pub fn union(self, other: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | other.0)
+    }
+    pub fn fin(self) -> bool {
+        self.contains(Self::FIN)
+    }
+    pub fn syn(self) -> bool {
+        self.contains(Self::SYN)
+    }
+    pub fn rst(self) -> bool {
+        self.contains(Self::RST)
+    }
+    pub fn psh(self) -> bool {
+        self.contains(Self::PSH)
+    }
+    pub fn ack(self) -> bool {
+        self.contains(Self::ACK)
+    }
+    pub fn ece(self) -> bool {
+        self.contains(Self::ECE)
+    }
+    pub fn cwr(self) -> bool {
+        self.contains(Self::CWR)
+    }
+
+    /// FlexTOE's data-path filter (§3.1.3, footnote 2): data-path segments
+    /// have any of ACK, FIN, PSH, ECE, CWR and none of SYN/RST/URG;
+    /// everything else is redirected to the control plane.
+    pub fn is_datapath(self) -> bool {
+        self.intersects(TcpFlags(0x01 | 0x08 | 0x10 | 0x40 | 0x80))
+            && !self.intersects(TcpFlags(0x02 | 0x04 | 0x20))
+    }
+}
+
+impl core::ops::BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        self.union(rhs)
+    }
+}
+
+impl fmt::Debug for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names = [
+            (Self::FIN, "FIN"),
+            (Self::SYN, "SYN"),
+            (Self::RST, "RST"),
+            (Self::PSH, "PSH"),
+            (Self::ACK, "ACK"),
+            (Self::URG, "URG"),
+            (Self::ECE, "ECE"),
+            (Self::CWR, "CWR"),
+        ];
+        let mut first = true;
+        for (flag, name) in names {
+            if self.contains(flag) {
+                if !first {
+                    write!(f, "|")?;
+                }
+                write!(f, "{name}")?;
+                first = false;
+            }
+        }
+        if first {
+            write!(f, "(none)")?;
+        }
+        Ok(())
+    }
+}
+
+/// A TCP sequence number with wrapping modular comparison (RFC 793 §3.3).
+#[derive(Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct SeqNum(pub u32);
+
+impl SeqNum {
+    /// `self < other` in sequence space.
+    #[inline]
+    pub fn before(self, other: SeqNum) -> bool {
+        (other.0.wrapping_sub(self.0) as i32) > 0
+    }
+    #[inline]
+    pub fn before_eq(self, other: SeqNum) -> bool {
+        !other.before(self)
+    }
+    #[inline]
+    pub fn after(self, other: SeqNum) -> bool {
+        other.before(self)
+    }
+    #[inline]
+    pub fn after_eq(self, other: SeqNum) -> bool {
+        !self.before(other)
+    }
+    /// Distance `self - earlier` (callers must know the order).
+    #[inline]
+    pub fn diff(self, earlier: SeqNum) -> u32 {
+        self.0.wrapping_sub(earlier.0)
+    }
+    #[inline]
+    pub fn min(self, other: SeqNum) -> SeqNum {
+        if self.before(other) {
+            self
+        } else {
+            other
+        }
+    }
+    #[inline]
+    pub fn max(self, other: SeqNum) -> SeqNum {
+        if self.after(other) {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<u32> for SeqNum {
+    type Output = SeqNum;
+    #[inline]
+    fn add(self, rhs: u32) -> SeqNum {
+        SeqNum(self.0.wrapping_add(rhs))
+    }
+}
+impl AddAssign<u32> for SeqNum {
+    #[inline]
+    fn add_assign(&mut self, rhs: u32) {
+        self.0 = self.0.wrapping_add(rhs);
+    }
+}
+impl Sub<SeqNum> for SeqNum {
+    type Output = u32;
+    #[inline]
+    fn sub(self, rhs: SeqNum) -> u32 {
+        self.diff(rhs)
+    }
+}
+impl fmt::Debug for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+impl fmt::Display for SeqNum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+pub const TCP_HDR_LEN: usize = 20;
+/// NOP, NOP, Timestamp(10) — the layout every major stack emits.
+pub const TCP_TS_OPT_LEN: usize = 12;
+
+/// Parsed TCP options (the subset the paper's stacks negotiate).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TcpOptions {
+    pub mss: Option<u16>,
+    pub window_scale: Option<u8>,
+    pub sack_permitted: bool,
+    /// (TSval, TSecr) — FlexTOE stamps these for RTT estimation (§3.1.3).
+    pub timestamp: Option<(u32, u32)>,
+}
+
+impl TcpOptions {
+    /// Encoded length, padded to a multiple of 4.
+    pub fn len(&self) -> usize {
+        let mut n = 0usize;
+        if self.mss.is_some() {
+            n += 4;
+        }
+        if self.window_scale.is_some() {
+            n += 3;
+        }
+        if self.sack_permitted {
+            n += 2;
+        }
+        if self.timestamp.is_some() {
+            n += 12; // NOP NOP TS
+        }
+        n.div_ceil(4) * 4
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn emit(&self, buf: &mut [u8]) {
+        let mut i = 0;
+        if let Some(mss) = self.mss {
+            buf[i] = 2;
+            buf[i + 1] = 4;
+            buf[i + 2..i + 4].copy_from_slice(&mss.to_be_bytes());
+            i += 4;
+        }
+        if let Some(ws) = self.window_scale {
+            buf[i] = 3;
+            buf[i + 1] = 3;
+            buf[i + 2] = ws;
+            i += 3;
+        }
+        if self.sack_permitted {
+            buf[i] = 4;
+            buf[i + 1] = 2;
+            i += 2;
+        }
+        if let Some((tsval, tsecr)) = self.timestamp {
+            buf[i] = 1; // NOP
+            buf[i + 1] = 1; // NOP
+            buf[i + 2] = 8;
+            buf[i + 3] = 10;
+            buf[i + 4..i + 8].copy_from_slice(&tsval.to_be_bytes());
+            buf[i + 8..i + 12].copy_from_slice(&tsecr.to_be_bytes());
+            i += 12;
+        }
+        // pad with END-of-options then zeros
+        for b in buf[i..].iter_mut() {
+            *b = 0;
+        }
+    }
+
+    pub fn parse(mut buf: &[u8]) -> Result<TcpOptions, crate::WireError> {
+        let mut opts = TcpOptions::default();
+        while !buf.is_empty() {
+            match buf[0] {
+                0 => break, // end of options
+                1 => buf = &buf[1..],
+                kind => {
+                    if buf.len() < 2 {
+                        return Err(crate::WireError::Truncated("tcp option"));
+                    }
+                    let len = buf[1] as usize;
+                    if len < 2 || len > buf.len() {
+                        return Err(crate::WireError::Malformed("tcp option length"));
+                    }
+                    match (kind, len) {
+                        (2, 4) => opts.mss = Some(u16::from_be_bytes([buf[2], buf[3]])),
+                        (3, 3) => opts.window_scale = Some(buf[2]),
+                        (4, 2) => opts.sack_permitted = true,
+                        (8, 10) => {
+                            opts.timestamp = Some((
+                                u32::from_be_bytes(buf[2..6].try_into().unwrap()),
+                                u32::from_be_bytes(buf[6..10].try_into().unwrap()),
+                            ))
+                        }
+                        _ => {} // unknown option: skip
+                    }
+                    buf = &buf[len..];
+                }
+            }
+        }
+        Ok(opts)
+    }
+}
+
+/// View over a TCP header + payload (the TCP portion of an IP payload).
+pub struct TcpPacket<T>(pub T);
+
+impl<T: AsRef<[u8]>> TcpPacket<T> {
+    pub fn new_checked(buf: T) -> Result<Self, crate::WireError> {
+        let b = buf.as_ref();
+        if b.len() < TCP_HDR_LEN {
+            return Err(crate::WireError::Truncated("tcp header"));
+        }
+        let p = TcpPacket(buf);
+        let off = p.data_offset();
+        if off < TCP_HDR_LEN || off > p.0.as_ref().len() {
+            return Err(crate::WireError::Malformed("tcp data offset"));
+        }
+        Ok(p)
+    }
+
+    fn b(&self) -> &[u8] {
+        self.0.as_ref()
+    }
+
+    pub fn src_port(&self) -> u16 {
+        u16::from_be_bytes([self.b()[0], self.b()[1]])
+    }
+    pub fn dst_port(&self) -> u16 {
+        u16::from_be_bytes([self.b()[2], self.b()[3]])
+    }
+    pub fn seq(&self) -> SeqNum {
+        SeqNum(u32::from_be_bytes(self.b()[4..8].try_into().unwrap()))
+    }
+    pub fn ack(&self) -> SeqNum {
+        SeqNum(u32::from_be_bytes(self.b()[8..12].try_into().unwrap()))
+    }
+    /// Header length in bytes.
+    pub fn data_offset(&self) -> usize {
+        ((self.b()[12] >> 4) as usize) * 4
+    }
+    pub fn flags(&self) -> TcpFlags {
+        TcpFlags(self.b()[13])
+    }
+    pub fn window(&self) -> u16 {
+        u16::from_be_bytes([self.b()[14], self.b()[15]])
+    }
+    pub fn checksum(&self) -> u16 {
+        u16::from_be_bytes([self.b()[16], self.b()[17]])
+    }
+    pub fn options_raw(&self) -> &[u8] {
+        &self.b()[TCP_HDR_LEN..self.data_offset()]
+    }
+    pub fn options(&self) -> Result<TcpOptions, crate::WireError> {
+        TcpOptions::parse(self.options_raw())
+    }
+    pub fn payload(&self) -> &[u8] {
+        &self.b()[self.data_offset()..]
+    }
+
+    /// Verify the TCP checksum given the IP addresses.
+    pub fn verify_checksum(&self, src: Ip4, dst: Ip4) -> bool {
+        let data = self.b();
+        let acc = checksum::pseudo_header_sum(
+            src.octets(),
+            dst.octets(),
+            crate::ipv4::protocol::TCP,
+            data.len() as u16,
+        ) + checksum::sum(data);
+        checksum::fold(acc) == 0
+    }
+}
+
+impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpPacket<T> {
+    fn m(&mut self) -> &mut [u8] {
+        self.0.as_mut()
+    }
+
+    pub fn set_src_port(&mut self, p: u16) {
+        self.m()[0..2].copy_from_slice(&p.to_be_bytes());
+    }
+    pub fn set_dst_port(&mut self, p: u16) {
+        self.m()[2..4].copy_from_slice(&p.to_be_bytes());
+    }
+    pub fn set_seq(&mut self, s: SeqNum) {
+        self.m()[4..8].copy_from_slice(&s.0.to_be_bytes());
+    }
+    pub fn set_ack(&mut self, s: SeqNum) {
+        self.m()[8..12].copy_from_slice(&s.0.to_be_bytes());
+    }
+    pub fn set_data_offset(&mut self, bytes: usize) {
+        debug_assert!(bytes % 4 == 0 && (20..=60).contains(&bytes));
+        self.m()[12] = ((bytes / 4) as u8) << 4;
+    }
+    pub fn set_flags(&mut self, f: TcpFlags) {
+        self.m()[13] = f.0;
+    }
+    pub fn set_window(&mut self, w: u16) {
+        self.m()[14..16].copy_from_slice(&w.to_be_bytes());
+    }
+    pub fn set_urgent(&mut self, u: u16) {
+        self.m()[18..20].copy_from_slice(&u.to_be_bytes());
+    }
+    pub fn set_checksum_raw(&mut self, ck: u16) {
+        self.m()[16..18].copy_from_slice(&ck.to_be_bytes());
+    }
+    pub fn payload_mut(&mut self) -> &mut [u8] {
+        let off = self.data_offset();
+        &mut self.m()[off..]
+    }
+
+    /// Zero, compute over pseudo-header + segment, and store the checksum.
+    pub fn fill_checksum(&mut self, src: Ip4, dst: Ip4) {
+        self.m()[16] = 0;
+        self.m()[17] = 0;
+        let data = self.b();
+        let acc = checksum::pseudo_header_sum(
+            src.octets(),
+            dst.octets(),
+            crate::ipv4::protocol::TCP,
+            data.len() as u16,
+        ) + checksum::sum(data);
+        let ck = checksum::fold(acc);
+        self.m()[16..18].copy_from_slice(&ck.to_be_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seqnum_wrapping_order() {
+        let a = SeqNum(u32::MAX - 10);
+        let b = a + 20; // wraps
+        assert!(a.before(b));
+        assert!(b.after(a));
+        assert_eq!(b - a, 20);
+        assert!(a.before_eq(a));
+        assert!(a.after_eq(a));
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+    }
+
+    #[test]
+    fn flags_classification() {
+        assert!((TcpFlags::ACK | TcpFlags::PSH).is_datapath());
+        assert!(TcpFlags::FIN.union(TcpFlags::ACK).is_datapath());
+        assert!((TcpFlags::ACK | TcpFlags::ECE).is_datapath());
+        assert!(!(TcpFlags::SYN | TcpFlags::ACK).is_datapath()); // handshake -> control plane
+        assert!(!TcpFlags::RST.is_datapath());
+        assert!(!TcpFlags(0).is_datapath());
+        assert_eq!(format!("{:?}", TcpFlags::SYN | TcpFlags::ACK), "SYN|ACK");
+    }
+
+    #[test]
+    fn options_roundtrip_all() {
+        let opts = TcpOptions {
+            mss: Some(1448),
+            window_scale: Some(7),
+            sack_permitted: true,
+            timestamp: Some((0x11223344, 0x55667788)),
+        };
+        let mut buf = vec![0u8; opts.len()];
+        assert_eq!(opts.len() % 4, 0);
+        opts.emit(&mut buf);
+        let parsed = TcpOptions::parse(&buf).unwrap();
+        assert_eq!(parsed, opts);
+    }
+
+    #[test]
+    fn options_roundtrip_timestamp_only() {
+        let opts = TcpOptions {
+            timestamp: Some((123, 456)),
+            ..Default::default()
+        };
+        assert_eq!(opts.len(), TCP_TS_OPT_LEN);
+        let mut buf = vec![0u8; opts.len()];
+        opts.emit(&mut buf);
+        assert_eq!(TcpOptions::parse(&buf).unwrap(), opts);
+    }
+
+    #[test]
+    fn options_parse_rejects_garbage_length() {
+        assert!(TcpOptions::parse(&[2, 0, 0, 0]).is_err()); // len 0
+        assert!(TcpOptions::parse(&[8, 10, 0]).is_err()); // truncated
+        // unknown option kinds are skipped
+        let o = TcpOptions::parse(&[30, 4, 0xaa, 0xbb, 0]).unwrap();
+        assert_eq!(o, TcpOptions::default());
+    }
+
+    fn segment(payload: &[u8]) -> Vec<u8> {
+        let opts = TcpOptions {
+            timestamp: Some((1000, 2000)),
+            ..Default::default()
+        };
+        let hdr = TCP_HDR_LEN + opts.len();
+        let mut buf = vec![0u8; hdr + payload.len()];
+        let mut p = TcpPacket(&mut buf[..]);
+        p.set_src_port(40000);
+        p.set_dst_port(11211);
+        p.set_seq(SeqNum(1_000_000));
+        p.set_ack(SeqNum(2_000_000));
+        p.set_data_offset(hdr);
+        p.set_flags(TcpFlags::ACK | TcpFlags::PSH);
+        p.set_window(65535);
+        opts.emit(&mut p.m()[TCP_HDR_LEN..hdr]);
+        p.payload_mut().copy_from_slice(payload);
+        p.fill_checksum(Ip4::host(1), Ip4::host(2));
+        buf
+    }
+
+    #[test]
+    fn header_roundtrip_with_checksum() {
+        let buf = segment(b"GET key\r\n");
+        let p = TcpPacket::new_checked(&buf[..]).unwrap();
+        assert_eq!(p.src_port(), 40000);
+        assert_eq!(p.dst_port(), 11211);
+        assert_eq!(p.seq(), SeqNum(1_000_000));
+        assert_eq!(p.ack(), SeqNum(2_000_000));
+        assert_eq!(p.flags(), TcpFlags::ACK | TcpFlags::PSH);
+        assert_eq!(p.window(), 65535);
+        assert_eq!(p.payload(), b"GET key\r\n");
+        assert_eq!(p.options().unwrap().timestamp, Some((1000, 2000)));
+        assert!(p.verify_checksum(Ip4::host(1), Ip4::host(2)));
+        // corrupt one payload byte -> checksum fails
+        let mut bad = buf.clone();
+        let n = bad.len();
+        bad[n - 1] ^= 1;
+        let pb = TcpPacket::new_checked(&bad[..]).unwrap();
+        assert!(!pb.verify_checksum(Ip4::host(1), Ip4::host(2)));
+        // wrong pseudo-header (spoofed IP) also fails
+        assert!(!p.verify_checksum(Ip4::host(1), Ip4::host(3)));
+    }
+
+    #[test]
+    fn rejects_bad_data_offset() {
+        let mut buf = segment(b"");
+        buf[12] = 0x20; // header length 8 < 20
+        assert!(TcpPacket::new_checked(&buf[..]).is_err());
+        let mut buf2 = segment(b"");
+        buf2[12] = 0xf0; // 60 bytes > buffer
+        buf2.truncate(32);
+        assert!(TcpPacket::new_checked(&buf2[..]).is_err());
+    }
+}

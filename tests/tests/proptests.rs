@@ -1,0 +1,237 @@
+//! Property-based tests on the core data structures and protocol
+//! invariants (proptest).
+
+use proptest::prelude::*;
+
+use flextoe_core::proto::{self, RxSummary};
+use flextoe_core::reorder::Reorder;
+use flextoe_core::sched::Carousel;
+use flextoe_core::ProtoState;
+use flextoe_sim::{Duration, Histogram, Time};
+use flextoe_wire::{checksum, SegmentSpec, SegmentView, SeqNum, TcpFlags, TcpOptions};
+
+proptest! {
+    /// Whatever order items enter the reorderer, they exit in order.
+    #[test]
+    fn reorder_releases_in_order(perm in proptest::sample::subsequence((0..64u64).collect::<Vec<_>>(), 64)) {
+        // `perm` is 0..64 but we shuffle via the subsequence trick +
+        // rotation; build a real permutation instead:
+        let mut order: Vec<u64> = (0..64).collect();
+        let rot = perm.len() % 64;
+        order.rotate_left(rot);
+        let mut r = Reorder::new();
+        let mut out = Vec::new();
+        for seq in order {
+            out.extend(r.push(seq, seq));
+        }
+        prop_assert_eq!(out, (0..64u64).collect::<Vec<_>>());
+    }
+
+    /// Random skip/push interleavings never deliver out of order or twice.
+    #[test]
+    fn reorder_with_random_skips(skips in proptest::collection::btree_set(0..100u64, 0..40)) {
+        let mut r = Reorder::new();
+        let mut released = Vec::new();
+        // push items high-to-low so everything buffers, skipping `skips`
+        for seq in (0..100u64).rev() {
+            if skips.contains(&seq) {
+                released.extend(r.skip(seq));
+            } else {
+                released.extend(r.push(seq, seq));
+            }
+        }
+        let expect: Vec<u64> = (0..100u64).filter(|s| !skips.contains(s)).collect();
+        prop_assert_eq!(released, expect);
+    }
+
+    /// TCP segments survive emit -> parse for arbitrary field values.
+    #[test]
+    fn segment_roundtrip(
+        seq in any::<u32>(),
+        ack in any::<u32>(),
+        window in any::<u16>(),
+        sport in 1..u16::MAX,
+        dport in 1..u16::MAX,
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+        tsval in any::<u32>(),
+        tsecr in any::<u32>(),
+    ) {
+        let spec = SegmentSpec {
+            src_port: sport,
+            dst_port: dport,
+            seq: SeqNum(seq),
+            ack: SeqNum(ack),
+            flags: TcpFlags::ACK | TcpFlags::PSH,
+            window,
+            options: TcpOptions { timestamp: Some((tsval, tsecr)), ..Default::default() },
+            payload_len: payload.len(),
+            ..Default::default()
+        };
+        let frame = spec.emit(&payload);
+        let v = SegmentView::parse(&frame, true).unwrap();
+        prop_assert_eq!(v.seq, SeqNum(seq));
+        prop_assert_eq!(v.ack, SeqNum(ack));
+        prop_assert_eq!(v.window, window);
+        prop_assert_eq!(v.payload(&frame), &payload[..]);
+        prop_assert_eq!((v.tsval, v.tsecr), (tsval, tsecr));
+    }
+
+    /// Single-bit corruption anywhere in a frame is always detected by
+    /// the IP or TCP checksum.
+    #[test]
+    fn checksums_catch_single_bit_flips(
+        payload in proptest::collection::vec(any::<u8>(), 1..64),
+        byte_sel in any::<prop::sample::Index>(),
+        bit in 0..8u8,
+    ) {
+        let spec = SegmentSpec {
+            src_port: 1000,
+            dst_port: 2000,
+            flags: TcpFlags::ACK,
+            payload_len: payload.len(),
+            ..Default::default()
+        };
+        let mut frame = spec.emit(&payload);
+        // flip one bit outside the Ethernet header (not checksummed)
+        let idx = 14 + byte_sel.index(frame.len() - 14);
+        frame[idx] ^= 1 << bit;
+        prop_assert!(SegmentView::parse(&frame, true).is_err());
+    }
+
+    /// Incremental checksum update equals full recomputation.
+    #[test]
+    fn incremental_checksum_equivalence(
+        mut data in proptest::collection::vec(any::<u8>(), 20..64),
+        new_val in any::<u16>(),
+        pos_sel in any::<prop::sample::Index>(),
+    ) {
+        if data.len() % 2 == 1 { data.pop(); }
+        let pos = pos_sel.index(data.len() / 2 - 1) * 2;
+        let ck = checksum::checksum(&data);
+        let old = u16::from_be_bytes([data[pos], data[pos + 1]]);
+        data[pos..pos + 2].copy_from_slice(&new_val.to_be_bytes());
+        prop_assert_eq!(checksum::checksum(&data), checksum::update16(ck, old, new_val));
+    }
+
+    /// Receiving arbitrary in-window segment sequences never corrupts the
+    /// protocol invariants: rcv_nxt only advances, rx_avail never
+    /// underflows, the OOO interval stays ahead of rcv_nxt.
+    #[test]
+    fn rx_state_invariants(
+        segs in proptest::collection::vec((0u32..20_000, 1u32..2000), 1..60)
+    ) {
+        let mut ps = ProtoState {
+            seq: SeqNum(1),
+            ack: SeqNum(10_000),
+            rx_avail: 16_384,
+            remote_win: u16::MAX,
+            ..Default::default()
+        };
+        let mut last_ack = ps.ack;
+        let mut budget = ps.rx_avail;
+        for (off, len) in segs {
+            let sum = RxSummary {
+                seq: SeqNum(10_000u32.wrapping_add(off)),
+                ack: SeqNum(1),
+                flags: TcpFlags::ACK | TcpFlags::PSH,
+                window: u16::MAX,
+                payload_len: len,
+                ..Default::default()
+            };
+            let out = proto::rx_segment(&mut ps, &sum);
+            // monotone rcv_nxt
+            prop_assert!(ps.ack.after_eq(last_ack));
+            prop_assert!(out.delivered == ps.ack - last_ack);
+            last_ack = ps.ack;
+            // rx_avail accounting: shrinks exactly by delivered bytes
+            prop_assert!(out.delivered <= budget);
+            budget -= out.delivered;
+            prop_assert_eq!(ps.rx_avail, budget);
+            // OOO interval is strictly ahead of rcv_nxt
+            if ps.ooo_len > 0 {
+                prop_assert!(ps.ooo_start.after(ps.ack));
+                prop_assert!((ps.ooo_start + ps.ooo_len) - ps.ack <= budget);
+            }
+        }
+    }
+
+    /// TX then cumulative-ACK sequences keep sender invariants:
+    /// tx_sent == seq - snd_una, buffers never double-free.
+    #[test]
+    fn tx_ack_invariants(ops in proptest::collection::vec(any::<bool>(), 1..80)) {
+        let mut ps = ProtoState {
+            seq: SeqNum(5_000),
+            ack: SeqNum(1),
+            rx_avail: 4096,
+            remote_win: 20_000,
+            tx_avail: 100_000,
+            ..Default::default()
+        };
+        let mut freed_total: u64 = 0;
+        let mut sent_total: u64 = 0;
+        for do_send in ops {
+            if do_send {
+                if let Some(seg) = proto::tx_next(&mut ps, 1448) {
+                    sent_total += seg.len as u64;
+                }
+            } else if ps.tx_sent > 0 {
+                // peer cumulatively acks half of what is in flight
+                let ackno = SeqNum(ps.snd_una().0.wrapping_add((ps.tx_sent / 2).max(1)));
+                let sum = RxSummary {
+                    seq: ps.ack,
+                    ack: ackno,
+                    flags: TcpFlags::ACK,
+                    window: 20_000,
+                    payload_len: 0,
+                    ..Default::default()
+                };
+                let out = proto::rx_segment(&mut ps, &sum);
+                freed_total += out.acked_bytes as u64;
+            }
+            prop_assert_eq!(ps.seq - ps.snd_una(), ps.tx_sent);
+            prop_assert!(ps.tx_sent <= 20_000, "never exceeds the peer window");
+            prop_assert!(freed_total <= sent_total);
+        }
+    }
+
+    /// The Carousel never duplicates a connection trigger beyond its
+    /// sendable bytes, and fairness holds for equal backlogs.
+    #[test]
+    fn carousel_conservation(n_conns in 1usize..40, backlog in 1u32..20_000) {
+        let mut c = Carousel::with_defaults();
+        for conn in 0..n_conns as u32 {
+            c.register(conn);
+            c.update_sendable(conn, backlog, Time::ZERO);
+        }
+        let mut per = vec![0u64; n_conns];
+        let mut now = Time::ZERO;
+        for _ in 0..(n_conns * 32) {
+            if let Some(t) = c.next_trigger(now, 1448) {
+                per[t.conn as usize] += t.bytes_est as u64;
+            }
+            now = now + Duration::from_us(1);
+        }
+        for (conn, &bytes) in per.iter().enumerate() {
+            prop_assert!(bytes <= backlog as u64, "conn {conn} over-triggered");
+        }
+        // everything drained exactly
+        prop_assert!(per.iter().all(|&b| b == backlog as u64));
+    }
+
+    /// Histogram quantiles stay within the configured relative error.
+    #[test]
+    fn histogram_quantile_error(values in proptest::collection::vec(1u64..1_000_000, 10..500)) {
+        let mut h = Histogram::new();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.25, 0.5, 0.9, 0.99] {
+            let exact = sorted[((q * sorted.len() as f64).floor() as usize).min(sorted.len() - 1)];
+            let approx = h.quantile(q);
+            let rel = (approx as f64 - exact as f64).abs() / exact as f64;
+            prop_assert!(rel < 0.05, "q={q} exact={exact} approx={approx}");
+        }
+    }
+}
