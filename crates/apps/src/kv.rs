@@ -49,6 +49,7 @@ struct KvRespond {
     conn: u32,
     resp: Vec<u8>,
 }
+flextoe_sim::custom_msg!(KvRespond);
 
 pub struct KvServerApp<S: StackApi> {
     cfg: KvServerConfig,
@@ -290,7 +291,9 @@ impl<S: StackApi + 'static> MemtierApp<S> {
         if self.measured < 2 {
             return 0.0;
         }
-        let span = self.last_measured_at.saturating_since(self.first_measured_at);
+        let span = self
+            .last_measured_at
+            .saturating_since(self.first_measured_at);
         if span == Duration::ZERO {
             return 0.0;
         }
@@ -305,7 +308,9 @@ impl<S: StackApi + 'static> MemtierApp<S> {
 
     fn next_request(&mut self, ctx: &mut Ctx<'_>, slot: usize) {
         self.op_counter += 1;
-        let is_set = self.op_counter % (self.cfg.gets_per_set as u64 + 1) == 0;
+        let is_set = self
+            .op_counter
+            .is_multiple_of(self.cfg.gets_per_set as u64 + 1);
         let keyid = ctx.rng.below(self.cfg.key_space as u64) as u32;
         let key = self.key(keyid);
         let req = if is_set {

@@ -4,7 +4,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use flextoe_nfp::{Cost, FpcTimer};
-use flextoe_sim::{try_cast, Ctx, Duration, Histogram, Msg, Node, NodeId, Tick, Time};
+use flextoe_sim::{Ctx, Duration, Histogram, Msg, Node, NodeId, Tick, Time};
 use flextoe_wire::Ip4;
 
 use crate::stack::{SockEvent, StackApi, StackOp};
@@ -57,6 +57,7 @@ struct ServerConn {
 struct Respond {
     conn: u32,
 }
+flextoe_sim::custom_msg!(Respond);
 
 /// An RPC server: accepts connections, consumes fixed-size requests,
 /// responds after simulated application processing.
@@ -263,6 +264,7 @@ struct ClientConn {
 }
 
 struct NextArrival;
+flextoe_sim::custom_msg!(NextArrival);
 
 pub struct RpcClientApp<S: StackApi> {
     cfg: ClientConfig,
@@ -311,7 +313,9 @@ impl<S: StackApi + 'static> RpcClientApp<S> {
         if self.measured < 2 {
             return 0.0;
         }
-        let span = self.last_measured_at.saturating_since(self.first_measured_at);
+        let span = self
+            .last_measured_at
+            .saturating_since(self.first_measured_at);
         if span == Duration::ZERO {
             return 0.0;
         }
@@ -372,7 +376,8 @@ impl<S: StackApi + 'static> RpcClientApp<S> {
             }
             self.last_measured_at = ctx.now();
             self.measured += 1;
-            self.latency.record(ctx.now().saturating_since(sent_at).as_ns());
+            self.latency
+                .record(ctx.now().saturating_since(sent_at).as_ns());
             if let Some(limit) = self.cfg.stop_after {
                 if self.measured >= limit {
                     ctx.halt();
@@ -427,7 +432,7 @@ impl<S: StackApi + 'static> RpcClientApp<S> {
                     self.conns[slot].rx_pending += n;
                     while self.conns[slot].rx_pending >= self.cfg.resp_size
                         && !self.conns[slot].outstanding.is_empty()
-                        && self.cfg.stop_after.map_or(true, |l| self.measured < l)
+                        && self.cfg.stop_after.is_none_or(|l| self.measured < l)
                     {
                         self.conns[slot].rx_pending -= self.cfg.resp_size;
                         self.on_response(ctx, slot);
@@ -453,16 +458,18 @@ impl<S: StackApi + 'static> Node for RpcClientApp<S> {
             self.connect_next(ctx);
             return;
         }
+        // Tick is a typed variant: match it before handing the message to
+        // the stack, avoiding the repack allocation of a failed try_cast
+        let msg = match msg {
+            Msg::Tick => {
+                self.connect_next(ctx);
+                return;
+            }
+            m => m,
+        };
         let msg = match self.stack.as_mut().unwrap().on_msg(ctx, msg) {
             Ok(events) => {
                 self.handle_events(ctx, events);
-                return;
-            }
-            Err(m) => m,
-        };
-        let msg = match try_cast::<Tick>(msg) {
-            Ok(_) => {
-                self.connect_next(ctx);
                 return;
             }
             Err(m) => m,

@@ -1,18 +1,92 @@
-//! Criterion microbenchmarks on the data-path's hot structures: the
-//! checksum/CRC paths, segment build/parse, the reorder buffer, the
+//! Microbenchmarks on the data-path's hot structures — the engine's event
+//! core (typed messages + event wheel vs. boxed messages + binary heap),
+//! the checksum/CRC paths, segment build/parse, the reorder buffer, the
 //! Carousel wheel, the protocol state machine, and the eBPF VM.
+//!
+//! The container has no third-party crates, so this is a hand-rolled
+//! harness (`harness = false`): each benchmark reports its median ns/op
+//! over several timed runs. Run with:
+//!
+//! ```sh
+//! cargo bench -p flextoe-bench
+//! # engine comparison only:
+//! cargo bench -p flextoe-bench -- engine
+//! ```
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+use std::time::Instant;
 
 use flextoe_core::proto::{self, RxSummary};
 use flextoe_core::reorder::Reorder;
 use flextoe_core::sched::Carousel;
 use flextoe_core::ProtoState;
 use flextoe_ebpf::{programs, Map, MapSet, Vm};
-use flextoe_sim::{Duration, Time};
+use flextoe_sim::{Duration, QueueKind, Time};
 use flextoe_wire::{crc32, SegmentSpec, SegmentView, SeqNum, TcpFlags};
 
-fn bench_wire(c: &mut Criterion) {
+// ---- harness -------------------------------------------------------------
+
+const RUNS: usize = 5;
+
+/// Time `f` (which performs `iters` operations) RUNS times; report the
+/// median ns/op.
+fn bench_n(name: &str, iters: u64, mut f: impl FnMut()) -> f64 {
+    f(); // warmup
+    let mut samples: Vec<f64> = (0..RUNS)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as f64 / iters as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let med = samples[RUNS / 2];
+    println!("{name:<44} {med:>10.1} ns/op   ({:.1} Mops/s)", 1e3 / med);
+    med
+}
+
+fn selected(filter: &Option<String>, group: &str) -> bool {
+    filter.as_deref().is_none_or(|f| group.contains(f))
+}
+
+// ---- engine pipeline benchmark (shared with the bench binary) ------------
+
+#[path = "../src/enginebench.rs"]
+mod enginebench;
+use enginebench::{best_of, PIPE_EVENTS};
+
+pub fn bench_engine(results: &mut Vec<(String, f64)>) {
+    println!("-- engine: {PIPE_EVENTS} events through a 6-stage pipeline ring --");
+    let combos = [
+        (
+            "engine/heap_boxed (pre-optimization baseline)",
+            QueueKind::Heap,
+            false,
+        ),
+        ("engine/heap_typed", QueueKind::Heap, true),
+        ("engine/wheel_boxed", QueueKind::Wheel, false),
+        (
+            "engine/wheel_typed (default configuration)",
+            QueueKind::Wheel,
+            true,
+        ),
+    ];
+    for (name, kind, typed) in combos {
+        let eps = best_of(3, kind, typed);
+        println!("{name:<44} {:>10.2} M events/s", eps / 1e6);
+        results.push((name.to_string(), eps));
+    }
+    let base = results[0].1;
+    let best = results[3].1;
+    println!(
+        "engine/speedup (wheel+typed vs heap+boxed)   {:>10.2}x",
+        best / base
+    );
+}
+
+// ---- data-structure microbenchmarks (ported from the criterion suite) ----
+
+fn bench_wire() {
     let payload = vec![0xabu8; 1448];
     let spec = SegmentSpec {
         src_port: 1,
@@ -23,18 +97,32 @@ fn bench_wire(c: &mut Criterion) {
     };
     let frame = spec.emit(&payload);
 
-    let mut g = c.benchmark_group("wire");
-    g.throughput(Throughput::Bytes(frame.len() as u64));
-    g.bench_function("emit_mtu_segment", |b| b.iter(|| spec.emit(black_box(&payload))));
-    g.bench_function("parse_mtu_segment", |b| {
-        b.iter(|| SegmentView::parse(black_box(&frame), true).unwrap())
+    bench_n("wire/emit_mtu_segment", 10_000, || {
+        for _ in 0..10_000 {
+            black_box(spec.emit(black_box(&payload)));
+        }
     });
-    g.bench_function("crc32_4tuple", |b| b.iter(|| crc32(black_box(&frame[26..38]))));
-    g.finish();
+    bench_n("wire/emit_mtu_segment_pooled", 10_000, || {
+        let mut buf = Vec::new();
+        for _ in 0..10_000 {
+            spec.emit_payload_into(&mut buf, black_box(&payload));
+            black_box(&buf);
+        }
+    });
+    bench_n("wire/parse_mtu_segment", 10_000, || {
+        for _ in 0..10_000 {
+            black_box(SegmentView::parse(black_box(&frame), true).unwrap());
+        }
+    });
+    bench_n("wire/crc32_4tuple", 100_000, || {
+        for _ in 0..100_000 {
+            black_box(crc32(black_box(&frame[26..38])));
+        }
+    });
 }
 
-fn bench_proto(c: &mut Criterion) {
-    c.bench_function("proto/rx_in_order", |b| {
+fn bench_proto() {
+    bench_n("proto/rx_in_order", 100_000, || {
         let mut ps = ProtoState {
             ack: SeqNum(0),
             rx_avail: u32::MAX / 2,
@@ -42,7 +130,7 @@ fn bench_proto(c: &mut Criterion) {
             ..Default::default()
         };
         let mut seq = 0u32;
-        b.iter(|| {
+        for _ in 0..100_000 {
             let sum = RxSummary {
                 seq: SeqNum(seq),
                 flags: TcpFlags::ACK | TcpFlags::PSH,
@@ -51,57 +139,55 @@ fn bench_proto(c: &mut Criterion) {
                 ..Default::default()
             };
             seq = seq.wrapping_add(1448);
-            black_box(proto::rx_segment(&mut ps, &sum))
-        })
+            black_box(proto::rx_segment(&mut ps, &sum));
+        }
     });
-    c.bench_function("proto/tx_next", |b| {
+    bench_n("proto/tx_next", 100_000, || {
         let mut ps = ProtoState {
             remote_win: u16::MAX,
             tx_avail: u32::MAX / 2,
             ..Default::default()
         };
-        b.iter(|| {
+        for _ in 0..100_000 {
             if ps.tx_sent > 40_000 {
                 ps.tx_sent = 0; // "ack" everything
             }
-            black_box(proto::tx_next(&mut ps, 1448))
-        })
+            black_box(proto::tx_next(&mut ps, 1448));
+        }
     });
 }
 
-fn bench_reorder(c: &mut Criterion) {
-    c.bench_function("reorder/in_order_push", |b| {
+fn bench_reorder() {
+    bench_n("reorder/in_order_push", 100_000, || {
         let mut r = Reorder::new();
-        let mut seq = 0u64;
-        b.iter(|| {
-            let out = r.push(seq, seq);
-            seq += 1;
-            black_box(out)
-        })
+        for seq in 0..100_000u64 {
+            black_box(r.push(seq, seq));
+        }
     });
-    c.bench_function("reorder/window_of_8_shuffled", |b| {
+    bench_n("reorder/window_of_8_shuffled", 100_000, || {
         let mut r: Reorder<u64> = Reorder::new();
         let mut base = 0u64;
-        b.iter(|| {
-            // deliver a window of 8 in worst-case (reversed) order
+        for _ in 0..100_000 / 8 {
             for i in (0..8).rev() {
                 black_box(r.push(base + i, base + i));
             }
             base += 8;
-        })
+        }
     });
 }
 
-fn bench_carousel(c: &mut Criterion) {
-    c.bench_function("carousel/trigger_uncongested", |b| {
+fn bench_carousel() {
+    bench_n("carousel/trigger_uncongested", 100_000, || {
         let mut car = Carousel::with_defaults();
         for conn in 0..64 {
             car.register(conn);
             car.update_sendable(conn, u32::MAX / 2, Time::ZERO);
         }
-        b.iter(|| black_box(car.next_trigger(Time::ZERO, 1448)))
+        for _ in 0..100_000 {
+            black_box(car.next_trigger(Time::ZERO, 1448));
+        }
     });
-    c.bench_function("carousel/trigger_paced", |b| {
+    bench_n("carousel/trigger_paced", 100_000, || {
         let mut car = Carousel::with_defaults();
         for conn in 0..64 {
             car.register(conn);
@@ -109,25 +195,27 @@ fn bench_carousel(c: &mut Criterion) {
             car.update_sendable(conn, u32::MAX / 2, Time::ZERO);
         }
         let mut now = Time::ZERO;
-        b.iter(|| {
-            now = now + Duration::from_ns(200);
-            black_box(car.next_trigger(now, 1448))
-        })
+        for _ in 0..100_000 {
+            now += Duration::from_ns(200);
+            black_box(car.next_trigger(now, 1448));
+        }
     });
 }
 
-fn bench_ebpf(c: &mut Criterion) {
+fn bench_ebpf() {
     let mut frame = vec![0u8; 64];
     frame[12..14].copy_from_slice(&0x0800u16.to_be_bytes());
     frame[14] = 0x45;
     frame[23] = 6;
-    c.bench_function("ebpf/null_program", |b| {
+    bench_n("ebpf/null_program", 100_000, || {
         let prog = programs::null_pass();
         let mut vm = Vm::new();
         let mut maps = MapSet::new();
-        b.iter(|| black_box(vm.run(&prog, &mut frame, &mut maps).unwrap()))
+        for _ in 0..100_000 {
+            black_box(vm.run(&prog, &mut frame, &mut maps).unwrap());
+        }
     });
-    c.bench_function("ebpf/splice_miss", |b| {
+    bench_n("ebpf/splice_miss", 100_000, || {
         let mut maps = MapSet::new();
         let fd = maps.add(Map::hash(
             programs::SPLICE_KEY_SIZE,
@@ -136,16 +224,33 @@ fn bench_ebpf(c: &mut Criterion) {
         ));
         let prog = programs::splice(fd);
         let mut vm = Vm::new();
-        b.iter(|| black_box(vm.run(&prog, &mut frame, &mut maps).unwrap()))
+        for _ in 0..100_000 {
+            black_box(vm.run(&prog, &mut frame, &mut maps).unwrap());
+        }
     });
 }
 
-criterion_group!(
-    benches,
-    bench_wire,
-    bench_proto,
-    bench_reorder,
-    bench_carousel,
-    bench_ebpf
-);
-criterion_main!(benches);
+fn main() {
+    let filter: Option<String> = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-') && a != "--bench");
+    let mut engine_results = Vec::new();
+    if selected(&filter, "engine") {
+        bench_engine(&mut engine_results);
+    }
+    if selected(&filter, "wire") {
+        bench_wire();
+    }
+    if selected(&filter, "proto") {
+        bench_proto();
+    }
+    if selected(&filter, "reorder") {
+        bench_reorder();
+    }
+    if selected(&filter, "carousel") {
+        bench_carousel();
+    }
+    if selected(&filter, "ebpf") {
+        bench_ebpf();
+    }
+}

@@ -1,0 +1,115 @@
+//! The engine event-core benchmark: a synthetic FlexTOE-shaped pipeline
+//! ring (SEQR → PRE → PROTO → POST → DMA → NBI → back) with realistic hop
+//! latencies, plus a slow control timer that exercises the wheel's
+//! overflow path.
+//!
+//! Shared by `benches/micro.rs` (interactive runs) and the
+//! `bench-pipeline` experiment (which records `BENCH_pipeline.json`).
+//! `typed = false` replays the pre-typed engine's cost model: every hop
+//! re-boxes the work item (`Msg::Custom`) and the receiver downcasts —
+//! exactly what `Box<dyn Any>` messages did.
+
+use std::time::Instant;
+
+use flextoe_sim::{
+    cast, Ctx, Duration, IntoMsg, Msg, Node, NodeId, QueueKind, Sim, Time, WorkToken,
+};
+
+/// Stand-in for the old boxed `PipelineMsg` payload.
+pub struct LegacyWork {
+    pub entry_seq: u64,
+    pub state: [u64; 6],
+}
+flextoe_sim::custom_msg!(LegacyWork);
+
+struct Stage {
+    next: NodeId,
+    hop: Duration,
+    seen: u64,
+}
+
+impl Node for Stage {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        self.seen += 1;
+        match msg {
+            Msg::Work(tok) => ctx.send(self.next, self.hop, tok),
+            m @ Msg::Custom(_) => {
+                // old-engine cost model: unbox, touch, re-box
+                let w = cast::<LegacyWork>(m);
+                let w = LegacyWork {
+                    entry_seq: w.entry_seq.wrapping_add(1),
+                    state: w.state,
+                };
+                ctx.send(self.next, self.hop, w);
+            }
+            m => panic!("stage: unexpected {}", m.variant_name()),
+        }
+    }
+}
+
+/// Slow control-plane timer: far-future events through the overflow heap.
+struct SlowTimer;
+impl Node for SlowTimer {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+        ctx.wake(Duration::from_ms(1), flextoe_sim::Tick);
+    }
+}
+
+pub const PIPE_EVENTS: u64 = 2_000_000;
+
+/// Build and run the synthetic pipeline; returns events/sec of wall time.
+pub fn pipeline_events_per_sec(kind: QueueKind, typed: bool) -> f64 {
+    let mut sim = Sim::with_queue(7, kind);
+    // FlexTOE-ish stage hops: intra-island CLS hops, a PCIe DMA hop and
+    // the wire serialization of an MTU frame at 40 Gbps
+    let hops_ns: [u64; 6] = [20, 30, 25, 40, 900, 300];
+    let stages: Vec<NodeId> = (0..hops_ns.len()).map(|_| sim.reserve_node()).collect();
+    for (i, &h) in hops_ns.iter().enumerate() {
+        sim.fill_node(
+            stages[i],
+            Stage {
+                next: stages[(i + 1) % stages.len()],
+                hop: Duration::from_ns(h),
+                seen: 0,
+            },
+        );
+    }
+    let timer = sim.add_node(SlowTimer);
+    sim.schedule(Time::ZERO, timer, flextoe_sim::Tick);
+    // 64 packets in flight, entering staggered like line-rate arrivals
+    for p in 0..64u64 {
+        let at = Time::from_ns(p * 300);
+        if typed {
+            sim.schedule(
+                at,
+                stages[0],
+                WorkToken {
+                    slot: p as u32,
+                    entry_seq: Some(p),
+                },
+            );
+        } else {
+            sim.schedule(
+                at,
+                stages[0],
+                LegacyWork {
+                    entry_seq: p,
+                    state: [p; 6],
+                }
+                .into_msg(),
+            );
+        }
+    }
+    let t0 = Instant::now();
+    while sim.events_processed() < PIPE_EVENTS && sim.step() {}
+    let secs = t0.elapsed().as_secs_f64();
+    assert_eq!(sim.events_processed(), PIPE_EVENTS);
+    sim.events_processed() as f64 / secs
+}
+
+/// Best-of-n measurement (benchmarks want the least-disturbed run).
+pub fn best_of(n: u32, kind: QueueKind, typed: bool) -> f64 {
+    (0..n)
+        .map(|_| pipeline_events_per_sec(kind, typed))
+        .fold(0.0f64, f64::max)
+}

@@ -43,8 +43,10 @@ fn server(msg: u32, resp: u32, app_cycles: u64) -> ServerConfig {
 pub fn table1() {
     println!("# Table 1 — per-request CPU impact of TCP processing");
     println!("# (kc = kilocycles @ 2 GHz per request; measured 1-core RPC rate alongside)");
-    println!("{:<14} {:>8} {:>8} {:>9} {:>6} {:>7} {:>8} {:>12}",
-        "stack", "driver", "tcp/ip", "sockets", "app", "other", "total", "measured");
+    println!(
+        "{:<14} {:>8} {:>8} {:>9} {:>6} {:>7} {:>8} {:>12}",
+        "stack", "driver", "tcp/ip", "sockets", "app", "other", "total", "measured"
+    );
     for stack in Stack::all4() {
         let (driver, tcpip, sockets, other) = match stack {
             Stack::Linux => (0.71, 4.25, 2.48, 3.42),
@@ -72,7 +74,14 @@ pub fn table1() {
         );
         println!(
             "{:<14} {:>8.2} {:>8.2} {:>9.2} {:>6.2} {:>7.2} {:>8.2} {:>12}",
-            stack.name(), driver, tcpip, sockets, app, other, total, fmt_ops(res.rps)
+            stack.name(),
+            driver,
+            tcpip,
+            sockets,
+            app,
+            other,
+            total,
+            fmt_ops(res.rps)
         );
     }
 }
@@ -81,13 +90,22 @@ pub fn table1() {
 pub fn table2() {
     println!("# Table 2 — performance with flexible extensions (echo, 64 conns)");
     let run = |label: &str, cfg: PipeCfg, install: &dyn Fn(&mut Sim, &Endpoint)| {
-        let opts = PairOpts { cfg, ..Default::default() };
+        let opts = PairOpts {
+            cfg,
+            ..Default::default()
+        };
         let mut sim = Sim::new(5);
         let (ea, eb) = build_pair(&mut sim, Stack::FlexToe, Stack::FlexToe, &opts);
         install(&mut sim, &eb);
-        let srv = sim.add_node(DynServer::new(server(32, 32, 0), eb.stack_init(Stack::FlexToe, 1)));
+        let srv = sim.add_node(DynServer::new(
+            server(32, 32, 0),
+            eb.stack_init(Stack::FlexToe, 1),
+        ));
         let cli = sim.add_node(DynClient::new(
-            ClientConfig { server_ip: eb.ip, ..client(64, 32, 32, 4, 2) },
+            ClientConfig {
+                server_ip: eb.ip,
+                ..client(64, 32, 32, 4, 2)
+            },
             ea.stack_init(Stack::FlexToe, 1),
         ));
         sim.schedule(Time::ZERO, srv, Tick);
@@ -99,7 +117,10 @@ pub fn table2() {
     run("Baseline FlexTOE", PipeCfg::agilio_full(), &|_, _| {});
     run(
         "Statistics and profiling",
-        PipeCfg { tracepoints: true, ..PipeCfg::agilio_full() },
+        PipeCfg {
+            tracepoints: true,
+            ..PipeCfg::agilio_full()
+        },
         &|_, _| {},
     );
     run("tcpdump (no filter)", PipeCfg::agilio_full(), &|sim, ep| {
@@ -124,14 +145,20 @@ pub fn table2() {
 /// flight each).
 pub fn table3() {
     println!("# Table 3 — FlexTOE data-path parallelism breakdown");
-    println!("{:<24} {:>12} {:>10} {:>12}", "design", "tput", "p50 us", "p99.99 us");
+    println!(
+        "{:<24} {:>12} {:>10} {:>12}",
+        "design", "tput", "p50 us", "p99.99 us"
+    );
     let mut base_tput = 0.0;
     let mut run = |label: &str, stack: Stack, cfg: PipeCfg| {
         let (_sim, res) = run_echo(
             3,
             stack,
             stack,
-            PairOpts { cfg, ..Default::default() },
+            PairOpts {
+                cfg,
+                ..Default::default()
+            },
             server(2048, 2048, 0),
             client(64, 2048, 2048, 1, 3),
             Time::from_ms(15),
@@ -149,17 +176,40 @@ pub fn table3() {
             bps / base_tput
         );
     };
-    run("Baseline (run-to-compl.)", Stack::FlexBaselineFpc, PipeCfg::agilio_full());
-    run("+ Pipelining", Stack::FlexToe, PipeCfg::agilio_pipelined_only());
-    run("+ Intra-FPC parallelism", Stack::FlexToe, PipeCfg::agilio_intra_fpc());
-    run("+ Replicated pre/post", Stack::FlexToe, PipeCfg::agilio_replicated());
-    run("+ Flow-group islands", Stack::FlexToe, PipeCfg::agilio_full());
+    run(
+        "Baseline (run-to-compl.)",
+        Stack::FlexBaselineFpc,
+        PipeCfg::agilio_full(),
+    );
+    run(
+        "+ Pipelining",
+        Stack::FlexToe,
+        PipeCfg::agilio_pipelined_only(),
+    );
+    run(
+        "+ Intra-FPC parallelism",
+        Stack::FlexToe,
+        PipeCfg::agilio_intra_fpc(),
+    );
+    run(
+        "+ Replicated pre/post",
+        Stack::FlexToe,
+        PipeCfg::agilio_replicated(),
+    );
+    run(
+        "+ Flow-group islands",
+        Stack::FlexToe,
+        PipeCfg::agilio_full(),
+    );
 }
 
 /// Table 4: congestion control under incast.
 pub fn table4() {
     println!("# Table 4 — FlexTOE congestion control under incast");
-    println!("{:<6} {:>6} {:>5} {:>12} {:>14} {:>7}", "deg", "conns", "cc", "tput", "p99.99 ms", "JFI");
+    println!(
+        "{:<6} {:>6} {:>5} {:>12} {:>14} {:>7}",
+        "deg", "conns", "cc", "tput", "p99.99 ms", "JFI"
+    );
     for (deg, conns_per_client) in [(4u8, 4u32), (8, 2)] {
         for cc_on in [true, false] {
             let opts = PairOpts {
@@ -172,7 +222,11 @@ pub fn table4() {
                 rate_bps: 40_000_000_000 / deg as u64,
                 buf_bytes: 128 * 1024,
                 ecn_threshold: Some(24 * 1024),
-                wred: Some(WredParams { min_bytes: 64 * 1024, max_bytes: 128 * 1024, max_p: 0.3 }),
+                wred: Some(WredParams {
+                    min_bytes: 64 * 1024,
+                    max_bytes: 128 * 1024,
+                    max_p: 0.3,
+                }),
             };
             let (clients, srv_ep, _sw) = build_star(&mut sim, Stack::FlexToe, deg, port, &opts);
             let srv = sim.add_node(DynServer::new(
@@ -228,7 +282,10 @@ pub fn table5() {
     use flextoe_core::{PostState, PreState, ProtoState, CONN_STATE_BYTES};
     println!("# Table 5 — connection state partitioning");
     println!("pre-processor  {:>3} B (paper: 15 B)", PreState::WIRE_SIZE);
-    println!("protocol       {:>3} B (paper: 43 B)", ProtoState::WIRE_SIZE);
+    println!(
+        "protocol       {:>3} B (paper: 43 B)",
+        ProtoState::WIRE_SIZE
+    );
     println!("post-processor {:>3} B (paper: 51 B)", PostState::WIRE_SIZE);
     println!("total          {:>3} B (paper: 108 B)", CONN_STATE_BYTES);
 }
@@ -283,7 +340,10 @@ pub fn fig8() {
             for core in 0..cores {
                 let port = 7800 + core as u16;
                 let srv = sim.add_node(DynServer::new(
-                    ServerConfig { port, ..server(64, 64, 890) },
+                    ServerConfig {
+                        port,
+                        ..server(64, 64, 890)
+                    },
                     eb.stack_init(stack, 1 + core as u16),
                 ));
                 sim.schedule(Time::ZERO, srv, Tick);
@@ -312,7 +372,10 @@ pub fn fig8() {
 /// Fig. 9: RPC latency for all server/client stack combinations.
 pub fn fig9() {
     println!("# Fig. 9 — echo latency, all server x client combinations (us)");
-    println!("{:<10} {:<10} {:>8} {:>8} {:>10}", "server", "client", "p50", "p99", "p99.99");
+    println!(
+        "{:<10} {:<10} {:>8} {:>8} {:>10}",
+        "server", "client", "p50", "p99", "p99.99"
+    );
     for server_stack in Stack::all4() {
         for client_stack in Stack::all4() {
             let (_sim, res) = run_echo(
@@ -379,7 +442,10 @@ pub fn fig10() {
 /// Fig. 11: single-connection RPC RTT percentiles vs message size.
 pub fn fig11() {
     println!("# Fig. 11 — single-connection RPC RTT (us)");
-    println!("{:<10} {:>6} {:>8} {:>8} {:>10}", "stack", "size", "p50", "p99", "p99.99");
+    println!(
+        "{:<10} {:>6} {:>8} {:>8} {:>10}",
+        "stack", "size", "p50", "p99", "p99.99"
+    );
     for stack in Stack::all4() {
         for size in [32u32, 256, 1024, 2048] {
             let (_s, res) = run_echo(
@@ -406,7 +472,10 @@ pub fn fig11() {
 /// Fig. 12: large-RPC per-connection goodput, uni- and bidirectional.
 pub fn fig12() {
     println!("# Fig. 12 — large-RPC goodput (client->server transfer)");
-    println!("{:<10} {:>8} {:>14} {:>14}", "stack", "size", "unidirectional", "bidirectional");
+    println!(
+        "{:<10} {:>8} {:>14} {:>14}",
+        "stack", "size", "unidirectional", "bidirectional"
+    );
     for stack in Stack::all4() {
         for size in [128 * 1024u32, 1 << 20, 8 << 20] {
             let uni = {
@@ -478,11 +547,24 @@ pub fn fig13() {
 pub fn fig14() {
     println!("# Fig. 14 — single-connection pipelined RPC goodput on the ports");
     for (pname, platform, tas_clock, tas_copy) in [
-        ("x86", flextoe_nfp::x86_port(), flextoe_sim::clocks::X86_2350MHZ, 0.06f64),
-        ("bluefield", flextoe_nfp::bluefield_port(), flextoe_sim::clocks::BLUEFIELD_800MHZ, 0.5),
+        (
+            "x86",
+            flextoe_nfp::x86_port(),
+            flextoe_sim::clocks::X86_2350MHZ,
+            0.06f64,
+        ),
+        (
+            "bluefield",
+            flextoe_nfp::bluefield_port(),
+            flextoe_sim::clocks::BLUEFIELD_800MHZ,
+            0.5,
+        ),
     ] {
         println!("## {pname}");
-        println!("{:<16} {:>6} {:>6} {:>6} {:>6}  (MSS; Gbps)", "config", "1448", "512", "128", "64");
+        println!(
+            "{:<16} {:>6} {:>6} {:>6} {:>6}  (MSS; Gbps)",
+            "config", "1448", "512", "128", "64"
+        );
         for (label, kind) in [
             ("TAS", Some(false)),
             ("TAS-nocopy", Some(true)),
@@ -511,7 +593,10 @@ pub fn fig14() {
                             mss,
                             ..PipeCfg::port(platform, replicated)
                         };
-                        let opts = PairOpts { cfg, ..Default::default() };
+                        let opts = PairOpts {
+                            cfg,
+                            ..Default::default()
+                        };
                         let mut sim = Sim::new(72);
                         let (ea, eb) = build_pair(&mut sim, Stack::FlexToe, Stack::FlexToe, &opts);
                         run_sink(&mut sim, &ea, &eb, Stack::FlexToe, mss)
@@ -526,9 +611,15 @@ pub fn fig14() {
 
 /// Helper: single-connection pipelined RPC sink throughput.
 fn run_sink(sim: &mut Sim, ea: &Endpoint, eb: &Endpoint, stack: Stack, _mss: u32) -> f64 {
-    let srv = sim.add_node(DynServer::new(server(16_384, 32, 0), eb.stack_init(stack, 1)));
+    let srv = sim.add_node(DynServer::new(
+        server(16_384, 32, 0),
+        eb.stack_init(stack, 1),
+    ));
     let cli = sim.add_node(DynClient::new(
-        ClientConfig { server_ip: eb.ip, ..client(1, 16_384, 32, 4, 3) },
+        ClientConfig {
+            server_ip: eb.ip,
+            ..client(1, 16_384, 32, 4, 3)
+        },
         ea.stack_init(stack, 1),
     ));
     sim.schedule(Time::ZERO, srv, Tick);
@@ -551,7 +642,10 @@ pub fn fig15() {
         print!("{:<10}", stack.name());
         for rate in rates {
             let opts = PairOpts {
-                faults: Faults { drop_chance: rate, ..Default::default() },
+                faults: Faults {
+                    drop_chance: rate,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             let (_s, res) = run_echo(
@@ -577,7 +671,10 @@ pub fn fig15() {
         print!("{:<10}", stack.name());
         for rate in rates {
             let opts = PairOpts {
-                faults: Faults { drop_chance: rate, ..Default::default() },
+                faults: Faults {
+                    drop_chance: rate,
+                    ..Default::default()
+                },
                 ..Default::default()
             };
             let (_s, res) = run_echo(
@@ -598,7 +695,10 @@ pub fn fig15() {
 /// Fig. 16: per-connection fairness at line rate.
 pub fn fig16() {
     println!("# Fig. 16 — goodput/fair-share distribution (bulk flows)");
-    println!("{:<10} {:>6} {:>8} {:>8} {:>7}", "stack", "conns", "p50/fs", "p1/fs", "JFI");
+    println!(
+        "{:<10} {:>6} {:>8} {:>8} {:>7}",
+        "stack", "conns", "p50/fs", "p1/fs", "JFI"
+    );
     for stack in [Stack::FlexToe, Stack::Linux] {
         for conns in [64u32, 256, 1024] {
             let (_s, res) = run_echo(
@@ -636,12 +736,18 @@ pub fn fig16() {
 pub fn ablate_reorder() {
     println!("# Ablation — §3.2 sequencing/reordering on vs off (2 KB echo, 64 conns)");
     for reorder in [true, false] {
-        let cfg = PipeCfg { reorder, ..PipeCfg::agilio_full() };
+        let cfg = PipeCfg {
+            reorder,
+            ..PipeCfg::agilio_full()
+        };
         let (sim, res) = run_echo(
             95,
             Stack::FlexToe,
             Stack::FlexToe,
-            PairOpts { cfg, ..Default::default() },
+            PairOpts {
+                cfg,
+                ..Default::default()
+            },
             server(2048, 2048, 0),
             client(64, 2048, 2048, 1, 3),
             Time::from_ms(15),
@@ -654,4 +760,82 @@ pub fn ablate_reorder() {
             res.latency.p9999() as f64 / 1000.0,
         );
     }
+}
+
+// ---------------------------------------------------------------------------
+
+/// Engine perf snapshot: micro events/sec (wheel+typed vs the heap+boxed
+/// reconstruction of the pre-optimization engine) plus an end-to-end echo
+/// run with wall-clock and simulated rates. Emits `BENCH_pipeline.json`
+/// so future PRs can track regressions.
+pub fn bench_pipeline() {
+    use flextoe_sim::QueueKind;
+    use std::time::Instant;
+
+    println!("# bench-pipeline — engine event-core performance snapshot");
+
+    // --- micro: the 6-stage pipeline ring ---------------------------------
+    // The true pre-PR engine (seed Box<dyn Any> + BinaryHeap + buffered
+    // send path), measured on this host from a git worktree at the seed
+    // commit with the same ring workload. The in-tree heap_boxed
+    // reconstruction below is *conservative*: it still benefits from this
+    // PR's direct-push send path, so it runs faster than the real seed.
+    const SEED_BASELINE_EPS: f64 = 12_620_000.0;
+    let heap_boxed = crate::enginebench::best_of(5, QueueKind::Heap, false);
+    let heap_typed = crate::enginebench::best_of(5, QueueKind::Heap, true);
+    let wheel_boxed = crate::enginebench::best_of(5, QueueKind::Wheel, false);
+    let wheel_typed = crate::enginebench::best_of(5, QueueKind::Wheel, true);
+    let speedup = wheel_typed / heap_boxed;
+    let speedup_vs_seed = wheel_typed / SEED_BASELINE_EPS;
+    println!(
+        "engine micro: seed {:.2}M  heap+boxed {:.2}M  wheel+typed {:.2}M  speedup {:.2}x (vs seed {:.2}x)",
+        SEED_BASELINE_EPS / 1e6,
+        heap_boxed / 1e6,
+        wheel_typed / 1e6,
+        speedup,
+        speedup_vs_seed
+    );
+
+    // --- e2e: FlexTOE<->FlexTOE echo, wall + simulated rates --------------
+    let wall0 = Instant::now();
+    let (sim, res) = run_echo(
+        7,
+        Stack::FlexToe,
+        Stack::FlexToe,
+        PairOpts::default(),
+        server(64, 64, 0),
+        client(16, 64, 64, 4, 2),
+        Time::from_ms(30),
+    );
+    let wall = wall0.elapsed().as_secs_f64();
+    let sim_events = sim.events_processed();
+    let wall_eps = sim_events as f64 / wall;
+    let p50_us = res.latency.quantile(0.5) as f64 / 1000.0;
+    let p99_us = res.latency.quantile(0.99) as f64 / 1000.0;
+    println!(
+        "e2e echo: {:.0} simulated rps, {} events in {:.2}s wall ({:.2}M events/s), p50 {:.1}us p99 {:.1}us",
+        res.rps, sim_events, wall, wall_eps / 1e6, p50_us, p99_us
+    );
+
+    // --- machine-readable snapshot ----------------------------------------
+    let json = format!(
+        "{{\n  \"benchmark\": \"pipeline\",\n  \"engine_micro\": {{\n    \"events\": {},\n    \"seed_baseline_eps\": {:.0},\n    \"heap_boxed_eps\": {:.0},\n    \"heap_typed_eps\": {:.0},\n    \"wheel_boxed_eps\": {:.0},\n    \"wheel_typed_eps\": {:.0},\n    \"speedup_wheel_typed_vs_heap_boxed\": {:.3},\n    \"speedup_wheel_typed_vs_seed\": {:.3},\n    \"notes\": \"seed_baseline_eps is the true pre-PR engine (Box<dyn Any>+BinaryHeap+buffered sends) measured from a git worktree at the seed commit on this host; heap_boxed reconstructs it in-tree but still benefits from this PR's direct-push send path, so it over-estimates the baseline\"\n  }},\n  \"e2e_echo\": {{\n    \"config\": \"FlexTOE<->FlexTOE, 16 conns, 64B echo, 30ms simulated\",\n    \"simulated_rps\": {:.0},\n    \"simulated_goodput_bps\": {:.0},\n    \"sim_events\": {},\n    \"wall_secs\": {:.3},\n    \"wall_events_per_sec\": {:.0},\n    \"latency_us_p50\": {:.1},\n    \"latency_us_p99\": {:.1}\n  }}\n}}\n",
+        crate::enginebench::PIPE_EVENTS,
+        SEED_BASELINE_EPS,
+        heap_boxed,
+        heap_typed,
+        wheel_boxed,
+        wheel_typed,
+        speedup,
+        speedup_vs_seed,
+        res.rps,
+        res.goodput_bps,
+        sim_events,
+        wall,
+        wall_eps,
+        p50_us,
+        p99_us,
+    );
+    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
+    println!("wrote BENCH_pipeline.json");
 }

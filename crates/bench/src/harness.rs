@@ -57,7 +57,11 @@ pub struct Endpoint {
 
 impl Endpoint {
     /// Stack factory for an application node on this endpoint.
-    pub fn stack_init(&self, stack: Stack, ctx_id: u16) -> flextoe_apps::StackInit<Box<dyn StackApi>> {
+    pub fn stack_init(
+        &self,
+        stack: Stack,
+        ctx_id: u16,
+    ) -> flextoe_apps::StackInit<Box<dyn StackApi>> {
         match stack {
             Stack::FlexToe => {
                 let (nic, ctrl) = self.flextoe.as_ref().expect("flextoe endpoint");
@@ -109,7 +113,8 @@ fn build_endpoint(
     match stack {
         Stack::FlexToe => {
             let ctrl = sim.reserve_node();
-            let nic = FlexToeNic::build(sim, opts.cfg.clone(), NicConfig { mac, ip }, link_out, ctrl);
+            let nic =
+                FlexToeNic::build(sim, opts.cfg.clone(), NicConfig { mac, ip }, link_out, ctrl);
             let cp = ControlPlane::new(
                 CtrlConfig {
                     cc: opts.cc,
@@ -141,10 +146,12 @@ fn build_endpoint(
 
 fn add_arp(sim: &mut Sim, ep: &Endpoint, peer_ip: Ip4, peer_mac: MacAddr) {
     if let Some((_, ctrl)) = &ep.flextoe {
-        sim.node_mut::<ControlPlane>(*ctrl).add_peer(peer_ip, peer_mac);
+        sim.node_mut::<ControlPlane>(*ctrl)
+            .add_peer(peer_ip, peer_mac);
     }
     if let Some(node) = ep.baseline {
-        sim.node_mut::<HostStackNode>(node).add_peer(peer_ip, peer_mac);
+        sim.node_mut::<HostStackNode>(node)
+            .add_peer(peer_ip, peer_mac);
     }
 }
 
@@ -154,8 +161,14 @@ pub fn build_pair(sim: &mut Sim, a: Stack, b: Stack, opts: &PairOpts) -> (Endpoi
     let l_ba = sim.reserve_node();
     let ea = build_endpoint(sim, a, 1, l_ab, opts);
     let eb = build_endpoint(sim, b, 2, l_ba, opts);
-    sim.fill_node(l_ab, Link::with_faults(eb.ingress, opts.propagation, opts.faults));
-    sim.fill_node(l_ba, Link::with_faults(ea.ingress, opts.propagation, opts.faults));
+    sim.fill_node(
+        l_ab,
+        Link::with_faults(eb.ingress, opts.propagation, opts.faults),
+    );
+    sim.fill_node(
+        l_ba,
+        Link::with_faults(ea.ingress, opts.propagation, opts.faults),
+    );
     add_arp(sim, &ea, eb.ip, eb.mac);
     add_arp(sim, &eb, ea.ip, ea.mac);
     (ea, eb)

@@ -6,13 +6,19 @@
 //! cargo run -p flextoe-bench --release -- table3 fig15
 //! ```
 
+mod enginebench;
 mod exp;
 mod harness;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let run_all = args.is_empty() || args.iter().any(|a| a == "all");
-    let want = |name: &str| run_all || args.iter().any(|a| a == name);
+    let want = |name: &str| {
+        if name == "bench-pipeline" {
+            return args.iter().any(|a| a == name);
+        }
+        run_all || args.iter().any(|a| a == name)
+    };
 
     let experiments: &[(&str, fn())] = &[
         ("table1", exp::table1),
@@ -31,7 +37,11 @@ fn main() {
         ("fig15", exp::fig15),
         ("fig16", exp::fig16),
         ("ablate-reorder", exp::ablate_reorder),
+        ("bench-pipeline", exp::bench_pipeline),
     ];
+    // bench-pipeline is a perf snapshot, not a paper experiment: only on
+    // explicit request, not under `all`
+
     let mut ran = 0;
     for (name, f) in experiments {
         if want(name) {

@@ -142,9 +142,12 @@ struct PendingPassive {
     listen_port: u16,
 }
 
+flextoe_sim::custom_msg!(AppRequest, AppReply);
+
 struct SynRetry {
     key: FourTuple,
 }
+flextoe_sim::custom_msg!(SynRetry);
 
 pub struct ControlPlane {
     cfg: CtrlConfig,

@@ -57,7 +57,14 @@ impl RtoTracker {
 
     /// One control-loop observation of a flow. Returns `true` when an RTO
     /// fires (caller injects the retransmit and halves the rate).
-    pub fn observe(&mut self, conn: u32, snd_una: SeqNum, in_flight: u32, now: Time, srtt_us: u32) -> bool {
+    pub fn observe(
+        &mut self,
+        conn: u32,
+        snd_una: SeqNum,
+        in_flight: u32,
+        now: Time,
+        srtt_us: u32,
+    ) -> bool {
         let Some(Some(f)) = self.flows.get_mut(conn as usize) else {
             return false;
         };
@@ -127,7 +134,7 @@ mod tests {
         let una = SeqNum(0);
         t.observe(1, una, 100, Time::from_us(0), 10);
         assert!(t.observe(1, una, 100, Time::from_ms(1), 10)); // first RTO at 1ms
-        // second RTO needs 2ms more
+                                                               // second RTO needs 2ms more
         assert!(!t.observe(1, una, 100, Time::from_us(2500), 10));
         assert!(t.observe(1, una, 100, Time::from_ms(3), 10));
         // third needs 4ms
@@ -142,7 +149,7 @@ mod tests {
         t.observe(1, SeqNum(0), 100, Time::from_us(0), 10);
         assert!(t.observe(1, SeqNum(0), 100, Time::from_ms(1), 10));
         assert!(!t.observe(1, SeqNum(100), 0, Time::from_ms(2), 10)); // drained
-        // re-armed fresh: base RTO again
+                                                                      // re-armed fresh: base RTO again
         assert!(!t.observe(1, SeqNum(100), 50, Time::from_ms(3), 10));
         assert!(!t.observe(1, SeqNum(100), 50, Time::from_us(3900), 10));
         assert!(t.observe(1, SeqNum(100), 50, Time::from_us(4100), 10));

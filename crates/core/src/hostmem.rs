@@ -26,7 +26,10 @@ pub struct PayloadBuf {
 
 impl PayloadBuf {
     pub fn new(size: u32) -> PayloadBuf {
-        assert!(size > 0 && size.is_power_of_two(), "size must be a power of two");
+        assert!(
+            size > 0 && size.is_power_of_two(),
+            "size must be a power of two"
+        );
         PayloadBuf {
             data: vec![0; size as usize],
         }

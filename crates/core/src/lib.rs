@@ -30,6 +30,9 @@ pub use hostmem::{
 pub use module::{DataPathModule, Hook, ModuleChain, ModuleVerdict, TcpdumpModule, XdpModule};
 pub use pipeline::{FlexToeNic, NicHandle};
 pub use proto::{RxOutcome, RxSummary, TxSeg};
-pub use segment::{ConnEntry, ConnTable, NicConfig, SharedConnTable};
+pub use segment::{
+    shared_seg_pool, shared_work_pool, ConnEntry, ConnTable, NicConfig, SharedConnTable,
+    SharedSegPool, SharedWorkPool, WorkPool,
+};
 pub use stages::{AppNotify, Doorbell, PipeCfg, Redirect, RegisterCtx, SchedCtl};
 pub use state::{PostState, PreState, ProtoState, CONN_STATE_BYTES};

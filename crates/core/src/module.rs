@@ -134,13 +134,16 @@ impl DataPathModule for XdpModule {
     }
 }
 
+/// Predicate selecting which frames a capture module records.
+pub type FrameFilter = Box<dyn Fn(&[u8]) -> bool>;
+
 /// tcpdump-style traffic logging with an optional header filter
 /// (Table 2's "tcpdump (no filter)" row: every packet captured).
 pub struct TcpdumpModule {
     hook: Hook,
     pub pcap: PcapWriter,
     /// Optional filter over the raw frame; `None` captures everything.
-    filter: Option<Box<dyn Fn(&[u8]) -> bool>>,
+    filter: Option<FrameFilter>,
 }
 
 impl TcpdumpModule {
@@ -152,7 +155,7 @@ impl TcpdumpModule {
         }
     }
 
-    pub fn with_filter(hook: Hook, filter: Box<dyn Fn(&[u8]) -> bool>) -> TcpdumpModule {
+    pub fn with_filter(hook: Hook, filter: FrameFilter) -> TcpdumpModule {
         TcpdumpModule {
             hook,
             pcap: PcapWriter::new(),
@@ -174,7 +177,7 @@ impl DataPathModule for TcpdumpModule {
     fn process(&mut self, now: Time, frame: &mut Vec<u8>) -> (ModuleVerdict, Cost) {
         let capture = self.filter.as_ref().map(|f| f(frame)).unwrap_or(true);
         if capture {
-            self.pcap.record(now, frame);
+            self.pcap.record(now.as_us(), frame);
             (ModuleVerdict::Pass, ext::TCPDUMP_CAPTURE)
         } else {
             // filter evaluation alone is much cheaper

@@ -7,7 +7,10 @@ use std::rc::Rc;
 use flextoe_nfp::{ConnDb, DmaEngine, MacPort};
 use flextoe_sim::{NodeId, Sim};
 
-use crate::segment::{shared_conn_table, NicConfig, SharedConnTable};
+use crate::segment::{
+    shared_conn_table, shared_seg_pool, shared_work_pool, NicConfig, SharedConnTable,
+    SharedSegPool, SharedWorkPool,
+};
 use crate::stages::{
     ctxq::CtxqStage, dmast::DmaStage, post::PostStage, pre::PreStage, proto_stage::ProtoStage,
     schedn::SchedNode, seqr::SeqrNode, PipeCfg, SharedCfg,
@@ -29,6 +32,10 @@ pub struct FlexToeNic {
     pub ctrl: NodeId,
     pub table: SharedConnTable,
     pub db: Rc<RefCell<ConnDb>>,
+    /// Slab of in-flight pipeline work items (tokens travel the queue).
+    pub work_pool: SharedWorkPool,
+    /// Recycled per-packet byte buffers.
+    pub seg_pool: SharedSegPool,
 }
 
 impl FlexToeNic {
@@ -36,10 +43,18 @@ impl FlexToeNic {
     /// link endpoint); `ctrl` is the control-plane node (may be a
     /// reserved id filled later). Ingress frames must be delivered to the
     /// returned `mac` node.
-    pub fn build(sim: &mut Sim, cfg: PipeCfg, nic_cfg: NicConfig, wire_out: NodeId, ctrl: NodeId) -> FlexToeNic {
+    pub fn build(
+        sim: &mut Sim,
+        cfg: PipeCfg,
+        nic_cfg: NicConfig,
+        wire_out: NodeId,
+        ctrl: NodeId,
+    ) -> FlexToeNic {
         let cfg: SharedCfg = Rc::new(cfg);
         let table = shared_conn_table(nic_cfg);
         let db = Rc::new(RefCell::new(ConnDb::new(&cfg.platform)));
+        let work_pool = shared_work_pool();
+        let seg_pool = shared_seg_pool();
 
         // reserve everything first (the graph is cyclic)
         let seqr = sim.reserve_node();
@@ -55,7 +70,7 @@ impl FlexToeNic {
         sim.fill_node(mac, MacPort::new(cfg.platform.mac_bps, wire_out, seqr));
         sim.fill_node(dma_engine, DmaEngine::new(cfg.platform.pcie));
 
-        let mut seqr_node = SeqrNode::new(cfg.clone(), mac);
+        let mut seqr_node = SeqrNode::new(cfg.clone(), work_pool.clone(), mac);
         seqr_node.pre_pool = vec![pre];
         seqr_node.protos = protos.clone();
         seqr_node.mac = mac;
@@ -63,26 +78,62 @@ impl FlexToeNic {
 
         sim.fill_node(
             pre,
-            PreStage::new(cfg.clone(), table.clone(), db.clone(), seqr, ctrl, mac),
+            PreStage::new(
+                cfg.clone(),
+                table.clone(),
+                work_pool.clone(),
+                seg_pool.clone(),
+                db.clone(),
+                seqr,
+                ctrl,
+                mac,
+            ),
         );
 
         for g in 0..cfg.n_groups {
             sim.fill_node(
                 protos[g],
-                ProtoStage::new(cfg.clone(), g, table.clone(), posts[g]),
+                ProtoStage::new(
+                    cfg.clone(),
+                    g,
+                    table.clone(),
+                    work_pool.clone(),
+                    seg_pool.clone(),
+                    posts[g],
+                ),
             );
             sim.fill_node(
                 posts[g],
-                PostStage::new(cfg.clone(), g, table.clone(), dma_stage, sched, ctxq),
+                PostStage::new(
+                    cfg.clone(),
+                    g,
+                    table.clone(),
+                    work_pool.clone(),
+                    seg_pool.clone(),
+                    dma_stage,
+                    sched,
+                    ctxq,
+                ),
             );
         }
 
         sim.fill_node(
             dma_stage,
-            DmaStage::new(cfg.clone(), table.clone(), dma_engine, seqr, ctxq),
+            DmaStage::new(
+                cfg.clone(),
+                table.clone(),
+                work_pool.clone(),
+                seg_pool.clone(),
+                dma_engine,
+                seqr,
+                ctxq,
+            ),
         );
-        sim.fill_node(ctxq, CtxqStage::new(cfg.clone(), dma_engine, seqr));
-        sim.fill_node(sched, SchedNode::new(cfg.clone(), seqr));
+        sim.fill_node(
+            ctxq,
+            CtxqStage::new(cfg.clone(), work_pool.clone(), dma_engine, seqr),
+        );
+        sim.fill_node(sched, SchedNode::new(cfg.clone(), work_pool.clone(), seqr));
 
         FlexToeNic {
             cfg,
@@ -98,6 +149,8 @@ impl FlexToeNic {
             ctrl,
             table,
             db,
+            work_pool,
+            seg_pool,
         }
     }
 

@@ -151,11 +151,7 @@ fn rx_segment_inner(ps: &mut ProtoState, sum: &RxSummary) -> RxOutcome {
             if sum.has_ts {
                 out.rtt_sample_ts = Some(sum.tsecr);
             }
-        } else if sum.ack == una
-            && sum.payload_len == 0
-            && !sum.flags.fin()
-            && ps.tx_sent > 0
-        {
+        } else if sum.ack == una && sum.payload_len == 0 && !sum.flags.fin() && ps.tx_sent > 0 {
             // Duplicate ACK: peer is missing something we sent.
             ps.dupack_cnt = (ps.dupack_cnt + 1).min(0x0f);
             if ps.dupack_cnt >= 3 {
@@ -187,7 +183,7 @@ fn rx_segment_inner(ps: &mut ProtoState, sum: &RxSummary) -> RxOutcome {
     // Trim bytes we already have.
     if seg_seq.before(ps.ack) {
         let dup = (ps.ack - seg_seq).min(len);
-        seg_seq = seg_seq + dup;
+        seg_seq += dup;
         len -= dup;
         frame_off += dup;
         if len == 0 && !fin {
@@ -393,7 +389,11 @@ mod tests {
         assert_eq!(out.delivered, 100);
         assert_eq!(
             out.placement,
-            Some(Placement { buf_pos: 0, frame_off: 0, len: 100 })
+            Some(Placement {
+                buf_pos: 0,
+                frame_off: 0,
+                len: 100
+            })
         );
         assert!(out.send_ack);
         assert!(!out.out_of_order);
@@ -431,7 +431,11 @@ mod tests {
         assert_eq!(out.delivered, 150);
         assert_eq!(
             out.placement,
-            Some(Placement { buf_pos: 100, frame_off: 50, len: 150 })
+            Some(Placement {
+                buf_pos: 100,
+                frame_off: 50,
+                len: 150
+            })
         );
         assert_eq!(ps.ack, SeqNum(50_250));
     }
@@ -462,7 +466,11 @@ mod tests {
         assert_eq!(out.delivered, 0);
         assert_eq!(
             out.placement,
-            Some(Placement { buf_pos: 200, frame_off: 0, len: 100 })
+            Some(Placement {
+                buf_pos: 200,
+                frame_off: 0,
+                len: 100
+            })
         );
         assert_eq!(ps.ooo_start, SeqNum(50_200));
         assert_eq!(ps.ooo_len, 100);
@@ -522,7 +530,7 @@ mod tests {
     fn in_order_overlapping_interval_does_not_redeliver() {
         let mut ps = established();
         rx_segment(&mut ps, &data(50_100, 100)); // ooo [50100,50200)
-        // retransmission covers [50000, 50150): overlaps interval head
+                                                 // retransmission covers [50000, 50150): overlaps interval head
         let out = rx_segment(&mut ps, &data(50_000, 150));
         // delivered = 150 new in-order + 50 remaining interval flush
         assert_eq!(out.delivered, 200);
@@ -803,7 +811,7 @@ mod tests {
         let seg = tx_next(&mut ps, 300).unwrap();
         assert_eq!(seg.seq, SeqNum(u32::MAX - 100));
         assert_eq!(ps.seq, SeqNum(199)); // wrapped
-        // in-order data across the wrap
+                                         // in-order data across the wrap
         let sum = RxSummary {
             seq: SeqNum(u32::MAX - 50),
             ack: SeqNum(150), // acks 251 of our 300
@@ -815,7 +823,7 @@ mod tests {
         let out = rx_segment(&mut ps, &sum);
         assert_eq!(out.delivered, 100);
         assert_eq!(ps.ack, SeqNum(49)); // wrapped
-        // snd_una was 2^32-101; distance to 150 is 251
+                                        // snd_una was 2^32-101; distance to 150 is 251
         assert_eq!(out.acked_bytes, 251);
         assert_eq!(ps.tx_sent, 49);
     }

@@ -156,7 +156,9 @@ mod tests {
         let mut order: Vec<u64> = (0..n).collect();
         let mut s = 12345u64;
         for i in (1..order.len()).rev() {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let j = (s >> 33) as usize % (i + 1);
             order.swap(i, j);
         }

@@ -155,7 +155,7 @@ impl Carousel {
                 self.rr.push_back(conn);
             }
             self.cur_slot = (self.cur_slot + 1) % n;
-            self.wheel_base = self.wheel_base + self.granularity;
+            self.wheel_base += self.granularity;
         }
     }
 
@@ -253,11 +253,17 @@ mod tests {
         c.update_sendable(1, MSS + 100, Time::ZERO);
         assert_eq!(
             c.next_trigger(Time::ZERO, MSS),
-            Some(Trigger { conn: 1, bytes_est: MSS })
+            Some(Trigger {
+                conn: 1,
+                bytes_est: MSS
+            })
         );
         assert_eq!(
             c.next_trigger(Time::ZERO, MSS),
-            Some(Trigger { conn: 1, bytes_est: 100 })
+            Some(Trigger {
+                conn: 1,
+                bytes_est: 100
+            })
         );
         assert_eq!(c.next_trigger(Time::ZERO, MSS), None);
     }
@@ -293,7 +299,7 @@ mod tests {
             if let Some(t) = c.next_trigger(now, MSS) {
                 seen.push(t.conn);
             }
-            now = now + Duration::from_us(1);
+            now += Duration::from_us(1);
         }
         assert_eq!(seen.iter().filter(|&&x| x == 2).count(), 3);
         assert_eq!(seen.iter().filter(|&&x| x == 1).count(), 1);
@@ -349,7 +355,7 @@ mod tests {
         let mut fired = false;
         let mut now = Time::ZERO;
         for _ in 0..2000 {
-            now = now + Duration::from_us(2);
+            now += Duration::from_us(2);
             if c.next_trigger(now, MSS).is_some() {
                 fired = true;
                 break;

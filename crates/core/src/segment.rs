@@ -1,9 +1,16 @@
-//! Work items flowing through the data-path pipeline, and the connection
-//! table shared by its stages.
+//! Work items flowing through the data-path pipeline, the slab pool that
+//! recycles them, and the connection table shared by the stages.
+//!
+//! Work items never travel inside messages: they live in the NIC-shared
+//! [`WorkPool`] and stages pass [`flextoe_sim::WorkToken`]s (slot indices)
+//! through the event queue — the zero-allocation fast path. Per-packet
+//! byte buffers are recycled through the NIC's
+//! [`flextoe_nfp::PktBufPool`].
 
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use flextoe_nfp::PktBufPool;
 use flextoe_sim::Time;
 use flextoe_wire::{FourTuple, Ip4, MacAddr, SegmentView};
 
@@ -108,6 +115,11 @@ pub struct RxWork {
     pub ack_frame: Option<Vec<u8>>,
     /// Assigned by the protocol stage when an ACK will be emitted.
     pub nbi_seq: Option<u64>,
+    /// Filled by post-processing: context queue + notifications released
+    /// after payload DMA completes (§3.1.3 ordering constraint).
+    pub notify_ctx: u16,
+    pub notify_rx: Option<crate::hostmem::NicToApp>,
+    pub notify_tx: Option<crate::hostmem::NicToApp>,
     pub arrival: Time,
 }
 
@@ -141,6 +153,8 @@ pub struct HcWork {
     /// Snapshot for that window-update ACK (zero-length TxSeg) and its
     /// NBI ordering slot, filled by the protocol stage.
     pub win_ack: Option<TxSeg>,
+    /// The emitted window-update ACK frame (post-processing).
+    pub ack_frame: Option<Vec<u8>>,
     pub nbi_seq: Option<u64>,
     pub arrival: Time,
 }
@@ -167,13 +181,153 @@ impl Work {
             Work::Hc(w) => w.group,
         }
     }
+
+    /// One-line debug description (pool leak reports).
+    pub fn describe(&self) -> String {
+        match self {
+            Work::Rx(w) => format!("rx conn={} arrival={}ns", w.conn, w.arrival.as_ns()),
+            Work::Tx(w) => format!(
+                "tx conn={} arrival={}ns seg={} nbi={:?}",
+                w.conn,
+                w.arrival.as_ns(),
+                w.seg.is_some(),
+                w.nbi_seq
+            ),
+            Work::Hc(w) => format!("hc conn={} arrival={}ns", w.conn, w.arrival.as_ns()),
+        }
+    }
 }
 
-/// The message exchanged between pipeline stages: a work item plus the
-/// pipeline sequence number assigned at entry (§3.2).
-pub struct PipelineMsg {
-    pub entry_seq: u64,
-    pub work: Work,
+// ---- pools ---------------------------------------------------------------
+
+// Free/CheckedOut carry no data on purpose: the slab IS the storage, so
+// the size difference against `InFlight(Work)` is the point, not waste.
+#[allow(clippy::large_enum_variant)]
+enum Slot {
+    Free,
+    /// Owned by an in-flight [`flextoe_sim::WorkToken`].
+    InFlight(Work),
+    /// Temporarily taken out by the stage processing it.
+    CheckedOut,
+}
+
+/// Slab of in-flight pipeline work items. Stages pass slot indices
+/// (`WorkToken`s) through the event queue; the item itself stays here —
+/// allocated once, recycled via a free list. The slot state machine
+/// (`Free → InFlight → CheckedOut → Free`) turns leaks and double-frees
+/// into panics, which the integration suite asserts on.
+pub struct WorkPool {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    pub allocated: u64,
+    pub released: u64,
+    pub high_water: usize,
+}
+
+impl WorkPool {
+    pub fn new() -> WorkPool {
+        WorkPool {
+            slots: Vec::new(),
+            free: Vec::new(),
+            allocated: 0,
+            released: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Place a work item, returning its slot.
+    pub fn alloc(&mut self, work: Work) -> u32 {
+        self.allocated += 1;
+        let slot = match self.free.pop() {
+            Some(slot) => {
+                self.slots[slot as usize] = Slot::InFlight(work);
+                slot
+            }
+            None => {
+                self.slots.push(Slot::InFlight(work));
+                (self.slots.len() - 1) as u32
+            }
+        };
+        self.high_water = self.high_water.max(self.in_use());
+        slot
+    }
+
+    /// Check the item out for processing (the slot stays reserved).
+    pub fn take(&mut self, slot: u32) -> Work {
+        match std::mem::replace(&mut self.slots[slot as usize], Slot::CheckedOut) {
+            Slot::InFlight(work) => work,
+            Slot::Free => panic!("work pool: take on free slot {slot}"),
+            Slot::CheckedOut => panic!("work pool: take on checked-out slot {slot}"),
+        }
+    }
+
+    /// Put a checked-out item back (it stays in flight under the same
+    /// token).
+    pub fn restore(&mut self, slot: u32, work: Work) {
+        match &self.slots[slot as usize] {
+            Slot::CheckedOut => self.slots[slot as usize] = Slot::InFlight(work),
+            _ => panic!("work pool: restore on slot {slot} that is not checked out"),
+        }
+    }
+
+    /// Retire a checked-out slot to the free list.
+    pub fn release(&mut self, slot: u32) {
+        match &self.slots[slot as usize] {
+            Slot::CheckedOut => {
+                self.slots[slot as usize] = Slot::Free;
+                self.free.push(slot);
+                self.released += 1;
+            }
+            Slot::Free => panic!("work pool: double free of slot {slot}"),
+            Slot::InFlight(_) => panic!("work pool: release of in-flight slot {slot}"),
+        }
+    }
+
+    /// Read-only peek at an in-flight item.
+    pub fn get(&self, slot: u32) -> &Work {
+        match &self.slots[slot as usize] {
+            Slot::InFlight(work) => work,
+            _ => panic!("work pool: get on vacant slot {slot}"),
+        }
+    }
+
+    /// Slots currently holding (or checked out for) live work.
+    pub fn in_use(&self) -> usize {
+        self.slots.len() - self.free.len()
+    }
+
+    /// Diagnostic: the live slots and their work kinds (leak reports).
+    pub fn live_slots(&self) -> Vec<String> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| match s {
+                Slot::Free => None,
+                Slot::InFlight(w) => Some(format!("slot {i}: in-flight {}", w.describe())),
+                Slot::CheckedOut => Some(format!("slot {i}: checked out")),
+            })
+            .collect()
+    }
+}
+
+impl Default for WorkPool {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+pub type SharedWorkPool = Rc<RefCell<WorkPool>>;
+/// The NIC's packet-buffer pool (frame byte buffers, recycled).
+pub type SharedSegPool = Rc<RefCell<PktBufPool>>;
+
+pub fn shared_work_pool() -> SharedWorkPool {
+    Rc::new(RefCell::new(WorkPool::new()))
+}
+
+/// Default packet-buffer pool bound: enough idle buffers for every
+/// in-flight segment of a 40 Gbps pipeline with margin.
+pub fn shared_seg_pool() -> SharedSegPool {
+    Rc::new(RefCell::new(PktBufPool::new(4096)))
 }
 
 #[cfg(test)]
@@ -209,6 +363,59 @@ mod tests {
         let d = t.install(entry());
         assert_eq!(d, 1, "freed slot reused to keep ids dense");
         assert_eq!(t.len(), 3);
+    }
+
+    fn hc(conn: u32) -> Work {
+        Work::Hc(HcWork {
+            desc: crate::hostmem::AppToNic::Close { conn },
+            conn,
+            group: 0,
+            sendable_after: None,
+            window_update: false,
+            win_ack: None,
+            ack_frame: None,
+            nbi_seq: None,
+            arrival: Time::ZERO,
+        })
+    }
+
+    #[test]
+    fn work_pool_recycles_slots() {
+        let mut pool = WorkPool::new();
+        let a = pool.alloc(hc(1));
+        let b = pool.alloc(hc(2));
+        assert_eq!((a, b), (0, 1));
+        assert_eq!(pool.in_use(), 2);
+        let w = pool.take(a);
+        assert!(matches!(w, Work::Hc(ref h) if h.conn == 1));
+        pool.restore(a, w);
+        let _ = pool.take(a);
+        pool.release(a);
+        assert_eq!(pool.in_use(), 1);
+        // freed slot is reused
+        let c = pool.alloc(hc(3));
+        assert_eq!(c, a);
+        assert_eq!(pool.high_water, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn work_pool_catches_double_free() {
+        let mut pool = WorkPool::new();
+        let a = pool.alloc(hc(1));
+        let _ = pool.take(a);
+        pool.release(a);
+        pool.release(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "take on free slot")]
+    fn work_pool_catches_use_after_free() {
+        let mut pool = WorkPool::new();
+        let a = pool.alloc(hc(1));
+        let _ = pool.take(a);
+        pool.release(a);
+        let _ = pool.take(a);
     }
 
     #[test]

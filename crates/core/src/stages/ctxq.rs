@@ -6,16 +6,20 @@
 //! stops and is retried later." Applications are woken via MSI-X
 //! interrupts converted to eventfds by the driver (§4 "Driver") when a
 //! queue transitions from empty.
+//!
+//! DMA continuations (descriptor fetches, notification writes) are kept
+//! in a local slab keyed by the transfer token, so the engine round trip
+//! stays allocation-free.
 
 use std::collections::{HashMap, VecDeque};
 
-use flextoe_nfp::{DmaDir, DmaReq, FpcTimer};
-use flextoe_sim::{cast, try_cast, Ctx, Duration, Msg, Node, NodeId, Time};
+use flextoe_nfp::{dma_req, DmaDir, FpcTimer};
+use flextoe_sim::{try_cast, Ctx, Duration, Msg, Node, NodeId, WorkToken};
 
 use crate::costs;
-use crate::hostmem::{AppToNic, SharedCtxQueue};
-use crate::segment::{HcWork, Work};
-use crate::stages::{AppNotify, Doorbell, FreeDesc, NotifyJob, RegisterCtx, SharedCfg};
+use crate::hostmem::{AppToNic, NicToApp, SharedCtxQueue};
+use crate::segment::{HcWork, SharedWorkPool, Work};
+use crate::stages::{AppNotify, NotifyJob, RegisterCtx, SharedCfg};
 
 /// Descriptor-buffer pool size (flow control of host interactions).
 pub const DESC_POOL: usize = 256;
@@ -30,24 +34,23 @@ pub struct CtxRegistration {
     pub app: Option<NodeId>,
 }
 
-struct FetchDone {
-    #[allow(dead_code)] // kept for tracepoint symmetry with NotifyDone
-    ctx: u16,
-    descs: Vec<AppToNic>,
-}
-
-struct NotifyDone {
-    ctx: u16,
-    desc: crate::hostmem::NicToApp,
+/// Continuation of an outstanding PCIe transfer.
+enum Pending {
+    Fetch { descs: Vec<AppToNic> },
+    Notify { ctx: u16, desc: NicToApp },
 }
 
 pub struct CtxqStage {
     cfg: SharedCfg,
     fpc: FpcTimer,
     contexts: HashMap<u16, CtxRegistration>,
+    work_pool: SharedWorkPool,
     pool: usize,
     /// Contexts with undrained to-NIC entries, waiting for pool space.
     dirty: VecDeque<u16>,
+    /// Outstanding transfer continuations keyed by token.
+    pending: HashMap<u64, Pending>,
+    next_token: u64,
     /// Routing.
     pub engine: NodeId,
     pub seqr: NodeId,
@@ -58,13 +61,21 @@ pub struct CtxqStage {
 }
 
 impl CtxqStage {
-    pub fn new(cfg: SharedCfg, engine: NodeId, seqr: NodeId) -> CtxqStage {
+    pub fn new(
+        cfg: SharedCfg,
+        work_pool: SharedWorkPool,
+        engine: NodeId,
+        seqr: NodeId,
+    ) -> CtxqStage {
         CtxqStage {
             fpc: FpcTimer::new(cfg.platform.clock, cfg.platform.threads_per_fpc),
             cfg,
             contexts: HashMap::new(),
+            work_pool,
             pool: DESC_POOL,
             dirty: VecDeque::new(),
+            pending: HashMap::new(),
+            next_token: 0,
             engine,
             seqr,
             doorbells: 0,
@@ -81,6 +92,22 @@ impl CtxqStage {
     fn exec(&mut self, ctx: &mut Ctx<'_>, cost: flextoe_nfp::Cost) -> Duration {
         let done = self.fpc.execute(ctx.now(), cost + self.cfg.trace_cost());
         done.saturating_since(ctx.now())
+    }
+
+    fn issue(&mut self, ctx: &mut Ctx<'_>, bytes: usize, dir: DmaDir, cont: Pending, d: Duration) {
+        let token = self.next_token;
+        self.next_token += 1;
+        self.pending.insert(token, cont);
+        if self.cfg.platform.hw_dma {
+            ctx.send_boxed(
+                self.engine,
+                d,
+                Msg::Xfer(dma_req(bytes, dir, ctx.self_id(), token)),
+            );
+        } else {
+            let to = ctx.self_id();
+            ctx.wake(d, flextoe_sim::XferDone { token, to });
+        }
     }
 
     /// Start fetching descriptors for `ctx_id` if pool space allows.
@@ -105,29 +132,13 @@ impl CtxqStage {
         self.pool -= batch.len();
         let bytes = batch.len() * DESC_BYTES;
         let d = self.exec(ctx, costs::CTXQ_STAGE);
-        if self.cfg.platform.hw_dma {
-            ctx.send(
-                self.engine,
-                d,
-                DmaReq {
-                    bytes,
-                    dir: DmaDir::HostToNic,
-                    reply_to: ctx.self_id(),
-                    token: Box::new(FetchDone {
-                        ctx: ctx_id,
-                        descs: batch,
-                    }),
-                },
-            );
-        } else {
-            ctx.wake(
-                d,
-                FetchDone {
-                    ctx: ctx_id,
-                    descs: batch,
-                },
-            );
-        }
+        self.issue(
+            ctx,
+            bytes,
+            DmaDir::HostToNic,
+            Pending::Fetch { descs: batch },
+            d,
+        );
         // more waiting? re-check after this batch completes
         let more = self
             .contexts
@@ -156,98 +167,41 @@ impl CtxqStage {
             | AppToNic::Retransmit { conn } => conn,
         }
     }
-}
 
-impl Node for CtxqStage {
-    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        let msg = match try_cast::<RegisterCtx>(msg) {
-            Ok(reg) => {
-                self.register(
-                    reg.ctx,
-                    CtxRegistration {
-                        queue: reg.queue,
-                        app: reg.app,
-                    },
-                );
-                return;
-            }
-            Err(m) => m,
-        };
-        let msg = match try_cast::<Doorbell>(msg) {
-            Ok(db) => {
-                self.doorbells += 1;
-                self.pump_fetch(ctx, db.ctx);
-                return;
-            }
-            Err(m) => m,
-        };
-        let msg = match try_cast::<FetchDone>(msg) {
-            Ok(done) => {
-                // descriptors arrived in NIC memory: enter the pipeline
-                self.hc_fetched += done.descs.len() as u64;
-                let d = self.exec(ctx, costs::CTXQ_STAGE);
-                for desc in done.descs {
-                    let work = Work::Hc(HcWork {
-                        conn: Self::conn_of(&desc),
-                        desc,
-                        group: 0,
-                        sendable_after: None,
-                        window_update: false,
-                        win_ack: None,
-                        nbi_seq: None,
-                        arrival: ctx.now(),
-                    });
-                    ctx.send(self.seqr, d + self.cfg.hop_cross(), work);
-                }
-                return;
-            }
-            Err(m) => m,
-        };
-        let msg = match try_cast::<FreeDesc>(msg) {
-            Ok(_) => {
-                self.pool = (self.pool + 1).min(DESC_POOL);
-                self.resume_dirty(ctx);
-                return;
-            }
-            Err(m) => m,
-        };
-        let msg = match try_cast::<NotifyJob>(msg) {
-            Ok(job) => {
-                // DMA the notification descriptor into the host queue
-                let d = self.exec(ctx, costs::CTXQ_STAGE);
-                if self.cfg.platform.hw_dma {
-                    ctx.send(
-                        self.engine,
-                        d,
-                        DmaReq {
-                            bytes: DESC_BYTES,
-                            dir: DmaDir::NicToHost,
-                            reply_to: ctx.self_id(),
-                            token: Box::new(NotifyDone {
-                                ctx: job.ctx,
-                                desc: job.desc,
-                            }),
-                        },
-                    );
-                } else {
-                    ctx.wake(
-                        d,
-                        NotifyDone {
-                            ctx: job.ctx,
-                            desc: job.desc,
-                        },
-                    );
-                }
-                return;
-            }
-            Err(m) => m,
-        };
-        let done = cast::<NotifyDone>(msg);
-        let Some(reg) = self.contexts.get(&done.ctx) else {
+    /// Descriptors arrived in NIC memory: enter the pipeline.
+    fn complete_fetch(&mut self, ctx: &mut Ctx<'_>, descs: Vec<AppToNic>) {
+        self.hc_fetched += descs.len() as u64;
+        let d = self.exec(ctx, costs::CTXQ_STAGE);
+        for desc in descs {
+            let slot = self.work_pool.borrow_mut().alloc(Work::Hc(HcWork {
+                conn: Self::conn_of(&desc),
+                desc,
+                group: 0,
+                sendable_after: None,
+                window_update: false,
+                win_ack: None,
+                ack_frame: None,
+                nbi_seq: None,
+                arrival: ctx.now(),
+            }));
+            ctx.send(
+                self.seqr,
+                d + self.cfg.hop_cross(),
+                WorkToken {
+                    slot,
+                    entry_seq: None,
+                },
+            );
+        }
+    }
+
+    /// A notification descriptor reached the host context queue.
+    fn complete_notify(&mut self, ctx: &mut Ctx<'_>, ctx_id: u16, desc: NicToApp) {
+        let Some(reg) = self.contexts.get(&ctx_id) else {
             return;
         };
         let was_empty = reg.queue.borrow().to_app.is_empty();
-        let accepted = reg.queue.borrow_mut().to_app.push(done.desc).is_ok();
+        let accepted = reg.queue.borrow_mut().to_app.push(desc).is_ok();
         if !accepted {
             ctx.stats.bump("ctxq.notify_drops", 1);
             return;
@@ -259,10 +213,59 @@ impl Node for CtxqStage {
                 self.interrupts += 1;
                 // driver interrupt handling + eventfd wake
                 let irq_latency = self.cfg.platform.pcie.write_latency + Duration::from_us(2);
-                ctx.send(app, irq_latency, AppNotify { ctx: done.ctx });
+                ctx.send(app, irq_latency, AppNotify { ctx: ctx_id });
             }
         }
-        let _ = Time::ZERO;
+    }
+}
+
+impl Node for CtxqStage {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        match msg {
+            Msg::Doorbell(db) => {
+                self.doorbells += 1;
+                self.pump_fetch(ctx, db.ctx);
+            }
+            Msg::FreeDesc => {
+                self.pool = (self.pool + 1).min(DESC_POOL);
+                self.resume_dirty(ctx);
+            }
+            Msg::XferDone(done) => match self.pending.remove(&done.token) {
+                Some(Pending::Fetch { descs, .. }) => self.complete_fetch(ctx, descs),
+                Some(Pending::Notify { ctx: ctx_id, desc }) => {
+                    self.complete_notify(ctx, ctx_id, desc)
+                }
+                None => {}
+            },
+            msg => {
+                let msg = match try_cast::<RegisterCtx>(msg) {
+                    Ok(reg) => {
+                        self.register(
+                            reg.ctx,
+                            CtxRegistration {
+                                queue: reg.queue,
+                                app: reg.app,
+                            },
+                        );
+                        return;
+                    }
+                    Err(m) => m,
+                };
+                let job = flextoe_sim::cast::<NotifyJob>(msg);
+                // DMA the notification descriptor into the host queue
+                let d = self.exec(ctx, costs::CTXQ_STAGE);
+                self.issue(
+                    ctx,
+                    DESC_BYTES,
+                    DmaDir::NicToHost,
+                    Pending::Notify {
+                        ctx: job.ctx,
+                        desc: job.desc,
+                    },
+                    d,
+                );
+            }
+        }
     }
 
     fn name(&self) -> String {

@@ -6,50 +6,28 @@
 //! and the peer from receiving notifications before the data transfer to
 //! the host socket receive buffer is complete" (§3.1.3).
 //!
+//! The in-flight work item stays in the NIC work pool while its DMA is
+//! outstanding; the pool slot index doubles as the transfer continuation
+//! token, so the round trip through the DMA engine is allocation-free.
+//!
 //! On the x86/BlueField ports there is no DMA engine: payload is copied
 //! through shared memory on the stage's own core (§E).
 
-use std::collections::HashMap;
-
-use flextoe_nfp::{Cost, DmaDir, DmaReq, FpcTimer};
-use flextoe_sim::{cast, try_cast, Ctx, Duration, Msg, Node, NodeId};
-use flextoe_wire::TcpOptions;
+use flextoe_nfp::{dma_req, Cost, DmaDir, FpcTimer};
+use flextoe_sim::{Ctx, Duration, Msg, NbiFrame, Node, NodeId, XferDone};
+use flextoe_wire::{Frame, TcpOptions};
 
 use crate::costs;
-use crate::hostmem::NicToApp;
-use crate::proto::{Placement, TxSeg};
-use crate::segment::SharedConnTable;
-use crate::stages::{DmaJob, DmaJobKind, NbiSubmit, NotifyJob, SharedCfg};
-
-/// Continuation token flowing through the DMA engine.
-struct DmaToken(u64);
-
-enum Cont {
-    Rx {
-        conn: u32,
-        group: usize,
-        frame: Vec<u8>,
-        placement: Placement,
-        ack: Option<(u64, Vec<u8>)>,
-        notifies: Vec<(u16, NicToApp)>,
-    },
-    Tx {
-        conn: u32,
-        group: usize,
-        nbi_seq: u64,
-        spec: flextoe_wire::SegmentSpec,
-        seg: TxSeg,
-    },
-}
+use crate::segment::{RxWork, SharedConnTable, SharedSegPool, SharedWorkPool, TxWork, Work};
+use crate::stages::{NotifyJob, SharedCfg};
 
 pub struct DmaStage {
     cfg: SharedCfg,
     fpcs: Vec<FpcTimer>,
     rr: usize,
     table: SharedConnTable,
-    /// In-flight continuations keyed by token.
-    pending: HashMap<u64, Cont>,
-    next_token: u64,
+    pool: SharedWorkPool,
+    seg_pool: SharedSegPool,
     /// Routing.
     pub engine: NodeId,
     pub seqr: NodeId,
@@ -59,9 +37,12 @@ pub struct DmaStage {
 }
 
 impl DmaStage {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         cfg: SharedCfg,
         table: SharedConnTable,
+        pool: SharedWorkPool,
+        seg_pool: SharedSegPool,
         engine: NodeId,
         seqr: NodeId,
         ctxq: NodeId,
@@ -75,8 +56,8 @@ impl DmaStage {
             fpcs,
             rr: 0,
             table,
-            pending: HashMap::new(),
-            next_token: 0,
+            pool,
+            seg_pool,
             engine,
             seqr,
             ctxq,
@@ -100,122 +81,136 @@ impl DmaStage {
         )
     }
 
-    fn issue(&mut self, ctx: &mut Ctx<'_>, bytes: usize, dir: DmaDir, cont: Cont) {
-        let token = self.next_token;
-        self.next_token += 1;
-        self.pending.insert(token, cont);
+    /// Issue the payload transaction for the work in `slot` (which stays
+    /// in the pool as the in-flight continuation).
+    fn issue(&mut self, ctx: &mut Ctx<'_>, slot: u32, bytes: usize, dir: DmaDir) {
         if self.cfg.platform.hw_dma {
             let d = self.exec(ctx, costs::DMA_STAGE);
             ctx.send(
                 self.engine,
                 d,
-                DmaReq {
-                    bytes,
-                    dir,
-                    reply_to: ctx.self_id(),
-                    token: Box::new(DmaToken(token)),
-                },
+                dma_req(bytes, dir, ctx.self_id(), slot as u64),
             );
         } else {
             // software copy: the stage core does the move itself
             let d = self.exec(ctx, costs::DMA_STAGE + self.sw_copy_cost(bytes));
-            ctx.wake(d, DmaToken(token));
-        }
-    }
-
-    fn complete(&mut self, ctx: &mut Ctx<'_>, token: u64) {
-        let Some(cont) = self.pending.remove(&token) else {
-            return;
-        };
-        match cont {
-            Cont::Rx {
-                conn,
-                group,
-                frame,
-                placement,
-                ack,
-                notifies,
-            } => {
-                // payload now in host memory: perform the byte movement
-                let table = self.table.borrow();
-                if let Some(entry) = table.get(conn) {
-                    let src = &frame[placement.frame_off as usize + payload_base(&frame)
-                        ..placement.frame_off as usize + payload_base(&frame) + placement.len as usize];
-                    entry.rx_buf.borrow_mut().write(placement.buf_pos, src);
-                    self.rx_payload_bytes += placement.len as u64;
-                }
-                drop(table);
-                self.release_rx(ctx, group, ack, notifies);
-            }
-            Cont::Tx {
-                conn,
-                group,
-                nbi_seq,
-                mut spec,
-                seg,
-            } => {
-                let now_us = ctx.now().as_us() as u32;
-                let table = self.table.borrow();
-                let payload = table
-                    .get(conn)
-                    .map(|e| e.tx_buf.borrow().read_vec(seg.buf_pos, seg.len));
-                drop(table);
-                let Some(payload) = payload else { return };
-                self.tx_payload_bytes += seg.len as u64;
-                // finalize the frame: protocol fields + timestamps + payload
-                spec.seq = seg.seq;
-                spec.ack = seg.ack;
-                spec.window = seg.window;
-                spec.flags = flextoe_wire::TcpFlags::ACK
-                    | flextoe_wire::TcpFlags::PSH
-                    | if seg.fin {
-                        flextoe_wire::TcpFlags::FIN
-                    } else {
-                        flextoe_wire::TcpFlags(0)
-                    };
-                spec.options = TcpOptions {
-                    timestamp: Some((now_us, seg.ts_echo)),
-                    ..Default::default()
-                };
-                spec.payload_len = payload.len();
-                let d = self.exec(ctx, costs::CHECKSUM);
-                let frame = spec.emit(&payload);
-                ctx.send(
-                    self.seqr,
-                    d,
-                    NbiSubmit {
-                        group,
-                        nbi_seq,
-                        frame,
-                    },
-                );
-            }
-        }
-    }
-
-    /// Release an RX item's ACK + notifications (post-payload ordering).
-    fn release_rx(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        group: usize,
-        ack: Option<(u64, Vec<u8>)>,
-        notifies: Vec<(u16, NicToApp)>,
-    ) {
-        let d = self.exec(ctx, costs::DMA_STAGE);
-        if let Some((nbi_seq, frame)) = ack {
-            ctx.send(
-                self.seqr,
+            let to = ctx.self_id();
+            ctx.wake(
                 d,
-                NbiSubmit {
-                    group,
-                    nbi_seq,
-                    frame,
+                XferDone {
+                    token: slot as u64,
+                    to,
                 },
             );
         }
-        for (ctx_id, desc) in notifies {
-            ctx.send(self.ctxq, d, NotifyJob { ctx: ctx_id, desc });
+    }
+
+    /// The RX payload (if any) reached host memory: move the bytes,
+    /// recycle the frame buffer and release ACK + notifications.
+    fn complete_rx(&mut self, ctx: &mut Ctx<'_>, w: RxWork, group: usize) {
+        let RxWork {
+            frame,
+            conn,
+            outcome,
+            ack_frame,
+            nbi_seq,
+            notify_ctx,
+            notify_rx,
+            notify_tx,
+            ..
+        } = w;
+        if let Some(placement) = outcome.and_then(|o| o.placement) {
+            let table = self.table.borrow();
+            if let Some(entry) = table.get(conn) {
+                let base = placement.frame_off as usize + payload_base(&frame);
+                let src = &frame[base..base + placement.len as usize];
+                entry.rx_buf.borrow_mut().write(placement.buf_pos, src);
+                self.rx_payload_bytes += placement.len as u64;
+            }
         }
+        self.seg_pool.borrow_mut().put(frame);
+
+        let d = self.exec(ctx, costs::DMA_STAGE);
+        if let Some(frame) = ack_frame {
+            let nbi_seq = nbi_seq.expect("post assigned nbi for ack");
+            ctx.send(
+                self.seqr,
+                d,
+                NbiFrame {
+                    group: group as u32,
+                    nbi_seq,
+                    frame: Frame(frame),
+                },
+            );
+        }
+        for desc in [notify_rx, notify_tx].into_iter().flatten() {
+            ctx.send(
+                self.ctxq,
+                d,
+                NotifyJob {
+                    ctx: notify_ctx,
+                    desc,
+                },
+            );
+        }
+    }
+
+    /// The TX payload arrived in NIC memory: finalize and emit the frame.
+    fn complete_tx(&mut self, ctx: &mut Ctx<'_>, w: TxWork) {
+        let seg = w.seg.expect("dma stage after protocol");
+        let nbi_seq = w.nbi_seq.expect("proto assigned nbi for tx");
+        let mut spec = w.spec.expect("dma stage after pre");
+        let now_us = ctx.now().as_us() as u32;
+        let table = self.table.borrow();
+        let Some(entry) = table.get(w.conn) else {
+            // connection torn down mid-flight: the protocol stage already
+            // allocated this frame's NBI slot, so release it with an empty
+            // skip frame or the flow group's egress reorderer stalls
+            drop(table);
+            let d = self.exec(ctx, costs::DMA_STAGE);
+            ctx.send(
+                self.seqr,
+                d,
+                NbiFrame {
+                    group: w.group as u32,
+                    nbi_seq,
+                    frame: Frame(Vec::new()),
+                },
+            );
+            return;
+        };
+        self.tx_payload_bytes += seg.len as u64;
+        // finalize the frame: protocol fields + timestamps + payload
+        spec.seq = seg.seq;
+        spec.ack = seg.ack;
+        spec.window = seg.window;
+        spec.flags = flextoe_wire::TcpFlags::ACK
+            | flextoe_wire::TcpFlags::PSH
+            | if seg.fin {
+                flextoe_wire::TcpFlags::FIN
+            } else {
+                flextoe_wire::TcpFlags(0)
+            };
+        spec.options = TcpOptions {
+            timestamp: Some((now_us, seg.ts_echo)),
+            ..Default::default()
+        };
+        spec.payload_len = seg.len as usize;
+        let mut frame = self.seg_pool.borrow_mut().take();
+        let tx_buf = entry.tx_buf.borrow();
+        spec.emit_into(&mut frame, |payload| tx_buf.read(seg.buf_pos, payload));
+        drop(tx_buf);
+        drop(table);
+        let d = self.exec(ctx, costs::CHECKSUM);
+        ctx.send(
+            self.seqr,
+            d,
+            NbiFrame {
+                group: w.group as u32,
+                nbi_seq,
+                frame: Frame(frame),
+            },
+        );
     }
 }
 
@@ -230,84 +225,93 @@ fn payload_base(frame: &[u8]) -> usize {
 
 impl Node for DmaStage {
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        let msg = match try_cast::<DmaToken>(msg) {
-            Ok(tok) => {
-                self.complete(ctx, tok.0);
-                return;
-            }
-            Err(m) => m,
-        };
-        let job = cast::<DmaJob>(msg);
-        match job.kind {
-            DmaJobKind::RxPlace {
-                frame,
-                placement,
-                ack,
-                notifies,
-            } => match placement {
-                Some(placement) => {
-                    // One frame's payload: the placement length was trimmed
-                    // by the protocol stage to fit the receive window.
-                    self.issue(
-                        ctx,
-                        placement.len as usize,
-                        DmaDir::NicToHost,
-                        Cont::Rx {
-                            conn: job.conn,
-                            group: job.group,
-                            frame,
-                            placement,
-                            ack,
-                            notifies,
-                        },
-                    );
+        match msg {
+            // a work item arriving from post-processing
+            Msg::Work(token) => {
+                let slot = token.slot;
+                enum Plan {
+                    Issue(usize, DmaDir),
+                    /// Bare FIN / window probe: nothing to fetch, but the
+                    /// emit still waits one stage cycle for symmetry.
+                    TxZeroLen,
+                    /// No payload movement: finish immediately.
+                    Finish,
                 }
-                None => self.release_rx(ctx, job.group, ack, notifies),
-            },
-            DmaJobKind::TxFetch { nbi_seq, spec, seg } => {
-                if seg.len == 0 {
-                    // bare FIN / window probe: nothing to fetch
-                    self.pending.insert(
-                        self.next_token,
-                        Cont::Tx {
-                            conn: job.conn,
-                            group: job.group,
-                            nbi_seq,
-                            spec,
-                            seg,
-                        },
-                    );
-                    let tok = DmaToken(self.next_token);
-                    self.next_token += 1;
-                    let d = self.exec(ctx, costs::DMA_STAGE);
-                    ctx.wake(d, tok);
-                } else {
-                    self.issue(
-                        ctx,
-                        seg.len as usize,
-                        DmaDir::HostToNic,
-                        Cont::Tx {
-                            conn: job.conn,
-                            group: job.group,
-                            nbi_seq,
-                            spec,
-                            seg,
-                        },
-                    );
-                }
-            }
-            DmaJobKind::AckOnly { nbi_seq, frame } => {
-                let d = self.exec(ctx, costs::DMA_STAGE);
-                ctx.send(
-                    self.seqr,
-                    d,
-                    NbiSubmit {
-                        group: job.group,
-                        nbi_seq,
-                        frame,
+                let plan = match self.pool.borrow().get(slot) {
+                    Work::Rx(w) => match w.outcome.as_ref().and_then(|o| o.placement) {
+                        // the placement length was trimmed by the protocol
+                        // stage to fit the receive window
+                        Some(p) => Plan::Issue(p.len as usize, DmaDir::NicToHost),
+                        None => Plan::Finish,
                     },
-                );
+                    Work::Tx(w) => {
+                        let len = w.seg.as_ref().expect("dma stage after protocol").len;
+                        if len == 0 {
+                            Plan::TxZeroLen
+                        } else {
+                            Plan::Issue(len as usize, DmaDir::HostToNic)
+                        }
+                    }
+                    // window-update ACK: no payload movement at all
+                    Work::Hc(_) => Plan::Finish,
+                };
+                match plan {
+                    Plan::Issue(bytes, dir) => self.issue(ctx, slot, bytes, dir),
+                    Plan::TxZeroLen => {
+                        let d = self.exec(ctx, costs::DMA_STAGE);
+                        let to = ctx.self_id();
+                        ctx.wake(
+                            d,
+                            XferDone {
+                                token: slot as u64,
+                                to,
+                            },
+                        );
+                    }
+                    Plan::Finish => {
+                        let work = self.pool.borrow_mut().take(slot);
+                        match work {
+                            Work::Rx(w) => {
+                                let group = w.group;
+                                self.complete_rx(ctx, w, group);
+                            }
+                            Work::Hc(w) => {
+                                // ack_frame None = the connection vanished
+                                // before post could build the window-update
+                                // ACK; an empty frame still releases the
+                                // allocated NBI slot (seqr skips it)
+                                let d = self.exec(ctx, costs::DMA_STAGE);
+                                ctx.send(
+                                    self.seqr,
+                                    d,
+                                    NbiFrame {
+                                        group: w.group as u32,
+                                        nbi_seq: w.nbi_seq.expect("proto assigned nbi"),
+                                        frame: Frame(w.ack_frame.unwrap_or_default()),
+                                    },
+                                );
+                            }
+                            Work::Tx(_) => unreachable!("handled by TxZeroLen/Issue"),
+                        }
+                        self.pool.borrow_mut().release(slot);
+                    }
+                }
             }
+            // a payload transaction completed
+            Msg::XferDone(done) => {
+                let slot = done.token as u32;
+                let work = self.pool.borrow_mut().take(slot);
+                match work {
+                    Work::Rx(w) => {
+                        let group = w.group;
+                        self.complete_rx(ctx, w, group);
+                    }
+                    Work::Tx(w) => self.complete_tx(ctx, w),
+                    Work::Hc(_) => unreachable!("HC items never enter the DMA engine"),
+                }
+                self.pool.borrow_mut().release(slot);
+            }
+            m => panic!("dma-stage: unexpected message {}", m.variant_name()),
         }
     }
 

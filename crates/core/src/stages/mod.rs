@@ -136,39 +136,35 @@ impl PipeCfg {
 pub type SharedCfg = Rc<PipeCfg>;
 
 // ---- inter-stage messages ------------------------------------------------
+//
+// The hot messages (work tokens, NBI frames, transfer completions,
+// FS updates, doorbells, descriptor credits) are typed `flextoe_sim::Msg`
+// variants — allocation-free. Only the cold control-plane messages below
+// travel as `Msg::Custom`.
+
+// Re-exported so existing `flextoe_core::stages::{Doorbell, …}` imports
+// keep working.
+pub use flextoe_sim::{Doorbell, FreeDesc, FsUpdate};
 
 /// A frame redirected to the control plane (non-data-path segments,
 /// XDP_REDIRECT verdicts).
 pub struct Redirect(pub flextoe_wire::Frame);
 
-/// Pre → sequencer: this entry sequence number left the pipeline early.
-pub struct ProtoSkip(pub u64);
-
-/// DMA/post → sequencer: a finished frame for NBI admission (§3.2).
-pub struct NbiSubmit {
-    pub group: usize,
-    pub nbi_seq: u64,
-    pub frame: Vec<u8>,
-}
-
-/// Post → scheduler: FS feedback with the authoritative sendable count.
-pub struct FsUpdate {
-    pub conn: u32,
-    pub sendable: u32,
-}
-
 /// Control plane → scheduler messages (rate programming is MMIO, §3.4).
 pub enum SchedCtl {
-    Register { conn: u32, group: usize },
-    Unregister { conn: u32 },
+    Register {
+        conn: u32,
+        group: usize,
+    },
+    Unregister {
+        conn: u32,
+    },
     /// Pacing interval in ps/byte (0 = uncongested). The control plane
     /// precomputes this — the NFP cannot divide.
-    SetRate { conn: u32, interval_ps_per_byte: u64 },
-}
-
-/// libTOE / control plane → context-queue stage: MMIO doorbell.
-pub struct Doorbell {
-    pub ctx: u16,
+    SetRate {
+        conn: u32,
+        interval_ps_per_byte: u64,
+    },
 }
 
 /// Context-queue stage → application node: MSI-X/eventfd wakeup.
@@ -176,37 +172,8 @@ pub struct AppNotify {
     pub ctx: u16,
 }
 
-/// Post → context-queue stage: return an HC descriptor to the pool.
-pub struct FreeDesc;
-
-/// Post-processing → DMA stage job descriptors.
-pub struct DmaJob {
-    pub conn: u32,
-    pub group: usize,
-    pub kind: DmaJobKind,
-}
-
-pub enum DmaJobKind {
-    /// RX: place payload into the host receive buffer, then (ordering
-    /// constraint, §3.1.3) release the ACK and the app notification.
-    RxPlace {
-        frame: Vec<u8>,
-        placement: Option<crate::proto::Placement>,
-        ack: Option<(u64, Vec<u8>)>,
-        notifies: Vec<(u16, crate::hostmem::NicToApp)>,
-    },
-    /// TX: fetch payload from the host transmit buffer, emit the frame.
-    TxFetch {
-        nbi_seq: u64,
-        spec: flextoe_wire::SegmentSpec,
-        seg: crate::proto::TxSeg,
-    },
-    /// A standalone ACK (window update) with no payload movement.
-    AckOnly { nbi_seq: u64, frame: Vec<u8> },
-}
-
-/// Context-queue stage input: deliver a notification descriptor to an
-/// application context queue (after its DMA write completes).
+/// DMA stage → context-queue stage: deliver a notification descriptor to
+/// an application context queue (after its payload DMA completed).
 pub struct NotifyJob {
     pub ctx: u16,
     pub desc: crate::hostmem::NicToApp,
@@ -220,3 +187,5 @@ pub struct RegisterCtx {
     /// Application node to wake via MSI-X/eventfd (None = pure polling).
     pub app: Option<flextoe_sim::NodeId>,
 }
+
+flextoe_sim::custom_msg!(Redirect, SchedCtl, AppNotify, NotifyJob, RegisterCtx);

@@ -11,14 +11,14 @@
 //! per flow group.
 
 use flextoe_nfp::FpcTimer;
-use flextoe_sim::{cast, Ctx, Msg, Node, NodeId};
+use flextoe_sim::{Ctx, FreeDesc, FsUpdate, Msg, Node, NodeId, WorkToken};
 use flextoe_wire::{Ecn, SegmentSpec, TcpFlags, TcpOptions};
 
 use crate::costs;
 use crate::hostmem::NicToApp;
 use crate::proto::TxSeg;
-use crate::segment::{PipelineMsg, SharedConnTable, Work};
-use crate::stages::{DmaJob, DmaJobKind, FreeDesc, FsUpdate, SharedCfg};
+use crate::segment::{SharedConnTable, SharedSegPool, SharedWorkPool, Work};
+use crate::stages::SharedCfg;
 
 pub struct PostStage {
     cfg: SharedCfg,
@@ -26,6 +26,8 @@ pub struct PostStage {
     fpcs: Vec<FpcTimer>,
     rr: usize,
     table: SharedConnTable,
+    pool: SharedWorkPool,
+    seg_pool: SharedSegPool,
     /// Routing.
     pub dma: NodeId,
     pub sched: NodeId,
@@ -35,10 +37,13 @@ pub struct PostStage {
 }
 
 impl PostStage {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         cfg: SharedCfg,
         group: usize,
         table: SharedConnTable,
+        pool: SharedWorkPool,
+        seg_pool: SharedSegPool,
         dma: NodeId,
         sched: NodeId,
         ctxq: NodeId,
@@ -52,6 +57,8 @@ impl PostStage {
             fpcs,
             rr: 0,
             table,
+            pool,
+            seg_pool,
             dma,
             sched,
             ctxq,
@@ -77,6 +84,7 @@ impl PostStage {
         tsval_peer: u32,
         fin_ack: bool,
     ) -> Vec<u8> {
+        let mut buf = self.seg_pool.borrow_mut().take();
         let mut flags = TcpFlags::ACK;
         if out.ecn_echo {
             flags = flags | TcpFlags::ECE;
@@ -100,23 +108,30 @@ impl PostStage {
             },
             payload_len: 0,
         };
-        spec.emit_zeroed()
+        spec.emit_zeroed_into(&mut buf);
+        buf
     }
 }
 
 impl Node for PostStage {
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        let pm = cast::<PipelineMsg>(msg);
+        let Msg::Work(token) = msg else {
+            panic!("post-stage: unexpected message {}", msg.variant_name())
+        };
+        let slot = token.slot;
         let now_us = ctx.now().as_us() as u32;
-        match pm.work {
-            Work::Rx(w) => {
-                let out = w.outcome.expect("post stage after protocol");
-                let view = w.view.expect("post stage after pre");
+        let work = self.pool.borrow_mut().take(slot);
+        match work {
+            Work::Rx(mut w) => {
+                let out = *w.outcome.as_ref().expect("post stage after protocol");
                 let mut cost = costs::POST_RX;
 
                 // ---- Stats: congestion counters + RTT estimate ----------
                 let mut table = self.table.borrow_mut();
                 let Some(entry) = table.get_mut(w.conn) else {
+                    drop(table);
+                    self.seg_pool.borrow_mut().put(w.frame);
+                    self.pool.borrow_mut().release(slot);
                     return;
                 };
                 let post = &mut entry.post;
@@ -155,59 +170,49 @@ impl Node for PostStage {
                 }
 
                 // ---- Ack + ECN + Stamp -----------------------------------
-                let ack = if out.send_ack {
+                if out.send_ack {
                     self.acks_prepared += 1;
                     cost += costs::CHECKSUM;
-                    let frame =
-                        self.build_ack(now_us, &view, &out, w.summary.tsval, out.fin_delivered);
-                    Some((w.nbi_seq.expect("proto assigned nbi for ack"), frame))
-                } else {
-                    None
-                };
+                    let frame = {
+                        let view = w.view.as_ref().expect("post stage after pre");
+                        self.build_ack(now_us, view, &out, w.summary.tsval, out.fin_delivered)
+                    };
+                    w.ack_frame = Some(frame);
+                }
 
                 // ---- Notifications ---------------------------------------
-                let mut notifies = Vec::new();
+                w.notify_ctx = ctx_id;
                 if out.delivered > 0 || out.fin_delivered {
-                    notifies.push((
-                        ctx_id,
-                        NicToApp::RxAvail {
-                            conn: w.conn,
-                            len: out.delivered,
-                            fin: out.fin_delivered,
-                        },
-                    ));
+                    w.notify_rx = Some(NicToApp::RxAvail {
+                        conn: w.conn,
+                        len: out.delivered,
+                        fin: out.fin_delivered,
+                    });
+                    self.notifications += 1;
                 }
                 if out.acked_bytes > 0 {
-                    notifies.push((
-                        ctx_id,
-                        NicToApp::TxFreed {
-                            conn: w.conn,
-                            len: out.acked_bytes,
-                        },
-                    ));
+                    w.notify_tx = Some(NicToApp::TxFreed {
+                        conn: w.conn,
+                        len: out.acked_bytes,
+                    });
+                    self.notifications += 1;
                 }
-                self.notifications += notifies.len() as u64;
 
                 // ---- Pos: hand off to the DMA stage -----------------------
                 let d = self.exec(ctx, cost);
+                self.pool.borrow_mut().restore(slot, Work::Rx(w));
                 ctx.send(
                     self.dma,
                     d + self.cfg.hop_cross(),
-                    DmaJob {
-                        conn: w.conn,
-                        group: self.group,
-                        kind: DmaJobKind::RxPlace {
-                            frame: w.frame,
-                            placement: out.placement,
-                            ack,
-                            notifies,
-                        },
+                    WorkToken {
+                        slot,
+                        entry_seq: None,
                     },
                 );
             }
             Work::Tx(w) => {
-                let seg = w.seg.expect("post stage after protocol");
-                let spec = w.spec.expect("post stage after pre");
+                debug_assert!(w.seg.is_some(), "post stage after protocol");
+                debug_assert!(w.spec.is_some(), "post stage after pre");
                 if let Some(sendable) = w.sendable_after {
                     ctx.send(
                         self.sched,
@@ -219,21 +224,17 @@ impl Node for PostStage {
                     );
                 }
                 let d = self.exec(ctx, costs::POST_TX);
+                self.pool.borrow_mut().restore(slot, Work::Tx(w));
                 ctx.send(
                     self.dma,
                     d + self.cfg.hop_cross(),
-                    DmaJob {
-                        conn: w.conn,
-                        group: self.group,
-                        kind: DmaJobKind::TxFetch {
-                            nbi_seq: w.nbi_seq.expect("proto assigned nbi for tx"),
-                            spec,
-                            seg,
-                        },
+                    WorkToken {
+                        slot,
+                        entry_seq: None,
                     },
                 );
             }
-            Work::Hc(w) => {
+            Work::Hc(mut w) => {
                 // FS + Free (Figure 4)
                 if let Some(sendable) = w.sendable_after {
                     ctx.send(
@@ -247,20 +248,22 @@ impl Node for PostStage {
                 }
                 let mut cost = costs::POST_HC;
                 // Window-update ACK (receive window re-opened).
-                if let (Some(seg), Some(nbi_seq)) = (w.win_ack, w.nbi_seq) {
+                if let (Some(seg), Some(_)) = (w.win_ack.as_ref(), w.nbi_seq) {
                     cost += costs::CHECKSUM;
                     let table = self.table.borrow();
                     if let Some(entry) = table.get(w.conn) {
-                        let frame = ack_from_identity(&table.nic, &entry.pre, &seg, now_us);
+                        let mut buf = self.seg_pool.borrow_mut().take();
+                        ack_from_identity(&table.nic, &entry.pre, seg, now_us, &mut buf);
                         drop(table);
+                        w.ack_frame = Some(buf);
                         let d = self.exec(ctx, cost);
+                        self.pool.borrow_mut().restore(slot, Work::Hc(w));
                         ctx.send(
                             self.dma,
                             d + self.cfg.hop_cross(),
-                            DmaJob {
-                                conn: w.conn,
-                                group: self.group,
-                                kind: DmaJobKind::AckOnly { nbi_seq, frame },
+                            WorkToken {
+                                slot,
+                                entry_seq: None,
                             },
                         );
                         ctx.send(self.ctxq, self.cfg.hop_cross(), FreeDesc);
@@ -268,6 +271,23 @@ impl Node for PostStage {
                     }
                 }
                 let d = self.exec(ctx, cost);
+                if w.nbi_seq.is_some() {
+                    // the connection vanished between the protocol stage
+                    // (which allocated an NBI slot for the window-update
+                    // ACK) and here: forward the item to the DMA stage
+                    // anyway so the slot is released as an NBI skip
+                    self.pool.borrow_mut().restore(slot, Work::Hc(w));
+                    ctx.send(
+                        self.dma,
+                        d + self.cfg.hop_cross(),
+                        WorkToken {
+                            slot,
+                            entry_seq: None,
+                        },
+                    );
+                } else {
+                    self.pool.borrow_mut().release(slot);
+                }
                 // return the HC descriptor to the pool (Free)
                 ctx.send(self.ctxq, d + self.cfg.hop_cross(), FreeDesc);
             }
@@ -285,7 +305,8 @@ fn ack_from_identity(
     pre: &crate::state::PreState,
     seg: &TxSeg,
     now_us: u32,
-) -> Vec<u8> {
+    buf: &mut Vec<u8>,
+) {
     SegmentSpec {
         src_mac: nic.mac,
         dst_mac: pre.peer_mac,
@@ -304,5 +325,5 @@ fn ack_from_identity(
         },
         payload_len: 0,
     }
-    .emit_zeroed()
+    .emit_zeroed_into(buf)
 }

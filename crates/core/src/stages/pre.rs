@@ -16,20 +16,22 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use flextoe_nfp::{ConnDb, FpcTimer, LookupCache, MacTx};
-use flextoe_sim::{cast, Ctx, Msg, Node, NodeId};
+use flextoe_sim::{Ctx, Msg, Node, NodeId, WorkToken};
 use flextoe_wire::{Ecn, Frame, SegmentSpec, SegmentView, TcpOptions};
 
 use crate::costs;
 use crate::module::{ModuleChain, ModuleVerdict};
 use crate::proto::RxSummary;
-use crate::segment::{PipelineMsg, SharedConnTable, Work};
-use crate::stages::{ProtoSkip, Redirect, SharedCfg};
+use crate::segment::{SharedConnTable, SharedSegPool, SharedWorkPool, Work};
+use crate::stages::{Redirect, SharedCfg};
 
 pub struct PreStage {
     cfg: SharedCfg,
     fpcs: Vec<FpcTimer>,
     rr: usize,
     table: SharedConnTable,
+    pool: SharedWorkPool,
+    seg_pool: SharedSegPool,
     db: Rc<RefCell<ConnDb>>,
     lookup: LookupCache,
     /// XDP / extension modules at the RX-ingress hook (§3.3).
@@ -47,9 +49,12 @@ pub struct PreStage {
 }
 
 impl PreStage {
+    #[allow(clippy::too_many_arguments)]
     pub fn new(
         cfg: SharedCfg,
         table: SharedConnTable,
+        pool: SharedWorkPool,
+        seg_pool: SharedSegPool,
         db: Rc<RefCell<ConnDb>>,
         seqr: NodeId,
         ctrl: NodeId,
@@ -64,6 +69,8 @@ impl PreStage {
             fpcs,
             rr: 0,
             table,
+            pool,
+            seg_pool,
             db,
             lookup,
             ingress: ModuleChain::new(),
@@ -85,11 +92,25 @@ impl PreStage {
         done.saturating_since(ctx.now())
     }
 
-    fn skip(&mut self, ctx: &mut Ctx<'_>, entry_seq: u64, delay: flextoe_sim::Duration) {
-        ctx.send(self.seqr, delay, ProtoSkip(entry_seq));
+    /// Tell the sequencer this entry left the pipeline early; the slot is
+    /// already checked out, so retire it here.
+    fn skip(&mut self, ctx: &mut Ctx<'_>, slot: u32, entry_seq: u64, delay: flextoe_sim::Duration) {
+        self.pool.borrow_mut().release(slot);
+        ctx.send(self.seqr, delay, Msg::Skip(entry_seq));
     }
 
-    fn process_rx(&mut self, ctx: &mut Ctx<'_>, entry_seq: u64, mut work: crate::segment::RxWork) {
+    /// Recycle a dropped frame's byte buffer into the packet-buffer pool.
+    fn recycle(&mut self, frame: Vec<u8>) {
+        self.seg_pool.borrow_mut().put(frame);
+    }
+
+    fn process_rx(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        slot: u32,
+        entry_seq: u64,
+        mut work: crate::segment::RxWork,
+    ) {
         let mut cost = costs::PRE_RX;
 
         // --- XDP / extension ingress modules (raw frame) ---
@@ -101,7 +122,8 @@ impl PreStage {
                 ModuleVerdict::Drop => {
                     self.dropped += 1;
                     let d = self.exec(ctx, cost);
-                    self.skip(ctx, entry_seq, d);
+                    self.recycle(work.frame);
+                    self.skip(ctx, slot, entry_seq, d);
                     return;
                 }
                 ModuleVerdict::Tx => {
@@ -111,7 +133,7 @@ impl PreStage {
                     fixup_checksums(&mut work.frame);
                     let d = self.exec(ctx, cost + costs::CHECKSUM);
                     ctx.send(self.mac, d, MacTx(Frame(work.frame)));
-                    self.skip(ctx, entry_seq, d);
+                    self.skip(ctx, slot, entry_seq, d);
                     return;
                 }
                 ModuleVerdict::Redirect => {
@@ -119,7 +141,7 @@ impl PreStage {
                     let d = self.exec(ctx, cost);
                     let pcie = self.cfg.platform.pcie.write_latency;
                     ctx.send(self.ctrl, d + pcie, Redirect(Frame(work.frame)));
-                    self.skip(ctx, entry_seq, d);
+                    self.skip(ctx, slot, entry_seq, d);
                     return;
                 }
             }
@@ -132,7 +154,8 @@ impl PreStage {
                 self.malformed += 1;
                 ctx.stats.bump("pre.malformed", 1);
                 let d = self.exec(ctx, cost);
-                self.skip(ctx, entry_seq, d);
+                self.recycle(work.frame);
+                self.skip(ctx, slot, entry_seq, d);
                 return;
             }
         };
@@ -142,7 +165,7 @@ impl PreStage {
             let d = self.exec(ctx, cost);
             let pcie = self.cfg.platform.pcie.write_latency;
             ctx.send(self.ctrl, d + pcie, Redirect(Frame(work.frame)));
-            self.skip(ctx, entry_seq, d);
+            self.skip(ctx, slot, entry_seq, d);
             return;
         }
 
@@ -156,7 +179,7 @@ impl PreStage {
             let d = self.exec(ctx, cost);
             let pcie = self.cfg.platform.pcie.write_latency;
             ctx.send(self.ctrl, d + pcie, Redirect(Frame(work.frame)));
-            self.skip(ctx, entry_seq, d);
+            self.skip(ctx, slot, entry_seq, d);
             return;
         };
 
@@ -184,23 +207,30 @@ impl PreStage {
 
         // --- Steer: back to the sequencer for in-order protocol admission
         let d = self.exec(ctx, cost);
+        self.pool.borrow_mut().restore(slot, Work::Rx(work));
         ctx.send(
             self.seqr,
             d,
-            PipelineMsg {
-                entry_seq,
-                work: Work::Rx(work),
+            WorkToken {
+                slot,
+                entry_seq: Some(entry_seq),
             },
         );
     }
 
-    fn process_tx(&mut self, ctx: &mut Ctx<'_>, entry_seq: u64, mut work: crate::segment::TxWork) {
+    fn process_tx(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        slot: u32,
+        entry_seq: u64,
+        mut work: crate::segment::TxWork,
+    ) {
         // --- Alloc + Head: Ethernet/IP identity from pre-processor state
         let table = self.table.borrow();
         let Some(entry) = table.get(work.conn) else {
             drop(table);
             let d = self.exec(ctx, costs::PRE_TX);
-            self.skip(ctx, entry_seq, d);
+            self.skip(ctx, slot, entry_seq, d);
             return;
         };
         let nic = table.nic;
@@ -219,17 +249,24 @@ impl PreStage {
         work.group = entry.pre.flow_group as usize % self.cfg.n_groups;
         drop(table);
         let d = self.exec(ctx, costs::PRE_TX);
+        self.pool.borrow_mut().restore(slot, Work::Tx(work));
         ctx.send(
             self.seqr,
             d,
-            PipelineMsg {
-                entry_seq,
-                work: Work::Tx(work),
+            WorkToken {
+                slot,
+                entry_seq: Some(entry_seq),
             },
         );
     }
 
-    fn process_hc(&mut self, ctx: &mut Ctx<'_>, entry_seq: u64, mut work: crate::segment::HcWork) {
+    fn process_hc(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        slot: u32,
+        entry_seq: u64,
+        mut work: crate::segment::HcWork,
+    ) {
         let group = self
             .table
             .borrow()
@@ -239,12 +276,13 @@ impl PreStage {
             % self.cfg.n_groups;
         work.group = group;
         let d = self.exec(ctx, costs::PRE_HC);
+        self.pool.borrow_mut().restore(slot, Work::Hc(work));
         ctx.send(
             self.seqr,
             d,
-            PipelineMsg {
-                entry_seq,
-                work: Work::Hc(work),
+            WorkToken {
+                slot,
+                entry_seq: Some(entry_seq),
             },
         );
     }
@@ -276,12 +314,15 @@ pub fn fixup_checksums(frame: &mut [u8]) {
 
 impl Node for PreStage {
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        let pm = cast::<PipelineMsg>(msg);
-        let entry_seq = pm.entry_seq;
-        match pm.work {
-            Work::Rx(w) => self.process_rx(ctx, entry_seq, w),
-            Work::Tx(w) => self.process_tx(ctx, entry_seq, w),
-            Work::Hc(w) => self.process_hc(ctx, entry_seq, w),
+        let Msg::Work(token) = msg else {
+            panic!("pre-stage: unexpected message {}", msg.variant_name())
+        };
+        let entry_seq = token.entry_seq.expect("pre-stage items carry an entry seq");
+        let work = self.pool.borrow_mut().take(token.slot);
+        match work {
+            Work::Rx(w) => self.process_rx(ctx, token.slot, entry_seq, w),
+            Work::Tx(w) => self.process_tx(ctx, token.slot, entry_seq, w),
+            Work::Hc(w) => self.process_hc(ctx, token.slot, entry_seq, w),
         }
     }
 

@@ -13,12 +13,12 @@
 use std::collections::HashMap;
 
 use flextoe_nfp::{ConnStateCache, FpcTimer};
-use flextoe_sim::{cast, Ctx, Msg, Node, NodeId, Time};
+use flextoe_sim::{Ctx, Msg, Node, NodeId, Time, WorkToken};
 
 use crate::costs;
 use crate::hostmem::AppToNic;
 use crate::proto;
-use crate::segment::{PipelineMsg, SharedConnTable, Work};
+use crate::segment::{SharedConnTable, SharedSegPool, SharedWorkPool, Work};
 use crate::stages::SharedCfg;
 
 pub struct ProtoStage {
@@ -29,6 +29,8 @@ pub struct ProtoStage {
     /// Per-connection atomic-section serialization.
     conn_busy: HashMap<u32, Time>,
     table: SharedConnTable,
+    pool: SharedWorkPool,
+    seg_pool: SharedSegPool,
     /// Monotone per-group NBI sequence (frames emitted in protocol order).
     next_nbi: u64,
     /// Routing: this group's post-processing stage.
@@ -42,7 +44,14 @@ pub struct ProtoStage {
 }
 
 impl ProtoStage {
-    pub fn new(cfg: SharedCfg, group: usize, table: SharedConnTable, post: NodeId) -> ProtoStage {
+    pub fn new(
+        cfg: SharedCfg,
+        group: usize,
+        table: SharedConnTable,
+        pool: SharedWorkPool,
+        seg_pool: SharedSegPool,
+        post: NodeId,
+    ) -> ProtoStage {
         ProtoStage {
             fpc: FpcTimer::new(cfg.platform.clock, cfg.threads_per_fpc),
             cache: ConnStateCache::with_defaults(&cfg.platform),
@@ -50,6 +59,8 @@ impl ProtoStage {
             group,
             conn_busy: HashMap::new(),
             table,
+            pool,
+            seg_pool,
             next_nbi: 0,
             post,
             rx_segments: 0,
@@ -87,13 +98,24 @@ impl ProtoStage {
         self.next_nbi += 1;
         s
     }
+
+    /// Retire an item that dies in this stage, recycling its buffers.
+    fn retire(&mut self, slot: u32, work: Work) {
+        if let Work::Rx(w) = work {
+            self.seg_pool.borrow_mut().put(w.frame);
+        }
+        self.pool.borrow_mut().release(slot);
+    }
 }
 
 impl Node for ProtoStage {
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        let pm = cast::<PipelineMsg>(msg);
-        let entry_seq = pm.entry_seq;
-        match pm.work {
+        let Msg::Work(token) = msg else {
+            panic!("proto-stage: unexpected message {}", msg.variant_name())
+        };
+        let slot = token.slot;
+        let work = self.pool.borrow_mut().take(slot);
+        match work {
             Work::Rx(mut w) => {
                 self.rx_segments += 1;
                 let logic = if w.summary.payload_len == 0 && !w.summary.flags.fin() {
@@ -104,7 +126,9 @@ impl Node for ProtoStage {
                 let d = self.exec(ctx, w.conn, logic);
                 let mut table = self.table.borrow_mut();
                 let Some(entry) = table.get_mut(w.conn) else {
-                    return; // torn down while in flight
+                    drop(table);
+                    self.retire(slot, Work::Rx(w)); // torn down while in flight
+                    return;
                 };
                 let out = proto::rx_segment(&mut entry.proto, &w.summary);
                 drop(table);
@@ -120,12 +144,13 @@ impl Node for ProtoStage {
                     w.nbi_seq = Some(self.alloc_nbi());
                 }
                 w.outcome = Some(out);
+                self.pool.borrow_mut().restore(slot, Work::Rx(w));
                 ctx.send(
                     self.post,
                     d + self.cfg.hop_intra(),
-                    PipelineMsg {
-                        entry_seq,
-                        work: Work::Rx(w),
+                    WorkToken {
+                        slot,
+                        entry_seq: None,
                     },
                 );
                 // A fast retransmit re-opens sendable bytes immediately:
@@ -135,6 +160,8 @@ impl Node for ProtoStage {
                 let d = self.exec(ctx, w.conn, costs::PROTO_TX);
                 let mut table = self.table.borrow_mut();
                 let Some(entry) = table.get_mut(w.conn) else {
+                    drop(table);
+                    self.retire(slot, Work::Tx(w));
                     return;
                 };
                 let seg = proto::tx_next(&mut entry.proto, self.cfg.mss);
@@ -146,18 +173,20 @@ impl Node for ProtoStage {
                         w.seg = Some(seg);
                         w.sendable_after = Some(sendable);
                         w.nbi_seq = Some(self.alloc_nbi());
+                        self.pool.borrow_mut().restore(slot, Work::Tx(w));
                         ctx.send(
                             self.post,
                             d + self.cfg.hop_intra(),
-                            PipelineMsg {
-                                entry_seq,
-                                work: Work::Tx(w),
+                            WorkToken {
+                                slot,
+                                entry_seq: None,
                             },
                         );
                     }
                     None => {
                         // scheduler raced an ACK/window change; item dies
                         self.empty_tx += 1;
+                        self.retire(slot, Work::Tx(w));
                     }
                 }
             }
@@ -166,6 +195,8 @@ impl Node for ProtoStage {
                 let d = self.exec(ctx, w.conn, costs::PROTO_HC);
                 let mut table = self.table.borrow_mut();
                 let Some(entry) = table.get_mut(w.conn) else {
+                    drop(table);
+                    self.retire(slot, Work::Hc(w));
                     return;
                 };
                 match w.desc {
@@ -195,18 +226,21 @@ impl Node for ProtoStage {
                         ctx.stats.bump("proto.rto_retx", 1);
                     }
                 }
-                w.sendable_after =
-                    Some(entry.proto.sendable() + u32::from(entry.proto.fin_pending && !entry.proto.fin_sent));
+                w.sendable_after = Some(
+                    entry.proto.sendable()
+                        + u32::from(entry.proto.fin_pending && !entry.proto.fin_sent),
+                );
                 drop(table);
                 if w.win_ack.is_some() {
                     w.nbi_seq = Some(self.alloc_nbi());
                 }
+                self.pool.borrow_mut().restore(slot, Work::Hc(w));
                 ctx.send(
                     self.post,
                     d + self.cfg.hop_intra(),
-                    PipelineMsg {
-                        entry_seq,
-                        work: Work::Hc(w),
+                    WorkToken {
+                        slot,
+                        entry_seq: None,
                     },
                 );
             }

@@ -5,17 +5,18 @@
 //! keeping the MAC egress queue shallow while staying work-conserving.
 
 use flextoe_nfp::FpcTimer;
-use flextoe_sim::{try_cast, Ctx, Duration, Msg, Node, NodeId, Tick, Time};
+use flextoe_sim::{Ctx, Duration, Msg, Node, NodeId, Tick, Time, WorkToken};
 
 use crate::costs;
 use crate::sched::Carousel;
-use crate::segment::{TxWork, Work};
-use crate::stages::{FsUpdate, SchedCtl, SharedCfg};
+use crate::segment::{SharedWorkPool, TxWork, Work};
+use crate::stages::{SchedCtl, SharedCfg};
 
 pub struct SchedNode {
     cfg: SharedCfg,
     fpcs: Vec<FpcTimer>,
     rr: usize,
+    pool: SharedWorkPool,
     pub carousel: Carousel,
     /// Flow group per connection (for steering TX work).
     groups: Vec<usize>,
@@ -30,7 +31,7 @@ pub struct SchedNode {
 }
 
 impl SchedNode {
-    pub fn new(cfg: SharedCfg, seqr: NodeId) -> SchedNode {
+    pub fn new(cfg: SharedCfg, pool: SharedWorkPool, seqr: NodeId) -> SchedNode {
         let fpcs = (0..cfg.sched_fpcs.max(1))
             .map(|_| FpcTimer::new(cfg.platform.clock, cfg.threads_per_fpc))
             .collect();
@@ -38,6 +39,7 @@ impl SchedNode {
             cfg,
             fpcs,
             rr: 0,
+            pool,
             carousel: Carousel::with_defaults(),
             groups: Vec::new(),
             seqr,
@@ -64,7 +66,7 @@ impl SchedNode {
             self.rr += 1;
             let done = self.fpcs[i].execute(now, costs::SCHED_DECISION + self.cfg.trace_cost());
             self.triggers_emitted += 1;
-            let work = Work::Tx(TxWork {
+            let slot = self.pool.borrow_mut().alloc(Work::Tx(TxWork {
                 conn: trigger.conn,
                 group: self.group_of(trigger.conn),
                 seg: None,
@@ -72,9 +74,16 @@ impl SchedNode {
                 sendable_after: None,
                 nbi_seq: None,
                 arrival: now,
-            });
+            }));
             let d = done.saturating_since(now) + self.cfg.hop_cross();
-            ctx.send(self.seqr, d, work);
+            ctx.send(
+                self.seqr,
+                d,
+                WorkToken {
+                    slot,
+                    entry_seq: None,
+                },
+            );
 
             // pace the next decision: SCH throughput and line-rate of the
             // frame just scheduled (whichever is slower)
@@ -102,38 +111,35 @@ impl SchedNode {
 
 impl Node for SchedNode {
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        let msg = match try_cast::<Tick>(msg) {
-            Ok(_) => {
+        match msg {
+            Msg::Tick => {
                 self.armed = None;
                 self.pump(ctx);
-                return;
             }
-            Err(m) => m,
-        };
-        let msg = match try_cast::<FsUpdate>(msg) {
-            Ok(up) => {
-                self.carousel.update_sendable(up.conn, up.sendable, ctx.now());
+            Msg::FsUpdate(up) => {
+                self.carousel
+                    .update_sendable(up.conn, up.sendable, ctx.now());
                 self.pump(ctx);
-                return;
             }
-            Err(m) => m,
-        };
-        let ctl = flextoe_sim::cast::<SchedCtl>(msg);
-        match *ctl {
-            SchedCtl::Register { conn, group } => {
-                self.carousel.register(conn);
-                if self.groups.len() <= conn as usize {
-                    self.groups.resize(conn as usize + 1, 0);
+            msg => {
+                let ctl = flextoe_sim::cast::<SchedCtl>(msg);
+                match *ctl {
+                    SchedCtl::Register { conn, group } => {
+                        self.carousel.register(conn);
+                        if self.groups.len() <= conn as usize {
+                            self.groups.resize(conn as usize + 1, 0);
+                        }
+                        self.groups[conn as usize] = group;
+                    }
+                    SchedCtl::Unregister { conn } => self.carousel.unregister(conn),
+                    SchedCtl::SetRate {
+                        conn,
+                        interval_ps_per_byte,
+                    } => self.carousel.set_rate(conn, interval_ps_per_byte),
                 }
-                self.groups[conn as usize] = group;
+                self.pump(ctx);
             }
-            SchedCtl::Unregister { conn } => self.carousel.unregister(conn),
-            SchedCtl::SetRate {
-                conn,
-                interval_ps_per_byte,
-            } => self.carousel.set_rate(conn, interval_ps_per_byte),
         }
-        self.pump(ctx);
     }
 
     fn name(&self) -> String {

@@ -11,24 +11,28 @@
 //!    being steered to their flow-group's protocol stage.
 //! 3. **NBI admission**: finished frames are restored to protocol-stage
 //!    emission order (per flow-group) before transmission.
+//!
+//! Work items live in the NIC's shared [`WorkPool`]; only `WorkToken`
+//! slot indices travel through the event queue.
 
-use flextoe_sim::{cast, try_cast, Ctx, Msg, Node, NodeId};
+use flextoe_sim::{Ctx, MacTx, Msg, Node, NodeId, WorkToken};
 use flextoe_wire::Frame;
 
 use crate::costs;
 use crate::reorder::Reorder;
-use crate::segment::{PipelineMsg, RxWork, Work};
-use crate::stages::{NbiSubmit, ProtoSkip, SharedCfg};
-use flextoe_nfp::{FpcTimer, MacTx};
+use crate::segment::{RxWork, SharedWorkPool, Work};
+use crate::stages::SharedCfg;
+use flextoe_nfp::FpcTimer;
 
 pub struct SeqrNode {
     cfg: SharedCfg,
     fpc: FpcTimer,
     next_entry: u64,
+    pool: SharedWorkPool,
     /// Protocol-admission reorderers, one per flow group… but entry
     /// sequencing is global, so admission ordering is global too: a single
     /// reorderer releases to the right group's protocol stage.
-    admit: Reorder<PipelineMsg>,
+    admit: Reorder<u32>,
     /// NBI-admission reorderers, one lane per flow group.
     nbi: Vec<Reorder<Vec<u8>>>,
     /// Routing.
@@ -41,12 +45,13 @@ pub struct SeqrNode {
 }
 
 impl SeqrNode {
-    pub fn new(cfg: SharedCfg, _mac: NodeId) -> SeqrNode {
+    pub fn new(cfg: SharedCfg, pool: SharedWorkPool, _mac: NodeId) -> SeqrNode {
         let n_groups = cfg.n_groups;
         SeqrNode {
             fpc: FpcTimer::new(cfg.platform.clock, cfg.platform.threads_per_fpc),
             cfg,
             next_entry: 0,
+            pool,
             admit: Reorder::new(),
             nbi: (0..n_groups).map(|_| Reorder::new()).collect(),
             pre_pool: Vec::new(),
@@ -58,29 +63,51 @@ impl SeqrNode {
         }
     }
 
-    fn enter(&mut self, ctx: &mut Ctx<'_>, work: Work) {
+    fn enter(&mut self, ctx: &mut Ctx<'_>, slot: u32) {
         let entry_seq = self.next_entry;
         self.next_entry += 1;
-        let done = self.fpc.execute(ctx.now(), costs::SEQR + self.cfg.trace_cost());
+        let done = self
+            .fpc
+            .execute(ctx.now(), costs::SEQR + self.cfg.trace_cost());
         let delay = done.saturating_since(ctx.now()) + self.cfg.hop_intra();
         // round-robin across the pre-processor pool ("pre-processors
         // handle segments for any flow", §4.1)
         let to = self.pre_pool[self.pre_rr % self.pre_pool.len()];
         self.pre_rr += 1;
-        ctx.send(to, delay, PipelineMsg { entry_seq, work });
+        ctx.send(
+            to,
+            delay,
+            WorkToken {
+                slot,
+                entry_seq: Some(entry_seq),
+            },
+        );
     }
 
-    fn admit_proto(&mut self, ctx: &mut Ctx<'_>, released: Vec<PipelineMsg>) {
-        for msg in released {
-            let group = msg.work.group();
+    fn admit_proto(&mut self, ctx: &mut Ctx<'_>, released: Vec<u32>) {
+        for slot in released {
+            let group = self.pool.borrow().get(slot).group();
             let done = self.fpc.execute(ctx.now(), costs::SEQR);
             let delay = done.saturating_since(ctx.now()) + self.cfg.hop_cross();
-            ctx.send(self.protos[group], delay, msg);
+            ctx.send(
+                self.protos[group],
+                delay,
+                WorkToken {
+                    slot,
+                    entry_seq: None,
+                },
+            );
         }
     }
 
     fn admit_nbi(&mut self, ctx: &mut Ctx<'_>, frames: Vec<Vec<u8>>) {
         for frame in frames {
+            // an empty frame is an NBI skip: the item died after its slot
+            // was allocated (connection teardown mid-pipeline); the slot
+            // advanced the reorderer and there is nothing to transmit
+            if frame.is_empty() {
+                continue;
+            }
             let done = self.fpc.execute(ctx.now(), costs::SEQR);
             let delay = done.saturating_since(ctx.now()) + self.cfg.hop_cross();
             ctx.send(self.mac, delay, MacTx(Frame(frame)));
@@ -90,11 +117,11 @@ impl SeqrNode {
 
 impl Node for SeqrNode {
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        // raw ingress frame from the MAC
-        let msg = match try_cast::<Frame>(msg) {
-            Ok(frame) => {
+        match msg {
+            // raw ingress frame from the MAC
+            Msg::Frame(frame) => {
                 self.rx_frames += 1;
-                let work = Work::Rx(RxWork {
+                let slot = self.pool.borrow_mut().alloc(Work::Rx(RxWork {
                     frame: frame.0,
                     view: None,
                     summary: Default::default(),
@@ -103,59 +130,123 @@ impl Node for SeqrNode {
                     outcome: None,
                     ack_frame: None,
                     nbi_seq: None,
+                    notify_ctx: 0,
+                    notify_rx: None,
+                    notify_tx: None,
                     arrival: ctx.now(),
-                });
-                self.enter(ctx, work);
-                return;
+                }));
+                self.enter(ctx, slot);
             }
-            Err(m) => m,
-        };
-        // work entering from scheduler (TX) or context-queue stage (HC)
-        let msg = match try_cast::<Work>(msg) {
-            Ok(work) => {
-                if matches!(*work, Work::Tx(_)) {
-                    self.tx_triggers += 1;
+            Msg::Work(token) => match token.entry_seq {
+                // work entering from scheduler (TX) or context-queue
+                // stage (HC): no entry sequence yet
+                None => {
+                    if matches!(self.pool.borrow().get(token.slot), Work::Tx(_)) {
+                        self.tx_triggers += 1;
+                    }
+                    self.enter(ctx, token.slot);
                 }
-                self.enter(ctx, *work);
-                return;
-            }
-            Err(m) => m,
-        };
-        // pre-processing finished: admit to protocol in entry order
-        let msg = match try_cast::<PipelineMsg>(msg) {
-            Ok(pm) => {
+                // pre-processing finished: admit to protocol in entry order
+                Some(entry_seq) => {
+                    if self.cfg.reorder {
+                        let released = self.admit.push(entry_seq, token.slot);
+                        self.admit_proto(ctx, released);
+                    } else {
+                        self.admit_proto(ctx, vec![token.slot]);
+                    }
+                }
+            },
+            // pre-processing dropped/redirected an item
+            Msg::Skip(entry_seq) => {
                 if self.cfg.reorder {
-                    let released = self.admit.push(pm.entry_seq, *pm);
+                    let released = self.admit.skip(entry_seq);
                     self.admit_proto(ctx, released);
+                }
+            }
+            // finished frame for transmission
+            Msg::Nbi(sub) => {
+                if self.cfg.reorder {
+                    let released = self.nbi[sub.group as usize].push(sub.nbi_seq, sub.frame.0);
+                    self.admit_nbi(ctx, released);
                 } else {
-                    self.admit_proto(ctx, vec![*pm]);
+                    self.admit_nbi(ctx, vec![sub.frame.0]);
                 }
-                return;
             }
-            Err(m) => m,
-        };
-        // pre-processing dropped/redirected an item
-        let msg = match try_cast::<ProtoSkip>(msg) {
-            Ok(skip) => {
-                if self.cfg.reorder {
-                    let released = self.admit.skip(skip.0);
-                    self.admit_proto(ctx, released);
-                }
-                return;
-            }
-            Err(m) => m,
-        };
-        // finished frame for transmission
-        let sub = cast::<NbiSubmit>(msg);
-        if self.cfg.reorder {
-            let released = self.nbi[sub.group].push(sub.nbi_seq, sub.frame);
-            self.admit_nbi(ctx, released);
-        } else {
-            self.admit_nbi(ctx, vec![sub.frame]);
+            m => panic!("seqr: unexpected message {}", m.variant_name()),
         }
     }
 
     fn name(&self) -> String {
         "seqr".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::shared_work_pool;
+    use crate::stages::PipeCfg;
+    use flextoe_sim::{NbiFrame, Sim, Time};
+    use std::rc::Rc;
+
+    struct MacProbe {
+        frames: Vec<Vec<u8>>,
+    }
+    impl Node for MacProbe {
+        fn on_msg(&mut self, _ctx: &mut Ctx<'_>, msg: Msg) {
+            let Msg::MacTx(tx) = msg else {
+                panic!("probe expects egress frames")
+            };
+            self.frames.push(tx.0 .0);
+        }
+    }
+
+    /// A work item that dies after its NBI slot was allocated (connection
+    /// teardown mid-pipeline) releases the slot with an empty skip frame:
+    /// later frames of the lane still transmit, and the skip itself never
+    /// reaches the MAC.
+    #[test]
+    fn empty_nbi_frame_skips_without_stalling_the_lane() {
+        let mut sim = Sim::new(1);
+        let mac = sim.add_node(MacProbe { frames: vec![] });
+        let cfg = Rc::new(PipeCfg::agilio_full());
+        let mut seqr = SeqrNode::new(cfg, shared_work_pool(), mac);
+        seqr.mac = mac;
+        let seqr = sim.add_node(seqr);
+
+        // nbi_seq 1 arrives first and must wait for nbi_seq 0
+        sim.schedule(
+            Time::from_ns(10),
+            seqr,
+            NbiFrame {
+                group: 0,
+                nbi_seq: 1,
+                frame: Frame(vec![0xAB; 64]),
+            },
+        );
+        sim.run();
+        assert!(
+            sim.node_ref::<MacProbe>(mac).frames.is_empty(),
+            "held for reordering"
+        );
+
+        // nbi_seq 0 died mid-pipeline: its empty skip frame releases the lane
+        sim.schedule(
+            Time::from_ns(20),
+            seqr,
+            NbiFrame {
+                group: 0,
+                nbi_seq: 0,
+                frame: Frame(Vec::new()),
+            },
+        );
+        sim.run();
+        let frames = &sim.node_ref::<MacProbe>(mac).frames;
+        assert_eq!(
+            frames.len(),
+            1,
+            "skip released the buffered frame, emitted nothing itself"
+        );
+        assert_eq!(frames[0], vec![0xAB; 64]);
     }
 }

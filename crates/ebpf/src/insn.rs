@@ -157,16 +157,40 @@ impl ProgBuilder {
 
     // ---- ALU64 ----
     pub fn alu64_imm(&mut self, op: u8, dst: Reg, imm: i32) -> &mut Self {
-        self.push(Insn { op: BPF_ALU64 | BPF_K | op, dst, src: 0, off: 0, imm })
+        self.push(Insn {
+            op: BPF_ALU64 | BPF_K | op,
+            dst,
+            src: 0,
+            off: 0,
+            imm,
+        })
     }
     pub fn alu64_reg(&mut self, op: u8, dst: Reg, src: Reg) -> &mut Self {
-        self.push(Insn { op: BPF_ALU64 | BPF_X | op, dst, src, off: 0, imm: 0 })
+        self.push(Insn {
+            op: BPF_ALU64 | BPF_X | op,
+            dst,
+            src,
+            off: 0,
+            imm: 0,
+        })
     }
     pub fn alu32_imm(&mut self, op: u8, dst: Reg, imm: i32) -> &mut Self {
-        self.push(Insn { op: BPF_ALU | BPF_K | op, dst, src: 0, off: 0, imm })
+        self.push(Insn {
+            op: BPF_ALU | BPF_K | op,
+            dst,
+            src: 0,
+            off: 0,
+            imm,
+        })
     }
     pub fn alu32_reg(&mut self, op: u8, dst: Reg, src: Reg) -> &mut Self {
-        self.push(Insn { op: BPF_ALU | BPF_X | op, dst, src, off: 0, imm: 0 })
+        self.push(Insn {
+            op: BPF_ALU | BPF_X | op,
+            dst,
+            src,
+            off: 0,
+            imm: 0,
+        })
     }
     pub fn mov64_imm(&mut self, dst: Reg, imm: i32) -> &mut Self {
         self.alu64_imm(BPF_MOV, dst, imm)
@@ -186,46 +210,112 @@ impl ProgBuilder {
             off: 0,
             imm: v as u32 as i32,
         });
-        self.push(Insn { op: 0, dst: 0, src: 0, off: 0, imm: (v >> 32) as u32 as i32 })
+        self.push(Insn {
+            op: 0,
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: (v >> 32) as u32 as i32,
+        })
     }
     /// Byte-order conversion: to big-endian of width 16/32/64.
     pub fn be(&mut self, dst: Reg, bits: i32) -> &mut Self {
-        self.push(Insn { op: BPF_ALU | BPF_TO_BE | BPF_END, dst, src: 0, off: 0, imm: bits })
+        self.push(Insn {
+            op: BPF_ALU | BPF_TO_BE | BPF_END,
+            dst,
+            src: 0,
+            off: 0,
+            imm: bits,
+        })
     }
 
     // ---- memory ----
     pub fn ldx(&mut self, size: u8, dst: Reg, src: Reg, off: i16) -> &mut Self {
-        self.push(Insn { op: BPF_LDX | BPF_MEM | size, dst, src, off, imm: 0 })
+        self.push(Insn {
+            op: BPF_LDX | BPF_MEM | size,
+            dst,
+            src,
+            off,
+            imm: 0,
+        })
     }
     pub fn stx(&mut self, size: u8, dst: Reg, src: Reg, off: i16) -> &mut Self {
-        self.push(Insn { op: BPF_STX | BPF_MEM | size, dst, src, off, imm: 0 })
+        self.push(Insn {
+            op: BPF_STX | BPF_MEM | size,
+            dst,
+            src,
+            off,
+            imm: 0,
+        })
     }
     pub fn st_imm(&mut self, size: u8, dst: Reg, off: i16, imm: i32) -> &mut Self {
-        self.push(Insn { op: BPF_ST | BPF_MEM | size, dst, src: 0, off, imm })
+        self.push(Insn {
+            op: BPF_ST | BPF_MEM | size,
+            dst,
+            src: 0,
+            off,
+            imm,
+        })
     }
 
     // ---- control flow ----
     pub fn jmp_imm(&mut self, op: u8, dst: Reg, imm: i32, target: &str) -> &mut Self {
         self.fixups.push((self.insns.len(), target.to_string()));
-        self.push(Insn { op: BPF_JMP | BPF_K | op, dst, src: 0, off: 0, imm })
+        self.push(Insn {
+            op: BPF_JMP | BPF_K | op,
+            dst,
+            src: 0,
+            off: 0,
+            imm,
+        })
     }
     pub fn jmp_reg(&mut self, op: u8, dst: Reg, src: Reg, target: &str) -> &mut Self {
         self.fixups.push((self.insns.len(), target.to_string()));
-        self.push(Insn { op: BPF_JMP | BPF_X | op, dst, src, off: 0, imm: 0 })
+        self.push(Insn {
+            op: BPF_JMP | BPF_X | op,
+            dst,
+            src,
+            off: 0,
+            imm: 0,
+        })
     }
     pub fn jmp32_imm(&mut self, op: u8, dst: Reg, imm: i32, target: &str) -> &mut Self {
         self.fixups.push((self.insns.len(), target.to_string()));
-        self.push(Insn { op: BPF_JMP32 | BPF_K | op, dst, src: 0, off: 0, imm })
+        self.push(Insn {
+            op: BPF_JMP32 | BPF_K | op,
+            dst,
+            src: 0,
+            off: 0,
+            imm,
+        })
     }
     pub fn ja(&mut self, target: &str) -> &mut Self {
         self.fixups.push((self.insns.len(), target.to_string()));
-        self.push(Insn { op: BPF_JMP | BPF_JA, dst: 0, src: 0, off: 0, imm: 0 })
+        self.push(Insn {
+            op: BPF_JMP | BPF_JA,
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: 0,
+        })
     }
     pub fn call(&mut self, helper: i32) -> &mut Self {
-        self.push(Insn { op: BPF_JMP | BPF_CALL, dst: 0, src: 0, off: 0, imm: helper })
+        self.push(Insn {
+            op: BPF_JMP | BPF_CALL,
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: helper,
+        })
     }
     pub fn exit(&mut self) -> &mut Self {
-        self.push(Insn { op: BPF_JMP | BPF_EXIT, dst: 0, src: 0, off: 0, imm: 0 })
+        self.push(Insn {
+            op: BPF_JMP | BPF_EXIT,
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: 0,
+        })
     }
     /// `mov r0, <action>; exit`.
     pub fn ret(&mut self, action: XdpAction) -> &mut Self {

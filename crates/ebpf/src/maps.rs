@@ -223,7 +223,10 @@ mod tests {
     fn array_map_semantics() {
         let mut m = Map::array(4, 3);
         m.update(&2u32.to_le_bytes(), &[7, 7, 7, 7]).unwrap();
-        assert_eq!(m.lookup(&2u32.to_le_bytes()).unwrap(), Some(&[7u8, 7, 7, 7][..]));
+        assert_eq!(
+            m.lookup(&2u32.to_le_bytes()).unwrap(),
+            Some(&[7u8, 7, 7, 7][..])
+        );
         assert_eq!(
             m.update(&9u32.to_le_bytes(), &[0; 4]),
             Err(MapError::IndexOutOfBounds)
@@ -241,6 +244,9 @@ mod tests {
         assert_eq!((a, b), (0, 1));
         assert!(s.get(0).is_ok());
         assert!(s.get(2).is_err());
-        s.get_mut(1).unwrap().update(&0u32.to_le_bytes(), &[1; 8]).unwrap();
+        s.get_mut(1)
+            .unwrap()
+            .update(&0u32.to_le_bytes(), &[1; 8])
+            .unwrap();
     }
 }

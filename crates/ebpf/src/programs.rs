@@ -149,8 +149,8 @@ pub fn splice(splice_fd: u32) -> Vec<Insn> {
         .add64_imm(R2, -12)
         .call(helpers::MAP_LOOKUP)
         .jmp_imm(BPF_JEQ, R0, 0, "pass"); // miss -> normal data-path
-    // --- patch_headers (r0 = &tcp_splice_t) ---
-    // eth.src <- eth.dst ; eth.dst <- state.remote_mac
+                                          // --- patch_headers (r0 = &tcp_splice_t) ---
+                                          // eth.src <- eth.dst ; eth.dst <- state.remote_mac
     b.ldx(BPF_DW, R2, R6, 0) // old dst (6B used)
         .stx(BPF_W, R6, R2, 6) // src[0..4] = dst[0..4]
         .alu64_imm(BPF_RSH, R2, 32)
@@ -159,7 +159,7 @@ pub fn splice(splice_fd: u32) -> Vec<Insn> {
         .stx(BPF_W, R6, R3, 0) // dst[0..4] = remote_mac[0..4]
         .ldx(BPF_H, R3, R0, 4)
         .stx(BPF_H, R6, R3, 4); // dst[4..6] = remote_mac[4..6]
-    // ip.src <- ip.dst ; ip.dst <- state.remote_ip
+                                // ip.src <- ip.dst ; ip.dst <- state.remote_ip
     b.ldx(BPF_W, R2, R6, off::IP_DST)
         .stx(BPF_W, R6, R2, off::IP_SRC)
         .ldx(BPF_W, R3, R0, 8)
@@ -279,14 +279,22 @@ mod tests {
     fn firewall_drops_blacklisted_and_counts() {
         let mut maps = MapSet::new();
         let fd = maps.add(Map::hash(4, 8, 64));
-        maps.get_mut(fd).unwrap().update(&[9, 9, 9, 9], &[0; 8]).unwrap();
+        maps.get_mut(fd)
+            .unwrap()
+            .update(&[9, 9, 9, 9], &[0; 8])
+            .unwrap();
         let prog = firewall(fd);
         let mut bad = tcp_frame([9, 9, 9, 9], [2, 2, 2, 2], 1, 2, 0x10);
         let mut good = tcp_frame([8, 8, 8, 8], [2, 2, 2, 2], 1, 2, 0x10);
         assert_eq!(exec(&prog, &mut bad, &mut maps), XdpAction::Drop);
         assert_eq!(exec(&prog, &mut bad, &mut maps), XdpAction::Drop);
         assert_eq!(exec(&prog, &mut good, &mut maps), XdpAction::Pass);
-        let hits = maps.get(fd).unwrap().lookup(&[9, 9, 9, 9]).unwrap().unwrap();
+        let hits = maps
+            .get(fd)
+            .unwrap()
+            .lookup(&[9, 9, 9, 9])
+            .unwrap()
+            .unwrap();
         assert_eq!(u64::from_le_bytes(hits.try_into().unwrap()), 2);
     }
 

@@ -82,9 +82,7 @@ pub fn verify(prog: &[Insn]) -> Result<(), VerifyError> {
                 }
             }
             BPF_LDX | BPF_ST | BPF_STX => {
-                if (insn.op & 0x18) > BPF_DW {
-                    return Err(VerifyError::BadOpcode { pc, op: insn.op });
-                }
+                // all four size encodings (W/H/B/DW) are legal here
                 if class == BPF_STX || class == BPF_ST {
                     // stores *through* r10 are fine; overwriting r10 is not
                     // (register writes happen only via LDX dst)
@@ -94,6 +92,7 @@ pub fn verify(prog: &[Insn]) -> Result<(), VerifyError> {
                 }
             }
             BPF_LD => {
+                #[allow(clippy::collapsible_match)]
                 if insn.op == (BPF_LD | BPF_IMM | BPF_DW) {
                     if pc + 1 >= prog.len() {
                         return Err(VerifyError::TruncatedLdImm64 { pc });
@@ -137,7 +136,13 @@ mod tests {
 
     #[test]
     fn rejects_wild_jump() {
-        let prog = [Insn { op: BPF_JMP | BPF_JA, dst: 0, src: 0, off: 100, imm: 0 }];
+        let prog = [Insn {
+            op: BPF_JMP | BPF_JA,
+            dst: 0,
+            src: 0,
+            off: 100,
+            imm: 0,
+        }];
         assert!(matches!(
             verify(&prog),
             Err(VerifyError::JumpOutOfRange { .. })
@@ -146,15 +151,36 @@ mod tests {
 
     #[test]
     fn rejects_bad_register_and_opcode() {
-        let prog = [Insn { op: BPF_ALU64 | BPF_MOV, dst: 12, src: 0, off: 0, imm: 0 }];
-        assert!(matches!(verify(&prog), Err(VerifyError::BadRegister { .. })));
-        let prog = [Insn { op: 0xff, dst: 0, src: 0, off: 0, imm: 0 }];
+        let prog = [Insn {
+            op: BPF_ALU64 | BPF_MOV,
+            dst: 12,
+            src: 0,
+            off: 0,
+            imm: 0,
+        }];
+        assert!(matches!(
+            verify(&prog),
+            Err(VerifyError::BadRegister { .. })
+        ));
+        let prog = [Insn {
+            op: 0xff,
+            dst: 0,
+            src: 0,
+            off: 0,
+            imm: 0,
+        }];
         assert!(matches!(verify(&prog), Err(VerifyError::BadOpcode { .. })));
     }
 
     #[test]
     fn rejects_truncated_ld_imm64() {
-        let prog = [Insn { op: BPF_LD | BPF_IMM | BPF_DW, dst: 1, src: 0, off: 0, imm: 0 }];
+        let prog = [Insn {
+            op: BPF_LD | BPF_IMM | BPF_DW,
+            dst: 1,
+            src: 0,
+            off: 0,
+            imm: 0,
+        }];
         assert!(matches!(
             verify(&prog),
             Err(VerifyError::TruncatedLdImm64 { .. })
@@ -165,7 +191,10 @@ mod tests {
     fn rejects_fp_overwrite() {
         let mut b = ProgBuilder::new();
         b.mov64_imm(R10, 0).exit();
-        assert!(matches!(verify(&b.build()), Err(VerifyError::WriteToFp { .. })));
+        assert!(matches!(
+            verify(&b.build()),
+            Err(VerifyError::WriteToFp { .. })
+        ));
     }
 
     #[test]

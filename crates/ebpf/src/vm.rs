@@ -72,7 +72,10 @@ impl Vm {
     }
 
     pub fn with_insn_limit(max_insns: u64) -> Vm {
-        Vm { max_insns, ..Vm::new() }
+        Vm {
+            max_insns,
+            ..Vm::new()
+        }
     }
 
     /// Run `prog` over `packet` with `maps`. The packet may be mutated;
@@ -103,7 +106,10 @@ impl Vm {
                 if addr >= PKT_BASE && addr + n as u64 <= PKT_BASE + packet.len() as u64 {
                     let a = (addr - PKT_BASE) as usize;
                     if a < pkt_off {
-                        return Err(Trap::OutOfBounds { addr, size: n as u8 });
+                        return Err(Trap::OutOfBounds {
+                            addr,
+                            size: n as u8,
+                        });
                     }
                     buf[..n].copy_from_slice(&packet[a..a + n]);
                 } else if addr >= STACK_BASE && addr + n as u64 <= STACK_BASE + STACK_SIZE as u64 {
@@ -121,17 +127,27 @@ impl Vm {
                 } else if addr >= MAP_BASE {
                     let slot = ((addr - MAP_BASE) / MAP_STRIDE) as usize;
                     let off = ((addr - MAP_BASE) % MAP_STRIDE) as usize;
-                    let mr = map_refs.get(slot).ok_or(Trap::OutOfBounds { addr, size: n as u8 })?;
+                    let mr = map_refs.get(slot).ok_or(Trap::OutOfBounds {
+                        addr,
+                        size: n as u8,
+                    })?;
                     let map = maps.get_mut(mr.fd).map_err(|_| Trap::BadMapFd(mr.fd))?;
-                    let val = map
-                        .value_mut(&mr.key)
-                        .ok_or(Trap::OutOfBounds { addr, size: n as u8 })?;
+                    let val = map.value_mut(&mr.key).ok_or(Trap::OutOfBounds {
+                        addr,
+                        size: n as u8,
+                    })?;
                     if off + n > val.len() {
-                        return Err(Trap::OutOfBounds { addr, size: n as u8 });
+                        return Err(Trap::OutOfBounds {
+                            addr,
+                            size: n as u8,
+                        });
                     }
                     buf[..n].copy_from_slice(&val[off..off + n]);
                 } else {
-                    return Err(Trap::OutOfBounds { addr, size: n as u8 });
+                    return Err(Trap::OutOfBounds {
+                        addr,
+                        size: n as u8,
+                    });
                 }
                 u64::from_le_bytes(buf)
             }};
@@ -145,7 +161,10 @@ impl Vm {
                 if addr >= PKT_BASE && addr + n as u64 <= PKT_BASE + packet.len() as u64 {
                     let a = (addr - PKT_BASE) as usize;
                     if a < pkt_off {
-                        return Err(Trap::OutOfBounds { addr, size: n as u8 });
+                        return Err(Trap::OutOfBounds {
+                            addr,
+                            size: n as u8,
+                        });
                     }
                     packet[a..a + n].copy_from_slice(&bytes[..n]);
                 } else if addr >= STACK_BASE && addr + n as u64 <= STACK_BASE + STACK_SIZE as u64 {
@@ -154,18 +173,28 @@ impl Vm {
                 } else if addr >= MAP_BASE {
                     let slot = ((addr - MAP_BASE) / MAP_STRIDE) as usize;
                     let off = ((addr - MAP_BASE) % MAP_STRIDE) as usize;
-                    let mr = map_refs.get(slot).ok_or(Trap::OutOfBounds { addr, size: n as u8 })?;
+                    let mr = map_refs.get(slot).ok_or(Trap::OutOfBounds {
+                        addr,
+                        size: n as u8,
+                    })?;
                     let map = maps.get_mut(mr.fd).map_err(|_| Trap::BadMapFd(mr.fd))?;
-                    let val = map
-                        .value_mut(&mr.key)
-                        .ok_or(Trap::OutOfBounds { addr, size: n as u8 })?;
+                    let val = map.value_mut(&mr.key).ok_or(Trap::OutOfBounds {
+                        addr,
+                        size: n as u8,
+                    })?;
                     if off + n > val.len() {
-                        return Err(Trap::OutOfBounds { addr, size: n as u8 });
+                        return Err(Trap::OutOfBounds {
+                            addr,
+                            size: n as u8,
+                        });
                     }
                     val[off..off + n].copy_from_slice(&bytes[..n]);
                 } else {
                     // ctx is read-only
-                    return Err(Trap::OutOfBounds { addr, size: n as u8 });
+                    return Err(Trap::OutOfBounds {
+                        addr,
+                        size: n as u8,
+                    });
                 }
             }};
         }
@@ -224,20 +253,8 @@ impl Vm {
                         BPF_ADD => l.wrapping_add(r),
                         BPF_SUB => l.wrapping_sub(r),
                         BPF_MUL => l.wrapping_mul(r),
-                        BPF_DIV => {
-                            if r == 0 {
-                                0
-                            } else {
-                                l / r
-                            }
-                        }
-                        BPF_MOD => {
-                            if r == 0 {
-                                l
-                            } else {
-                                l % r
-                            }
-                        }
+                        BPF_DIV => l.checked_div(r).unwrap_or(0),
+                        BPF_MOD => l.checked_rem(r).unwrap_or(l),
                         BPF_OR => l | r,
                         BPF_AND => l & r,
                         BPF_XOR => l ^ r,
@@ -345,6 +362,7 @@ impl Vm {
                 }
                 BPF_LD => {
                     // LD_IMM64: two slots
+                    #[allow(clippy::collapsible_match)]
                     if insn.op == (BPF_LD | BPF_IMM | BPF_DW) {
                         if pc as usize + 1 >= prog.len() {
                             return Err(Trap::PcOutOfRange(pc + 1));
@@ -544,7 +562,9 @@ mod tests {
     #[test]
     fn out_of_bounds_load_traps() {
         let mut b = ProgBuilder::new();
-        b.ldx(BPF_DW, R2, R1, MD_DATA).ldx(BPF_W, R0, R2, 100).exit();
+        b.ldx(BPF_DW, R2, R1, MD_DATA)
+            .ldx(BPF_W, R0, R2, 100)
+            .exit();
         let prog = b.build();
         let mut pkt = vec![0u8; 8];
         let mut maps = MapSet::new();
@@ -634,7 +654,11 @@ mod tests {
         assert_eq!(res.ret, 15);
         // the write persisted into the map
         assert_eq!(
-            maps.get(fd).unwrap().lookup(&[1, 2, 3, 4]).unwrap().unwrap()[0],
+            maps.get(fd)
+                .unwrap()
+                .lookup(&[1, 2, 3, 4])
+                .unwrap()
+                .unwrap()[0],
             15
         );
     }
@@ -659,7 +683,10 @@ mod tests {
     fn map_delete_via_helper() {
         let mut maps = MapSet::new();
         let fd = maps.add(Map::hash(4, 4, 4));
-        maps.get_mut(fd).unwrap().update(&[9, 9, 9, 9], &[1, 1, 1, 1]).unwrap();
+        maps.get_mut(fd)
+            .unwrap()
+            .update(&[9, 9, 9, 9], &[1, 1, 1, 1])
+            .unwrap();
         let mut b = ProgBuilder::new();
         b.st_imm(BPF_B, R10, -4, 9)
             .st_imm(BPF_B, R10, -3, 9)

@@ -90,6 +90,7 @@ struct PendingPassive {
 struct PumpTx {
     conn: u32,
 }
+flextoe_sim::custom_msg!(PumpTx);
 
 pub struct HostStackNode {
     pub kind: StackKind,
@@ -138,7 +139,12 @@ impl HostStackNode {
                 100_000_000_000, // Terminator T62100: 100 Gbps
                 Duration::from_us(2),
             ),
-            _ => (flextoe_sim::clocks::HOST_2GHZ, 1, 40_000_000_000, Duration::ZERO),
+            _ => (
+                flextoe_sim::clocks::HOST_2GHZ,
+                1,
+                40_000_000_000,
+                Duration::ZERO,
+            ),
         };
         HostStackNode {
             kind,
@@ -249,9 +255,8 @@ impl HostStackNode {
             spec.seq = seg.seq;
             spec.ack = seg.ack;
             spec.window = seg.window;
-            spec.flags = TcpFlags::ACK
-                | TcpFlags::PSH
-                | if seg.fin { TcpFlags::FIN } else { TcpFlags(0) };
+            spec.flags =
+                TcpFlags::ACK | TcpFlags::PSH | if seg.fin { TcpFlags::FIN } else { TcpFlags(0) };
             spec.options = TcpOptions {
                 timestamp: Some((now.as_us() as u32, seg.ts_echo)),
                 ..Default::default()
@@ -342,9 +347,8 @@ impl HostStackNode {
             return;
         }
 
-        let old_cwnd_acked;
         let out = proto::rx_segment(&mut c.ps, &sum);
-        old_cwnd_acked = out.acked_bytes;
+        let old_cwnd_acked = out.acked_bytes;
 
         // payload placement into the host receive buffer
         if let Some(p) = out.placement {
@@ -371,6 +375,7 @@ impl HostStackNode {
                 }
             }
             // flush side intervals reachable from the new rcv_nxt
+            #[allow(clippy::while_let_loop)]
             loop {
                 let Some(idx) = c
                     .extra
@@ -402,7 +407,11 @@ impl HostStackNode {
         if let Some(tsecr) = out.rtt_sample_ts {
             let rtt = (now.as_us() as u32).wrapping_sub(tsecr);
             if rtt < 1_000_000 {
-                c.srtt_us = if c.srtt_us == 0 { rtt } else { (c.srtt_us * 7 + rtt) / 8 };
+                c.srtt_us = if c.srtt_us == 0 {
+                    rtt
+                } else {
+                    (c.srtt_us * 7 + rtt) / 8
+                };
             }
         }
         let fast_retx = out.fast_retransmit;
@@ -424,10 +433,26 @@ impl HostStackNode {
             }
             drop(side);
             if delivered > 0 {
-                wake_app(ctx, c, d, SockEvent::Readable { conn: id, available: delivered });
+                wake_app(
+                    ctx,
+                    c,
+                    d,
+                    SockEvent::Readable {
+                        conn: id,
+                        available: delivered,
+                    },
+                );
             }
             if out.acked_bytes > 0 {
-                wake_app(ctx, c, d, SockEvent::Writable { conn: id, free: out.acked_bytes });
+                wake_app(
+                    ctx,
+                    c,
+                    d,
+                    SockEvent::Writable {
+                        conn: id,
+                        free: out.acked_bytes,
+                    },
+                );
             }
             if fin_delivered {
                 wake_app(ctx, c, d, SockEvent::Eof { conn: id });
@@ -457,7 +482,11 @@ impl HostStackNode {
         spec.seq = c.ps.seq;
         spec.ack = c.ps.ack;
         spec.window = proto::advertised_window(&c.ps);
-        spec.flags = if ece { TcpFlags::ACK | TcpFlags::ECE } else { TcpFlags::ACK };
+        spec.flags = if ece {
+            TcpFlags::ACK | TcpFlags::ECE
+        } else {
+            TcpFlags::ACK
+        };
         spec.options = TcpOptions {
             timestamp: Some((now_us, c.ps.next_ts)),
             ..Default::default()
@@ -469,6 +498,7 @@ impl HostStackNode {
 
     // ---- handshake --------------------------------------------------------------
 
+    #[allow(clippy::too_many_arguments)]
     fn install(
         &mut self,
         peer_ip: Ip4,
@@ -556,7 +586,13 @@ impl HostStackNode {
         if flags.syn() && !flags.ack() {
             if let Some(listener) = self.listeners.get(&view.dst_port) {
                 let iss = ctx.rng.next_u32();
-                self.passive.insert(tuple, PendingPassive { iss, port: view.dst_port });
+                self.passive.insert(
+                    tuple,
+                    PendingPassive {
+                        iss,
+                        port: view.dst_port,
+                    },
+                );
                 let _ = listener;
                 let mut spec = SegmentSpec {
                     src_mac: self.mac,
@@ -566,7 +602,10 @@ impl HostStackNode {
                     src_port: view.dst_port,
                     dst_port: view.src_port,
                     window: u16::MAX,
-                    options: TcpOptions { mss: Some(MSS as u16), ..Default::default() },
+                    options: TcpOptions {
+                        mss: Some(MSS as u16),
+                        ..Default::default()
+                    },
                     ..Default::default()
                 };
                 spec.seq = SeqNum(iss);
@@ -606,7 +645,15 @@ impl HostStackNode {
                     p.app,
                 );
                 let c = self.conns[id as usize].as_ref().unwrap();
-                wake_app(ctx, c, Duration::ZERO, SockEvent::Connected { conn: id, opaque: p.opaque });
+                wake_app(
+                    ctx,
+                    c,
+                    Duration::ZERO,
+                    SockEvent::Connected {
+                        conn: id,
+                        opaque: p.opaque,
+                    },
+                );
             }
             return;
         }
@@ -629,7 +676,11 @@ impl HostStackNode {
                     ctx,
                     c,
                     Duration::ZERO,
-                    SockEvent::Accepted { conn: id, port: pp.port, peer: (view.src_ip, view.src_port) },
+                    SockEvent::Accepted {
+                        conn: id,
+                        port: pp.port,
+                        peer: (view.src_ip, view.src_port),
+                    },
                 );
                 if view.payload_len > 0 || view.flags.fin() {
                     self.on_frame(ctx, frame); // replay: now an installed conn
@@ -725,12 +776,18 @@ impl HostStackNode {
 
 impl Node for HostStackNode {
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        let msg = match try_cast::<Frame>(msg) {
-            Ok(frame) => {
+        // hot paths first: typed variants match without the repack boxes
+        // the legacy try_cast chain below would pay
+        let msg = match msg {
+            Msg::Frame(frame) => {
                 self.on_frame(ctx, frame.0);
                 return;
             }
-            Err(m) => m,
+            Msg::Tick => {
+                self.rto_scan(ctx);
+                return;
+            }
+            m => m,
         };
         let msg = match try_cast::<HostSyscall>(msg) {
             Ok(s) => {
@@ -741,7 +798,13 @@ impl Node for HostStackNode {
         };
         let msg = match try_cast::<HostListen>(msg) {
             Ok(l) => {
-                self.listeners.insert(l.port, Listener { side: l.side, app: l.app });
+                self.listeners.insert(
+                    l.port,
+                    Listener {
+                        side: l.side,
+                        app: l.app,
+                    },
+                );
                 return;
             }
             Err(m) => m,
@@ -775,7 +838,10 @@ impl Node for HostStackNode {
                     src_port: local_port,
                     dst_port: c.port,
                     window: u16::MAX,
-                    options: TcpOptions { mss: Some(MSS as u16), ..Default::default() },
+                    options: TcpOptions {
+                        mss: Some(MSS as u16),
+                        ..Default::default()
+                    },
                     ..Default::default()
                 };
                 spec.seq = SeqNum(iss);
@@ -787,15 +853,8 @@ impl Node for HostStackNode {
             }
             Err(m) => m,
         };
-        let msg = match try_cast::<PumpTx>(msg) {
-            Ok(p) => {
-                self.pump_tx(ctx, p.conn);
-                return;
-            }
-            Err(m) => m,
-        };
-        let _ = flextoe_sim::cast::<Tick>(msg);
-        self.rto_scan(ctx);
+        let p = flextoe_sim::cast::<PumpTx>(msg);
+        self.pump_tx(ctx, p.conn);
     }
 
     fn name(&self) -> String {
@@ -880,15 +939,15 @@ mod tests {
 
     #[test]
     fn stack_kind_wiring() {
+        let n = HostStackNode::new(StackKind::Chelsio, MacAddr::local(1), Ip4::host(1), 0);
+        assert_eq!(n.mac_bps, 100_000_000_000, "Chelsio is a 100G NIC");
+        assert_eq!(n.nic_latency, Duration::from_us(2));
         let n = HostStackNode::new(
-            StackKind::Chelsio,
+            StackKind::FlexBaselineFpc,
             MacAddr::local(1),
             Ip4::host(1),
             0,
         );
-        assert_eq!(n.mac_bps, 100_000_000_000, "Chelsio is a 100G NIC");
-        assert_eq!(n.nic_latency, Duration::from_us(2));
-        let n = HostStackNode::new(StackKind::FlexBaselineFpc, MacAddr::local(1), Ip4::host(1), 0);
         assert_eq!(n.clock.hz(), 800_000_000);
     }
 }

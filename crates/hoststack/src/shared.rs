@@ -47,6 +47,7 @@ pub struct HostListen {
     pub side: SharedAppSide,
     pub app: NodeId,
 }
+flextoe_sim::custom_msg!(HostListen);
 
 pub struct HostConnect {
     pub ip: Ip4,
@@ -55,14 +56,17 @@ pub struct HostConnect {
     pub side: SharedAppSide,
     pub app: NodeId,
 }
+flextoe_sim::custom_msg!(HostConnect);
 
 /// "Syscall": descriptors are waiting in `to_stack`.
 pub struct HostSyscall {
     pub side: SharedAppSide,
 }
+flextoe_sim::custom_msg!(HostSyscall);
 
 /// Stack -> app: events are waiting (the baseline's epoll wakeup).
 pub struct HostWake;
+flextoe_sim::custom_msg!(HostWake);
 
 /// The [`StackApi`] implementation for the baseline stacks.
 pub struct HostSocketApi {
@@ -197,7 +201,8 @@ impl StackApi for HostSocketApi {
             let data = s.rx_buf.borrow().read_vec(s.rx_pos, n);
             s.rx_pos = s.rx_pos.wrapping_add(n);
             s.rx_ready -= n;
-            side.to_stack.push_back(AppToNic::RxConsumed { conn, len: n });
+            side.to_stack
+                .push_back(AppToNic::RxConsumed { conn, len: n });
             data
         };
         self.syscall(ctx);
@@ -216,7 +221,8 @@ impl StackApi for HostSocketApi {
             }
             s.rx_pos = s.rx_pos.wrapping_add(n);
             s.rx_ready -= n;
-            side.to_stack.push_back(AppToNic::RxConsumed { conn, len: n });
+            side.to_stack
+                .push_back(AppToNic::RxConsumed { conn, len: n });
             n
         };
         self.syscall(ctx);

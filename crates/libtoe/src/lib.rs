@@ -26,16 +26,33 @@ use flextoe_wire::Ip4;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SockEvent {
     /// A connection was accepted on a listening port.
-    Accepted { conn: u32, port: u16, peer: (Ip4, u16) },
+    Accepted {
+        conn: u32,
+        port: u16,
+        peer: (Ip4, u16),
+    },
     /// An active open completed.
-    Connected { conn: u32, opaque: u64 },
-    ConnectFailed { opaque: u64 },
+    Connected {
+        conn: u32,
+        opaque: u64,
+    },
+    ConnectFailed {
+        opaque: u64,
+    },
     /// New bytes are readable.
-    Readable { conn: u32, available: u32 },
+    Readable {
+        conn: u32,
+        available: u32,
+    },
     /// TX buffer space was freed (previously-blocked writes may proceed).
-    Writable { conn: u32, free: u32 },
+    Writable {
+        conn: u32,
+        free: u32,
+    },
     /// Peer closed its direction (EOF after draining readable bytes).
-    Eof { conn: u32 },
+    Eof {
+        conn: u32,
+    },
 }
 
 /// Per-socket bookkeeping (the application's view of the shared buffers).
@@ -84,7 +101,13 @@ pub struct LibToe {
 impl LibToe {
     /// Create a context and register it with the NIC's context-queue
     /// manager. `ctx_id` must be unique per NIC.
-    pub fn new(ctx: &mut Ctx<'_>, ctx_id: u16, nic: NicHandle, ctrl: NodeId, app: NodeId) -> LibToe {
+    pub fn new(
+        ctx: &mut Ctx<'_>,
+        ctx_id: u16,
+        nic: NicHandle,
+        ctrl: NodeId,
+        app: NodeId,
+    ) -> LibToe {
         let queue = shared_ctxq(4096);
         ctx.send(
             nic.ctxq,
@@ -381,8 +404,14 @@ mod tests {
     #[test]
     fn event_equality() {
         assert_eq!(
-            SockEvent::Readable { conn: 1, available: 5 },
-            SockEvent::Readable { conn: 1, available: 5 }
+            SockEvent::Readable {
+                conn: 1,
+                available: 5
+            },
+            SockEvent::Readable {
+                conn: 1,
+                available: 5
+            }
         );
         assert_ne!(SockEvent::Eof { conn: 1 }, SockEvent::Eof { conn: 2 });
     }

@@ -6,8 +6,7 @@
 //! packet losses in the network by randomly dropping packets … with a
 //! fixed probability" — that is this node.
 
-use flextoe_sim::{cast, Ctx, Duration, Msg, Node, NodeId};
-use flextoe_wire::Frame;
+use flextoe_sim::{Ctx, Duration, Msg, Node, NodeId};
 
 #[derive(Clone, Copy, Debug)]
 pub struct Faults {
@@ -60,7 +59,9 @@ impl Link {
 
 impl Node for Link {
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        let mut frame = cast::<Frame>(msg);
+        let Msg::Frame(mut frame) = msg else {
+            panic!("link: unexpected message {}", msg.variant_name())
+        };
         if let Some(limit) = self.faults.size_limit {
             if frame.len() > limit {
                 self.dropped += 1;
@@ -81,7 +82,7 @@ impl Node for Link {
             ctx.stats.bump("link.corrupted", 1);
         }
         self.forwarded += 1;
-        ctx.send_boxed(self.to, self.propagation, frame);
+        ctx.send(self.to, self.propagation, frame);
     }
 
     fn name(&self) -> String {
@@ -93,13 +94,14 @@ impl Node for Link {
 mod tests {
     use super::*;
     use flextoe_sim::{Sim, Time};
+    use flextoe_wire::Frame;
 
     struct Probe {
         frames: Vec<(u64, Vec<u8>)>,
     }
     impl Node for Probe {
         fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-            let f = cast::<Frame>(msg);
+            let f = flextoe_sim::cast::<Frame>(msg);
             self.frames.push((ctx.now().as_ns(), f.0));
         }
     }

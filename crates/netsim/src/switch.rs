@@ -10,7 +10,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use flextoe_sim::{cast, try_cast, Ctx, Duration, Msg, Node, NodeId};
+use flextoe_sim::{Ctx, Duration, Msg, Node, NodeId};
 use flextoe_wire::{Ecn, EthFrame, Frame, Ipv4Packet, MacAddr, ETH_HDR_LEN};
 
 #[derive(Clone, Copy, Debug)]
@@ -56,9 +56,6 @@ struct Port {
     pub drops: u64,
     pub ecn_marked: u64,
 }
-
-/// Egress-complete self message.
-struct PortDone(usize);
 
 pub struct Switch {
     ports: Vec<Port>,
@@ -123,8 +120,9 @@ impl Switch {
         p.transmitting = true;
         p.tx_frames += 1;
         let d = Self::serialize(&p.cfg, frame.len());
-        ctx.send_boxed(p.to, d, Box::new(frame));
-        ctx.wake(d, PortDone(port));
+        ctx.send(p.to, d, frame);
+        // self-wake token: serialization on `port` finished
+        ctx.wake(d, port as u64);
     }
 
     fn enqueue(&mut self, ctx: &mut Ctx<'_>, port: usize, mut frame: Frame) {
@@ -151,11 +149,9 @@ impl Switch {
         }
         // DCTCP step marking: CE above K, for ECN-capable packets
         if let Some(k) = p.cfg.ecn_threshold {
-            if p.queue_bytes > k {
-                if mark_ce(&mut frame.0) {
-                    p.ecn_marked += 1;
-                    ctx.stats.bump("switch.ecn_marked", 1);
-                }
+            if p.queue_bytes > k && mark_ce(&mut frame.0) {
+                p.ecn_marked += 1;
+                ctx.stats.bump("switch.ecn_marked", 1);
             }
         }
         p.queue_bytes += len;
@@ -192,15 +188,15 @@ fn mark_ce(frame: &mut [u8]) -> bool {
 
 impl Node for Switch {
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        let msg = match try_cast::<PortDone>(msg) {
-            Ok(done) => {
-                self.ports[done.0].transmitting = false;
-                self.start_tx(ctx, done.0);
+        let frame = match msg {
+            Msg::Token(port) => {
+                self.ports[port as usize].transmitting = false;
+                self.start_tx(ctx, port as usize);
                 return;
             }
-            Err(m) => m,
+            Msg::Frame(frame) => frame,
+            m => panic!("switch: unexpected message {}", m.variant_name()),
         };
-        let frame = cast::<Frame>(msg);
         let Ok(eth) = EthFrame::new_checked(frame.bytes()) else {
             return;
         };
@@ -212,7 +208,7 @@ impl Node for Switch {
                 // the wire instead: enqueue now, the egress serialization
                 // dominates. (The 500ns forwarding latency is added by the
                 // adjacent links in topology builders.)
-                self.enqueue(ctx, port, *frame);
+                self.enqueue(ctx, port, frame);
             }
             None => {
                 self.flooded += 1;
@@ -237,7 +233,7 @@ mod tests {
     }
     impl Node for Probe {
         fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-            let f = cast::<Frame>(msg);
+            let f = flextoe_sim::cast::<Frame>(msg);
             self.frames.push((ctx.now().as_ns(), f.0));
         }
     }

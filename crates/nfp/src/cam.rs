@@ -126,7 +126,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             }
             return None;
         }
-        let evicted = if self.map.len() >= self.cap {
+        if self.map.len() >= self.cap {
             let victim = self.tail;
             self.unlink(victim);
             let old_key = self.entries[victim].key.clone();
@@ -144,7 +144,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             );
             self.map.insert(key, victim);
             self.push_front(victim);
-            return Some((old.key, old.val));
+            Some((old.key, old.val))
         } else {
             let idx = self.entries.len();
             self.entries.push(Entry {
@@ -156,8 +156,7 @@ impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
             self.map.insert(key, idx);
             self.push_front(idx);
             None
-        };
-        evicted
+        }
     }
 
     pub fn remove(&mut self, key: &K) -> Option<V>
@@ -341,6 +340,10 @@ mod tests {
                 }
             }
         }
-        assert_eq!(miss, 4 * 1024, "cyclic scan over 2x capacity must thrash LRU");
+        assert_eq!(
+            miss,
+            4 * 1024,
+            "cyclic scan over 2x capacity must thrash LRU"
+        );
     }
 }

@@ -6,10 +6,18 @@
 //! buffers) when the completion message arrives, which matches the real
 //! ordering constraint in §3.1.3 — notifications must not overtake payload
 //! DMA completion.
+//!
+//! Requests arrive as typed [`Msg::Xfer`] messages carrying a `u64`
+//! continuation token; completions return as [`Msg::XferDone`] — both
+//! allocation-free. Requesters keep their continuation state in their own
+//! pending tables (usually the work-pool slot index doubles as the token).
+//!
+//! On the x86/BlueField ports there is no DMA engine: payload is copied
+//! through shared memory on the stage's own core (§E).
 
 use std::collections::VecDeque;
 
-use flextoe_sim::{cast, Ctx, Duration, Msg, Node, NodeId, Time};
+use flextoe_sim::{Ctx, Duration, Msg, Node, Time, XferDone, XferReq};
 
 use crate::params::PcieParams;
 
@@ -22,19 +30,21 @@ pub enum DmaDir {
     NicToHost,
 }
 
-/// Request message: on completion, `token` is sent back to `reply_to`.
-pub struct DmaReq {
-    pub bytes: usize,
-    pub dir: DmaDir,
-    pub reply_to: NodeId,
-    pub token: Msg,
+impl DmaDir {
+    /// The `write` flag of the corresponding [`XferReq`].
+    pub fn is_write(self) -> bool {
+        matches!(self, DmaDir::NicToHost)
+    }
 }
 
-/// Internal completion marker carrying the continuation (completions are
-/// NOT FIFO: reads and writes have different latencies).
-struct DmaDone {
-    to: NodeId,
-    token: Msg,
+/// Build a typed transfer request for the engine.
+pub fn dma_req(bytes: usize, dir: DmaDir, reply_to: flextoe_sim::NodeId, token: u64) -> XferReq {
+    XferReq {
+        bytes: bytes as u32,
+        write: dir.is_write(),
+        reply_to,
+        token,
+    }
 }
 
 pub struct DmaEngine {
@@ -42,7 +52,7 @@ pub struct DmaEngine {
     /// When the shared PCIe data link frees up.
     link_free: Time,
     inflight: usize,
-    pending: VecDeque<DmaReq>,
+    pending: VecDeque<XferReq>,
     pub completed: u64,
     pub bytes_moved: u64,
 }
@@ -67,14 +77,15 @@ impl DmaEngine {
         )
     }
 
-    fn admit(&mut self, ctx: &mut Ctx<'_>, req: DmaReq) {
+    fn admit(&mut self, ctx: &mut Ctx<'_>, req: XferReq) {
         let now = ctx.now();
         let start = self.link_free.max(now);
-        let xfer_end = start + self.xfer_time(req.bytes);
+        let xfer_end = start + self.xfer_time(req.bytes as usize);
         self.link_free = xfer_end;
-        let latency = match req.dir {
-            DmaDir::HostToNic => self.pcie.read_latency,
-            DmaDir::NicToHost => self.pcie.write_latency,
+        let latency = if req.write {
+            self.pcie.write_latency
+        } else {
+            self.pcie.read_latency
         };
         let done = xfer_end + latency;
         self.inflight += 1;
@@ -82,9 +93,9 @@ impl DmaEngine {
         ctx.send_at(
             ctx.self_id(),
             done,
-            DmaDone {
-                to: req.reply_to,
+            XferDone {
                 token: req.token,
+                to: req.reply_to,
             },
         );
     }
@@ -92,25 +103,25 @@ impl DmaEngine {
 
 impl Node for DmaEngine {
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        match flextoe_sim::try_cast::<DmaReq>(msg) {
-            Ok(req) => {
+        match msg {
+            Msg::Xfer(req) => {
                 if self.inflight >= self.pcie.max_inflight {
-                    self.pending.push_back(*req);
+                    self.pending.push_back(req);
                 } else {
-                    self.admit(ctx, *req);
+                    self.admit(ctx, req);
                 }
             }
-            Err(msg) => {
-                let done = cast::<DmaDone>(msg);
+            Msg::XferDone(done) => {
                 self.inflight -= 1;
                 self.completed += 1;
-                ctx.send_boxed(done.to, Duration::ZERO, done.token);
+                ctx.send(done.to, Duration::ZERO, done);
                 if self.inflight < self.pcie.max_inflight {
                     if let Some(req) = self.pending.pop_front() {
                         self.admit(ctx, req);
                     }
                 }
             }
+            m => panic!("dma-engine: unexpected message {}", m.variant_name()),
         }
     }
 
@@ -123,14 +134,17 @@ impl Node for DmaEngine {
 mod tests {
     use super::*;
     use crate::params::agilio_cx40;
-    use flextoe_sim::Sim;
+    use flextoe_sim::{NodeId, Sim};
 
     struct Sink {
-        tokens: Vec<(u64, u32)>, // (arrival ns, token value)
+        tokens: Vec<(u64, u64)>, // (arrival ns, token value)
     }
     impl Node for Sink {
         fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-            self.tokens.push((ctx.now().as_ns(), *cast::<u32>(msg)));
+            let Msg::XferDone(done) = msg else {
+                panic!("expected completion")
+            };
+            self.tokens.push((ctx.now().as_ns(), done.token));
         }
     }
 
@@ -144,16 +158,7 @@ mod tests {
     #[test]
     fn single_read_latency() {
         let (mut sim, dma, sink) = setup();
-        sim.schedule(
-            Time::ZERO,
-            dma,
-            DmaReq {
-                bytes: 1448,
-                dir: DmaDir::HostToNic,
-                reply_to: sink,
-                token: Box::new(7u32),
-            },
-        );
+        sim.schedule(Time::ZERO, dma, dma_req(1448, DmaDir::HostToNic, sink, 7));
         sim.run();
         let t = sim.node_ref::<Sink>(sink).tokens[0];
         // xfer 1448B @ 7.88GB/s ≈ 183.7ns + 900ns read latency
@@ -164,25 +169,11 @@ mod tests {
     #[test]
     fn write_is_cheaper_than_read() {
         let (mut sim, dma, sink) = setup();
-        sim.schedule(
-            Time::ZERO,
-            dma,
-            DmaReq {
-                bytes: 64,
-                dir: DmaDir::NicToHost,
-                reply_to: sink,
-                token: Box::new(1u32),
-            },
-        );
+        sim.schedule(Time::ZERO, dma, dma_req(64, DmaDir::NicToHost, sink, 1));
         sim.schedule(
             Time::from_us(10),
             dma,
-            DmaReq {
-                bytes: 64,
-                dir: DmaDir::HostToNic,
-                reply_to: sink,
-                token: Box::new(2u32),
-            },
+            dma_req(64, DmaDir::HostToNic, sink, 2),
         );
         sim.run();
         let toks = &sim.node_ref::<Sink>(sink).tokens;
@@ -194,17 +185,8 @@ mod tests {
     #[test]
     fn transactions_serialize_on_link_bandwidth() {
         let (mut sim, dma, sink) = setup();
-        for i in 0..10u32 {
-            sim.schedule(
-                Time::ZERO,
-                dma,
-                DmaReq {
-                    bytes: 16_384,
-                    dir: DmaDir::NicToHost,
-                    reply_to: sink,
-                    token: Box::new(i),
-                },
-            );
+        for i in 0..10u64 {
+            sim.schedule(Time::ZERO, dma, dma_req(16_384, DmaDir::NicToHost, sink, i));
         }
         sim.run();
         let toks = &sim.node_ref::<Sink>(sink).tokens;
@@ -213,7 +195,7 @@ mod tests {
         // must be at least that far out (latency pipelines across xfers).
         assert!(toks[9].0 >= 20_700, "last {}ns", toks[9].0);
         // FIFO completion order
-        let vals: Vec<u32> = toks.iter().map(|t| t.1).collect();
+        let vals: Vec<u64> = toks.iter().map(|t| t.1).collect();
         assert_eq!(vals, (0..10).collect::<Vec<_>>());
     }
 
@@ -224,17 +206,8 @@ mod tests {
         let mut sim = Sim::new(1);
         let sink = sim.add_node(Sink { tokens: vec![] });
         let dma = sim.add_node(DmaEngine::new(pcie));
-        for i in 0..5u32 {
-            sim.schedule(
-                Time::ZERO,
-                dma,
-                DmaReq {
-                    bytes: 4096,
-                    dir: DmaDir::HostToNic,
-                    reply_to: sink,
-                    token: Box::new(i),
-                },
-            );
+        for i in 0..5u64 {
+            sim.schedule(Time::ZERO, dma, dma_req(4096, DmaDir::HostToNic, sink, i));
         }
         sim.run();
         let eng = sim.node_ref::<DmaEngine>(dma);

@@ -19,11 +19,11 @@ pub mod memory;
 pub mod params;
 
 pub use cam::{DirectMapped, LruCache};
-pub use dma::{DmaDir, DmaEngine, DmaReq};
+pub use dma::{dma_req, DmaDir, DmaEngine};
 pub use fpc::{Cost, FpcTimer};
 pub use lookup::{ConnDb, LookupCache};
 pub use mac::{MacPort, MacTx};
-pub use memory::{ConnStateCache, StateHit};
+pub use memory::{ConnStateCache, PktBufPool, StateHit};
 pub use params::{
     agilio_cx40, agilio_lx, bluefield_port, host_xeon, x86_port, MemLatencies, MemLevel,
     PcieParams, Platform,

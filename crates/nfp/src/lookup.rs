@@ -60,7 +60,10 @@ impl ConnDb {
     /// Lookup via the IMEM lookup engine: costs one IMEM access.
     pub fn lookup_engine(&mut self, tuple: &FourTuple) -> (Option<u32>, Cost) {
         self.lookups += 1;
-        (self.table.get(tuple).copied(), Cost::new(4, self.imem_cycles))
+        (
+            self.table.get(tuple).copied(),
+            Cost::new(4, self.imem_cycles),
+        )
     }
 }
 

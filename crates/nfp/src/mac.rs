@@ -5,16 +5,18 @@
 //! small fixed NBI latency. "After DMA completes, it issues the segment to
 //! the NBI (TX), which transmits and frees it" (§3.1.2).
 
-use flextoe_sim::{try_cast, BoundedQueue, Ctx, Duration, Msg, Node, NodeId, Time};
+use flextoe_sim::{BoundedQueue, Ctx, Duration, Msg, Node, NodeId, Time};
 use flextoe_wire::Frame;
 
-/// A frame submitted by the data-path for transmission.
-pub struct MacTx(pub Frame);
+/// A frame submitted by the data-path for transmission (re-exported from
+/// the engine's typed message vocabulary).
+pub use flextoe_sim::MacTx;
 
 /// Ingress handoff latency (NBI packet-buffer to first pipeline stage).
 const NBI_INGRESS_LATENCY: Duration = Duration::from_ns(120);
 
-struct TxDone;
+/// Self-wake token: current egress serialization finished.
+const TOK_TX_DONE: u64 = 0;
 
 pub struct MacPort {
     bps: u64,
@@ -65,35 +67,31 @@ impl MacPort {
         self.egress_free = ctx.now() + d;
         // The frame "appears on the wire" when serialization completes.
         ctx.send(self.wire_out, d, frame);
-        ctx.wake(d, TxDone);
+        ctx.wake(d, TOK_TX_DONE);
     }
 }
 
 impl Node for MacPort {
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        let msg = match try_cast::<MacTx>(msg) {
-            Ok(tx) => {
+        match msg {
+            Msg::MacTx(tx) => {
                 if !self.egress_q.push_or_drop(tx.0) {
                     ctx.stats.bump("mac.tx_drops", 1);
                 }
                 self.start_tx(ctx);
-                return;
             }
-            Err(m) => m,
-        };
-        let msg = match try_cast::<TxDone>(msg) {
-            Ok(_) => {
+            Msg::Token(TOK_TX_DONE) => {
                 self.transmitting = false;
                 self.start_tx(ctx);
-                return;
             }
-            Err(m) => m,
-        };
-        // anything else is an ingress frame from the wire
-        let frame = flextoe_sim::cast::<Frame>(msg);
-        self.rx_frames += 1;
-        self.rx_bytes += frame.len() as u64;
-        ctx.send_boxed(self.rx_to, NBI_INGRESS_LATENCY, frame);
+            Msg::Frame(frame) => {
+                // ingress frame from the wire
+                self.rx_frames += 1;
+                self.rx_bytes += frame.len() as u64;
+                ctx.send(self.rx_to, NBI_INGRESS_LATENCY, frame);
+            }
+            m => panic!("mac-port: unexpected message {}", m.variant_name()),
+        }
     }
 
     fn name(&self) -> String {
@@ -159,7 +157,12 @@ mod tests {
             sim.schedule(Time::ZERO, mac, MacTx(Frame(vec![0; len])));
         }
         sim.run();
-        let lens: Vec<usize> = sim.node_ref::<Probe>(wire).frames.iter().map(|f| f.1).collect();
+        let lens: Vec<usize> = sim
+            .node_ref::<Probe>(wire)
+            .frames
+            .iter()
+            .map(|f| f.1)
+            .collect();
         assert_eq!(lens, vec![100, 200, 300]);
     }
 }

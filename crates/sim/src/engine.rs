@@ -10,6 +10,26 @@
 //! buffers, context queues, NIC memories) is shared via `Rc<RefCell<…>>`
 //! outside the engine, mirroring the real system's shared-memory design,
 //! with *access costs* charged through the hardware model.
+//!
+//! # Messages
+//!
+//! [`Msg`] is an enum whose variants cover the data-path's hot message
+//! vocabulary — raw frames, MAC egress submissions, pooled pipeline work
+//! tokens, DMA transfer requests/completions, scheduler and context-queue
+//! tokens — so the per-event fast path never touches the heap. Everything
+//! else (control-plane requests, application messages, test fixtures)
+//! rides in [`Msg::Custom`], a type-erased box with exactly the semantics
+//! the engine had before the typed core: [`cast`] / [`try_cast`] keep
+//! working for every message type, typed variants included.
+//!
+//! # Scheduling
+//!
+//! The default event queue is a bucketed event wheel (calendar queue,
+//! [`crate::wheel`]) with a binary-heap overflow for far-future timers;
+//! [`Sim::with_reference_queue`] selects the plain `BinaryHeap` reference
+//! scheduler instead. Both deliver the exact same total order —
+//! `(time, enqueue seq)` — which the integration suite proves by
+//! differential testing.
 
 use std::any::Any;
 use std::cmp::Ordering;
@@ -18,29 +38,261 @@ use std::collections::BinaryHeap;
 use crate::rng::Rng;
 use crate::stats::Stats;
 use crate::time::{Duration, Time};
+use crate::wheel::EventWheel;
+use flextoe_wire::Frame;
 
 /// Identifies a node within one simulation.
 pub type NodeId = usize;
 
-/// A type-erased message. Receivers downcast with [`cast`] / [`try_cast`].
-pub type Msg = Box<dyn Any>;
+// ---- typed message vocabulary -------------------------------------------
+
+/// A pooled pipeline work item: a slot in the owning NIC's work pool plus
+/// the pipeline entry sequence number (`None` until the sequencer assigns
+/// one). The engine never looks inside the pool — stages of one NIC share
+/// it outside the message, exactly like the real system's NIC memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WorkToken {
+    pub slot: u32,
+    pub entry_seq: Option<u64>,
+}
+
+/// A frame submitted by the data-path to a MAC block for egress.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MacTx(pub Frame);
+
+/// A finished frame travelling to the sequencer for NBI admission (§3.2
+/// of the paper): restored to protocol-emission order per flow group.
+#[derive(Clone, Debug)]
+pub struct NbiFrame {
+    pub group: u32,
+    pub nbi_seq: u64,
+    pub frame: Frame,
+}
+
+/// An asynchronous transfer request to an engine node (the PCIe DMA
+/// block). On completion the engine sends [`Msg::XferDone`] carrying
+/// `token` back to `reply_to`; the token is an index the requester
+/// interprets against its own pending table (no allocation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct XferReq {
+    pub bytes: u32,
+    /// Direction: true = device writes host memory, false = reads it.
+    pub write: bool,
+    pub reply_to: NodeId,
+    pub token: u64,
+}
+
+/// Completion of an [`XferReq`]. `to` is the requester the engine routes
+/// the completion to (receivers can ignore it).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct XferDone {
+    pub token: u64,
+    pub to: NodeId,
+}
+
+/// Flow-scheduler feedback: the authoritative sendable-byte count for a
+/// connection after the protocol stage ran.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FsUpdate {
+    pub conn: u32,
+    pub sendable: u32,
+}
+
+/// MMIO doorbell to the context-queue stage.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Doorbell {
+    pub ctx: u16,
+}
+
+/// Return one HC descriptor credit to the context-queue stage pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FreeDesc;
+
+/// A generic unit tick message for self-scheduled polling loops.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tick;
+
+/// A simulation message. Hot data-path messages are inline enum payloads
+/// (no heap allocation per event); everything else is `Custom`.
+#[derive(Debug)]
+pub enum Msg {
+    /// Generic tick for self-scheduled polling loops.
+    Tick,
+    /// A raw Ethernet frame on the wire / NBI ingress.
+    Frame(Frame),
+    /// A frame handed to a MAC block for egress.
+    MacTx(MacTx),
+    /// A pooled pipeline work item travelling between data-path stages.
+    Work(WorkToken),
+    /// A pipeline entry sequence number that left the pipeline early
+    /// (dropped / redirected) — the sequencer's reorderer skips it.
+    Skip(u64),
+    /// A finished frame for NBI admission.
+    Nbi(NbiFrame),
+    /// Asynchronous transfer request (PCIe DMA).
+    Xfer(XferReq),
+    /// Transfer completion token, routed back to the requester.
+    XferDone(XferDone),
+    /// A small scalar token (self-wake markers, port ids, …).
+    Token(u64),
+    /// Flow-scheduler sendable update.
+    FsUpdate(FsUpdate),
+    /// Context-queue doorbell.
+    Doorbell(Doorbell),
+    /// Context-queue descriptor credit return.
+    FreeDesc,
+    /// Anything else: control-plane, application and test messages.
+    Custom(Box<dyn Any>),
+}
+
+impl Msg {
+    /// Wrap an arbitrary value as a custom (type-erased) message.
+    pub fn custom<T: Any>(value: T) -> Msg {
+        Msg::Custom(Box::new(value))
+    }
+
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            Msg::Tick => "Tick",
+            Msg::Frame(_) => "Frame",
+            Msg::MacTx(_) => "MacTx",
+            Msg::Work(_) => "Work",
+            Msg::Skip(_) => "Skip",
+            Msg::Nbi(_) => "Nbi",
+            Msg::Xfer(_) => "Xfer",
+            Msg::XferDone(_) => "XferDone",
+            Msg::Token(_) => "Token",
+            Msg::FsUpdate(_) => "FsUpdate",
+            Msg::Doorbell(_) => "Doorbell",
+            Msg::FreeDesc => "FreeDesc",
+            Msg::Custom(_) => "Custom",
+        }
+    }
+}
+
+/// Conversion of a concrete message value into [`Msg`]. Hot data-path
+/// types map to inline variants; custom message types opt in with
+/// [`crate::custom_msg!`], which wraps them in [`Msg::Custom`].
+pub trait IntoMsg {
+    fn into_msg(self) -> Msg;
+}
+
+impl IntoMsg for Msg {
+    #[inline]
+    fn into_msg(self) -> Msg {
+        self
+    }
+}
+
+macro_rules! inline_msg {
+    ($($ty:ident => $variant:ident),* $(,)?) => {
+        $(impl IntoMsg for $ty {
+            #[inline]
+            fn into_msg(self) -> Msg {
+                Msg::$variant(self)
+            }
+        })*
+    };
+}
+
+inline_msg!(
+    Frame => Frame,
+    MacTx => MacTx,
+    WorkToken => Work,
+    NbiFrame => Nbi,
+    XferReq => Xfer,
+    XferDone => XferDone,
+    FsUpdate => FsUpdate,
+    Doorbell => Doorbell,
+);
+
+impl IntoMsg for Tick {
+    #[inline]
+    fn into_msg(self) -> Msg {
+        Msg::Tick
+    }
+}
+
+impl IntoMsg for FreeDesc {
+    #[inline]
+    fn into_msg(self) -> Msg {
+        Msg::FreeDesc
+    }
+}
+
+impl IntoMsg for u64 {
+    #[inline]
+    fn into_msg(self) -> Msg {
+        Msg::Token(self)
+    }
+}
+
+/// Register custom message types: generates [`IntoMsg`] impls that route
+/// the value through [`Msg::Custom`]. Use in the crate that owns the type.
+#[macro_export]
+macro_rules! custom_msg {
+    ($($ty:ty),* $(,)?) => {
+        $(impl $crate::IntoMsg for $ty {
+            #[inline]
+            fn into_msg(self) -> $crate::Msg {
+                $crate::Msg::Custom(Box::new(self))
+            }
+        })*
+    };
+}
+
+// u32 is the conventional scalar payload in unit tests.
+custom_msg!(u32);
+
+/// Compatibility downcast helper: re-box a typed variant's payload so a
+/// `cast::<T>` / `try_cast::<T>` written against the old fully-type-erased
+/// engine still observes the same types. Costs an allocation, so hot
+/// receivers match on [`Msg`] directly instead.
+fn repack<T: 'static, U: Any>(value: U, back: impl FnOnce(U) -> Msg) -> Result<Box<T>, Msg> {
+    let boxed: Box<dyn Any> = Box::new(value);
+    boxed
+        .downcast::<T>()
+        .map_err(|b| back(*b.downcast::<U>().expect("repack round-trip")))
+}
+
+/// Downcast a message, returning it back on mismatch.
+///
+/// Typed variants still downcast to their payload type (`Tick`, `Frame`,
+/// `MacTx`, …) so dispatch chains written before the typed core behave
+/// identically — at the cost of a compatibility re-box. Hot receivers
+/// should match on [`Msg`] directly.
+pub fn try_cast<T: 'static>(msg: Msg) -> Result<Box<T>, Msg> {
+    match msg {
+        Msg::Custom(b) => b.downcast::<T>().map_err(Msg::Custom),
+        Msg::Tick => repack(Tick, |_| Msg::Tick),
+        Msg::Frame(f) => repack(f, Msg::Frame),
+        Msg::MacTx(m) => repack(m, Msg::MacTx),
+        Msg::Work(w) => repack(w, Msg::Work),
+        Msg::Nbi(n) => repack(n, Msg::Nbi),
+        Msg::Xfer(x) => repack(x, Msg::Xfer),
+        Msg::XferDone(x) => repack(x, Msg::XferDone),
+        Msg::Token(t) => repack(t, Msg::Token),
+        Msg::FsUpdate(f) => repack(f, Msg::FsUpdate),
+        Msg::Doorbell(d) => repack(d, Msg::Doorbell),
+        Msg::FreeDesc => repack(FreeDesc, |_| Msg::FreeDesc),
+        Msg::Skip(s) => Err(Msg::Skip(s)),
+    }
+}
 
 /// Downcast a message to a concrete type, panicking with a useful message
 /// on mismatch (a mismatch is always a wiring bug, never a runtime input).
 pub fn cast<T: 'static>(msg: Msg) -> Box<T> {
-    msg.downcast::<T>().unwrap_or_else(|m| {
+    let variant = msg.variant_name();
+    try_cast::<T>(msg).unwrap_or_else(|m| {
         panic!(
-            "message type mismatch: expected {}, got {:?}",
+            "message type mismatch: expected {}, got {variant} variant ({:?})",
             std::any::type_name::<T>(),
-            (*m).type_id()
+            m.variant_name(),
         )
     })
 }
 
-/// Downcast a message, returning it back on mismatch.
-pub fn try_cast<T: 'static>(msg: Msg) -> Result<Box<T>, Msg> {
-    msg.downcast::<T>()
-}
+// ---- nodes and delivery context -----------------------------------------
 
 /// A simulation actor.
 ///
@@ -56,12 +308,15 @@ pub trait Node: Any {
     }
 }
 
-/// Per-delivery context handed to a node. Outgoing sends are buffered and
-/// committed to the event queue when the handler returns.
+/// Per-delivery context handed to a node. Outgoing sends are pushed
+/// straight into the event queue (enqueue order — and therefore the FIFO
+/// tie-break — is the order of the `send` calls, exactly as with the old
+/// commit-on-return buffer, but without the extra copy).
 pub struct Ctx<'a> {
     now: Time,
     self_id: NodeId,
-    out: &'a mut Vec<(Time, NodeId, Msg)>,
+    queue: &'a mut Queue,
+    seq: &'a mut u64,
     pub rng: &'a mut Rng,
     pub stats: &'a mut Stats,
     halt: &'a mut bool,
@@ -77,28 +332,36 @@ impl<'a> Ctx<'a> {
         self.self_id
     }
 
-    /// Send `msg` to node `to`, arriving `delay` from now.
     #[inline]
-    pub fn send<M: Any>(&mut self, to: NodeId, delay: Duration, msg: M) {
-        self.out.push((self.now + delay, to, Box::new(msg)));
+    fn push(&mut self, time: Time, to: NodeId, msg: Msg) {
+        let seq = *self.seq;
+        *self.seq += 1;
+        self.queue.push(Ev { time, seq, to, msg });
     }
 
-    /// Send an already-boxed message.
+    /// Send `msg` to node `to`, arriving `delay` from now.
+    #[inline]
+    pub fn send<M: IntoMsg>(&mut self, to: NodeId, delay: Duration, msg: M) {
+        self.push(self.now + delay, to, msg.into_msg());
+    }
+
+    /// Send an already-converted message (kept for call sites that build
+    /// a [`Msg`] up front).
     #[inline]
     pub fn send_boxed(&mut self, to: NodeId, delay: Duration, msg: Msg) {
-        self.out.push((self.now + delay, to, msg));
+        self.push(self.now + delay, to, msg);
     }
 
     /// Send `msg` to node `to` at an absolute instant (>= now).
     #[inline]
-    pub fn send_at<M: Any>(&mut self, to: NodeId, at: Time, msg: M) {
+    pub fn send_at<M: IntoMsg>(&mut self, to: NodeId, at: Time, msg: M) {
         debug_assert!(at >= self.now, "scheduling into the past");
-        self.out.push((at.max(self.now), to, Box::new(msg)));
+        self.push(at.max(self.now), to, msg.into_msg());
     }
 
     /// Schedule a message to self.
     #[inline]
-    pub fn wake<M: Any>(&mut self, delay: Duration, msg: M) {
+    pub fn wake<M: IntoMsg>(&mut self, delay: Duration, msg: M) {
         let id = self.self_id;
         self.send(id, delay, msg);
     }
@@ -110,11 +373,13 @@ impl<'a> Ctx<'a> {
     }
 }
 
-struct Ev {
-    time: Time,
-    seq: u64,
-    to: NodeId,
-    msg: Msg,
+// ---- the event queue -----------------------------------------------------
+
+pub(crate) struct Ev {
+    pub(crate) time: Time,
+    pub(crate) seq: u64,
+    pub(crate) to: NodeId,
+    pub(crate) msg: Msg,
 }
 
 impl PartialEq for Ev {
@@ -138,33 +403,91 @@ impl Ord for Ev {
     }
 }
 
+/// Which event-queue implementation a [`Sim`] runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QueueKind {
+    /// Bucketed event wheel (calendar queue) — the default.
+    Wheel,
+    /// Plain `BinaryHeap` — the reference scheduler, kept for
+    /// differential ordering tests and benchmarking.
+    Heap,
+}
+
+enum Queue {
+    Wheel(EventWheel),
+    Heap(BinaryHeap<Ev>),
+}
+
+impl Queue {
+    #[inline]
+    fn push(&mut self, ev: Ev) {
+        match self {
+            Queue::Wheel(w) => w.push(ev),
+            Queue::Heap(h) => h.push(ev),
+        }
+    }
+
+    #[inline]
+    fn pop(&mut self) -> Option<Ev> {
+        match self {
+            Queue::Wheel(w) => w.pop(),
+            Queue::Heap(h) => h.pop(),
+        }
+    }
+
+    fn next_time(&self) -> Option<Time> {
+        match self {
+            Queue::Wheel(w) => w.next_time(),
+            Queue::Heap(h) => h.peek().map(|e| e.time),
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Queue::Wheel(w) => w.len(),
+            Queue::Heap(h) => h.len(),
+        }
+    }
+}
+
 /// The simulation: event queue + nodes + global RNG and statistics.
 pub struct Sim {
     time: Time,
     seq: u64,
-    queue: BinaryHeap<Ev>,
+    queue: Queue,
     nodes: Vec<Option<Box<dyn Node>>>,
     node_names: Vec<String>,
     pub rng: Rng,
     pub stats: Stats,
     events_processed: u64,
     halt: bool,
-    out_buf: Vec<(Time, NodeId, Msg)>,
 }
 
 impl Sim {
+    /// New simulation on the default (event wheel) scheduler.
     pub fn new(seed: u64) -> Sim {
+        Sim::with_queue(seed, QueueKind::Wheel)
+    }
+
+    /// New simulation on the reference `BinaryHeap` scheduler.
+    pub fn with_reference_queue(seed: u64) -> Sim {
+        Sim::with_queue(seed, QueueKind::Heap)
+    }
+
+    pub fn with_queue(seed: u64, kind: QueueKind) -> Sim {
         Sim {
             time: Time::ZERO,
             seq: 0,
-            queue: BinaryHeap::new(),
+            queue: match kind {
+                QueueKind::Wheel => Queue::Wheel(EventWheel::new()),
+                QueueKind::Heap => Queue::Heap(BinaryHeap::new()),
+            },
             nodes: Vec::new(),
             node_names: Vec::new(),
             rng: Rng::new(seed),
             stats: Stats::new(),
             events_processed: 0,
             halt: false,
-            out_buf: Vec::new(),
         }
     }
 
@@ -174,6 +497,11 @@ impl Sim {
 
     pub fn events_processed(&self) -> u64 {
         self.events_processed
+    }
+
+    /// Events currently queued (diagnostics).
+    pub fn events_pending(&self) -> usize {
+        self.queue.len()
     }
 
     /// Add a node; returns its id.
@@ -225,12 +553,12 @@ impl Sim {
     }
 
     /// Schedule a message from outside any handler (experiment kick-off).
-    pub fn schedule<M: Any>(&mut self, at: Time, to: NodeId, msg: M) {
-        self.push(at.max(self.time), to, Box::new(msg));
+    pub fn schedule<M: IntoMsg>(&mut self, at: Time, to: NodeId, msg: M) {
+        self.push(at.max(self.time), to, msg.into_msg());
     }
 
-    pub fn schedule_in<M: Any>(&mut self, delay: Duration, to: NodeId, msg: M) {
-        self.push(self.time + delay, to, Box::new(msg));
+    pub fn schedule_in<M: IntoMsg>(&mut self, delay: Duration, to: NodeId, msg: M) {
+        self.push(self.time + delay, to, msg.into_msg());
     }
 
     #[inline]
@@ -263,7 +591,8 @@ impl Sim {
             let mut ctx = Ctx {
                 now: self.time,
                 self_id: ev.to,
-                out: &mut self.out_buf,
+                queue: &mut self.queue,
+                seq: &mut self.seq,
                 rng: &mut self.rng,
                 stats: &mut self.stats,
                 halt: &mut self.halt,
@@ -271,25 +600,22 @@ impl Sim {
             node.on_msg(&mut ctx, ev.msg);
         }
         self.nodes[ev.to] = Some(node);
-        let outs = std::mem::take(&mut self.out_buf);
-        for (time, to, msg) in outs {
-            self.push(time, to, msg);
-        }
-        self.out_buf = Vec::new();
         true
     }
 
     /// Run until the queue drains, the halt flag is set, or `deadline` is
     /// reached (events at exactly `deadline` are delivered).
     pub fn run_until(&mut self, deadline: Time) {
-        while let Some(ev) = self.queue.peek() {
-            if ev.time > deadline || self.halt {
+        while let Some(t) = self.queue.next_time() {
+            if t > deadline || self.halt {
                 break;
             }
             self.step();
         }
         if !self.halt {
-            self.time = self.time.max(deadline.min(self.next_event_time().unwrap_or(deadline)));
+            self.time = self
+                .time
+                .max(deadline.min(self.next_event_time().unwrap_or(deadline)));
         }
     }
 
@@ -309,7 +635,7 @@ impl Sim {
     }
 
     pub fn next_event_time(&self) -> Option<Time> {
-        self.queue.peek().map(|e| e.time)
+        self.queue.next_time()
     }
 
     pub fn halted(&self) -> bool {
@@ -321,13 +647,14 @@ impl Sim {
     }
 }
 
-/// A generic unit tick message for self-scheduled polling loops.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Tick;
-
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn both_kinds(f: impl Fn(QueueKind)) {
+        f(QueueKind::Wheel);
+        f(QueueKind::Heap);
+    }
 
     struct Echo {
         peer: Option<NodeId>,
@@ -336,6 +663,7 @@ mod tests {
     }
 
     struct Ball(u32);
+    crate::custom_msg!(Ball);
 
     impl Node for Echo {
         fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
@@ -352,18 +680,31 @@ mod tests {
 
     #[test]
     fn ping_pong_timing() {
-        let mut sim = Sim::new(1);
-        let a = sim.reserve_node();
-        let b = sim.add_node(Echo { peer: Some(a), hops_left: 0, log: vec![] });
-        sim.fill_node(a, Echo { peer: Some(b), hops_left: 0, log: vec![] });
-        sim.schedule(Time::ZERO, a, Ball(4));
-        sim.run();
-        let ea = sim.node_ref::<Echo>(a);
-        let eb = sim.node_ref::<Echo>(b);
-        assert_eq!(ea.log, vec![(0, 4), (20, 2), (40, 0)]);
-        assert_eq!(eb.log, vec![(10, 3), (30, 1)]);
-        assert_eq!(sim.now().as_ns(), 40);
-        assert_eq!(sim.events_processed(), 5);
+        both_kinds(|kind| {
+            let mut sim = Sim::with_queue(1, kind);
+            let a = sim.reserve_node();
+            let b = sim.add_node(Echo {
+                peer: Some(a),
+                hops_left: 0,
+                log: vec![],
+            });
+            sim.fill_node(
+                a,
+                Echo {
+                    peer: Some(b),
+                    hops_left: 0,
+                    log: vec![],
+                },
+            );
+            sim.schedule(Time::ZERO, a, Ball(4));
+            sim.run();
+            let ea = sim.node_ref::<Echo>(a);
+            let eb = sim.node_ref::<Echo>(b);
+            assert_eq!(ea.log, vec![(0, 4), (20, 2), (40, 0)]);
+            assert_eq!(eb.log, vec![(10, 3), (30, 1)]);
+            assert_eq!(sim.now().as_ns(), 40);
+            assert_eq!(sim.events_processed(), 5);
+        });
     }
 
     struct Recorder {
@@ -377,26 +718,33 @@ mod tests {
 
     #[test]
     fn fifo_tiebreak_at_same_time() {
-        let mut sim = Sim::new(1);
-        let r = sim.add_node(Recorder { seen: vec![] });
-        for i in 0..10u32 {
-            sim.schedule(Time::from_ns(5), r, i);
-        }
-        sim.run();
-        assert_eq!(sim.node_ref::<Recorder>(r).seen, (0..10).collect::<Vec<_>>());
+        both_kinds(|kind| {
+            let mut sim = Sim::with_queue(1, kind);
+            let r = sim.add_node(Recorder { seen: vec![] });
+            for i in 0..10u32 {
+                sim.schedule(Time::from_ns(5), r, i);
+            }
+            sim.run();
+            assert_eq!(
+                sim.node_ref::<Recorder>(r).seen,
+                (0..10).collect::<Vec<_>>()
+            );
+        });
     }
 
     #[test]
     fn run_until_stops_at_deadline() {
-        let mut sim = Sim::new(1);
-        let r = sim.add_node(Recorder { seen: vec![] });
-        sim.schedule(Time::from_ns(10), r, 1u32);
-        sim.schedule(Time::from_ns(20), r, 2u32);
-        sim.schedule(Time::from_ns(30), r, 3u32);
-        sim.run_until(Time::from_ns(20));
-        assert_eq!(sim.node_ref::<Recorder>(r).seen, vec![1, 2]);
-        sim.run();
-        assert_eq!(sim.node_ref::<Recorder>(r).seen, vec![1, 2, 3]);
+        both_kinds(|kind| {
+            let mut sim = Sim::with_queue(1, kind);
+            let r = sim.add_node(Recorder { seen: vec![] });
+            sim.schedule(Time::from_ns(10), r, 1u32);
+            sim.schedule(Time::from_ns(20), r, 2u32);
+            sim.schedule(Time::from_ns(30), r, 3u32);
+            sim.run_until(Time::from_ns(20));
+            assert_eq!(sim.node_ref::<Recorder>(r).seen, vec![1, 2]);
+            sim.run();
+            assert_eq!(sim.node_ref::<Recorder>(r).seen, vec![1, 2, 3]);
+        });
     }
 
     struct Halter;
@@ -441,9 +789,9 @@ mod tests {
     }
 
     #[test]
-    fn determinism_across_runs() {
-        let run = |seed| {
-            let mut sim = Sim::new(seed);
+    fn determinism_across_runs_and_queues() {
+        let run = |seed, kind| {
+            let mut sim = Sim::with_queue(seed, kind);
             let r = sim.add_node(Recorder { seen: vec![] });
             for _ in 0..100 {
                 let d = Duration::from_ns(sim.rng.below(1000));
@@ -453,8 +801,11 @@ mod tests {
             sim.run();
             sim.node_ref::<Recorder>(r).seen.clone()
         };
-        assert_eq!(run(99), run(99));
-        assert_ne!(run(99), run(100));
+        assert_eq!(run(99, QueueKind::Wheel), run(99, QueueKind::Wheel));
+        assert_ne!(run(99, QueueKind::Wheel), run(100, QueueKind::Wheel));
+        // the wheel and the reference heap deliver identical orders
+        assert_eq!(run(99, QueueKind::Wheel), run(99, QueueKind::Heap));
+        assert_eq!(run(1234, QueueKind::Wheel), run(1234, QueueKind::Heap));
     }
 
     #[test]
@@ -474,8 +825,48 @@ mod tests {
 
     #[test]
     fn try_cast_returns_msg_on_mismatch() {
-        let m: Msg = Box::new(42u32);
+        let m: Msg = Msg::custom(42u32);
         let m = try_cast::<String>(m).unwrap_err();
         assert_eq!(*cast::<u32>(m), 42);
+    }
+
+    #[test]
+    fn typed_variants_survive_compat_cast() {
+        // dispatch chains written against the old type-erased engine keep
+        // working on typed variants via the repack path
+        let m = Tick.into_msg();
+        let m = try_cast::<Frame>(m).unwrap_err();
+        assert!(try_cast::<Tick>(m).is_ok());
+
+        let m = Frame(vec![1, 2, 3]).into_msg();
+        let m = try_cast::<MacTx>(m).unwrap_err();
+        assert_eq!(cast::<Frame>(m).0, vec![1, 2, 3]);
+
+        let m = MacTx(Frame(vec![9])).into_msg();
+        assert_eq!(cast::<MacTx>(m).0 .0, vec![9]);
+
+        let m = 7u64.into_msg();
+        assert_eq!(*cast::<u64>(m), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "message type mismatch")]
+    fn cast_mismatch_panics_with_variant() {
+        let _ = cast::<Frame>(Tick.into_msg());
+    }
+
+    #[test]
+    fn far_future_timers_through_overflow() {
+        // exercise the wheel's overflow heap: ms-scale timers (RTO) far
+        // beyond the wheel horizon, interleaved with near events
+        let mut sim = Sim::new(1);
+        let r = sim.add_node(Recorder { seen: vec![] });
+        sim.schedule(Time::from_ms(250), r, 4u32);
+        sim.schedule(Time::from_ns(5), r, 1u32);
+        sim.schedule(Time::from_ms(2), r, 3u32);
+        sim.schedule(Time::from_us(80), r, 2u32);
+        sim.run();
+        assert_eq!(sim.node_ref::<Recorder>(r).seen, vec![1, 2, 3, 4]);
+        assert_eq!(sim.now().as_us(), 250_000);
     }
 }

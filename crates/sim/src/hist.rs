@@ -182,7 +182,20 @@ mod tests {
 
     #[test]
     fn index_value_roundtrip_error_bounded() {
-        for v in [0u64, 1, 17, 63, 64, 65, 127, 128, 1000, 65_535, 1 << 20, u64::MAX / 2] {
+        for v in [
+            0u64,
+            1,
+            17,
+            63,
+            64,
+            65,
+            127,
+            128,
+            1000,
+            65_535,
+            1 << 20,
+            u64::MAX / 2,
+        ] {
             let mid = value_of(index_of(v));
             let err = (mid as i128 - v as i128).unsigned_abs() as f64;
             let rel = if v == 0 { 0.0 } else { err / v as f64 };

@@ -34,8 +34,12 @@ pub mod queue;
 pub mod rng;
 pub mod stats;
 pub mod time;
+pub mod wheel;
 
-pub use engine::{cast, try_cast, Ctx, Msg, Node, NodeId, Sim, Tick};
+pub use engine::{
+    cast, try_cast, Ctx, Doorbell, FreeDesc, FsUpdate, IntoMsg, MacTx, Msg, NbiFrame, Node, NodeId,
+    QueueKind, Sim, Tick, WorkToken, XferDone, XferReq,
+};
 pub use hist::Histogram;
 pub use queue::BoundedQueue;
 pub use rng::Rng;

@@ -77,6 +77,14 @@ impl<T> BoundedQueue<T> {
     pub fn drain_all(&mut self) -> impl Iterator<Item = T> + '_ {
         self.items.drain(..)
     }
+
+    /// Drain up to `n` items from the front in one call — batch consumers
+    /// (event-wheel bucket refills, descriptor fetch batching) avoid the
+    /// per-item `pop` loop.
+    pub fn drain_batch(&mut self, n: usize) -> impl Iterator<Item = T> + '_ {
+        let take = n.min(self.items.len());
+        self.items.drain(..take)
+    }
 }
 
 #[cfg(test)]
@@ -118,6 +126,33 @@ mod tests {
         }
         q.push(1).unwrap();
         assert_eq!(q.high_water, 7);
+    }
+
+    #[test]
+    fn drain_batch_takes_front_and_caps_at_len() {
+        let mut q = BoundedQueue::new(8);
+        for i in 0..5 {
+            q.push(i).unwrap();
+        }
+        let first: Vec<_> = q.drain_batch(2).collect();
+        assert_eq!(first, vec![0, 1]);
+        let rest: Vec<_> = q.drain_batch(99).collect();
+        assert_eq!(rest, vec![2, 3, 4]);
+        assert!(q.is_empty());
+        // high_water unaffected by draining
+        assert_eq!(q.high_water, 5);
+    }
+
+    #[test]
+    fn high_water_tracked_on_every_push_path() {
+        let mut q = BoundedQueue::new(4);
+        q.push(1).unwrap();
+        assert_eq!(q.high_water, 1);
+        assert!(q.push_or_drop(2));
+        assert_eq!(q.high_water, 2);
+        q.pop();
+        q.push(3).unwrap();
+        assert_eq!(q.high_water, 2, "peak, not current occupancy");
     }
 
     #[test]

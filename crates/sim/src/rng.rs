@@ -184,7 +184,10 @@ mod tests {
         let mean_target = 25.0;
         let sum: f64 = (0..n).map(|_| r.exp(mean_target)).sum();
         let mean = sum / n as f64;
-        assert!((mean - mean_target).abs() / mean_target < 0.02, "mean {mean}");
+        assert!(
+            (mean - mean_target).abs() / mean_target < 0.02,
+            "mean {mean}"
+        );
     }
 
     #[test]

@@ -362,15 +362,15 @@ mod tests {
     fn saturating_behaviour() {
         assert_eq!(Time::MAX + Duration::from_secs(1), Time::MAX);
         assert_eq!(Time::ZERO - Duration::from_secs(1), Time::ZERO);
-        assert_eq!(
-            Duration::MAX + Duration::from_secs(1),
-            Duration::MAX
-        );
+        assert_eq!(Duration::MAX + Duration::from_secs(1), Duration::MAX);
     }
 
     #[test]
     fn display_formats() {
-        assert_eq!(format!("{}", Duration::from_ns(1500)), "1.500us".to_string());
+        assert_eq!(
+            format!("{}", Duration::from_ns(1500)),
+            "1.500us".to_string()
+        );
         assert_eq!(format!("{}", Duration::from_ps(999)), "999ps".to_string());
         assert_eq!(format!("{}", Duration::from_secs(2)), "2.000s".to_string());
     }

@@ -29,12 +29,6 @@ pub struct SegmentSpec {
     pub payload_len: usize,
 }
 
-impl Default for Ecn {
-    fn default() -> Self {
-        Ecn::NotEct
-    }
-}
-
 impl SegmentSpec {
     pub fn total_len(&self) -> usize {
         ETH_HDR_LEN + IPV4_HDR_LEN + TCP_HDR_LEN + self.options.len() + self.payload_len
@@ -42,9 +36,18 @@ impl SegmentSpec {
 
     /// Emit the frame; `fill_payload` writes the TCP payload bytes.
     pub fn emit_with(&self, fill_payload: impl FnOnce(&mut [u8])) -> Vec<u8> {
+        let mut buf = Vec::new();
+        self.emit_into(&mut buf, fill_payload);
+        buf
+    }
+
+    /// Emit into an existing buffer (cleared first, capacity reused) —
+    /// the allocation-free path for pooled segment buffers.
+    pub fn emit_into(&self, buf: &mut Vec<u8>, fill_payload: impl FnOnce(&mut [u8])) {
         let tcp_hdr = TCP_HDR_LEN + self.options.len();
         let ip_len = IPV4_HDR_LEN + tcp_hdr + self.payload_len;
-        let mut buf = vec![0u8; ETH_HDR_LEN + ip_len];
+        buf.clear();
+        buf.resize(ETH_HDR_LEN + ip_len, 0);
 
         {
             let mut eth = EthFrame(&mut buf[..]);
@@ -80,13 +83,23 @@ impl SegmentSpec {
             let mut tcp = TcpPacket(&mut tcp_buf[..]);
             tcp.fill_checksum(self.src_ip, self.dst_ip);
         }
-        buf
     }
 
     /// Emit with a payload copied from a slice.
     pub fn emit(&self, payload: &[u8]) -> Vec<u8> {
         assert_eq!(payload.len(), self.payload_len);
         self.emit_with(|buf| buf.copy_from_slice(payload))
+    }
+
+    /// Emit into an existing buffer with a payload copied from a slice.
+    pub fn emit_payload_into(&self, buf: &mut Vec<u8>, payload: &[u8]) {
+        assert_eq!(payload.len(), self.payload_len);
+        self.emit_into(buf, |b| b.copy_from_slice(payload));
+    }
+
+    /// Emit a zero-payload frame into an existing buffer.
+    pub fn emit_zeroed_into(&self, buf: &mut Vec<u8>) {
+        self.emit_into(buf, |_| {});
     }
 
     /// Emit with a zero payload (bulk-transfer benchmarks where content is

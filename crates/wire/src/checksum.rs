@@ -72,7 +72,10 @@ mod tests {
 
     #[test]
     fn checksum_verifies_itself() {
-        let mut data = vec![0x45, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0, 0, 10, 0, 0, 1, 10, 0, 0, 2];
+        let mut data = vec![
+            0x45, 0x00, 0x00, 0x28, 0x1c, 0x46, 0x40, 0x00, 0x40, 0x06, 0, 0, 10, 0, 0, 1, 10, 0,
+            0, 2,
+        ];
         let ck = checksum(&data);
         data[10] = (ck >> 8) as u8;
         data[11] = ck as u8;

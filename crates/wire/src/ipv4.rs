@@ -41,8 +41,9 @@ pub mod protocol {
 }
 
 /// ECN codepoints (RFC 3168), the low two bits of the TOS byte.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
 pub enum Ecn {
+    #[default]
     NotEct = 0b00,
     Ect1 = 0b01,
     Ect0 = 0b10,

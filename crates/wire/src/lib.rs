@@ -90,9 +90,6 @@ mod tests {
     #[test]
     fn error_display() {
         assert_eq!(WireError::NotTcp.to_string(), "not a tcp/ipv4 frame");
-        assert_eq!(
-            WireError::Truncated("x").to_string(),
-            "truncated: x"
-        );
+        assert_eq!(WireError::Truncated("x").to_string(), "truncated: x");
     }
 }

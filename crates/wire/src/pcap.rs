@@ -3,8 +3,6 @@
 //! Backs the `tcpdump`-style traffic logging extension of Table 2 and the
 //! `packet_capture` example; output opens in Wireshark.
 
-use flextoe_sim::Time;
-
 const MAGIC: u32 = 0xa1b2_c3d4; // big/little detected by readers
 const VERSION_MAJOR: u16 = 2;
 const VERSION_MINOR: u16 = 4;
@@ -40,16 +38,19 @@ impl PcapWriter {
         }
     }
 
-    /// Append one frame captured at simulated time `at`.
-    pub fn record(&mut self, at: Time, frame: &[u8]) {
-        let usec_total = at.as_us();
+    /// Append one frame captured at `at_us` microseconds of simulated time.
+    /// (Takes a raw count, not a `flextoe_sim::Time`, so the wire crate
+    /// stays at the bottom of the dependency graph.)
+    pub fn record(&mut self, at_us: u64, frame: &[u8]) {
+        let usec_total = at_us;
         let sec = (usec_total / 1_000_000) as u32;
         let usec = (usec_total % 1_000_000) as u32;
         let incl = (frame.len() as u32).min(self.snaplen);
         self.buf.extend_from_slice(&sec.to_le_bytes());
         self.buf.extend_from_slice(&usec.to_le_bytes());
         self.buf.extend_from_slice(&incl.to_le_bytes());
-        self.buf.extend_from_slice(&(frame.len() as u32).to_le_bytes());
+        self.buf
+            .extend_from_slice(&(frame.len() as u32).to_le_bytes());
         self.buf.extend_from_slice(&frame[..incl as usize]);
         self.packets += 1;
     }
@@ -123,8 +124,8 @@ mod tests {
     #[test]
     fn roundtrip_two_packets() {
         let mut w = PcapWriter::new();
-        w.record(Time::from_us(1_500_000), &[1, 2, 3]);
-        w.record(Time::from_us(2_000_001), &[4, 5]);
+        w.record(1_500_000, &[1, 2, 3]);
+        w.record(2_000_001, &[4, 5]);
         assert_eq!(w.packets(), 2);
         let recs = parse(w.bytes()).unwrap();
         assert_eq!(recs.len(), 2);
@@ -139,7 +140,7 @@ mod tests {
     #[test]
     fn snaplen_truncates_but_keeps_orig_len() {
         let mut w = PcapWriter::with_snaplen(4);
-        w.record(Time::ZERO, &[9; 100]);
+        w.record(0, &[9; 100]);
         let recs = parse(w.bytes()).unwrap();
         assert_eq!(recs[0].data.len(), 4);
         assert_eq!(recs[0].orig_len, 100);
@@ -149,7 +150,7 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(parse(&[0u8; 10]).is_err());
         let mut w = PcapWriter::new();
-        w.record(Time::ZERO, &[1]);
+        w.record(0, &[1]);
         let mut b = w.into_bytes();
         b[0] = 0; // break magic
         assert!(parse(&b).is_err());

@@ -364,7 +364,7 @@ impl<T: AsRef<[u8]> + AsMut<[u8]>> TcpPacket<T> {
         self.m()[8..12].copy_from_slice(&s.0.to_be_bytes());
     }
     pub fn set_data_offset(&mut self, bytes: usize) {
-        debug_assert!(bytes % 4 == 0 && (20..=60).contains(&bytes));
+        debug_assert!(bytes.is_multiple_of(4) && (20..=60).contains(&bytes));
         self.m()[12] = ((bytes / 4) as u8) << 4;
     }
     pub fn set_flags(&mut self, f: TcpFlags) {
@@ -459,7 +459,7 @@ mod tests {
     fn options_parse_rejects_garbage_length() {
         assert!(TcpOptions::parse(&[2, 0, 0, 0]).is_err()); // len 0
         assert!(TcpOptions::parse(&[8, 10, 0]).is_err()); // truncated
-        // unknown option kinds are skipped
+                                                          // unknown option kinds are skipped
         let o = TcpOptions::parse(&[30, 4, 0xaa, 0xbb, 0]).unwrap();
         assert_eq!(o, TcpOptions::default());
     }

@@ -11,13 +11,17 @@ use flextoe_netsim::Faults;
 use flextoe_sim::{Duration, Time};
 
 #[path = "../crates/bench/src/harness.rs"]
+#[allow(dead_code)]
 mod harness;
 use harness::*;
 
 fn main() {
     for loss in [0.0, 0.001, 0.01] {
         let opts = PairOpts {
-            faults: Faults { drop_chance: loss, ..Default::default() },
+            faults: Faults {
+                drop_chance: loss,
+                ..Default::default()
+            },
             ..Default::default()
         };
         let (sim, res) = run_echo(
@@ -25,7 +29,11 @@ fn main() {
             Stack::FlexToe,
             Stack::FlexToe,
             opts,
-            ServerConfig { msg_size: 1 << 20, resp_size: 32, ..Default::default() },
+            ServerConfig {
+                msg_size: 1 << 20,
+                resp_size: 32,
+                ..Default::default()
+            },
             ClientConfig {
                 n_conns: 4,
                 msg_size: 1 << 20,
@@ -46,5 +54,7 @@ fn main() {
             sim.stats.get_named("proto.ooo"),
         );
     }
-    println!("\n1 MB transfers keep completing under loss: go-back-N + OOO-interval reassembly at work");
+    println!(
+        "\n1 MB transfers keep completing under loss: go-back-N + OOO-interval reassembly at work"
+    );
 }

@@ -14,10 +14,10 @@ use flextoe_core::stages::pre::PreStage;
 use flextoe_wire::{SegmentView, TcpPacket, ETH_HDR_LEN, IPV4_HDR_LEN};
 
 #[path = "../crates/bench/src/harness.rs"]
+#[allow(dead_code)]
 mod harness;
 use harness::*;
 
-use flextoe_apps::StackApi as _;
 use flextoe_sim::{Sim, Tick, Time};
 
 fn main() {
@@ -35,7 +35,10 @@ fn main() {
     });
     sim.node_mut::<PreStage>(pre)
         .ingress
-        .push(Box::new(TcpdumpModule::with_filter(Hook::RxIngress, filter)));
+        .push(Box::new(TcpdumpModule::with_filter(
+            Hook::RxIngress,
+            filter,
+        )));
 
     // echo traffic through the pipeline
     let srv = sim.add_node(DynServer::new(
@@ -64,7 +67,10 @@ fn main() {
 
     // harvest the capture
     let pre_stage = sim.node_mut::<PreStage>(pre);
-    let module = pre_stage.ingress.get_mut("tcpdump").expect("module installed");
+    let module = pre_stage
+        .ingress
+        .get_mut("tcpdump")
+        .expect("module installed");
     let tcpdump = module
         .as_any_mut()
         .and_then(|a| a.downcast_mut::<TcpdumpModule>())
@@ -72,13 +78,25 @@ fn main() {
     let bytes = tcpdump.pcap.bytes().to_vec();
     std::fs::write("capture.pcap", &bytes).expect("write capture.pcap");
     let records = flextoe_wire::pcap::parse(&bytes).unwrap();
-    println!("captured {} frames -> capture.pcap ({} bytes)", records.len(), bytes.len());
+    println!(
+        "captured {} frames -> capture.pcap ({} bytes)",
+        records.len(),
+        bytes.len()
+    );
     for rec in records.iter().take(5) {
         let v = SegmentView::parse(&rec.data, false).unwrap();
         println!(
             "  t={}.{:06}s  {}:{} -> {}:{}  seq={} ack={} len={} {:?}",
-            rec.sec, rec.usec, v.src_ip, v.src_port, v.dst_ip, v.dst_port,
-            v.seq, v.ack, v.payload_len, v.flags
+            rec.sec,
+            rec.usec,
+            v.src_ip,
+            v.src_port,
+            v.dst_ip,
+            v.dst_port,
+            v.seq,
+            v.ack,
+            v.payload_len,
+            v.flags
         );
     }
     assert!(records.len() >= 100, "both requests and ACKs captured");

@@ -16,9 +16,11 @@ use flextoe_netsim::Link;
 use flextoe_sim::{cast, try_cast, Ctx, Duration, Msg, Node, NodeId, Sim, Tick, Time};
 use flextoe_wire::{Ip4, MacAddr};
 
+type MakeStack = Box<dyn FnOnce(&mut Ctx<'_>, NodeId) -> FlexToeStack>;
+
 /// A minimal server: echoes one message, closes on EOF.
 struct Echo {
-    make_stack: Option<Box<dyn FnOnce(&mut Ctx<'_>, NodeId) -> FlexToeStack>>,
+    make_stack: Option<MakeStack>,
     stack: Option<FlexToeStack>,
     is_server: bool,
     peer_ip: Ip4,
@@ -89,14 +91,20 @@ fn main() {
     let nic_a = FlexToeNic::build(
         &mut sim,
         PipeCfg::agilio_full(),
-        NicConfig { mac: macs[0], ip: ips[0] },
+        NicConfig {
+            mac: macs[0],
+            ip: ips[0],
+        },
         l_ab,
         ctrl_a,
     );
     let nic_b = FlexToeNic::build(
         &mut sim,
         PipeCfg::agilio_full(),
-        NicConfig { mac: macs[1], ip: ips[1] },
+        NicConfig {
+            mac: macs[1],
+            ip: ips[1],
+        },
         l_ba,
         ctrl_b,
     );

@@ -21,8 +21,8 @@ use flextoe_wire::{Ecn, Ip4, MacAddr, SegmentSpec, SegmentView, SeqNum, TcpFlags
 
 fn client_frame(seq: u32, flags: TcpFlags, payload: &[u8]) -> Vec<u8> {
     SegmentSpec {
-        src_mac: MacAddr::local(10),       // client
-        dst_mac: MacAddr::local(1),        // proxy
+        src_mac: MacAddr::local(10), // client
+        dst_mac: MacAddr::local(1),  // proxy
         src_ip: Ip4::host(10),
         dst_ip: Ip4::host(1),
         src_port: 5555,
@@ -53,19 +53,23 @@ fn main() {
     let probe = client_frame(1_000, TcpFlags::ACK | TcpFlags::PSH, b"GET /\r\n");
     let key = splice_key(&probe);
     let val = splice_value(
-        MacAddr::local(2).0,       // backend MAC
-        Ip4::host(2).octets(),     // backend IP
-        7777,                      // proxy's port towards the backend
-        80,                        // backend port
-        123_456,                   // seq delta
-        654_321,                   // ack delta
+        MacAddr::local(2).0,   // backend MAC
+        Ip4::host(2).octets(), // backend IP
+        7777,                  // proxy's port towards the backend
+        80,                    // backend port
+        123_456,               // seq delta
+        654_321,               // ack delta
     );
     maps.borrow_mut()
         .get_mut(splice_fd)
         .unwrap()
         .update(&key, &val)
         .unwrap();
-    println!("control plane installed splice entry ({} -> {})", Ip4::host(10), Ip4::host(2));
+    println!(
+        "control plane installed splice entry ({} -> {})",
+        Ip4::host(10),
+        Ip4::host(2)
+    );
 
     // Data path: segments for the spliced 4-tuple are rewritten and
     // transmitted straight out the MAC.
@@ -73,7 +77,11 @@ fn main() {
     for i in 0..5u32 {
         let mut frame = client_frame(1_000 + i * 7, TcpFlags::ACK | TcpFlags::PSH, b"GET /\r\n");
         let (verdict, cost) = module.process(Time::from_us(i as u64), &mut frame);
-        assert_eq!(verdict, ModuleVerdict::Tx, "spliced segments bypass the data-path");
+        assert_eq!(
+            verdict,
+            ModuleVerdict::Tx,
+            "spliced segments bypass the data-path"
+        );
         let v = SegmentView::parse(&frame, false).unwrap();
         println!(
             "  spliced #{i}: -> {}:{}  seq {} (delta applied)  [{} eBPF-cycles]",
@@ -86,7 +94,7 @@ fn main() {
     }
 
     // A non-spliced flow passes through to the normal TCP data-path.
-    let mut other = client_frame(50, TcpFlags::ACK, b"x");
+    let other = client_frame(50, TcpFlags::ACK, b"x");
     let mut other_view = SegmentView::parse(&other, false).unwrap();
     other_view.src_port = 1234; // different tuple
     let mut other = SegmentSpec {

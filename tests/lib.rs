@@ -35,14 +35,20 @@ pub fn two_flextoe_hosts(
     let nic_a = FlexToeNic::build(
         sim,
         cfg.clone(),
-        NicConfig { mac: macs[0], ip: ips[0] },
+        NicConfig {
+            mac: macs[0],
+            ip: ips[0],
+        },
         link_ab,
         ctrl_a,
     );
     let nic_b = FlexToeNic::build(
         sim,
         cfg,
-        NicConfig { mac: macs[1], ip: ips[1] },
+        NicConfig {
+            mac: macs[1],
+            ip: ips[1],
+        },
         link_ba,
         ctrl_b,
     );
@@ -58,8 +64,18 @@ pub fn two_flextoe_hosts(
     sim.fill_node(ctrl_b, cp_b);
 
     (
-        Host { nic: nic_a, ctrl: ctrl_a, ip: ips[0], mac: macs[0] },
-        Host { nic: nic_b, ctrl: ctrl_b, ip: ips[1], mac: macs[1] },
+        Host {
+            nic: nic_a,
+            ctrl: ctrl_a,
+            ip: ips[0],
+            mac: macs[0],
+        },
+        Host {
+            nic: nic_b,
+            ctrl: ctrl_b,
+            ip: ips[1],
+            mac: macs[1],
+        },
     )
 }
 

@@ -26,7 +26,12 @@ fn two_hosts(sim: &mut Sim, a: StackKind, b: StackKind) -> (NodeId, NodeId) {
     (host_a, host_b)
 }
 
-fn run_combo(server_kind: StackKind, client_kind: StackKind, msg: u32, rounds: u64) -> (Sim, NodeId) {
+fn run_combo(
+    server_kind: StackKind,
+    client_kind: StackKind,
+    msg: u32,
+    rounds: u64,
+) -> (Sim, NodeId) {
     let mut sim = Sim::new(21);
     let (ha, hb) = two_hosts(&mut sim, client_kind, server_kind);
     let server = sim.add_node(Server::new(
@@ -125,11 +130,20 @@ fn flextoe_interoperates_with_linux_on_the_wire() {
     let l_ab = sim.reserve_node();
     let l_ba = sim.reserve_node();
     let ctrl_b = sim.reserve_node();
-    let host_a = build_host(&mut sim, StackKind::Linux, MacAddr::local(1), Ip4::host(1), l_ab);
+    let host_a = build_host(
+        &mut sim,
+        StackKind::Linux,
+        MacAddr::local(1),
+        Ip4::host(1),
+        l_ab,
+    );
     let nic_b = FlexToeNic::build(
         &mut sim,
         PipeCfg::agilio_full(),
-        NicConfig { mac: MacAddr::local(2), ip: Ip4::host(2) },
+        NicConfig {
+            mac: MacAddr::local(2),
+            ip: Ip4::host(2),
+        },
         l_ba,
         ctrl_b,
     );

@@ -7,7 +7,7 @@ use flextoe_core::stages::AppNotify;
 use flextoe_core::NicHandle;
 use flextoe_integration::default_setup;
 use flextoe_libtoe::{LibToe, SockEvent};
-use flextoe_sim::{cast, try_cast, Ctx, Duration, Msg, Node, NodeId, Sim, Tick, Time};
+use flextoe_sim::{cast, try_cast, Ctx, Msg, Node, NodeId, Sim, Tick, Time};
 use flextoe_wire::Ip4;
 
 /// Test server: listens, echoes everything it reads, closes on EOF.

@@ -1,35 +1,54 @@
 //! Property-based tests on the core data structures and protocol
-//! invariants (proptest).
-
-use proptest::prelude::*;
+//! invariants.
+//!
+//! The container has no third-party crates, so instead of `proptest` we
+//! drive each property from the simulator's own deterministic xoshiro
+//! generator: every case is reproducible from the iteration index, and a
+//! failure message names the seed that produced it.
 
 use flextoe_core::proto::{self, RxSummary};
 use flextoe_core::reorder::Reorder;
 use flextoe_core::sched::Carousel;
 use flextoe_core::ProtoState;
-use flextoe_sim::{Duration, Histogram, Time};
+use flextoe_sim::{Duration, Histogram, Rng, Time};
 use flextoe_wire::{checksum, SegmentSpec, SegmentView, SeqNum, TcpFlags, TcpOptions};
 
-proptest! {
-    /// Whatever order items enter the reorderer, they exit in order.
-    #[test]
-    fn reorder_releases_in_order(perm in proptest::sample::subsequence((0..64u64).collect::<Vec<_>>(), 64)) {
-        // `perm` is 0..64 but we shuffle via the subsequence trick +
-        // rotation; build a real permutation instead:
+const CASES: u64 = 200;
+
+/// Run `f` once per case with an independently seeded generator.
+fn for_cases(name: &str, f: impl Fn(&mut Rng)) {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xF1E2_0000 ^ case);
+        // A panic inside f already aborts the test; print the seed first
+        // so the failing case can be replayed in isolation.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(&mut rng)));
+        if let Err(e) = result {
+            panic!("property {name} failed at case {case}: {e:?}");
+        }
+    }
+}
+
+/// Whatever order items enter the reorderer, they exit in order.
+#[test]
+fn reorder_releases_in_order() {
+    for_cases("reorder_releases_in_order", |rng| {
         let mut order: Vec<u64> = (0..64).collect();
-        let rot = perm.len() % 64;
-        order.rotate_left(rot);
+        rng.shuffle(&mut order);
         let mut r = Reorder::new();
         let mut out = Vec::new();
         for seq in order {
             out.extend(r.push(seq, seq));
         }
-        prop_assert_eq!(out, (0..64u64).collect::<Vec<_>>());
-    }
+        assert_eq!(out, (0..64u64).collect::<Vec<_>>());
+    });
+}
 
-    /// Random skip/push interleavings never deliver out of order or twice.
-    #[test]
-    fn reorder_with_random_skips(skips in proptest::collection::btree_set(0..100u64, 0..40)) {
+/// Random skip/push interleavings never deliver out of order or twice.
+#[test]
+fn reorder_with_random_skips() {
+    for_cases("reorder_with_random_skips", |rng| {
+        let n_skips = rng.below(40);
+        let skips: std::collections::BTreeSet<u64> = (0..n_skips).map(|_| rng.below(100)).collect();
         let mut r = Reorder::new();
         let mut released = Vec::new();
         // push items high-to-low so everything buffers, skipping `skips`
@@ -41,21 +60,21 @@ proptest! {
             }
         }
         let expect: Vec<u64> = (0..100u64).filter(|s| !skips.contains(s)).collect();
-        prop_assert_eq!(released, expect);
-    }
+        assert_eq!(released, expect);
+    });
+}
 
-    /// TCP segments survive emit -> parse for arbitrary field values.
-    #[test]
-    fn segment_roundtrip(
-        seq in any::<u32>(),
-        ack in any::<u32>(),
-        window in any::<u16>(),
-        sport in 1..u16::MAX,
-        dport in 1..u16::MAX,
-        payload in proptest::collection::vec(any::<u8>(), 0..256),
-        tsval in any::<u32>(),
-        tsecr in any::<u32>(),
-    ) {
+/// TCP segments survive emit -> parse for arbitrary field values.
+#[test]
+fn segment_roundtrip() {
+    for_cases("segment_roundtrip", |rng| {
+        let seq = rng.next_u32();
+        let ack = rng.next_u32();
+        let window = rng.next_u32() as u16;
+        let sport = rng.range(1, u16::MAX as u64 - 1) as u16;
+        let dport = rng.range(1, u16::MAX as u64 - 1) as u16;
+        let payload: Vec<u8> = (0..rng.below(256)).map(|_| rng.next_u32() as u8).collect();
+        let (tsval, tsecr) = (rng.next_u32(), rng.next_u32());
         let spec = SegmentSpec {
             src_port: sport,
             dst_port: dport,
@@ -63,27 +82,31 @@ proptest! {
             ack: SeqNum(ack),
             flags: TcpFlags::ACK | TcpFlags::PSH,
             window,
-            options: TcpOptions { timestamp: Some((tsval, tsecr)), ..Default::default() },
+            options: TcpOptions {
+                timestamp: Some((tsval, tsecr)),
+                ..Default::default()
+            },
             payload_len: payload.len(),
             ..Default::default()
         };
         let frame = spec.emit(&payload);
         let v = SegmentView::parse(&frame, true).unwrap();
-        prop_assert_eq!(v.seq, SeqNum(seq));
-        prop_assert_eq!(v.ack, SeqNum(ack));
-        prop_assert_eq!(v.window, window);
-        prop_assert_eq!(v.payload(&frame), &payload[..]);
-        prop_assert_eq!((v.tsval, v.tsecr), (tsval, tsecr));
-    }
+        assert_eq!(v.seq, SeqNum(seq));
+        assert_eq!(v.ack, SeqNum(ack));
+        assert_eq!(v.window, window);
+        assert_eq!(v.payload(&frame), &payload[..]);
+        assert_eq!((v.tsval, v.tsecr), (tsval, tsecr));
+    });
+}
 
-    /// Single-bit corruption anywhere in a frame is always detected by
-    /// the IP or TCP checksum.
-    #[test]
-    fn checksums_catch_single_bit_flips(
-        payload in proptest::collection::vec(any::<u8>(), 1..64),
-        byte_sel in any::<prop::sample::Index>(),
-        bit in 0..8u8,
-    ) {
+/// Single-bit corruption anywhere in a frame is always detected by
+/// the IP or TCP checksum.
+#[test]
+fn checksums_catch_single_bit_flips() {
+    for_cases("checksums_catch_single_bit_flips", |rng| {
+        let payload: Vec<u8> = (0..rng.range(1, 63))
+            .map(|_| rng.next_u32() as u8)
+            .collect();
         let spec = SegmentSpec {
             src_port: 1000,
             dst_port: 2000,
@@ -93,33 +116,42 @@ proptest! {
         };
         let mut frame = spec.emit(&payload);
         // flip one bit outside the Ethernet header (not checksummed)
-        let idx = 14 + byte_sel.index(frame.len() - 14);
+        let idx = 14 + rng.below(frame.len() as u64 - 14) as usize;
+        let bit = rng.below(8) as u8;
         frame[idx] ^= 1 << bit;
-        prop_assert!(SegmentView::parse(&frame, true).is_err());
-    }
+        assert!(SegmentView::parse(&frame, true).is_err());
+    });
+}
 
-    /// Incremental checksum update equals full recomputation.
-    #[test]
-    fn incremental_checksum_equivalence(
-        mut data in proptest::collection::vec(any::<u8>(), 20..64),
-        new_val in any::<u16>(),
-        pos_sel in any::<prop::sample::Index>(),
-    ) {
-        if data.len() % 2 == 1 { data.pop(); }
-        let pos = pos_sel.index(data.len() / 2 - 1) * 2;
+/// Incremental checksum update equals full recomputation.
+#[test]
+fn incremental_checksum_equivalence() {
+    for_cases("incremental_checksum_equivalence", |rng| {
+        let mut data: Vec<u8> = (0..rng.range(20, 63))
+            .map(|_| rng.next_u32() as u8)
+            .collect();
+        if data.len() % 2 == 1 {
+            data.pop();
+        }
+        let new_val = rng.next_u32() as u16;
+        let pos = rng.below(data.len() as u64 / 2 - 1) as usize * 2;
         let ck = checksum::checksum(&data);
         let old = u16::from_be_bytes([data[pos], data[pos + 1]]);
         data[pos..pos + 2].copy_from_slice(&new_val.to_be_bytes());
-        prop_assert_eq!(checksum::checksum(&data), checksum::update16(ck, old, new_val));
-    }
+        assert_eq!(
+            checksum::checksum(&data),
+            checksum::update16(ck, old, new_val)
+        );
+    });
+}
 
-    /// Receiving arbitrary in-window segment sequences never corrupts the
-    /// protocol invariants: rcv_nxt only advances, rx_avail never
-    /// underflows, the OOO interval stays ahead of rcv_nxt.
-    #[test]
-    fn rx_state_invariants(
-        segs in proptest::collection::vec((0u32..20_000, 1u32..2000), 1..60)
-    ) {
+/// Receiving arbitrary in-window segment sequences never corrupts the
+/// protocol invariants: rcv_nxt only advances, rx_avail never
+/// underflows, the OOO interval stays ahead of rcv_nxt.
+#[test]
+fn rx_state_invariants() {
+    for_cases("rx_state_invariants", |rng| {
+        let n_segs = rng.range(1, 59);
         let mut ps = ProtoState {
             seq: SeqNum(1),
             ack: SeqNum(10_000),
@@ -129,7 +161,9 @@ proptest! {
         };
         let mut last_ack = ps.ack;
         let mut budget = ps.rx_avail;
-        for (off, len) in segs {
+        for _ in 0..n_segs {
+            let off = rng.below(20_000) as u32;
+            let len = rng.range(1, 1999) as u32;
             let sum = RxSummary {
                 seq: SeqNum(10_000u32.wrapping_add(off)),
                 ack: SeqNum(1),
@@ -140,25 +174,28 @@ proptest! {
             };
             let out = proto::rx_segment(&mut ps, &sum);
             // monotone rcv_nxt
-            prop_assert!(ps.ack.after_eq(last_ack));
-            prop_assert!(out.delivered == ps.ack - last_ack);
+            assert!(ps.ack.after_eq(last_ack));
+            assert!(out.delivered == ps.ack - last_ack);
             last_ack = ps.ack;
             // rx_avail accounting: shrinks exactly by delivered bytes
-            prop_assert!(out.delivered <= budget);
+            assert!(out.delivered <= budget);
             budget -= out.delivered;
-            prop_assert_eq!(ps.rx_avail, budget);
+            assert_eq!(ps.rx_avail, budget);
             // OOO interval is strictly ahead of rcv_nxt
             if ps.ooo_len > 0 {
-                prop_assert!(ps.ooo_start.after(ps.ack));
-                prop_assert!((ps.ooo_start + ps.ooo_len) - ps.ack <= budget);
+                assert!(ps.ooo_start.after(ps.ack));
+                assert!((ps.ooo_start + ps.ooo_len) - ps.ack <= budget);
             }
         }
-    }
+    });
+}
 
-    /// TX then cumulative-ACK sequences keep sender invariants:
-    /// tx_sent == seq - snd_una, buffers never double-free.
-    #[test]
-    fn tx_ack_invariants(ops in proptest::collection::vec(any::<bool>(), 1..80)) {
+/// TX then cumulative-ACK sequences keep sender invariants:
+/// tx_sent == seq - snd_una, buffers never double-free.
+#[test]
+fn tx_ack_invariants() {
+    for_cases("tx_ack_invariants", |rng| {
+        let n_ops = rng.range(1, 79);
         let mut ps = ProtoState {
             seq: SeqNum(5_000),
             ack: SeqNum(1),
@@ -169,8 +206,8 @@ proptest! {
         };
         let mut freed_total: u64 = 0;
         let mut sent_total: u64 = 0;
-        for do_send in ops {
-            if do_send {
+        for _ in 0..n_ops {
+            if rng.chance(0.5) {
                 if let Some(seg) = proto::tx_next(&mut ps, 1448) {
                     sent_total += seg.len as u64;
                 }
@@ -188,16 +225,20 @@ proptest! {
                 let out = proto::rx_segment(&mut ps, &sum);
                 freed_total += out.acked_bytes as u64;
             }
-            prop_assert_eq!(ps.seq - ps.snd_una(), ps.tx_sent);
-            prop_assert!(ps.tx_sent <= 20_000, "never exceeds the peer window");
-            prop_assert!(freed_total <= sent_total);
+            assert_eq!(ps.seq - ps.snd_una(), ps.tx_sent);
+            assert!(ps.tx_sent <= 20_000, "never exceeds the peer window");
+            assert!(freed_total <= sent_total);
         }
-    }
+    });
+}
 
-    /// The Carousel never duplicates a connection trigger beyond its
-    /// sendable bytes, and fairness holds for equal backlogs.
-    #[test]
-    fn carousel_conservation(n_conns in 1usize..40, backlog in 1u32..20_000) {
+/// The Carousel never duplicates a connection trigger beyond its
+/// sendable bytes, and fairness holds for equal backlogs.
+#[test]
+fn carousel_conservation() {
+    for_cases("carousel_conservation", |rng| {
+        let n_conns = rng.range(1, 39) as usize;
+        let backlog = rng.range(1, 19_999) as u32;
         let mut c = Carousel::with_defaults();
         for conn in 0..n_conns as u32 {
             c.register(conn);
@@ -209,18 +250,22 @@ proptest! {
             if let Some(t) = c.next_trigger(now, 1448) {
                 per[t.conn as usize] += t.bytes_est as u64;
             }
-            now = now + Duration::from_us(1);
+            now += Duration::from_us(1);
         }
         for (conn, &bytes) in per.iter().enumerate() {
-            prop_assert!(bytes <= backlog as u64, "conn {conn} over-triggered");
+            assert!(bytes <= backlog as u64, "conn {conn} over-triggered");
         }
         // everything drained exactly
-        prop_assert!(per.iter().all(|&b| b == backlog as u64));
-    }
+        assert!(per.iter().all(|&b| b == backlog as u64));
+    });
+}
 
-    /// Histogram quantiles stay within the configured relative error.
-    #[test]
-    fn histogram_quantile_error(values in proptest::collection::vec(1u64..1_000_000, 10..500)) {
+/// Histogram quantiles stay within the configured relative error.
+#[test]
+fn histogram_quantile_error() {
+    for_cases("histogram_quantile_error", |rng| {
+        let n = rng.range(10, 499) as usize;
+        let values: Vec<u64> = (0..n).map(|_| rng.range(1, 999_999)).collect();
         let mut h = Histogram::new();
         for &v in &values {
             h.record(v);
@@ -231,7 +276,7 @@ proptest! {
             let exact = sorted[((q * sorted.len() as f64).floor() as usize).min(sorted.len() - 1)];
             let approx = h.quantile(q);
             let rel = (approx as f64 - exact as f64).abs() / exact as f64;
-            prop_assert!(rel < 0.05, "q={q} exact={exact} approx={approx}");
+            assert!(rel < 0.05, "q={q} exact={exact} approx={approx}");
         }
-    }
+    });
 }

@@ -1,7 +1,9 @@
 //! Robustness integration (§5.3): loss, corruption, XDP filtering, and
 //! the reordering ablation, all through the complete pipeline.
 
-use flextoe_apps::{ClientConfig, FlexToeStack, LoadMode, RpcClientApp, RpcServerApp, ServerConfig};
+use flextoe_apps::{
+    ClientConfig, FlexToeStack, LoadMode, RpcClientApp, RpcServerApp, ServerConfig,
+};
 use flextoe_core::module::{xdp_with_maps, Hook};
 use flextoe_core::stages::pre::PreStage;
 use flextoe_core::PipeCfg;
@@ -132,10 +134,7 @@ fn xdp_firewall_blocks_in_the_pipeline() {
     let pre = b.nic.pre;
     sim.node_mut::<PreStage>(pre).ingress.push(Box::new(fw));
 
-    let server = sim.add_node(Server::new(
-        ServerConfig::default(),
-        stack_init(&b, 1),
-    ));
+    let server = sim.add_node(Server::new(ServerConfig::default(), stack_init(&b, 1)));
     let client = sim.add_node(Client::new(
         ClientConfig {
             server_ip: b.ip,

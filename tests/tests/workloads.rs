@@ -109,7 +109,9 @@ fn open_loop_generator_offers_requested_rate() {
         ServerConfig::default(),
         ClientConfig {
             n_conns: 8,
-            mode: LoadMode::Open { rate_rps: 200_000.0 },
+            mode: LoadMode::Open {
+                rate_rps: 200_000.0,
+            },
             warmup: Time::from_ms(2),
             ..Default::default()
         },
