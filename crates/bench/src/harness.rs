@@ -4,6 +4,7 @@
 use flextoe_apps::{
     ClientConfig, FlexToeStack, RpcClientApp, RpcServerApp, ServerConfig, StackApi,
 };
+use flextoe_ccp::FoldSpec;
 use flextoe_control::{CcAlgo, ControlPlane, CtrlConfig};
 use flextoe_core::{FlexToeNic, NicConfig, PipeCfg};
 use flextoe_hoststack::{build_host, host_socket_api, HostStackNode, StackKind};
@@ -85,15 +86,25 @@ impl Endpoint {
 pub struct PairOpts {
     pub cfg: PipeCfg,
     pub cc: CcAlgo,
+    /// Control-loop (RTO / teardown) iteration interval.
+    pub cc_interval: Duration,
+    /// Datapath fold report interval.
+    pub report_interval: Duration,
+    /// Fold installed for new flows (native builtin or compiled eBPF).
+    pub fold: FoldSpec,
     pub propagation: Duration,
     pub faults: Faults,
 }
 
 impl Default for PairOpts {
     fn default() -> Self {
+        let ctrl = CtrlConfig::default();
         PairOpts {
             cfg: PipeCfg::agilio_full(),
             cc: CcAlgo::Dctcp,
+            cc_interval: ctrl.cc_interval,
+            report_interval: ctrl.report_interval,
+            fold: FoldSpec::Builtin,
             propagation: Duration::from_us(2),
             faults: Faults::default(),
         }
@@ -118,6 +129,9 @@ fn build_endpoint(
             let cp = ControlPlane::new(
                 CtrlConfig {
                     cc: opts.cc,
+                    cc_interval: opts.cc_interval,
+                    report_interval: opts.report_interval,
+                    fold: opts.fold.clone(),
                     ..Default::default()
                 },
                 nic.handle(),

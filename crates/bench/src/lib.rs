@@ -1,0 +1,9 @@
+//! Experiment harness library: topology builders, the per-table/figure
+//! runners, and the congested-fabric `cc` scenario. The `flextoe-bench`
+//! binary is a thin subcommand dispatcher over this; the integration
+//! suite reuses the builders and the `cc` runner directly.
+
+pub mod cc;
+pub mod enginebench;
+pub mod exp;
+pub mod harness;

@@ -6,9 +6,7 @@
 //! cargo run -p flextoe-bench --release -- table3 fig15
 //! ```
 
-mod enginebench;
-mod exp;
-mod harness;
+use flextoe_bench::{cc, exp};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -37,6 +35,7 @@ fn main() {
         ("fig15", exp::fig15),
         ("fig16", exp::fig16),
         ("ablate-reorder", exp::ablate_reorder),
+        ("cc", cc::cc),
         ("bench-pipeline", exp::bench_pipeline),
     ];
     // bench-pipeline is a perf snapshot, not a paper experiment: only on

@@ -1,0 +1,189 @@
+//! The event-driven congestion-control algorithm runtime (§D).
+//!
+//! "FlexTOE provides a generic control-plane framework to implement
+//! different rate and window-based congestion control algorithms."
+//! Algorithms are event-driven in the CCP style: the datapath fold layer
+//! delivers batched [`FlowStats`] reports ([`Algorithm::on_report`]), and
+//! urgent events — RTO, fast retransmit — arrive out-of-band
+//! ([`Algorithm::on_urgent`]). Algorithms return a transmission rate in
+//! bytes/second; the control plane converts rates to the scheduler's
+//! interval-per-byte representation (the NFP cannot divide, §3.4).
+//! Window-based algorithms (CUBIC, Reno-style generic-cong-avoid) map
+//! their window to a rate through the RTT estimate, like portus'
+//! `ccp_generic_cong_avoid`.
+
+/// One flow's folded statistics over a report window (built-in fold
+/// fields; Table 5 post partition: `cnt_ackb`, `cnt_ecnb`, `cnt_fretx`,
+/// `rtt_est`).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FlowStats {
+    /// Bytes acknowledged over the report window.
+    pub acked_bytes: u32,
+    /// ECN-marked bytes over the report window.
+    pub ecn_bytes: u32,
+    /// Fast retransmits over the report window.
+    pub fast_retx: u8,
+    /// Smoothed RTT estimate, microseconds.
+    pub rtt_us: u32,
+    /// Whether an RTO fired (urgent path; never set in batched reports).
+    pub rto_fired: bool,
+    /// Wall-clock span the report covers, microseconds (0 = unknown).
+    pub elapsed_us: u32,
+}
+
+/// An urgent out-of-interval event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Urgent {
+    /// Retransmission timeout fired (control-plane RTO monitor).
+    Rto,
+    /// Fast retransmit observed by the datapath fold.
+    FastRetx,
+}
+
+/// An event-driven congestion-control algorithm instance (one per flow).
+pub trait Algorithm {
+    /// Consume one batched report; returns the new rate in bytes/second.
+    fn on_report(&mut self, stats: &FlowStats) -> u64;
+
+    /// React to an urgent event. The default maps the event onto a
+    /// synthetic report, which suits loss-reactive algorithms.
+    fn on_urgent(&mut self, ev: Urgent) -> u64 {
+        let stats = match ev {
+            Urgent::Rto => FlowStats {
+                rto_fired: true,
+                ..Default::default()
+            },
+            Urgent::FastRetx => FlowStats {
+                fast_retx: 1,
+                ..Default::default()
+            },
+        };
+        self.on_report(&stats)
+    }
+
+    /// Current rate without updating.
+    fn rate(&self) -> u64;
+
+    fn name(&self) -> &'static str;
+}
+
+/// Collapses loss signals into one congestion *event* per RTT.
+///
+/// The event-driven runtime delivers an urgent report per fast
+/// retransmit; a dupack burst would otherwise apply several
+/// multiplicative cuts back-to-back and collapse the flow to its floor
+/// (classic TCP cuts once per window — portus' generic_cong_avoid keeps
+/// a `curr_cwnd_reduction` deficit for the same reason). RTOs always
+/// cut: the retransmit timer's backoff already spaces them.
+#[derive(Clone, Copy, Debug)]
+pub struct LossGate {
+    since_cut_us: u32,
+    last_rtt_us: u32,
+}
+
+impl Default for LossGate {
+    fn default() -> Self {
+        LossGate {
+            since_cut_us: u32::MAX,
+            last_rtt_us: 0,
+        }
+    }
+}
+
+impl LossGate {
+    pub fn new() -> LossGate {
+        LossGate::default()
+    }
+
+    /// Feed one report; returns whether a multiplicative cut applies now.
+    pub fn observe(&mut self, stats: &FlowStats) -> bool {
+        if stats.rtt_us > 0 {
+            self.last_rtt_us = stats.rtt_us;
+        }
+        self.since_cut_us = self.since_cut_us.saturating_add(stats.elapsed_us);
+        let cut = stats.rto_fired || (stats.fast_retx > 0 && self.since_cut_us >= self.last_rtt_us);
+        if cut {
+            self.since_cut_us = 0;
+        }
+        cut
+    }
+}
+
+/// Convert a rate to the scheduler's pacing interval (ps per byte).
+/// A rate at or above `line_rate` is treated as uncongested (interval 0 —
+/// the Carousel round-robin bypass, §3.4). The division rounds *up*: a
+/// truncated interval would pace slightly faster than the algorithm's
+/// decision, overshooting the rate it chose.
+pub fn rate_to_interval(rate_bps_bytes: u64, line_rate_bytes: u64) -> u64 {
+    if rate_bps_bytes == 0 {
+        return u64::MAX;
+    }
+    if rate_bps_bytes >= line_rate_bytes {
+        return 0;
+    }
+    1_000_000_000_000u64.div_ceil(rate_bps_bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_gate_one_cut_per_rtt() {
+        let mut g = LossGate::new();
+        let loss = |elapsed_us| FlowStats {
+            fast_retx: 1,
+            rtt_us: 100,
+            elapsed_us,
+            ..Default::default()
+        };
+        assert!(g.observe(&loss(0)), "first loss always cuts");
+        assert!(!g.observe(&loss(30)), "same window: suppressed");
+        assert!(!g.observe(&loss(30)));
+        assert!(g.observe(&loss(50)), "an RTT later: cuts again");
+        // RTOs bypass the gate (the retransmit timer spaces them)
+        assert!(g.observe(&FlowStats {
+            rto_fired: true,
+            ..Default::default()
+        }));
+        // clean reports never cut
+        assert!(!g.observe(&FlowStats {
+            acked_bytes: 1000,
+            elapsed_us: 1000,
+            ..Default::default()
+        }));
+    }
+
+    #[test]
+    fn interval_conversion() {
+        let line = 5_000_000_000; // 40 Gbps in bytes/s
+        assert_eq!(rate_to_interval(line, line), 0);
+        assert_eq!(rate_to_interval(line * 2, line), 0);
+        // 1 GB/s -> 1000 ps/byte
+        assert_eq!(rate_to_interval(1_000_000_000, line), 1_000);
+        // 1 MB/s -> 1_000_000 ps/byte
+        assert_eq!(rate_to_interval(1_000_000, line), 1_000_000);
+        assert_eq!(rate_to_interval(0, line), u64::MAX);
+    }
+
+    #[test]
+    fn interval_rounds_up_never_exceeding_requested_rate() {
+        let line = 5_000_000_000u64;
+        // 3 bytes/s does not divide 1e12: truncation would give an
+        // interval whose implied rate exceeds 3 B/s
+        assert_eq!(rate_to_interval(3, line), 333_333_333_334);
+        for rate in [3u64, 7, 1_000_001, 333_333_337, 4_999_999_999] {
+            let interval = rate_to_interval(rate, line);
+            // implied rate = 1e12 / interval must not exceed the request
+            assert!(
+                interval.saturating_mul(rate) >= 1_000_000_000_000,
+                "rate {rate}: interval {interval} paces faster than requested"
+            );
+            // …and must stay within one byte-interval of it (tight bound)
+            assert!(
+                (interval - 1).saturating_mul(rate) < 1_000_000_000_000,
+                "rate {rate}: interval {interval} overly conservative"
+            );
+        }
+    }
+}

@@ -1,0 +1,171 @@
+//! CUBIC [RFC 8312] as a [`WindowRule`] for the generic-cong-avoid
+//! harness: window growth is a cubic function of the time since the last
+//! congestion event, centered on the window at that event (`W_max`) —
+//! RTT-independent probing that dominates WAN kernels, here available to
+//! offloaded flows through the same runtime as DCTCP/TIMELY.
+
+use super::gca::{WindowRule, MSS};
+
+/// Cubic scaling constant C (RFC 8312 §5).
+const C: f64 = 0.4;
+/// Multiplicative-decrease factor β_cubic.
+const BETA: f64 = 0.7;
+
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Cubic {
+    /// Window (in MSS) at the last congestion event.
+    w_max_mss: f64,
+    /// Inflection-point delay K, seconds.
+    k: f64,
+    /// Time since the last congestion event, seconds (accumulated from
+    /// report `elapsed_us` — the runtime is event-driven, no clock reads).
+    t: f64,
+}
+
+impl Cubic {
+    fn w_cubic(&self, t: f64) -> f64 {
+        C * (t - self.k).powi(3) + self.w_max_mss
+    }
+}
+
+impl WindowRule for Cubic {
+    fn on_ack(&mut self, cwnd: f64, acked: f64, rtt_us: u32, elapsed_us: u32) -> f64 {
+        self.t += elapsed_us as f64 * 1e-6;
+        let cwnd_mss = cwnd / MSS;
+        let acked_mss = acked / MSS;
+        if self.w_max_mss == 0.0 {
+            // no congestion event yet: Reno-style probing
+            return cwnd + MSS * (acked / cwnd);
+        }
+        // target the cubic curve one RTT ahead; growth is ack-clocked
+        let target = self.w_cubic(self.t + rtt_us as f64 * 1e-6);
+        let next_mss = if target > cwnd_mss {
+            cwnd_mss + (target - cwnd_mss).min(acked_mss)
+        } else {
+            // TCP-friendly floor region: creep forward very slowly
+            cwnd_mss + acked_mss / (100.0 * cwnd_mss)
+        };
+        next_mss * MSS
+    }
+
+    fn on_loss(&mut self, cwnd: f64) -> f64 {
+        let cwnd_mss = cwnd / MSS;
+        // fast convergence (RFC 8312 §4.6)
+        self.w_max_mss = if cwnd_mss < self.w_max_mss {
+            cwnd_mss * (1.0 + BETA) / 2.0
+        } else {
+            cwnd_mss
+        };
+        self.k = (self.w_max_mss * (1.0 - BETA) / C).cbrt();
+        self.t = 0.0;
+        cwnd * BETA
+    }
+
+    fn reset(&mut self) {
+        *self = Cubic::default();
+    }
+
+    fn name(&self) -> &'static str {
+        "cubic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{Algorithm, FlowStats};
+    use crate::algos::gca::GenericCongAvoid;
+
+    fn cubic() -> GenericCongAvoid<Cubic> {
+        GenericCongAvoid::new(Cubic::default(), 5_000_000_000)
+    }
+
+    fn acked(n: u32, elapsed_us: u32) -> FlowStats {
+        FlowStats {
+            acked_bytes: n,
+            rtt_us: 100,
+            elapsed_us,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn loss_cuts_by_beta_and_recovers_concavely() {
+        let mut cc = cubic();
+        for _ in 0..14 {
+            let w = cc.cwnd_bytes() as u32;
+            cc.on_report(&acked(w, 100));
+        }
+        let before = cc.cwnd_bytes() as f64;
+        cc.on_report(&FlowStats {
+            fast_retx: 1,
+            rtt_us: 100,
+            ..Default::default()
+        });
+        let after = cc.cwnd_bytes() as f64;
+        assert!(
+            (after / before - BETA).abs() < 0.01,
+            "β cut: {after}/{before}"
+        );
+        // growth back toward w_max decelerates as it approaches (concave)
+        let mut gains = Vec::new();
+        for _ in 0..12 {
+            let w = cc.cwnd_bytes();
+            cc.on_report(&acked(w as u32, 2_000));
+            gains.push(cc.cwnd_bytes().saturating_sub(w));
+        }
+        let early: u64 = gains[..4].iter().sum();
+        let late: u64 = gains[8..].iter().sum();
+        assert!(
+            late < early,
+            "concave approach to w_max: early {early} late {late} ({gains:?})"
+        );
+    }
+
+    #[test]
+    fn plateau_then_convex_probing_beyond_w_max() {
+        let mut cc = cubic();
+        // grow to a realistic window (~320 MSS → K ≈ 5.7 s), then lose
+        for _ in 0..5 {
+            let w = cc.cwnd_bytes() as u32;
+            cc.on_report(&acked(w, 100));
+        }
+        cc.on_report(&FlowStats {
+            fast_retx: 1,
+            rtt_us: 100,
+            ..Default::default()
+        });
+        // run long past K: the window must exceed w_max again (probing)
+        let w_after_cut = cc.cwnd_bytes();
+        for _ in 0..300 {
+            let w = cc.cwnd_bytes();
+            cc.on_report(&acked(w as u32, 100_000));
+        }
+        assert!(
+            cc.cwnd_bytes() > w_after_cut * 10 / 7,
+            "probes beyond w_max: {} vs cut {}",
+            cc.cwnd_bytes(),
+            w_after_cut
+        );
+    }
+
+    #[test]
+    fn ignores_ecn_marks_unlike_dctcp() {
+        // CUBIC is loss-based: ECN-marked bytes alone must not cut the
+        // window (the cc experiment's dctcp-vs-cubic contrast).
+        let mut cc = cubic();
+        for _ in 0..10 {
+            let w = cc.cwnd_bytes() as u32;
+            cc.on_report(&acked(w, 100));
+        }
+        let before = cc.cwnd_bytes();
+        cc.on_report(&FlowStats {
+            acked_bytes: 10_000,
+            ecn_bytes: 10_000,
+            rtt_us: 100,
+            elapsed_us: 100,
+            ..Default::default()
+        });
+        assert!(cc.cwnd_bytes() >= before, "marks alone don't cut CUBIC");
+    }
+}

@@ -1,4 +1,4 @@
-//! DCTCP [1] as a rate-based control-plane policy — the paper's default
+//! DCTCP \[1\] as a rate-based control-plane policy — the paper's default
 //! ("DCTCP is our default congestion control policy", §5).
 //!
 //! The fraction of ECN-marked bytes per window feeds the standard
@@ -8,7 +8,7 @@
 //! the rate. This mirrors TAS's rate-based DCTCP adaptation, which
 //! FlexTOE's control plane inherits (§D).
 
-use super::{CongestionControl, FlowStats};
+use crate::algo::{Algorithm, FlowStats, LossGate};
 
 #[derive(Clone, Debug)]
 pub struct Dctcp {
@@ -18,9 +18,10 @@ pub struct Dctcp {
     g: f64,
     line_rate: u64,
     min_rate: u64,
-    /// Additive-increase step per iteration, bytes/s.
+    /// Additive-increase step per report, bytes/s.
     ai_step: u64,
     slow_start: bool,
+    loss_gate: LossGate,
 }
 
 impl Dctcp {
@@ -30,22 +31,30 @@ impl Dctcp {
             alpha: 0.0,
             g: 1.0 / 16.0,
             line_rate: line_rate_bytes,
-            min_rate: 10_000, // 10 kB/s floor
+            // Keep the floor high enough that the ACK clock — and with it
+            // the event-driven report stream — never starves: a flow cut
+            // to the floor still sends ~1 MSS every few hundred µs, so
+            // reports keep flowing and additive increase can recover.
+            min_rate: (line_rate_bytes / 1000).max(10_000),
             ai_step: line_rate_bytes / 100,
             slow_start: true,
+            loss_gate: LossGate::new(),
         }
     }
 }
 
-impl CongestionControl for Dctcp {
-    fn update(&mut self, stats: &FlowStats) -> u64 {
+impl Algorithm for Dctcp {
+    fn on_report(&mut self, stats: &FlowStats) -> u64 {
         let total = stats.acked_bytes.max(1) as f64;
         let frac = (stats.ecn_bytes as f64 / total).min(1.0);
         self.alpha = (1.0 - self.g) * self.alpha + self.g * frac;
 
-        if stats.rto_fired || stats.fast_retx > 0 {
+        if self.loss_gate.observe(stats) {
             self.slow_start = false;
             self.rate = (self.rate / 2).max(self.min_rate);
+        } else if stats.rto_fired || stats.fast_retx > 0 {
+            // same congestion event as a cut just applied: hold
+            self.slow_start = false;
         } else if frac > 0.0 {
             self.slow_start = false;
             let cut = 1.0 - self.alpha / 2.0;
@@ -87,7 +96,7 @@ mod tests {
         let mut cc = Dctcp::new(line);
         let mut last = cc.rate();
         for _ in 0..10 {
-            let r = cc.update(&stats(100_000, 0));
+            let r = cc.on_report(&stats(100_000, 0));
             assert!(r >= last);
             last = r;
         }
@@ -99,21 +108,21 @@ mod tests {
         let line = 5_000_000_000;
         let mut cc = Dctcp::new(line);
         for _ in 0..10 {
-            cc.update(&stats(100_000, 0));
+            cc.on_report(&stats(100_000, 0));
         }
         let before = cc.rate();
         // full marking drives alpha up and the rate down hard
         for _ in 0..20 {
-            cc.update(&stats(100_000, 100_000));
+            cc.on_report(&stats(100_000, 100_000));
         }
         assert!(cc.rate() < before / 4, "{} !<< {}", cc.rate(), before);
         // light marking cuts gently
         let mut cc2 = Dctcp::new(line);
         for _ in 0..10 {
-            cc2.update(&stats(100_000, 0));
+            cc2.on_report(&stats(100_000, 0));
         }
         let before2 = cc2.rate();
-        cc2.update(&stats(100_000, 5_000)); // 5% marks
+        cc2.on_report(&stats(100_000, 5_000)); // 5% marks
         assert!(cc2.rate() > before2 / 2, "light marking ≠ halving");
     }
 
@@ -122,18 +131,18 @@ mod tests {
         let line = 5_000_000_000;
         let mut cc = Dctcp::new(line);
         for _ in 0..10 {
-            cc.update(&stats(100_000, 0));
+            cc.on_report(&stats(100_000, 0));
         }
         let before = cc.rate();
-        let after = cc.update(&FlowStats {
+        let after = cc.on_report(&FlowStats {
             acked_bytes: 0,
             fast_retx: 1,
             ..Default::default()
         });
         assert_eq!(after, before / 2);
         // additive recovery, no more slow start
-        let r1 = cc.update(&stats(100_000, 0));
-        let r2 = cc.update(&stats(100_000, 0));
+        let r1 = cc.on_report(&stats(100_000, 0));
+        let r2 = cc.on_report(&stats(100_000, 0));
         assert_eq!(r2 - r1, r1 - after);
     }
 
@@ -141,12 +150,23 @@ mod tests {
     fn rate_floor_holds() {
         let mut cc = Dctcp::new(5_000_000_000);
         for _ in 0..100 {
-            cc.update(&FlowStats {
+            cc.on_report(&FlowStats {
                 rto_fired: true,
                 ..Default::default()
             });
         }
-        assert_eq!(cc.rate(), 10_000);
+        // floor = line/1000: low enough to be a 1000× back-off, high
+        // enough that the ACK clock keeps reports (and recovery) alive
+        assert_eq!(cc.rate(), 5_000_000);
+        // small links keep the absolute floor
+        let mut small = Dctcp::new(1_000_000);
+        for _ in 0..100 {
+            small.on_report(&FlowStats {
+                rto_fired: true,
+                ..Default::default()
+            });
+        }
+        assert_eq!(small.rate(), 10_000);
     }
 
     #[test]
@@ -154,6 +174,16 @@ mod tests {
         let mut cc = Dctcp::new(5_000_000_000);
         let r = cc.rate();
         // no acks, no marks: nothing changes
-        assert_eq!(cc.update(&stats(0, 0)), r);
+        assert_eq!(cc.on_report(&stats(0, 0)), r);
+    }
+
+    #[test]
+    fn urgent_events_map_to_loss() {
+        use crate::algo::Urgent;
+        let mut cc = Dctcp::new(5_000_000_000);
+        let before = cc.rate();
+        assert_eq!(cc.on_urgent(Urgent::Rto), before / 2);
+        let before = cc.rate();
+        assert_eq!(cc.on_urgent(Urgent::FastRetx), before / 2);
     }
 }

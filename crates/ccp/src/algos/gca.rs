@@ -1,0 +1,216 @@
+//! Window-based algorithms on a rate-programmed scheduler: the
+//! generic-cong-avoid harness (portus `ccp_generic_cong_avoid`).
+//!
+//! Classic TCP algorithms reason in a congestion *window*; FlexTOE's flow
+//! scheduler is programmed with a *rate* (interval-per-byte, §3.4). The
+//! harness keeps the window state machine — slow start to `ss_thresh`,
+//! then a pluggable [`WindowRule`] for congestion avoidance and loss —
+//! and maps the window onto a rate through the flow's RTT estimate:
+//! `rate = cwnd / rtt`.
+
+use crate::algo::{Algorithm, FlowStats, LossGate};
+
+/// Default maximum segment size used for window arithmetic.
+pub const MSS: f64 = 1448.0;
+
+/// A congestion-avoidance window rule (the pluggable half of
+/// generic-cong-avoid). All windows are in bytes.
+pub trait WindowRule {
+    /// Congestion-avoidance growth for `acked` newly-acknowledged bytes.
+    fn on_ack(&mut self, cwnd: f64, acked: f64, rtt_us: u32, elapsed_us: u32) -> f64;
+    /// Multiplicative decrease on fast retransmit.
+    fn on_loss(&mut self, cwnd: f64) -> f64;
+    /// Forget history after an RTO (window collapses to init).
+    fn reset(&mut self) {}
+    fn name(&self) -> &'static str;
+}
+
+/// Reno: AIMD — one MSS per RTT of acknowledged data, halve on loss.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Reno;
+
+impl WindowRule for Reno {
+    fn on_ack(&mut self, cwnd: f64, acked: f64, _rtt_us: u32, _elapsed_us: u32) -> f64 {
+        cwnd + MSS * (acked / cwnd)
+    }
+
+    fn on_loss(&mut self, cwnd: f64) -> f64 {
+        cwnd / 2.0
+    }
+
+    fn name(&self) -> &'static str {
+        "reno"
+    }
+}
+
+/// The generic-cong-avoid harness wrapping a [`WindowRule`].
+pub struct GenericCongAvoid<R: WindowRule> {
+    rule: R,
+    cwnd: f64,
+    init_cwnd: f64,
+    ss_thresh: f64,
+    rtt_us: u32,
+    line_rate: u64,
+    min_rate: u64,
+    rate: u64,
+    loss_gate: LossGate,
+}
+
+impl<R: WindowRule> GenericCongAvoid<R> {
+    pub fn new(rule: R, line_rate_bytes: u64) -> GenericCongAvoid<R> {
+        let init_cwnd = 10.0 * MSS;
+        GenericCongAvoid {
+            rule,
+            cwnd: init_cwnd,
+            init_cwnd,
+            ss_thresh: f64::MAX,
+            rtt_us: 0,
+            line_rate: line_rate_bytes,
+            min_rate: 10_000,
+            rate: line_rate_bytes / 10,
+            loss_gate: LossGate::new(),
+        }
+    }
+
+    pub fn cwnd_bytes(&self) -> u64 {
+        self.cwnd as u64
+    }
+
+    /// Window → rate through the RTT estimate, clamped to the link.
+    fn window_to_rate(&mut self) {
+        if self.rtt_us == 0 {
+            return; // no sample yet: keep the initial rate
+        }
+        let rate = self.cwnd * 1_000_000.0 / self.rtt_us as f64;
+        self.rate = (rate as u64).clamp(self.min_rate, self.line_rate);
+    }
+}
+
+impl<R: WindowRule> Algorithm for GenericCongAvoid<R> {
+    fn on_report(&mut self, stats: &FlowStats) -> u64 {
+        if stats.rtt_us > 0 {
+            self.rtt_us = stats.rtt_us;
+        }
+        let cut = self.loss_gate.observe(stats);
+        if stats.rto_fired {
+            self.ss_thresh = (self.cwnd / 2.0).max(self.init_cwnd);
+            self.cwnd = self.init_cwnd;
+            self.rule.reset();
+        } else if stats.fast_retx > 0 {
+            if cut {
+                self.cwnd = self.rule.on_loss(self.cwnd).max(self.init_cwnd);
+                self.ss_thresh = self.cwnd;
+            }
+            // else: same congestion event as the cut just applied — hold
+        } else if stats.acked_bytes > 0 {
+            let mut acked = stats.acked_bytes as f64;
+            if self.cwnd < self.ss_thresh {
+                // slow start consumes acked bytes up to ss_thresh
+                let ss = acked.min(self.ss_thresh - self.cwnd);
+                self.cwnd += ss;
+                acked -= ss;
+            }
+            if acked > 0.0 {
+                self.cwnd = self
+                    .rule
+                    .on_ack(self.cwnd, acked, stats.rtt_us, stats.elapsed_us);
+            }
+        }
+        self.window_to_rate();
+        self.rate
+    }
+
+    fn rate(&self) -> u64 {
+        self.rate
+    }
+
+    fn name(&self) -> &'static str {
+        self.rule.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn acked(n: u32, rtt_us: u32) -> FlowStats {
+        FlowStats {
+            acked_bytes: n,
+            rtt_us,
+            elapsed_us: 50,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn slow_start_doubles_window() {
+        let mut cc = GenericCongAvoid::new(Reno, 5_000_000_000);
+        let w0 = cc.cwnd_bytes();
+        cc.on_report(&acked(w0 as u32, 100));
+        assert_eq!(cc.cwnd_bytes(), 2 * w0, "a full window of acks doubles");
+    }
+
+    #[test]
+    fn reno_aimd_after_loss() {
+        let line = 5_000_000_000;
+        let mut cc = GenericCongAvoid::new(Reno, line);
+        for _ in 0..12 {
+            let w = cc.cwnd_bytes() as u32;
+            cc.on_report(&acked(w, 100));
+        }
+        let before = cc.cwnd_bytes();
+        cc.on_report(&FlowStats {
+            fast_retx: 1,
+            rtt_us: 100,
+            ..Default::default()
+        });
+        assert_eq!(cc.cwnd_bytes(), before / 2, "loss halves");
+        // congestion avoidance: +1 MSS per window of acks
+        let w = cc.cwnd_bytes();
+        cc.on_report(&acked(w as u32, 100));
+        let grown = cc.cwnd_bytes() - w;
+        assert!(
+            (grown as f64 - MSS).abs() < 2.0,
+            "additive increase ≈ 1 MSS, got {grown}"
+        );
+    }
+
+    #[test]
+    fn rto_collapses_to_init() {
+        let mut cc = GenericCongAvoid::new(Reno, 5_000_000_000);
+        for _ in 0..12 {
+            let w = cc.cwnd_bytes() as u32;
+            cc.on_report(&acked(w, 100));
+        }
+        cc.on_report(&FlowStats {
+            rto_fired: true,
+            ..Default::default()
+        });
+        assert_eq!(cc.cwnd_bytes(), (10.0 * MSS) as u64);
+    }
+
+    #[test]
+    fn window_maps_to_rate_via_rtt() {
+        let mut cc = GenericCongAvoid::new(Reno, u64::MAX / 2);
+        cc.on_report(&acked(14_480, 1_000)); // rtt 1ms
+        let expect = cc.cwnd_bytes() as f64 * 1_000.0; // cwnd / 1ms
+        let got = cc.rate() as f64;
+        assert!((got - expect).abs() / expect < 0.01, "{got} vs {expect}");
+        // halving the RTT doubles the rate for the same window
+        let r1 = cc.rate();
+        cc.on_report(&FlowStats {
+            rtt_us: 500,
+            ..Default::default()
+        });
+        assert!(cc.rate() > r1 * 3 / 2);
+    }
+
+    #[test]
+    fn no_rtt_sample_keeps_initial_rate() {
+        let line = 5_000_000_000;
+        let mut cc = GenericCongAvoid::new(Reno, line);
+        let r0 = cc.rate();
+        cc.on_report(&acked(10_000, 0));
+        assert_eq!(cc.rate(), r0);
+    }
+}

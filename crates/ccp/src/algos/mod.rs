@@ -1,0 +1,92 @@
+//! The stock algorithms and the name-keyed registry the control plane
+//! selects from (`CtrlConfig`), in the portus style: each algorithm is a
+//! factory the runtime instantiates per flow.
+
+pub mod cubic;
+pub mod dctcp;
+pub mod gca;
+pub mod timely;
+
+pub use cubic::Cubic;
+pub use dctcp::Dctcp;
+pub use gca::{GenericCongAvoid, Reno, WindowRule, MSS};
+pub use timely::Timely;
+
+use crate::algo::Algorithm;
+
+/// Instantiates one per-flow algorithm for a given line rate (bytes/s).
+pub type AlgoFactory = Box<dyn Fn(u64) -> Box<dyn Algorithm>>;
+
+/// The algorithm registry: names → factories. Ships with the four stock
+/// algorithms; experiments register custom ones with [`Registry::add`].
+pub struct Registry {
+    entries: Vec<(String, AlgoFactory)>,
+}
+
+impl Registry {
+    /// The stock registry: dctcp, timely, cubic, reno.
+    pub fn builtin() -> Registry {
+        let mut r = Registry {
+            entries: Vec::new(),
+        };
+        r.add("dctcp", |line| Box::new(Dctcp::new(line)));
+        r.add("timely", |line| Box::new(Timely::new(line)));
+        r.add("cubic", |line| {
+            Box::new(GenericCongAvoid::new(Cubic::default(), line))
+        });
+        r.add("reno", |line| Box::new(GenericCongAvoid::new(Reno, line)));
+        r
+    }
+
+    /// Register (or replace) an algorithm under `name`.
+    pub fn add(&mut self, name: &str, factory: impl Fn(u64) -> Box<dyn Algorithm> + 'static) {
+        self.entries.retain(|(n, _)| n != name);
+        self.entries.push((name.to_string(), Box::new(factory)));
+    }
+
+    /// Instantiate `name` for a flow on a `line_rate_bytes` link.
+    pub fn create(&self, name: &str, line_rate_bytes: u64) -> Option<Box<dyn Algorithm>> {
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, f)| f(line_rate_bytes))
+    }
+
+    pub fn names(&self) -> Vec<&str> {
+        self.entries.iter().map(|(n, _)| n.as_str()).collect()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry::builtin()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtin_registry_has_four_selectable_algorithms() {
+        let r = Registry::builtin();
+        assert_eq!(r.names(), vec!["dctcp", "timely", "cubic", "reno"]);
+        for name in ["dctcp", "timely", "cubic", "reno"] {
+            let a = r.create(name, 5_000_000_000).expect(name);
+            assert_eq!(a.name(), name);
+            assert!(a.rate() > 0);
+        }
+        assert!(r.create("vegas", 1).is_none());
+    }
+
+    #[test]
+    fn custom_algorithms_register_and_override() {
+        let mut r = Registry::builtin();
+        r.add("fixed", |line| Box::new(Dctcp::new(line / 2)));
+        assert!(r.create("fixed", 1_000).is_some());
+        assert_eq!(r.names().len(), 5);
+        // replace keeps a single entry
+        r.add("fixed", |line| Box::new(Dctcp::new(line)));
+        assert_eq!(r.names().len(), 5);
+    }
+}

@@ -1,15 +1,16 @@
-//! TIMELY [34]: RTT-gradient congestion control, the paper's second
+//! TIMELY \[34\]: RTT-gradient congestion control, the paper's second
 //! control-plane policy (§2.1, §D: "FlexTOE implements DCTCP and TIMELY").
 //!
 //! The data-path's accurate ACK timestamps (§3.1.3 "Stamp") provide the
 //! RTT samples; the control plane computes the gradient — exactly the
 //! computation that is too expensive on FPCs (§2.3: 1,500 cycles/RTT).
 
-use super::{CongestionControl, FlowStats};
+use crate::algo::{Algorithm, FlowStats, LossGate};
 
 #[derive(Clone, Debug)]
 pub struct Timely {
     rate: u64,
+    loss_gate: LossGate,
     prev_rtt_us: f64,
     /// EWMA of the normalized RTT gradient.
     gradient: f64,
@@ -32,10 +33,12 @@ impl Timely {
     pub fn new(line_rate_bytes: u64) -> Timely {
         Timely {
             rate: line_rate_bytes / 10,
+            loss_gate: LossGate::new(),
             prev_rtt_us: 0.0,
             gradient: 0.0,
             line_rate: line_rate_bytes,
-            min_rate: 10_000,
+            // same ACK-clock-preserving floor as Dctcp
+            min_rate: (line_rate_bytes / 1000).max(10_000),
             ai_step: line_rate_bytes / 100,
             t_low: 50.0,
             t_high: 500.0,
@@ -49,11 +52,18 @@ impl Timely {
     const MIN_RTT_US: f64 = 20.0;
 }
 
-impl CongestionControl for Timely {
-    fn update(&mut self, stats: &FlowStats) -> u64 {
-        if stats.rto_fired {
+impl Algorithm for Timely {
+    fn on_report(&mut self, stats: &FlowStats) -> u64 {
+        // TIMELY's signal is delay, but on a lossy fabric (WRED, tail
+        // drops) delay alone can sit inside the gradient band while the
+        // queue overflows — react to loss like every deployment does,
+        // at most one cut per RTT
+        if self.loss_gate.observe(stats) {
             self.rate = (self.rate / 2).max(self.min_rate);
             return self.rate;
+        }
+        if stats.rto_fired || stats.fast_retx > 0 {
+            return self.rate; // same congestion event: hold
         }
         if stats.rtt_us == 0 {
             return self.rate; // no sample yet
@@ -114,7 +124,7 @@ mod tests {
         let line = 5_000_000_000;
         let mut cc = Timely::new(line);
         for _ in 0..200 {
-            cc.update(&rtt(20));
+            cc.on_report(&rtt(20));
         }
         assert_eq!(cc.rate(), line);
     }
@@ -126,7 +136,7 @@ mod tests {
         let mut gains = Vec::new();
         let mut prev = a.rate();
         for _ in 0..8 {
-            let r = a.update(&rtt(20));
+            let r = a.on_report(&rtt(20));
             gains.push(r - prev);
             prev = r;
         }
@@ -138,10 +148,10 @@ mod tests {
         let line = 5_000_000_000;
         let mut cc = Timely::new(line);
         for _ in 0..50 {
-            cc.update(&rtt(20));
+            cc.on_report(&rtt(20));
         }
         let before = cc.rate();
-        cc.update(&rtt(2_000)); // way above t_high
+        cc.on_report(&rtt(2_000)); // way above t_high
         assert!(cc.rate() < before / 2, "{} vs {}", cc.rate(), before);
     }
 
@@ -150,12 +160,12 @@ mod tests {
         let line = 5_000_000_000;
         let mut cc = Timely::new(line);
         for _ in 0..20 {
-            cc.update(&rtt(60));
+            cc.on_report(&rtt(60));
         }
         let before = cc.rate();
         // steeply rising RTT inside [t_low, t_high]
         for r in [100, 150, 200, 260, 330] {
-            cc.update(&rtt(r));
+            cc.on_report(&rtt(r));
         }
         assert!(cc.rate() < before);
     }
@@ -164,10 +174,10 @@ mod tests {
     fn falling_gradient_in_band_increases() {
         let line = 5_000_000_000;
         let mut cc = Timely::new(line);
-        cc.update(&rtt(400));
+        cc.on_report(&rtt(400));
         let before = cc.rate();
         for r in [350, 300, 250, 200, 150] {
-            cc.update(&rtt(r));
+            cc.on_report(&rtt(r));
         }
         assert!(cc.rate() > before);
     }
@@ -176,7 +186,7 @@ mod tests {
     fn rto_halves() {
         let mut cc = Timely::new(5_000_000_000);
         let before = cc.rate();
-        cc.update(&FlowStats {
+        cc.on_report(&FlowStats {
             rto_fired: true,
             ..Default::default()
         });

@@ -1,0 +1,472 @@
+//! Datapath fold programs — the CCP measurement primitive.
+//!
+//! CCP (and portus, its userspace agent) splits congestion control into an
+//! in-datapath *fold function* that aggregates per-ACK measurements and an
+//! out-of-band algorithm that consumes the folded summaries. This module
+//! provides the fold side for the FlexTOE data-path: a tiny instruction
+//! IR (`FoldProg`) over the fields of an ACK event and a per-flow state
+//! record, compiled to eBPF and executed on the `flextoe-ebpf` VM — the
+//! same substrate the XDP extension modules run on. The built-in fold
+//! (the portus `install_fold` default: accumulate acked/ecn/retx bytes,
+//! track the latest RTT, flag urgency on loss) additionally has a native
+//! Rust fast path so the common case never pays VM dispatch.
+//!
+//! Buffer layout handed to the VM (all fields little-endian `u32`, the
+//! VM's native load order): the ACK event record first, the fold state
+//! directly after it. The program reads event fields, read-modify-writes
+//! state fields in place, and returns the state's `urgent` word.
+
+use flextoe_ebpf::insn::{
+    Insn, ProgBuilder, XdpAction, BPF_ADD, BPF_AND, BPF_DW, BPF_JGE, BPF_JGT, BPF_JLE, BPF_OR,
+    BPF_RSH, BPF_SUB, BPF_W, R0, R1, R2, R3, R6, R7, R8,
+};
+use flextoe_ebpf::{MD_DATA, MD_DATA_END};
+
+/// One field of the per-ACK event record (offsets into the VM buffer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventField {
+    /// Bytes newly acknowledged by this segment.
+    AckedBytes,
+    /// ECN-CE-marked payload bytes carried by this segment.
+    EcnBytes,
+    /// Smoothed RTT estimate, microseconds (§3.1.3 "Stamp").
+    RttUs,
+    /// 1 if this ACK triggered a fast retransmit.
+    FastRetx,
+    /// Current time, microseconds.
+    NowUs,
+}
+
+impl EventField {
+    fn off(self) -> i16 {
+        match self {
+            EventField::AckedBytes => 0,
+            EventField::EcnBytes => 4,
+            EventField::RttUs => 8,
+            EventField::FastRetx => 12,
+            EventField::NowUs => 16,
+        }
+    }
+}
+
+/// Size of the event record at the front of the fold buffer.
+pub const EVENT_SIZE: usize = 20;
+
+/// Number of `u32` fold-state registers per flow.
+pub const N_STATE: usize = 9;
+
+/// Total VM buffer: event record + fold state.
+pub const FOLD_BUF_SIZE: usize = EVENT_SIZE + 4 * N_STATE;
+
+/// One register of the per-flow fold state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StateField {
+    /// Accumulated acked bytes since the last report.
+    Acked,
+    /// Accumulated ECN-marked bytes since the last report.
+    Ecn,
+    /// Accumulated fast retransmits since the last report.
+    Fretx,
+    /// Latest RTT estimate (overwritten per event).
+    Rtt,
+    /// Non-zero ⇒ seal and send the report immediately (loss, RTO).
+    Urgent,
+    /// Scratch registers for custom folds (EWMAs, maxima, …): four
+    /// slots, flow-persistent (not reset per report window), surfaced
+    /// to the control plane in `FlowReport::user`.
+    User(u8),
+}
+
+/// Number of `User` scratch registers.
+pub const N_USER: usize = 4;
+
+impl StateField {
+    /// Index into the state array. Panics on an out-of-range `User`
+    /// index — aliasing two logical registers would corrupt folds
+    /// silently.
+    pub fn idx(self) -> usize {
+        match self {
+            StateField::Acked => 0,
+            StateField::Ecn => 1,
+            StateField::Fretx => 2,
+            StateField::Rtt => 3,
+            StateField::Urgent => 4,
+            StateField::User(n) => {
+                assert!(
+                    (n as usize) < N_USER,
+                    "User({n}) out of range: {N_USER} scratch registers"
+                );
+                5 + n as usize
+            }
+        }
+    }
+
+    fn off(self) -> i16 {
+        (EVENT_SIZE + 4 * self.idx()) as i16
+    }
+}
+
+/// An operand of a fold bind.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Operand {
+    Const(u32),
+    Event(EventField),
+    State(StateField),
+}
+
+/// The fold ALU: every bind is `dst = dst <op> arg` (`Set`: `dst = arg`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FoldOp {
+    Set,
+    Add,
+    Sub,
+    Max,
+    Min,
+    Or,
+    And,
+    /// Logical shift right (EWMA building block — the NFP cannot divide).
+    Shr,
+}
+
+/// One fold instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Bind {
+    pub dst: StateField,
+    pub op: FoldOp,
+    pub arg: Operand,
+}
+
+/// A fold program: initial state plus the per-event bind sequence —
+/// the `(def …)` / `(bind …)` pair of a portus fold, as an IR.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FoldProg {
+    pub init: [u32; N_STATE],
+    pub binds: Vec<Bind>,
+}
+
+/// Which fold a control plane installs for its flows.
+#[derive(Clone, Debug, Default)]
+pub enum FoldSpec {
+    /// The built-in fold on its native fast path.
+    #[default]
+    Builtin,
+    /// A custom fold program, compiled to eBPF at install time.
+    Program(FoldProg),
+}
+
+impl FoldSpec {
+    /// Compile once for installation into the measurement layer: `None`
+    /// selects the native fast path, `Some` the VM with this program.
+    pub fn compile_for_install(&self) -> Option<(std::rc::Rc<Vec<Insn>>, [u32; N_STATE])> {
+        match self {
+            FoldSpec::Builtin => None,
+            FoldSpec::Program(p) => Some((std::rc::Rc::new(compile(p)), p.init)),
+        }
+    }
+}
+
+/// The per-ACK measurement event the post-processor feeds into the fold.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct AckEvent {
+    pub acked_bytes: u32,
+    pub ecn_bytes: u32,
+    pub rtt_us: u32,
+    pub fast_retx: bool,
+    pub now_us: u32,
+}
+
+impl AckEvent {
+    fn field(&self, f: EventField) -> u32 {
+        match f {
+            EventField::AckedBytes => self.acked_bytes,
+            EventField::EcnBytes => self.ecn_bytes,
+            EventField::RttUs => self.rtt_us,
+            EventField::FastRetx => self.fast_retx as u32,
+            EventField::NowUs => self.now_us,
+        }
+    }
+
+    /// Serialize into the front of a fold buffer (VM layout).
+    pub fn encode_into(&self, buf: &mut [u8]) {
+        for f in [
+            EventField::AckedBytes,
+            EventField::EcnBytes,
+            EventField::RttUs,
+            EventField::FastRetx,
+            EventField::NowUs,
+        ] {
+            let o = f.off() as usize;
+            buf[o..o + 4].copy_from_slice(&self.field(f).to_le_bytes());
+        }
+    }
+}
+
+impl FoldProg {
+    /// The built-in fold: the aggregation every stock algorithm consumes.
+    /// Equivalent to the portus default measurement fold.
+    pub fn builtin() -> FoldProg {
+        use EventField as E;
+        use FoldOp::*;
+        use StateField as S;
+        FoldProg {
+            init: [0; N_STATE],
+            binds: vec![
+                Bind {
+                    dst: S::Acked,
+                    op: Add,
+                    arg: Operand::Event(E::AckedBytes),
+                },
+                Bind {
+                    dst: S::Ecn,
+                    op: Add,
+                    arg: Operand::Event(E::EcnBytes),
+                },
+                Bind {
+                    dst: S::Fretx,
+                    op: Add,
+                    arg: Operand::Event(E::FastRetx),
+                },
+                Bind {
+                    dst: S::Rtt,
+                    op: Set,
+                    arg: Operand::Event(E::RttUs),
+                },
+                Bind {
+                    dst: S::Urgent,
+                    op: Or,
+                    arg: Operand::Event(E::FastRetx),
+                },
+            ],
+        }
+    }
+
+    /// Reference interpreter (used by the differential tests; custom folds
+    /// execute on the eBPF VM in the data-path).
+    pub fn step(&self, state: &mut [u32; N_STATE], ev: &AckEvent) {
+        for b in &self.binds {
+            let arg = match b.arg {
+                Operand::Const(c) => c,
+                Operand::Event(f) => ev.field(f),
+                Operand::State(s) => state[s.idx()],
+            };
+            let d = &mut state[b.dst.idx()];
+            *d = match b.op {
+                FoldOp::Set => arg,
+                FoldOp::Add => d.wrapping_add(arg),
+                FoldOp::Sub => d.wrapping_sub(arg),
+                FoldOp::Max => (*d).max(arg),
+                FoldOp::Min => (*d).min(arg),
+                FoldOp::Or => *d | arg,
+                FoldOp::And => *d & arg,
+                FoldOp::Shr => d.wrapping_shr(arg),
+            };
+        }
+    }
+}
+
+/// The native fast path for [`FoldProg::builtin`] — must stay bind-exact
+/// with it (proven by the differential test below).
+pub fn builtin_step(state: &mut [u32; N_STATE], ev: &AckEvent) {
+    state[StateField::Acked.idx()] = state[StateField::Acked.idx()].wrapping_add(ev.acked_bytes);
+    state[StateField::Ecn.idx()] = state[StateField::Ecn.idx()].wrapping_add(ev.ecn_bytes);
+    state[StateField::Fretx.idx()] =
+        state[StateField::Fretx.idx()].wrapping_add(ev.fast_retx as u32);
+    state[StateField::Rtt.idx()] = ev.rtt_us;
+    state[StateField::Urgent.idx()] |= ev.fast_retx as u32;
+}
+
+/// Compile a fold program to eBPF for the `flextoe-ebpf` VM. The packet
+/// buffer is the fold buffer: event record + state. Returns the urgent
+/// word in `r0`.
+pub fn compile(prog: &FoldProg) -> Vec<Insn> {
+    let mut b = ProgBuilder::new();
+    // r6 = data, r7 = data_end; bail (not urgent) on a short buffer
+    b.ldx(BPF_DW, R6, R1, MD_DATA)
+        .ldx(BPF_DW, R7, R1, MD_DATA_END)
+        .mov64_reg(R8, R6)
+        .add64_imm(R8, FOLD_BUF_SIZE as i32)
+        .jmp_reg(BPF_JGT, R8, R7, "short");
+    for (i, bind) in prog.binds.iter().enumerate() {
+        // r3 = arg
+        match bind.arg {
+            Operand::Const(c) => b.mov64_imm(R3, c as i32),
+            Operand::Event(f) => b.ldx(BPF_W, R3, R6, f.off()),
+            Operand::State(s) => b.ldx(BPF_W, R3, R6, s.off()),
+        };
+        let dst_off = bind.dst.off();
+        if bind.op == FoldOp::Set {
+            b.stx(BPF_W, R6, R3, dst_off);
+            continue;
+        }
+        // r2 = dst; r2 = r2 <op> r3; dst = r2
+        b.ldx(BPF_W, R2, R6, dst_off);
+        match bind.op {
+            FoldOp::Set => unreachable!(),
+            FoldOp::Add => b.alu32_reg(BPF_ADD, R2, R3),
+            FoldOp::Sub => b.alu32_reg(BPF_SUB, R2, R3),
+            FoldOp::Or => b.alu32_reg(BPF_OR, R2, R3),
+            FoldOp::And => b.alu32_reg(BPF_AND, R2, R3),
+            FoldOp::Shr => b.alu32_reg(BPF_RSH, R2, R3),
+            FoldOp::Max => {
+                let skip = format!("max_{i}");
+                b.jmp_reg(BPF_JGE, R2, R3, &skip)
+                    .mov64_reg(R2, R3)
+                    .label(&skip)
+            }
+            FoldOp::Min => {
+                let skip = format!("min_{i}");
+                b.jmp_reg(BPF_JLE, R2, R3, &skip)
+                    .mov64_reg(R2, R3)
+                    .label(&skip)
+            }
+        };
+        b.stx(BPF_W, R6, R2, dst_off);
+    }
+    b.ldx(BPF_W, R0, R6, StateField::Urgent.off()).exit();
+    b.label("short").ret(XdpAction::Pass);
+    b.build()
+}
+
+/// Decode a fold-state array from the back of a fold buffer.
+pub fn decode_state(buf: &[u8]) -> [u32; N_STATE] {
+    let mut st = [0u32; N_STATE];
+    for (i, s) in st.iter_mut().enumerate() {
+        let o = EVENT_SIZE + 4 * i;
+        *s = u32::from_le_bytes(buf[o..o + 4].try_into().unwrap());
+    }
+    st
+}
+
+/// Encode a fold-state array into the back of a fold buffer.
+pub fn encode_state(state: &[u32; N_STATE], buf: &mut [u8]) {
+    for (i, s) in state.iter().enumerate() {
+        let o = EVENT_SIZE + 4 * i;
+        buf[o..o + 4].copy_from_slice(&s.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flextoe_ebpf::{MapSet, Vm};
+
+    fn run_vm(prog: &[Insn], state: &mut [u32; N_STATE], ev: &AckEvent) -> (u64, u64) {
+        let mut buf = [0u8; FOLD_BUF_SIZE];
+        ev.encode_into(&mut buf);
+        encode_state(state, &mut buf);
+        let mut maps = MapSet::new();
+        let res = Vm::new().run(prog, &mut buf, &mut maps).expect("fold runs");
+        *state = decode_state(&buf);
+        (res.ret, res.insns)
+    }
+
+    fn events(seed: u64, n: usize) -> Vec<AckEvent> {
+        let mut rng = flextoe_sim::Rng::new(seed);
+        (0..n)
+            .map(|i| AckEvent {
+                acked_bytes: rng.below(20_000) as u32,
+                ecn_bytes: rng.below(1500) as u32,
+                rtt_us: rng.below(500) as u32,
+                fast_retx: rng.chance(0.05),
+                now_us: i as u32 * 7,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn builtin_native_matches_interpreter_and_vm() {
+        let prog = FoldProg::builtin();
+        let compiled = compile(&prog);
+        let mut native = prog.init;
+        let mut interp = prog.init;
+        let mut vm = prog.init;
+        for ev in events(42, 500) {
+            builtin_step(&mut native, &ev);
+            prog.step(&mut interp, &ev);
+            let (urgent, insns) = run_vm(&compiled, &mut vm, &ev);
+            assert!(insns > 0);
+            assert_eq!(native, interp, "native fast path == IR interpreter");
+            assert_eq!(native, vm, "IR interpreter == compiled eBPF");
+            assert_eq!(
+                urgent != 0,
+                native[StateField::Urgent.idx()] != 0,
+                "VM returns the urgent word"
+            );
+        }
+    }
+
+    #[test]
+    fn custom_fold_ops_compile_and_match() {
+        use EventField as E;
+        use FoldOp::*;
+        use StateField as S;
+        // a custom fold: max RTT, min RTT, halved-acked EWMA-ish scratch
+        // (User(2) — state index 7 — is the Min register: starts at MAX)
+        let prog = FoldProg {
+            init: [0, 0, 0, 0, 0, 0, 0, u32::MAX, 0],
+            binds: vec![
+                Bind {
+                    dst: S::User(0),
+                    op: Add,
+                    arg: Operand::Event(E::AckedBytes),
+                },
+                Bind {
+                    dst: S::User(0),
+                    op: Shr,
+                    arg: Operand::Const(1),
+                },
+                Bind {
+                    dst: S::User(1),
+                    op: Max,
+                    arg: Operand::Event(E::RttUs),
+                },
+                Bind {
+                    dst: S::User(2),
+                    op: Min,
+                    arg: Operand::Event(E::RttUs),
+                },
+                Bind {
+                    dst: S::Urgent,
+                    op: Or,
+                    arg: Operand::Event(E::FastRetx),
+                },
+            ],
+        };
+        let compiled = compile(&prog);
+        flextoe_ebpf::verify(&compiled).expect("compiled fold verifies");
+        let mut interp = prog.init;
+        let mut vm = prog.init;
+        for ev in events(7, 300) {
+            prog.step(&mut interp, &ev);
+            run_vm(&compiled, &mut vm, &ev);
+            assert_eq!(interp, vm);
+        }
+        assert!(vm[S::User(1).idx()] >= vm[S::User(2).idx()]);
+    }
+
+    #[test]
+    fn builtin_compiles_and_verifies() {
+        let compiled = compile(&FoldProg::builtin());
+        flextoe_ebpf::verify(&compiled).expect("builtin fold verifies");
+        // stays small — this runs per ACK
+        assert!(compiled.len() < 40, "{} insns", compiled.len());
+    }
+
+    #[test]
+    fn event_roundtrip() {
+        let ev = AckEvent {
+            acked_bytes: 1448,
+            ecn_bytes: 100,
+            rtt_us: 55,
+            fast_retx: true,
+            now_us: 1_000_000,
+        };
+        let mut buf = [0u8; FOLD_BUF_SIZE];
+        ev.encode_into(&mut buf);
+        assert_eq!(u32::from_le_bytes(buf[0..4].try_into().unwrap()), 1448);
+        assert_eq!(u32::from_le_bytes(buf[12..16].try_into().unwrap()), 1);
+        let st = [7u32, 1, 2, 3, 4, 5, 6, 8, 9];
+        encode_state(&st, &mut buf);
+        assert_eq!(decode_state(&buf), st);
+    }
+}

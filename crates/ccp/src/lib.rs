@@ -1,0 +1,34 @@
+//! # flextoe-ccp — the out-of-band congestion-control plane
+//!
+//! FlexTOE separates congestion control from the data-path (§D): the
+//! data-path maintains per-flow statistics, a control plane computes
+//! rates and programs the flow scheduler over MMIO. This crate gives that
+//! split the CCP architecture (ccp-project/portus):
+//!
+//! * **Fold programs** ([`fold`]): per-flow measurement aggregation runs
+//!   in-line with the post-processing stage, described by a small IR,
+//!   compiled to eBPF and executed on the `flextoe-ebpf` VM — with a
+//!   native fast path for the built-in fold.
+//! * **Batched reports** ([`measure`]): folded summaries for many flows
+//!   travel to the control plane in pooled batch buffers referenced by a
+//!   typed `Msg::Report` token — out-of-band, no per-ACK control-plane
+//!   event, no per-report allocation.
+//! * **Algorithm runtime** ([`algo`], [`algos`]): an event-driven
+//!   `on_report`/`on_urgent` API with a name-keyed [`algos::Registry`];
+//!   DCTCP and TIMELY are ported onto it, CUBIC and a Reno-style
+//!   generic-cong-avoid (window → rate via the RTT estimate) are added.
+
+pub mod algo;
+pub mod algos;
+pub mod fold;
+pub mod measure;
+
+pub use algo::{rate_to_interval, Algorithm, FlowStats, Urgent};
+pub use algos::{Cubic, Dctcp, GenericCongAvoid, Registry, Reno, Timely, WindowRule};
+pub use fold::{
+    compile, AckEvent, Bind, EventField, FoldOp, FoldProg, FoldSpec, Operand, StateField,
+};
+pub use measure::{shared_datapath, AckOutcome, CcpDatapath, FlowReport, MeasureCfg, SharedCcp};
+
+/// The instruction type custom folds compile to (`flextoe-ebpf`).
+pub use flextoe_ebpf::Insn;

@@ -1,0 +1,11 @@
+//! Congestion-control framework (§D) — now the `flextoe-ccp` subsystem.
+//!
+//! The algorithms, the `Algorithm` runtime trait, the datapath fold
+//! programs, and the batched report layer live in `flextoe-ccp`; this
+//! module re-exports the names the control plane's callers historically
+//! imported from `flextoe_control::cc`.
+
+pub use flextoe_ccp::{
+    rate_to_interval, Algorithm, Algorithm as CongestionControl, Cubic, Dctcp, FlowStats,
+    GenericCongAvoid, Registry, Reno, Timely, Urgent,
+};

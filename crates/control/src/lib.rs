@@ -11,9 +11,12 @@
 //!   allocation, data-path state install/teardown (§D "Connection
 //!   control"). Non-data-path segments reach it via the pre-processing
 //!   stage's redirect path.
-//! * **Congestion control**: a per-flow policy loop (DCTCP or TIMELY)
-//!   harvesting post-processor statistics and programming pacing
-//!   intervals into the NIC flow scheduler via MMIO (§3.4).
+//! * **Congestion control**: an event-driven runtime (`flextoe-ccp`, the
+//!   CCP architecture): the data-path folds per-ACK measurements in-line
+//!   and sends batched reports out-of-band; per-flow algorithm instances
+//!   (DCTCP, TIMELY, CUBIC, Reno — selected by name from [`CtrlConfig`])
+//!   consume them and program pacing intervals into the NIC flow
+//!   scheduler via MMIO (§3.4).
 //! * **Retransmission timeouts**: stall detection injecting HC retransmit
 //!   descriptors (§3.1.1).
 //!
@@ -25,37 +28,77 @@ pub mod rto;
 
 use std::collections::HashMap;
 
+use flextoe_ccp::{FlowReport, FoldSpec, Insn};
 use flextoe_core::hostmem::{shared_buf, AppToNic, SharedBuf, SharedCtxQueue};
 use flextoe_core::segment::ConnEntry;
 use flextoe_core::stages::{Doorbell, Redirect, RegisterCtx, SchedCtl};
 use flextoe_core::{NicHandle, PostState, PreState, ProtoState};
 use flextoe_nfp::MacTx;
-use flextoe_sim::{try_cast, Ctx, Duration, Msg, Node, NodeId, Tick};
+use flextoe_sim::{try_cast, Ctx, Duration, Msg, Node, NodeId, ReportBatchToken, Tick};
 use flextoe_wire::{
     Ecn, FourTuple, Frame, Ip4, MacAddr, SegmentSpec, SegmentView, SeqNum, TcpFlags, TcpOptions,
 };
 
-use cc::{rate_to_interval, CongestionControl, Dctcp, FlowStats, Timely};
+use cc::{rate_to_interval, Algorithm, FlowStats, Registry, Urgent};
 use rto::RtoTracker;
 
 /// The control plane's own context-queue id (for HC injections).
 pub const CTRL_CTX: u16 = u16::MAX;
 
-/// Which congestion-control policy the control plane runs.
+/// Which congestion-control policy the control plane runs. Resolution
+/// goes through the `flextoe-ccp` algorithm registry by [`CcAlgo::name`];
+/// custom registrations use [`ControlPlane::register_algorithm`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub enum CcAlgo {
     Dctcp,
     Timely,
+    Cubic,
+    Reno,
     /// Congestion control disabled — the Table 4 "off" rows.
     None,
 }
 
-#[derive(Clone, Copy, Debug)]
+impl CcAlgo {
+    /// The registry key this policy resolves to.
+    pub fn name(self) -> &'static str {
+        match self {
+            CcAlgo::Dctcp => "dctcp",
+            CcAlgo::Timely => "timely",
+            CcAlgo::Cubic => "cubic",
+            CcAlgo::Reno => "reno",
+            CcAlgo::None => "none",
+        }
+    }
+
+    /// Parse a registry key (experiment CLI / config files).
+    pub fn by_name(name: &str) -> Option<CcAlgo> {
+        match name {
+            "dctcp" => Some(CcAlgo::Dctcp),
+            "timely" => Some(CcAlgo::Timely),
+            "cubic" => Some(CcAlgo::Cubic),
+            "reno" => Some(CcAlgo::Reno),
+            "none" => Some(CcAlgo::None),
+            _ => None,
+        }
+    }
+
+    /// All selectable algorithms (the `cc` experiment sweep).
+    pub fn all() -> [CcAlgo; 4] {
+        [CcAlgo::Dctcp, CcAlgo::Timely, CcAlgo::Cubic, CcAlgo::Reno]
+    }
+}
+
+#[derive(Clone, Debug)]
 pub struct CtrlConfig {
     pub cc: CcAlgo,
-    /// Control-loop iteration interval (§D: per-RTT per flow; we run a
-    /// fixed loop over all flows).
+    /// Control-loop iteration interval (RTO monitoring, teardown
+    /// detection, stale-report flushing — no longer a stats harvest).
     pub cc_interval: Duration,
+    /// Per-flow datapath report interval (the fold layer's cadence).
+    pub report_interval: Duration,
+    /// Datapath fold installed for new flows: the built-in native fold,
+    /// or a custom program compiled to eBPF.
+    pub fold: FoldSpec,
     pub min_rto: Duration,
     /// SYN retransmission interval and attempt limit.
     pub syn_retry: Duration,
@@ -67,6 +110,8 @@ impl Default for CtrlConfig {
         CtrlConfig {
             cc: CcAlgo::Dctcp,
             cc_interval: Duration::from_us(50),
+            report_interval: Duration::from_us(50),
+            fold: FoldSpec::Builtin,
             min_rto: Duration::from_ms(1),
             syn_retry: Duration::from_ms(5),
             syn_attempts: 4,
@@ -159,20 +204,34 @@ pub struct ControlPlane {
     /// Passive opens awaiting the final ACK, keyed by RX 4-tuple.
     passive: HashMap<FourTuple, PendingPassive>,
     next_port: u16,
-    cc: Vec<Option<Box<dyn CongestionControl>>>,
+    cc: Vec<Option<Box<dyn Algorithm>>>,
+    registry: Registry,
+    /// `cfg.fold` compiled once for every flow install.
+    compiled_fold: Option<(std::rc::Rc<Vec<Insn>>, [u32; flextoe_ccp::fold::N_STATE])>,
     rto: RtoTracker,
-    rto_fired_since: Vec<bool>,
     kernel_q: SharedCtxQueue,
     registered_kernel_q: bool,
     cc_armed: bool,
     pub established: u64,
     pub resets_sent: u64,
     pub redirected_frames: u64,
+    /// Report batches processed / flow reports consumed (diagnostics).
+    pub report_batches: u64,
+    pub flow_reports: u64,
 }
 
 impl ControlPlane {
     pub fn new(cfg: CtrlConfig, nic: NicHandle) -> ControlPlane {
         let min_rto = cfg.min_rto;
+        // program the measurement layer's cadence
+        {
+            let mut ccp = nic.ccp.borrow_mut();
+            let mut mcfg = ccp.cfg();
+            mcfg.report_interval = cfg.report_interval;
+            mcfg.linger = Duration::from_us((cfg.report_interval.as_us() / 5).max(1));
+            ccp.set_cfg(mcfg);
+        }
+        let compiled_fold = cfg.fold.compile_for_install();
         ControlPlane {
             cfg,
             nic,
@@ -182,15 +241,29 @@ impl ControlPlane {
             passive: HashMap::new(),
             next_port: 40_000,
             cc: Vec::new(),
+            registry: Registry::builtin(),
+            compiled_fold,
             rto: RtoTracker::new(min_rto),
-            rto_fired_since: Vec::new(),
             kernel_q: flextoe_core::hostmem::shared_ctxq(1024),
             registered_kernel_q: false,
             cc_armed: false,
             established: 0,
             resets_sent: 0,
             redirected_frames: 0,
+            report_batches: 0,
+            flow_reports: 0,
         }
+    }
+
+    /// Register a custom congestion-control algorithm; select it by
+    /// constructing a config whose [`CcAlgo::name`] matches, or use the
+    /// registry name directly via [`CcAlgo::by_name`].
+    pub fn register_algorithm(
+        &mut self,
+        name: &str,
+        factory: impl Fn(u64) -> Box<dyn Algorithm> + 'static,
+    ) {
+        self.registry.add(name, factory);
     }
 
     /// Static ARP entry (testbed configuration).
@@ -390,19 +463,25 @@ impl ControlPlane {
         self.nic.db.borrow_mut().insert(tuple_rx, conn);
         self.mmio(ctx, SchedCtl::Register { conn, group });
 
-        // per-flow congestion control + RTO monitoring
+        // per-flow congestion control (via the ccp registry) + fold
+        // install + RTO monitoring
         let line = self.nic.cfg.platform.mac_bps / 8;
-        let algo: Option<Box<dyn CongestionControl>> = match self.cfg.cc {
-            CcAlgo::Dctcp => Some(Box::new(Dctcp::new(line))),
-            CcAlgo::Timely => Some(Box::new(Timely::new(line))),
+        let algo: Option<Box<dyn Algorithm>> = match self.cfg.cc {
             CcAlgo::None => None,
+            named => self.registry.create(named.name(), line),
         };
         if self.cc.len() <= conn as usize {
             self.cc.resize_with(conn as usize + 1, || None);
-            self.rto_fired_since.resize(conn as usize + 1, false);
         }
+        let has_cc = algo.is_some();
         self.cc[conn as usize] = algo;
-        self.rto_fired_since[conn as usize] = false;
+        if has_cc {
+            self.nic.ccp.borrow_mut().install(
+                conn,
+                self.compiled_fold.clone(),
+                ctx.now().as_us() as u32,
+            );
+        }
         self.rto.register(conn);
         self.established += 1;
         self.ensure_kernel_q(ctx);
@@ -550,29 +629,82 @@ impl ControlPlane {
         }
     }
 
-    // ---- CC / RTO loop ------------------------------------------------------
+    // ---- CC runtime (event-driven, flextoe-ccp) -----------------------------
 
-    fn cc_iteration(&mut self, ctx: &mut Ctx<'_>) {
+    /// Program the scheduler if the algorithm's rate decision changed.
+    fn apply_rate(&mut self, ctx: &mut Ctx<'_>, conn: u32, old: u64, new: u64) {
+        if new != old {
+            let line = self.nic.cfg.platform.mac_bps / 8;
+            self.mmio(
+                ctx,
+                SchedCtl::SetRate {
+                    conn,
+                    interval_ps_per_byte: rate_to_interval(new, line),
+                },
+            );
+        }
+    }
+
+    /// Consume one sealed report batch from the shared pool.
+    fn on_report_batch(&mut self, ctx: &mut Ctx<'_>, token: ReportBatchToken) {
+        let entries = self.nic.ccp.borrow_mut().take(token.slot);
+        self.report_batches += 1;
+        // every sealed batch funnels through here (post-stage seals and
+        // control-plane flushes alike), so these are the authoritative
+        // batching counters
+        ctx.stats.bump("ccp.batches", 1);
+        ctx.stats.bump("ccp.reports", entries.len() as u64);
+        ctx.stats.bump("ctrl.report_batches", 1);
+        self.process_reports(ctx, &entries);
+        self.nic.ccp.borrow_mut().release(token.slot, entries);
+    }
+
+    fn process_reports(&mut self, ctx: &mut Ctx<'_>, entries: &[FlowReport]) {
+        for r in entries {
+            self.flow_reports += 1;
+            // connection ids are reused: a report folded under an older
+            // install generation must not feed the id's next flow
+            if self.nic.ccp.borrow().flow_epoch(r.conn) != r.epoch {
+                continue;
+            }
+            let Some(Some(algo)) = self.cc.get_mut(r.conn as usize) else {
+                continue; // torn down since the batch was sealed
+            };
+            let stats = FlowStats {
+                acked_bytes: r.acked_bytes,
+                ecn_bytes: r.ecn_bytes,
+                fast_retx: r.fast_retx.min(u8::MAX as u32) as u8,
+                rtt_us: r.rtt_us,
+                rto_fired: false,
+                elapsed_us: r.elapsed_us,
+            };
+            let old = algo.rate();
+            let new = algo.on_report(&stats);
+            self.apply_rate(ctx, r.conn, old, new);
+        }
+    }
+
+    // ---- control loop (RTO / teardown; no longer a stats harvest) -----------
+
+    fn control_iteration(&mut self, ctx: &mut Ctx<'_>) {
         let conns: Vec<u32> = self.nic.table.borrow().iter().map(|(c, _)| c).collect();
         if conns.is_empty() {
+            // going quiet: deliver any still-open batch now — with no
+            // flows and no further ticks, nothing else would flush it
+            let open = self.nic.ccp.borrow_mut().flush_open();
+            if let Some(token) = open {
+                self.on_report_batch(ctx, token);
+            }
             self.cc_armed = false;
             return;
         }
         let mut to_teardown = Vec::new();
         for conn in conns {
-            let mut table = self.nic.table.borrow_mut();
-            let Some(entry) = table.get_mut(conn) else {
+            let table = self.nic.table.borrow();
+            let Some(entry) = table.get(conn) else {
                 continue;
             };
-            let stats_raw = (
-                entry.post.cnt_ackb,
-                entry.post.cnt_ecnb,
-                entry.post.cnt_fretx,
-                entry.post.rtt_est,
-            );
-            entry.post.cnt_ackb = 0;
-            entry.post.cnt_ecnb = 0;
-            entry.post.cnt_fretx = 0;
+            let rtt_est = entry.post.rtt_est;
             let snd_una = entry.proto.snd_una();
             let in_flight = entry.proto.tx_sent;
             let closed = entry.proto.fin_received
@@ -586,15 +718,12 @@ impl ControlPlane {
                 continue;
             }
 
-            // RTO monitoring
+            // RTO monitoring — the urgent-event path into the algorithm
             let fired = self
                 .rto
-                .observe(conn, snd_una, in_flight, ctx.now(), stats_raw.3.max(20));
+                .observe(conn, snd_una, in_flight, ctx.now(), rtt_est.max(20));
             if fired {
                 ctx.stats.bump("ctrl.rto_fired", 1);
-                if self.rto_fired_since.len() > conn as usize {
-                    self.rto_fired_since[conn as usize] = true;
-                }
                 let _ = self
                     .kernel_q
                     .borrow_mut()
@@ -605,33 +734,22 @@ impl ControlPlane {
                     self.nic.cfg.platform.pcie.mmio_latency,
                     Doorbell { ctx: CTRL_CTX },
                 );
-            }
-
-            // congestion control
-            if let Some(Some(algo)) = self.cc.get_mut(conn as usize) {
-                let stats = FlowStats {
-                    acked_bytes: stats_raw.0,
-                    ecn_bytes: stats_raw.1,
-                    fast_retx: stats_raw.2,
-                    rtt_us: stats_raw.3,
-                    rto_fired: std::mem::take(&mut self.rto_fired_since[conn as usize]),
-                };
-                let old = algo.rate();
-                let new = algo.update(&stats);
-                if new != old {
-                    let line = self.nic.cfg.platform.mac_bps / 8;
-                    self.mmio(
-                        ctx,
-                        SchedCtl::SetRate {
-                            conn,
-                            interval_ps_per_byte: rate_to_interval(new, line),
-                        },
-                    );
+                if let Some(Some(algo)) = self.cc.get_mut(conn as usize) {
+                    let old = algo.rate();
+                    let new = algo.on_urgent(Urgent::Rto);
+                    self.apply_rate(ctx, conn, old, new);
                 }
             }
         }
         for conn in to_teardown {
             self.teardown_now(ctx, conn);
+        }
+        // backstop: a report appended by a flow that then went idle would
+        // otherwise sit in the open batch forever
+        let now_us = ctx.now().as_us() as u32;
+        let stale = self.nic.ccp.borrow_mut().flush_stale(now_us);
+        if let Some(token) = stale {
+            self.on_report_batch(ctx, token);
         }
         ctx.wake(self.cfg.cc_interval, Tick);
     }
@@ -644,6 +762,7 @@ impl ControlPlane {
         drop(table);
         self.mmio(ctx, SchedCtl::Unregister { conn });
         self.rto.unregister(conn);
+        self.nic.ccp.borrow_mut().uninstall(conn);
         if let Some(slot) = self.cc.get_mut(conn as usize) {
             *slot = None;
         }
@@ -653,6 +772,15 @@ impl ControlPlane {
 
 impl Node for ControlPlane {
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        // batched congestion reports are the hot control-plane message:
+        // match the typed variant directly, no downcast
+        let msg = match msg {
+            Msg::Report(token) => {
+                self.on_report_batch(ctx, token);
+                return;
+            }
+            m => m,
+        };
         let msg = match try_cast::<Redirect>(msg) {
             Ok(r) => {
                 self.on_redirect(ctx, r.0 .0);
@@ -662,7 +790,7 @@ impl Node for ControlPlane {
         };
         let msg = match try_cast::<Tick>(msg) {
             Ok(_) => {
-                self.cc_iteration(ctx);
+                self.control_iteration(ctx);
                 return;
             }
             Err(m) => m,

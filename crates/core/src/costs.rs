@@ -115,6 +115,15 @@ pub const CHECKSUM: Cost = Cost {
     mem: 0,
 };
 
+/// Built-in congestion-measurement fold, native fast path (per-ACK state
+/// accumulation in the post-processor — a handful of adds; far below the
+/// §2.3 1,500-cycle control computation it replaces on the FPC). Custom
+/// folds instead charge `ext::EBPF_PER_INSN` per executed instruction.
+pub const FOLD_NATIVE: Cost = Cost {
+    compute: 10,
+    mem: 6,
+};
+
 /// Extension-module overheads (Table 2).
 pub mod ext {
     use flextoe_nfp::Cost;

@@ -4,6 +4,7 @@
 use std::cell::RefCell;
 use std::rc::Rc;
 
+use flextoe_ccp::{shared_datapath, MeasureCfg, SharedCcp};
 use flextoe_nfp::{ConnDb, DmaEngine, MacPort};
 use flextoe_sim::{NodeId, Sim};
 
@@ -36,6 +37,9 @@ pub struct FlexToeNic {
     pub work_pool: SharedWorkPool,
     /// Recycled per-packet byte buffers.
     pub seg_pool: SharedSegPool,
+    /// Congestion-measurement layer: per-flow fold state + the pooled
+    /// report batches shared with the control plane (flextoe-ccp).
+    pub ccp: SharedCcp,
 }
 
 impl FlexToeNic {
@@ -55,6 +59,7 @@ impl FlexToeNic {
         let db = Rc::new(RefCell::new(ConnDb::new(&cfg.platform)));
         let work_pool = shared_work_pool();
         let seg_pool = shared_seg_pool();
+        let ccp = shared_datapath(MeasureCfg::default());
 
         // reserve everything first (the graph is cyclic)
         let seqr = sim.reserve_node();
@@ -110,9 +115,11 @@ impl FlexToeNic {
                     table.clone(),
                     work_pool.clone(),
                     seg_pool.clone(),
+                    ccp.clone(),
                     dma_stage,
                     sched,
                     ctxq,
+                    ctrl,
                 ),
             );
         }
@@ -151,6 +158,7 @@ impl FlexToeNic {
             db,
             work_pool,
             seg_pool,
+            ccp,
         }
     }
 
@@ -160,6 +168,7 @@ impl FlexToeNic {
             cfg: self.cfg.clone(),
             table: self.table.clone(),
             db: self.db.clone(),
+            ccp: self.ccp.clone(),
             sched: self.sched,
             ctxq: self.ctxq,
             mac: self.mac,
@@ -173,6 +182,8 @@ pub struct NicHandle {
     pub cfg: SharedCfg,
     pub table: SharedConnTable,
     pub db: Rc<RefCell<ConnDb>>,
+    /// Measurement layer: fold install/uninstall + report-pool access.
+    pub ccp: SharedCcp,
     pub sched: NodeId,
     pub ctxq: NodeId,
     pub mac: NodeId,

@@ -10,7 +10,7 @@
 //!
 //! Rates are programmed by the control plane in *interval-per-byte* units
 //! (cycles/byte in hardware — the NFP has no division; here ps/byte),
-//! "enabl[ing] the flow scheduler to compute the time slot using only
+//! "enabl\[ing\] the flow scheduler to compute the time slot using only
 //! multiplication".
 
 use std::collections::VecDeque;

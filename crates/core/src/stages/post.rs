@@ -7,10 +7,11 @@
 //! notification.
 //!
 //! Post-processor state is "read-only after connection establishment,
-//! enabl[ing] coordination-free scaling" — the stage is replicated
+//! enabl\[ing\] coordination-free scaling" — the stage is replicated
 //! per flow group.
 
-use flextoe_nfp::FpcTimer;
+use flextoe_ccp::{AckEvent, SharedCcp};
+use flextoe_nfp::{Cost, FpcTimer};
 use flextoe_sim::{Ctx, FreeDesc, FsUpdate, Msg, Node, NodeId, WorkToken};
 use flextoe_wire::{Ecn, SegmentSpec, TcpFlags, TcpOptions};
 
@@ -28,10 +29,14 @@ pub struct PostStage {
     table: SharedConnTable,
     pool: SharedWorkPool,
     seg_pool: SharedSegPool,
+    /// Congestion-measurement layer (fold state + report batching, §D).
+    ccp: SharedCcp,
     /// Routing.
     pub dma: NodeId,
     pub sched: NodeId,
     pub ctxq: NodeId,
+    /// Control-plane node sealed report batches are sent to.
+    pub ctrl: NodeId,
     pub acks_prepared: u64,
     pub notifications: u64,
 }
@@ -44,9 +49,11 @@ impl PostStage {
         table: SharedConnTable,
         pool: SharedWorkPool,
         seg_pool: SharedSegPool,
+        ccp: SharedCcp,
         dma: NodeId,
         sched: NodeId,
         ctxq: NodeId,
+        ctrl: NodeId,
     ) -> PostStage {
         let fpcs = (0..cfg.post_replicas.max(1))
             .map(|_| FpcTimer::new(cfg.platform.clock, cfg.threads_per_fpc))
@@ -59,9 +66,11 @@ impl PostStage {
             table,
             pool,
             seg_pool,
+            ccp,
             dma,
             sched,
             ctxq,
+            ctrl,
             acks_prepared: 0,
             notifications: 0,
         }
@@ -135,12 +144,24 @@ impl Node for PostStage {
                     return;
                 };
                 let post = &mut entry.post;
-                post.cnt_ackb += out.acked_bytes;
-                if w.summary.ecn_ce {
-                    post.cnt_ecnb += w.summary.payload_len;
-                }
+                // free-running counters (the fold layer below snapshots
+                // and resets its own window; these mirror the Table 5
+                // fields and wrap like hardware counters)
+                post.cnt_ackb = post.cnt_ackb.wrapping_add(out.acked_bytes);
+                // the DCTCP numerator is *bytes acknowledged under an
+                // ECE echo* — the receiver's Ack step reflected CE as
+                // ECE (§3.1.3) and this ACK carried it back. CE-marked
+                // payload received here is deliberately NOT counted: it
+                // concerns the opposite direction's path and reaches
+                // that sender through the ACK we generate.
+                let ecn_bytes = if w.summary.flags.ece() {
+                    out.acked_bytes
+                } else {
+                    0
+                };
+                post.cnt_ecnb = post.cnt_ecnb.wrapping_add(ecn_bytes);
                 if out.fast_retransmit {
-                    post.cnt_fretx = post.cnt_fretx.saturating_add(1);
+                    post.cnt_fretx = post.cnt_fretx.wrapping_add(1);
                 }
                 if let Some(tsecr) = out.rtt_sample_ts {
                     // our ACK stamps carry microseconds; RTT = now - echo
@@ -155,7 +176,41 @@ impl Node for PostStage {
                     }
                 }
                 let ctx_id = post.context;
+                let rtt_est = post.rtt_est;
                 drop(table);
+
+                // ---- Fold: congestion measurement (flextoe-ccp, §D) ------
+                // Aggregates this event into the flow's fold state; when
+                // the flow's report interval elapses (or a fast retransmit
+                // makes it urgent) the sealed batch travels out-of-band to
+                // the control plane as one pooled message.
+                let folded = self.ccp.borrow_mut().on_ack(
+                    w.conn,
+                    &AckEvent {
+                        acked_bytes: out.acked_bytes,
+                        ecn_bytes,
+                        rtt_us: rtt_est,
+                        fast_retx: out.fast_retransmit,
+                        now_us,
+                    },
+                );
+                if folded.folded {
+                    ctx.stats.bump("ccp.events", 1);
+                    cost += if folded.vm_insns > 0 {
+                        Cost::new(
+                            costs::ext::EBPF_PER_INSN.compute * folded.vm_insns,
+                            costs::FOLD_NATIVE.mem,
+                        )
+                    } else {
+                        costs::FOLD_NATIVE
+                    };
+                }
+                // batch/report counters are bumped where batches are
+                // consumed (ControlPlane::on_report_batch) so the
+                // control-plane flush paths are counted too
+                if let Some(token) = folded.sealed {
+                    ctx.send(self.ctrl, self.cfg.platform.pcie.write_latency, token);
+                }
 
                 // ---- FS update -------------------------------------------
                 if out.update_scheduler {

@@ -12,7 +12,7 @@
 //! 3. **NBI admission**: finished frames are restored to protocol-stage
 //!    emission order (per flow-group) before transmission.
 //!
-//! Work items live in the NIC's shared [`WorkPool`]; only `WorkToken`
+//! Work items live in the NIC's shared `WorkPool`; only `WorkToken`
 //! slot indices travel through the event queue.
 
 use flextoe_sim::{Ctx, MacTx, Msg, Node, NodeId, WorkToken};

@@ -164,11 +164,13 @@ pub struct PostState {
     pub tx_base: u64,
     pub rx_size: u32,
     pub tx_size: u32,
-    /// ACK'd bytes since last control-plane harvest (DCTCP numerator base).
+    /// ACK'd bytes, free-running (DCTCP numerator base; the ccp fold
+    /// layer keeps the windowed view, these wrap like hardware counters).
     pub cnt_ackb: u32,
-    /// ECN-marked bytes since last harvest (DCTCP numerator).
+    /// Bytes acknowledged under an ECE echo, free-running (DCTCP
+    /// numerator).
     pub cnt_ecnb: u32,
-    /// Fast retransmits since last harvest.
+    /// Fast retransmits, free-running (wraps like its siblings).
     pub cnt_fretx: u8,
     /// Smoothed RTT estimate in microseconds (TIMELY input).
     pub rtt_est: u32,

@@ -5,7 +5,7 @@
 //! and WRED to perform tail drops when the switch buffer is exhausted."
 //!
 //! DCTCP needs the switch to mark ECN-capable packets with CE once the
-//! output queue exceeds the step threshold K [1]; marking rewrites the IP
+//! output queue exceeds the step threshold K \[1\]; marking rewrites the IP
 //! header ECN bits and refreshes the IPv4 checksum.
 
 use std::collections::{HashMap, VecDeque};
@@ -55,6 +55,20 @@ struct Port {
     pub tx_frames: u64,
     pub drops: u64,
     pub ecn_marked: u64,
+    /// Occupancy tracking for the congestion experiments: highest depth
+    /// seen, and the byte·ns integral for the time-weighted average.
+    peak_bytes: usize,
+    occ_integral: u128,
+    occ_since_ns: u64,
+}
+
+impl Port {
+    /// Integrate occupancy up to `now` before `queue_bytes` changes.
+    fn occ_update(&mut self, now_ns: u64) {
+        self.occ_integral +=
+            self.queue_bytes as u128 * now_ns.saturating_sub(self.occ_since_ns) as u128;
+        self.occ_since_ns = now_ns;
+    }
 }
 
 pub struct Switch {
@@ -86,6 +100,9 @@ impl Switch {
             tx_frames: 0,
             drops: 0,
             ecn_marked: 0,
+            peak_bytes: 0,
+            occ_integral: 0,
+            occ_since_ns: 0,
         });
         self.ports.len() - 1
     }
@@ -98,6 +115,22 @@ impl Switch {
     pub fn port_stats(&self, port: usize) -> (u64, u64, u64) {
         let p = &self.ports[port];
         (p.tx_frames, p.drops, p.ecn_marked)
+    }
+
+    /// Output-queue occupancy of `port` over the run so far:
+    /// `(peak_bytes, time-weighted average bytes)` — the Table 4 /
+    /// congested-fabric view of how close the queue rides to the ECN
+    /// threshold K.
+    pub fn queue_occupancy(&self, port: usize, now_ns: u64) -> (usize, f64) {
+        let p = &self.ports[port];
+        let integral =
+            p.occ_integral + p.queue_bytes as u128 * now_ns.saturating_sub(p.occ_since_ns) as u128;
+        let avg = if now_ns == 0 {
+            0.0
+        } else {
+            integral as f64 / now_ns as f64
+        };
+        (p.peak_bytes, avg)
     }
 
     pub fn set_port_rate(&mut self, port: usize, rate_bps: u64) {
@@ -116,6 +149,7 @@ impl Switch {
         let Some(frame) = p.queue.pop_front() else {
             return;
         };
+        p.occ_update(ctx.now().as_ns());
         p.queue_bytes -= frame.len();
         p.transmitting = true;
         p.tx_frames += 1;
@@ -154,7 +188,9 @@ impl Switch {
                 ctx.stats.bump("switch.ecn_marked", 1);
             }
         }
+        p.occ_update(ctx.now().as_ns());
         p.queue_bytes += len;
+        p.peak_bytes = p.peak_bytes.max(p.queue_bytes);
         p.queue.push_back(frame);
         self.start_tx(ctx, port);
     }
@@ -346,6 +382,32 @@ mod tests {
         }
         sim.run_until(Time::from_ms(1000));
         assert_eq!(sim.node_ref::<Switch>(sw).port_stats(0).2, 0);
+    }
+
+    #[test]
+    fn queue_occupancy_tracks_peak_and_average() {
+        let (mut sim, sw, _probe) = one_port_switch(PortConfig {
+            rate_bps: 1_000_000, // slow: the burst queues up
+            buf_bytes: 1 << 20,
+            ecn_threshold: None,
+            wred: None,
+        });
+        for _ in 0..5 {
+            sim.schedule(Time::ZERO, sw, Frame(tcp_frame(Ecn::NotEct, 1000)));
+        }
+        sim.run_until(Time::from_ms(100)); // long past full drain
+        let s = sim.node_ref::<Switch>(sw);
+        let (peak, avg) = s.queue_occupancy(0, sim.now().as_ns());
+        // one frame is in serialization immediately; four sit queued
+        assert!(peak >= 4_000, "peak {peak}");
+        assert!(avg > 0.0 && avg < peak as f64, "avg {avg}");
+        // a fully idle port reports zero
+        let (mut sim2, sw2, _p2) = one_port_switch(PortConfig::default());
+        sim2.run_until(Time::from_ms(1));
+        let (peak2, avg2) = sim2
+            .node_ref::<Switch>(sw2)
+            .queue_occupancy(0, sim2.now().as_ns());
+        assert_eq!((peak2, avg2), (0, 0.0));
     }
 
     #[test]

@@ -51,7 +51,7 @@ impl MemLatencies {
     }
 }
 
-/// PCIe interconnect between NIC and host (§2.3, [41]).
+/// PCIe interconnect between NIC and host (§2.3, \[41\]).
 #[derive(Clone, Copy, Debug)]
 pub struct PcieParams {
     /// One-way posted-write latency.

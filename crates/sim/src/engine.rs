@@ -112,6 +112,18 @@ pub struct FreeDesc;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Tick;
 
+/// A sealed congestion-report batch travelling out-of-band from the
+/// data-path measurement layer to the control plane. The payload is a
+/// slot index into the NIC's shared report pool (`flextoe-ccp`): many
+/// flow reports ride one message, and the buffers are pooled — no
+/// allocation on the hot path.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ReportBatchToken {
+    pub slot: u32,
+    /// The batch carries an urgent event (fast retransmit).
+    pub urgent: bool,
+}
+
 /// A simulation message. Hot data-path messages are inline enum payloads
 /// (no heap allocation per event); everything else is `Custom`.
 #[derive(Debug)]
@@ -141,6 +153,8 @@ pub enum Msg {
     Doorbell(Doorbell),
     /// Context-queue descriptor credit return.
     FreeDesc,
+    /// A sealed congestion-report batch (pooled slot token).
+    Report(ReportBatchToken),
     /// Anything else: control-plane, application and test messages.
     Custom(Box<dyn Any>),
 }
@@ -165,6 +179,7 @@ impl Msg {
             Msg::FsUpdate(_) => "FsUpdate",
             Msg::Doorbell(_) => "Doorbell",
             Msg::FreeDesc => "FreeDesc",
+            Msg::Report(_) => "Report",
             Msg::Custom(_) => "Custom",
         }
     }
@@ -204,6 +219,7 @@ inline_msg!(
     XferDone => XferDone,
     FsUpdate => FsUpdate,
     Doorbell => Doorbell,
+    ReportBatchToken => Report,
 );
 
 impl IntoMsg for Tick {
@@ -275,6 +291,7 @@ pub fn try_cast<T: 'static>(msg: Msg) -> Result<Box<T>, Msg> {
         Msg::FsUpdate(f) => repack(f, Msg::FsUpdate),
         Msg::Doorbell(d) => repack(d, Msg::Doorbell),
         Msg::FreeDesc => repack(FreeDesc, |_| Msg::FreeDesc),
+        Msg::Report(r) => repack(r, Msg::Report),
         Msg::Skip(s) => Err(Msg::Skip(s)),
     }
 }

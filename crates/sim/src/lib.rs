@@ -38,7 +38,7 @@ pub mod wheel;
 
 pub use engine::{
     cast, try_cast, Ctx, Doorbell, FreeDesc, FsUpdate, IntoMsg, MacTx, Msg, NbiFrame, Node, NodeId,
-    QueueKind, Sim, Tick, WorkToken, XferDone, XferReq,
+    QueueKind, ReportBatchToken, Sim, Tick, WorkToken, XferDone, XferReq,
 };
 pub use hist::Histogram;
 pub use queue::BoundedQueue;

@@ -56,7 +56,7 @@ pub fn two_flextoe_hosts(
     sim.fill_node(link_ab, Link::with_faults(nic_b.mac, propagation, faults));
     sim.fill_node(link_ba, Link::with_faults(nic_a.mac, propagation, faults));
 
-    let mut cp_a = ControlPlane::new(ctrl_cfg, nic_a.handle());
+    let mut cp_a = ControlPlane::new(ctrl_cfg.clone(), nic_a.handle());
     cp_a.add_peer(ips[1], macs[1]);
     let mut cp_b = ControlPlane::new(ctrl_cfg, nic_b.handle());
     cp_b.add_peer(ips[0], macs[0]);
