@@ -6,9 +6,14 @@
 //! run on FlexTOE and every baseline stack (§5).
 
 pub mod kv;
+pub mod openloop;
 pub mod rpc;
 pub mod stack;
 
 pub use kv::{KvServerApp, KvServerConfig, MemtierApp, MemtierConfig, KV_APP_CYCLES};
+pub use openloop::{
+    CloseAll, FramedServerApp, FramedServerConfig, OpenLoopClientApp, OpenLoopConfig, SizeDist,
+    FRAME_HDR,
+};
 pub use rpc::{ClientConfig, LoadMode, RpcClientApp, RpcServerApp, ServerConfig, StackInit};
 pub use stack::{FlexToeStack, SockEvent, StackApi, StackOp};

@@ -302,15 +302,16 @@ pub fn cc_json(seed: u64, scale: CcScale, results: &[AlgoOutcome]) -> String {
 }
 
 /// The `cc` experiment: sweep, print, write `BENCH_cc.json`.
-/// `FLEXTOE_CC_SMOKE=1` selects the short CI configuration.
-pub fn cc() {
-    let smoke = std::env::var("FLEXTOE_CC_SMOKE").is_ok_and(|v| v == "1");
+/// `--smoke` (or the legacy `FLEXTOE_CC_SMOKE=1`) selects the short CI
+/// configuration; `--seed`/`--out` override the defaults.
+pub fn cc(opts: &crate::cli::RunOpts) {
+    let smoke = opts.smoke || std::env::var("FLEXTOE_CC_SMOKE").is_ok_and(|v| v == "1");
     let scale = if smoke {
         CcScale::smoke()
     } else {
         CcScale::full()
     };
-    let seed = 11;
+    let seed = opts.seed.unwrap_or(11);
     println!(
         "# cc — congested fabric: {} senders incast into {} Gbps (K = {} KB){}",
         scale.senders,
@@ -350,6 +351,7 @@ pub fn cc() {
         );
     }
     let json = cc_json(seed, scale, &results);
-    std::fs::write("BENCH_cc.json", &json).expect("write BENCH_cc.json");
-    println!("wrote BENCH_cc.json");
+    let path = opts.out_path("BENCH_cc.json");
+    std::fs::write(&path, &json).expect("write BENCH_cc.json");
+    println!("wrote {}", path.display());
 }

@@ -1,0 +1,61 @@
+//! Shared experiment CLI options: `--seed N`, `--out DIR`, `--smoke` are
+//! understood uniformly by the experiments that take options (`cc`,
+//! `scale`, `bench-pipeline`); the table/figure reproductions are
+//! parameterless by design (they *are* the paper's fixed configurations).
+
+use std::path::PathBuf;
+
+#[derive(Clone, Debug, Default)]
+pub struct RunOpts {
+    /// Simulation seed override (each experiment has its own default).
+    pub seed: Option<u64>,
+    /// Directory artifacts (`BENCH_*.json`) are written to (default: cwd).
+    pub out_dir: Option<PathBuf>,
+    /// Shrunken CI configuration.
+    pub smoke: bool,
+}
+
+impl RunOpts {
+    /// Where to write artifact `name` (creates the directory if needed).
+    pub fn out_path(&self, name: &str) -> PathBuf {
+        match &self.out_dir {
+            Some(dir) => {
+                std::fs::create_dir_all(dir).expect("create --out directory");
+                dir.join(name)
+            }
+            None => PathBuf::from(name),
+        }
+    }
+
+    /// Parse flags out of an argument list, returning the remaining
+    /// positional arguments (experiment names). Exits with a message on
+    /// malformed flags.
+    pub fn parse(args: &[String]) -> (RunOpts, Vec<String>) {
+        let mut opts = RunOpts::default();
+        let mut names = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            match a.as_str() {
+                "--smoke" => opts.smoke = true,
+                "--seed" => match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) => opts.seed = Some(v),
+                    None => die("--seed needs an integer value"),
+                },
+                "--out" => match it.next() {
+                    Some(v) => opts.out_dir = Some(PathBuf::from(v)),
+                    None => die("--out needs a directory"),
+                },
+                flag if flag.starts_with("--") => die(&format!(
+                    "unknown flag {flag} (have: --seed N, --out DIR, --smoke)"
+                )),
+                name => names.push(name.to_string()),
+            }
+        }
+        (opts, names)
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("flextoe-bench: {msg}");
+    std::process::exit(2);
+}

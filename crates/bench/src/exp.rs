@@ -767,8 +767,10 @@ pub fn ablate_reorder() {
 /// Engine perf snapshot: micro events/sec (wheel+typed vs the heap+boxed
 /// reconstruction of the pre-optimization engine) plus an end-to-end echo
 /// run with wall-clock and simulated rates. Emits `BENCH_pipeline.json`
-/// so future PRs can track regressions.
-pub fn bench_pipeline() {
+/// so future PRs can track regressions. `--seed` varies the echo run;
+/// `--out` redirects the artifact (`--smoke` is a no-op: the snapshot is
+/// already CI-sized).
+pub fn bench_pipeline(opts: &crate::cli::RunOpts) {
     use flextoe_sim::QueueKind;
     use std::time::Instant;
 
@@ -799,7 +801,7 @@ pub fn bench_pipeline() {
     // --- e2e: FlexTOE<->FlexTOE echo, wall + simulated rates --------------
     let wall0 = Instant::now();
     let (sim, res) = run_echo(
-        7,
+        opts.seed.unwrap_or(7),
         Stack::FlexToe,
         Stack::FlexToe,
         PairOpts::default(),
@@ -836,6 +838,7 @@ pub fn bench_pipeline() {
         p50_us,
         p99_us,
     );
-    std::fs::write("BENCH_pipeline.json", &json).expect("write BENCH_pipeline.json");
-    println!("wrote BENCH_pipeline.json");
+    let path = opts.out_path("BENCH_pipeline.json");
+    std::fs::write(&path, &json).expect("write BENCH_pipeline.json");
+    println!("wrote {}", path.display());
 }

@@ -1,9 +1,12 @@
-//! Experiment harness library: topology builders, the per-table/figure
-//! runners, and the congested-fabric `cc` scenario. The `flextoe-bench`
-//! binary is a thin subcommand dispatcher over this; the integration
-//! suite reuses the builders and the `cc` runner directly.
+//! Experiment harness library: the per-table/figure runners, the
+//! congested-fabric `cc` scenario, and the connection-scalability `scale`
+//! sweep (topology building itself lives in `flextoe-topo`). The
+//! `flextoe-bench` binary is a thin subcommand dispatcher over this; the
+//! integration suite reuses the runners directly.
 
 pub mod cc;
+pub mod cli;
 pub mod enginebench;
 pub mod exp;
 pub mod harness;
+pub mod scale;

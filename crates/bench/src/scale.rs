@@ -1,0 +1,343 @@
+//! The connection-scalability sweep: open-loop traffic over a 4-leaf /
+//! 2-spine fabric, connection counts swept from dozens to thousands —
+//! the regime where FlexTOE's per-flow state hierarchy (WorkPool,
+//! PktBufPool, the CLS/EMEM connection-state caches) comes under
+//! pressure and Fig. 13's scalability story plays out.
+//!
+//! Four client hosts each run a Poisson arrival process with heavy-tailed
+//! (bounded-Pareto) response sizes toward a server on a *different* leaf,
+//! so every RPC crosses the spine tier and ECMP spreads the flows. The
+//! offered load is held constant across the sweep: what changes with the
+//! connection count is per-request cache locality, exactly the variable
+//! the paper isolates.
+//!
+//! Records per-stack achieved throughput, p50/p99 RPC latency (generation
+//! to completion — open-loop, so queueing is visible), Jain fairness
+//! across client hosts, and the pool/cache high-water gauges to
+//! `BENCH_scale.json`. Byte-identical across runs of one seed.
+
+use flextoe_apps::{FramedServerConfig, OpenLoopConfig, SizeDist};
+use flextoe_core::PoolGauges;
+use flextoe_netsim::Switch;
+use flextoe_sim::{Duration, Histogram, Sim, Time};
+use flextoe_topo::{build_fabric, Fabric, HostSpec, PairOpts, Role, Scenario, Stack};
+
+use crate::cli::RunOpts;
+use crate::harness::{jain_index, DynOpenLoopClient};
+
+/// The fabric every sweep point runs on.
+pub const LEAVES: usize = 4;
+pub const SPINES: usize = 2;
+pub const HOSTS_PER_LEAF: usize = 2;
+
+/// Sweep configuration (the CI smoke configuration shrinks everything).
+#[derive(Clone, Debug)]
+pub struct ScalePlan {
+    /// (stack, total client connections) sweep points.
+    pub points: Vec<(Stack, u32)>,
+    pub duration: Time,
+    pub warmup: Time,
+    /// Poisson arrival rate per client host (requests/second).
+    pub rate_rps_per_host: f64,
+    /// Request size (including the 16-byte frame header).
+    pub req_size: SizeDist,
+    /// Response size — the heavy-tailed half of the generator pair.
+    pub resp_size: SizeDist,
+}
+
+impl ScalePlan {
+    pub fn full() -> ScalePlan {
+        let flex = [64u32, 512, 2048, 4096, 8192];
+        let mut points: Vec<(Stack, u32)> = flex.iter().map(|&c| (Stack::FlexToe, c)).collect();
+        // one baseline rides along at the low end for per-stack contrast
+        points.push((Stack::Tas, 64));
+        points.push((Stack::Tas, 512));
+        ScalePlan {
+            points,
+            duration: Time::from_ms(12),
+            warmup: Time::from_ms(4),
+            rate_rps_per_host: 120_000.0,
+            req_size: SizeDist::Fixed(64),
+            resp_size: SizeDist::Pareto {
+                alpha: 1.15,
+                min: 64,
+                max: 16_384,
+            },
+        }
+    }
+
+    pub fn smoke() -> ScalePlan {
+        ScalePlan {
+            points: vec![(Stack::FlexToe, 16), (Stack::FlexToe, 64)],
+            duration: Time::from_ms(4),
+            warmup: Time::from_ms(2),
+            rate_rps_per_host: 60_000.0,
+            req_size: SizeDist::Fixed(64),
+            resp_size: SizeDist::Pareto {
+                alpha: 1.15,
+                min: 64,
+                max: 4_096,
+            },
+        }
+    }
+}
+
+/// One sweep point's outcome.
+pub struct ScaleOutcome {
+    pub stack: &'static str,
+    pub conns: u32,
+    pub offered_rps: f64,
+    pub achieved_rps: f64,
+    pub goodput_gbps: f64,
+    pub p50_us: f64,
+    pub p99_us: f64,
+    /// Jain fairness over per-client-host measured response bytes.
+    pub jain_hosts: f64,
+    /// Requests still unanswered at the deadline (open-loop backlog).
+    pub backlog: u64,
+    /// Aggregated pool/cache gauges over all FlexTOE NICs (zero for
+    /// baseline stacks, which have no NIC pools).
+    pub gauges: PoolGauges,
+    /// Frames each spine forwarded (ECMP spread proof).
+    pub spine_frames: Vec<u64>,
+}
+
+/// The scenario for one sweep point.
+fn scenario(seed: u64, stack: Stack, conns: u32, plan: &ScalePlan) -> Scenario {
+    let fabric = Fabric::LeafSpine {
+        leaves: LEAVES,
+        spines: SPINES,
+        hosts_per_leaf: HOSTS_PER_LEAF,
+    };
+    let n = fabric.n_hosts();
+    let client_hosts = n / 2;
+    let conns_per_host = (conns / client_hosts as u32).max(1);
+    // thousands of sockets: shrink the per-socket shared buffers so the
+    // footprint stays bounded (64 KB × 16 K sockets would be gigabytes)
+    let mut opts = PairOpts::default();
+    opts.cfg.rx_buf_size = 8 * 1024;
+    opts.cfg.tx_buf_size = 8 * 1024;
+    let hosts = (0..n)
+        .map(|i| {
+            // even hosts are clients, odd hosts are servers; a client on
+            // leaf L targets the server on leaf (L+1) mod LEAVES, so all
+            // traffic crosses the spines
+            let role = if i % 2 == 0 {
+                let leaf = i / HOSTS_PER_LEAF;
+                let target_leaf = (leaf + 1) % LEAVES;
+                let target = target_leaf * HOSTS_PER_LEAF + 1;
+                Role::OpenLoop {
+                    cfg: OpenLoopConfig {
+                        n_conns: conns_per_host,
+                        rate_rps: plan.rate_rps_per_host,
+                        req_size: plan.req_size,
+                        resp_size: plan.resp_size,
+                        warmup: plan.warmup,
+                        connect_spacing: Duration::from_ns(400),
+                        ..Default::default()
+                    },
+                    target,
+                }
+            } else {
+                Role::FramedServer(FramedServerConfig::default())
+            };
+            HostSpec { stack, role }
+        })
+        .collect();
+    Scenario {
+        seed,
+        fabric,
+        hosts,
+        links: Default::default(),
+        opts,
+        fault_schedule: Vec::new(),
+        client_start: Time::from_us(20),
+        client_stagger: Duration::from_us(1),
+    }
+}
+
+/// Run one sweep point.
+pub fn run_scale_one(seed: u64, stack: Stack, conns: u32, plan: &ScalePlan) -> ScaleOutcome {
+    let sc = scenario(seed, stack, conns, plan);
+    let mut sim = Sim::new(sc.seed);
+    let fab = build_fabric(&mut sim, &sc);
+    sim.run_until(plan.duration);
+
+    let clients: Vec<&DynOpenLoopClient> = fab
+        .hosts
+        .iter()
+        .filter_map(|h| h.client().map(|a| sim.node_ref::<DynOpenLoopClient>(a)))
+        .collect();
+    let n_client_hosts = clients.len();
+    let mut latency = Histogram::new();
+    let mut measured = 0u64;
+    let mut resp_bytes = 0u64;
+    let mut backlog = 0u64;
+    let mut per_host_bytes = Vec::new();
+    let mut first = Time::from_ms(1 << 20);
+    let mut last = Time::ZERO;
+    for c in clients {
+        latency.merge(&c.latency);
+        measured += c.measured;
+        resp_bytes += c.measured_resp_bytes();
+        backlog += c.in_flight() as u64;
+        per_host_bytes.push(c.measured_resp_bytes());
+        if c.measured > 0 {
+            first = first.min(c.first_measured_at);
+            last = last.max(c.last_measured_at);
+        }
+    }
+    let span = last.saturating_since(first);
+    let achieved_rps = if measured >= 2 && span > Duration::ZERO {
+        (measured - 1) as f64 / span.as_secs_f64()
+    } else {
+        0.0
+    };
+    let goodput_gbps = if span > Duration::ZERO {
+        resp_bytes as f64 * 8.0 / span.as_secs_f64() / 1e9
+    } else {
+        0.0
+    };
+
+    // pool/cache pressure, aggregated over every FlexTOE NIC
+    let mut gauges = PoolGauges::default();
+    for h in &fab.hosts {
+        if let Some((nic, _)) = &h.ep.flextoe {
+            gauges.merge(&nic.pool_gauges(&sim));
+        }
+    }
+
+    let spine_frames: Vec<u64> = (LEAVES..LEAVES + SPINES)
+        .map(|s| {
+            let sw = sim.node_ref::<Switch>(fab.switches[s]);
+            (0..LEAVES).map(|p| sw.port_stats(p).0).sum()
+        })
+        .collect();
+
+    ScaleOutcome {
+        stack: stack.name(),
+        conns,
+        offered_rps: plan.rate_rps_per_host * n_client_hosts as f64,
+        achieved_rps,
+        goodput_gbps,
+        p50_us: latency.median() as f64 / 1000.0,
+        p99_us: latency.p99() as f64 / 1000.0,
+        jain_hosts: jain_index(&per_host_bytes),
+        backlog,
+        gauges,
+        spine_frames,
+    }
+}
+
+/// The whole sweep.
+pub fn run_scale(seed: u64, plan: &ScalePlan) -> Vec<ScaleOutcome> {
+    plan.points
+        .iter()
+        .map(|&(stack, conns)| run_scale_one(seed, stack, conns, plan))
+        .collect()
+}
+
+fn dist_label(d: SizeDist) -> String {
+    match d {
+        SizeDist::Fixed(v) => format!("fixed({v})"),
+        SizeDist::Uniform { lo, hi } => format!("uniform({lo},{hi})"),
+        SizeDist::Pareto { alpha, min, max } => format!("pareto({alpha},{min},{max})"),
+    }
+}
+
+/// Serialize a sweep deterministically (two runs of one seed must be
+/// byte-identical — asserted by the integration suite and CI).
+pub fn scale_json(seed: u64, plan: &ScalePlan, results: &[ScaleOutcome]) -> String {
+    let mut s = String::new();
+    s.push_str("{\n  \"benchmark\": \"scale\",\n");
+    s.push_str(&format!(
+        "  \"scenario\": {{\n    \"seed\": {seed},\n    \"fabric\": \"leafspine-{LEAVES}x{SPINES}\",\n    \"hosts\": {},\n    \"client_hosts\": {},\n    \"rate_rps_per_host\": {},\n    \"req_size\": \"{}\",\n    \"resp_size\": \"{}\",\n    \"duration_ms\": {},\n    \"warmup_ms\": {}\n  }},\n",
+        LEAVES * HOSTS_PER_LEAF,
+        LEAVES * HOSTS_PER_LEAF / 2,
+        plan.rate_rps_per_host,
+        dist_label(plan.req_size),
+        dist_label(plan.resp_size),
+        plan.duration.as_us() / 1_000,
+        plan.warmup.as_us() / 1_000,
+    ));
+    s.push_str("  \"sweep\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        let g = &r.gauges;
+        s.push_str(&format!(
+            "    {{\"stack\": \"{}\", \"conns\": {}, \"offered_rps\": {:.0}, \"achieved_rps\": {:.0}, \"goodput_gbps\": {:.3}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"jain_hosts\": {:.4}, \"backlog\": {}, \"spine_frames\": [{}], \"pools\": {{\"work_hwm\": {}, \"work_in_use\": {}, \"pktbuf_hwm\": {}, \"pktbuf_in_flight\": {}, \"conn_cache_hwm\": {}, \"conn_cache_dram\": {}, \"conn_cache_sram_hits\": {}}}}}{}\n",
+            r.stack,
+            r.conns,
+            r.offered_rps,
+            r.achieved_rps,
+            r.goodput_gbps,
+            r.p50_us,
+            r.p99_us,
+            r.jain_hosts,
+            r.backlog,
+            r.spine_frames
+                .iter()
+                .map(|v| v.to_string())
+                .collect::<Vec<_>>()
+                .join(", "),
+            g.work_high_water,
+            g.work_in_use,
+            g.seg_high_water,
+            g.seg_in_flight,
+            g.cache_high_water,
+            g.cache_dram_accesses,
+            g.cache_sram_hits,
+            if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// The `scale` experiment: sweep, print, write `BENCH_scale.json`.
+pub fn scale(opts: &RunOpts) {
+    let plan = if opts.smoke {
+        ScalePlan::smoke()
+    } else {
+        ScalePlan::full()
+    };
+    let seed = opts.seed.unwrap_or(17);
+    println!(
+        "# scale — {LEAVES}-leaf/{SPINES}-spine fabric, open-loop Poisson + heavy-tailed RPCs{}",
+        if opts.smoke { " [smoke]" } else { "" }
+    );
+    println!(
+        "{:<14} {:>6} {:>10} {:>10} {:>9} {:>9} {:>9} {:>7} {:>9} {:>10} {:>10}",
+        "stack",
+        "conns",
+        "offered",
+        "achieved",
+        "Gbps",
+        "p50 us",
+        "p99 us",
+        "JFI",
+        "work hwm",
+        "cache hwm",
+        "cache dram"
+    );
+    let results = run_scale(seed, &plan);
+    for r in &results {
+        println!(
+            "{:<14} {:>6} {:>10.0} {:>10.0} {:>9.3} {:>9.2} {:>9.2} {:>7.3} {:>9} {:>10} {:>10}",
+            r.stack,
+            r.conns,
+            r.offered_rps,
+            r.achieved_rps,
+            r.goodput_gbps,
+            r.p50_us,
+            r.p99_us,
+            r.jain_hosts,
+            r.gauges.work_high_water,
+            r.gauges.cache_high_water,
+            r.gauges.cache_dram_accesses,
+        );
+    }
+    let json = scale_json(seed, &plan, &results);
+    let path = opts.out_path("BENCH_scale.json");
+    std::fs::write(&path, &json).expect("write BENCH_scale.json");
+    println!("wrote {}", path.display());
+}

@@ -624,8 +624,23 @@ impl ControlPlane {
                 if view.payload_len > 0 || view.flags.fin() {
                     ctx.send(self.nic.mac, self.inject_latency(), Frame(frame));
                 }
+                return;
             }
-            // otherwise: stray segment for an unknown connection — ignore.
+            // A data segment can race the handshake's final ACK through
+            // the redirect path: both miss the db at pre-stage time, and
+            // by now the ACK has installed the connection. Replay it
+            // through the NIC rather than treating it as stray.
+            if self.nic.db.borrow().get(&tuple).is_some() {
+                ctx.send(self.nic.mac, self.inject_latency(), Frame(frame));
+                return;
+            }
+            // A segment for a connection this host genuinely does not
+            // know gets a reset, as in real TCP: a peer retransmitting
+            // its FIN out of LAST-ACK (because our final ACK was lost, or
+            // we tore down first) would otherwise retry forever against
+            // silence.
+            self.send_rst(ctx, &view);
+            ctx.stats.bump("ctrl.stray_rst", 1);
         }
     }
 

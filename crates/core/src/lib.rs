@@ -28,7 +28,7 @@ pub use hostmem::{
     SharedCtxQueue,
 };
 pub use module::{DataPathModule, Hook, ModuleChain, ModuleVerdict, TcpdumpModule, XdpModule};
-pub use pipeline::{FlexToeNic, NicHandle};
+pub use pipeline::{FlexToeNic, NicHandle, PoolGauges};
 pub use proto::{RxOutcome, RxSummary, TxSeg};
 pub use segment::{
     shared_seg_pool, shared_work_pool, ConnEntry, ConnTable, NicConfig, SharedConnTable,

@@ -162,6 +162,34 @@ impl FlexToeNic {
         }
     }
 
+    /// Snapshot the NIC's pool and cache pressure gauges. Reads the
+    /// shared pools directly and the per-group protocol stages through
+    /// `sim`, so call it between runs (not from inside a handler).
+    pub fn pool_gauges(&self, sim: &Sim) -> PoolGauges {
+        let work = self.work_pool.borrow();
+        let seg = self.seg_pool.borrow();
+        let mut g = PoolGauges {
+            work_in_use: work.in_use(),
+            work_high_water: work.high_water,
+            seg_in_flight: seg.in_flight(),
+            seg_high_water: seg.high_water,
+            seg_idle: seg.idle(),
+            ..Default::default()
+        };
+        for &p in &self.protos {
+            let cache = sim
+                .node_ref::<crate::stages::proto_stage::ProtoStage>(p)
+                .state_cache();
+            g.cache_occupancy += cache.occupancy();
+            g.cache_high_water += cache.occ_high_water;
+            g.cache_local_hits += cache.local_hits;
+            g.cache_cls_hits += cache.cls_hits;
+            g.cache_sram_hits += cache.sram_hits;
+            g.cache_dram_accesses += cache.dram_accesses;
+        }
+        g
+    }
+
     /// Lightweight handle for the control plane and libTOE.
     pub fn handle(&self) -> NicHandle {
         NicHandle {
@@ -173,6 +201,73 @@ impl FlexToeNic {
             ctxq: self.ctxq,
             mac: self.mac,
         }
+    }
+}
+
+/// Pool and connection-state-cache pressure gauges of one NIC: work-pool
+/// and packet-buffer high-water marks plus the protocol stages' cache
+/// hierarchy counters (summed across flow groups). The scale sweep — and
+/// any future experiment — reads pressure from here instead of debug
+/// prints; [`PoolGauges::export`] mirrors it onto the named-counter stats
+/// surface.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct PoolGauges {
+    /// Work-pool slots holding live items right now (0 after quiescence).
+    pub work_in_use: usize,
+    /// Most work-pool slots ever simultaneously live.
+    pub work_high_water: usize,
+    /// Packet buffers outstanding right now.
+    pub seg_in_flight: u64,
+    /// Most packet buffers ever simultaneously outstanding.
+    pub seg_high_water: u64,
+    /// Packet buffers idle in the free list.
+    pub seg_idle: usize,
+    /// Connection-state entries resident in the EMEM SRAM caches.
+    pub cache_occupancy: usize,
+    /// High-water mark of that residency (distinct-connection footprint).
+    pub cache_high_water: usize,
+    pub cache_local_hits: u64,
+    pub cache_cls_hits: u64,
+    pub cache_sram_hits: u64,
+    pub cache_dram_accesses: u64,
+}
+
+impl PoolGauges {
+    /// Accumulate another NIC's gauges (fleet-wide aggregation). Lives
+    /// next to the struct so a new field cannot be silently dropped from
+    /// aggregates.
+    pub fn merge(&mut self, other: &PoolGauges) {
+        self.work_in_use += other.work_in_use;
+        self.work_high_water += other.work_high_water;
+        self.seg_in_flight += other.seg_in_flight;
+        self.seg_high_water += other.seg_high_water;
+        self.seg_idle += other.seg_idle;
+        self.cache_occupancy += other.cache_occupancy;
+        self.cache_high_water += other.cache_high_water;
+        self.cache_local_hits += other.cache_local_hits;
+        self.cache_cls_hits += other.cache_cls_hits;
+        self.cache_sram_hits += other.cache_sram_hits;
+        self.cache_dram_accesses += other.cache_dram_accesses;
+    }
+
+    /// Publish the gauges as named counters (`{prefix}.work_pool.hwm`,
+    /// `{prefix}.pktbuf.hwm`, `{prefix}.conn_cache.hwm`, …).
+    pub fn export(&self, stats: &mut flextoe_sim::Stats, prefix: &str) {
+        let set = |stats: &mut flextoe_sim::Stats, name: &str, v: u64| {
+            let h = stats.counter(&format!("{prefix}.{name}"));
+            stats.set(h, v);
+        };
+        set(stats, "work_pool.in_use", self.work_in_use as u64);
+        set(stats, "work_pool.hwm", self.work_high_water as u64);
+        set(stats, "pktbuf.in_flight", self.seg_in_flight);
+        set(stats, "pktbuf.hwm", self.seg_high_water);
+        set(stats, "pktbuf.idle", self.seg_idle as u64);
+        set(stats, "conn_cache.occupancy", self.cache_occupancy as u64);
+        set(stats, "conn_cache.hwm", self.cache_high_water as u64);
+        set(stats, "conn_cache.local_hits", self.cache_local_hits);
+        set(stats, "conn_cache.cls_hits", self.cache_cls_hits);
+        set(stats, "conn_cache.sram_hits", self.cache_sram_hits);
+        set(stats, "conn_cache.dram", self.cache_dram_accesses);
     }
 }
 

@@ -125,7 +125,7 @@ pub fn rx_segment(ps: &mut ProtoState, sum: &RxSummary) -> RxOutcome {
     out.ack_seq = ps.seq;
     out.ack_no = ps.ack;
     out.ack_window = advertised_window(ps);
-    out.sendable = ps.sendable();
+    out.sendable = ps.sendable_with_fin();
     out
 }
 

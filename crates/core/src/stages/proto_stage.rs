@@ -226,10 +226,7 @@ impl Node for ProtoStage {
                         ctx.stats.bump("proto.rto_retx", 1);
                     }
                 }
-                w.sendable_after = Some(
-                    entry.proto.sendable()
-                        + u32::from(entry.proto.fin_pending && !entry.proto.fin_sent),
-                );
+                w.sendable_after = Some(entry.proto.sendable_with_fin());
                 drop(table);
                 if w.win_ack.is_some() {
                     w.nbi_seq = Some(self.alloc_nbi());

@@ -111,6 +111,16 @@ impl ProtoState {
         self.tx_avail.min(self.send_window())
     }
 
+    /// Flow-scheduler view of sendable bytes: an unsent FIN counts as one
+    /// pseudo-byte so the scheduler still triggers the (possibly empty)
+    /// segment that carries it. Every FS feedback path must use this —
+    /// a path reporting plain [`ProtoState::sendable`] after `close()`
+    /// would overwrite the scheduler's count with 0 and discard the
+    /// queued FIN trigger, deadlocking the teardown.
+    pub fn sendable_with_fin(&self) -> u32 {
+        self.sendable() + u32::from(self.fin_pending && !self.fin_sent)
+    }
+
     pub fn encode(&self) -> [u8; Self::WIRE_SIZE] {
         let mut b = [0u8; Self::WIRE_SIZE];
         b[0..4].copy_from_slice(&self.rx_pos.to_be_bytes());

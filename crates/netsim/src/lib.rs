@@ -3,9 +3,12 @@
 //! Links with propagation delay and smoltcp-style fault injection, plus an
 //! output-queued switch with per-port shaping, DCTCP ECN marking, and
 //! WRED — everything the paper's robustness experiments (§5.3) exercise.
+//! For multi-switch fabrics the switch additionally routes by destination
+//! IP with seeded-deterministic ECMP flow hashing (`flextoe-topo` builds
+//! leaf-spine and fat-tree topologies on top of it).
 
 pub mod link;
 pub mod switch;
 
-pub use link::{Faults, Link};
-pub use switch::{PortConfig, Switch, WredParams};
+pub use link::{Faults, Link, SetFaults};
+pub use switch::{ecmp_hash, PortConfig, Switch, WredParams};

@@ -37,6 +37,13 @@ pub struct Link {
     pub corrupted: u64,
 }
 
+/// Reconfigure a link's fault model mid-run. Topology builders schedule
+/// these from a `Scenario` fault schedule — e.g. a fabric link degrading
+/// at t₁ and healing at t₂ — so experiments stay declarative and
+/// deterministic.
+pub struct SetFaults(pub Faults);
+flextoe_sim::custom_msg!(SetFaults);
+
 impl Link {
     pub fn new(to: NodeId, propagation: Duration) -> Link {
         Link {
@@ -59,8 +66,15 @@ impl Link {
 
 impl Node for Link {
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
-        let Msg::Frame(mut frame) = msg else {
-            panic!("link: unexpected message {}", msg.variant_name())
+        let mut frame = match msg {
+            Msg::Frame(frame) => frame,
+            msg => match flextoe_sim::try_cast::<SetFaults>(msg) {
+                Ok(sf) => {
+                    self.faults = sf.0;
+                    return;
+                }
+                Err(m) => panic!("link: unexpected message {}", m.variant_name()),
+            },
         };
         if let Some(limit) = self.faults.size_limit {
             if frame.len() > limit {
@@ -156,6 +170,34 @@ mod tests {
         let p = &sim.node_ref::<Probe>(probe).frames[0].1;
         let set_bits: u32 = p.iter().map(|b| b.count_ones()).sum();
         assert_eq!(set_bits, 1);
+    }
+
+    #[test]
+    fn set_faults_reconfigures_mid_run() {
+        let mut sim = Sim::new(1);
+        let probe = sim.add_node(Probe { frames: vec![] });
+        let link = sim.add_node(Link::new(probe, Duration::ZERO));
+        sim.schedule(Time::from_ns(0), link, Frame(vec![1]));
+        sim.schedule_in(
+            Duration::from_ns(5),
+            link,
+            SetFaults(Faults {
+                drop_chance: 1.0,
+                ..Default::default()
+            }),
+        );
+        sim.schedule(Time::from_ns(10), link, Frame(vec![2]));
+        sim.schedule_in(Duration::from_ns(15), link, SetFaults(Faults::default()));
+        sim.schedule(Time::from_ns(20), link, Frame(vec![3]));
+        sim.run();
+        let got: Vec<u8> = sim
+            .node_ref::<Probe>(probe)
+            .frames
+            .iter()
+            .map(|(_, f)| f[0])
+            .collect();
+        assert_eq!(got, vec![1, 3], "frame 2 dropped while degraded");
+        assert_eq!(sim.node_ref::<Link>(link).dropped, 1);
     }
 
     #[test]

@@ -38,6 +38,11 @@ pub struct ConnStateCache {
     pub cls_hits: u64,
     pub sram_hits: u64,
     pub dram_accesses: u64,
+    /// Most connection-state entries simultaneously resident in the EMEM
+    /// SRAM front cache — every connection's first access lands here, so
+    /// this tracks the distinct-connection footprint until the cache caps
+    /// out and Fig. 13's cliff begins.
+    pub occ_high_water: usize,
 }
 
 /// Default share of the EMEM SRAM cache available for connection state.
@@ -59,6 +64,7 @@ impl ConnStateCache {
             cls_hits: 0,
             sram_hits: 0,
             dram_accesses: 0,
+            occ_high_water: 0,
         }
     }
 
@@ -88,8 +94,14 @@ impl ConnStateCache {
             return (Cost::new(0, self.lat_sram), StateHit::EmemSram);
         }
         self.emem_sram.insert(conn, ());
+        self.occ_high_water = self.occ_high_water.max(self.emem_sram.len());
         self.dram_accesses += 1;
         (Cost::new(0, self.lat_dram), StateHit::EmemDram)
+    }
+
+    /// Connection-state entries currently resident in the EMEM SRAM cache.
+    pub fn occupancy(&self) -> usize {
+        self.emem_sram.len()
     }
 
     /// Remove a connection's cached state (teardown).
@@ -120,6 +132,9 @@ pub struct PktBufPool {
     pub fresh_allocs: u64,
     pub returns: u64,
     pub dropped_returns: u64,
+    /// Most buffers simultaneously outstanding (taken, not yet returned) —
+    /// the pool-pressure gauge the connection-scalability sweep records.
+    pub high_water: u64,
 }
 
 impl PktBufPool {
@@ -131,12 +146,22 @@ impl PktBufPool {
             fresh_allocs: 0,
             returns: 0,
             dropped_returns: 0,
+            high_water: 0,
         }
+    }
+
+    /// Buffers currently outstanding (taken and not yet returned).
+    /// Saturating: a pool can be handed more foreign buffers than it gave
+    /// out (frames allocated on one NIC are consumed — and returned — on
+    /// the peer's).
+    pub fn in_flight(&self) -> u64 {
+        self.takes.saturating_sub(self.returns)
     }
 
     /// Take a cleared buffer, reusing pooled capacity when available.
     pub fn take(&mut self) -> Vec<u8> {
         self.takes += 1;
+        self.high_water = self.high_water.max(self.in_flight());
         match self.free.pop() {
             Some(mut buf) => {
                 buf.clear();

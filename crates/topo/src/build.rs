@@ -1,0 +1,423 @@
+//! Fabric instantiation: turn a [`Scenario`] into a wired simulation —
+//! switches with ECMP routing tables, bidirectional links, host
+//! endpoints, full-mesh ARP, application nodes, kick-off events, and the
+//! fault schedule.
+//!
+//! ```text
+//!        spine0          spine1            ┐ routes: host ip → leaf port
+//!       ╱  |  ╲  ╳      ╱  |  ╲            ┘ (single path down)
+//!   leaf0  leaf1  leaf2  leaf3             ┐ local hosts: MAC table
+//!    │ │    │ │    │ │    │ │              │ remote hosts: ECMP over
+//!   h0 h1  h2 h3  h4 h5  h6 h7             ┘ all spine uplinks
+//! ```
+//!
+//! Every switch gets its own ECMP hash salt drawn from the simulation's
+//! seeded generator, so path selection is deterministic per seed but
+//! decorrelated between switches (no fabric-wide polarization).
+
+use flextoe_apps::{FramedServerApp, OpenLoopClientApp, StackApi};
+use flextoe_netsim::{Link, SetFaults, Switch};
+use flextoe_sim::{NodeId, Sim, Tick, Time};
+use flextoe_wire::{Ip4, MacAddr};
+
+use crate::host::{add_arp, build_endpoint, Endpoint, Stack};
+use crate::spec::{Fabric, LinkClass, LinkScope, Role, Scenario};
+
+/// `FramedServerApp` / `OpenLoopClientApp` over any stack (the builder
+/// erases the stack type, like the bench harness's `DynServer`).
+pub type DynFramedServer = FramedServerApp<Box<dyn StackApi>>;
+pub type DynOpenLoopClient = OpenLoopClientApp<Box<dyn StackApi>>;
+
+/// What kind of application a built host ended up with (consumers select
+/// client/server nodes by this instead of re-deriving the scenario's
+/// host-layout convention).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BuiltRole {
+    Idle,
+    Server,
+    Client,
+}
+
+pub struct BuiltHost {
+    pub ep: Endpoint,
+    pub stack: Stack,
+    /// The host's application node, if its role has one.
+    pub app: Option<NodeId>,
+    pub role: BuiltRole,
+    /// Index into [`BuiltFabric::switches`] of the host's edge switch.
+    pub edge_switch: usize,
+}
+
+impl BuiltHost {
+    /// The open-loop client node, if this host runs one.
+    pub fn client(&self) -> Option<NodeId> {
+        (self.role == BuiltRole::Client)
+            .then_some(self.app)
+            .flatten()
+    }
+}
+
+/// A fully wired fabric. Switch order: leaf-spine lists leaves then
+/// spines; fat-tree lists edges (pod-major), then aggregations
+/// (pod-major), then cores.
+pub struct BuiltFabric {
+    pub hosts: Vec<BuiltHost>,
+    pub switches: Vec<NodeId>,
+    /// Host↔edge-switch links (both directions).
+    pub edge_links: Vec<NodeId>,
+    /// Switch↔switch links (both directions).
+    pub fabric_links: Vec<NodeId>,
+}
+
+impl BuiltFabric {
+    pub fn host_ips(&self) -> Vec<Ip4> {
+        self.hosts.iter().map(|h| h.ep.ip).collect()
+    }
+}
+
+/// In-flight switch state while the topology is being wired (the node id
+/// is reserved up front because links point at switches and vice versa).
+struct Sw {
+    node: NodeId,
+    sw: Switch,
+}
+
+fn make_switches(sim: &mut Sim, count: usize) -> Vec<Sw> {
+    (0..count)
+        .map(|_| {
+            let node = sim.reserve_node();
+            let mut sw = Switch::new();
+            // key the ECMP hash off the sim's seeded xoshiro stream: one
+            // salt per switch, drawn in wiring order
+            sw.set_ecmp_salt(sim.rng.next_u64());
+            Sw { node, sw }
+        })
+        .collect()
+}
+
+/// Bidirectional switch↔switch connection; returns the port ids
+/// `(on_a, on_b)` and records the two link nodes.
+fn connect_switches(
+    sim: &mut Sim,
+    switches: &mut [Sw],
+    a: usize,
+    b: usize,
+    class: &LinkClass,
+    links: &mut Vec<NodeId>,
+) -> (usize, usize) {
+    let l_ab = sim.reserve_node();
+    let l_ba = sim.reserve_node();
+    let pa = switches[a].sw.add_port(l_ab, class.port);
+    let pb = switches[b].sw.add_port(l_ba, class.port);
+    sim.fill_node(
+        l_ab,
+        Link::with_faults(switches[b].node, class.propagation, class.faults),
+    );
+    sim.fill_node(
+        l_ba,
+        Link::with_faults(switches[a].node, class.propagation, class.faults),
+    );
+    links.push(l_ab);
+    links.push(l_ba);
+    (pa, pb)
+}
+
+/// Attach every host to its edge switch (uplink + downlink links, MAC
+/// learning). Returns endpoints and the edge link nodes.
+fn attach_hosts(
+    sim: &mut Sim,
+    sc: &Scenario,
+    edge_of_host: &[usize],
+    switches: &mut [Sw],
+) -> (Vec<Endpoint>, Vec<NodeId>) {
+    let class = &sc.links.edge;
+    let mut eps = Vec::new();
+    let mut links = Vec::new();
+    for (i, spec) in sc.hosts.iter().enumerate() {
+        let edge = edge_of_host[i];
+        let uplink = sim.reserve_node();
+        let ep = build_endpoint(sim, spec.stack, (i + 1) as u8, uplink, &sc.opts);
+        sim.fill_node(
+            uplink,
+            Link::with_faults(switches[edge].node, class.propagation, class.faults),
+        );
+        let downlink = sim.reserve_node();
+        let port = switches[edge].sw.add_port(downlink, class.port);
+        switches[edge].sw.learn(ep.mac, port);
+        sim.fill_node(
+            downlink,
+            Link::with_faults(ep.ingress, class.propagation, class.faults),
+        );
+        links.push(uplink);
+        links.push(downlink);
+        eps.push(ep);
+    }
+    (eps, links)
+}
+
+/// ARP full mesh, app instantiation, kick-off events, fault schedule —
+/// everything downstream of the wiring, shared by both fabric shapes.
+fn finalize(
+    sim: &mut Sim,
+    sc: &Scenario,
+    eps: Vec<Endpoint>,
+    edge_of_host: Vec<usize>,
+    switches: Vec<Sw>,
+    edge_links: Vec<NodeId>,
+    fabric_links: Vec<NodeId>,
+) -> BuiltFabric {
+    let switch_ids: Vec<NodeId> = switches.iter().map(|s| s.node).collect();
+    for s in switches {
+        sim.fill_node(s.node, s.sw);
+    }
+
+    // every host resolves every other host
+    let all: Vec<(Ip4, MacAddr)> = eps.iter().map(|e| (e.ip, e.mac)).collect();
+    for ep in &eps {
+        for &(ip, mac) in &all {
+            if ip != ep.ip {
+                add_arp(sim, ep, ip, mac);
+            }
+        }
+    }
+
+    // applications
+    let mut hosts = Vec::new();
+    let mut n_clients = 0u64;
+    for ((i, spec), ep) in sc.hosts.iter().enumerate().zip(eps) {
+        let (app, role) = match &spec.role {
+            Role::Idle => (None, BuiltRole::Idle),
+            Role::FramedServer(cfg) => {
+                let node = sim.add_node(DynFramedServer::new(*cfg, ep.stack_init(spec.stack, 1)));
+                sim.schedule(Time::ZERO, node, Tick);
+                (Some(node), BuiltRole::Server)
+            }
+            Role::OpenLoop { cfg, target } => {
+                assert!(*target < sc.hosts.len(), "client target out of range");
+                assert_ne!(*target, i, "client targeting itself");
+                let mut cfg = *cfg;
+                cfg.server_ip = Ip4::host((*target + 1) as u8);
+                // the target's address is authoritative — port included,
+                // so a reconfigured server port can't silently strand
+                // every connect on the default
+                if let Role::FramedServer(scfg) = &sc.hosts[*target].role {
+                    cfg.server_port = scfg.port;
+                }
+                let node = sim.add_node(DynOpenLoopClient::new(cfg, ep.stack_init(spec.stack, 1)));
+                sim.schedule(sc.client_start + sc.client_stagger * n_clients, node, Tick);
+                n_clients += 1;
+                (Some(node), BuiltRole::Client)
+            }
+        };
+        hosts.push(BuiltHost {
+            ep,
+            stack: spec.stack,
+            app,
+            role,
+            edge_switch: edge_of_host[i],
+        });
+    }
+
+    // fault schedule
+    for ev in &sc.fault_schedule {
+        let targets: Vec<NodeId> = match ev.scope {
+            LinkScope::Edge => edge_links.clone(),
+            LinkScope::Fabric => fabric_links.clone(),
+            LinkScope::All => edge_links.iter().chain(&fabric_links).copied().collect(),
+        };
+        for link in targets {
+            sim.schedule(ev.at, link, SetFaults(ev.faults));
+        }
+    }
+
+    BuiltFabric {
+        hosts,
+        switches: switch_ids,
+        edge_links,
+        fabric_links,
+    }
+}
+
+/// Instantiate a scenario into `sim`. Panics on malformed specs (host
+/// count mismatch, degenerate fabric shapes) — scenario bugs, not inputs.
+pub fn build_fabric(sim: &mut Sim, sc: &Scenario) -> BuiltFabric {
+    let n = sc.fabric.n_hosts();
+    assert_eq!(
+        sc.hosts.len(),
+        n,
+        "scenario must specify exactly one host per fabric slot"
+    );
+    assert!(n > 0 && n <= 250, "host id space is 1..=250");
+    match sc.fabric {
+        Fabric::LeafSpine {
+            leaves,
+            spines,
+            hosts_per_leaf,
+        } => build_leaf_spine(sim, sc, leaves, spines, hosts_per_leaf),
+        Fabric::FatTree { k } => build_fat_tree(sim, sc, k),
+    }
+}
+
+fn build_leaf_spine(
+    sim: &mut Sim,
+    sc: &Scenario,
+    leaves: usize,
+    spines: usize,
+    hosts_per_leaf: usize,
+) -> BuiltFabric {
+    assert!(leaves >= 1 && spines >= 1 && hosts_per_leaf >= 1);
+    let mut switches = make_switches(sim, leaves + spines);
+    let mut fabric_links = Vec::new();
+
+    // leaf l ↔ spine s, remembering the uplink/downlink port ids
+    let mut uplinks = vec![Vec::new(); leaves]; // leaf → its spine ports
+    let mut downs = vec![vec![0usize; leaves]; spines]; // spine → leaf port
+    for l in 0..leaves {
+        for (s, down) in downs.iter_mut().enumerate() {
+            let (pl, ps) = connect_switches(
+                sim,
+                &mut switches,
+                l,
+                leaves + s,
+                &sc.links.fabric,
+                &mut fabric_links,
+            );
+            uplinks[l].push(pl);
+            down[l] = ps;
+        }
+    }
+
+    let edge_of_host: Vec<usize> = (0..sc.hosts.len()).map(|i| i / hosts_per_leaf).collect();
+    let (eps, edge_links) = attach_hosts(sim, sc, &edge_of_host, &mut switches);
+
+    // routes: leaves ECMP remote hosts over all spines; spines route each
+    // host down its leaf
+    for (i, ep) in eps.iter().enumerate() {
+        let leaf = edge_of_host[i];
+        for (l, sw) in switches.iter_mut().enumerate().take(leaves) {
+            if l != leaf {
+                sw.sw.route(ep.ip, uplinks[l].clone());
+            }
+        }
+        for (s, down) in downs.iter().enumerate() {
+            switches[leaves + s].sw.route(ep.ip, vec![down[leaf]]);
+        }
+    }
+
+    finalize(
+        sim,
+        sc,
+        eps,
+        edge_of_host,
+        switches,
+        edge_links,
+        fabric_links,
+    )
+}
+
+fn build_fat_tree(sim: &mut Sim, sc: &Scenario, k: usize) -> BuiltFabric {
+    assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even");
+    let half = k / 2;
+    let n_edge = k * half;
+    let n_agg = k * half;
+    let n_core = half * half;
+    // switch index layout: [edges (pod-major) | aggs (pod-major) | cores]
+    let edge_idx = |pod: usize, e: usize| pod * half + e;
+    let agg_idx = |pod: usize, a: usize| n_edge + pod * half + a;
+    let core_idx = |c: usize| n_edge + n_agg + c;
+
+    let mut switches = make_switches(sim, n_edge + n_agg + n_core);
+    let mut fabric_links = Vec::new();
+
+    // edge(p,e) ↔ agg(p,a): full bipartite per pod
+    let mut edge_up = vec![Vec::new(); n_edge]; // edge → agg ports
+    let mut agg_down = vec![vec![0usize; half]; n_agg]; // agg → edge e port
+    for p in 0..k {
+        for e in 0..half {
+            for a in 0..half {
+                let (pe, pa) = connect_switches(
+                    sim,
+                    &mut switches,
+                    edge_idx(p, e),
+                    agg_idx(p, a),
+                    &sc.links.fabric,
+                    &mut fabric_links,
+                );
+                edge_up[edge_idx(p, e)].push(pe);
+                agg_down[pod_local_agg(p, a, half)][e] = pa;
+            }
+        }
+    }
+    // agg(p,a) ↔ core group a: cores a*half..(a+1)*half
+    let mut agg_up = vec![Vec::new(); n_agg]; // agg → core ports
+    let mut core_down = vec![vec![0usize; k]; n_core]; // core → pod port
+    for p in 0..k {
+        for a in 0..half {
+            for j in 0..half {
+                let c = a * half + j;
+                let (pa, pc) = connect_switches(
+                    sim,
+                    &mut switches,
+                    agg_idx(p, a),
+                    core_idx(c),
+                    &sc.links.fabric,
+                    &mut fabric_links,
+                );
+                agg_up[pod_local_agg(p, a, half)].push(pa);
+                core_down[c][p] = pc;
+            }
+        }
+    }
+
+    // host i lives in pod i/(half²), under edge (i mod half²)/half
+    let hosts_per_pod = half * half;
+    let edge_of_host: Vec<usize> = (0..sc.hosts.len())
+        .map(|i| edge_idx(i / hosts_per_pod, (i % hosts_per_pod) / half))
+        .collect();
+    let (eps, edge_links) = attach_hosts(sim, sc, &edge_of_host, &mut switches);
+
+    for (i, ep) in eps.iter().enumerate() {
+        let pod = i / hosts_per_pod;
+        let edge = edge_of_host[i];
+        // edges: every non-local host ECMPs over all pod aggregations
+        for e in 0..n_edge {
+            if e != edge {
+                switches[e].sw.route(ep.ip, edge_up[e].clone());
+            }
+        }
+        // aggregations: down within the pod, up (ECMP over cores) across
+        let host_edge_local = (i % hosts_per_pod) / half;
+        for p in 0..k {
+            for a in 0..half {
+                let gi = pod_local_agg(p, a, half);
+                let sw = &mut switches[agg_idx(p, a)].sw;
+                if p == pod {
+                    sw.route(ep.ip, vec![agg_down[gi][host_edge_local]]);
+                } else {
+                    sw.route(ep.ip, agg_up[gi].clone());
+                }
+            }
+        }
+        // cores: straight down to the host's pod
+        for c in 0..n_core {
+            switches[core_idx(c)]
+                .sw
+                .route(ep.ip, vec![core_down[c][pod]]);
+        }
+    }
+
+    finalize(
+        sim,
+        sc,
+        eps,
+        edge_of_host,
+        switches,
+        edge_links,
+        fabric_links,
+    )
+}
+
+/// Index into the pod-major aggregation-switch arrays.
+fn pod_local_agg(pod: usize, a: usize, half: usize) -> usize {
+    pod * half + a
+}

@@ -1,0 +1,154 @@
+//! The declarative scenario spec: a complete multi-host experiment —
+//! fabric shape, per-host stack choice, applications and traffic mix,
+//! link rates/latencies, and fault schedules — as one value handed to
+//! [`crate::build_fabric`]. Everything downstream (switch wiring, ECMP
+//! routing tables, ARP, app nodes, kick-off events) is derived from it,
+//! in the simulator-composition style of the NS-2 tutorials: describe the
+//! scenario, let the builder instantiate it.
+
+use flextoe_apps::{FramedServerConfig, OpenLoopConfig};
+use flextoe_netsim::{Faults, PortConfig};
+use flextoe_sim::{Duration, Time};
+
+use crate::host::{PairOpts, Stack};
+
+/// Fabric shape.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fabric {
+    /// Two-tier Clos: every leaf connects to every spine; hosts hang off
+    /// leaves. Flows between leaves spread across spines by ECMP.
+    LeafSpine {
+        leaves: usize,
+        spines: usize,
+        hosts_per_leaf: usize,
+    },
+    /// Three-tier k-ary fat-tree (k even): k pods of k/2 edge + k/2
+    /// aggregation switches, (k/2)² core switches, k³/4 hosts.
+    FatTree { k: usize },
+}
+
+impl Fabric {
+    /// Number of hosts this fabric attaches.
+    pub fn n_hosts(&self) -> usize {
+        match *self {
+            Fabric::LeafSpine {
+                leaves,
+                hosts_per_leaf,
+                ..
+            } => leaves * hosts_per_leaf,
+            Fabric::FatTree { k } => k * k * k / 4,
+        }
+    }
+}
+
+/// What a host does in the scenario.
+pub enum Role {
+    /// Attached but idle (background state pressure, future workloads).
+    Idle,
+    /// Serves the framed open-loop RPC protocol.
+    FramedServer(FramedServerConfig),
+    /// Generates open-loop traffic at `cfg` toward host `target` (a host
+    /// index into [`Scenario::hosts`]; the builder fills `cfg.server_ip`).
+    OpenLoop { cfg: OpenLoopConfig, target: usize },
+}
+
+/// One host: its transport stack and its application.
+pub struct HostSpec {
+    pub stack: Stack,
+    pub role: Role,
+}
+
+impl HostSpec {
+    pub fn idle(stack: Stack) -> HostSpec {
+        HostSpec {
+            stack,
+            role: Role::Idle,
+        }
+    }
+}
+
+/// One class of links (edge = host↔leaf, fabric = switch↔switch).
+#[derive(Clone, Copy, Debug)]
+pub struct LinkClass {
+    /// One-way propagation delay per link.
+    pub propagation: Duration,
+    /// Switch egress port configuration on this tier (rate, buffer, ECN,
+    /// WRED).
+    pub port: PortConfig,
+    /// Initial fault model on the links.
+    pub faults: Faults,
+}
+
+impl Default for LinkClass {
+    fn default() -> Self {
+        LinkClass {
+            propagation: Duration::from_ns(500),
+            port: PortConfig::default(),
+            faults: Faults::default(),
+        }
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LinkSpec {
+    pub edge: LinkClass,
+    pub fabric: LinkClass,
+}
+
+/// Which links a fault event applies to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LinkScope {
+    Edge,
+    Fabric,
+    All,
+}
+
+/// A scheduled change of the fault model: at `at`, every link in `scope`
+/// switches to `faults` (schedule a later event with
+/// `Faults::default()` to heal).
+#[derive(Clone, Copy, Debug)]
+pub struct FaultEvent {
+    pub at: Time,
+    pub scope: LinkScope,
+    pub faults: Faults,
+}
+
+/// A complete declarative scenario.
+pub struct Scenario {
+    /// Simulation seed — also salts every switch's ECMP hash, so path
+    /// selection reruns byte-identically.
+    pub seed: u64,
+    pub fabric: Fabric,
+    /// One spec per host; must have exactly `fabric.n_hosts()` entries.
+    pub hosts: Vec<HostSpec>,
+    pub links: LinkSpec,
+    /// Transport options shared by all hosts (pipeline config, CC
+    /// algorithm, fold, report cadence). The pair/star-only `propagation`
+    /// and `faults` fields are ignored here — `links` governs the fabric.
+    pub opts: PairOpts,
+    /// Scheduled link-fault changes.
+    pub fault_schedule: Vec<FaultEvent>,
+    /// When client applications start (servers start at t = 0; clients
+    /// are staggered one `client_stagger` apart from `client_start`).
+    pub client_start: Time,
+    pub client_stagger: Duration,
+}
+
+impl Scenario {
+    /// A scenario with every host idle on `stack` — attach apps by
+    /// editing `hosts`, or drive the endpoints directly from a test.
+    pub fn idle(seed: u64, fabric: Fabric, stack: Stack) -> Scenario {
+        Scenario {
+            seed,
+            fabric,
+            hosts: (0..fabric.n_hosts())
+                .map(|_| HostSpec::idle(stack))
+                .collect(),
+            links: LinkSpec::default(),
+            opts: PairOpts::default(),
+            fault_schedule: Vec::new(),
+            client_start: Time::from_us(20),
+            client_stagger: Duration::from_us(1),
+        }
+    }
+}

@@ -11,7 +11,7 @@ use flextoe_netsim::Faults;
 use flextoe_sim::{Duration, Time};
 
 #[path = "../crates/bench/src/harness.rs"]
-#[allow(dead_code)]
+#[allow(dead_code, unused_imports)]
 mod harness;
 use harness::*;
 

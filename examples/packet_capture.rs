@@ -14,7 +14,7 @@ use flextoe_core::stages::pre::PreStage;
 use flextoe_wire::{SegmentView, TcpPacket, ETH_HDR_LEN, IPV4_HDR_LEN};
 
 #[path = "../crates/bench/src/harness.rs"]
-#[allow(dead_code)]
+#[allow(dead_code, unused_imports)]
 mod harness;
 use harness::*;
 

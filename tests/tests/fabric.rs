@@ -1,0 +1,223 @@
+//! The datacenter-fabric subsystem end to end: leaf-spine and fat-tree
+//! scenarios built from declarative specs, ECMP path spreading, byte-
+//! identical determinism of the whole `scale` sweep, and declarative
+//! fault schedules on fabric links.
+
+use flextoe_apps::{FramedServerConfig, OpenLoopConfig, SizeDist};
+use flextoe_bench::scale::{run_scale, scale_json, ScalePlan};
+use flextoe_netsim::{Faults, Link, Switch};
+use flextoe_sim::{Sim, Time};
+use flextoe_topo::{
+    build_fabric, BuiltRole, DynFramedServer, DynOpenLoopClient, Fabric, FaultEvent, LinkScope,
+    Role, Scenario, Stack,
+};
+
+/// A small leaf-spine scenario: every even host open-loops to the server
+/// on the next leaf (the same pattern the scale sweep uses).
+fn mini_leaf_spine(seed: u64) -> Scenario {
+    let fabric = Fabric::LeafSpine {
+        leaves: 4,
+        spines: 2,
+        hosts_per_leaf: 2,
+    };
+    let mut sc = Scenario::idle(seed, fabric, Stack::FlexToe);
+    for i in 0..sc.hosts.len() {
+        sc.hosts[i].role = if i % 2 == 0 {
+            let leaf = i / 2;
+            Role::OpenLoop {
+                cfg: OpenLoopConfig {
+                    n_conns: 8,
+                    rate_rps: 50_000.0,
+                    req_size: SizeDist::Fixed(64),
+                    resp_size: SizeDist::Uniform { lo: 64, hi: 2048 },
+                    warmup: Time::from_us(500),
+                    ..Default::default()
+                },
+                target: ((leaf + 1) % 4) * 2 + 1,
+            }
+        } else {
+            Role::FramedServer(FramedServerConfig::default())
+        };
+    }
+    sc
+}
+
+/// Traffic between leaves spreads over *both* spines (ECMP), and every
+/// client's RPCs complete across the fabric.
+#[test]
+fn leaf_spine_ecmp_spreads_flows_across_spines() {
+    let sc = mini_leaf_spine(3);
+    let mut sim = Sim::new(sc.seed);
+    let fab = build_fabric(&mut sim, &sc);
+    sim.run_until(Time::from_ms(3));
+
+    for h in &fab.hosts {
+        match h.role {
+            BuiltRole::Client => {
+                let c = sim.node_ref::<DynOpenLoopClient>(h.app.unwrap());
+                assert_eq!(c.connected, 8, "all conns established");
+                assert!(c.measured > 20, "client measured {}", c.measured);
+            }
+            BuiltRole::Server => {
+                let s = sim.node_ref::<DynFramedServer>(h.app.unwrap());
+                assert_eq!(s.bad_frames, 0, "framing intact through the fabric");
+                assert!(s.requests > 0);
+            }
+            BuiltRole::Idle => {}
+        }
+    }
+    // both spines forwarded traffic, each via the L3 ECMP route path
+    for s in 4..6 {
+        let sw = sim.node_ref::<Switch>(fab.switches[s]);
+        assert!(sw.routed > 100, "spine {s} routed {} frames", sw.routed);
+        assert_eq!(sw.flooded, 0, "no unroutable frames on spine {s}");
+    }
+    // and the per-spine split is genuinely shared, not all-one-path
+    let spine_tx: Vec<u64> = (4..6)
+        .map(|s| {
+            let sw = sim.node_ref::<Switch>(fab.switches[s]);
+            (0..4).map(|p| sw.port_stats(p).0).sum()
+        })
+        .collect();
+    assert!(
+        spine_tx.iter().all(|&t| t > 0),
+        "ECMP must use both spines: {spine_tx:?}"
+    );
+}
+
+/// A 4-ary fat-tree delivers across pods (through the core tier) with the
+/// same declarative spec.
+#[test]
+fn fat_tree_delivers_cross_pod_through_core() {
+    let fabric = Fabric::FatTree { k: 4 };
+    let mut sc = Scenario::idle(5, fabric, Stack::FlexToe);
+    // host 0 (pod 0) open-loops to host 15 (pod 3); everyone else idles
+    sc.hosts[0].role = Role::OpenLoop {
+        cfg: OpenLoopConfig {
+            n_conns: 4,
+            rate_rps: 50_000.0,
+            req_size: SizeDist::Fixed(64),
+            resp_size: SizeDist::Fixed(512),
+            ..Default::default()
+        },
+        target: 15,
+    };
+    sc.hosts[15].role = Role::FramedServer(FramedServerConfig::default());
+    let mut sim = Sim::new(sc.seed);
+    let fab = build_fabric(&mut sim, &sc);
+    assert_eq!(fab.switches.len(), 20, "4 pods x (2+2) + 4 cores");
+    sim.run_until(Time::from_ms(2));
+
+    let c = sim.node_ref::<DynOpenLoopClient>(fab.hosts[0].app.unwrap());
+    assert_eq!(c.connected, 4);
+    assert!(c.measured > 20, "cross-pod RPCs completed: {}", c.measured);
+    let s = sim.node_ref::<DynFramedServer>(fab.hosts[15].app.unwrap());
+    assert_eq!(s.bad_frames, 0);
+    // cross-pod traffic must transit at least one core switch
+    let core_routed: u64 = (16..20)
+        .map(|i| sim.node_ref::<Switch>(fab.switches[i]).routed)
+        .sum();
+    assert!(core_routed > 50, "core tier routed {core_routed} frames");
+}
+
+/// Two runs of the same fabric seed produce identical results; a
+/// different seed shifts ECMP path selection.
+#[test]
+fn fabric_runs_are_deterministic_per_seed() {
+    let run = |seed: u64| -> (u64, Vec<u64>) {
+        let sc = mini_leaf_spine(seed);
+        let mut sim = Sim::new(sc.seed);
+        let fab = build_fabric(&mut sim, &sc);
+        sim.run_until(Time::from_ms(2));
+        let measured = fab
+            .hosts
+            .iter()
+            .filter_map(|h| h.client())
+            .map(|app| sim.node_ref::<DynOpenLoopClient>(app).measured)
+            .sum();
+        let spine_split = (4..6)
+            .flat_map(|s| {
+                let sw = sim.node_ref::<Switch>(fab.switches[s]);
+                (0..4).map(move |p| sw.port_stats(p).0).collect::<Vec<_>>()
+            })
+            .collect();
+        (measured, spine_split)
+    };
+    let a = run(11);
+    let b = run(11);
+    assert_eq!(a, b, "same seed, same everything");
+    let c = run(12);
+    assert_ne!(
+        a.1, c.1,
+        "a different seed should re-salt ECMP and shift the spine split"
+    );
+}
+
+/// The whole `scale` sweep serializes byte-identically for one seed —
+/// the acceptance contract on `BENCH_scale.json`.
+#[test]
+fn scale_sweep_json_is_byte_identical_per_seed() {
+    let plan = ScalePlan::smoke();
+    let a = scale_json(17, &plan, &run_scale(17, &plan));
+    let b = scale_json(17, &plan, &run_scale(17, &plan));
+    assert_eq!(a, b);
+    assert!(a.contains("\"fabric\": \"leafspine-4x2\""));
+}
+
+/// The full sweep plan satisfies the experiment contract: at least four
+/// connection counts, reaching at least 4096 flows.
+#[test]
+fn full_scale_plan_meets_sweep_contract() {
+    let plan = ScalePlan::full();
+    let flex_counts: Vec<u32> = plan
+        .points
+        .iter()
+        .filter(|(s, _)| *s == Stack::FlexToe)
+        .map(|&(_, c)| c)
+        .collect();
+    assert!(flex_counts.len() >= 4, "{flex_counts:?}");
+    assert!(*flex_counts.iter().max().unwrap() >= 4096);
+    // and it records more than one stack
+    assert!(plan.points.iter().any(|(s, _)| *s != Stack::FlexToe));
+}
+
+/// A declarative fault schedule: fabric links degrade mid-run and heal;
+/// recovery (retransmission) keeps the RPC stream alive end to end.
+#[test]
+fn fault_schedule_degrades_and_heals_fabric_links() {
+    let mut sc = mini_leaf_spine(9);
+    sc.fault_schedule = vec![
+        FaultEvent {
+            at: Time::from_us(800),
+            scope: LinkScope::Fabric,
+            faults: Faults {
+                drop_chance: 0.05,
+                ..Default::default()
+            },
+        },
+        FaultEvent {
+            at: Time::from_us(1600),
+            scope: LinkScope::Fabric,
+            faults: Faults::default(),
+        },
+    ];
+    let mut sim = Sim::new(sc.seed);
+    let fab = build_fabric(&mut sim, &sc);
+    sim.run_until(Time::from_ms(4));
+    let dropped: u64 = fab
+        .fabric_links
+        .iter()
+        .map(|&l| sim.node_ref::<Link>(l).dropped)
+        .sum();
+    assert!(dropped > 0, "the degradation window dropped frames");
+    for h in &fab.hosts {
+        if let Some(app) = h.client() {
+            let c = sim.node_ref::<DynOpenLoopClient>(app);
+            assert!(
+                c.measured > 20,
+                "traffic survived the fault window: {}",
+                c.measured
+            );
+        }
+    }
+}
