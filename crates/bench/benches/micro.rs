@@ -53,7 +53,7 @@ fn selected(filter: &Option<String>, group: &str) -> bool {
 
 #[path = "../src/enginebench.rs"]
 mod enginebench;
-use enginebench::{best_of, PIPE_EVENTS};
+use enginebench::{best_of, switch_best_of, PIPE_EVENTS, SWITCH_FRAMES};
 
 pub fn bench_engine(results: &mut Vec<(String, f64)>) {
     println!("-- engine: {PIPE_EVENTS} events through a 6-stage pipeline ring --");
@@ -82,6 +82,16 @@ pub fn bench_engine(results: &mut Vec<(String, f64)>) {
         "engine/speedup (wheel+typed vs heap+boxed)   {:>10.2}x",
         best / base
     );
+
+    println!("-- switch: {SWITCH_FRAMES} frames through one ECMP leaf hop --");
+    for (name, tagged) in [
+        ("switch/forward_raw (reparse per hop)", false),
+        ("switch/forward_tagged (parse-once meta)", true),
+    ] {
+        let fps = switch_best_of(2, tagged);
+        println!("{name:<44} {:>10.2} M frames/s", fps / 1e6);
+        results.push((name.to_string(), fps));
+    }
 }
 
 // ---- data-structure microbenchmarks (ported from the criterion suite) ----

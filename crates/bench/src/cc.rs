@@ -14,6 +14,7 @@ use flextoe_netsim::{PortConfig, Switch, WredParams};
 use flextoe_sim::{Duration, Sim, Tick, Time};
 
 use crate::harness::*;
+use crate::par::run_indexed;
 
 /// ECN step-marking threshold K on the bottleneck port (bytes).
 pub const ECN_K: usize = 24 * 1024;
@@ -45,6 +46,8 @@ pub struct AlgoOutcome {
     pub report_batches: u64,
     pub flow_reports: u64,
     pub acks_folded: u64,
+    /// Simulation events this run processed (deterministic per seed).
+    pub sim_events: u64,
 }
 
 /// Scenario scale: the CI smoke configuration shrinks senders and time.
@@ -236,6 +239,7 @@ pub fn run_cc_one(seed: u64, algo: CcAlgo, fold: FoldSpec, scale: CcScale) -> Al
     AlgoOutcome {
         algo: algo.name(),
         fold: fold_label,
+        sim_events: sim.events_processed(),
         goodput_gbps,
         jain,
         convergence_ms,
@@ -250,19 +254,24 @@ pub fn run_cc_one(seed: u64, algo: CcAlgo, fold: FoldSpec, scale: CcScale) -> Al
 }
 
 /// The full sweep: every registry algorithm on the native fold, plus
-/// DCTCP once more on the compiled-eBPF fold path.
-pub fn run_cc(seed: u64, scale: CcScale) -> Vec<AlgoOutcome> {
-    let mut out: Vec<AlgoOutcome> = CcAlgo::all()
+/// DCTCP once more on the compiled-eBPF fold path. Runs are independent
+/// sims fanned out over `jobs` threads; results merge in configuration
+/// order, byte-identical to a serial run.
+pub fn run_cc_jobs(seed: u64, scale: CcScale, jobs: usize) -> Vec<AlgoOutcome> {
+    let mut configs: Vec<(CcAlgo, FoldSpec)> = CcAlgo::all()
         .into_iter()
-        .map(|algo| run_cc_one(seed, algo, FoldSpec::Builtin, scale))
+        .map(|algo| (algo, FoldSpec::Builtin))
         .collect();
-    out.push(run_cc_one(
-        seed,
-        CcAlgo::Dctcp,
-        FoldSpec::Program(FoldProg::builtin()),
-        scale,
-    ));
-    out
+    configs.push((CcAlgo::Dctcp, FoldSpec::Program(FoldProg::builtin())));
+    run_indexed(jobs, configs.len(), |i| {
+        let (algo, fold) = configs[i].clone();
+        run_cc_one(seed, algo, fold, scale)
+    })
+}
+
+/// The serial reference sweep.
+pub fn run_cc(seed: u64, scale: CcScale) -> Vec<AlgoOutcome> {
+    run_cc_jobs(seed, scale, 1)
 }
 
 /// Serialize a sweep deterministically (the integration suite asserts
@@ -281,7 +290,7 @@ pub fn cc_json(seed: u64, scale: CcScale, results: &[AlgoOutcome]) -> String {
     s.push_str("  \"algorithms\": [\n");
     for (i, r) in results.iter().enumerate() {
         s.push_str(&format!(
-            "    {{\"algo\": \"{}\", \"fold\": \"{}\", \"goodput_gbps\": {:.3}, \"jain\": {:.4}, \"convergence_ms\": {:.1}, \"peak_queue_kb\": {:.1}, \"avg_queue_kb\": {:.2}, \"ecn_marked\": {}, \"drops\": {}, \"report_batches\": {}, \"flow_reports\": {}, \"acks_folded\": {}}}{}\n",
+            "    {{\"algo\": \"{}\", \"fold\": \"{}\", \"goodput_gbps\": {:.3}, \"jain\": {:.4}, \"convergence_ms\": {:.1}, \"peak_queue_kb\": {:.1}, \"avg_queue_kb\": {:.2}, \"ecn_marked\": {}, \"drops\": {}, \"report_batches\": {}, \"flow_reports\": {}, \"acks_folded\": {}, \"sim_events\": {}}}{}\n",
             r.algo,
             r.fold,
             r.goodput_gbps,
@@ -294,6 +303,7 @@ pub fn cc_json(seed: u64, scale: CcScale, results: &[AlgoOutcome]) -> String {
             r.report_batches,
             r.flow_reports,
             r.acks_folded,
+            r.sim_events,
             if i + 1 == results.len() { "" } else { "," },
         ));
     }
@@ -312,6 +322,7 @@ pub fn cc(opts: &crate::cli::RunOpts) {
         CcScale::full()
     };
     let seed = opts.seed.unwrap_or(11);
+    let jobs = opts.jobs();
     println!(
         "# cc — congested fabric: {} senders incast into {} Gbps (K = {} KB){}",
         scale.senders,
@@ -333,7 +344,9 @@ pub fn cc(opts: &crate::cli::RunOpts) {
         "batches",
         "acks"
     );
-    let results = run_cc(seed, scale);
+    let wall0 = std::time::Instant::now();
+    let results = run_cc_jobs(seed, scale, jobs);
+    let wall = wall0.elapsed().as_secs_f64();
     for r in &results {
         println!(
             "{:<8} {:<7} {:>8.2}G {:>7.3} {:>9.1} {:>9.1} {:>9.2} {:>7} {:>7} {:>9} {:>9}",
@@ -350,7 +363,16 @@ pub fn cc(opts: &crate::cli::RunOpts) {
             r.acks_folded,
         );
     }
-    let json = cc_json(seed, scale, &results);
+    let sim_events: u64 = results.iter().map(|r| r.sim_events).sum();
+    println!(
+        "sweep wall: {:.2}s, {} events ({:.2}M events/s, jobs={})",
+        wall,
+        sim_events,
+        sim_events as f64 / wall / 1e6,
+        jobs
+    );
+    let json =
+        crate::scale::with_wall_block(cc_json(seed, scale, &results), wall, sim_events, jobs);
     let path = opts.out_path("BENCH_cc.json");
     std::fs::write(&path, &json).expect("write BENCH_cc.json");
     println!("wrote {}", path.display());

@@ -1,7 +1,8 @@
-//! Shared experiment CLI options: `--seed N`, `--out DIR`, `--smoke` are
-//! understood uniformly by the experiments that take options (`cc`,
-//! `scale`, `bench-pipeline`); the table/figure reproductions are
-//! parameterless by design (they *are* the paper's fixed configurations).
+//! Shared experiment CLI options: `--seed N`, `--out DIR`, `--smoke`,
+//! and `--jobs N` are understood uniformly by the experiments that take
+//! options (`cc`, `scale`, `bench-pipeline`); the table/figure
+//! reproductions are parameterless by design (they *are* the paper's
+//! fixed configurations).
 
 use std::path::PathBuf;
 
@@ -13,9 +14,17 @@ pub struct RunOpts {
     pub out_dir: Option<PathBuf>,
     /// Shrunken CI configuration.
     pub smoke: bool,
+    /// Worker threads for independent sweep points (default: available
+    /// cores). The merged results — and the BENCH JSON minus its
+    /// wall-clock lines — are byte-identical for any value.
+    pub jobs: Option<usize>,
 }
 
 impl RunOpts {
+    /// Effective worker-thread count.
+    pub fn jobs(&self) -> usize {
+        self.jobs.unwrap_or_else(crate::par::default_jobs).max(1)
+    }
     /// Where to write artifact `name` (creates the directory if needed).
     pub fn out_path(&self, name: &str) -> PathBuf {
         match &self.out_dir {
@@ -45,8 +54,12 @@ impl RunOpts {
                     Some(v) => opts.out_dir = Some(PathBuf::from(v)),
                     None => die("--out needs a directory"),
                 },
+                "--jobs" => match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) if v >= 1 => opts.jobs = Some(v),
+                    _ => die("--jobs needs an integer >= 1"),
+                },
                 flag if flag.starts_with("--") => die(&format!(
-                    "unknown flag {flag} (have: --seed N, --out DIR, --smoke)"
+                    "unknown flag {flag} (have: --seed N, --out DIR, --smoke, --jobs N)"
                 )),
                 name => names.push(name.to_string()),
             }

@@ -765,28 +765,52 @@ pub fn ablate_reorder() {
 // ---------------------------------------------------------------------------
 
 /// Engine perf snapshot: micro events/sec (wheel+typed vs the heap+boxed
-/// reconstruction of the pre-optimization engine) plus an end-to-end echo
-/// run with wall-clock and simulated rates. Emits `BENCH_pipeline.json`
-/// so future PRs can track regressions. `--seed` varies the echo run;
-/// `--out` redirects the artifact (`--smoke` is a no-op: the snapshot is
-/// already CI-sized).
+/// reconstruction of the pre-optimization engine), the switch-forwarding
+/// micro (fabric fast path), plus an end-to-end echo run with wall-clock
+/// and simulated rates. Emits `BENCH_pipeline.json` so future PRs can
+/// track regressions. `--seed` varies the echo run; `--out` redirects
+/// the artifact. Because every number here is a wall-clock measurement,
+/// the micros run serially by default and the e2e run always measures
+/// alone; passing `--jobs N` explicitly opts the micro variants into
+/// concurrent workers (their absolute numbers then include contention).
+/// `--smoke` is a no-op: the snapshot is already CI-sized.
 pub fn bench_pipeline(opts: &crate::cli::RunOpts) {
     use flextoe_sim::QueueKind;
     use std::time::Instant;
 
     println!("# bench-pipeline — engine event-core performance snapshot");
 
-    // --- micro: the 6-stage pipeline ring ---------------------------------
+    // --- micros: pipeline ring variants + the switch hop ------------------
     // The true pre-PR engine (seed Box<dyn Any> + BinaryHeap + buffered
     // send path), measured on this host from a git worktree at the seed
     // commit with the same ring workload. The in-tree heap_boxed
     // reconstruction below is *conservative*: it still benefits from this
     // PR's direct-push send path, so it runs faster than the real seed.
     const SEED_BASELINE_EPS: f64 = 12_620_000.0;
-    let heap_boxed = crate::enginebench::best_of(5, QueueKind::Heap, false);
-    let heap_typed = crate::enginebench::best_of(5, QueueKind::Heap, true);
-    let wheel_boxed = crate::enginebench::best_of(5, QueueKind::Wheel, false);
-    let wheel_typed = crate::enginebench::best_of(5, QueueKind::Wheel, true);
+    enum Micro {
+        Ring(QueueKind, bool),
+        Switch(bool),
+    }
+    let variants = [
+        Micro::Ring(QueueKind::Heap, false),
+        Micro::Ring(QueueKind::Heap, true),
+        Micro::Ring(QueueKind::Wheel, false),
+        Micro::Ring(QueueKind::Wheel, true),
+        Micro::Switch(false),
+        Micro::Switch(true),
+    ];
+    // Micros are *wall-clock* measurements: fanning them out over every
+    // core would measure mutual contention, not the engine. They run
+    // serially unless --jobs is given explicitly (an informed opt-in —
+    // e.g. a quick comparative run where absolute numbers don't matter).
+    let micro_jobs = opts.jobs.unwrap_or(1);
+    let measured = crate::par::run_indexed(micro_jobs, variants.len(), |i| match variants[i] {
+        Micro::Ring(kind, typed) => crate::enginebench::best_of(5, kind, typed),
+        Micro::Switch(tagged) => crate::enginebench::switch_best_of(3, tagged),
+    });
+    let (heap_boxed, heap_typed, wheel_boxed, wheel_typed) =
+        (measured[0], measured[1], measured[2], measured[3]);
+    let (switch_raw, switch_tagged) = (measured[4], measured[5]);
     let speedup = wheel_typed / heap_boxed;
     let speedup_vs_seed = wheel_typed / SEED_BASELINE_EPS;
     println!(
@@ -796,6 +820,12 @@ pub fn bench_pipeline(opts: &crate::cli::RunOpts) {
         wheel_typed / 1e6,
         speedup,
         speedup_vs_seed
+    );
+    println!(
+        "switch micro: raw {:.2}M frames/s  tagged {:.2}M frames/s  (parse-once x{:.2})",
+        switch_raw / 1e6,
+        switch_tagged / 1e6,
+        switch_tagged / switch_raw
     );
 
     // --- e2e: FlexTOE<->FlexTOE echo, wall + simulated rates --------------
@@ -821,7 +851,7 @@ pub fn bench_pipeline(opts: &crate::cli::RunOpts) {
 
     // --- machine-readable snapshot ----------------------------------------
     let json = format!(
-        "{{\n  \"benchmark\": \"pipeline\",\n  \"engine_micro\": {{\n    \"events\": {},\n    \"seed_baseline_eps\": {:.0},\n    \"heap_boxed_eps\": {:.0},\n    \"heap_typed_eps\": {:.0},\n    \"wheel_boxed_eps\": {:.0},\n    \"wheel_typed_eps\": {:.0},\n    \"speedup_wheel_typed_vs_heap_boxed\": {:.3},\n    \"speedup_wheel_typed_vs_seed\": {:.3},\n    \"notes\": \"seed_baseline_eps is the true pre-PR engine (Box<dyn Any>+BinaryHeap+buffered sends) measured from a git worktree at the seed commit on this host; heap_boxed reconstructs it in-tree but still benefits from this PR's direct-push send path, so it over-estimates the baseline\"\n  }},\n  \"e2e_echo\": {{\n    \"config\": \"FlexTOE<->FlexTOE, 16 conns, 64B echo, 30ms simulated\",\n    \"simulated_rps\": {:.0},\n    \"simulated_goodput_bps\": {:.0},\n    \"sim_events\": {},\n    \"wall_secs\": {:.3},\n    \"wall_events_per_sec\": {:.0},\n    \"latency_us_p50\": {:.1},\n    \"latency_us_p99\": {:.1}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"pipeline\",\n  \"engine_micro\": {{\n    \"events\": {},\n    \"seed_baseline_eps\": {:.0},\n    \"heap_boxed_eps\": {:.0},\n    \"heap_typed_eps\": {:.0},\n    \"wheel_boxed_eps\": {:.0},\n    \"wheel_typed_eps\": {:.0},\n    \"speedup_wheel_typed_vs_heap_boxed\": {:.3},\n    \"speedup_wheel_typed_vs_seed\": {:.3},\n    \"notes\": \"seed_baseline_eps is the true pre-PR engine (Box<dyn Any>+BinaryHeap+buffered sends) measured from a git worktree at the seed commit on this host; heap_boxed reconstructs it in-tree but still benefits from this PR's direct-push send path, so it over-estimates the baseline\"\n  }},\n  \"switch_micro\": {{\n    \"config\": \"one ECMP leaf hop, 64 flows, 130B frames, 2 uplinks\",\n    \"frames\": {},\n    \"raw_frames_per_sec\": {:.0},\n    \"tagged_frames_per_sec\": {:.0},\n    \"speedup_tagged_vs_raw\": {:.3}\n  }},\n  \"e2e_echo\": {{\n    \"config\": \"FlexTOE<->FlexTOE, 16 conns, 64B echo, 30ms simulated\",\n    \"simulated_rps\": {:.0},\n    \"simulated_goodput_bps\": {:.0},\n    \"sim_events\": {},\n    \"wall_secs\": {:.3},\n    \"wall_events_per_sec\": {:.0},\n    \"latency_us_p50\": {:.1},\n    \"latency_us_p99\": {:.1}\n  }}\n}}\n",
         crate::enginebench::PIPE_EVENTS,
         SEED_BASELINE_EPS,
         heap_boxed,
@@ -830,6 +860,10 @@ pub fn bench_pipeline(opts: &crate::cli::RunOpts) {
         wheel_typed,
         speedup,
         speedup_vs_seed,
+        crate::enginebench::SWITCH_FRAMES,
+        switch_raw,
+        switch_tagged,
+        switch_tagged / switch_raw,
         res.rps,
         res.goodput_bps,
         sim_events,

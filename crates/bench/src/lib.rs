@@ -9,4 +9,5 @@ pub mod cli;
 pub mod enginebench;
 pub mod exp;
 pub mod harness;
+pub mod par;
 pub mod scale;

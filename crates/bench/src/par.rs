@@ -1,0 +1,80 @@
+//! The parallel experiment runner.
+//!
+//! Sweep points (scale's connection counts, cc's algorithms,
+//! bench-pipeline's engine variants) are independent simulations: each
+//! worker thread builds its own `Sim` from the same seed and plan, so
+//! every point computes exactly what it would have computed serially.
+//! Results are collected **by input index**, which makes the merged
+//! output deterministic regardless of completion order — `--jobs N`
+//! must produce byte-identical BENCH JSON to `--jobs 1` for one seed
+//! (CI diffs the two on every push).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads for `--jobs`' default: the machine's
+/// available parallelism (1 if it cannot be determined).
+pub fn default_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Run `f(0..n)` on `jobs` worker threads and return the results in
+/// input order. `f` must be independent per index (each call builds its
+/// own `Sim`); panics in workers propagate to the caller.
+pub fn run_indexed<T, F>(jobs: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let jobs = jobs.max(1).min(n.max(1));
+    if jobs <= 1 || n <= 1 {
+        return (0..n).map(&f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..n).map(|_| None).collect());
+    std::thread::scope(|scope| {
+        for _ in 0..jobs {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let out = f(i);
+                results.lock().unwrap()[i] = Some(out);
+            });
+        }
+    });
+    results
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|r| r.expect("worker completed every claimed index"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_in_input_order_regardless_of_jobs() {
+        let serial = run_indexed(1, 17, |i| i * i);
+        for jobs in [2, 4, 16, 64] {
+            assert_eq!(run_indexed(jobs, 17, |i| i * i), serial, "jobs={jobs}");
+        }
+        assert_eq!(run_indexed(4, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(run_indexed(0, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn workers_actually_share_the_index_space() {
+        use std::collections::HashSet;
+        let ids = run_indexed(4, 32, |_| std::thread::current().id());
+        let distinct: HashSet<_> = ids.into_iter().collect();
+        // single-core machines may legitimately end up with one worker
+        // doing everything; the contract is coverage, not spread
+        assert!(!distinct.is_empty());
+    }
+}

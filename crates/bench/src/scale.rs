@@ -24,6 +24,7 @@ use flextoe_topo::{build_fabric, Fabric, HostSpec, PairOpts, Role, Scenario, Sta
 
 use crate::cli::RunOpts;
 use crate::harness::{jain_index, DynOpenLoopClient};
+use crate::par::run_indexed;
 
 /// The fabric every sweep point runs on.
 pub const LEAVES: usize = 4;
@@ -54,9 +55,15 @@ impl ScalePlan {
         points.push((Stack::Tas, 512));
         ScalePlan {
             points,
-            duration: Time::from_ms(12),
+            // long enough (at this rate) that every connection is
+            // re-touched several times after its CAM/CLS residency has
+            // been evicted — the regime where the EMEM-SRAM tier (and
+            // Fig. 13's cliff) actually engages. The old 12 ms / 120 krps
+            // window gave most connections a single cold burst, so
+            // conn_cache_sram_hits sat at zero across the whole sweep.
+            duration: Time::from_ms(40),
             warmup: Time::from_ms(4),
-            rate_rps_per_host: 120_000.0,
+            rate_rps_per_host: 240_000.0,
             req_size: SizeDist::Fixed(64),
             resp_size: SizeDist::Pareto {
                 alpha: 1.15,
@@ -100,6 +107,9 @@ pub struct ScaleOutcome {
     pub gauges: PoolGauges,
     /// Frames each spine forwarded (ECMP spread proof).
     pub spine_frames: Vec<u64>,
+    /// Simulation events this point processed (deterministic per seed —
+    /// the numerator of the sweep's wall-clock events/sec).
+    pub sim_events: u64,
 }
 
 /// The scenario for one sweep point.
@@ -216,6 +226,7 @@ pub fn run_scale_one(seed: u64, stack: Stack, conns: u32, plan: &ScalePlan) -> S
 
     ScaleOutcome {
         stack: stack.name(),
+        sim_events: sim.events_processed(),
         conns,
         offered_rps: plan.rate_rps_per_host * n_client_hosts as f64,
         achieved_rps,
@@ -229,12 +240,20 @@ pub fn run_scale_one(seed: u64, stack: Stack, conns: u32, plan: &ScalePlan) -> S
     }
 }
 
-/// The whole sweep.
+/// The whole sweep, fanned out over `jobs` worker threads. Each point
+/// builds its own `Sim` from the same seed, so the merged (input-order)
+/// results are byte-identical to a serial run for any `jobs`.
+pub fn run_scale_jobs(seed: u64, plan: &ScalePlan, jobs: usize) -> Vec<ScaleOutcome> {
+    run_indexed(jobs, plan.points.len(), |i| {
+        let (stack, conns) = plan.points[i];
+        run_scale_one(seed, stack, conns, plan)
+    })
+}
+
+/// The whole sweep, serially (the reference path `--jobs N` is proven
+/// byte-identical against).
 pub fn run_scale(seed: u64, plan: &ScalePlan) -> Vec<ScaleOutcome> {
-    plan.points
-        .iter()
-        .map(|&(stack, conns)| run_scale_one(seed, stack, conns, plan))
-        .collect()
+    run_scale_jobs(seed, plan, 1)
 }
 
 fn dist_label(d: SizeDist) -> String {
@@ -264,7 +283,7 @@ pub fn scale_json(seed: u64, plan: &ScalePlan, results: &[ScaleOutcome]) -> Stri
     for (i, r) in results.iter().enumerate() {
         let g = &r.gauges;
         s.push_str(&format!(
-            "    {{\"stack\": \"{}\", \"conns\": {}, \"offered_rps\": {:.0}, \"achieved_rps\": {:.0}, \"goodput_gbps\": {:.3}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"jain_hosts\": {:.4}, \"backlog\": {}, \"spine_frames\": [{}], \"pools\": {{\"work_hwm\": {}, \"work_in_use\": {}, \"pktbuf_hwm\": {}, \"pktbuf_in_flight\": {}, \"conn_cache_hwm\": {}, \"conn_cache_dram\": {}, \"conn_cache_sram_hits\": {}}}}}{}\n",
+            "    {{\"stack\": \"{}\", \"conns\": {}, \"offered_rps\": {:.0}, \"achieved_rps\": {:.0}, \"goodput_gbps\": {:.3}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"jain_hosts\": {:.4}, \"backlog\": {}, \"sim_events\": {}, \"spine_frames\": [{}], \"pools\": {{\"work_hwm\": {}, \"work_in_use\": {}, \"pktbuf_hwm\": {}, \"pktbuf_in_flight\": {}, \"conn_cache_hwm\": {}, \"conn_cache_dram\": {}, \"conn_cache_sram_hits\": {}}}}}{}\n",
             r.stack,
             r.conns,
             r.offered_rps,
@@ -274,6 +293,7 @@ pub fn scale_json(seed: u64, plan: &ScalePlan, results: &[ScaleOutcome]) -> Stri
             r.p99_us,
             r.jain_hosts,
             r.backlog,
+            r.sim_events,
             r.spine_frames
                 .iter()
                 .map(|v| v.to_string())
@@ -293,7 +313,8 @@ pub fn scale_json(seed: u64, plan: &ScalePlan, results: &[ScaleOutcome]) -> Stri
     s
 }
 
-/// The `scale` experiment: sweep, print, write `BENCH_scale.json`.
+/// The `scale` experiment: sweep (in parallel under `--jobs`), print,
+/// write `BENCH_scale.json`.
 pub fn scale(opts: &RunOpts) {
     let plan = if opts.smoke {
         ScalePlan::smoke()
@@ -301,8 +322,9 @@ pub fn scale(opts: &RunOpts) {
         ScalePlan::full()
     };
     let seed = opts.seed.unwrap_or(17);
+    let jobs = opts.jobs();
     println!(
-        "# scale — {LEAVES}-leaf/{SPINES}-spine fabric, open-loop Poisson + heavy-tailed RPCs{}",
+        "# scale — {LEAVES}-leaf/{SPINES}-spine fabric, open-loop Poisson + heavy-tailed RPCs{} [jobs={jobs}]",
         if opts.smoke { " [smoke]" } else { "" }
     );
     println!(
@@ -319,7 +341,9 @@ pub fn scale(opts: &RunOpts) {
         "cache hwm",
         "cache dram"
     );
-    let results = run_scale(seed, &plan);
+    let wall0 = std::time::Instant::now();
+    let results = run_scale_jobs(seed, &plan, jobs);
+    let wall = wall0.elapsed().as_secs_f64();
     for r in &results {
         println!(
             "{:<14} {:>6} {:>10.0} {:>10.0} {:>9.3} {:>9.2} {:>9.2} {:>7.3} {:>9} {:>10} {:>10}",
@@ -336,8 +360,30 @@ pub fn scale(opts: &RunOpts) {
             r.gauges.cache_dram_accesses,
         );
     }
-    let json = scale_json(seed, &plan, &results);
+    let sim_events: u64 = results.iter().map(|r| r.sim_events).sum();
+    println!(
+        "sweep wall: {:.2}s, {} events ({:.2}M events/s, jobs={})",
+        wall,
+        sim_events,
+        sim_events as f64 / wall / 1e6,
+        jobs
+    );
+    let json = with_wall_block(scale_json(seed, &plan, &results), wall, sim_events, jobs);
     let path = opts.out_path("BENCH_scale.json");
     std::fs::write(&path, &json).expect("write BENCH_scale.json");
     println!("wrote {}", path.display());
+}
+
+/// Append the wall-clock block to a deterministic BENCH JSON body. The
+/// three keys live on their own lines at the very end so determinism
+/// checks can strip them (`grep -vE '"(wall_secs|wall_events_per_sec|jobs)"'`)
+/// and compare the rest byte-for-byte.
+pub fn with_wall_block(json: String, wall_secs: f64, sim_events: u64, jobs: usize) -> String {
+    let body = json
+        .strip_suffix("}\n")
+        .expect("BENCH json ends with its closing brace");
+    format!(
+        "{body}  ,\"sim_events\": {sim_events},\n  \"wall_secs\": {wall_secs:.3},\n  \"wall_events_per_sec\": {:.0},\n  \"jobs\": {jobs}\n}}\n",
+        sim_events as f64 / wall_secs.max(1e-9),
+    )
 }

@@ -34,7 +34,9 @@ use flextoe_core::segment::ConnEntry;
 use flextoe_core::stages::{Doorbell, Redirect, RegisterCtx, SchedCtl};
 use flextoe_core::{NicHandle, PostState, PreState, ProtoState};
 use flextoe_nfp::MacTx;
-use flextoe_sim::{try_cast, Ctx, Duration, Msg, Node, NodeId, ReportBatchToken, Tick};
+use flextoe_sim::{
+    try_cast, CounterHandle, Ctx, Duration, Msg, Node, NodeId, ReportBatchToken, Stats, Tick,
+};
 use flextoe_wire::{
     Ecn, FourTuple, Frame, Ip4, MacAddr, SegmentSpec, SegmentView, SeqNum, TcpFlags, TcpOptions,
 };
@@ -195,6 +197,7 @@ struct SynRetry {
 flextoe_sim::custom_msg!(SynRetry);
 
 pub struct ControlPlane {
+    counters: Option<CtrlCounters>,
     cfg: CtrlConfig,
     nic: NicHandle,
     arp: HashMap<Ip4, MacAddr>,
@@ -233,6 +236,7 @@ impl ControlPlane {
         }
         let compiled_fold = cfg.fold.compile_for_install();
         ControlPlane {
+            counters: None,
             cfg,
             nic,
             arp: HashMap::new(),
@@ -284,7 +288,11 @@ impl ControlPlane {
     }
 
     fn send_frame(&self, ctx: &mut Ctx<'_>, frame: Vec<u8>) {
-        ctx.send(self.nic.mac, self.inject_latency(), MacTx(Frame(frame)));
+        ctx.send(
+            self.nic.mac,
+            self.inject_latency(),
+            MacTx(Frame::parsed(frame)),
+        );
     }
 
     fn mmio(&self, ctx: &mut Ctx<'_>, msg: SchedCtl) {
@@ -622,7 +630,7 @@ impl ControlPlane {
                 // data may have ridden on the ACK (or raced it): replay the
                 // frame through the NIC so the data-path processes it.
                 if view.payload_len > 0 || view.flags.fin() {
-                    ctx.send(self.nic.mac, self.inject_latency(), Frame(frame));
+                    ctx.send(self.nic.mac, self.inject_latency(), Frame::raw(frame));
                 }
                 return;
             }
@@ -631,7 +639,7 @@ impl ControlPlane {
             // by now the ACK has installed the connection. Replay it
             // through the NIC rather than treating it as stray.
             if self.nic.db.borrow().get(&tuple).is_some() {
-                ctx.send(self.nic.mac, self.inject_latency(), Frame(frame));
+                ctx.send(self.nic.mac, self.inject_latency(), Frame::raw(frame));
                 return;
             }
             // A segment for a connection this host genuinely does not
@@ -640,7 +648,8 @@ impl ControlPlane {
             // we tore down first) would otherwise retry forever against
             // silence.
             self.send_rst(ctx, &view);
-            ctx.stats.bump("ctrl.stray_rst", 1);
+            ctx.stats
+                .inc(self.counters.expect("control plane attached").stray_rst);
         }
     }
 
@@ -667,9 +676,10 @@ impl ControlPlane {
         // every sealed batch funnels through here (post-stage seals and
         // control-plane flushes alike), so these are the authoritative
         // batching counters
-        ctx.stats.bump("ccp.batches", 1);
-        ctx.stats.bump("ccp.reports", entries.len() as u64);
-        ctx.stats.bump("ctrl.report_batches", 1);
+        let c = self.counters.expect("control plane attached to a sim");
+        ctx.stats.inc(c.ccp_batches);
+        ctx.stats.add(c.ccp_reports, entries.len() as u64);
+        ctx.stats.inc(c.report_batches);
         self.process_reports(ctx, &entries);
         self.nic.ccp.borrow_mut().release(token.slot, entries);
     }
@@ -738,7 +748,8 @@ impl ControlPlane {
                 .rto
                 .observe(conn, snd_una, in_flight, ctx.now(), rtt_est.max(20));
             if fired {
-                ctx.stats.bump("ctrl.rto_fired", 1);
+                ctx.stats
+                    .inc(self.counters.expect("control plane attached").rto_fired);
                 let _ = self
                     .kernel_q
                     .borrow_mut()
@@ -781,8 +792,19 @@ impl ControlPlane {
         if let Some(slot) = self.cc.get_mut(conn as usize) {
             *slot = None;
         }
-        ctx.stats.bump("ctrl.teardown", 1);
+        ctx.stats
+            .inc(self.counters.expect("control plane attached").teardown);
     }
+}
+
+#[derive(Clone, Copy)]
+struct CtrlCounters {
+    ccp_batches: CounterHandle,
+    ccp_reports: CounterHandle,
+    report_batches: CounterHandle,
+    rto_fired: CounterHandle,
+    teardown: CounterHandle,
+    stray_rst: CounterHandle,
 }
 
 impl Node for ControlPlane {
@@ -798,7 +820,7 @@ impl Node for ControlPlane {
         };
         let msg = match try_cast::<Redirect>(msg) {
             Ok(r) => {
-                self.on_redirect(ctx, r.0 .0);
+                self.on_redirect(ctx, r.0.into_bytes());
                 return;
             }
             Err(m) => m,
@@ -854,6 +876,17 @@ impl Node for ControlPlane {
             }
             AppRequest::Teardown { conn } => self.teardown_now(ctx, conn),
         }
+    }
+
+    fn on_attach(&mut self, stats: &mut Stats) {
+        self.counters = Some(CtrlCounters {
+            ccp_batches: stats.counter("ccp.batches"),
+            ccp_reports: stats.counter("ccp.reports"),
+            report_batches: stats.counter("ctrl.report_batches"),
+            rto_fired: stats.counter("ctrl.rto_fired"),
+            teardown: stats.counter("ctrl.teardown"),
+            stray_rst: stats.counter("ctrl.stray_rst"),
+        });
     }
 
     fn name(&self) -> String {

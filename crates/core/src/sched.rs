@@ -43,6 +43,11 @@ pub struct Trigger {
 pub struct Carousel {
     granularity: Duration,
     slots: Vec<VecDeque<u32>>,
+    /// One bit per slot: set iff the slot's queue is non-empty. Keeps
+    /// [`Carousel::earliest_work`] and [`Carousel::advance`] off the
+    /// O(slots) linear scan that used to dominate simulation wall time —
+    /// a wake-up probe touches at most `slots/64` words and typically one.
+    occupied: Vec<u64>,
     /// Index of the slot covering `wheel_base`.
     cur_slot: usize,
     wheel_base: Time,
@@ -64,6 +69,7 @@ impl Carousel {
         Carousel {
             granularity,
             slots: (0..n_slots).map(|_| VecDeque::new()).collect(),
+            occupied: vec![0; n_slots.div_ceil(64)],
             cur_slot: 0,
             wheel_base: Time::ZERO,
             rr: VecDeque::new(),
@@ -71,6 +77,47 @@ impl Carousel {
             triggers: 0,
             empty_pops: 0,
         }
+    }
+
+    #[inline]
+    fn mark_slot(&mut self, slot: usize) {
+        self.occupied[slot / 64] |= 1 << (slot % 64);
+    }
+
+    #[inline]
+    fn sync_slot(&mut self, slot: usize) {
+        if self.slots[slot].is_empty() {
+            self.occupied[slot / 64] &= !(1 << (slot % 64));
+        }
+    }
+
+    /// Offset (in slots, from `cur_slot`) of the nearest occupied slot,
+    /// scanning the bitmap word-wise with wrap-around. `None` when the
+    /// wheel is empty.
+    fn next_occupied_offset(&self) -> Option<usize> {
+        let n = self.slots.len();
+        let words = self.occupied.len();
+        let (start_w, start_b) = (self.cur_slot / 64, self.cur_slot % 64);
+        // first examined word: mask off bits before cur_slot
+        let mut w = self.occupied[start_w] & (!0u64 << start_b);
+        for i in 0..=words {
+            if w != 0 {
+                let slot = ((start_w + i) % words) * 64 + w.trailing_zeros() as usize;
+                debug_assert!(slot < n, "occupancy bit beyond wheel");
+                return Some((slot + n - self.cur_slot) % n);
+            }
+            if i == words {
+                break;
+            }
+            let wi = (start_w + i + 1) % words;
+            w = self.occupied[wi];
+            if wi == start_w {
+                // wrapped back onto the start word: only the bits before
+                // cur_slot remain unexamined
+                w &= !(!0u64 << start_b);
+            }
+        }
+        None
     }
 
     pub fn with_defaults() -> Carousel {
@@ -143,17 +190,33 @@ impl Carousel {
         let offset = offset_slots.min(n - 1);
         let slot = (self.cur_slot + offset) % n;
         self.slots[slot].push_back(conn);
+        self.mark_slot(slot);
     }
 
     /// Rotate the wheel so `cur_slot` covers `now`, spilling due flows
-    /// into the RR (ready) queue.
+    /// into the RR (ready) queue. Runs of empty slots are skipped in one
+    /// step via the occupancy bitmap.
     fn advance(&mut self, now: Time) {
         let n = self.slots.len();
         while self.wheel_base + self.granularity <= now {
+            let elapsed_slots = ((now - self.wheel_base).ps() / self.granularity.ps()) as usize;
+            if self.slots[self.cur_slot].is_empty() {
+                // jump straight to the next occupied slot (or to `now` if
+                // nothing is due before it)
+                let skip = match self.next_occupied_offset() {
+                    Some(0) => unreachable!("empty slot marked occupied"),
+                    Some(off) => off.min(elapsed_slots),
+                    None => elapsed_slots,
+                };
+                self.cur_slot = (self.cur_slot + skip) % n;
+                self.wheel_base += self.granularity * skip as u64;
+                continue;
+            }
             // everything in the current slot is due
             while let Some(conn) = self.slots[self.cur_slot].pop_front() {
                 self.rr.push_back(conn);
             }
+            self.sync_slot(self.cur_slot);
             self.cur_slot = (self.cur_slot + 1) % n;
             self.wheel_base += self.granularity;
         }
@@ -176,6 +239,7 @@ impl Carousel {
                 break;
             }
         }
+        self.sync_slot(self.cur_slot);
         while let Some(conn) = self.rr.pop_front() {
             let c = &mut self.conns[conn as usize];
             if !c.registered || c.sendable == 0 {
@@ -214,15 +278,9 @@ impl Carousel {
         if !self.rr.is_empty() {
             return Some(now);
         }
-        let n = self.slots.len();
-        for i in 0..n {
-            let slot = (self.cur_slot + i) % n;
-            if !self.slots[slot].is_empty() {
-                let t = self.wheel_base + self.granularity * (i as u64);
-                return Some(t.max(now));
-            }
-        }
-        None
+        let i = self.next_occupied_offset()?;
+        let t = self.wheel_base + self.granularity * (i as u64);
+        Some(t.max(now))
     }
 }
 

@@ -12,7 +12,7 @@ use std::rc::Rc;
 
 use flextoe_nfp::PktBufPool;
 use flextoe_sim::Time;
-use flextoe_wire::{FourTuple, Ip4, MacAddr, SegmentView};
+use flextoe_wire::{FourTuple, Frame, FrameMeta, Ip4, MacAddr, SegmentView};
 
 use crate::hostmem::{AppToNic, SharedBuf, SharedCtxQueue};
 use crate::proto::{RxOutcome, RxSummary, TxSeg};
@@ -104,6 +104,11 @@ pub fn shared_conn_table(nic: NicConfig) -> SharedConnTable {
 /// A receive-workflow item (Figure 6).
 pub struct RxWork {
     pub frame: Vec<u8>,
+    /// Parse-once metadata that arrived with the frame (None for frames
+    /// whose bytes were mutated en route — corruption, XDP rewrites).
+    /// When present, the pre-processor's Val step trusts the emitter's
+    /// checksums instead of re-verifying.
+    pub meta: Option<FrameMeta>,
     /// Filled by pre-processing (Val/Id/Sum).
     pub view: Option<SegmentView>,
     pub summary: RxSummary,
@@ -111,8 +116,8 @@ pub struct RxWork {
     pub group: usize,
     /// Filled by the protocol stage (Win).
     pub outcome: Option<RxOutcome>,
-    /// Filled by post-processing (Ack/ECN/Stamp).
-    pub ack_frame: Option<Vec<u8>>,
+    /// Filled by post-processing (Ack/ECN/Stamp): a tagged, pooled frame.
+    pub ack_frame: Option<Frame>,
     /// Assigned by the protocol stage when an ACK will be emitted.
     pub nbi_seq: Option<u64>,
     /// Filled by post-processing: context queue + notifications released
@@ -154,7 +159,7 @@ pub struct HcWork {
     /// NBI ordering slot, filled by the protocol stage.
     pub win_ack: Option<TxSeg>,
     /// The emitted window-update ACK frame (post-processing).
-    pub ack_frame: Option<Vec<u8>>,
+    pub ack_frame: Option<Frame>,
     pub nbi_seq: Option<u64>,
     pub arrival: Time,
 }

@@ -14,7 +14,7 @@
 use std::collections::{HashMap, VecDeque};
 
 use flextoe_nfp::{dma_req, DmaDir, FpcTimer};
-use flextoe_sim::{try_cast, Ctx, Duration, Msg, Node, NodeId, WorkToken};
+use flextoe_sim::{try_cast, CounterHandle, Ctx, Duration, Msg, Node, NodeId, Stats, WorkToken};
 
 use crate::costs;
 use crate::hostmem::{AppToNic, NicToApp, SharedCtxQueue};
@@ -58,6 +58,7 @@ pub struct CtxqStage {
     pub hc_fetched: u64,
     pub notifies_delivered: u64,
     pub interrupts: u64,
+    notify_drops: Option<CounterHandle>,
 }
 
 impl CtxqStage {
@@ -82,6 +83,7 @@ impl CtxqStage {
             hc_fetched: 0,
             notifies_delivered: 0,
             interrupts: 0,
+            notify_drops: None,
         }
     }
 
@@ -203,7 +205,8 @@ impl CtxqStage {
         let was_empty = reg.queue.borrow().to_app.is_empty();
         let accepted = reg.queue.borrow_mut().to_app.push(desc).is_ok();
         if !accepted {
-            ctx.stats.bump("ctxq.notify_drops", 1);
+            ctx.stats
+                .inc(self.notify_drops.expect("ctxq stage attached"));
             return;
         }
         self.notifies_delivered += 1;
@@ -266,6 +269,10 @@ impl Node for CtxqStage {
                 );
             }
         }
+    }
+
+    fn on_attach(&mut self, stats: &mut Stats) {
+        self.notify_drops = Some(stats.counter("ctxq.notify_drops"));
     }
 
     fn name(&self) -> String {

@@ -139,7 +139,7 @@ impl DmaStage {
                 NbiFrame {
                     group: group as u32,
                     nbi_seq,
-                    frame: Frame(frame),
+                    frame,
                 },
             );
         }
@@ -174,7 +174,7 @@ impl DmaStage {
                 NbiFrame {
                     group: w.group as u32,
                     nbi_seq,
-                    frame: Frame(Vec::new()),
+                    frame: Frame::raw(Vec::new()),
                 },
             );
             return;
@@ -196,9 +196,11 @@ impl DmaStage {
             ..Default::default()
         };
         spec.payload_len = seg.len as usize;
-        let mut frame = self.seg_pool.borrow_mut().take();
+        let buf = self.seg_pool.borrow_mut().take();
         let tx_buf = entry.tx_buf.borrow();
-        spec.emit_into(&mut frame, |payload| tx_buf.read(seg.buf_pos, payload));
+        // parse-once: the emitted frame carries its metadata so no fabric
+        // hop (switch routing, ECN marking, WRED) re-reads the headers
+        let frame = spec.emit_frame_into(buf, |payload| tx_buf.read(seg.buf_pos, payload));
         drop(tx_buf);
         drop(table);
         let d = self.exec(ctx, costs::CHECKSUM);
@@ -208,7 +210,7 @@ impl DmaStage {
             NbiFrame {
                 group: w.group as u32,
                 nbi_seq,
-                frame: Frame(frame),
+                frame,
             },
         );
     }
@@ -287,7 +289,7 @@ impl Node for DmaStage {
                                     NbiFrame {
                                         group: w.group as u32,
                                         nbi_seq: w.nbi_seq.expect("proto assigned nbi"),
-                                        frame: Frame(w.ack_frame.unwrap_or_default()),
+                                        frame: w.ack_frame.unwrap_or_default(),
                                     },
                                 );
                             }

@@ -12,7 +12,7 @@
 
 use flextoe_ccp::{AckEvent, SharedCcp};
 use flextoe_nfp::{Cost, FpcTimer};
-use flextoe_sim::{Ctx, FreeDesc, FsUpdate, Msg, Node, NodeId, WorkToken};
+use flextoe_sim::{CounterHandle, Ctx, FreeDesc, FsUpdate, Msg, Node, NodeId, Stats, WorkToken};
 use flextoe_wire::{Ecn, SegmentSpec, TcpFlags, TcpOptions};
 
 use crate::costs;
@@ -39,6 +39,7 @@ pub struct PostStage {
     pub ctrl: NodeId,
     pub acks_prepared: u64,
     pub notifications: u64,
+    ccp_events: Option<CounterHandle>,
 }
 
 impl PostStage {
@@ -73,6 +74,7 @@ impl PostStage {
             ctrl,
             acks_prepared: 0,
             notifications: 0,
+            ccp_events: None,
         }
     }
 
@@ -92,8 +94,8 @@ impl PostStage {
         out: &crate::proto::RxOutcome,
         tsval_peer: u32,
         fin_ack: bool,
-    ) -> Vec<u8> {
-        let mut buf = self.seg_pool.borrow_mut().take();
+    ) -> flextoe_wire::Frame {
+        let buf = self.seg_pool.borrow_mut().take();
         let mut flags = TcpFlags::ACK;
         if out.ecn_echo {
             flags = flags | TcpFlags::ECE;
@@ -117,8 +119,7 @@ impl PostStage {
             },
             payload_len: 0,
         };
-        spec.emit_zeroed_into(&mut buf);
-        buf
+        spec.emit_frame_into(buf, |_| {})
     }
 }
 
@@ -195,7 +196,7 @@ impl Node for PostStage {
                     },
                 );
                 if folded.folded {
-                    ctx.stats.bump("ccp.events", 1);
+                    ctx.stats.inc(self.ccp_events.expect("post stage attached"));
                     cost += if folded.vm_insns > 0 {
                         Cost::new(
                             costs::ext::EBPF_PER_INSN.compute * folded.vm_insns,
@@ -307,10 +308,10 @@ impl Node for PostStage {
                     cost += costs::CHECKSUM;
                     let table = self.table.borrow();
                     if let Some(entry) = table.get(w.conn) {
-                        let mut buf = self.seg_pool.borrow_mut().take();
-                        ack_from_identity(&table.nic, &entry.pre, seg, now_us, &mut buf);
+                        let buf = self.seg_pool.borrow_mut().take();
+                        let frame = ack_from_identity(&table.nic, &entry.pre, seg, now_us, buf);
                         drop(table);
-                        w.ack_frame = Some(buf);
+                        w.ack_frame = Some(frame);
                         let d = self.exec(ctx, cost);
                         self.pool.borrow_mut().restore(slot, Work::Hc(w));
                         ctx.send(
@@ -349,6 +350,10 @@ impl Node for PostStage {
         }
     }
 
+    fn on_attach(&mut self, stats: &mut Stats) {
+        self.ccp_events = Some(stats.counter("ccp.events"));
+    }
+
     fn name(&self) -> String {
         format!("post-stage[{}]", self.group)
     }
@@ -360,8 +365,8 @@ fn ack_from_identity(
     pre: &crate::state::PreState,
     seg: &TxSeg,
     now_us: u32,
-    buf: &mut Vec<u8>,
-) {
+    buf: Vec<u8>,
+) -> flextoe_wire::Frame {
     SegmentSpec {
         src_mac: nic.mac,
         dst_mac: pre.peer_mac,
@@ -380,5 +385,5 @@ fn ack_from_identity(
         },
         payload_len: 0,
     }
-    .emit_zeroed_into(buf)
+    .emit_frame_into(buf, |_| {})
 }

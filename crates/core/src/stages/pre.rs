@@ -16,7 +16,7 @@ use std::cell::RefCell;
 use std::rc::Rc;
 
 use flextoe_nfp::{ConnDb, FpcTimer, LookupCache, MacTx};
-use flextoe_sim::{Ctx, Msg, Node, NodeId, WorkToken};
+use flextoe_sim::{CounterHandle, Ctx, Msg, Node, NodeId, Stats, WorkToken};
 use flextoe_wire::{Ecn, Frame, SegmentSpec, SegmentView, TcpOptions};
 
 use crate::costs;
@@ -46,6 +46,7 @@ pub struct PreStage {
     pub dropped: u64,
     pub malformed: u64,
     pub unknown_flow: u64,
+    malformed_ctr: Option<CounterHandle>,
 }
 
 impl PreStage {
@@ -82,6 +83,7 @@ impl PreStage {
             dropped: 0,
             malformed: 0,
             unknown_flow: 0,
+            malformed_ctr: None,
         }
     }
 
@@ -115,6 +117,9 @@ impl PreStage {
 
         // --- XDP / extension ingress modules (raw frame) ---
         if !self.ingress.is_empty() {
+            // modules may rewrite bytes arbitrarily: the carried metadata
+            // is no longer trustworthy, fall back to the checked path
+            work.meta = None;
             let (verdict, mcost) = self.ingress.run(ctx.now(), &mut work.frame);
             cost += mcost;
             match verdict {
@@ -132,7 +137,7 @@ impl PreStage {
                     // the harness re-checksums spliced frames
                     fixup_checksums(&mut work.frame);
                     let d = self.exec(ctx, cost + costs::CHECKSUM);
-                    ctx.send(self.mac, d, MacTx(Frame(work.frame)));
+                    ctx.send(self.mac, d, MacTx(Frame::parsed(work.frame)));
                     self.skip(ctx, slot, entry_seq, d);
                     return;
                 }
@@ -140,7 +145,7 @@ impl PreStage {
                     self.redirected += 1;
                     let d = self.exec(ctx, cost);
                     let pcie = self.cfg.platform.pcie.write_latency;
-                    ctx.send(self.ctrl, d + pcie, Redirect(Frame(work.frame)));
+                    ctx.send(self.ctrl, d + pcie, Redirect(Frame::raw(work.frame)));
                     self.skip(ctx, slot, entry_seq, d);
                     return;
                 }
@@ -148,11 +153,18 @@ impl PreStage {
         }
 
         // --- Val ---
-        let view = match SegmentView::parse(&work.frame, self.cfg.verify_checksums) {
+        // Frames that still carry emitter metadata are byte-identical to
+        // what a trusted in-sim stack emitted (corruption and module
+        // rewrites clear the tag), so their checksums were computed by us
+        // and re-verifying is pure wall-clock waste. Untagged frames take
+        // the checked slow path.
+        let verify = self.cfg.verify_checksums && work.meta.is_none();
+        let view = match SegmentView::parse(&work.frame, verify) {
             Ok(v) => v,
             Err(_) => {
                 self.malformed += 1;
-                ctx.stats.bump("pre.malformed", 1);
+                ctx.stats
+                    .inc(self.malformed_ctr.expect("pre stage attached"));
                 let d = self.exec(ctx, cost);
                 self.recycle(work.frame);
                 self.skip(ctx, slot, entry_seq, d);
@@ -164,7 +176,7 @@ impl PreStage {
             self.redirected += 1;
             let d = self.exec(ctx, cost);
             let pcie = self.cfg.platform.pcie.write_latency;
-            ctx.send(self.ctrl, d + pcie, Redirect(Frame(work.frame)));
+            ctx.send(self.ctrl, d + pcie, Redirect(Frame::raw(work.frame)));
             self.skip(ctx, slot, entry_seq, d);
             return;
         }
@@ -178,7 +190,7 @@ impl PreStage {
             self.unknown_flow += 1;
             let d = self.exec(ctx, cost);
             let pcie = self.cfg.platform.pcie.write_latency;
-            ctx.send(self.ctrl, d + pcie, Redirect(Frame(work.frame)));
+            ctx.send(self.ctrl, d + pcie, Redirect(Frame::raw(work.frame)));
             self.skip(ctx, slot, entry_seq, d);
             return;
         };
@@ -324,6 +336,10 @@ impl Node for PreStage {
             Work::Tx(w) => self.process_tx(ctx, token.slot, entry_seq, w),
             Work::Hc(w) => self.process_hc(ctx, token.slot, entry_seq, w),
         }
+    }
+
+    fn on_attach(&mut self, stats: &mut Stats) {
+        self.malformed_ctr = Some(stats.counter("pre.malformed"));
     }
 
     fn name(&self) -> String {

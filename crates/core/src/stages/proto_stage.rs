@@ -13,7 +13,7 @@
 use std::collections::HashMap;
 
 use flextoe_nfp::{ConnStateCache, FpcTimer};
-use flextoe_sim::{Ctx, Msg, Node, NodeId, Time, WorkToken};
+use flextoe_sim::{CounterHandle, Ctx, Msg, Node, NodeId, Stats, Time, WorkToken};
 
 use crate::costs;
 use crate::hostmem::AppToNic;
@@ -41,6 +41,14 @@ pub struct ProtoStage {
     pub ooo_segments: u64,
     pub fast_retx: u64,
     pub empty_tx: u64,
+    counters: Option<ProtoCounters>,
+}
+
+#[derive(Clone, Copy)]
+struct ProtoCounters {
+    ooo: CounterHandle,
+    fast_retx: CounterHandle,
+    rto_retx: CounterHandle,
 }
 
 impl ProtoStage {
@@ -69,6 +77,7 @@ impl ProtoStage {
             ooo_segments: 0,
             fast_retx: 0,
             empty_tx: 0,
+            counters: None,
         }
     }
 
@@ -132,13 +141,14 @@ impl Node for ProtoStage {
                 };
                 let out = proto::rx_segment(&mut entry.proto, &w.summary);
                 drop(table);
+                let counters = self.counters.expect("proto stage attached to a sim");
                 if out.out_of_order {
                     self.ooo_segments += 1;
-                    ctx.stats.bump("proto.ooo", 1);
+                    ctx.stats.inc(counters.ooo);
                 }
                 if out.fast_retransmit {
                     self.fast_retx += 1;
-                    ctx.stats.bump("proto.fast_retx", 1);
+                    ctx.stats.inc(counters.fast_retx);
                 }
                 if out.send_ack {
                     w.nbi_seq = Some(self.alloc_nbi());
@@ -223,7 +233,8 @@ impl Node for ProtoStage {
                     }
                     AppToNic::Retransmit { .. } => {
                         proto::hc_retransmit(&mut entry.proto);
-                        ctx.stats.bump("proto.rto_retx", 1);
+                        ctx.stats
+                            .inc(self.counters.expect("proto stage attached").rto_retx);
                     }
                 }
                 w.sendable_after = Some(entry.proto.sendable_with_fin());
@@ -242,6 +253,14 @@ impl Node for ProtoStage {
                 );
             }
         }
+    }
+
+    fn on_attach(&mut self, stats: &mut Stats) {
+        self.counters = Some(ProtoCounters {
+            ooo: stats.counter("proto.ooo"),
+            fast_retx: stats.counter("proto.fast_retx"),
+            rto_retx: stats.counter("proto.rto_retx"),
+        });
     }
 
     fn name(&self) -> String {

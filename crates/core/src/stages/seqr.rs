@@ -34,7 +34,7 @@ pub struct SeqrNode {
     /// reorderer releases to the right group's protocol stage.
     admit: Reorder<u32>,
     /// NBI-admission reorderers, one lane per flow group.
-    nbi: Vec<Reorder<Vec<u8>>>,
+    nbi: Vec<Reorder<Frame>>,
     /// Routing.
     pub pre_pool: Vec<NodeId>,
     pre_rr: usize,
@@ -100,7 +100,7 @@ impl SeqrNode {
         }
     }
 
-    fn admit_nbi(&mut self, ctx: &mut Ctx<'_>, frames: Vec<Vec<u8>>) {
+    fn admit_nbi(&mut self, ctx: &mut Ctx<'_>, frames: Vec<Frame>) {
         for frame in frames {
             // an empty frame is an NBI skip: the item died after its slot
             // was allocated (connection teardown mid-pipeline); the slot
@@ -110,7 +110,7 @@ impl SeqrNode {
             }
             let done = self.fpc.execute(ctx.now(), costs::SEQR);
             let delay = done.saturating_since(ctx.now()) + self.cfg.hop_cross();
-            ctx.send(self.mac, delay, MacTx(Frame(frame)));
+            ctx.send(self.mac, delay, MacTx(frame));
         }
     }
 }
@@ -122,7 +122,8 @@ impl Node for SeqrNode {
             Msg::Frame(frame) => {
                 self.rx_frames += 1;
                 let slot = self.pool.borrow_mut().alloc(Work::Rx(RxWork {
-                    frame: frame.0,
+                    meta: frame.meta,
+                    frame: frame.bytes,
                     view: None,
                     summary: Default::default(),
                     conn: 0,
@@ -166,10 +167,10 @@ impl Node for SeqrNode {
             // finished frame for transmission
             Msg::Nbi(sub) => {
                 if self.cfg.reorder {
-                    let released = self.nbi[sub.group as usize].push(sub.nbi_seq, sub.frame.0);
+                    let released = self.nbi[sub.group as usize].push(sub.nbi_seq, sub.frame);
                     self.admit_nbi(ctx, released);
                 } else {
-                    self.admit_nbi(ctx, vec![sub.frame.0]);
+                    self.admit_nbi(ctx, vec![sub.frame]);
                 }
             }
             m => panic!("seqr: unexpected message {}", m.variant_name()),
@@ -197,7 +198,7 @@ mod tests {
             let Msg::MacTx(tx) = msg else {
                 panic!("probe expects egress frames")
             };
-            self.frames.push(tx.0 .0);
+            self.frames.push(tx.0.into_bytes());
         }
     }
 
@@ -221,7 +222,7 @@ mod tests {
             NbiFrame {
                 group: 0,
                 nbi_seq: 1,
-                frame: Frame(vec![0xAB; 64]),
+                frame: Frame::raw(vec![0xAB; 64]),
             },
         );
         sim.run();
@@ -237,7 +238,7 @@ mod tests {
             NbiFrame {
                 group: 0,
                 nbi_seq: 0,
-                frame: Frame(Vec::new()),
+                frame: Frame::raw(Vec::new()),
             },
         );
         sim.run();

@@ -206,14 +206,15 @@ impl HostStackNode {
         done.saturating_since(now)
     }
 
-    /// Transmit a frame, serialized on the NIC at line rate.
-    fn emit(&mut self, ctx: &mut Ctx<'_>, after: Duration, frame: Vec<u8>) {
+    /// Transmit a frame, serialized on the NIC at line rate. The frame
+    /// arrives tagged with parse-once metadata by the spec that built it.
+    fn emit(&mut self, ctx: &mut Ctx<'_>, after: Duration, frame: Frame) {
         self.tx_packets += 1;
         let bits = frame.len() as u64 * 8;
         let ser = Duration::from_ps(bits.saturating_mul(1_000_000_000_000) / self.mac_bps);
         let start = (ctx.now() + after + self.nic_latency).max(self.mac_free);
         self.mac_free = start + ser;
-        ctx.send_at(self.link_out, self.mac_free, Frame(frame));
+        ctx.send_at(self.link_out, self.mac_free, frame);
     }
 
     fn take(&mut self, id: u32) -> Option<HostConn> {
@@ -262,7 +263,7 @@ impl HostStackNode {
                 ..Default::default()
             };
             spec.payload_len = payload.len();
-            let frame = spec.emit(&payload);
+            let frame = spec.emit_frame_into(ctx.pool.take(), |b| b.copy_from_slice(&payload));
             let cost = self.pkt_cost_len(payload.len());
             let d = self.charge(now, cost);
             self.emit(ctx, d, frame);
@@ -295,7 +296,7 @@ impl HostStackNode {
                 ..Default::default()
             };
             spec.payload_len = payload.len();
-            let frame = spec.emit(&payload);
+            let frame = spec.emit_frame_into(ctx.pool.take(), |b| b.copy_from_slice(&payload));
             let cost = self.pkt_cost();
             let d = self.charge(now, cost);
             self.emit(ctx, d, frame);
@@ -491,7 +492,7 @@ impl HostStackNode {
             timestamp: Some((now_us, c.ps.next_ts)),
             ..Default::default()
         };
-        let frame = spec.emit_zeroed();
+        let frame = spec.emit_frame_into(ctx.pool.take(), |_| {});
         self.put(id, c);
         self.emit(ctx, after, frame);
     }
@@ -565,9 +566,13 @@ impl HostStackNode {
         id as u32
     }
 
-    fn on_frame(&mut self, ctx: &mut Ctx<'_>, frame: Vec<u8>) {
+    fn on_frame(&mut self, ctx: &mut Ctx<'_>, frame: Frame) {
         self.rx_packets += 1;
-        let Ok(view) = SegmentView::parse(&frame, true) else {
+        // frames still carrying emitter metadata are byte-identical to
+        // what a trusted stack emitted: skip software checksum verify
+        let verify = frame.meta.is_none();
+        let frame = frame.bytes;
+        let Ok(view) = SegmentView::parse(&frame, verify) else {
             return;
         };
         let tuple = view.four_tuple();
@@ -578,6 +583,9 @@ impl HostStackNode {
             }
             if view.flags.is_datapath() {
                 self.on_data_segment(ctx, id, &view, &frame);
+                // payload has been copied into the socket buffer: the
+                // frame's bytes go back to the sim-wide pool
+                ctx.pool.put(frame);
                 return;
             }
             return; // stray handshake segment for a live conn
@@ -611,7 +619,7 @@ impl HostStackNode {
                 spec.seq = SeqNum(iss);
                 spec.ack = view.seq + 1;
                 spec.flags = TcpFlags::SYN | TcpFlags::ACK;
-                let f = spec.emit_zeroed();
+                let f = spec.emit_frame_into(ctx.pool.take(), |_| {});
                 self.emit(ctx, Duration::ZERO, f);
             }
             return;
@@ -632,7 +640,7 @@ impl HostStackNode {
                 spec.seq = SeqNum(p.iss.wrapping_add(1));
                 spec.ack = view.seq + 1;
                 spec.flags = TcpFlags::ACK;
-                let f = spec.emit_zeroed();
+                let f = spec.emit_frame_into(ctx.pool.take(), |_| {});
                 self.emit(ctx, Duration::ZERO, f);
                 let id = self.install(
                     p.remote_ip,
@@ -683,7 +691,7 @@ impl HostStackNode {
                     },
                 );
                 if view.payload_len > 0 || view.flags.fin() {
-                    self.on_frame(ctx, frame); // replay: now an installed conn
+                    self.on_frame(ctx, Frame::raw(frame)); // replay: now an installed conn
                 }
             }
         }
@@ -780,7 +788,7 @@ impl Node for HostStackNode {
         // the legacy try_cast chain below would pay
         let msg = match msg {
             Msg::Frame(frame) => {
-                self.on_frame(ctx, frame.0);
+                self.on_frame(ctx, frame);
                 return;
             }
             Msg::Tick => {
@@ -846,7 +854,7 @@ impl Node for HostStackNode {
                 };
                 spec.seq = SeqNum(iss);
                 spec.flags = TcpFlags::SYN;
-                let f = spec.emit_zeroed();
+                let f = spec.emit_frame_into(ctx.pool.take(), |_| {});
                 self.emit(ctx, Duration::ZERO, f);
                 self.arm_rto(ctx);
                 return;

@@ -6,7 +6,7 @@
 //! packet losses in the network by randomly dropping packets … with a
 //! fixed probability" — that is this node.
 
-use flextoe_sim::{Ctx, Duration, Msg, Node, NodeId};
+use flextoe_sim::{CounterHandle, Ctx, Duration, Msg, Node, NodeId, Stats};
 
 #[derive(Clone, Copy, Debug)]
 pub struct Faults {
@@ -35,6 +35,14 @@ pub struct Link {
     pub forwarded: u64,
     pub dropped: u64,
     pub corrupted: u64,
+    counters: Option<LinkCounters>,
+}
+
+#[derive(Clone, Copy)]
+struct LinkCounters {
+    size_drops: CounterHandle,
+    drops: CounterHandle,
+    corrupted: CounterHandle,
 }
 
 /// Reconfigure a link's fault model mid-run. Topology builders schedule
@@ -53,6 +61,7 @@ impl Link {
             forwarded: 0,
             dropped: 0,
             corrupted: 0,
+            counters: None,
         }
     }
 
@@ -76,27 +85,42 @@ impl Node for Link {
                 Err(m) => panic!("link: unexpected message {}", m.variant_name()),
             },
         };
+        let counters = self.counters.expect("link attached to a sim");
         if let Some(limit) = self.faults.size_limit {
             if frame.len() > limit {
                 self.dropped += 1;
-                ctx.stats.bump("link.size_drops", 1);
+                ctx.stats.inc(counters.size_drops);
+                ctx.pool.put(frame.into_bytes());
                 return;
             }
         }
         if ctx.rng.chance(self.faults.drop_chance) {
             self.dropped += 1;
-            ctx.stats.bump("link.drops", 1);
+            ctx.stats.inc(counters.drops);
+            ctx.pool.put(frame.into_bytes());
             return;
         }
         if ctx.rng.chance(self.faults.corrupt_chance) && !frame.is_empty() {
             let idx = ctx.rng.below(frame.len() as u64) as usize;
             let bit = 1u8 << ctx.rng.below(8);
-            frame.0[idx] ^= bit;
+            frame.bytes[idx] ^= bit;
+            // the bytes no longer match what the emitter computed: drop
+            // the parse-once tag so receivers take the checked slow path
+            // (and re-verify checksums, catching the corruption)
+            frame.meta = None;
             self.corrupted += 1;
-            ctx.stats.bump("link.corrupted", 1);
+            ctx.stats.inc(counters.corrupted);
         }
         self.forwarded += 1;
         ctx.send(self.to, self.propagation, frame);
+    }
+
+    fn on_attach(&mut self, stats: &mut Stats) {
+        self.counters = Some(LinkCounters {
+            size_drops: stats.counter("link.size_drops"),
+            drops: stats.counter("link.drops"),
+            corrupted: stats.counter("link.corrupted"),
+        });
     }
 
     fn name(&self) -> String {
@@ -116,7 +140,7 @@ mod tests {
     impl Node for Probe {
         fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
             let f = flextoe_sim::cast::<Frame>(msg);
-            self.frames.push((ctx.now().as_ns(), f.0));
+            self.frames.push((ctx.now().as_ns(), f.into_bytes()));
         }
     }
 
@@ -125,7 +149,7 @@ mod tests {
         let mut sim = Sim::new(1);
         let probe = sim.add_node(Probe { frames: vec![] });
         let link = sim.add_node(Link::new(probe, Duration::from_us(1)));
-        sim.schedule(Time::from_ns(100), link, Frame(vec![1, 2]));
+        sim.schedule(Time::from_ns(100), link, Frame::raw(vec![1, 2]));
         sim.run();
         let p = sim.node_ref::<Probe>(probe);
         assert_eq!(p.frames[0].0, 1100);
@@ -145,7 +169,7 @@ mod tests {
             },
         ));
         for i in 0..10_000u64 {
-            sim.schedule(Time::from_ns(i), link, Frame(vec![0]));
+            sim.schedule(Time::from_ns(i), link, Frame::raw(vec![0]));
         }
         sim.run();
         let got = sim.node_ref::<Probe>(probe).frames.len() as f64;
@@ -165,7 +189,7 @@ mod tests {
                 ..Default::default()
             },
         ));
-        sim.schedule(Time::ZERO, link, Frame(vec![0u8; 32]));
+        sim.schedule(Time::ZERO, link, Frame::raw(vec![0u8; 32]));
         sim.run();
         let p = &sim.node_ref::<Probe>(probe).frames[0].1;
         let set_bits: u32 = p.iter().map(|b| b.count_ones()).sum();
@@ -177,7 +201,7 @@ mod tests {
         let mut sim = Sim::new(1);
         let probe = sim.add_node(Probe { frames: vec![] });
         let link = sim.add_node(Link::new(probe, Duration::ZERO));
-        sim.schedule(Time::from_ns(0), link, Frame(vec![1]));
+        sim.schedule(Time::from_ns(0), link, Frame::raw(vec![1]));
         sim.schedule_in(
             Duration::from_ns(5),
             link,
@@ -186,9 +210,9 @@ mod tests {
                 ..Default::default()
             }),
         );
-        sim.schedule(Time::from_ns(10), link, Frame(vec![2]));
+        sim.schedule(Time::from_ns(10), link, Frame::raw(vec![2]));
         sim.schedule_in(Duration::from_ns(15), link, SetFaults(Faults::default()));
-        sim.schedule(Time::from_ns(20), link, Frame(vec![3]));
+        sim.schedule(Time::from_ns(20), link, Frame::raw(vec![3]));
         sim.run();
         let got: Vec<u8> = sim
             .node_ref::<Probe>(probe)
@@ -212,8 +236,8 @@ mod tests {
                 ..Default::default()
             },
         ));
-        sim.schedule(Time::ZERO, link, Frame(vec![0; 101]));
-        sim.schedule(Time::ZERO, link, Frame(vec![0; 100]));
+        sim.schedule(Time::ZERO, link, Frame::raw(vec![0; 101]));
+        sim.schedule(Time::ZERO, link, Frame::raw(vec![0; 100]));
         sim.run();
         assert_eq!(sim.node_ref::<Probe>(probe).frames.len(), 1);
     }

@@ -18,22 +18,23 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use flextoe_sim::{Ctx, Duration, Msg, Node, NodeId};
+use flextoe_sim::{CounterHandle, Ctx, Duration, Msg, Node, NodeId, Stats};
 use flextoe_wire::{
-    protocol, Ecn, EthFrame, Frame, Ip4, Ipv4Packet, MacAddr, ETH_HDR_LEN, IPV4_HDR_LEN,
+    ecmp_basis, ecmp_hash_with_basis, Ecn, Frame, FrameMeta, Ip4, Ipv4Packet, MacAddr, ETH_HDR_LEN,
 };
 
 /// Flow hash for ECMP port selection: a splitmix64 finalizer over the
 /// directed 4-tuple mixed with a per-switch `salt` derived from the sim
 /// seed. Deterministic for (flow, salt); different salts decorrelate
 /// switches so a fabric doesn't polarize onto one spine.
+///
+/// Split into [`ecmp_basis`] (salt-independent, precomputed once into
+/// [`FrameMeta::flow_basis`] at frame emission) and
+/// [`ecmp_hash_with_basis`] (per-switch finalize) so forwarding never
+/// re-reads the headers; this composition is bit-identical to the
+/// historical whole-header hash.
 pub fn ecmp_hash(src_ip: Ip4, dst_ip: Ip4, src_port: u16, dst_port: u16, salt: u64) -> u64 {
-    let mut z = ((src_ip.0 as u64) << 32 | dst_ip.0 as u64)
-        ^ ((src_port as u64) << 16 | dst_port as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        ^ salt;
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
+    ecmp_hash_with_basis(ecmp_basis(src_ip, dst_ip, src_port, dst_port), salt)
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -108,6 +109,18 @@ pub struct Switch {
     pub flooded: u64,
     /// Frames forwarded through an L3 route (ECMP or single-path).
     pub routed: u64,
+    /// Counter handles resolved at attach — per-frame paths never do a
+    /// string-keyed stats lookup.
+    counters: Option<SwitchCounters>,
+}
+
+#[derive(Clone, Copy)]
+struct SwitchCounters {
+    tail_drops: CounterHandle,
+    wred_drops: CounterHandle,
+    ecn_marked: CounterHandle,
+    routed: CounterHandle,
+    flooded: CounterHandle,
 }
 
 impl Switch {
@@ -120,6 +133,7 @@ impl Switch {
             latency: Duration::from_ns(500),
             flooded: 0,
             routed: 0,
+            counters: None,
         }
     }
 
@@ -161,26 +175,25 @@ impl Switch {
     }
 
     /// Resolve the egress port for an IP-routed frame, if a route exists.
-    fn route_port(&self, frame: &[u8]) -> Option<usize> {
-        if frame.len() < ETH_HDR_LEN + IPV4_HDR_LEN {
-            return None;
-        }
-        let ip = Ipv4Packet::new_checked(&frame[ETH_HDR_LEN..]).ok()?;
-        let (src_ip, dst_ip) = (ip.src(), ip.dst());
-        let candidates = self.routes.get(&dst_ip)?;
-        // TCP/UDP ports widen the hash so one host pair still spreads its
-        // flows; other protocols hash on addresses alone.
-        let (sport, dport) = match ip.protocol() {
-            protocol::TCP | protocol::UDP if ip.payload().len() >= 4 => {
-                let p = ip.payload();
-                (
-                    u16::from_be_bytes([p[0], p[1]]),
-                    u16::from_be_bytes([p[2], p[3]]),
-                )
+    /// Tagged frames route off their parse-once [`FrameMeta`] (no header
+    /// inspection); untagged frames take the checked reparse path. Both
+    /// feed the same hash, so for well-formed frames port selection is
+    /// byte-identical either way. The checked path is deliberately
+    /// stricter than the pre-metadata parser: frames whose L4 header
+    /// does not parse (e.g. a fault-corrupted TCP data offset) are no
+    /// longer routed on garbage port bytes — they count as `flooded` and
+    /// are dropped here instead of at the receiving host's checksum.
+    fn route_port(&self, frame: &Frame) -> Option<usize> {
+        let meta;
+        let m = match &frame.meta {
+            Some(m) => m,
+            None => {
+                meta = FrameMeta::parse(frame.bytes())?;
+                &meta
             }
-            _ => (0, 0),
         };
-        let h = ecmp_hash(src_ip, dst_ip, sport, dport, self.ecmp_salt);
+        let candidates = self.routes.get(&m.dst_ip)?;
+        let h = ecmp_hash_with_basis(m.flow_basis, self.ecmp_salt);
         Some(candidates[(h % candidates.len() as u64) as usize])
     }
 
@@ -234,11 +247,13 @@ impl Switch {
     fn enqueue(&mut self, ctx: &mut Ctx<'_>, port: usize, mut frame: Frame) {
         let p = &mut self.ports[port];
         let len = frame.len();
+        let counters = self.counters.expect("switch attached to a sim");
 
-        // tail drop at capacity
+        // tail drop at capacity — the buffer goes back to the sim pool
         if p.queue_bytes + len > p.cfg.buf_bytes {
             p.drops += 1;
-            ctx.stats.bump("switch.tail_drops", 1);
+            ctx.stats.inc(counters.tail_drops);
+            ctx.pool.put(frame.into_bytes());
             return;
         }
         // WRED random early drop
@@ -248,16 +263,17 @@ impl Switch {
                 let x = ((p.queue_bytes - w.min_bytes) as f64 / span).min(1.0);
                 if ctx.rng.chance(x * w.max_p) {
                     p.drops += 1;
-                    ctx.stats.bump("switch.wred_drops", 1);
+                    ctx.stats.inc(counters.wred_drops);
+                    ctx.pool.put(frame.into_bytes());
                     return;
                 }
             }
         }
         // DCTCP step marking: CE above K, for ECN-capable packets
         if let Some(k) = p.cfg.ecn_threshold {
-            if p.queue_bytes > k && mark_ce(&mut frame.0) {
+            if p.queue_bytes > k && mark_ce(&mut frame) {
                 p.ecn_marked += 1;
-                ctx.stats.bump("switch.ecn_marked", 1);
+                ctx.stats.inc(counters.ecn_marked);
             }
         }
         p.occ_update(ctx.now().as_ns());
@@ -275,7 +291,29 @@ impl Default for Switch {
 }
 
 /// Set CE on an ECN-capable IPv4 frame; returns whether it was marked.
-fn mark_ce(frame: &mut [u8]) -> bool {
+/// Tagged frames decide off their metadata (one enum compare instead of
+/// a header parse); the rewrite updates bytes, checksum, *and* metadata
+/// so the carried summary stays equal to a reparse.
+fn mark_ce(frame: &mut Frame) -> bool {
+    match frame.meta {
+        Some(ref mut m) => match m.ecn {
+            Ecn::Ect0 | Ecn::Ect1 => {
+                let off = m.ip_off as usize;
+                let mut ip = Ipv4Packet(&mut frame.bytes[off..]);
+                ip.set_ecn(Ecn::Ce);
+                ip.fill_checksum();
+                m.ecn = Ecn::Ce;
+                true
+            }
+            Ecn::Ce => true,
+            Ecn::NotEct => false,
+        },
+        None => mark_ce_raw(&mut frame.bytes),
+    }
+}
+
+/// The checked slow path of [`mark_ce`] for untagged frames.
+fn mark_ce_raw(frame: &mut [u8]) -> bool {
     if frame.len() < ETH_HDR_LEN + 20 {
         return false;
     }
@@ -305,10 +343,11 @@ impl Node for Switch {
             Msg::Frame(frame) => frame,
             m => panic!("switch: unexpected message {}", m.variant_name()),
         };
-        let Ok(eth) = EthFrame::new_checked(frame.bytes()) else {
+        // destination MAC: the first six bytes — no header parse needed
+        if frame.len() < ETH_HDR_LEN {
             return;
-        };
-        let dst = eth.dst();
+        }
+        let dst = MacAddr(frame.bytes()[0..6].try_into().unwrap());
         match self.mac_table.get(&dst) {
             Some(&port) => {
                 // model forwarding latency by delaying our own enqueue via
@@ -318,18 +357,31 @@ impl Node for Switch {
                 // adjacent links in topology builders.)
                 self.enqueue(ctx, port, frame);
             }
-            None => match self.route_port(&frame.0) {
+            None => match self.route_port(&frame) {
                 Some(port) => {
                     self.routed += 1;
-                    ctx.stats.bump("switch.routed", 1);
+                    let c = self.counters.expect("switch attached to a sim");
+                    ctx.stats.inc(c.routed);
                     self.enqueue(ctx, port, frame);
                 }
                 None => {
                     self.flooded += 1;
-                    ctx.stats.bump("switch.flooded", 1);
+                    let c = self.counters.expect("switch attached to a sim");
+                    ctx.stats.inc(c.flooded);
+                    ctx.pool.put(frame.into_bytes());
                 }
             },
         }
+    }
+
+    fn on_attach(&mut self, stats: &mut Stats) {
+        self.counters = Some(SwitchCounters {
+            tail_drops: stats.counter("switch.tail_drops"),
+            wred_drops: stats.counter("switch.wred_drops"),
+            ecn_marked: stats.counter("switch.ecn_marked"),
+            routed: stats.counter("switch.routed"),
+            flooded: stats.counter("switch.flooded"),
+        });
     }
 
     fn name(&self) -> String {
@@ -349,7 +401,7 @@ mod tests {
     impl Node for Probe {
         fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
             let f = flextoe_sim::cast::<Frame>(msg);
-            self.frames.push((ctx.now().as_ns(), f.0));
+            self.frames.push((ctx.now().as_ns(), f.into_bytes()));
         }
     }
 
@@ -384,8 +436,8 @@ mod tests {
         });
         let f = tcp_frame(Ecn::NotEct, 1000);
         let flen = f.len();
-        sim.schedule(Time::ZERO, sw, Frame(f.clone()));
-        sim.schedule(Time::ZERO, sw, Frame(f));
+        sim.schedule(Time::ZERO, sw, Frame::raw(f.clone()));
+        sim.schedule(Time::ZERO, sw, Frame::raw(f));
         sim.run();
         let p = sim.node_ref::<Probe>(probe);
         assert_eq!(p.frames.len(), 2);
@@ -399,7 +451,7 @@ mod tests {
         let (mut sim, sw, probe) = one_port_switch(Default::default());
         let mut f = tcp_frame(Ecn::NotEct, 10);
         f[0..6].copy_from_slice(&[9; 6]); // unknown dst
-        sim.schedule(Time::ZERO, sw, Frame(f));
+        sim.schedule(Time::ZERO, sw, Frame::raw(f));
         sim.run();
         assert!(sim.node_ref::<Probe>(probe).frames.is_empty());
         assert_eq!(sim.node_ref::<Switch>(sw).flooded, 1);
@@ -414,7 +466,7 @@ mod tests {
             wred: None,
         });
         for _ in 0..10 {
-            sim.schedule(Time::ZERO, sw, Frame(tcp_frame(Ecn::NotEct, 1000)));
+            sim.schedule(Time::ZERO, sw, Frame::raw(tcp_frame(Ecn::NotEct, 1000)));
         }
         sim.run_until(Time::from_ms(1));
         let s = sim.node_ref::<Switch>(sw);
@@ -431,7 +483,7 @@ mod tests {
             wred: None,
         });
         for _ in 0..10 {
-            sim.schedule(Time::ZERO, sw, Frame(tcp_frame(Ecn::Ect0, 1000)));
+            sim.schedule(Time::ZERO, sw, Frame::raw(tcp_frame(Ecn::Ect0, 1000)));
         }
         sim.run_until(Time::from_ms(1000));
         let marked = sim.node_ref::<Switch>(sw).port_stats(0).2;
@@ -457,7 +509,7 @@ mod tests {
             wred: None,
         });
         for _ in 0..5 {
-            sim.schedule(Time::ZERO, sw, Frame(tcp_frame(Ecn::NotEct, 500)));
+            sim.schedule(Time::ZERO, sw, Frame::raw(tcp_frame(Ecn::NotEct, 500)));
         }
         sim.run_until(Time::from_ms(1000));
         assert_eq!(sim.node_ref::<Switch>(sw).port_stats(0).2, 0);
@@ -472,7 +524,7 @@ mod tests {
             wred: None,
         });
         for _ in 0..5 {
-            sim.schedule(Time::ZERO, sw, Frame(tcp_frame(Ecn::NotEct, 1000)));
+            sim.schedule(Time::ZERO, sw, Frame::raw(tcp_frame(Ecn::NotEct, 1000)));
         }
         sim.run_until(Time::from_ms(100)); // long past full drain
         let s = sim.node_ref::<Switch>(sw);
@@ -529,7 +581,7 @@ mod tests {
                 sim.schedule(
                     Time::from_ns(i as u64 * 1000),
                     sw,
-                    Frame(flow_frame(10_000 + i)),
+                    Frame::raw(flow_frame(10_000 + i)),
                 );
             }
             sim.run();
@@ -557,7 +609,7 @@ mod tests {
     fn ecmp_is_per_flow_stable() {
         let (mut sim, sw, probes) = ecmp_leaf(7);
         for i in 0..50u64 {
-            sim.schedule(Time::from_ns(i * 1000), sw, Frame(flow_frame(5555)));
+            sim.schedule(Time::from_ns(i * 1000), sw, Frame::raw(flow_frame(5555)));
         }
         sim.run();
         let counts: Vec<usize> = probes
@@ -582,7 +634,7 @@ mod tests {
         sw.learn(MacAddr::local(2), pd);
         sw.route(flextoe_wire::Ip4::host(2), vec![pu]);
         let swid = sim.add_node(sw);
-        sim.schedule(Time::ZERO, swid, Frame(flow_frame(1)));
+        sim.schedule(Time::ZERO, swid, Frame::raw(flow_frame(1)));
         sim.run();
         assert_eq!(sim.node_ref::<Probe>(direct).frames.len(), 1);
         assert!(sim.node_ref::<Probe>(up).frames.is_empty());
@@ -601,7 +653,7 @@ mod tests {
             }),
         });
         for _ in 0..50 {
-            sim.schedule(Time::ZERO, sw, Frame(tcp_frame(Ecn::NotEct, 1000)));
+            sim.schedule(Time::ZERO, sw, Frame::raw(tcp_frame(Ecn::NotEct, 1000)));
         }
         sim.run_until(Time::from_ms(2000));
         let drops = sim.node_ref::<Switch>(sw).port_stats(0).1;

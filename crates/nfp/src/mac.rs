@@ -5,7 +5,7 @@
 //! small fixed NBI latency. "After DMA completes, it issues the segment to
 //! the NBI (TX), which transmits and frees it" (§3.1.2).
 
-use flextoe_sim::{BoundedQueue, Ctx, Duration, Msg, Node, NodeId, Time};
+use flextoe_sim::{BoundedQueue, CounterHandle, Ctx, Duration, Msg, Node, NodeId, Stats, Time};
 use flextoe_wire::Frame;
 
 /// A frame submitted by the data-path for transmission (re-exported from
@@ -31,6 +31,7 @@ pub struct MacPort {
     pub tx_bytes: u64,
     pub rx_frames: u64,
     pub rx_bytes: u64,
+    tx_drops: Option<CounterHandle>,
 }
 
 impl MacPort {
@@ -46,6 +47,7 @@ impl MacPort {
             tx_bytes: 0,
             rx_frames: 0,
             rx_bytes: 0,
+            tx_drops: None,
         }
     }
 
@@ -75,8 +77,9 @@ impl Node for MacPort {
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
         match msg {
             Msg::MacTx(tx) => {
-                if !self.egress_q.push_or_drop(tx.0) {
-                    ctx.stats.bump("mac.tx_drops", 1);
+                if let Err(frame) = self.egress_q.push(tx.0) {
+                    ctx.stats.inc(self.tx_drops.expect("mac attached to a sim"));
+                    ctx.pool.put(frame.into_bytes());
                 }
                 self.start_tx(ctx);
             }
@@ -92,6 +95,10 @@ impl Node for MacPort {
             }
             m => panic!("mac-port: unexpected message {}", m.variant_name()),
         }
+    }
+
+    fn on_attach(&mut self, stats: &mut Stats) {
+        self.tx_drops = Some(stats.counter("mac.tx_drops"));
     }
 
     fn name(&self) -> String {
@@ -121,8 +128,8 @@ mod tests {
         let rx = sim.add_node(Probe { frames: vec![] });
         let mac = sim.add_node(MacPort::new(40_000_000_000, wire, rx));
         // two back-to-back 1514B frames: 302.8ns each
-        sim.schedule(Time::ZERO, mac, MacTx(Frame(vec![0; 1514])));
-        sim.schedule(Time::ZERO, mac, MacTx(Frame(vec![0; 1514])));
+        sim.schedule(Time::ZERO, mac, MacTx(Frame::raw(vec![0; 1514])));
+        sim.schedule(Time::ZERO, mac, MacTx(Frame::raw(vec![0; 1514])));
         sim.run();
         let w = &sim.node_ref::<Probe>(wire).frames;
         assert_eq!(w.len(), 2);
@@ -139,7 +146,7 @@ mod tests {
         let wire = sim.add_node(Probe { frames: vec![] });
         let rx = sim.add_node(Probe { frames: vec![] });
         let mac = sim.add_node(MacPort::new(40_000_000_000, wire, rx));
-        sim.schedule(Time::from_ns(50), mac, Frame(vec![1, 2, 3]));
+        sim.schedule(Time::from_ns(50), mac, Frame::raw(vec![1, 2, 3]));
         sim.run();
         let r = &sim.node_ref::<Probe>(rx).frames;
         assert_eq!(r.len(), 1);
@@ -154,7 +161,7 @@ mod tests {
         let rx = sim.add_node(Probe { frames: vec![] });
         let mac = sim.add_node(MacPort::new(10_000_000_000, wire, rx));
         for len in [100usize, 200, 300] {
-            sim.schedule(Time::ZERO, mac, MacTx(Frame(vec![0; len])));
+            sim.schedule(Time::ZERO, mac, MacTx(Frame::raw(vec![0; len])));
         }
         sim.run();
         let lens: Vec<usize> = sim

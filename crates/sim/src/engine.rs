@@ -35,6 +35,7 @@ use std::any::Any;
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
+use crate::pool::{PktBufPool, SIM_POOL_BOUND};
 use crate::rng::Rng;
 use crate::stats::Stats;
 use crate::time::{Duration, Time};
@@ -319,6 +320,12 @@ pub trait Node: Any {
     /// Handle a message delivered at the current simulation time.
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg);
 
+    /// Called once when the node joins a simulation
+    /// ([`Sim::add_node`] / [`Sim::fill_node`]). Nodes resolve their
+    /// [`crate::CounterHandle`]s here so per-event paths never pay a
+    /// string-keyed counter lookup.
+    fn on_attach(&mut self, _stats: &mut Stats) {}
+
     /// Diagnostic name (used in panics and traces).
     fn name(&self) -> String {
         std::any::type_name::<Self>().to_string()
@@ -336,6 +343,10 @@ pub struct Ctx<'a> {
     seq: &'a mut u64,
     pub rng: &'a mut Rng,
     pub stats: &'a mut Stats,
+    /// The simulation-wide frame-buffer pool: emitters outside the NICs
+    /// (host stacks, the control plane) draw buffers here; fabric
+    /// elements (switches, links, MAC queues) return dropped frames.
+    pub pool: &'a mut PktBufPool,
     halt: &'a mut bool,
 }
 
@@ -476,8 +487,15 @@ pub struct Sim {
     node_names: Vec<String>,
     pub rng: Rng,
     pub stats: Stats,
+    /// Simulation-wide recycled frame buffers (see [`Ctx::pool`]).
+    pub frame_pool: PktBufPool,
     events_processed: u64,
     halt: bool,
+    /// Wall-clock self-profiling (`FLEXTOE_SIM_PROF=1`): per-node
+    /// (ns, events) accumulated around each delivery. Off by default —
+    /// the check is one predictable branch per event.
+    prof_enabled: bool,
+    pub prof: Vec<(u64, u64)>,
 }
 
 impl Sim {
@@ -503,9 +521,28 @@ impl Sim {
             node_names: Vec::new(),
             rng: Rng::new(seed),
             stats: Stats::new(),
+            frame_pool: PktBufPool::new(SIM_POOL_BOUND),
             events_processed: 0,
             halt: false,
+            prof_enabled: std::env::var_os("FLEXTOE_SIM_PROF").is_some_and(|v| v == "1"),
+            prof: Vec::new(),
         }
+    }
+
+    /// Per-node-name wall-time totals (requires `FLEXTOE_SIM_PROF=1`),
+    /// sorted by time descending: `(name, ns, events)`.
+    pub fn prof_dump(&self) -> Vec<(String, u64, u64)> {
+        let mut agg: std::collections::HashMap<String, (u64, u64)> = Default::default();
+        for (i, &(ns, n)) in self.prof.iter().enumerate() {
+            if n > 0 {
+                let e = agg.entry(self.node_names[i].clone()).or_default();
+                e.0 += ns;
+                e.1 += n;
+            }
+        }
+        let mut v: Vec<(String, u64, u64)> = agg.into_iter().map(|(k, (a, b))| (k, a, b)).collect();
+        v.sort_by_key(|x| std::cmp::Reverse(x.1));
+        v
     }
 
     pub fn now(&self) -> Time {
@@ -522,8 +559,9 @@ impl Sim {
     }
 
     /// Add a node; returns its id.
-    pub fn add_node<N: Node>(&mut self, node: N) -> NodeId {
+    pub fn add_node<N: Node>(&mut self, mut node: N) -> NodeId {
         let id = self.nodes.len();
+        node.on_attach(&mut self.stats);
         self.node_names.push(node.name());
         self.nodes.push(Some(Box::new(node)));
         id
@@ -538,8 +576,9 @@ impl Sim {
     }
 
     /// Fill a reserved slot.
-    pub fn fill_node<N: Node>(&mut self, id: NodeId, node: N) {
+    pub fn fill_node<N: Node>(&mut self, id: NodeId, mut node: N) {
         assert!(self.nodes[id].is_none(), "slot {id} already filled");
+        node.on_attach(&mut self.stats);
         self.node_names[id] = node.name();
         self.nodes[id] = Some(Box::new(node));
     }
@@ -604,6 +643,7 @@ impl Sim {
                 ev.to, self.node_names[ev.to]
             )
         });
+        let t0 = self.prof_enabled.then(std::time::Instant::now);
         {
             let mut ctx = Ctx {
                 now: self.time,
@@ -612,9 +652,18 @@ impl Sim {
                 seq: &mut self.seq,
                 rng: &mut self.rng,
                 stats: &mut self.stats,
+                pool: &mut self.frame_pool,
                 halt: &mut self.halt,
             };
             node.on_msg(&mut ctx, ev.msg);
+        }
+        if let Some(t0) = t0 {
+            if self.prof.len() <= ev.to {
+                self.prof.resize(ev.to + 1, (0, 0));
+            }
+            let p = &mut self.prof[ev.to];
+            p.0 += t0.elapsed().as_nanos() as u64;
+            p.1 += 1;
         }
         self.nodes[ev.to] = Some(node);
         true
@@ -855,12 +904,12 @@ mod tests {
         let m = try_cast::<Frame>(m).unwrap_err();
         assert!(try_cast::<Tick>(m).is_ok());
 
-        let m = Frame(vec![1, 2, 3]).into_msg();
+        let m = Frame::raw(vec![1, 2, 3]).into_msg();
         let m = try_cast::<MacTx>(m).unwrap_err();
-        assert_eq!(cast::<Frame>(m).0, vec![1, 2, 3]);
+        assert_eq!(cast::<Frame>(m).bytes, vec![1, 2, 3]);
 
-        let m = MacTx(Frame(vec![9])).into_msg();
-        assert_eq!(cast::<MacTx>(m).0 .0, vec![9]);
+        let m = MacTx(Frame::raw(vec![9])).into_msg();
+        assert_eq!(cast::<MacTx>(m).0.bytes, vec![9]);
 
         let m = 7u64.into_msg();
         assert_eq!(*cast::<u64>(m), 7);

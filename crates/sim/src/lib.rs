@@ -30,6 +30,7 @@
 
 pub mod engine;
 pub mod hist;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod stats;
@@ -41,6 +42,7 @@ pub use engine::{
     QueueKind, ReportBatchToken, Sim, Tick, WorkToken, XferDone, XferReq,
 };
 pub use hist::Histogram;
+pub use pool::PktBufPool;
 pub use queue::BoundedQueue;
 pub use rng::Rng;
 pub use stats::{CounterHandle, HistHandle, Stats};

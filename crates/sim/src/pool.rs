@@ -1,0 +1,129 @@
+//! Recycled byte-buffer pools.
+//!
+//! [`PktBufPool`] started life as the NFP's CTM/EMEM packet-buffer
+//! free-list ("the NBI DMAs the packet into CTM" and the DMA stage
+//! "transmits and frees it", FlexTOE §3.1.2) and is now the single
+//! recycling discipline for every frame buffer in a simulation: each NIC
+//! still owns one (its packet memory, with pressure gauges), and the
+//! [`crate::Sim`] owns a fabric-wide one (exposed to every node as
+//! [`crate::Ctx::pool`]) that host stacks draw emission buffers from and
+//! that switches, links, and MAC queues return dropped frames to — so a
+//! steady-state run allocates nothing per frame anywhere.
+
+/// A free-list of per-packet byte buffers. Buffers are recycled with
+/// their capacity, so the steady-state data path performs no per-packet
+/// heap allocation.
+#[derive(Debug, Default)]
+pub struct PktBufPool {
+    free: Vec<Vec<u8>>,
+    /// Bound on pooled (idle) buffers; returns beyond it are dropped to
+    /// the allocator, modelling the finite packet-buffer memory.
+    max_pooled: usize,
+    pub takes: u64,
+    pub fresh_allocs: u64,
+    pub returns: u64,
+    pub dropped_returns: u64,
+    /// Most buffers simultaneously outstanding (taken, not yet returned) —
+    /// the pool-pressure gauge the connection-scalability sweep records.
+    pub high_water: u64,
+}
+
+impl PktBufPool {
+    pub fn new(max_pooled: usize) -> PktBufPool {
+        PktBufPool {
+            free: Vec::new(),
+            max_pooled,
+            takes: 0,
+            fresh_allocs: 0,
+            returns: 0,
+            dropped_returns: 0,
+            high_water: 0,
+        }
+    }
+
+    /// Buffers currently outstanding (taken and not yet returned).
+    /// Saturating: a pool can be handed more foreign buffers than it gave
+    /// out (frames allocated on one NIC are consumed — and returned — on
+    /// the peer's).
+    pub fn in_flight(&self) -> u64 {
+        self.takes.saturating_sub(self.returns)
+    }
+
+    /// Take a cleared buffer, reusing pooled capacity when available.
+    pub fn take(&mut self) -> Vec<u8> {
+        self.takes += 1;
+        self.high_water = self.high_water.max(self.in_flight());
+        match self.free.pop() {
+            Some(mut buf) => {
+                buf.clear();
+                buf
+            }
+            None => {
+                self.fresh_allocs += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    /// Return a buffer to the pool (capacity kept for reuse).
+    pub fn put(&mut self, buf: Vec<u8>) {
+        self.returns += 1;
+        if self.free.len() < self.max_pooled {
+            self.free.push(buf);
+        } else {
+            self.dropped_returns += 1;
+        }
+    }
+
+    /// Buffers currently idle in the pool.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Fraction of takes served from the pool (1.0 = fully recycled).
+    pub fn reuse_ratio(&self) -> f64 {
+        if self.takes == 0 {
+            return 1.0;
+        }
+        1.0 - self.fresh_allocs as f64 / self.takes as f64
+    }
+}
+
+/// Default bound on the per-sim fabric frame pool: enough idle buffers
+/// for every in-flight frame of a multi-switch fabric with margin.
+pub const SIM_POOL_BOUND: usize = 8192;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recycles_capacity() {
+        let mut pool = PktBufPool::new(4);
+        let mut a = pool.take();
+        assert_eq!(pool.fresh_allocs, 1);
+        a.extend_from_slice(&[1, 2, 3]);
+        let cap = a.capacity();
+        pool.put(a);
+        let b = pool.take();
+        assert!(b.is_empty(), "recycled buffer must come back cleared");
+        assert_eq!(b.capacity(), cap, "capacity survives the round-trip");
+        assert_eq!(pool.fresh_allocs, 1, "second take reused the buffer");
+        assert!(pool.reuse_ratio() > 0.49);
+    }
+
+    #[test]
+    fn bounds_idle_buffers() {
+        let mut pool = PktBufPool::new(2);
+        for _ in 0..4 {
+            let b = pool.take();
+            pool.put(b);
+        }
+        let (x, y, z) = (pool.take(), pool.take(), pool.take());
+        pool.put(x);
+        pool.put(y);
+        pool.put(z);
+        assert_eq!(pool.idle(), 2);
+        assert_eq!(pool.dropped_returns, 1);
+    }
+}

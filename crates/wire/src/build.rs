@@ -34,6 +34,41 @@ impl SegmentSpec {
         ETH_HDR_LEN + IPV4_HDR_LEN + TCP_HDR_LEN + self.options.len() + self.payload_len
     }
 
+    /// The parse-once [`crate::FrameMeta`] of the frame this spec emits —
+    /// computed from the spec fields, no byte inspection. Equal to
+    /// `FrameMeta::parse(&self.emit(..))` by construction (asserted in
+    /// debug builds by [`crate::Frame::tagged`]).
+    pub fn meta(&self) -> crate::FrameMeta {
+        crate::FrameMeta {
+            ethertype: ethertype::IPV4,
+            ip_off: ETH_HDR_LEN as u8,
+            protocol: protocol::TCP,
+            ecn: self.ecn,
+            src_ip: self.src_ip,
+            dst_ip: self.dst_ip,
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            payload_len: self.payload_len as u16,
+            flow_basis: crate::flow::ecmp_basis(
+                self.src_ip,
+                self.dst_ip,
+                self.src_port,
+                self.dst_port,
+            ),
+        }
+    }
+
+    /// Emit a tagged [`crate::Frame`] into a recycled buffer — the pooled,
+    /// parse-once emission path.
+    pub fn emit_frame_into(
+        &self,
+        mut buf: Vec<u8>,
+        fill_payload: impl FnOnce(&mut [u8]),
+    ) -> crate::Frame {
+        self.emit_into(&mut buf, fill_payload);
+        crate::Frame::tagged(buf, self.meta())
+    }
+
     /// Emit the frame; `fill_payload` writes the TCP payload bytes.
     pub fn emit_with(&self, fill_payload: impl FnOnce(&mut [u8])) -> Vec<u8> {
         let mut buf = Vec::new();

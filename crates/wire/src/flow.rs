@@ -67,6 +67,29 @@ impl FourTuple {
     }
 }
 
+/// Salt-independent basis of the fabric ECMP flow hash: the directed
+/// 4-tuple folded into one word. Switches finish the hash by XORing in
+/// their per-switch salt and running the splitmix64 finalizer
+/// ([`ecmp_hash_with_basis`]); emitters precompute the basis once into
+/// [`crate::FrameMeta::flow_basis`] so no hop re-reads the headers.
+#[inline]
+pub fn ecmp_basis(src_ip: Ip4, dst_ip: Ip4, src_port: u16, dst_port: u16) -> u64 {
+    ((src_ip.0 as u64) << 32 | dst_ip.0 as u64)
+        ^ ((src_port as u64) << 16 | dst_port as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// Finalize an ECMP flow hash from a precomputed basis and a per-switch
+/// salt (splitmix64 finalizer). `ecmp_hash_with_basis(ecmp_basis(..), s)`
+/// is bit-identical to the historical whole-header hash, so delivery
+/// logs stay byte-identical per seed.
+#[inline]
+pub fn ecmp_hash_with_basis(basis: u64, salt: u64) -> u64 {
+    let mut z = basis ^ salt;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 impl fmt::Debug for FourTuple {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -12,14 +12,16 @@ pub mod crc32;
 pub mod ethernet;
 pub mod flow;
 pub mod ipv4;
+pub mod meta;
 pub mod pcap;
 pub mod tcp;
 
 pub use build::{SegmentSpec, SegmentView};
 pub use crc32::{crc32, Crc32};
 pub use ethernet::{ethertype, insert_vlan, strip_vlan, EthFrame, MacAddr, ETH_HDR_LEN};
-pub use flow::FourTuple;
+pub use flow::{ecmp_basis, ecmp_hash_with_basis, FourTuple};
 pub use ipv4::{protocol, Ecn, Ip4, Ipv4Packet, IPV4_HDR_LEN};
+pub use meta::{Frame, FrameMeta};
 pub use pcap::PcapWriter;
 pub use tcp::{SeqNum, TcpFlags, TcpOptions, TcpPacket, TCP_HDR_LEN, TCP_TS_OPT_LEN};
 
@@ -29,23 +31,6 @@ pub const MTU: usize = 1500;
 pub const MSS_WITH_TS: usize = MTU - IPV4_HDR_LEN - TCP_HDR_LEN - TCP_TS_OPT_LEN; // 1448
 /// Total frame overhead for a timestamped segment (everything but payload).
 pub const FRAME_OVERHEAD_TS: usize = ETH_HDR_LEN + IPV4_HDR_LEN + TCP_HDR_LEN + TCP_TS_OPT_LEN;
-
-/// A raw frame travelling between simulation nodes (MAC blocks, links,
-/// switch ports). The newtype keeps message dispatch unambiguous.
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Frame(pub Vec<u8>);
-
-impl Frame {
-    pub fn len(&self) -> usize {
-        self.0.len()
-    }
-    pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
-    }
-    pub fn bytes(&self) -> &[u8] {
-        &self.0
-    }
-}
 
 /// Errors from parsing wire formats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

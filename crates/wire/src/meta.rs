@@ -1,0 +1,235 @@
+//! Parse-once frame metadata.
+//!
+//! Every fabric element used to re-derive the same facts from the bytes
+//! of a frame at every hop: the switch re-validated the Ethernet/IPv4
+//! headers and re-hashed the 4-tuple for ECMP, links re-read lengths,
+//! WRED/ECN re-inspected the TOS byte. [`FrameMeta`] is that summary,
+//! computed **once** where the frame is emitted (the NIC DMA stage, the
+//! host stack's TX path, the control plane) and carried alongside the
+//! bytes in [`crate::Frame`].
+//!
+//! The invariant: when `Frame::meta` is `Some(m)`, then
+//! `FrameMeta::parse(frame.bytes()) == Some(m)` — metadata is a cache of
+//! a parse, never an independent source of truth. Anything that mutates
+//! frame bytes must either update the metadata to match (the switch's
+//! CE-marking does) or drop it (link corruption does), sending the frame
+//! down the checked slow path. A property test in the integration suite
+//! re-parses tagged frames and asserts equality, including VLAN-tagged,
+//! checksum-corrupted, and non-IP frames.
+
+use crate::ethernet::{ethertype, EthFrame, ETH_HDR_LEN, VLAN_TAG_LEN};
+use crate::ipv4::{protocol, Ecn, Ip4, Ipv4Packet};
+use crate::tcp::TcpPacket;
+
+/// Compact per-frame routing/queueing summary carried with the bytes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FrameMeta {
+    /// Inner ethertype (after any single 802.1Q tag).
+    pub ethertype: u16,
+    /// Byte offset of the IPv4 header within the frame.
+    pub ip_off: u8,
+    /// IP protocol number.
+    pub protocol: u8,
+    /// ECN codepoint of the IP header. Kept in sync by the switch when it
+    /// CE-marks a frame (which also rewrites the bytes + checksum).
+    pub ecn: Ecn,
+    pub src_ip: Ip4,
+    pub dst_ip: Ip4,
+    /// TCP/UDP ports; 0 for other protocols (matches the ECMP hash the
+    /// switch historically computed for those frames).
+    pub src_port: u16,
+    pub dst_port: u16,
+    /// L4 payload bytes (TCP: after the data offset; UDP: after the 8-byte
+    /// header; otherwise the IP payload length).
+    pub payload_len: u16,
+    /// Salt-independent ECMP flow-hash basis over the directed 4-tuple;
+    /// see [`crate::flow::ecmp_basis`]. Switches mix in their per-switch
+    /// salt and finalize without touching the frame bytes.
+    pub flow_basis: u64,
+}
+
+impl FrameMeta {
+    /// Parse metadata from raw frame bytes — the checked slow path, and
+    /// the definition the fast path is differential-tested against.
+    /// `None` for truncated, non-IPv4, or malformed-IP frames (those are
+    /// not routable and keep their legacy handling).
+    pub fn parse(frame: &[u8]) -> Option<FrameMeta> {
+        let eth = EthFrame::new_checked(frame).ok()?;
+        let inner_et = eth.inner_ethertype();
+        if inner_et != ethertype::IPV4 {
+            return None;
+        }
+        let ip_off = if eth.vlan_id().is_some() {
+            ETH_HDR_LEN + VLAN_TAG_LEN
+        } else {
+            ETH_HDR_LEN
+        };
+        let ip = Ipv4Packet::new_checked(frame.get(ip_off..)?).ok()?;
+        let (src_ip, dst_ip) = (ip.src(), ip.dst());
+        let proto = ip.protocol();
+        let l4 = ip.payload();
+        let (src_port, dst_port, payload_len) = match proto {
+            protocol::TCP => {
+                let tcp = TcpPacket::new_checked(l4).ok()?;
+                (
+                    tcp.src_port(),
+                    tcp.dst_port(),
+                    l4.len().saturating_sub(tcp.data_offset()),
+                )
+            }
+            protocol::UDP if l4.len() >= 8 => (
+                u16::from_be_bytes([l4[0], l4[1]]),
+                u16::from_be_bytes([l4[2], l4[3]]),
+                l4.len() - 8,
+            ),
+            _ => (0, 0, l4.len()),
+        };
+        Some(FrameMeta {
+            ethertype: inner_et,
+            ip_off: ip_off as u8,
+            protocol: proto,
+            ecn: ip.ecn(),
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            payload_len: payload_len.min(u16::MAX as usize) as u16,
+            flow_basis: crate::flow::ecmp_basis(src_ip, dst_ip, src_port, dst_port),
+        })
+    }
+}
+
+/// A raw frame travelling between simulation nodes (MAC blocks, links,
+/// switch ports), optionally carrying parse-once [`FrameMeta`].
+///
+/// Equality compares **bytes only**: metadata is a cache of a parse, so
+/// two byte-identical frames are the same frame whether or not one side
+/// happened to carry the summary.
+#[derive(Clone, Debug, Default)]
+pub struct Frame {
+    pub bytes: Vec<u8>,
+    pub meta: Option<FrameMeta>,
+}
+
+impl Frame {
+    /// An untagged frame: consumers take the checked parse path.
+    pub fn raw(bytes: Vec<u8>) -> Frame {
+        Frame { bytes, meta: None }
+    }
+
+    /// A frame with emitter-computed metadata. Debug builds verify the
+    /// tag against a fresh reparse — the fast path must never disagree
+    /// with the bytes.
+    pub fn tagged(bytes: Vec<u8>, meta: FrameMeta) -> Frame {
+        debug_assert_eq!(
+            FrameMeta::parse(&bytes),
+            Some(meta),
+            "frame tagged with metadata that does not match its bytes"
+        );
+        Frame {
+            bytes,
+            meta: Some(meta),
+        }
+    }
+
+    /// Tag by parsing the bytes once here (emitters without a
+    /// `SegmentSpec` at hand).
+    pub fn parsed(bytes: Vec<u8>) -> Frame {
+        let meta = FrameMeta::parse(&bytes);
+        Frame { bytes, meta }
+    }
+
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+impl PartialEq for Frame {
+    fn eq(&self, other: &Self) -> bool {
+        self.bytes == other.bytes
+    }
+}
+impl Eq for Frame {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::SegmentSpec;
+    use crate::ethernet::{insert_vlan, MacAddr};
+    use crate::flow::ecmp_basis;
+
+    fn spec() -> SegmentSpec {
+        SegmentSpec {
+            src_mac: MacAddr::local(1),
+            dst_mac: MacAddr::local(2),
+            src_ip: Ip4::host(1),
+            dst_ip: Ip4::host(2),
+            src_port: 40_000,
+            dst_port: 80,
+            ecn: Ecn::Ect0,
+            payload_len: 33,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn parse_matches_spec() {
+        let s = spec();
+        let m = FrameMeta::parse(&s.emit_zeroed()).unwrap();
+        assert_eq!(m, s.meta());
+        assert_eq!(m.ethertype, ethertype::IPV4);
+        assert_eq!(m.ip_off as usize, ETH_HDR_LEN);
+        assert_eq!(m.protocol, protocol::TCP);
+        assert_eq!(m.ecn, Ecn::Ect0);
+        assert_eq!((m.src_port, m.dst_port), (40_000, 80));
+        assert_eq!(m.payload_len, 33);
+        assert_eq!(
+            m.flow_basis,
+            ecmp_basis(Ip4::host(1), Ip4::host(2), 40_000, 80)
+        );
+    }
+
+    #[test]
+    fn parse_sees_through_vlan() {
+        let s = spec();
+        let mut bytes = s.emit_zeroed();
+        insert_vlan(&mut bytes, 42);
+        let m = FrameMeta::parse(&bytes).unwrap();
+        assert_eq!(m.ip_off as usize, ETH_HDR_LEN + VLAN_TAG_LEN);
+        assert_eq!(m.src_ip, Ip4::host(1));
+        assert_eq!((m.src_port, m.dst_port), (40_000, 80));
+    }
+
+    #[test]
+    fn non_ip_and_short_frames_unparsed() {
+        assert_eq!(FrameMeta::parse(&[0u8; 10]), None);
+        let mut arp = spec().emit_zeroed();
+        arp[12..14].copy_from_slice(&ethertype::ARP.to_be_bytes());
+        assert_eq!(FrameMeta::parse(&arp), None);
+    }
+
+    #[test]
+    fn frame_equality_ignores_meta() {
+        let bytes = spec().emit_zeroed();
+        assert_eq!(Frame::parsed(bytes.clone()), Frame::raw(bytes));
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "does not match its bytes")]
+    fn tagged_mismatch_caught_in_debug() {
+        let a = spec();
+        let mut b = spec();
+        b.src_port = 1;
+        let _ = Frame::tagged(a.emit_zeroed(), b.meta());
+    }
+}

@@ -4,7 +4,7 @@
 //! fault schedules on fabric links.
 
 use flextoe_apps::{FramedServerConfig, OpenLoopConfig, SizeDist};
-use flextoe_bench::scale::{run_scale, scale_json, ScalePlan};
+use flextoe_bench::scale::{run_scale, run_scale_jobs, scale_json, ScalePlan};
 use flextoe_netsim::{Faults, Link, Switch};
 use flextoe_sim::{Sim, Time};
 use flextoe_topo::{
@@ -162,6 +162,44 @@ fn scale_sweep_json_is_byte_identical_per_seed() {
     let b = scale_json(17, &plan, &run_scale(17, &plan));
     assert_eq!(a, b);
     assert!(a.contains("\"fabric\": \"leafspine-4x2\""));
+}
+
+/// The parallel runner is a pure scheduling change: any `--jobs` value
+/// merges results in configuration order and serializes byte-identically
+/// to the serial reference run (each point builds its own `Sim`).
+#[test]
+fn parallel_scale_sweep_is_byte_identical_to_serial() {
+    let plan = ScalePlan::smoke();
+    let serial = scale_json(17, &plan, &run_scale_jobs(17, &plan, 1));
+    for jobs in [2, 4, 8] {
+        let par = scale_json(17, &plan, &run_scale_jobs(17, &plan, jobs));
+        assert_eq!(serial, par, "jobs={jobs} diverged from the serial run");
+    }
+}
+
+/// Regression guard for the cache-gauge column of `BENCH_scale.json`:
+/// a hot, reused connection set large enough to overflow the per-island
+/// CLS (conns/NIC > 2048, i.e. ≥ 2 contenders per direct-mapped slot on
+/// the same island) must report nonzero EMEM-SRAM hits. The sweep once
+/// reported `conn_cache_sram_hits: 0` on every row: its 12 ms window
+/// offered each connection at most one request, so no access ever
+/// *revisited* a connection after its CAM/CLS residency was evicted.
+/// (Below that size the zero is real: dense id allocation keeps the
+/// direct-mapped CLS conflict-free, exactly the paper's §4.1 claim.)
+#[test]
+fn scale_point_beyond_cls_capacity_reports_sram_hits() {
+    let mut plan = ScalePlan::full();
+    plan.duration = Time::from_ms(24);
+    let r = flextoe_bench::scale::run_scale_one(17, Stack::FlexToe, 8192, &plan);
+    assert!(
+        r.gauges.cache_sram_hits > 0,
+        "8192-conn sweep point must engage the EMEM-SRAM tier, gauges: {:?}",
+        r.gauges
+    );
+    assert!(
+        r.gauges.cache_dram_accesses >= 16_384,
+        "every (nic, conn) pays at least its cold miss"
+    );
 }
 
 /// The full sweep plan satisfies the experiment contract: at least four

@@ -11,7 +11,10 @@ use flextoe_core::reorder::Reorder;
 use flextoe_core::sched::Carousel;
 use flextoe_core::ProtoState;
 use flextoe_sim::{Duration, Histogram, Rng, Time};
-use flextoe_wire::{checksum, SegmentSpec, SegmentView, SeqNum, TcpFlags, TcpOptions};
+use flextoe_wire::{
+    checksum, ethertype, insert_vlan, strip_vlan, Ecn, FrameMeta, Ip4, MacAddr, SegmentSpec,
+    SegmentView, SeqNum, TcpFlags, TcpOptions,
+};
 
 const CASES: u64 = 200;
 
@@ -96,6 +99,81 @@ fn segment_roundtrip() {
         assert_eq!(v.window, window);
         assert_eq!(v.payload(&frame), &payload[..]);
         assert_eq!((v.tsval, v.tsecr), (tsval, tsecr));
+    });
+}
+
+/// Parse-once metadata is a cache of a parse, never an independent
+/// source of truth: whatever a spec emits, the metadata computed from
+/// the spec equals a fresh reparse of the bytes — through VLAN
+/// tagging/stripping, after checksum corruption (metadata describes
+/// routing fields, which a payload flip doesn't change), and `None`
+/// exactly when the frame is not parseable IPv4.
+#[test]
+fn frame_meta_always_equals_fresh_reparse() {
+    for_cases("frame_meta_always_equals_fresh_reparse", |rng| {
+        let spec = SegmentSpec {
+            src_mac: MacAddr::local(rng.range(1, 200) as u8),
+            dst_mac: MacAddr::local(rng.range(1, 200) as u8),
+            src_ip: Ip4::host(rng.range(1, 250) as u8),
+            dst_ip: Ip4::host(rng.range(1, 250) as u8),
+            src_port: rng.range(1, u16::MAX as u64 - 1) as u16,
+            dst_port: rng.range(1, u16::MAX as u64 - 1) as u16,
+            seq: SeqNum(rng.next_u32()),
+            ack: SeqNum(rng.next_u32()),
+            flags: TcpFlags::ACK | TcpFlags::PSH,
+            window: rng.next_u32() as u16,
+            ecn: match rng.below(4) {
+                0 => Ecn::NotEct,
+                1 => Ecn::Ect0,
+                2 => Ecn::Ect1,
+                _ => Ecn::Ce,
+            },
+            options: TcpOptions {
+                timestamp: Some((rng.next_u32(), rng.next_u32())),
+                ..Default::default()
+            },
+            payload_len: rng.below(512) as usize,
+        };
+        let mut frame = spec.emit_with(|b| b.fill(0x5a));
+
+        // spec-computed metadata == reparse of the emitted bytes
+        let meta = spec.meta();
+        assert_eq!(FrameMeta::parse(&frame), Some(meta));
+
+        // VLAN insertion shifts the IP header; a reparse must follow it
+        insert_vlan(&mut frame, rng.range(1, 4094) as u16);
+        let tagged = FrameMeta::parse(&frame).expect("vlan frame parses");
+        assert_eq!(
+            FrameMeta {
+                ip_off: meta.ip_off + 4,
+                ethertype: meta.ethertype,
+                ..meta
+            },
+            tagged
+        );
+
+        // …and stripping restores the original metadata exactly
+        strip_vlan(&mut frame).expect("tag present");
+        assert_eq!(FrameMeta::parse(&frame), Some(meta));
+
+        // corrupting the TCP checksum bytes doesn't change any routing
+        // field, so the metadata of the corrupted frame still matches a
+        // reparse (the *data path* rejects it via checksum verification —
+        // which is why links drop the carried tag on corruption)
+        let ck_off = 14 + 20 + 16;
+        frame[ck_off] ^= 0xff;
+        assert_eq!(FrameMeta::parse(&frame), Some(meta));
+        frame[ck_off] ^= 0xff;
+
+        // non-IP (ARP) and truncated frames carry no metadata
+        frame[12..14].copy_from_slice(&ethertype::ARP.to_be_bytes());
+        assert_eq!(FrameMeta::parse(&frame), None);
+        frame[12..14].copy_from_slice(&ethertype::IPV4.to_be_bytes());
+        assert_eq!(FrameMeta::parse(&frame[..rng.below(14) as usize]), None);
+
+        // mangling the IP version makes the frame unparseable -> None
+        frame[14] = 0x65;
+        assert_eq!(FrameMeta::parse(&frame), None);
     });
 }
 
