@@ -8,10 +8,8 @@
 //! the per-request *cycle* budget charged to the host core is the Table 1
 //! application share.
 
-use std::collections::HashMap;
-
 use flextoe_nfp::{Cost, FpcTimer};
-use flextoe_sim::{Ctx, Duration, Histogram, Msg, Node, Time};
+use flextoe_sim::{Ctx, Duration, FxHashMap, Histogram, Msg, Node, Time};
 use flextoe_wire::Ip4;
 
 use crate::rpc::StackInit;
@@ -56,8 +54,8 @@ pub struct KvServerApp<S: StackApi> {
     stack: Option<S>,
     init: Option<StackInit<S>>,
     core: FpcTimer,
-    store: HashMap<Vec<u8>, Vec<u8>>,
-    conns: HashMap<u32, KvConn>,
+    store: FxHashMap<Vec<u8>, Vec<u8>>,
+    conns: FxHashMap<u32, KvConn>,
     pub gets: u64,
     pub sets: u64,
     pub hits: u64,
@@ -71,8 +69,8 @@ impl<S: StackApi + 'static> KvServerApp<S> {
             cfg,
             stack: None,
             init: Some(init),
-            store: HashMap::new(),
-            conns: HashMap::new(),
+            store: FxHashMap::default(),
+            conns: FxHashMap::default(),
             gets: 0,
             sets: 0,
             hits: 0,
@@ -261,7 +259,7 @@ pub struct MemtierApp<S: StackApi> {
     stack: Option<S>,
     init: Option<StackInit<S>>,
     conns: Vec<MtConn>,
-    by_id: HashMap<u32, usize>,
+    by_id: FxHashMap<u32, usize>,
     op_counter: u64,
     pub latency: Histogram,
     pub completed: u64,
@@ -277,7 +275,7 @@ impl<S: StackApi + 'static> MemtierApp<S> {
             stack: None,
             init: Some(init),
             conns: Vec::new(),
-            by_id: HashMap::new(),
+            by_id: FxHashMap::default(),
             op_counter: 0,
             latency: Histogram::new(),
             completed: 0,

@@ -19,10 +19,10 @@
 //! request order per connection — TCP byte-stream order — which the
 //! client's per-connection FIFO relies on.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use flextoe_nfp::{Cost, FpcTimer};
-use flextoe_sim::{Ctx, Duration, Histogram, Msg, Node, Rng, Tick, Time};
+use flextoe_sim::{Ctx, Duration, FxHashMap, Histogram, Msg, Node, Rng, Tick, Time};
 use flextoe_wire::Ip4;
 
 use crate::rpc::StackInit;
@@ -136,7 +136,7 @@ pub struct FramedServerApp<S: StackApi> {
     stack: Option<S>,
     init: Option<StackInit<S>>,
     core: FpcTimer,
-    conns: HashMap<u32, FramedConn>,
+    conns: FxHashMap<u32, FramedConn>,
     pub requests: u64,
     pub accepted: u64,
     pub bytes_in: u64,
@@ -152,7 +152,7 @@ impl<S: StackApi + 'static> FramedServerApp<S> {
             cfg,
             stack: None,
             init: Some(init),
-            conns: HashMap::new(),
+            conns: FxHashMap::default(),
             requests: 0,
             accepted: 0,
             bytes_in: 0,
@@ -372,7 +372,7 @@ pub struct OpenLoopClientApp<S: StackApi> {
     stack: Option<S>,
     init: Option<StackInit<S>>,
     conns: Vec<OlConn>,
-    by_id: HashMap<u32, usize>,
+    by_id: FxHashMap<u32, usize>,
     rr: usize,
     started_conns: u32,
     seq: u32,
@@ -399,7 +399,7 @@ impl<S: StackApi + 'static> OpenLoopClientApp<S> {
             stack: None,
             init: Some(init),
             conns: Vec::new(),
-            by_id: HashMap::new(),
+            by_id: FxHashMap::default(),
             rr: 0,
             started_conns: 0,
             seq: 0,

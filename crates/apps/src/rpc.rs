@@ -1,10 +1,10 @@
 //! RPC workloads: echo/sink servers and closed/open-loop clients — the
 //! machinery behind Figures 9–16 and Tables 2–4.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 use flextoe_nfp::{Cost, FpcTimer};
-use flextoe_sim::{Ctx, Duration, Histogram, Msg, Node, NodeId, Tick, Time};
+use flextoe_sim::{Ctx, Duration, FxHashMap, Histogram, Msg, Node, NodeId, Tick, Time};
 use flextoe_wire::Ip4;
 
 use crate::stack::{SockEvent, StackApi, StackOp};
@@ -66,7 +66,7 @@ pub struct RpcServerApp<S: StackApi> {
     stack: Option<S>,
     init: Option<StackInit<S>>,
     core: FpcTimer,
-    conns: HashMap<u32, ServerConn>,
+    conns: FxHashMap<u32, ServerConn>,
     pub requests: u64,
     pub accepted: u64,
     pub bytes_in: u64,
@@ -80,7 +80,7 @@ impl<S: StackApi + 'static> RpcServerApp<S> {
             cfg,
             stack: None,
             init: Some(init),
-            conns: HashMap::new(),
+            conns: FxHashMap::default(),
             requests: 0,
             accepted: 0,
             bytes_in: 0,
@@ -271,7 +271,7 @@ pub struct RpcClientApp<S: StackApi> {
     stack: Option<S>,
     init: Option<StackInit<S>>,
     conns: Vec<ClientConn>,
-    by_id: HashMap<u32, usize>,
+    by_id: FxHashMap<u32, usize>,
     rr: usize,
     started_conns: u32,
     pub connected: u32,
@@ -293,7 +293,7 @@ impl<S: StackApi + 'static> RpcClientApp<S> {
             stack: None,
             init: Some(init),
             conns: Vec::new(),
-            by_id: HashMap::new(),
+            by_id: FxHashMap::default(),
             rr: 0,
             started_conns: 0,
             connected: 0,

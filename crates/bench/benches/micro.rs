@@ -53,7 +53,9 @@ fn selected(filter: &Option<String>, group: &str) -> bool {
 
 #[path = "../src/enginebench.rs"]
 mod enginebench;
-use enginebench::{best_of, switch_best_of, PIPE_EVENTS, SWITCH_FRAMES};
+use enginebench::{
+    best_of, dispatch_best_of, switch_best_of, DISPATCH_EVENTS, PIPE_EVENTS, SWITCH_FRAMES,
+};
 
 pub fn bench_engine(results: &mut Vec<(String, f64)>) {
     println!("-- engine: {PIPE_EVENTS} events through a 6-stage pipeline ring --");
@@ -91,6 +93,18 @@ pub fn bench_engine(results: &mut Vec<(String, f64)>) {
         let fps = switch_best_of(2, tagged);
         println!("{name:<44} {:>10.2} M frames/s", fps / 1e6);
         results.push((name.to_string(), fps));
+    }
+
+    println!("-- dispatch: {DISPATCH_EVENTS} raw token deliveries --");
+    for (name, nodes, burst) in [
+        ("dispatch/self_send_burst (direct drain)", 1, true),
+        ("dispatch/self_send_noburst", 1, false),
+        ("dispatch/ring8_burst (singleton probes)", 8, true),
+        ("dispatch/ring8_noburst", 8, false),
+    ] {
+        let eps = dispatch_best_of(2, nodes, burst);
+        println!("{name:<44} {:>10.2} M events/s", eps / 1e6);
+        results.push((name.to_string(), eps));
     }
 }
 

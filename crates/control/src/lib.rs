@@ -26,8 +26,6 @@
 pub mod cc;
 pub mod rto;
 
-use std::collections::HashMap;
-
 use flextoe_ccp::{FlowReport, FoldSpec, Insn};
 use flextoe_core::hostmem::{shared_buf, AppToNic, SharedBuf, SharedCtxQueue};
 use flextoe_core::segment::ConnEntry;
@@ -35,7 +33,8 @@ use flextoe_core::stages::{Doorbell, Redirect, RegisterCtx, SchedCtl};
 use flextoe_core::{NicHandle, PostState, PreState, ProtoState};
 use flextoe_nfp::MacTx;
 use flextoe_sim::{
-    try_cast, CounterHandle, Ctx, Duration, Msg, Node, NodeId, ReportBatchToken, Stats, Tick,
+    try_cast, CounterHandle, Ctx, Duration, FxHashMap, Msg, Node, NodeId, ReportBatchToken, Stats,
+    Tick,
 };
 use flextoe_wire::{
     Ecn, FourTuple, Frame, Ip4, MacAddr, SegmentSpec, SegmentView, SeqNum, TcpFlags, TcpOptions,
@@ -200,12 +199,12 @@ pub struct ControlPlane {
     counters: Option<CtrlCounters>,
     cfg: CtrlConfig,
     nic: NicHandle,
-    arp: HashMap<Ip4, MacAddr>,
-    listeners: HashMap<u16, Listener>,
+    arp: FxHashMap<Ip4, MacAddr>,
+    listeners: FxHashMap<u16, Listener>,
     /// Active opens in flight, keyed by the *RX* 4-tuple we expect.
-    active: HashMap<FourTuple, PendingActive>,
+    active: FxHashMap<FourTuple, PendingActive>,
     /// Passive opens awaiting the final ACK, keyed by RX 4-tuple.
-    passive: HashMap<FourTuple, PendingPassive>,
+    passive: FxHashMap<FourTuple, PendingPassive>,
     next_port: u16,
     cc: Vec<Option<Box<dyn Algorithm>>>,
     registry: Registry,
@@ -239,10 +238,10 @@ impl ControlPlane {
             counters: None,
             cfg,
             nic,
-            arp: HashMap::new(),
-            listeners: HashMap::new(),
-            active: HashMap::new(),
-            passive: HashMap::new(),
+            arp: FxHashMap::default(),
+            listeners: FxHashMap::default(),
+            active: FxHashMap::default(),
+            passive: FxHashMap::default(),
             next_port: 40_000,
             cc: Vec::new(),
             registry: Registry::builtin(),

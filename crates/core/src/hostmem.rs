@@ -146,8 +146,16 @@ impl<T> CtxQueueInner<T> {
 
     /// Drain up to `n` entries (doorbell batching).
     pub fn pop_batch(&mut self, n: usize) -> Vec<T> {
+        let mut out = Vec::new();
+        self.pop_batch_into(n, &mut out);
+        out
+    }
+
+    /// [`Self::pop_batch`] into a caller-owned buffer (hot callers recycle
+    /// the buffer instead of allocating per doorbell).
+    pub fn pop_batch_into(&mut self, n: usize, out: &mut Vec<T>) {
         let take = n.min(self.q.len());
-        self.q.drain(..take).collect()
+        out.extend(self.q.drain(..take));
     }
 }
 

@@ -61,33 +61,46 @@ impl<T> Reorder<T> {
         }
     }
 
-    /// Offer item with sequence `seq`; returns all items now releasable in
-    /// order (possibly empty, possibly several).
-    pub fn push(&mut self, seq: u64, item: T) -> Vec<T> {
+    /// Offer item with sequence `seq`, appending all items now releasable
+    /// (possibly none, possibly several, in order) to `out`. The caller
+    /// owns `out` so the in-order fast path — by far the common case —
+    /// allocates nothing: hot callers keep one scratch buffer alive across
+    /// deliveries.
+    pub fn push_into(&mut self, seq: u64, item: T, out: &mut Vec<T>) {
         debug_assert!(seq >= self.next, "sequence {seq} already released");
-        let mut out = Vec::new();
         if seq == self.next {
             out.push(item);
             self.next += 1;
-            self.drain_ready(&mut out);
+            self.drain_ready(out);
         } else {
             self.reordered += 1;
             self.pending.insert(seq, item);
             self.max_held = self.max_held.max(self.pending.len());
         }
-        out
     }
 
-    /// Mark `seq` as never arriving (item left the pipeline early);
-    /// returns any items this unblocks.
-    pub fn skip(&mut self, seq: u64) -> Vec<T> {
-        let mut out = Vec::new();
+    /// Mark `seq` as never arriving (item left the pipeline early),
+    /// appending any items this unblocks to `out`.
+    pub fn skip_into(&mut self, seq: u64, out: &mut Vec<T>) {
         if seq == self.next {
             self.next += 1;
-            self.drain_ready(&mut out);
+            self.drain_ready(out);
         } else if seq > self.next {
             self.skipped.insert(seq);
         }
+    }
+
+    /// Allocating convenience wrapper over [`Reorder::push_into`].
+    pub fn push(&mut self, seq: u64, item: T) -> Vec<T> {
+        let mut out = Vec::new();
+        self.push_into(seq, item, &mut out);
+        out
+    }
+
+    /// Allocating convenience wrapper over [`Reorder::skip_into`].
+    pub fn skip(&mut self, seq: u64) -> Vec<T> {
+        let mut out = Vec::new();
+        self.skip_into(seq, &mut out);
         out
     }
 }

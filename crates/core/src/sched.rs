@@ -52,6 +52,10 @@ pub struct Carousel {
     cur_slot: usize,
     wheel_base: Time,
     rr: VecDeque<u32>,
+    /// Connections currently queued in wheel slots (not the RR queue).
+    /// Zero — the uncongested steady state — lets `advance` and
+    /// `earliest_work` skip the occupancy-bitmap scan entirely.
+    wheel_len: usize,
     conns: Vec<ConnSched>,
     pub triggers: u64,
     pub empty_pops: u64,
@@ -73,6 +77,7 @@ impl Carousel {
             cur_slot: 0,
             wheel_base: Time::ZERO,
             rr: VecDeque::new(),
+            wheel_len: 0,
             conns: Vec::new(),
             triggers: 0,
             empty_pops: 0,
@@ -190,6 +195,7 @@ impl Carousel {
         let offset = offset_slots.min(n - 1);
         let slot = (self.cur_slot + offset) % n;
         self.slots[slot].push_back(conn);
+        self.wheel_len += 1;
         self.mark_slot(slot);
     }
 
@@ -198,6 +204,17 @@ impl Carousel {
     /// step via the occupancy bitmap.
     fn advance(&mut self, now: Time) {
         let n = self.slots.len();
+        if self.wheel_len == 0 {
+            // nothing queued anywhere: rotate the base directly — same
+            // arithmetic as the scan path's "no occupied slot" case,
+            // without touching the bitmap
+            if self.wheel_base + self.granularity <= now {
+                let elapsed_slots = ((now - self.wheel_base).ps() / self.granularity.ps()) as usize;
+                self.cur_slot = (self.cur_slot + elapsed_slots) % n;
+                self.wheel_base += self.granularity * elapsed_slots as u64;
+            }
+            return;
+        }
         while self.wheel_base + self.granularity <= now {
             let elapsed_slots = ((now - self.wheel_base).ps() / self.granularity.ps()) as usize;
             if self.slots[self.cur_slot].is_empty() {
@@ -214,6 +231,7 @@ impl Carousel {
             }
             // everything in the current slot is due
             while let Some(conn) = self.slots[self.cur_slot].pop_front() {
+                self.wheel_len -= 1;
                 self.rr.push_back(conn);
             }
             self.sync_slot(self.cur_slot);
@@ -226,7 +244,10 @@ impl Carousel {
     pub fn next_trigger(&mut self, now: Time, mss: u32) -> Option<Trigger> {
         self.advance(now);
         // Current slot's flows are due too (deadline passed within slot).
-        while let Some(conn) = self.slots[self.cur_slot].front().copied() {
+        while self.wheel_len > 0 {
+            let Some(conn) = self.slots[self.cur_slot].front().copied() else {
+                break;
+            };
             let due = self
                 .conns
                 .get(conn as usize)
@@ -234,6 +255,7 @@ impl Carousel {
                 .unwrap_or(true);
             if due {
                 self.slots[self.cur_slot].pop_front();
+                self.wheel_len -= 1;
                 self.rr.push_back(conn);
             } else {
                 break;
@@ -277,6 +299,9 @@ impl Carousel {
     pub fn earliest_work(&self, now: Time) -> Option<Time> {
         if !self.rr.is_empty() {
             return Some(now);
+        }
+        if self.wheel_len == 0 {
+            return None;
         }
         let i = self.next_occupied_offset()?;
         let t = self.wheel_base + self.granularity * (i as u64);

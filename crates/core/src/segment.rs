@@ -289,6 +289,57 @@ impl WorkPool {
     }
 
     /// Read-only peek at an in-flight item.
+    /// In-place access to an in-flight item: stages mutate the work item
+    /// where it lives instead of paying a 300-byte move out and back per
+    /// hop ([`Work`] is the pool's largest resident). The slot stays
+    /// `InFlight` throughout — use [`WorkPool::retire`] when the item
+    /// dies in the stage.
+    pub fn get_mut(&mut self, slot: u32) -> &mut Work {
+        match &mut self.slots[slot as usize] {
+            Slot::InFlight(work) => work,
+            Slot::Free => panic!("work pool: get_mut on free slot {slot}"),
+            Slot::CheckedOut => panic!("work pool: get_mut on checked-out slot {slot}"),
+        }
+    }
+
+    /// [`WorkPool::get_mut`] narrowed to an RX item (wiring bug otherwise).
+    pub fn rx_mut(&mut self, slot: u32) -> &mut RxWork {
+        match self.get_mut(slot) {
+            Work::Rx(w) => w,
+            _ => panic!("slot {slot} does not hold RX work"),
+        }
+    }
+
+    /// [`WorkPool::get_mut`] narrowed to a TX item.
+    pub fn tx_mut(&mut self, slot: u32) -> &mut TxWork {
+        match self.get_mut(slot) {
+            Work::Tx(w) => w,
+            _ => panic!("slot {slot} does not hold TX work"),
+        }
+    }
+
+    /// [`WorkPool::get_mut`] narrowed to an HC item.
+    pub fn hc_mut(&mut self, slot: u32) -> &mut HcWork {
+        match self.get_mut(slot) {
+            Work::Hc(w) => w,
+            _ => panic!("slot {slot} does not hold HC work"),
+        }
+    }
+
+    /// Free an in-flight slot, returning the item for buffer recycling —
+    /// `take` + `release` in one step for the in-place processing flow.
+    pub fn retire(&mut self, slot: u32) -> Work {
+        match std::mem::replace(&mut self.slots[slot as usize], Slot::Free) {
+            Slot::InFlight(work) => {
+                self.free.push(slot);
+                self.released += 1;
+                work
+            }
+            Slot::Free => panic!("work pool: double free of slot {slot}"),
+            Slot::CheckedOut => panic!("work pool: retire of checked-out slot {slot}"),
+        }
+    }
+
     pub fn get(&self, slot: u32) -> &Work {
         match &self.slots[slot as usize] {
             Slot::InFlight(work) => work,

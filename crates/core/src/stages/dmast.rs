@@ -18,7 +18,9 @@ use flextoe_sim::{Ctx, Duration, Msg, NbiFrame, Node, NodeId, XferDone};
 use flextoe_wire::{Frame, TcpOptions};
 
 use crate::costs;
-use crate::segment::{RxWork, SharedConnTable, SharedSegPool, SharedWorkPool, TxWork, Work};
+use crate::segment::{
+    RxWork, SharedConnTable, SharedSegPool, SharedWorkPool, TxWork, Work, WorkPool,
+};
 use crate::stages::{NotifyJob, SharedCfg};
 
 pub struct DmaStage {
@@ -225,8 +227,10 @@ fn payload_base(frame: &[u8]) -> usize {
         .unwrap_or(tcp_off + 20)
 }
 
-impl Node for DmaStage {
-    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+impl DmaStage {
+    /// One delivery against an already-borrowed work pool
+    /// ([`Node::on_batch`] borrows it once per burst).
+    fn deliver(&mut self, ctx: &mut Ctx<'_>, msg: Msg, pool: &mut WorkPool) {
         match msg {
             // a work item arriving from post-processing
             Msg::Work(token) => {
@@ -239,7 +243,7 @@ impl Node for DmaStage {
                     /// No payload movement: finish immediately.
                     Finish,
                 }
-                let plan = match self.pool.borrow().get(slot) {
+                let plan = match pool.get(slot) {
                     Work::Rx(w) => match w.outcome.as_ref().and_then(|o| o.placement) {
                         // the placement length was trimmed by the protocol
                         // stage to fit the receive window
@@ -271,7 +275,7 @@ impl Node for DmaStage {
                         );
                     }
                     Plan::Finish => {
-                        let work = self.pool.borrow_mut().take(slot);
+                        let work = pool.retire(slot);
                         match work {
                             Work::Rx(w) => {
                                 let group = w.group;
@@ -295,14 +299,13 @@ impl Node for DmaStage {
                             }
                             Work::Tx(_) => unreachable!("handled by TxZeroLen/Issue"),
                         }
-                        self.pool.borrow_mut().release(slot);
                     }
                 }
             }
             // a payload transaction completed
             Msg::XferDone(done) => {
                 let slot = done.token as u32;
-                let work = self.pool.borrow_mut().take(slot);
+                let work = pool.retire(slot);
                 match work {
                     Work::Rx(w) => {
                         let group = w.group;
@@ -311,11 +314,14 @@ impl Node for DmaStage {
                     Work::Tx(w) => self.complete_tx(ctx, w),
                     Work::Hc(_) => unreachable!("HC items never enter the DMA engine"),
                 }
-                self.pool.borrow_mut().release(slot);
             }
             m => panic!("dma-stage: unexpected message {}", m.variant_name()),
         }
     }
+}
+
+impl Node for DmaStage {
+    crate::stages::pool_batched_delivery!();
 
     fn name(&self) -> String {
         "dma-stage".to_string()

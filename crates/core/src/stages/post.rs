@@ -18,7 +18,7 @@ use flextoe_wire::{Ecn, SegmentSpec, TcpFlags, TcpOptions};
 use crate::costs;
 use crate::hostmem::NicToApp;
 use crate::proto::TxSeg;
-use crate::segment::{SharedConnTable, SharedSegPool, SharedWorkPool, Work};
+use crate::segment::{SharedConnTable, SharedSegPool, SharedWorkPool, Work, WorkPool};
 use crate::stages::SharedCfg;
 
 pub struct PostStage {
@@ -123,232 +123,248 @@ impl PostStage {
     }
 }
 
-impl Node for PostStage {
-    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+impl PostStage {
+    /// One delivery against an already-borrowed work pool
+    /// ([`Node::on_batch`] borrows it once per burst).
+    fn deliver(&mut self, ctx: &mut Ctx<'_>, msg: Msg, pool: &mut WorkPool) {
         let Msg::Work(token) = msg else {
             panic!("post-stage: unexpected message {}", msg.variant_name())
         };
         let slot = token.slot;
-        let now_us = ctx.now().as_us() as u32;
-        let work = self.pool.borrow_mut().take(slot);
-        match work {
-            Work::Rx(mut w) => {
-                let out = *w.outcome.as_ref().expect("post stage after protocol");
-                let mut cost = costs::POST_RX;
-
-                // ---- Stats: congestion counters + RTT estimate ----------
-                let mut table = self.table.borrow_mut();
-                let Some(entry) = table.get_mut(w.conn) else {
-                    drop(table);
-                    self.seg_pool.borrow_mut().put(w.frame);
-                    self.pool.borrow_mut().release(slot);
-                    return;
-                };
-                let post = &mut entry.post;
-                // free-running counters (the fold layer below snapshots
-                // and resets its own window; these mirror the Table 5
-                // fields and wrap like hardware counters)
-                post.cnt_ackb = post.cnt_ackb.wrapping_add(out.acked_bytes);
-                // the DCTCP numerator is *bytes acknowledged under an
-                // ECE echo* — the receiver's Ack step reflected CE as
-                // ECE (§3.1.3) and this ACK carried it back. CE-marked
-                // payload received here is deliberately NOT counted: it
-                // concerns the opposite direction's path and reaches
-                // that sender through the ACK we generate.
-                let ecn_bytes = if w.summary.flags.ece() {
-                    out.acked_bytes
-                } else {
-                    0
-                };
-                post.cnt_ecnb = post.cnt_ecnb.wrapping_add(ecn_bytes);
-                if out.fast_retransmit {
-                    post.cnt_fretx = post.cnt_fretx.wrapping_add(1);
-                }
-                if let Some(tsecr) = out.rtt_sample_ts {
-                    // our ACK stamps carry microseconds; RTT = now - echo
-                    let rtt = now_us.wrapping_sub(tsecr);
-                    if rtt < 1_000_000 {
-                        // EWMA 7/8, as TAS
-                        post.rtt_est = if post.rtt_est == 0 {
-                            rtt
-                        } else {
-                            (post.rtt_est * 7 + rtt) / 8
-                        };
-                    }
-                }
-                let ctx_id = post.context;
-                let rtt_est = post.rtt_est;
-                drop(table);
-
-                // ---- Fold: congestion measurement (flextoe-ccp, §D) ------
-                // Aggregates this event into the flow's fold state; when
-                // the flow's report interval elapses (or a fast retransmit
-                // makes it urgent) the sealed batch travels out-of-band to
-                // the control plane as one pooled message.
-                let folded = self.ccp.borrow_mut().on_ack(
-                    w.conn,
-                    &AckEvent {
-                        acked_bytes: out.acked_bytes,
-                        ecn_bytes,
-                        rtt_us: rtt_est,
-                        fast_retx: out.fast_retransmit,
-                        now_us,
-                    },
-                );
-                if folded.folded {
-                    ctx.stats.inc(self.ccp_events.expect("post stage attached"));
-                    cost += if folded.vm_insns > 0 {
-                        Cost::new(
-                            costs::ext::EBPF_PER_INSN.compute * folded.vm_insns,
-                            costs::FOLD_NATIVE.mem,
-                        )
-                    } else {
-                        costs::FOLD_NATIVE
-                    };
-                }
-                // batch/report counters are bumped where batches are
-                // consumed (ControlPlane::on_report_batch) so the
-                // control-plane flush paths are counted too
-                if let Some(token) = folded.sealed {
-                    ctx.send(self.ctrl, self.cfg.platform.pcie.write_latency, token);
-                }
-
-                // ---- FS update -------------------------------------------
-                if out.update_scheduler {
-                    ctx.send(
-                        self.sched,
-                        self.cfg.hop_cross(),
-                        FsUpdate {
-                            conn: w.conn,
-                            sendable: out.sendable,
-                        },
-                    );
-                }
-
-                // ---- Ack + ECN + Stamp -----------------------------------
-                if out.send_ack {
-                    self.acks_prepared += 1;
-                    cost += costs::CHECKSUM;
-                    let frame = {
-                        let view = w.view.as_ref().expect("post stage after pre");
-                        self.build_ack(now_us, view, &out, w.summary.tsval, out.fin_delivered)
-                    };
-                    w.ack_frame = Some(frame);
-                }
-
-                // ---- Notifications ---------------------------------------
-                w.notify_ctx = ctx_id;
-                if out.delivered > 0 || out.fin_delivered {
-                    w.notify_rx = Some(NicToApp::RxAvail {
-                        conn: w.conn,
-                        len: out.delivered,
-                        fin: out.fin_delivered,
-                    });
-                    self.notifications += 1;
-                }
-                if out.acked_bytes > 0 {
-                    w.notify_tx = Some(NicToApp::TxFreed {
-                        conn: w.conn,
-                        len: out.acked_bytes,
-                    });
-                    self.notifications += 1;
-                }
-
-                // ---- Pos: hand off to the DMA stage -----------------------
-                let d = self.exec(ctx, cost);
-                self.pool.borrow_mut().restore(slot, Work::Rx(w));
-                ctx.send(
-                    self.dma,
-                    d + self.cfg.hop_cross(),
-                    WorkToken {
-                        slot,
-                        entry_seq: None,
-                    },
-                );
-            }
-            Work::Tx(w) => {
-                debug_assert!(w.seg.is_some(), "post stage after protocol");
-                debug_assert!(w.spec.is_some(), "post stage after pre");
-                if let Some(sendable) = w.sendable_after {
-                    ctx.send(
-                        self.sched,
-                        self.cfg.hop_cross(),
-                        FsUpdate {
-                            conn: w.conn,
-                            sendable,
-                        },
-                    );
-                }
-                let d = self.exec(ctx, costs::POST_TX);
-                self.pool.borrow_mut().restore(slot, Work::Tx(w));
-                ctx.send(
-                    self.dma,
-                    d + self.cfg.hop_cross(),
-                    WorkToken {
-                        slot,
-                        entry_seq: None,
-                    },
-                );
-            }
-            Work::Hc(mut w) => {
-                // FS + Free (Figure 4)
-                if let Some(sendable) = w.sendable_after {
-                    ctx.send(
-                        self.sched,
-                        self.cfg.hop_cross(),
-                        FsUpdate {
-                            conn: w.conn,
-                            sendable,
-                        },
-                    );
-                }
-                let mut cost = costs::POST_HC;
-                // Window-update ACK (receive window re-opened).
-                if let (Some(seg), Some(_)) = (w.win_ack.as_ref(), w.nbi_seq) {
-                    cost += costs::CHECKSUM;
-                    let table = self.table.borrow();
-                    if let Some(entry) = table.get(w.conn) {
-                        let buf = self.seg_pool.borrow_mut().take();
-                        let frame = ack_from_identity(&table.nic, &entry.pre, seg, now_us, buf);
-                        drop(table);
-                        w.ack_frame = Some(frame);
-                        let d = self.exec(ctx, cost);
-                        self.pool.borrow_mut().restore(slot, Work::Hc(w));
-                        ctx.send(
-                            self.dma,
-                            d + self.cfg.hop_cross(),
-                            WorkToken {
-                                slot,
-                                entry_seq: None,
-                            },
-                        );
-                        ctx.send(self.ctxq, self.cfg.hop_cross(), FreeDesc);
-                        return;
-                    }
-                }
-                let d = self.exec(ctx, cost);
-                if w.nbi_seq.is_some() {
-                    // the connection vanished between the protocol stage
-                    // (which allocated an NBI slot for the window-update
-                    // ACK) and here: forward the item to the DMA stage
-                    // anyway so the slot is released as an NBI skip
-                    self.pool.borrow_mut().restore(slot, Work::Hc(w));
-                    ctx.send(
-                        self.dma,
-                        d + self.cfg.hop_cross(),
-                        WorkToken {
-                            slot,
-                            entry_seq: None,
-                        },
-                    );
-                } else {
-                    self.pool.borrow_mut().release(slot);
-                }
-                // return the HC descriptor to the pool (Free)
-                ctx.send(self.ctxq, d + self.cfg.hop_cross(), FreeDesc);
-            }
+        // In-place processing: the item stays resident in the pool slab —
+        // only the cold death paths move the 300-byte Work out.
+        match pool.get_mut(slot) {
+            Work::Rx(_) => self.rx(ctx, pool, slot),
+            Work::Tx(_) => self.tx(ctx, pool, slot),
+            Work::Hc(_) => self.hc(ctx, pool, slot),
         }
     }
+
+    fn rx(&mut self, ctx: &mut Ctx<'_>, pool: &mut WorkPool, slot: u32) {
+        let now_us = ctx.now().as_us() as u32;
+        let w = pool.rx_mut(slot);
+        let out = *w.outcome.as_ref().expect("post stage after protocol");
+        let mut cost = costs::POST_RX;
+
+        // ---- Stats: congestion counters + RTT estimate ----------
+        let conn = w.conn;
+        let mut table = self.table.borrow_mut();
+        let Some(entry) = table.get_mut(conn) else {
+            drop(table);
+            if let Work::Rx(w) = pool.retire(slot) {
+                self.seg_pool.borrow_mut().put(w.frame);
+            }
+            return;
+        };
+        let post = &mut entry.post;
+        // free-running counters (the fold layer below snapshots
+        // and resets its own window; these mirror the Table 5
+        // fields and wrap like hardware counters)
+        post.cnt_ackb = post.cnt_ackb.wrapping_add(out.acked_bytes);
+        // the DCTCP numerator is *bytes acknowledged under an
+        // ECE echo* — the receiver's Ack step reflected CE as
+        // ECE (§3.1.3) and this ACK carried it back. CE-marked
+        // payload received here is deliberately NOT counted: it
+        // concerns the opposite direction's path and reaches
+        // that sender through the ACK we generate.
+        let ecn_bytes = if w.summary.flags.ece() {
+            out.acked_bytes
+        } else {
+            0
+        };
+        post.cnt_ecnb = post.cnt_ecnb.wrapping_add(ecn_bytes);
+        if out.fast_retransmit {
+            post.cnt_fretx = post.cnt_fretx.wrapping_add(1);
+        }
+        if let Some(tsecr) = out.rtt_sample_ts {
+            // our ACK stamps carry microseconds; RTT = now - echo
+            let rtt = now_us.wrapping_sub(tsecr);
+            if rtt < 1_000_000 {
+                // EWMA 7/8, as TAS
+                post.rtt_est = if post.rtt_est == 0 {
+                    rtt
+                } else {
+                    (post.rtt_est * 7 + rtt) / 8
+                };
+            }
+        }
+        let ctx_id = post.context;
+        let rtt_est = post.rtt_est;
+        drop(table);
+
+        // ---- Fold: congestion measurement (flextoe-ccp, §D) ------
+        // Aggregates this event into the flow's fold state; when
+        // the flow's report interval elapses (or a fast retransmit
+        // makes it urgent) the sealed batch travels out-of-band to
+        // the control plane as one pooled message.
+        let folded = self.ccp.borrow_mut().on_ack(
+            conn,
+            &AckEvent {
+                acked_bytes: out.acked_bytes,
+                ecn_bytes,
+                rtt_us: rtt_est,
+                fast_retx: out.fast_retransmit,
+                now_us,
+            },
+        );
+        if folded.folded {
+            ctx.stats.inc(self.ccp_events.expect("post stage attached"));
+            cost += if folded.vm_insns > 0 {
+                Cost::new(
+                    costs::ext::EBPF_PER_INSN.compute * folded.vm_insns,
+                    costs::FOLD_NATIVE.mem,
+                )
+            } else {
+                costs::FOLD_NATIVE
+            };
+        }
+        // batch/report counters are bumped where batches are
+        // consumed (ControlPlane::on_report_batch) so the
+        // control-plane flush paths are counted too
+        if let Some(token) = folded.sealed {
+            ctx.send(self.ctrl, self.cfg.platform.pcie.write_latency, token);
+        }
+
+        // ---- FS update -------------------------------------------
+        if out.update_scheduler {
+            ctx.send(
+                self.sched,
+                self.cfg.hop_cross(),
+                FsUpdate {
+                    conn,
+                    sendable: out.sendable,
+                },
+            );
+        }
+
+        // ---- Ack + ECN + Stamp -----------------------------------
+        if out.send_ack {
+            self.acks_prepared += 1;
+            cost += costs::CHECKSUM;
+            let w = pool.rx_mut(slot);
+            let frame = {
+                let view = w.view.as_ref().expect("post stage after pre");
+                self.build_ack(now_us, view, &out, w.summary.tsval, out.fin_delivered)
+            };
+            w.ack_frame = Some(frame);
+        }
+
+        // ---- Notifications ---------------------------------------
+        let w = pool.rx_mut(slot);
+        w.notify_ctx = ctx_id;
+        if out.delivered > 0 || out.fin_delivered {
+            w.notify_rx = Some(NicToApp::RxAvail {
+                conn,
+                len: out.delivered,
+                fin: out.fin_delivered,
+            });
+            self.notifications += 1;
+        }
+        if out.acked_bytes > 0 {
+            w.notify_tx = Some(NicToApp::TxFreed {
+                conn,
+                len: out.acked_bytes,
+            });
+            self.notifications += 1;
+        }
+
+        // ---- Pos: hand off to the DMA stage -----------------------
+        let d = self.exec(ctx, cost);
+        ctx.send(
+            self.dma,
+            d + self.cfg.hop_cross(),
+            WorkToken {
+                slot,
+                entry_seq: None,
+            },
+        );
+    }
+
+    fn tx(&mut self, ctx: &mut Ctx<'_>, pool: &mut WorkPool, slot: u32) {
+        let w = pool.tx_mut(slot);
+        debug_assert!(w.seg.is_some(), "post stage after protocol");
+        debug_assert!(w.spec.is_some(), "post stage after pre");
+        if let Some(sendable) = w.sendable_after {
+            let conn = w.conn;
+            ctx.send(
+                self.sched,
+                self.cfg.hop_cross(),
+                FsUpdate { conn, sendable },
+            );
+        }
+        let d = self.exec(ctx, costs::POST_TX);
+        ctx.send(
+            self.dma,
+            d + self.cfg.hop_cross(),
+            WorkToken {
+                slot,
+                entry_seq: None,
+            },
+        );
+    }
+
+    fn hc(&mut self, ctx: &mut Ctx<'_>, pool: &mut WorkPool, slot: u32) {
+        let now_us = ctx.now().as_us() as u32;
+        let w = pool.hc_mut(slot);
+        // FS + Free (Figure 4)
+        if let Some(sendable) = w.sendable_after {
+            let conn = w.conn;
+            ctx.send(
+                self.sched,
+                self.cfg.hop_cross(),
+                FsUpdate { conn, sendable },
+            );
+        }
+        let mut cost = costs::POST_HC;
+        let w = pool.hc_mut(slot);
+        // Window-update ACK (receive window re-opened).
+        if let (Some(seg), Some(_)) = (w.win_ack.as_ref(), w.nbi_seq) {
+            cost += costs::CHECKSUM;
+            let conn = w.conn;
+            let seg = *seg;
+            let table = self.table.borrow();
+            if let Some(entry) = table.get(conn) {
+                let buf = self.seg_pool.borrow_mut().take();
+                let frame = ack_from_identity(&table.nic, &entry.pre, &seg, now_us, buf);
+                drop(table);
+                pool.hc_mut(slot).ack_frame = Some(frame);
+                let d = self.exec(ctx, cost);
+                ctx.send(
+                    self.dma,
+                    d + self.cfg.hop_cross(),
+                    WorkToken {
+                        slot,
+                        entry_seq: None,
+                    },
+                );
+                ctx.send(self.ctxq, self.cfg.hop_cross(), FreeDesc);
+                return;
+            }
+        }
+        let d = self.exec(ctx, cost);
+        if pool.hc_mut(slot).nbi_seq.is_some() {
+            // the connection vanished between the protocol stage
+            // (which allocated an NBI slot for the window-update
+            // ACK) and here: forward the item to the DMA stage
+            // anyway so the slot is released as an NBI skip
+            ctx.send(
+                self.dma,
+                d + self.cfg.hop_cross(),
+                WorkToken {
+                    slot,
+                    entry_seq: None,
+                },
+            );
+        } else {
+            pool.retire(slot);
+        }
+        // return the HC descriptor to the pool (Free)
+        ctx.send(self.ctxq, d + self.cfg.hop_cross(), FreeDesc);
+    }
+}
+
+impl Node for PostStage {
+    crate::stages::pool_batched_delivery!();
 
     fn on_attach(&mut self, stats: &mut Stats) {
         self.ccp_events = Some(stats.counter("ccp.events"));

@@ -22,7 +22,7 @@ use flextoe_wire::{Ecn, Frame, SegmentSpec, SegmentView, TcpOptions};
 use crate::costs;
 use crate::module::{ModuleChain, ModuleVerdict};
 use crate::proto::RxSummary;
-use crate::segment::{SharedConnTable, SharedSegPool, SharedWorkPool, Work};
+use crate::segment::{SharedConnTable, SharedSegPool, SharedWorkPool, Work, WorkPool};
 use crate::stages::{Redirect, SharedCfg};
 
 pub struct PreStage {
@@ -94,59 +94,64 @@ impl PreStage {
         done.saturating_since(ctx.now())
     }
 
-    /// Tell the sequencer this entry left the pipeline early; the slot is
-    /// already checked out, so retire it here.
-    fn skip(&mut self, ctx: &mut Ctx<'_>, slot: u32, entry_seq: u64, delay: flextoe_sim::Duration) {
-        self.pool.borrow_mut().release(slot);
+    /// Tell the sequencer this entry left the pipeline early; the item is
+    /// still in flight in the pool, so retire it here (recycling an RX
+    /// frame buffer when one is attached).
+    fn skip(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        pool: &mut WorkPool,
+        slot: u32,
+        entry_seq: u64,
+        delay: flextoe_sim::Duration,
+    ) {
+        if let Work::Rx(w) = pool.retire(slot) {
+            // exit paths that forwarded the frame elsewhere left an empty
+            // buffer behind (mem::take) — only real buffers recycle
+            if !w.frame.is_empty() {
+                self.seg_pool.borrow_mut().put(w.frame);
+            }
+        }
         ctx.send(self.seqr, delay, Msg::Skip(entry_seq));
     }
 
-    /// Recycle a dropped frame's byte buffer into the packet-buffer pool.
-    fn recycle(&mut self, frame: Vec<u8>) {
-        self.seg_pool.borrow_mut().put(frame);
-    }
-
-    fn process_rx(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        slot: u32,
-        entry_seq: u64,
-        mut work: crate::segment::RxWork,
-    ) {
+    fn process_rx(&mut self, ctx: &mut Ctx<'_>, pool: &mut WorkPool, slot: u32, entry_seq: u64) {
         let mut cost = costs::PRE_RX;
+        let w = pool.rx_mut(slot);
 
         // --- XDP / extension ingress modules (raw frame) ---
         if !self.ingress.is_empty() {
             // modules may rewrite bytes arbitrarily: the carried metadata
             // is no longer trustworthy, fall back to the checked path
-            work.meta = None;
-            let (verdict, mcost) = self.ingress.run(ctx.now(), &mut work.frame);
+            w.meta = None;
+            let (verdict, mcost) = self.ingress.run(ctx.now(), &mut w.frame);
             cost += mcost;
             match verdict {
                 ModuleVerdict::Pass => {}
                 ModuleVerdict::Drop => {
                     self.dropped += 1;
                     let d = self.exec(ctx, cost);
-                    self.recycle(work.frame);
-                    self.skip(ctx, slot, entry_seq, d);
+                    self.skip(ctx, pool, slot, entry_seq, d);
                     return;
                 }
                 ModuleVerdict::Tx => {
                     // send out the MAC, bypassing the TCP data-path
                     self.xdp_tx += 1;
                     // the harness re-checksums spliced frames
-                    fixup_checksums(&mut work.frame);
+                    fixup_checksums(&mut w.frame);
+                    let frame = std::mem::take(&mut w.frame);
                     let d = self.exec(ctx, cost + costs::CHECKSUM);
-                    ctx.send(self.mac, d, MacTx(Frame::parsed(work.frame)));
-                    self.skip(ctx, slot, entry_seq, d);
+                    ctx.send(self.mac, d, MacTx(Frame::parsed(frame)));
+                    self.skip(ctx, pool, slot, entry_seq, d);
                     return;
                 }
                 ModuleVerdict::Redirect => {
                     self.redirected += 1;
+                    let frame = std::mem::take(&mut w.frame);
                     let d = self.exec(ctx, cost);
                     let pcie = self.cfg.platform.pcie.write_latency;
-                    ctx.send(self.ctrl, d + pcie, Redirect(Frame::raw(work.frame)));
-                    self.skip(ctx, slot, entry_seq, d);
+                    ctx.send(self.ctrl, d + pcie, Redirect(Frame::raw(frame)));
+                    self.skip(ctx, pool, slot, entry_seq, d);
                     return;
                 }
             }
@@ -158,26 +163,26 @@ impl PreStage {
         // rewrites clear the tag), so their checksums were computed by us
         // and re-verifying is pure wall-clock waste. Untagged frames take
         // the checked slow path.
-        let verify = self.cfg.verify_checksums && work.meta.is_none();
-        let view = match SegmentView::parse(&work.frame, verify) {
+        let verify = self.cfg.verify_checksums && w.meta.is_none();
+        let view = match SegmentView::parse(&w.frame, verify) {
             Ok(v) => v,
             Err(_) => {
                 self.malformed += 1;
                 ctx.stats
                     .inc(self.malformed_ctr.expect("pre stage attached"));
                 let d = self.exec(ctx, cost);
-                self.recycle(work.frame);
-                self.skip(ctx, slot, entry_seq, d);
+                self.skip(ctx, pool, slot, entry_seq, d);
                 return;
             }
         };
         // Non-data-path segments (SYN/RST/…) go to the control plane.
         if !view.flags.is_datapath() {
             self.redirected += 1;
+            let frame = std::mem::take(&mut w.frame);
             let d = self.exec(ctx, cost);
             let pcie = self.cfg.platform.pcie.write_latency;
-            ctx.send(self.ctrl, d + pcie, Redirect(Frame::raw(work.frame)));
-            self.skip(ctx, slot, entry_seq, d);
+            ctx.send(self.ctrl, d + pcie, Redirect(Frame::raw(frame)));
+            self.skip(ctx, pool, slot, entry_seq, d);
             return;
         }
 
@@ -188,15 +193,16 @@ impl PreStage {
         let Some(conn) = conn else {
             // segment for an unknown connection -> control plane
             self.unknown_flow += 1;
+            let frame = std::mem::take(&mut w.frame);
             let d = self.exec(ctx, cost);
             let pcie = self.cfg.platform.pcie.write_latency;
-            ctx.send(self.ctrl, d + pcie, Redirect(Frame::raw(work.frame)));
-            self.skip(ctx, slot, entry_seq, d);
+            ctx.send(self.ctrl, d + pcie, Redirect(Frame::raw(frame)));
+            self.skip(ctx, pool, slot, entry_seq, d);
             return;
         };
 
         // --- Sum ---
-        work.summary = RxSummary {
+        w.summary = RxSummary {
             seq: view.seq,
             ack: view.ack,
             flags: view.flags,
@@ -207,19 +213,18 @@ impl PreStage {
             has_ts: view.has_ts,
             ecn_ce: view.ecn.is_ce(),
         };
-        work.conn = conn;
-        work.group = self
+        w.conn = conn;
+        w.group = self
             .table
             .borrow()
             .get(conn)
             .map(|e| e.pre.flow_group as usize)
             .unwrap_or(0)
             % self.cfg.n_groups;
-        work.view = Some(view);
+        w.view = Some(view);
 
         // --- Steer: back to the sequencer for in-order protocol admission
         let d = self.exec(ctx, cost);
-        self.pool.borrow_mut().restore(slot, Work::Rx(work));
         ctx.send(
             self.seqr,
             d,
@@ -230,23 +235,18 @@ impl PreStage {
         );
     }
 
-    fn process_tx(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        slot: u32,
-        entry_seq: u64,
-        mut work: crate::segment::TxWork,
-    ) {
+    fn process_tx(&mut self, ctx: &mut Ctx<'_>, pool: &mut WorkPool, slot: u32, entry_seq: u64) {
+        let w = pool.tx_mut(slot);
         // --- Alloc + Head: Ethernet/IP identity from pre-processor state
         let table = self.table.borrow();
-        let Some(entry) = table.get(work.conn) else {
+        let Some(entry) = table.get(w.conn) else {
             drop(table);
             let d = self.exec(ctx, costs::PRE_TX);
-            self.skip(ctx, slot, entry_seq, d);
+            self.skip(ctx, pool, slot, entry_seq, d);
             return;
         };
         let nic = table.nic;
-        work.spec = Some(SegmentSpec {
+        w.spec = Some(SegmentSpec {
             src_mac: nic.mac,
             dst_mac: entry.pre.peer_mac,
             src_ip: nic.ip,
@@ -258,10 +258,9 @@ impl PreStage {
             options: TcpOptions::default(),
             ..Default::default()
         });
-        work.group = entry.pre.flow_group as usize % self.cfg.n_groups;
+        w.group = entry.pre.flow_group as usize % self.cfg.n_groups;
         drop(table);
         let d = self.exec(ctx, costs::PRE_TX);
-        self.pool.borrow_mut().restore(slot, Work::Tx(work));
         ctx.send(
             self.seqr,
             d,
@@ -272,23 +271,16 @@ impl PreStage {
         );
     }
 
-    fn process_hc(
-        &mut self,
-        ctx: &mut Ctx<'_>,
-        slot: u32,
-        entry_seq: u64,
-        mut work: crate::segment::HcWork,
-    ) {
-        let group = self
+    fn process_hc(&mut self, ctx: &mut Ctx<'_>, pool: &mut WorkPool, slot: u32, entry_seq: u64) {
+        let w = pool.hc_mut(slot);
+        w.group = self
             .table
             .borrow()
-            .get(work.conn)
+            .get(w.conn)
             .map(|e| e.pre.flow_group as usize)
             .unwrap_or(0)
             % self.cfg.n_groups;
-        work.group = group;
         let d = self.exec(ctx, costs::PRE_HC);
-        self.pool.borrow_mut().restore(slot, Work::Hc(work));
         ctx.send(
             self.seqr,
             d,
@@ -324,19 +316,26 @@ pub fn fixup_checksums(frame: &mut [u8]) {
     }
 }
 
-impl Node for PreStage {
-    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+impl PreStage {
+    /// One delivery against an already-borrowed work pool
+    /// ([`Node::on_batch`] borrows it once per burst).
+    fn deliver(&mut self, ctx: &mut Ctx<'_>, msg: Msg, pool: &mut WorkPool) {
         let Msg::Work(token) = msg else {
             panic!("pre-stage: unexpected message {}", msg.variant_name())
         };
         let entry_seq = token.entry_seq.expect("pre-stage items carry an entry seq");
-        let work = self.pool.borrow_mut().take(token.slot);
-        match work {
-            Work::Rx(w) => self.process_rx(ctx, token.slot, entry_seq, w),
-            Work::Tx(w) => self.process_tx(ctx, token.slot, entry_seq, w),
-            Work::Hc(w) => self.process_hc(ctx, token.slot, entry_seq, w),
+        // In-place processing: the item stays resident in the pool slab —
+        // only the cold exit paths move the 300-byte Work out.
+        match pool.get_mut(token.slot) {
+            Work::Rx(_) => self.process_rx(ctx, pool, token.slot, entry_seq),
+            Work::Tx(_) => self.process_tx(ctx, pool, token.slot, entry_seq),
+            Work::Hc(_) => self.process_hc(ctx, pool, token.slot, entry_seq),
         }
     }
+}
+
+impl Node for PreStage {
+    crate::stages::pool_batched_delivery!();
 
     fn on_attach(&mut self, stats: &mut Stats) {
         self.malformed_ctr = Some(stats.counter("pre.malformed"));

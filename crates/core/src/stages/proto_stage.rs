@@ -10,15 +10,13 @@
 //! EMEM-SRAM → EMEM-DRAM) charges the state-fetch cost — the mechanism
 //! behind Fig. 13's connection-scalability curve.
 
-use std::collections::HashMap;
-
 use flextoe_nfp::{ConnStateCache, FpcTimer};
 use flextoe_sim::{CounterHandle, Ctx, Msg, Node, NodeId, Stats, Time, WorkToken};
 
 use crate::costs;
 use crate::hostmem::AppToNic;
 use crate::proto;
-use crate::segment::{SharedConnTable, SharedSegPool, SharedWorkPool, Work};
+use crate::segment::{SharedConnTable, SharedSegPool, SharedWorkPool, Work, WorkPool};
 use crate::stages::SharedCfg;
 
 pub struct ProtoStage {
@@ -26,8 +24,9 @@ pub struct ProtoStage {
     pub group: usize,
     fpc: FpcTimer,
     cache: ConnStateCache,
-    /// Per-connection atomic-section serialization.
-    conn_busy: HashMap<u32, Time>,
+    /// Per-connection atomic-section serialization, indexed by connection
+    /// id (dense per NIC — a vector beats hashing on the hottest path).
+    conn_busy: Vec<Time>,
     table: SharedConnTable,
     pool: SharedWorkPool,
     seg_pool: SharedSegPool,
@@ -65,7 +64,7 @@ impl ProtoStage {
             cache: ConnStateCache::with_defaults(&cfg.platform),
             cfg,
             group,
-            conn_busy: HashMap::new(),
+            conn_busy: Vec::new(),
             table,
             pool,
             seg_pool,
@@ -92,69 +91,112 @@ impl ProtoStage {
         logic_cost: flextoe_nfp::Cost,
     ) -> flextoe_sim::Duration {
         let (fetch, _) = self.cache.access(conn);
-        let arrival = ctx
-            .now()
-            .max(self.conn_busy.get(&conn).copied().unwrap_or(Time::ZERO));
+        let busy = self
+            .conn_busy
+            .get(conn as usize)
+            .copied()
+            .unwrap_or(Time::ZERO);
+        let arrival = ctx.now().max(busy);
         let done = self
             .fpc
             .execute(arrival, logic_cost + fetch + self.cfg.trace_cost());
-        self.conn_busy.insert(conn, done);
+        if self.conn_busy.len() <= conn as usize {
+            self.conn_busy.resize(conn as usize + 1, Time::ZERO);
+        }
+        self.conn_busy[conn as usize] = done;
         done.saturating_since(ctx.now())
     }
 
-    fn alloc_nbi(&mut self) -> u64 {
-        let s = self.next_nbi;
-        self.next_nbi += 1;
-        s
-    }
-
-    /// Retire an item that dies in this stage, recycling its buffers.
-    fn retire(&mut self, slot: u32, work: Work) {
-        if let Work::Rx(w) = work {
+    /// Retire an in-flight item that dies in this stage, recycling its
+    /// buffers (the cold path; live items are mutated in place).
+    fn retire(&mut self, pool: &mut WorkPool, slot: u32) {
+        if let Work::Rx(w) = pool.retire(slot) {
             self.seg_pool.borrow_mut().put(w.frame);
         }
-        self.pool.borrow_mut().release(slot);
     }
 }
 
-impl Node for ProtoStage {
-    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+impl ProtoStage {
+    /// One delivery against an already-borrowed work pool
+    /// ([`Node::on_batch`] borrows it once per burst).
+    fn deliver(&mut self, ctx: &mut Ctx<'_>, msg: Msg, pool: &mut WorkPool) {
         let Msg::Work(token) = msg else {
             panic!("proto-stage: unexpected message {}", msg.variant_name())
         };
         let slot = token.slot;
-        let work = self.pool.borrow_mut().take(slot);
-        match work {
-            Work::Rx(mut w) => {
-                self.rx_segments += 1;
-                let logic = if w.summary.payload_len == 0 && !w.summary.flags.fin() {
-                    costs::PROTO_RX_ACK
-                } else {
-                    costs::PROTO_RX
-                };
-                let d = self.exec(ctx, w.conn, logic);
-                let mut table = self.table.borrow_mut();
-                let Some(entry) = table.get_mut(w.conn) else {
-                    drop(table);
-                    self.retire(slot, Work::Rx(w)); // torn down while in flight
-                    return;
-                };
-                let out = proto::rx_segment(&mut entry.proto, &w.summary);
-                drop(table);
-                let counters = self.counters.expect("proto stage attached to a sim");
-                if out.out_of_order {
-                    self.ooo_segments += 1;
-                    ctx.stats.inc(counters.ooo);
-                }
-                if out.fast_retransmit {
-                    self.fast_retx += 1;
-                    ctx.stats.inc(counters.fast_retx);
-                }
-                if out.send_ack {
-                    w.nbi_seq = Some(self.alloc_nbi());
-                }
-                w.outcome = Some(out);
-                self.pool.borrow_mut().restore(slot, Work::Rx(w));
+        // In-place processing: the item stays resident in the pool slab —
+        // only the cold death paths move the 300-byte Work out.
+        match pool.get_mut(slot) {
+            Work::Rx(_) => self.rx(ctx, pool, slot),
+            Work::Tx(_) => self.tx(ctx, pool, slot),
+            Work::Hc(_) => self.hc(ctx, pool, slot),
+        }
+    }
+
+    fn rx(&mut self, ctx: &mut Ctx<'_>, pool: &mut WorkPool, slot: u32) {
+        self.rx_segments += 1;
+        let w = pool.rx_mut(slot);
+        let logic = if w.summary.payload_len == 0 && !w.summary.flags.fin() {
+            costs::PROTO_RX_ACK
+        } else {
+            costs::PROTO_RX
+        };
+        let conn = w.conn;
+        let d = self.exec(ctx, conn, logic);
+        let mut table = self.table.borrow_mut();
+        let Some(entry) = table.get_mut(conn) else {
+            drop(table);
+            self.retire(pool, slot); // torn down while in flight
+            return;
+        };
+        let out = proto::rx_segment(&mut entry.proto, &w.summary);
+        drop(table);
+        let counters = self.counters.expect("proto stage attached to a sim");
+        if out.out_of_order {
+            self.ooo_segments += 1;
+            ctx.stats.inc(counters.ooo);
+        }
+        if out.fast_retransmit {
+            self.fast_retx += 1;
+            ctx.stats.inc(counters.fast_retx);
+        }
+        if out.send_ack {
+            w.nbi_seq = Some(self.next_nbi);
+            self.next_nbi += 1;
+        }
+        w.outcome = Some(out);
+        ctx.send(
+            self.post,
+            d + self.cfg.hop_intra(),
+            WorkToken {
+                slot,
+                entry_seq: None,
+            },
+        );
+        // A fast retransmit re-opens sendable bytes immediately:
+        // the post stage forwards the FS update from the outcome.
+    }
+
+    fn tx(&mut self, ctx: &mut Ctx<'_>, pool: &mut WorkPool, slot: u32) {
+        let w = pool.tx_mut(slot);
+        let conn = w.conn;
+        let d = self.exec(ctx, conn, costs::PROTO_TX);
+        let mut table = self.table.borrow_mut();
+        let Some(entry) = table.get_mut(conn) else {
+            drop(table);
+            self.retire(pool, slot);
+            return;
+        };
+        let seg = proto::tx_next(&mut entry.proto, self.cfg.mss);
+        let sendable = entry.proto.sendable();
+        drop(table);
+        match seg {
+            Some(seg) => {
+                self.tx_segments += 1;
+                w.seg = Some(seg);
+                w.sendable_after = Some(sendable);
+                w.nbi_seq = Some(self.next_nbi);
+                self.next_nbi += 1;
                 ctx.send(
                     self.post,
                     d + self.cfg.hop_intra(),
@@ -163,97 +205,72 @@ impl Node for ProtoStage {
                         entry_seq: None,
                     },
                 );
-                // A fast retransmit re-opens sendable bytes immediately:
-                // the post stage forwards the FS update from the outcome.
             }
-            Work::Tx(mut w) => {
-                let d = self.exec(ctx, w.conn, costs::PROTO_TX);
-                let mut table = self.table.borrow_mut();
-                let Some(entry) = table.get_mut(w.conn) else {
-                    drop(table);
-                    self.retire(slot, Work::Tx(w));
-                    return;
-                };
-                let seg = proto::tx_next(&mut entry.proto, self.cfg.mss);
-                let sendable = entry.proto.sendable();
-                drop(table);
-                match seg {
-                    Some(seg) => {
-                        self.tx_segments += 1;
-                        w.seg = Some(seg);
-                        w.sendable_after = Some(sendable);
-                        w.nbi_seq = Some(self.alloc_nbi());
-                        self.pool.borrow_mut().restore(slot, Work::Tx(w));
-                        ctx.send(
-                            self.post,
-                            d + self.cfg.hop_intra(),
-                            WorkToken {
-                                slot,
-                                entry_seq: None,
-                            },
-                        );
-                    }
-                    None => {
-                        // scheduler raced an ACK/window change; item dies
-                        self.empty_tx += 1;
-                        self.retire(slot, Work::Tx(w));
-                    }
-                }
-            }
-            Work::Hc(mut w) => {
-                self.hc_events += 1;
-                let d = self.exec(ctx, w.conn, costs::PROTO_HC);
-                let mut table = self.table.borrow_mut();
-                let Some(entry) = table.get_mut(w.conn) else {
-                    drop(table);
-                    self.retire(slot, Work::Hc(w));
-                    return;
-                };
-                match w.desc {
-                    AppToNic::TxAppend { len, .. } => {
-                        proto::hc_tx_append(&mut entry.proto, len);
-                    }
-                    AppToNic::RxConsumed { len, .. } => {
-                        w.window_update =
-                            proto::hc_rx_consumed(&mut entry.proto, len, self.cfg.mss);
-                        if w.window_update {
-                            w.win_ack = Some(crate::proto::TxSeg {
-                                seq: entry.proto.seq,
-                                ack: entry.proto.ack,
-                                buf_pos: 0,
-                                len: 0,
-                                fin: false,
-                                window: proto::advertised_window(&entry.proto),
-                                ts_echo: entry.proto.next_ts,
-                            });
-                        }
-                    }
-                    AppToNic::Close { .. } => {
-                        proto::hc_close(&mut entry.proto);
-                    }
-                    AppToNic::Retransmit { .. } => {
-                        proto::hc_retransmit(&mut entry.proto);
-                        ctx.stats
-                            .inc(self.counters.expect("proto stage attached").rto_retx);
-                    }
-                }
-                w.sendable_after = Some(entry.proto.sendable_with_fin());
-                drop(table);
-                if w.win_ack.is_some() {
-                    w.nbi_seq = Some(self.alloc_nbi());
-                }
-                self.pool.borrow_mut().restore(slot, Work::Hc(w));
-                ctx.send(
-                    self.post,
-                    d + self.cfg.hop_intra(),
-                    WorkToken {
-                        slot,
-                        entry_seq: None,
-                    },
-                );
+            None => {
+                // scheduler raced an ACK/window change; item dies
+                self.empty_tx += 1;
+                self.retire(pool, slot);
             }
         }
     }
+
+    fn hc(&mut self, ctx: &mut Ctx<'_>, pool: &mut WorkPool, slot: u32) {
+        self.hc_events += 1;
+        let w = pool.hc_mut(slot);
+        let conn = w.conn;
+        let d = self.exec(ctx, conn, costs::PROTO_HC);
+        let mut table = self.table.borrow_mut();
+        let Some(entry) = table.get_mut(conn) else {
+            drop(table);
+            self.retire(pool, slot);
+            return;
+        };
+        match w.desc {
+            AppToNic::TxAppend { len, .. } => {
+                proto::hc_tx_append(&mut entry.proto, len);
+            }
+            AppToNic::RxConsumed { len, .. } => {
+                w.window_update = proto::hc_rx_consumed(&mut entry.proto, len, self.cfg.mss);
+                if w.window_update {
+                    w.win_ack = Some(crate::proto::TxSeg {
+                        seq: entry.proto.seq,
+                        ack: entry.proto.ack,
+                        buf_pos: 0,
+                        len: 0,
+                        fin: false,
+                        window: proto::advertised_window(&entry.proto),
+                        ts_echo: entry.proto.next_ts,
+                    });
+                }
+            }
+            AppToNic::Close { .. } => {
+                proto::hc_close(&mut entry.proto);
+            }
+            AppToNic::Retransmit { .. } => {
+                proto::hc_retransmit(&mut entry.proto);
+                ctx.stats
+                    .inc(self.counters.expect("proto stage attached").rto_retx);
+            }
+        }
+        w.sendable_after = Some(entry.proto.sendable_with_fin());
+        drop(table);
+        if w.win_ack.is_some() {
+            w.nbi_seq = Some(self.next_nbi);
+            self.next_nbi += 1;
+        }
+        ctx.send(
+            self.post,
+            d + self.cfg.hop_intra(),
+            WorkToken {
+                slot,
+                entry_seq: None,
+            },
+        );
+    }
+}
+
+impl Node for ProtoStage {
+    crate::stages::pool_batched_delivery!();
 
     fn on_attach(&mut self, stats: &mut Stats) {
         self.counters = Some(ProtoCounters {

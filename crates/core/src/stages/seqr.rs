@@ -20,7 +20,7 @@ use flextoe_wire::Frame;
 
 use crate::costs;
 use crate::reorder::Reorder;
-use crate::segment::{RxWork, SharedWorkPool, Work};
+use crate::segment::{RxWork, SharedWorkPool, Work, WorkPool};
 use crate::stages::SharedCfg;
 use flextoe_nfp::FpcTimer;
 
@@ -35,6 +35,10 @@ pub struct SeqrNode {
     admit: Reorder<u32>,
     /// NBI-admission reorderers, one lane per flow group.
     nbi: Vec<Reorder<Frame>>,
+    /// Reused release buffers: the reorderers' in-order fast path appends
+    /// here instead of allocating a fresh `Vec` per delivery.
+    scratch_slots: Vec<u32>,
+    scratch_frames: Vec<Frame>,
     /// Routing.
     pub pre_pool: Vec<NodeId>,
     pre_rr: usize,
@@ -54,6 +58,8 @@ impl SeqrNode {
             pool,
             admit: Reorder::new(),
             nbi: (0..n_groups).map(|_| Reorder::new()).collect(),
+            scratch_slots: Vec::new(),
+            scratch_frames: Vec::new(),
             pre_pool: Vec::new(),
             pre_rr: 0,
             protos: Vec::new(),
@@ -84,9 +90,9 @@ impl SeqrNode {
         );
     }
 
-    fn admit_proto(&mut self, ctx: &mut Ctx<'_>, released: Vec<u32>) {
-        for slot in released {
-            let group = self.pool.borrow().get(slot).group();
+    fn admit_proto(&mut self, ctx: &mut Ctx<'_>, released: &mut Vec<u32>, pool: &WorkPool) {
+        for slot in released.drain(..) {
+            let group = pool.get(slot).group();
             let done = self.fpc.execute(ctx.now(), costs::SEQR);
             let delay = done.saturating_since(ctx.now()) + self.cfg.hop_cross();
             ctx.send(
@@ -100,8 +106,8 @@ impl SeqrNode {
         }
     }
 
-    fn admit_nbi(&mut self, ctx: &mut Ctx<'_>, frames: Vec<Frame>) {
-        for frame in frames {
+    fn admit_nbi(&mut self, ctx: &mut Ctx<'_>, frames: &mut Vec<Frame>) {
+        for frame in frames.drain(..) {
             // an empty frame is an NBI skip: the item died after its slot
             // was allocated (connection teardown mid-pipeline); the slot
             // advanced the reorderer and there is nothing to transmit
@@ -115,13 +121,15 @@ impl SeqrNode {
     }
 }
 
-impl Node for SeqrNode {
-    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+impl SeqrNode {
+    /// One delivery against an already-borrowed work pool ([`Node::on_batch`]
+    /// borrows it once per burst).
+    fn deliver(&mut self, ctx: &mut Ctx<'_>, msg: Msg, pool: &mut WorkPool) {
         match msg {
             // raw ingress frame from the MAC
             Msg::Frame(frame) => {
                 self.rx_frames += 1;
-                let slot = self.pool.borrow_mut().alloc(Work::Rx(RxWork {
+                let slot = pool.alloc(Work::Rx(RxWork {
                     meta: frame.meta,
                     frame: frame.bytes,
                     view: None,
@@ -142,40 +150,50 @@ impl Node for SeqrNode {
                 // work entering from scheduler (TX) or context-queue
                 // stage (HC): no entry sequence yet
                 None => {
-                    if matches!(self.pool.borrow().get(token.slot), Work::Tx(_)) {
+                    if matches!(pool.get(token.slot), Work::Tx(_)) {
                         self.tx_triggers += 1;
                     }
                     self.enter(ctx, token.slot);
                 }
                 // pre-processing finished: admit to protocol in entry order
                 Some(entry_seq) => {
+                    let mut released = std::mem::take(&mut self.scratch_slots);
                     if self.cfg.reorder {
-                        let released = self.admit.push(entry_seq, token.slot);
-                        self.admit_proto(ctx, released);
+                        self.admit.push_into(entry_seq, token.slot, &mut released);
                     } else {
-                        self.admit_proto(ctx, vec![token.slot]);
+                        released.push(token.slot);
                     }
+                    self.admit_proto(ctx, &mut released, pool);
+                    self.scratch_slots = released;
                 }
             },
             // pre-processing dropped/redirected an item
             Msg::Skip(entry_seq) => {
                 if self.cfg.reorder {
-                    let released = self.admit.skip(entry_seq);
-                    self.admit_proto(ctx, released);
+                    let mut released = std::mem::take(&mut self.scratch_slots);
+                    self.admit.skip_into(entry_seq, &mut released);
+                    self.admit_proto(ctx, &mut released, pool);
+                    self.scratch_slots = released;
                 }
             }
             // finished frame for transmission
             Msg::Nbi(sub) => {
+                let mut frames = std::mem::take(&mut self.scratch_frames);
                 if self.cfg.reorder {
-                    let released = self.nbi[sub.group as usize].push(sub.nbi_seq, sub.frame);
-                    self.admit_nbi(ctx, released);
+                    self.nbi[sub.group as usize].push_into(sub.nbi_seq, sub.frame, &mut frames);
                 } else {
-                    self.admit_nbi(ctx, vec![sub.frame]);
+                    frames.push(sub.frame);
                 }
+                self.admit_nbi(ctx, &mut frames);
+                self.scratch_frames = frames;
             }
             m => panic!("seqr: unexpected message {}", m.variant_name()),
         }
     }
+}
+
+impl Node for SeqrNode {
+    crate::stages::pool_batched_delivery!();
 
     fn name(&self) -> String {
         "seqr".to_string()

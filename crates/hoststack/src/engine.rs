@@ -15,13 +15,11 @@
 //! * **cost model** — per-packet cycles on the processing core
 //!   ([`StackCosts`]), which is the application core for in-kernel stacks.
 
-use std::collections::HashMap;
-
 use flextoe_core::hostmem::{shared_buf, AppToNic, SharedBuf};
 use flextoe_core::proto::{self, RxSummary};
 use flextoe_core::ProtoState;
 use flextoe_nfp::{Cost, FpcTimer};
-use flextoe_sim::{try_cast, Ctx, Duration, Msg, Node, NodeId, Tick, Time};
+use flextoe_sim::{try_cast, Ctx, Duration, FxHashMap, Msg, Node, NodeId, Tick, Time};
 use flextoe_wire::{
     Ecn, FourTuple, Frame, Ip4, MacAddr, SegmentSpec, SegmentView, SeqNum, TcpFlags, TcpOptions,
     MSS_WITH_TS,
@@ -106,11 +104,11 @@ pub struct HostStackNode {
     /// Extra fixed latency per packet (Chelsio's ASIC pipeline).
     nic_latency: Duration,
     conns: Vec<Option<HostConn>>,
-    lookup: HashMap<FourTuple, u32>,
-    listeners: HashMap<u16, Listener>,
-    active: HashMap<FourTuple, PendingActive>,
-    passive: HashMap<FourTuple, PendingPassive>,
-    arp: HashMap<Ip4, MacAddr>,
+    lookup: FxHashMap<FourTuple, u32>,
+    listeners: FxHashMap<u16, Listener>,
+    active: FxHashMap<FourTuple, PendingActive>,
+    passive: FxHashMap<FourTuple, PendingPassive>,
+    arp: FxHashMap<Ip4, MacAddr>,
     next_port: u16,
     rto_armed: bool,
     /// Lock-contention multiplier (set by multi-core experiments).
@@ -158,11 +156,11 @@ impl HostStackNode {
             core: FpcTimer::new(clock, threads),
             nic_latency,
             conns: Vec::new(),
-            lookup: HashMap::new(),
-            listeners: HashMap::new(),
-            active: HashMap::new(),
-            passive: HashMap::new(),
-            arp: HashMap::new(),
+            lookup: FxHashMap::default(),
+            listeners: FxHashMap::default(),
+            active: FxHashMap::default(),
+            passive: FxHashMap::default(),
+            arp: FxHashMap::default(),
             next_port: 42_000,
             rto_armed: false,
             n_app_cores: 1,
@@ -782,8 +780,8 @@ impl HostStackNode {
     }
 }
 
-impl Node for HostStackNode {
-    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+impl HostStackNode {
+    fn deliver(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
         // hot paths first: typed variants match without the repack boxes
         // the legacy try_cast chain below would pay
         let msg = match msg {
@@ -864,6 +862,16 @@ impl Node for HostStackNode {
         let p = flextoe_sim::cast::<PumpTx>(msg);
         self.pump_tx(ctx, p.conn);
     }
+}
+
+impl Node for HostStackNode {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        self.deliver(ctx, msg);
+    }
+
+    // Trains of line-rate ingress frames coalesce through the default
+    // `on_batch` loop (one node checkout, one Ctx); the per-frame demux
+    // state is per-connection, so there is nothing to hoist per burst.
 
     fn name(&self) -> String {
         format!("hoststack-{}", self.kind.name())

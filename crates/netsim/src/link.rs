@@ -6,7 +6,7 @@
 //! packet losses in the network by randomly dropping packets … with a
 //! fixed probability" — that is this node.
 
-use flextoe_sim::{CounterHandle, Ctx, Duration, Msg, Node, NodeId, Stats};
+use flextoe_sim::{CounterHandle, Ctx, Duration, Msg, MsgBurst, Node, NodeId, Stats};
 
 #[derive(Clone, Copy, Debug)]
 pub struct Faults {
@@ -71,6 +71,16 @@ impl Link {
             ..Link::new(to, propagation)
         }
     }
+
+    /// No fault model active: forwarding is a pure delay (and, because
+    /// `Rng::chance(0.0)` never draws, skipping the fault checks leaves
+    /// the deterministic random stream untouched).
+    #[inline]
+    fn faults_inert(&self) -> bool {
+        self.faults.drop_chance <= 0.0
+            && self.faults.corrupt_chance <= 0.0
+            && self.faults.size_limit.is_none()
+    }
 }
 
 impl Node for Link {
@@ -113,6 +123,20 @@ impl Node for Link {
         }
         self.forwarded += 1;
         ctx.send(self.to, self.propagation, frame);
+    }
+
+    fn on_batch(&mut self, ctx: &mut Ctx<'_>, burst: &mut MsgBurst) {
+        while let Some(msg) = burst.next(ctx) {
+            match msg {
+                // healthy-link fast path: skip the per-frame fault checks
+                // (re-checked per message — SetFaults can arrive mid-burst)
+                Msg::Frame(frame) if self.faults_inert() => {
+                    self.forwarded += 1;
+                    ctx.send(self.to, self.propagation, frame);
+                }
+                m => self.on_msg(ctx, m),
+            }
+        }
     }
 
     fn on_attach(&mut self, stats: &mut Stats) {

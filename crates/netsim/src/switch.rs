@@ -16,9 +16,9 @@
 //! xoshiro seed ([`Switch::set_ecmp_salt`]), keeping path selection — and
 //! therefore every delivery log — byte-identical across reruns of a seed.
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
-use flextoe_sim::{CounterHandle, Ctx, Duration, Msg, Node, NodeId, Stats};
+use flextoe_sim::{CounterHandle, Ctx, Duration, FxHashMap, Msg, MsgBurst, Node, NodeId, Stats};
 use flextoe_wire::{
     ecmp_basis, ecmp_hash_with_basis, Ecn, Frame, FrameMeta, Ip4, Ipv4Packet, MacAddr, ETH_HDR_LEN,
 };
@@ -97,10 +97,10 @@ impl Port {
 
 pub struct Switch {
     ports: Vec<Port>,
-    mac_table: HashMap<MacAddr, usize>,
+    mac_table: FxHashMap<MacAddr, usize>,
     /// L3 routes: destination IP → equal-cost candidate ports (consulted
     /// on MAC-table miss; fabrics route remote hosts by IP).
-    routes: HashMap<Ip4, Vec<usize>>,
+    routes: FxHashMap<Ip4, Vec<usize>>,
     /// Per-switch ECMP hash salt (derived from the sim seed by topology
     /// builders).
     ecmp_salt: u64,
@@ -127,8 +127,8 @@ impl Switch {
     pub fn new() -> Switch {
         Switch {
             ports: Vec::new(),
-            mac_table: HashMap::new(),
-            routes: HashMap::new(),
+            mac_table: FxHashMap::default(),
+            routes: FxHashMap::default(),
             ecmp_salt: 0,
             latency: Duration::from_ns(500),
             flooded: 0,
@@ -244,10 +244,15 @@ impl Switch {
         ctx.wake(d, port as u64);
     }
 
-    fn enqueue(&mut self, ctx: &mut Ctx<'_>, port: usize, mut frame: Frame) {
+    fn enqueue(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        port: usize,
+        mut frame: Frame,
+        counters: SwitchCounters,
+    ) {
         let p = &mut self.ports[port];
         let len = frame.len();
-        let counters = self.counters.expect("switch attached to a sim");
 
         // tail drop at capacity — the buffer goes back to the sim pool
         if p.queue_bytes + len > p.cfg.buf_bytes {
@@ -332,8 +337,10 @@ fn mark_ce_raw(frame: &mut [u8]) -> bool {
     }
 }
 
-impl Node for Switch {
-    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+impl Switch {
+    /// One delivery with the stat handles already resolved
+    /// ([`Node::on_batch`] hoists the lookup out of the loop).
+    fn deliver(&mut self, ctx: &mut Ctx<'_>, msg: Msg, counters: SwitchCounters) {
         let frame = match msg {
             Msg::Token(port) => {
                 self.ports[port as usize].transmitting = false;
@@ -355,22 +362,34 @@ impl Node for Switch {
                 // the wire instead: enqueue now, the egress serialization
                 // dominates. (The 500ns forwarding latency is added by the
                 // adjacent links in topology builders.)
-                self.enqueue(ctx, port, frame);
+                self.enqueue(ctx, port, frame, counters);
             }
             None => match self.route_port(&frame) {
                 Some(port) => {
                     self.routed += 1;
-                    let c = self.counters.expect("switch attached to a sim");
-                    ctx.stats.inc(c.routed);
-                    self.enqueue(ctx, port, frame);
+                    ctx.stats.inc(counters.routed);
+                    self.enqueue(ctx, port, frame, counters);
                 }
                 None => {
                     self.flooded += 1;
-                    let c = self.counters.expect("switch attached to a sim");
-                    ctx.stats.inc(c.flooded);
+                    ctx.stats.inc(counters.flooded);
                     ctx.pool.put(frame.into_bytes());
                 }
             },
+        }
+    }
+}
+
+impl Node for Switch {
+    fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+        let counters = self.counters.expect("switch attached to a sim");
+        self.deliver(ctx, msg, counters);
+    }
+
+    fn on_batch(&mut self, ctx: &mut Ctx<'_>, burst: &mut MsgBurst) {
+        let counters = self.counters.expect("switch attached to a sim");
+        while let Some(msg) = burst.next(ctx) {
+            self.deliver(ctx, msg, counters);
         }
     }
 

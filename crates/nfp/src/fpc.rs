@@ -85,8 +85,17 @@ impl FpcTimer {
     /// With `threads == 1` the item also blocks the core during its memory
     /// wait (no latency hiding) — the Table 3 "pipelining only" config.
     pub fn execute(&mut self, now: Time, cost: Cost) -> Time {
-        // Retire completed items.
-        self.inflight.retain(|&t| t > now);
+        // Retire completed items: reverse swap_remove scan — no element
+        // shifting, and the slot swapped in from the tail was already
+        // examined. (The list is a multiset of completion times; order
+        // never matters.)
+        let mut i = self.inflight.len();
+        while i > 0 {
+            i -= 1;
+            if self.inflight[i] <= now {
+                self.inflight.swap_remove(i);
+            }
+        }
 
         // Wait for a hardware thread.
         let thread_free = if self.inflight.len() < self.threads {

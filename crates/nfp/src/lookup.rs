@@ -8,8 +8,7 @@
 //! up to 128 lookup entries in its local memory via a direct-mapped cache
 //! on the hash value."
 
-use std::collections::HashMap;
-
+use flextoe_sim::FxHashMap;
 use flextoe_wire::FourTuple;
 
 use crate::cam::DirectMapped;
@@ -20,7 +19,7 @@ use crate::params::Platform;
 /// (A `Rc<RefCell<ConnDb>>` in practice; the control plane inserts and
 /// removes entries, pre-processors look up.)
 pub struct ConnDb {
-    table: HashMap<FourTuple, u32>,
+    table: FxHashMap<FourTuple, u32>,
     imem_cycles: u64,
     pub lookups: u64,
 }
@@ -28,7 +27,7 @@ pub struct ConnDb {
 impl ConnDb {
     pub fn new(p: &Platform) -> ConnDb {
         ConnDb {
-            table: HashMap::new(),
+            table: FxHashMap::default(),
             imem_cycles: p.mem.imem,
             lookups: 0,
         }
@@ -70,7 +69,7 @@ impl ConnDb {
 /// A pre-processor's private 128-entry direct-mapped lookup cache.
 pub struct LookupCache {
     cache: DirectMapped<FourTuple>,
-    cached: HashMap<FourTuple, u32>,
+    cached: FxHashMap<FourTuple, u32>,
     local_cycles: u64,
 }
 
@@ -78,7 +77,7 @@ impl LookupCache {
     pub fn new(p: &Platform) -> LookupCache {
         LookupCache {
             cache: DirectMapped::new(128),
-            cached: HashMap::new(),
+            cached: FxHashMap::default(),
             local_cycles: p.mem.local,
         }
     }

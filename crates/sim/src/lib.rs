@@ -29,6 +29,7 @@
 //! ```
 
 pub mod engine;
+pub mod fxhash;
 pub mod hist;
 pub mod pool;
 pub mod queue;
@@ -38,9 +39,11 @@ pub mod time;
 pub mod wheel;
 
 pub use engine::{
-    cast, try_cast, Ctx, Doorbell, FreeDesc, FsUpdate, IntoMsg, MacTx, Msg, NbiFrame, Node, NodeId,
-    QueueKind, ReportBatchToken, Sim, Tick, WorkToken, XferDone, XferReq,
+    cast, try_cast, Ctx, Doorbell, FreeDesc, FsUpdate, IntoMsg, MacTx, Msg, MsgBurst, NbiFrame,
+    Node, NodeId, QueueKind, ReportBatchToken, Sim, Tick, WorkToken, XferDone, XferReq,
+    MSG_KIND_NAMES, N_MSG_KINDS,
 };
+pub use fxhash::{FxBuildHasher, FxHashMap, FxHashSet};
 pub use hist::Histogram;
 pub use pool::PktBufPool;
 pub use queue::BoundedQueue;

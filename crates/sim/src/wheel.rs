@@ -27,13 +27,27 @@
 //! Because a bucket spans `W` picoseconds, its events are staged into a
 //! sorted `ready` run when the cursor reaches it (an O(1) buffer swap; the
 //! 4 ns bucket width makes multi-event buckets rare, so the sort usually
-//! short-circuits). A handler that schedules new work due inside the
-//! *current* bucket (zero-delay wakes) inserts into the staged run at its
-//! sorted position, preserving the contract.
+//! short-circuits).
+//!
+//! # Same-slot direct drain
+//!
+//! A handler that schedules new work due inside the *current* bucket — a
+//! zero-delay hop, a doorbell, an `FsUpdate`, a same-cycle stage handoff —
+//! takes the **hot deque** instead of the wheel proper: no bucket hashing,
+//! no occupancy-bitmap update, no staging sort. Because such sends carry
+//! strictly increasing enqueue sequence numbers and are issued while the
+//! drain clock advances monotonically, appending to the deque keeps it
+//! `(time, seq)`-sorted in the common case (an O(1) `push_back`); the rare
+//! in-bucket send with an earlier target time inserts at its sorted
+//! position. Popping merges the deque with the staged `ready` run by
+//! comparing fronts — two sorted runs, so the merge preserves the exact
+//! global `(time, seq)` order. The deque is always empty by the time the
+//! cursor advances past its bucket, so hot events can never be overtaken
+//! by later buckets or the overflow heap.
 
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
-use crate::engine::{Ev, Msg};
+use crate::engine::{Ev, Msg, NodeId};
 use crate::time::Time;
 
 /// log2 of the bucket width in picoseconds (4096 ps ≈ 4 ns).
@@ -70,6 +84,11 @@ pub(crate) struct EventWheel {
     /// next undelivered index.
     ready: Vec<Ev>,
     ready_pos: usize,
+    /// Same-slot direct-drain lane: events pushed into bucket `cursor`
+    /// *while it is being drained*, kept `(time, seq)`-sorted (append-only
+    /// in the common zero-delay case). Merged with `ready` on pop; always
+    /// empty when the cursor moves on.
+    hot: VecDeque<Ev>,
     /// Far-future events (time >= base + SPAN). `Ev`'s reversed `Ord`
     /// makes this max-heap pop earliest-first.
     overflow: BinaryHeap<Ev>,
@@ -86,6 +105,7 @@ impl EventWheel {
             ready_active: false,
             ready: Vec::new(),
             ready_pos: 0,
+            hot: VecDeque::new(),
             overflow: BinaryHeap::new(),
             len: 0,
         }
@@ -121,12 +141,17 @@ impl EventWheel {
         }
         let idx = self.bucket_of(t);
         if idx == self.cursor && self.ready_active {
-            // the cursor bucket is already staged: merge at sorted position.
-            // The new event carries the largest enqueue seq, so it goes
-            // after every staged event with time <= t.
-            let pos =
-                self.ready_pos + self.ready[self.ready_pos..].partition_point(|e| e.time.ps() <= t);
-            self.ready.insert(pos, ev);
+            // same-slot direct drain: the cursor bucket is already staged,
+            // so the event joins the hot deque instead of the wheel. The
+            // new event carries the largest enqueue seq, so it orders
+            // after every queued event with time <= t; zero-delay sends
+            // (time == the advancing drain clock) therefore append.
+            if self.hot.back().is_none_or(|b| b.time.ps() <= t) {
+                self.hot.push_back(ev);
+            } else {
+                let pos = self.hot.partition_point(|e| e.time.ps() <= t);
+                self.hot.insert(pos, ev);
+            }
         } else {
             self.buckets[idx].push(ev);
             self.mark(idx);
@@ -152,11 +177,22 @@ impl EventWheel {
         }
     }
 
-    /// Make `ready[ready_pos]` the globally earliest event (staging /
-    /// rotating as needed). Returns false iff the queue is empty.
+    /// Make the staged front (`ready[ready_pos]` merged with the hot
+    /// deque) the globally earliest event (staging / rotating as needed).
+    /// Returns false iff the queue is empty. Split so the staged-run hit —
+    /// the per-pop common case — inlines into the engine's step loop.
+    #[inline(always)]
     fn ensure_front(&mut self) -> bool {
+        if self.ready_pos < self.ready.len() || !self.hot.is_empty() {
+            return true;
+        }
+        self.ensure_front_slow()
+    }
+
+    /// Stage the next bucket / rotate the window (out-of-line).
+    fn ensure_front_slow(&mut self) -> bool {
         loop {
-            if self.ready_pos < self.ready.len() {
+            if self.ready_pos < self.ready.len() || !self.hot.is_empty() {
                 return true;
             }
             if self.len == 0 {
@@ -198,22 +234,87 @@ impl EventWheel {
         }
     }
 
+    /// After `ensure_front`: does the hot deque hold the earliest event?
+    /// Both runs are `(time, seq)`-sorted, so comparing fronts suffices.
     #[inline]
+    fn hot_first(&self) -> bool {
+        match (self.ready.get(self.ready_pos), self.hot.front()) {
+            (Some(r), Some(h)) => (h.time, h.seq) < (r.time, r.seq),
+            (None, _) => true,
+            (_, None) => false,
+        }
+    }
+
+    /// Remove and return the front event. Caller must have established it
+    /// exists via `ensure_front`. The hot deque is empty in the vastly
+    /// common case, so that test guards the merge logic.
+    #[inline(always)]
+    fn take_front(&mut self) -> Ev {
+        self.len -= 1;
+        if !self.hot.is_empty() && self.hot_first() {
+            self.hot.pop_front().expect("hot_first implies non-empty")
+        } else {
+            let pos = self.ready_pos;
+            self.ready_pos += 1;
+            std::mem::replace(&mut self.ready[pos], dummy_ev())
+        }
+    }
+
+    #[inline(always)]
     pub(crate) fn pop(&mut self) -> Option<Ev> {
         if !self.ensure_front() {
             return None;
         }
+        Some(self.take_front())
+    }
+
+    /// Pop the front event only if it is addressed to `to` (and due no
+    /// later than `limit`, when given) — the engine's burst-continuation
+    /// probe. Deliberately looks only at the *staged* runs (the `ready`
+    /// remainder and the hot deque): when both are exhausted it declines
+    /// rather than rotating the window, so a failed probe — the common
+    /// case — costs a bounds check and a compare, and never disturbs the
+    /// wheel. Declining to coalesce is always order-safe; the next `pop`
+    /// does the staging work instead.
+    #[inline(always)]
+    pub(crate) fn pop_front_if(&mut self, to: NodeId, limit: Option<Time>) -> Option<Ev> {
+        let hot_first = !self.hot.is_empty() && self.hot_first();
+        let front = if hot_first {
+            // hot events live in the cursor bucket, which precedes every
+            // unstaged bucket and the overflow heap: with `ready`
+            // exhausted the hot front is still the global front
+            self.hot.front().expect("checked non-empty")
+        } else {
+            self.ready.get(self.ready_pos)?
+        };
+        if front.to != to || limit.is_some_and(|l| front.time > l) {
+            return None;
+        }
         self.len -= 1;
-        let pos = self.ready_pos;
-        self.ready_pos += 1;
-        Some(std::mem::replace(&mut self.ready[pos], dummy_ev()))
+        Some(if hot_first {
+            self.hot.pop_front().expect("checked non-empty")
+        } else {
+            let pos = self.ready_pos;
+            self.ready_pos += 1;
+            std::mem::replace(&mut self.ready[pos], dummy_ev())
+        })
     }
 
     /// Earliest queued timestamp without mutating the wheel (public
     /// `next_event_time` API; the hot path uses `ensure_front`).
     pub(crate) fn next_time(&self) -> Option<Time> {
-        if let Some(front) = self.ready.get(self.ready_pos) {
-            return Some(front.time);
+        let staged = match (self.ready.get(self.ready_pos), self.hot.front()) {
+            (Some(r), Some(h)) => Some(if (h.time, h.seq) < (r.time, r.seq) {
+                h.time
+            } else {
+                r.time
+            }),
+            (Some(r), None) => Some(r.time),
+            (None, Some(h)) => Some(h.time),
+            (None, None) => None,
+        };
+        if staged.is_some() {
+            return staged;
         }
         let from = if self.ready_active {
             self.cursor + 1
@@ -325,9 +426,64 @@ mod tests {
         wheel.push(ev(120, 1));
         assert_eq!(wheel.pop().map(|e| e.seq), Some(0));
         // bucket 0 is staged now; a zero-delay follow-up at t=100 must
-        // still come before the t=120 event
+        // still come before the t=120 event (hot-deque direct drain)
         wheel.push(ev(100, 2));
         assert_eq!(wheel.pop().map(|e| (e.time.ps(), e.seq)), Some((100, 2)));
         assert_eq!(wheel.pop().map(|e| (e.time.ps(), e.seq)), Some((120, 1)));
+    }
+
+    /// The hot deque merges with the staged run in exact `(time, seq)`
+    /// order, including the rare out-of-time-order same-slot insert.
+    #[test]
+    fn hot_deque_merges_with_staged_run() {
+        let mut wheel = EventWheel::new();
+        for (t, q) in [(100u64, 0u64), (200, 1), (300, 2)] {
+            wheel.push(ev(t, q));
+        }
+        assert_eq!(wheel.pop().map(|e| e.seq), Some(0));
+        // same-slot sends while draining: monotone appends...
+        wheel.push(ev(150, 3));
+        wheel.push(ev(250, 4));
+        // ...and one earlier-time insert that must sort into the deque
+        wheel.push(ev(120, 5));
+        let order: Vec<(u64, u64)> =
+            std::iter::from_fn(|| wheel.pop().map(|e| (e.time.ps(), e.seq))).collect();
+        assert_eq!(
+            order,
+            vec![(120, 5), (150, 3), (200, 1), (250, 4), (300, 2)]
+        );
+        assert_eq!(wheel.len(), 0);
+    }
+
+    /// `pop_front_if` only surfaces staged-front events for the right
+    /// node, never rotates the window, and honors the deadline limit.
+    #[test]
+    fn pop_front_if_is_a_safe_probe() {
+        let mut wheel = EventWheel::new();
+        let mk = |t: u64, seq: u64, to: usize| Ev {
+            time: Time(t),
+            seq,
+            to,
+            msg: Msg::Tick,
+        };
+        wheel.push(mk(100, 0, 1));
+        wheel.push(mk(110, 1, 2));
+        // nothing staged yet: the probe declines rather than staging
+        assert!(wheel.pop_front_if(1, None).is_none());
+        assert_eq!(wheel.pop().map(|e| e.seq), Some(0));
+        // staged front is for node 2: probe for node 1 fails, node 2 hits
+        assert!(wheel.pop_front_if(1, None).is_none());
+        // deadline below the front time declines too
+        assert!(wheel.pop_front_if(2, Some(Time(105))).is_none());
+        assert_eq!(
+            wheel.pop_front_if(2, Some(Time(110))).map(|e| e.seq),
+            Some(1)
+        );
+        assert_eq!(wheel.len(), 0);
+        // hot-deque front is probe-visible after the staged run empties
+        wheel.push(mk(100, 2, 7));
+        assert_eq!(wheel.pop().map(|e| e.seq), Some(2));
+        wheel.push(mk(100, 3, 7));
+        assert_eq!(wheel.pop_front_if(7, None).map(|e| e.seq), Some(3));
     }
 }

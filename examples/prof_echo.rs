@@ -62,4 +62,26 @@ fn main() {
             ns as f64 / total_ns as f64 * 100.0
         );
     }
+    println!("\n{:<12} {:>10} {:>6}", "msg kind", "events", "%");
+    for (kind, n) in sim.prof_kind_dump() {
+        println!(
+            "{:<12} {:>10} {:>5.1}%",
+            kind,
+            n,
+            n as f64 / ev as f64 * 100.0
+        );
+    }
+    let bursts: u64 = sim.prof_burst_hist().iter().map(|&(_, n)| n).sum();
+    println!(
+        "\n{:<12} {:>10} {:>6}   ({bursts} bursts)",
+        "burst len", "count", "%"
+    );
+    for (len, n) in sim.prof_burst_hist() {
+        println!(
+            "{:<12} {:>10} {:>5.1}%",
+            len,
+            n,
+            n as f64 / bursts as f64 * 100.0
+        );
+    }
 }
