@@ -8,6 +8,7 @@
 pub mod kv;
 pub mod openloop;
 pub mod rpc;
+pub mod session;
 pub mod stack;
 
 pub use kv::{KvServerApp, KvServerConfig, MemtierApp, MemtierConfig, KV_APP_CYCLES};
@@ -16,4 +17,5 @@ pub use openloop::{
     FRAME_HDR,
 };
 pub use rpc::{ClientConfig, LoadMode, RpcClientApp, RpcServerApp, ServerConfig, StackInit};
+pub use session::{SessionClientApp, SessionConfig};
 pub use stack::{FlexToeStack, SockEvent, StackApi, StackOp};

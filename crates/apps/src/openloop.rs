@@ -143,6 +143,8 @@ pub struct FramedServerApp<S: StackApi> {
     pub bytes_out: u64,
     /// Requests whose header failed the magic check (0 on a healthy run).
     pub bad_frames: u64,
+    /// Connections the control plane aborted under us (RTO give-up).
+    pub aborted: u64,
 }
 
 impl<S: StackApi + 'static> FramedServerApp<S> {
@@ -158,6 +160,7 @@ impl<S: StackApi + 'static> FramedServerApp<S> {
             bytes_in: 0,
             bytes_out: 0,
             bad_frames: 0,
+            aborted: 0,
         }
     }
 
@@ -192,6 +195,12 @@ impl<S: StackApi + 'static> FramedServerApp<S> {
                     if let Some(stack) = self.stack.as_mut() {
                         stack.close(ctx, conn);
                     }
+                    self.conns.remove(&conn);
+                }
+                SockEvent::Aborted { conn } => {
+                    // control plane already tore the flow down; just drop
+                    // the framing state (no FIN to send on a dead conn)
+                    self.aborted += 1;
                     self.conns.remove(&conn);
                 }
                 _ => {}
@@ -384,6 +393,9 @@ pub struct OpenLoopClientApp<S: StackApi> {
     pub issued: u64,
     /// Requests written off because their connection died.
     pub dead_requests: u64,
+    /// Connections the control plane aborted (RTO give-up on a blackholed
+    /// path); their unanswered requests land in `dead_requests`.
+    pub aborted_conns: u64,
     pub completed: u64,
     pub measured: u64,
     pub bytes_out: u64,
@@ -409,6 +421,7 @@ impl<S: StackApi + 'static> OpenLoopClientApp<S> {
             latency: Histogram::new(),
             issued: 0,
             dead_requests: 0,
+            aborted_conns: 0,
             completed: 0,
             measured: 0,
             bytes_out: 0,
@@ -559,6 +572,19 @@ impl<S: StackApi + 'static> OpenLoopClientApp<S> {
         }
     }
 
+    /// Remove a dead connection from the rotation and write off its
+    /// unanswered requests (counted in `dead_requests`).
+    fn write_off(&mut self, conn: u32) {
+        if let Some(&slot) = self.by_id.get(&conn) {
+            let st = &mut self.conns[slot];
+            st.alive = false;
+            st.tx.clear();
+            self.dead_requests += st.outstanding.len() as u64;
+            st.outstanding.clear();
+            st.rx_pending = 0;
+        }
+    }
+
     fn handle_events(&mut self, ctx: &mut Ctx<'_>, events: Vec<SockEvent>) {
         for ev in events {
             match ev {
@@ -592,16 +618,17 @@ impl<S: StackApi + 'static> OpenLoopClientApp<S> {
                     // the peer closed (or reset) this connection: take it
                     // out of the rotation and write off its unanswered
                     // requests so in-flight accounting doesn't inflate
-                    if let Some(&slot) = self.by_id.get(&conn) {
-                        let st = &mut self.conns[slot];
-                        st.alive = false;
-                        st.tx.clear();
-                        self.dead_requests += st.outstanding.len() as u64;
-                        st.outstanding.clear();
-                    }
+                    self.write_off(conn);
                     if let Some(stack) = self.stack.as_mut() {
                         stack.close(ctx, conn);
                     }
+                }
+                SockEvent::Aborted { conn } => {
+                    // control plane gave up on the flow (RTO budget spent):
+                    // same write-off, but no close — the flow is already
+                    // torn down NIC-side
+                    self.aborted_conns += 1;
+                    self.write_off(conn);
                 }
                 SockEvent::Accepted { .. } => {}
             }

@@ -443,7 +443,7 @@ impl<S: StackApi + 'static> RpcClientApp<S> {
                         self.drain_tx(ctx, slot);
                     }
                 }
-                SockEvent::Eof { .. } | SockEvent::Accepted { .. } => {}
+                SockEvent::Eof { .. } | SockEvent::Aborted { .. } | SockEvent::Accepted { .. } => {}
             }
         }
     }

@@ -8,6 +8,7 @@ pub mod cc;
 pub mod cli;
 pub mod enginebench;
 pub mod exp;
+pub mod faults;
 pub mod harness;
 pub mod par;
 pub mod scale;

@@ -10,7 +10,7 @@
 //! ```
 
 use flextoe_bench::cli::RunOpts;
-use flextoe_bench::{cc, exp, scale};
+use flextoe_bench::{cc, exp, faults, scale};
 
 /// An experiment entry point: the paper reproductions are parameterless;
 /// the scenario experiments take the shared `--seed/--out/--smoke` opts.
@@ -26,7 +26,7 @@ fn main() {
     // the perf snapshot and the scale sweep only run on explicit request,
     // not under `all`; `cc` stays in `all` (it reproduces the §D
     // congestion-control evaluation)
-    let explicit_only = ["bench-pipeline", "scale"];
+    let explicit_only = ["bench-pipeline", "scale", "faults"];
     let want = |name: &str| {
         if explicit_only.contains(&name) {
             return names.iter().any(|a| a == name);
@@ -54,6 +54,7 @@ fn main() {
         ("ablate-reorder", Plain(exp::ablate_reorder)),
         ("cc", WithOpts(cc::cc)),
         ("scale", WithOpts(scale::scale)),
+        ("faults", WithOpts(faults::faults)),
         ("bench-pipeline", WithOpts(exp::bench_pipeline)),
     ];
 

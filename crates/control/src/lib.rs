@@ -29,7 +29,7 @@ pub mod rto;
 use flextoe_ccp::{FlowReport, FoldSpec, Insn};
 use flextoe_core::hostmem::{shared_buf, AppToNic, SharedBuf, SharedCtxQueue};
 use flextoe_core::segment::ConnEntry;
-use flextoe_core::stages::{Doorbell, Redirect, RegisterCtx, SchedCtl};
+use flextoe_core::stages::{Doorbell, NotifyJob, Redirect, RegisterCtx, SchedCtl};
 use flextoe_core::{NicHandle, PostState, PreState, ProtoState};
 use flextoe_nfp::MacTx;
 use flextoe_sim::{
@@ -41,7 +41,7 @@ use flextoe_wire::{
 };
 
 use cc::{rate_to_interval, Algorithm, FlowStats, Registry, Urgent};
-use rto::RtoTracker;
+use rto::{RtoTracker, RtoVerdict};
 
 /// The control plane's own context-queue id (for HC injections).
 pub const CTRL_CTX: u16 = u16::MAX;
@@ -101,9 +101,19 @@ pub struct CtrlConfig {
     /// or a custom program compiled to eBPF.
     pub fold: FoldSpec,
     pub min_rto: Duration,
-    /// SYN retransmission interval and attempt limit.
+    /// Base SYN retransmission interval. Retries back off exponentially
+    /// (base ≪ attempt-1, capped at 32×) with ±25% jitter drawn from the
+    /// simulation's seeded generator — deterministic per seed, but
+    /// reconnection storms don't phase-lock.
     pub syn_retry: Duration,
+    /// Total SYN attempts before the connect aborts with
+    /// [`AppReply::ConnectFailed`].
     pub syn_attempts: u32,
+    /// Consecutive no-progress RTO firings before an established
+    /// connection is aborted (RST + teardown + a typed
+    /// `NicToApp::Aborted` to the app) instead of retrying forever.
+    /// `None` restores the legacy retry-forever behavior.
+    pub rto_give_up: Option<u32>,
 }
 
 impl Default for CtrlConfig {
@@ -116,6 +126,7 @@ impl Default for CtrlConfig {
             min_rto: Duration::from_ms(1),
             syn_retry: Duration::from_ms(5),
             syn_attempts: 4,
+            rto_give_up: Some(8),
         }
     }
 }
@@ -216,6 +227,8 @@ pub struct ControlPlane {
     cc_armed: bool,
     pub established: u64,
     pub resets_sent: u64,
+    /// Established connections aborted after the RTO give-up threshold.
+    pub aborts: u64,
     pub redirected_frames: u64,
     /// Report batches processed / flow reports consumed (diagnostics).
     pub report_batches: u64,
@@ -234,6 +247,8 @@ impl ControlPlane {
             ccp.set_cfg(mcfg);
         }
         let compiled_fold = cfg.fold.compile_for_install();
+        let mut rto = RtoTracker::new(min_rto);
+        rto.give_up_after = cfg.rto_give_up;
         ControlPlane {
             counters: None,
             cfg,
@@ -246,12 +261,13 @@ impl ControlPlane {
             cc: Vec::new(),
             registry: Registry::builtin(),
             compiled_fold,
-            rto: RtoTracker::new(min_rto),
+            rto,
             kernel_q: flextoe_core::hostmem::shared_ctxq(1024),
             registered_kernel_q: false,
             cc_armed: false,
             established: 0,
             resets_sent: 0,
+            aborts: 0,
             redirected_frames: 0,
             report_batches: 0,
             flow_reports: 0,
@@ -344,6 +360,16 @@ impl ControlPlane {
         ctx.rng.next_u32()
     }
 
+    /// Jittered exponential backoff before SYN attempt `attempts + 1`:
+    /// base · 2^(attempts−1), shift capped at 5 (32× base), ±25% jitter
+    /// from the seeded generator. Deterministic per seed; the jitter
+    /// keeps a reconnection storm's retries from phase-locking.
+    fn syn_backoff(&self, ctx: &mut Ctx<'_>, attempts: u32) -> Duration {
+        let base = self.cfg.syn_retry.as_ns().max(1);
+        let d = base.saturating_mul(1u64 << attempts.saturating_sub(1).min(5));
+        Duration::from_ns(ctx.rng.range(d - d / 4, d + d / 4))
+    }
+
     // ---- handshake ---------------------------------------------------------
 
     #[allow(clippy::too_many_arguments)]
@@ -367,7 +393,8 @@ impl ControlPlane {
         let mut spec = self.handshake_spec(dst_mac, remote_ip, local_port, remote_port);
         spec.seq = SeqNum(iss);
         spec.flags = TcpFlags::SYN;
-        let frame = spec.emit_zeroed();
+        let mut frame = ctx.pool.take();
+        spec.emit_zeroed_into(&mut frame);
         self.send_frame(ctx, frame);
         // key: the SYN-ACK we expect (src = peer)
         let key = FourTuple::new(remote_ip, remote_port, self.local_ip(), local_port);
@@ -385,7 +412,8 @@ impl ControlPlane {
                 attempts: 1,
             },
         );
-        ctx.wake(self.cfg.syn_retry, SynRetry { key });
+        let delay = self.syn_backoff(ctx, 1);
+        ctx.wake(delay, SynRetry { key });
     }
 
     fn retry_syn(&mut self, ctx: &mut Ctx<'_>, key: FourTuple) {
@@ -406,15 +434,18 @@ impl ControlPlane {
             return;
         }
         let p = &self.active[&key];
+        let attempts = p.attempts;
         let Some(&dst_mac) = self.arp.get(&p.remote_ip) else {
             return;
         };
         let mut spec = self.handshake_spec(dst_mac, p.remote_ip, p.local_port, p.remote_port);
         spec.seq = SeqNum(p.iss);
         spec.flags = TcpFlags::SYN;
-        let frame = spec.emit_zeroed();
+        let mut frame = ctx.pool.take();
+        spec.emit_zeroed_into(&mut frame);
         self.send_frame(ctx, frame);
-        ctx.wake(self.cfg.syn_retry, SynRetry { key });
+        let delay = self.syn_backoff(ctx, attempts);
+        ctx.wake(delay, SynRetry { key });
     }
 
     /// Install an established connection into the data path (§D).
@@ -503,13 +534,19 @@ impl ControlPlane {
         spec.seq = view.ack;
         spec.ack = view.seq_end();
         spec.flags = TcpFlags::RST | TcpFlags::ACK;
-        let frame = spec.emit_zeroed();
+        let mut frame = ctx.pool.take();
+        spec.emit_zeroed_into(&mut frame);
         self.send_frame(ctx, frame);
     }
 
+    /// Slow-path frame handling. The frame buffer is pooled: every path
+    /// that consumes the frame here returns it to the pool, and the two
+    /// replay paths hand it back to the NIC (which recycles it after RX
+    /// processing) — the conservation invariant the chaos suite audits.
     fn on_redirect(&mut self, ctx: &mut Ctx<'_>, frame: Vec<u8>) {
         self.redirected_frames += 1;
         let Ok(view) = SegmentView::parse(&frame, true) else {
+            ctx.pool.put(frame);
             return;
         };
         let tuple = view.four_tuple();
@@ -529,6 +566,7 @@ impl ControlPlane {
             if let Some(conn) = conn {
                 self.teardown_now(ctx, conn);
             }
+            ctx.pool.put(frame);
             return;
         }
 
@@ -536,6 +574,7 @@ impl ControlPlane {
             // passive open
             if !self.listeners.contains_key(&view.dst_port) {
                 self.send_rst(ctx, &view);
+                ctx.pool.put(frame);
                 return;
             }
             let iss = self.iss(ctx);
@@ -551,8 +590,10 @@ impl ControlPlane {
             spec.seq = SeqNum(iss);
             spec.ack = view.seq + 1;
             spec.flags = TcpFlags::SYN | TcpFlags::ACK;
-            let frame = spec.emit_zeroed();
-            self.send_frame(ctx, frame);
+            let mut synack = ctx.pool.take();
+            spec.emit_zeroed_into(&mut synack);
+            self.send_frame(ctx, synack);
+            ctx.pool.put(frame);
             return;
         }
 
@@ -560,6 +601,7 @@ impl ControlPlane {
             // SYN-ACK for an active open
             let Some(p) = self.active.remove(&tuple) else {
                 self.send_rst(ctx, &view);
+                ctx.pool.put(frame);
                 return;
             };
             // final handshake ACK
@@ -569,7 +611,8 @@ impl ControlPlane {
             spec.seq = SeqNum(p.iss.wrapping_add(1));
             spec.ack = view.seq + 1;
             spec.flags = TcpFlags::ACK;
-            let ackframe = spec.emit_zeroed();
+            let mut ackframe = ctx.pool.take();
+            spec.emit_zeroed_into(&mut ackframe);
             self.send_frame(ctx, ackframe);
             let (conn, rx_buf, tx_buf) = self.install(
                 ctx,
@@ -592,6 +635,7 @@ impl ControlPlane {
                     tx_buf,
                 },
             );
+            ctx.pool.put(frame);
             return;
         }
 
@@ -630,6 +674,8 @@ impl ControlPlane {
                 // frame through the NIC so the data-path processes it.
                 if view.payload_len > 0 || view.flags.fin() {
                     ctx.send(self.nic.mac, self.inject_latency(), Frame::raw(frame));
+                } else {
+                    ctx.pool.put(frame);
                 }
                 return;
             }
@@ -650,6 +696,7 @@ impl ControlPlane {
             ctx.stats
                 .inc(self.counters.expect("control plane attached").stray_rst);
         }
+        ctx.pool.put(frame);
     }
 
     // ---- CC runtime (event-driven, flextoe-ccp) -----------------------------
@@ -723,6 +770,7 @@ impl ControlPlane {
             return;
         }
         let mut to_teardown = Vec::new();
+        let mut to_abort = Vec::new();
         for conn in conns {
             let table = self.nic.table.borrow();
             let Some(entry) = table.get(conn) else {
@@ -743,31 +791,38 @@ impl ControlPlane {
             }
 
             // RTO monitoring — the urgent-event path into the algorithm
-            let fired = self
+            match self
                 .rto
-                .observe(conn, snd_una, in_flight, ctx.now(), rtt_est.max(20));
-            if fired {
-                ctx.stats
-                    .inc(self.counters.expect("control plane attached").rto_fired);
-                let _ = self
-                    .kernel_q
-                    .borrow_mut()
-                    .to_nic
-                    .push(AppToNic::Retransmit { conn });
-                ctx.send(
-                    self.nic.ctxq,
-                    self.nic.cfg.platform.pcie.mmio_latency,
-                    Doorbell { ctx: CTRL_CTX },
-                );
-                if let Some(Some(algo)) = self.cc.get_mut(conn as usize) {
-                    let old = algo.rate();
-                    let new = algo.on_urgent(Urgent::Rto);
-                    self.apply_rate(ctx, conn, old, new);
+                .observe(conn, snd_una, in_flight, ctx.now(), rtt_est.max(20))
+            {
+                RtoVerdict::Idle => {}
+                RtoVerdict::Fire => {
+                    ctx.stats
+                        .inc(self.counters.expect("control plane attached").rto_fired);
+                    let _ = self
+                        .kernel_q
+                        .borrow_mut()
+                        .to_nic
+                        .push(AppToNic::Retransmit { conn });
+                    ctx.send(
+                        self.nic.ctxq,
+                        self.nic.cfg.platform.pcie.mmio_latency,
+                        Doorbell { ctx: CTRL_CTX },
+                    );
+                    if let Some(Some(algo)) = self.cc.get_mut(conn as usize) {
+                        let old = algo.rate();
+                        let new = algo.on_urgent(Urgent::Rto);
+                        self.apply_rate(ctx, conn, old, new);
+                    }
                 }
+                RtoVerdict::GiveUp => to_abort.push(conn),
             }
         }
         for conn in to_teardown {
             self.teardown_now(ctx, conn);
+        }
+        for conn in to_abort {
+            self.abort_now(ctx, conn);
         }
         // backstop: a report appended by a flow that then went idle would
         // otherwise sit in the open batch forever
@@ -777,6 +832,54 @@ impl ControlPlane {
             self.on_report_batch(ctx, token);
         }
         ctx.wake(self.cfg.cc_interval, Tick);
+    }
+
+    /// Abort an established connection whose retry budget is spent: send
+    /// an RST built from our own connection state (there is no inbound
+    /// segment to echo — the path is blackholed), surface a typed
+    /// [`flextoe_core::hostmem::NicToApp::Aborted`] descriptor to the
+    /// owning application context, and reclaim all data-path state.
+    fn abort_now(&mut self, ctx: &mut Ctx<'_>, conn: u32) {
+        let info = {
+            let table = self.nic.table.borrow();
+            table.get(conn).map(|e| {
+                (
+                    e.pre.peer_mac,
+                    e.pre.peer_ip,
+                    e.pre.local_port,
+                    e.pre.remote_port,
+                    e.proto.seq,
+                    e.proto.ack,
+                    e.post.context,
+                )
+            })
+        };
+        let Some((peer_mac, peer_ip, local_port, remote_port, seq, ack, app_ctx)) = info else {
+            return; // raced a teardown
+        };
+        self.resets_sent += 1;
+        let mut spec = self.handshake_spec(peer_mac, peer_ip, local_port, remote_port);
+        spec.options = TcpOptions::default();
+        spec.seq = seq;
+        spec.ack = ack;
+        spec.flags = TcpFlags::RST | TcpFlags::ACK;
+        let mut frame = ctx.pool.take();
+        spec.emit_zeroed_into(&mut frame);
+        self.send_frame(ctx, frame);
+        // typed error to the app, through the normal notification DMA
+        // path so it serializes behind any in-flight completions
+        ctx.send(
+            self.nic.ctxq,
+            self.nic.cfg.platform.pcie.mmio_latency,
+            NotifyJob {
+                ctx: app_ctx,
+                desc: flextoe_core::hostmem::NicToApp::Aborted { conn },
+            },
+        );
+        self.aborts += 1;
+        ctx.stats
+            .inc(self.counters.expect("control plane attached").abort);
+        self.teardown_now(ctx, conn);
     }
 
     fn teardown_now(&mut self, ctx: &mut Ctx<'_>, conn: u32) {
@@ -804,6 +907,7 @@ struct CtrlCounters {
     rto_fired: CounterHandle,
     teardown: CounterHandle,
     stray_rst: CounterHandle,
+    abort: CounterHandle,
 }
 
 impl Node for ControlPlane {
@@ -885,6 +989,7 @@ impl Node for ControlPlane {
             rto_fired: stats.counter("ctrl.rto_fired"),
             teardown: stats.counter("ctrl.teardown"),
             stray_rst: stats.counter("ctrl.stray_rst"),
+            abort: stats.counter("ctrl.abort"),
         });
     }
 

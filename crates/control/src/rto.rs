@@ -10,6 +10,20 @@
 use flextoe_sim::{Duration, Time};
 use flextoe_wire::SeqNum;
 
+/// Outcome of one control-loop RTO observation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RtoVerdict {
+    /// Nothing to do (timer armed/reset/idle).
+    Idle,
+    /// RTO expired: inject a retransmit and back off.
+    Fire,
+    /// The flow has exhausted its retry budget (`give_up_after`
+    /// consecutive RTOs with zero progress): abort the connection instead
+    /// of retrying forever. Backoff used to saturate at shift 6 and
+    /// retransmit a blackholed flow indefinitely.
+    GiveUp,
+}
+
 #[derive(Clone, Copy, Debug)]
 struct FlowRto {
     last_una: SeqNum,
@@ -23,7 +37,11 @@ pub struct RtoTracker {
     flows: Vec<Option<FlowRto>>,
     pub min_rto: Duration,
     pub max_rto: Duration,
+    /// Consecutive no-progress RTO firings a flow is allowed before
+    /// [`RtoVerdict::GiveUp`] (`None` = legacy retry-forever).
+    pub give_up_after: Option<u32>,
     pub fired: u64,
+    pub gave_up: u64,
 }
 
 impl RtoTracker {
@@ -32,7 +50,9 @@ impl RtoTracker {
             flows: Vec::new(),
             min_rto,
             max_rto: Duration::from_ms(200),
+            give_up_after: None,
             fired: 0,
+            gave_up: 0,
         }
     }
 
@@ -55,8 +75,10 @@ impl RtoTracker {
         }
     }
 
-    /// One control-loop observation of a flow. Returns `true` when an RTO
-    /// fires (caller injects the retransmit and halves the rate).
+    /// One control-loop observation of a flow. [`RtoVerdict::Fire`] means
+    /// the caller injects a retransmit and halves the rate;
+    /// [`RtoVerdict::GiveUp`] means the retry budget is spent and the
+    /// caller must abort the connection.
     pub fn observe(
         &mut self,
         conn: u32,
@@ -64,15 +86,15 @@ impl RtoTracker {
         in_flight: u32,
         now: Time,
         srtt_us: u32,
-    ) -> bool {
+    ) -> RtoVerdict {
         let Some(Some(f)) = self.flows.get_mut(conn as usize) else {
-            return false;
+            return RtoVerdict::Idle;
         };
         if in_flight == 0 {
             f.armed = false;
             f.backoff = 0;
             f.last_una = snd_una;
-            return false;
+            return RtoVerdict::Idle;
         }
         if !f.armed || snd_una != f.last_una {
             // progress (or newly armed): reset the timer
@@ -83,23 +105,28 @@ impl RtoTracker {
             if progressed {
                 f.backoff = 0;
             }
-            return false;
+            return RtoVerdict::Idle;
         }
         let base = Duration::from_us(4 * srtt_us.max(1) as u64).max(self.min_rto);
         let rto = (base * (1u64 << f.backoff.min(6))).min(self.max_rto);
         if now.saturating_since(f.since) >= rto {
+            if self.give_up_after.is_some_and(|limit| f.backoff >= limit) {
+                self.gave_up += 1;
+                return RtoVerdict::GiveUp;
+            }
             f.since = now;
             f.backoff += 1;
             self.fired += 1;
-            return true;
+            return RtoVerdict::Fire;
         }
-        false
+        RtoVerdict::Idle
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use RtoVerdict::{Fire, Idle};
 
     const MIN: Duration = Duration::from_ms(1);
 
@@ -108,9 +135,9 @@ mod tests {
         let mut t = RtoTracker::new(MIN);
         t.register(1);
         let una = SeqNum(1000);
-        assert!(!t.observe(1, una, 500, Time::from_us(0), 100)); // arms
-        assert!(!t.observe(1, una, 500, Time::from_us(500), 100));
-        assert!(t.observe(1, una, 500, Time::from_us(1100), 100));
+        assert_eq!(t.observe(1, una, 500, Time::from_us(0), 100), Idle); // arms
+        assert_eq!(t.observe(1, una, 500, Time::from_us(500), 100), Idle);
+        assert_eq!(t.observe(1, una, 500, Time::from_us(1100), 100), Fire);
         assert_eq!(t.fired, 1);
     }
 
@@ -120,11 +147,20 @@ mod tests {
         t.register(1);
         t.observe(1, SeqNum(1000), 500, Time::from_us(0), 100);
         // ack progress at 900us
-        assert!(!t.observe(1, SeqNum(1500), 500, Time::from_us(900), 100));
+        assert_eq!(
+            t.observe(1, SeqNum(1500), 500, Time::from_us(900), 100),
+            Idle
+        );
         // 0.95ms after progress (not 1.85ms after arming): no fire yet
-        assert!(!t.observe(1, SeqNum(1500), 500, Time::from_us(1850), 100));
+        assert_eq!(
+            t.observe(1, SeqNum(1500), 500, Time::from_us(1850), 100),
+            Idle
+        );
         // 1.05ms after progress: fires
-        assert!(t.observe(1, SeqNum(1500), 500, Time::from_us(1950), 100));
+        assert_eq!(
+            t.observe(1, SeqNum(1500), 500, Time::from_us(1950), 100),
+            Fire
+        );
     }
 
     #[test]
@@ -133,13 +169,13 @@ mod tests {
         t.register(1);
         let una = SeqNum(0);
         t.observe(1, una, 100, Time::from_us(0), 10);
-        assert!(t.observe(1, una, 100, Time::from_ms(1), 10)); // first RTO at 1ms
-                                                               // second RTO needs 2ms more
-        assert!(!t.observe(1, una, 100, Time::from_us(2500), 10));
-        assert!(t.observe(1, una, 100, Time::from_ms(3), 10));
+        assert_eq!(t.observe(1, una, 100, Time::from_ms(1), 10), Fire); // first RTO at 1ms
+                                                                        // second RTO needs 2ms more
+        assert_eq!(t.observe(1, una, 100, Time::from_us(2500), 10), Idle);
+        assert_eq!(t.observe(1, una, 100, Time::from_ms(3), 10), Fire);
         // third needs 4ms
-        assert!(!t.observe(1, una, 100, Time::from_ms(6), 10));
-        assert!(t.observe(1, una, 100, Time::from_ms(7), 10));
+        assert_eq!(t.observe(1, una, 100, Time::from_ms(6), 10), Idle);
+        assert_eq!(t.observe(1, una, 100, Time::from_ms(7), 10), Fire);
     }
 
     #[test]
@@ -147,12 +183,12 @@ mod tests {
         let mut t = RtoTracker::new(MIN);
         t.register(1);
         t.observe(1, SeqNum(0), 100, Time::from_us(0), 10);
-        assert!(t.observe(1, SeqNum(0), 100, Time::from_ms(1), 10));
-        assert!(!t.observe(1, SeqNum(100), 0, Time::from_ms(2), 10)); // drained
-                                                                      // re-armed fresh: base RTO again
-        assert!(!t.observe(1, SeqNum(100), 50, Time::from_ms(3), 10));
-        assert!(!t.observe(1, SeqNum(100), 50, Time::from_us(3900), 10));
-        assert!(t.observe(1, SeqNum(100), 50, Time::from_us(4100), 10));
+        assert_eq!(t.observe(1, SeqNum(0), 100, Time::from_ms(1), 10), Fire);
+        assert_eq!(t.observe(1, SeqNum(100), 0, Time::from_ms(2), 10), Idle); // drained
+                                                                              // re-armed fresh: base RTO again
+        assert_eq!(t.observe(1, SeqNum(100), 50, Time::from_ms(3), 10), Idle);
+        assert_eq!(t.observe(1, SeqNum(100), 50, Time::from_us(3900), 10), Idle);
+        assert_eq!(t.observe(1, SeqNum(100), 50, Time::from_us(4100), 10), Fire);
     }
 
     #[test]
@@ -160,16 +196,64 @@ mod tests {
         let mut t = RtoTracker::new(MIN);
         t.register(1);
         t.observe(1, SeqNum(0), 100, Time::ZERO, 1000); // srtt 1ms -> rto 4ms
-        assert!(!t.observe(1, SeqNum(0), 100, Time::from_ms(2), 1000));
-        assert!(t.observe(1, SeqNum(0), 100, Time::from_ms(4), 1000));
+        assert_eq!(t.observe(1, SeqNum(0), 100, Time::from_ms(2), 1000), Idle);
+        assert_eq!(t.observe(1, SeqNum(0), 100, Time::from_ms(4), 1000), Fire);
     }
 
     #[test]
     fn unregistered_never_fires() {
         let mut t = RtoTracker::new(MIN);
-        assert!(!t.observe(7, SeqNum(0), 100, Time::from_ms(100), 10));
+        assert_eq!(t.observe(7, SeqNum(0), 100, Time::from_ms(100), 10), Idle);
         t.register(7);
         t.unregister(7);
-        assert!(!t.observe(7, SeqNum(0), 100, Time::from_ms(100), 10));
+        assert_eq!(t.observe(7, SeqNum(0), 100, Time::from_ms(100), 10), Idle);
+    }
+
+    /// Regression: a blackholed flow (100% loss, `snd_una` never moves)
+    /// used to saturate at backoff shift 6 and retransmit forever. With a
+    /// give-up threshold it fires exactly `give_up_after` times and then
+    /// reports `GiveUp` so the caller aborts the connection.
+    #[test]
+    fn blackholed_flow_gives_up_after_budget() {
+        let mut t = RtoTracker::new(MIN);
+        t.give_up_after = Some(3);
+        t.register(1);
+        let una = SeqNum(0);
+        t.observe(1, una, 100, Time::ZERO, 10); // arms
+        let mut fires = 0;
+        let mut now = Time::ZERO;
+        let verdict = loop {
+            now += Duration::from_ms(300); // > max_rto: always expired
+            match t.observe(1, una, 100, now, 10) {
+                Fire => fires += 1,
+                v => break v,
+            }
+            assert!(fires < 100, "must give up eventually");
+        };
+        assert_eq!(verdict, RtoVerdict::GiveUp);
+        assert_eq!(fires, 3, "retry budget honored exactly");
+        assert_eq!(t.gave_up, 1);
+        // progress after the verdict (e.g. the path healed right at the
+        // boundary) re-opens the budget
+        t.observe(1, SeqNum(500), 100, now + Duration::from_ms(1), 10);
+        assert_eq!(
+            t.observe(1, SeqNum(500), 100, now + Duration::from_ms(301), 10),
+            Fire
+        );
+    }
+
+    /// `give_up_after: None` preserves the legacy retry-forever behavior.
+    #[test]
+    fn no_threshold_retries_forever() {
+        let mut t = RtoTracker::new(MIN);
+        t.register(1);
+        let una = SeqNum(0);
+        t.observe(1, una, 100, Time::ZERO, 10);
+        let mut now = Time::ZERO;
+        for _ in 0..50 {
+            now += Duration::from_ms(300);
+            assert_eq!(t.observe(1, una, 100, now, 10), Fire);
+        }
+        assert_eq!(t.gave_up, 0);
     }
 }

@@ -102,6 +102,9 @@ pub enum NicToApp {
     RxAvail { conn: u32, len: u32, fin: bool },
     /// `len` bytes of the socket TX buffer were acknowledged and freed.
     TxFreed { conn: u32, len: u32 },
+    /// The control plane gave up on the connection (RTO retry budget
+    /// exhausted) and tore it down; the application must stop using it.
+    Aborted { conn: u32 },
 }
 
 /// One direction of a context queue (bounded, in host shared memory).

@@ -34,6 +34,13 @@ const INIT_CWND: u32 = 10 * MSS;
 const BUF_SIZE: u32 = 64 * 1024;
 /// Max extra OOO intervals for the Linux receiver (plus the primary one).
 const LINUX_INTERVALS: usize = 31;
+/// SYN retransmission base timeout (doubles per attempt).
+const SYN_RETRY_BASE: Duration = Duration::from_ms(5);
+/// Total SYN transmissions before `ConnectFailed`.
+const SYN_ATTEMPTS: u32 = 4;
+/// Consecutive no-progress RTO firings before the stack aborts the
+/// connection (RST + `SockEvent::Aborted`) instead of retrying forever.
+const RTO_GIVE_UP: u32 = 8;
 
 struct HostConn {
     ps: ProtoState,
@@ -72,6 +79,10 @@ struct PendingActive {
     opaque: u64,
     side: SharedAppSide,
     app: NodeId,
+    /// When the most recent SYN went out (retry timer).
+    sent_at: Time,
+    /// SYNs transmitted so far (1 after the initial send).
+    attempts: u32,
 }
 
 struct Listener {
@@ -120,6 +131,12 @@ pub struct HostStackNode {
     pub tx_packets: u64,
     pub retransmits: u64,
     pub established: u64,
+    /// SYN retransmissions (connect-phase loss recovery).
+    pub syn_retries: u64,
+    /// Active opens abandoned after `SYN_ATTEMPTS` transmissions.
+    pub connect_give_ups: u64,
+    /// Established connections aborted after `RTO_GIVE_UP` RTOs.
+    pub aborts: u64,
 }
 
 impl HostStackNode {
@@ -169,6 +186,9 @@ impl HostStackNode {
             tx_packets: 0,
             retransmits: 0,
             established: 0,
+            syn_retries: 0,
+            connect_give_ups: 0,
+            aborts: 0,
         }
     }
 
@@ -705,13 +725,18 @@ impl HostStackNode {
     }
 
     fn rto_scan(&mut self, ctx: &mut Ctx<'_>) {
+        enum Action {
+            Reclaim,
+            Retx,
+            Abort,
+        }
         let now = ctx.now();
         let mut fire = Vec::new();
         for (id, slot) in self.conns.iter_mut().enumerate() {
             let Some(c) = slot else { continue };
             // fully closed -> reclaim
             if c.ps.fin_received && c.ps.fin_sent && !c.ps.fin_pending && c.ps.tx_sent == 0 {
-                fire.push((id as u32, true));
+                fire.push((id as u32, Action::Reclaim));
                 continue;
             }
             if c.ps.tx_sent == 0 {
@@ -730,24 +755,107 @@ impl HostStackNode {
             let base = Duration::from_us(4 * c.srtt_us.max(250) as u64);
             let rto = base * (1 << c.backoff.min(6));
             if now.saturating_since(c.stall_since) >= rto {
+                if c.backoff >= RTO_GIVE_UP {
+                    // blackholed: the retry budget is spent
+                    fire.push((id as u32, Action::Abort));
+                    continue;
+                }
                 c.stall_since = now;
                 c.backoff += 1;
                 c.ssthresh = (c.cwnd / 2).max(2 * MSS);
                 c.cwnd = 2 * MSS;
-                fire.push((id as u32, false));
+                fire.push((id as u32, Action::Retx));
             }
         }
-        for (id, close) in fire {
-            if close {
-                self.teardown(id);
-            } else {
-                self.retransmit(ctx, id, false); // RTO is always go-back-N
+        for (id, action) in fire {
+            match action {
+                Action::Reclaim => self.teardown(id),
+                Action::Retx => self.retransmit(ctx, id, false), // RTO is always go-back-N
+                Action::Abort => self.abort(ctx, id),
             }
         }
-        if self.conns.iter().any(|c| c.is_some()) {
+        self.syn_scan(ctx, now);
+        if self.conns.iter().any(|c| c.is_some()) || !self.active.is_empty() {
             ctx.wake(Duration::from_ms(1), Tick);
         } else {
             self.rto_armed = false;
+        }
+    }
+
+    /// Abort an established connection whose RTO budget is spent: RST the
+    /// peer, surface [`SockEvent::Aborted`], reclaim the state.
+    fn abort(&mut self, ctx: &mut Ctx<'_>, id: u32) {
+        let Some(c) = self.take(id) else { return };
+        self.aborts += 1;
+        let mut spec = spec_for(self.mac, self.ip, &c);
+        spec.seq = c.ps.seq;
+        spec.ack = c.ps.ack;
+        spec.flags = TcpFlags::RST | TcpFlags::ACK;
+        let frame = spec.emit_frame_into(ctx.pool.take(), |_| {});
+        if let Some(s) = c.side.borrow_mut().socks.get_mut(&id) {
+            s.closed = true; // further send/recv are no-ops
+        }
+        wake_app(ctx, &c, Duration::ZERO, SockEvent::Aborted { conn: id });
+        self.emit(ctx, Duration::ZERO, frame);
+        // the slot is already vacated by `take`; drop the demux entry too
+        self.lookup.remove(&c.tuple_rx);
+    }
+
+    /// Connect-phase loss recovery: retransmit unanswered SYNs with
+    /// exponential backoff; after [`SYN_ATTEMPTS`] transmissions give up
+    /// and surface `ConnectFailed`.
+    fn syn_scan(&mut self, ctx: &mut Ctx<'_>, now: Time) {
+        let mut retry = Vec::new();
+        let mut give_up = Vec::new();
+        for (tuple, p) in self.active.iter() {
+            let timeout = SYN_RETRY_BASE * (1u64 << p.attempts.saturating_sub(1).min(5));
+            if now.saturating_since(p.sent_at) >= timeout {
+                if p.attempts >= SYN_ATTEMPTS {
+                    give_up.push(*tuple);
+                } else {
+                    retry.push(*tuple);
+                }
+            }
+        }
+        for tuple in give_up {
+            let p = self.active.remove(&tuple).unwrap();
+            self.connect_give_ups += 1;
+            p.side
+                .borrow_mut()
+                .events
+                .push_back(SockEvent::ConnectFailed { opaque: p.opaque });
+            ctx.send(p.app, Duration::from_us(1), HostWake);
+        }
+        for tuple in retry {
+            let Some(&dst_mac) = self
+                .active
+                .get(&tuple)
+                .and_then(|p| self.arp.get(&p.remote_ip))
+            else {
+                continue;
+            };
+            let p = self.active.get_mut(&tuple).unwrap();
+            p.attempts += 1;
+            p.sent_at = now;
+            self.syn_retries += 1;
+            let mut spec = SegmentSpec {
+                src_mac: self.mac,
+                dst_mac,
+                src_ip: self.ip,
+                dst_ip: p.remote_ip,
+                src_port: p.local_port,
+                dst_port: p.remote_port,
+                window: u16::MAX,
+                options: TcpOptions {
+                    mss: Some(MSS as u16),
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            spec.seq = SeqNum(p.iss);
+            spec.flags = TcpFlags::SYN;
+            let f = spec.emit_frame_into(ctx.pool.take(), |_| {});
+            self.emit(ctx, Duration::ZERO, f);
         }
     }
 
@@ -834,6 +942,8 @@ impl HostStackNode {
                         opaque: c.opaque,
                         side: c.side,
                         app: c.app,
+                        sent_at: ctx.now(),
+                        attempts: 1,
                     },
                 );
                 let mut spec = SegmentSpec {

@@ -53,6 +53,13 @@ pub enum SockEvent {
     Eof {
         conn: u32,
     },
+    /// The control plane aborted the connection (RTO retry budget
+    /// exhausted — the path was blackholed). The socket is already torn
+    /// down on the NIC side; the library marks it closed and the
+    /// application must treat outstanding requests as failed.
+    Aborted {
+        conn: u32,
+    },
 }
 
 /// Per-socket bookkeeping (the application's view of the shared buffers).
@@ -240,6 +247,16 @@ impl LibToe {
                             conn,
                             free: s.tx_free,
                         });
+                    }
+                }
+                NicToApp::Aborted { conn } => {
+                    // NIC-side state is already reclaimed; mark the socket
+                    // dead so further send/recv are no-ops, and surface the
+                    // abort exactly once.
+                    if let Some(s) = self.sockets.get_mut(&conn) {
+                        s.closed = true;
+                        s.eof = true;
+                        events.push(SockEvent::Aborted { conn });
                     }
                 }
             }

@@ -10,5 +10,5 @@
 pub mod link;
 pub mod switch;
 
-pub use link::{Faults, Link, SetFaults};
-pub use switch::{ecmp_hash, PortConfig, Switch, WredParams};
+pub use link::{Faults, Link, SetFaults, SetLinkUp};
+pub use switch::{ecmp_hash, PortConfig, SetPortUp, SetSwitchAlive, Switch, WredParams};

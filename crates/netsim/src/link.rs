@@ -32,9 +32,15 @@ pub struct Link {
     pub to: NodeId,
     pub propagation: Duration,
     pub faults: Faults,
+    /// Hard administrative state. A down link drops every frame (counted
+    /// in `down_drops`); coming back up is an explicit `SetLinkUp(true)`
+    /// event — there is no implicit healing.
+    pub up: bool,
     pub forwarded: u64,
     pub dropped: u64,
     pub corrupted: u64,
+    /// Frames blackholed while the link was administratively down.
+    pub down_drops: u64,
     counters: Option<LinkCounters>,
 }
 
@@ -43,6 +49,7 @@ struct LinkCounters {
     size_drops: CounterHandle,
     drops: CounterHandle,
     corrupted: CounterHandle,
+    down_drops: CounterHandle,
 }
 
 /// Reconfigure a link's fault model mid-run. Topology builders schedule
@@ -52,15 +59,23 @@ struct LinkCounters {
 pub struct SetFaults(pub Faults);
 flextoe_sim::custom_msg!(SetFaults);
 
+/// Hard link state change: `SetLinkUp(false)` takes the link down (every
+/// frame blackholed, buffers recycled), `SetLinkUp(true)` restores it.
+/// Like [`SetFaults`], healing is always an explicit scheduled event.
+pub struct SetLinkUp(pub bool);
+flextoe_sim::custom_msg!(SetLinkUp);
+
 impl Link {
     pub fn new(to: NodeId, propagation: Duration) -> Link {
         Link {
             to,
             propagation,
             faults: Faults::default(),
+            up: true,
             forwarded: 0,
             dropped: 0,
             corrupted: 0,
+            down_drops: 0,
             counters: None,
         }
     }
@@ -87,15 +102,31 @@ impl Node for Link {
     fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
         let mut frame = match msg {
             Msg::Frame(frame) => frame,
-            msg => match flextoe_sim::try_cast::<SetFaults>(msg) {
-                Ok(sf) => {
-                    self.faults = sf.0;
-                    return;
+            msg => {
+                let msg = match flextoe_sim::try_cast::<SetFaults>(msg) {
+                    Ok(sf) => {
+                        self.faults = sf.0;
+                        return;
+                    }
+                    Err(m) => m,
+                };
+                match flextoe_sim::try_cast::<SetLinkUp>(msg) {
+                    Ok(s) => {
+                        self.up = s.0;
+                        return;
+                    }
+                    Err(m) => panic!("link: unexpected message {}", m.variant_name()),
                 }
-                Err(m) => panic!("link: unexpected message {}", m.variant_name()),
-            },
+            }
         };
         let counters = self.counters.expect("link attached to a sim");
+        if !self.up {
+            self.dropped += 1;
+            self.down_drops += 1;
+            ctx.stats.inc(counters.down_drops);
+            ctx.pool.put(frame.into_bytes());
+            return;
+        }
         if let Some(limit) = self.faults.size_limit {
             if frame.len() > limit {
                 self.dropped += 1;
@@ -129,8 +160,9 @@ impl Node for Link {
         while let Some(msg) = burst.next(ctx) {
             match msg {
                 // healthy-link fast path: skip the per-frame fault checks
-                // (re-checked per message — SetFaults can arrive mid-burst)
-                Msg::Frame(frame) if self.faults_inert() => {
+                // (re-checked per message — SetFaults / SetLinkUp can
+                // arrive mid-burst)
+                Msg::Frame(frame) if self.up && self.faults_inert() => {
                     self.forwarded += 1;
                     ctx.send(self.to, self.propagation, frame);
                 }
@@ -144,6 +176,7 @@ impl Node for Link {
             size_drops: stats.counter("link.size_drops"),
             drops: stats.counter("link.drops"),
             corrupted: stats.counter("link.corrupted"),
+            down_drops: stats.counter("link.down_drops"),
         });
     }
 
@@ -246,6 +279,31 @@ mod tests {
             .collect();
         assert_eq!(got, vec![1, 3], "frame 2 dropped while degraded");
         assert_eq!(sim.node_ref::<Link>(link).dropped, 1);
+    }
+
+    #[test]
+    fn hard_down_blackholes_until_explicit_up() {
+        let mut sim = Sim::new(1);
+        let probe = sim.add_node(Probe { frames: vec![] });
+        let link = sim.add_node(Link::new(probe, Duration::ZERO));
+        sim.schedule(Time::from_ns(0), link, Frame::raw(vec![1]));
+        sim.schedule_in(Duration::from_ns(5), link, SetLinkUp(false));
+        sim.schedule(Time::from_ns(10), link, Frame::raw(vec![2]));
+        sim.schedule(Time::from_ns(11), link, Frame::raw(vec![3]));
+        // healing is an explicit event: nothing forwards before it fires
+        sim.schedule_in(Duration::from_ns(20), link, SetLinkUp(true));
+        sim.schedule(Time::from_ns(30), link, Frame::raw(vec![4]));
+        sim.run();
+        let got: Vec<u8> = sim
+            .node_ref::<Probe>(probe)
+            .frames
+            .iter()
+            .map(|(_, f)| f[0])
+            .collect();
+        assert_eq!(got, vec![1, 4], "frames 2 and 3 blackholed while down");
+        let l = sim.node_ref::<Link>(link);
+        assert_eq!(l.down_drops, 2);
+        assert_eq!(l.dropped, 2);
     }
 
     #[test]

@@ -76,6 +76,9 @@ struct Port {
     queue: VecDeque<Frame>,
     queue_bytes: usize,
     transmitting: bool,
+    /// Port health: a down port is excluded from ECMP finalization and
+    /// transmits nothing; taking it down flushes its output queue.
+    up: bool,
     pub tx_frames: u64,
     pub drops: u64,
     pub ecn_marked: u64,
@@ -106,9 +109,22 @@ pub struct Switch {
     ecmp_salt: u64,
     /// Forwarding latency (lookup + crossbar).
     pub latency: Duration,
+    /// Hard administrative state: a killed switch drops every arriving
+    /// frame and its port queues are flushed. Heal is an explicit
+    /// [`SetSwitchAlive`] event.
+    pub alive: bool,
     pub flooded: u64,
     /// Frames forwarded through an L3 route (ECMP or single-path).
     pub routed: u64,
+    /// Frames whose primary ECMP pick was a dead port and that were
+    /// re-finalized onto a surviving candidate.
+    pub rerouted: u64,
+    /// Frames dropped because no live egress remained (every ECMP
+    /// candidate down, or the learned MAC port down).
+    pub blackholed: u64,
+    /// Frames dropped because the switch itself was dead, plus queued
+    /// frames flushed by a port-down/switch-kill event.
+    pub dead_drops: u64,
     /// Counter handles resolved at attach — per-frame paths never do a
     /// string-keyed stats lookup.
     counters: Option<SwitchCounters>,
@@ -121,6 +137,39 @@ struct SwitchCounters {
     ecn_marked: CounterHandle,
     routed: CounterHandle,
     flooded: CounterHandle,
+    rerouted: CounterHandle,
+    blackholed: CounterHandle,
+    dead_drops: CounterHandle,
+}
+
+/// Take one switch port administratively down (`up: false`) or up.
+/// Topology builders schedule these alongside the neighbor link's
+/// [`crate::SetLinkUp`] so ECMP finalization stops hashing onto a dead
+/// path. Taking a port down flushes its output queue (counted in
+/// [`Switch::dead_drops`]); bringing it up is always explicit.
+pub struct SetPortUp {
+    pub port: usize,
+    pub up: bool,
+}
+flextoe_sim::custom_msg!(SetPortUp);
+
+/// Kill (`false`) or heal (`true`) a whole switch. Killing flushes every
+/// port queue and blackholes all arriving frames; healing restores
+/// forwarding (per-port `up` state is tracked separately and survives a
+/// kill/heal cycle).
+pub struct SetSwitchAlive(pub bool);
+flextoe_sim::custom_msg!(SetSwitchAlive);
+
+/// Egress resolution outcome for an L3-routed frame.
+enum RouteOutcome {
+    /// The primary ECMP pick (byte-identical to the healthy-fabric hash).
+    Port(usize),
+    /// Primary pick was down; re-finalized over the live candidates.
+    Rerouted(usize),
+    /// A route exists but every candidate port is down.
+    Blackhole,
+    /// No route (or unparseable headers): flood-and-drop as before.
+    NoRoute,
 }
 
 impl Switch {
@@ -131,8 +180,12 @@ impl Switch {
             routes: FxHashMap::default(),
             ecmp_salt: 0,
             latency: Duration::from_ns(500),
+            alive: true,
             flooded: 0,
             routed: 0,
+            rerouted: 0,
+            blackholed: 0,
+            dead_drops: 0,
             counters: None,
         }
     }
@@ -145,6 +198,7 @@ impl Switch {
             queue: VecDeque::new(),
             queue_bytes: 0,
             transmitting: false,
+            up: true,
             tx_frames: 0,
             drops: 0,
             ecn_marked: 0,
@@ -183,18 +237,45 @@ impl Switch {
     /// does not parse (e.g. a fault-corrupted TCP data offset) are no
     /// longer routed on garbage port bytes — they count as `flooded` and
     /// are dropped here instead of at the receiving host's checksum.
-    fn route_port(&self, frame: &Frame) -> Option<usize> {
+    /// ECMP finalization excludes dead ports: while every candidate is
+    /// live the pick is the historical hash (byte-identical fabrics when
+    /// nothing has failed); a dead primary pick re-finalizes the same
+    /// hash over the surviving candidates (flows stay path-stable for a
+    /// given health state); no live candidate is a total blackhole.
+    fn route_port(&self, frame: &Frame) -> RouteOutcome {
         let meta;
         let m = match &frame.meta {
             Some(m) => m,
-            None => {
-                meta = FrameMeta::parse(frame.bytes())?;
-                &meta
-            }
+            None => match FrameMeta::parse(frame.bytes()) {
+                Some(parsed) => {
+                    meta = parsed;
+                    &meta
+                }
+                None => return RouteOutcome::NoRoute,
+            },
         };
-        let candidates = self.routes.get(&m.dst_ip)?;
+        let Some(candidates) = self.routes.get(&m.dst_ip) else {
+            return RouteOutcome::NoRoute;
+        };
         let h = ecmp_hash_with_basis(m.flow_basis, self.ecmp_salt);
-        Some(candidates[(h % candidates.len() as u64) as usize])
+        let pick = candidates[(h % candidates.len() as u64) as usize];
+        if self.ports[pick].up {
+            return RouteOutcome::Port(pick);
+        }
+        let live: Vec<usize> = candidates
+            .iter()
+            .copied()
+            .filter(|&p| self.ports[p].up)
+            .collect();
+        if live.is_empty() {
+            return RouteOutcome::Blackhole;
+        }
+        RouteOutcome::Rerouted(live[(h % live.len() as u64) as usize])
+    }
+
+    /// Is `port` administratively up?
+    pub fn port_up(&self, port: usize) -> bool {
+        self.ports[port].up
     }
 
     pub fn port_stats(&self, port: usize) -> (u64, u64, u64) {
@@ -228,7 +309,7 @@ impl Switch {
 
     fn start_tx(&mut self, ctx: &mut Ctx<'_>, port: usize) {
         let p = &mut self.ports[port];
-        if p.transmitting {
+        if p.transmitting || !p.up {
             return;
         }
         let Some(frame) = p.queue.pop_front() else {
@@ -287,6 +368,47 @@ impl Switch {
         p.queue.push_back(frame);
         self.start_tx(ctx, port);
     }
+
+    /// Recycle everything queued on `port` — a dead port (or switch)
+    /// cannot transmit, and leaked buffers would break the pool-gauge
+    /// conservation invariant.
+    fn flush_port(&mut self, ctx: &mut Ctx<'_>, port: usize, counters: SwitchCounters) {
+        let now_ns = ctx.now().as_ns();
+        self.ports[port].occ_update(now_ns);
+        while let Some(frame) = self.ports[port].queue.pop_front() {
+            self.dead_drops += 1;
+            ctx.stats.inc(counters.dead_drops);
+            ctx.pool.put(frame.into_bytes());
+        }
+        self.ports[port].queue_bytes = 0;
+    }
+
+    /// Hard fault-state admin messages ([`SetPortUp`], [`SetSwitchAlive`]).
+    fn admin(&mut self, ctx: &mut Ctx<'_>, msg: Msg, counters: SwitchCounters) {
+        let msg = match flextoe_sim::try_cast::<SetPortUp>(msg) {
+            Ok(s) => {
+                self.ports[s.port].up = s.up;
+                if s.up {
+                    self.start_tx(ctx, s.port);
+                } else {
+                    self.flush_port(ctx, s.port, counters);
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        match flextoe_sim::try_cast::<SetSwitchAlive>(msg) {
+            Ok(s) => {
+                self.alive = s.0;
+                if !s.0 {
+                    for port in 0..self.ports.len() {
+                        self.flush_port(ctx, port, counters);
+                    }
+                }
+            }
+            Err(m) => panic!("switch: unexpected message {}", m.variant_name()),
+        }
+    }
 }
 
 impl Default for Switch {
@@ -343,20 +465,31 @@ impl Switch {
     fn deliver(&mut self, ctx: &mut Ctx<'_>, msg: Msg, counters: SwitchCounters) {
         let frame = match msg {
             Msg::Token(port) => {
+                // always clear the serialization state — a kill between
+                // send and Token must not wedge the port forever
                 self.ports[port as usize].transmitting = false;
                 self.start_tx(ctx, port as usize);
                 return;
             }
             Msg::Frame(frame) => frame,
-            m => panic!("switch: unexpected message {}", m.variant_name()),
+            m => {
+                self.admin(ctx, m, counters);
+                return;
+            }
         };
+        if !self.alive {
+            self.dead_drops += 1;
+            ctx.stats.inc(counters.dead_drops);
+            ctx.pool.put(frame.into_bytes());
+            return;
+        }
         // destination MAC: the first six bytes — no header parse needed
         if frame.len() < ETH_HDR_LEN {
             return;
         }
         let dst = MacAddr(frame.bytes()[0..6].try_into().unwrap());
         match self.mac_table.get(&dst) {
-            Some(&port) => {
+            Some(&port) if self.ports[port].up => {
                 // model forwarding latency by delaying our own enqueue via
                 // a self-send would re-order against PortDone; charge it on
                 // the wire instead: enqueue now, the egress serialization
@@ -364,13 +497,30 @@ impl Switch {
                 // adjacent links in topology builders.)
                 self.enqueue(ctx, port, frame, counters);
             }
+            Some(_) => {
+                self.blackholed += 1;
+                ctx.stats.inc(counters.blackholed);
+                ctx.pool.put(frame.into_bytes());
+            }
             None => match self.route_port(&frame) {
-                Some(port) => {
+                RouteOutcome::Port(port) => {
                     self.routed += 1;
                     ctx.stats.inc(counters.routed);
                     self.enqueue(ctx, port, frame, counters);
                 }
-                None => {
+                RouteOutcome::Rerouted(port) => {
+                    self.routed += 1;
+                    self.rerouted += 1;
+                    ctx.stats.inc(counters.routed);
+                    ctx.stats.inc(counters.rerouted);
+                    self.enqueue(ctx, port, frame, counters);
+                }
+                RouteOutcome::Blackhole => {
+                    self.blackholed += 1;
+                    ctx.stats.inc(counters.blackholed);
+                    ctx.pool.put(frame.into_bytes());
+                }
+                RouteOutcome::NoRoute => {
                     self.flooded += 1;
                     ctx.stats.inc(counters.flooded);
                     ctx.pool.put(frame.into_bytes());
@@ -400,6 +550,9 @@ impl Node for Switch {
             ecn_marked: stats.counter("switch.ecn_marked"),
             routed: stats.counter("switch.routed"),
             flooded: stats.counter("switch.flooded"),
+            rerouted: stats.counter("switch.ecmp_rerouted"),
+            blackholed: stats.counter("switch.blackholed"),
+            dead_drops: stats.counter("switch.dead_drops"),
         });
     }
 
@@ -657,6 +810,118 @@ mod tests {
         sim.run();
         assert_eq!(sim.node_ref::<Probe>(direct).frames.len(), 1);
         assert!(sim.node_ref::<Probe>(up).frames.is_empty());
+    }
+
+    /// ECMP failover: killing one uplink port moves every flow onto the
+    /// survivor (counted as rerouted); killing both blackholes; healing
+    /// restores the original hash-based split exactly.
+    #[test]
+    fn ecmp_excludes_dead_ports_and_blackholes_when_none_live() {
+        let (mut sim, sw, probes) = ecmp_leaf(42);
+        // establish the healthy split
+        for i in 0..100u16 {
+            sim.schedule(
+                Time::from_ns(i as u64 * 1000),
+                sw,
+                Frame::raw(flow_frame(10_000 + i)),
+            );
+        }
+        sim.run();
+        let healthy: Vec<usize> = probes
+            .iter()
+            .map(|&p| sim.node_ref::<Probe>(p).frames.len())
+            .collect();
+        assert!(healthy[0] > 0 && healthy[1] > 0);
+
+        // port 0 down: everything lands on port 1
+        sim.schedule_in(Duration::from_ns(10), sw, SetPortUp { port: 0, up: false });
+        for i in 0..100u16 {
+            sim.schedule_in(
+                Duration::from_ns(1000 + i as u64 * 1000),
+                sw,
+                Frame::raw(flow_frame(10_000 + i)),
+            );
+        }
+        sim.run();
+        {
+            let s = sim.node_ref::<Switch>(sw);
+            assert_eq!(s.rerouted as usize, healthy[0], "port-0 flows rerouted");
+            assert_eq!(s.blackholed, 0);
+        }
+        assert_eq!(
+            sim.node_ref::<Probe>(probes[0]).frames.len(),
+            healthy[0],
+            "no new frames on the dead port"
+        );
+        assert_eq!(
+            sim.node_ref::<Probe>(probes[1]).frames.len(),
+            healthy[1] + 100
+        );
+
+        // both down: total blackhole
+        sim.schedule_in(Duration::from_ns(10), sw, SetPortUp { port: 1, up: false });
+        for i in 0..10u16 {
+            sim.schedule_in(
+                Duration::from_ns(1000 + i as u64 * 1000),
+                sw,
+                Frame::raw(flow_frame(10_000 + i)),
+            );
+        }
+        sim.run();
+        assert_eq!(sim.node_ref::<Switch>(sw).blackholed, 10);
+
+        // heal both: the original split comes back byte-for-byte
+        sim.schedule_in(Duration::from_ns(10), sw, SetPortUp { port: 0, up: true });
+        sim.schedule_in(Duration::from_ns(10), sw, SetPortUp { port: 1, up: true });
+        for i in 0..100u16 {
+            sim.schedule_in(
+                Duration::from_ns(1000 + i as u64 * 1000),
+                sw,
+                Frame::raw(flow_frame(10_000 + i)),
+            );
+        }
+        sim.run();
+        assert_eq!(
+            sim.node_ref::<Probe>(probes[0]).frames.len(),
+            2 * healthy[0],
+            "healed fabric re-selects the healthy paths"
+        );
+    }
+
+    /// A killed switch drops everything (flushing queued frames back to
+    /// the pool) and resumes forwarding after an explicit heal.
+    #[test]
+    fn switch_kill_flushes_and_heal_restores() {
+        let (mut sim, sw, probe) = one_port_switch(PortConfig {
+            rate_bps: 1_000_000, // slow: frames queue up before the kill
+            buf_bytes: 1 << 20,
+            ecn_threshold: None,
+            wred: None,
+        });
+        for _ in 0..5 {
+            sim.schedule(Time::ZERO, sw, Frame::raw(tcp_frame(Ecn::NotEct, 1000)));
+        }
+        sim.schedule(Time::from_us(1), sw, SetSwitchAlive(false));
+        // arrives while dead: dropped at the door
+        sim.schedule(
+            Time::from_us(2),
+            sw,
+            Frame::raw(tcp_frame(Ecn::NotEct, 1000)),
+        );
+        sim.schedule(Time::from_ms(50), sw, SetSwitchAlive(true));
+        sim.schedule(
+            Time::from_ms(51),
+            sw,
+            Frame::raw(tcp_frame(Ecn::NotEct, 1000)),
+        );
+        sim.run_until(Time::from_ms(100));
+        let s = sim.node_ref::<Switch>(sw);
+        assert!(s.dead_drops >= 5, "flushed + at-the-door: {}", s.dead_drops);
+        let delivered = sim.node_ref::<Probe>(probe).frames.len();
+        assert!(
+            (2..=3).contains(&delivered),
+            "one in-flight at kill plus one after heal, got {delivered}"
+        );
     }
 
     #[test]

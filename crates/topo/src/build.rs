@@ -15,18 +15,19 @@
 //! seeded generator, so path selection is deterministic per seed but
 //! decorrelated between switches (no fabric-wide polarization).
 
-use flextoe_apps::{FramedServerApp, OpenLoopClientApp, StackApi};
-use flextoe_netsim::{Link, SetFaults, Switch};
+use flextoe_apps::{FramedServerApp, OpenLoopClientApp, SessionClientApp, StackApi};
+use flextoe_netsim::{Link, SetFaults, SetLinkUp, SetPortUp, SetSwitchAlive, Switch};
 use flextoe_sim::{NodeId, Sim, Tick, Time};
 use flextoe_wire::{Ip4, MacAddr};
 
 use crate::host::{add_arp, build_endpoint, Endpoint, Stack};
-use crate::spec::{Fabric, LinkClass, LinkScope, Role, Scenario};
+use crate::spec::{Fabric, FaultKind, FaultTarget, LinkClass, LinkScope, Role, Scenario};
 
 /// `FramedServerApp` / `OpenLoopClientApp` over any stack (the builder
 /// erases the stack type, like the bench harness's `DynServer`).
 pub type DynFramedServer = FramedServerApp<Box<dyn StackApi>>;
 pub type DynOpenLoopClient = OpenLoopClientApp<Box<dyn StackApi>>;
+pub type DynSessionClient = SessionClientApp<Box<dyn StackApi>>;
 
 /// What kind of application a built host ended up with (consumers select
 /// client/server nodes by this instead of re-deriving the scenario's
@@ -36,6 +37,38 @@ pub enum BuiltRole {
     Idle,
     Server,
     Client,
+    /// A reconnecting session client ([`DynSessionClient`]).
+    Session,
+}
+
+/// Wiring record for one bidirectional switch↔switch connection: which
+/// switch/port feeds which link node. Hard fault events resolve through
+/// these so a link going down also marks the feeding port dead (and ECMP
+/// finalization stops hashing onto it).
+#[derive(Clone, Copy, Debug)]
+pub struct FabricPair {
+    /// Switch indices (into [`BuiltFabric::switches`]).
+    pub a: usize,
+    pub b: usize,
+    /// Port on `a` feeding `l_ab`, port on `b` feeding `l_ba`.
+    pub port_a: usize,
+    pub port_b: usize,
+    /// Link nodes a→b and b→a.
+    pub l_ab: NodeId,
+    pub l_ba: NodeId,
+}
+
+/// Wiring record for one host's edge attachment.
+#[derive(Clone, Copy, Debug)]
+pub struct EdgeRec {
+    pub host: usize,
+    /// Index of the edge switch (into [`BuiltFabric::switches`]).
+    pub edge: usize,
+    /// Host→switch link node.
+    pub uplink: NodeId,
+    /// Switch→host link node and the edge-switch port feeding it.
+    pub downlink: NodeId,
+    pub down_port: usize,
 }
 
 pub struct BuiltHost {
@@ -55,6 +88,13 @@ impl BuiltHost {
             .then_some(self.app)
             .flatten()
     }
+
+    /// The reconnecting session-client node, if this host runs one.
+    pub fn session(&self) -> Option<NodeId> {
+        (self.role == BuiltRole::Session)
+            .then_some(self.app)
+            .flatten()
+    }
 }
 
 /// A fully wired fabric. Switch order: leaf-spine lists leaves then
@@ -67,6 +107,11 @@ pub struct BuiltFabric {
     pub edge_links: Vec<NodeId>,
     /// Switch↔switch links (both directions).
     pub fabric_links: Vec<NodeId>,
+    /// Switch↔switch wiring records, in wiring order —
+    /// `FaultTarget::FabricLink { index }` indexes this list.
+    pub fabric_pairs: Vec<FabricPair>,
+    /// Per-host edge wiring records (one per host, host order).
+    pub edge_recs: Vec<EdgeRec>,
 }
 
 impl BuiltFabric {
@@ -104,6 +149,7 @@ fn connect_switches(
     b: usize,
     class: &LinkClass,
     links: &mut Vec<NodeId>,
+    pairs: &mut Vec<FabricPair>,
 ) -> (usize, usize) {
     let l_ab = sim.reserve_node();
     let l_ba = sim.reserve_node();
@@ -119,6 +165,14 @@ fn connect_switches(
     );
     links.push(l_ab);
     links.push(l_ba);
+    pairs.push(FabricPair {
+        a,
+        b,
+        port_a: pa,
+        port_b: pb,
+        l_ab,
+        l_ba,
+    });
     (pa, pb)
 }
 
@@ -129,10 +183,11 @@ fn attach_hosts(
     sc: &Scenario,
     edge_of_host: &[usize],
     switches: &mut [Sw],
-) -> (Vec<Endpoint>, Vec<NodeId>) {
+) -> (Vec<Endpoint>, Vec<NodeId>, Vec<EdgeRec>) {
     let class = &sc.links.edge;
     let mut eps = Vec::new();
     let mut links = Vec::new();
+    let mut recs = Vec::new();
     for (i, spec) in sc.hosts.iter().enumerate() {
         let edge = edge_of_host[i];
         let uplink = sim.reserve_node();
@@ -150,13 +205,21 @@ fn attach_hosts(
         );
         links.push(uplink);
         links.push(downlink);
+        recs.push(EdgeRec {
+            host: i,
+            edge,
+            uplink,
+            downlink,
+            down_port: port,
+        });
         eps.push(ep);
     }
-    (eps, links)
+    (eps, links, recs)
 }
 
 /// ARP full mesh, app instantiation, kick-off events, fault schedule —
 /// everything downstream of the wiring, shared by both fabric shapes.
+#[allow(clippy::too_many_arguments)]
 fn finalize(
     sim: &mut Sim,
     sc: &Scenario,
@@ -165,6 +228,8 @@ fn finalize(
     switches: Vec<Sw>,
     edge_links: Vec<NodeId>,
     fabric_links: Vec<NodeId>,
+    fabric_pairs: Vec<FabricPair>,
+    edge_recs: Vec<EdgeRec>,
 ) -> BuiltFabric {
     let switch_ids: Vec<NodeId> = switches.iter().map(|s| s.node).collect();
     for s in switches {
@@ -208,6 +273,19 @@ fn finalize(
                 n_clients += 1;
                 (Some(node), BuiltRole::Client)
             }
+            Role::Session { cfg, target } => {
+                assert!(*target < sc.hosts.len(), "session target out of range");
+                assert_ne!(*target, i, "session client targeting itself");
+                let mut cfg = *cfg;
+                cfg.server_ip = Ip4::host((*target + 1) as u8);
+                if let Role::FramedServer(scfg) = &sc.hosts[*target].role {
+                    cfg.server_port = scfg.port;
+                }
+                let node = sim.add_node(DynSessionClient::new(cfg, ep.stack_init(spec.stack, 1)));
+                sim.schedule(sc.client_start + sc.client_stagger * n_clients, node, Tick);
+                n_clients += 1;
+                (Some(node), BuiltRole::Session)
+            }
         };
         hosts.push(BuiltHost {
             ep,
@@ -218,16 +296,17 @@ fn finalize(
         });
     }
 
-    // fault schedule
-    for ev in &sc.fault_schedule {
-        let targets: Vec<NodeId> = match ev.scope {
-            LinkScope::Edge => edge_links.clone(),
-            LinkScope::Fabric => fabric_links.clone(),
-            LinkScope::All => edge_links.iter().chain(&fabric_links).copied().collect(),
-        };
-        for link in targets {
-            sim.schedule(ev.at, link, SetFaults(ev.faults));
-        }
+    // Fault schedule. Same-timestamp events must apply in a deterministic
+    // order: sort by (at, schedule index) — the event wheel preserves
+    // enqueue order within a timestamp, so scheduling in this order fixes
+    // the application order of flap trains touching one target at one
+    // instant. Overlapping targets are last-writer-wins; healing is
+    // always an explicit scheduled `Up`/`Degrade(default)` event.
+    let mut schedule: Vec<(usize, &crate::spec::FaultEvent)> =
+        sc.fault_schedule.iter().enumerate().collect();
+    schedule.sort_by_key(|&(i, ev)| (ev.at, i));
+    for (_, ev) in schedule {
+        apply_fault_event(sim, ev, &switch_ids, &fabric_pairs, &edge_recs);
     }
 
     BuiltFabric {
@@ -235,6 +314,111 @@ fn finalize(
         switches: switch_ids,
         edge_links,
         fabric_links,
+        fabric_pairs,
+        edge_recs,
+    }
+}
+
+/// Expand one [`crate::spec::FaultEvent`] into the admin messages the
+/// netsim nodes understand: `SetFaults` for probabilistic degradation,
+/// `SetLinkUp` + `SetPortUp` for hard link state (the feeding switch port
+/// dies with its link so ECMP finalization excludes it), and
+/// `SetSwitchAlive` + neighbor `SetPortUp` for switch kill/heal.
+fn apply_fault_event(
+    sim: &mut Sim,
+    ev: &crate::spec::FaultEvent,
+    switch_ids: &[NodeId],
+    fabric_pairs: &[FabricPair],
+    edge_recs: &[EdgeRec],
+) {
+    // (link node, Some((switch node, port)) feeding it) sets per target
+    let scope_links = |scope: LinkScope| -> Vec<(NodeId, Option<(NodeId, usize)>)> {
+        let edge = edge_recs.iter().flat_map(|r| {
+            [
+                (r.uplink, None), // host→switch: the NIC has no port health
+                (r.downlink, Some((switch_ids[r.edge], r.down_port))),
+            ]
+        });
+        let fabric = fabric_pairs.iter().flat_map(|p| {
+            [
+                (p.l_ab, Some((switch_ids[p.a], p.port_a))),
+                (p.l_ba, Some((switch_ids[p.b], p.port_b))),
+            ]
+        });
+        match scope {
+            LinkScope::Edge => edge.collect(),
+            LinkScope::Fabric => fabric.collect(),
+            LinkScope::All => edge.chain(fabric).collect(),
+        }
+    };
+    let targets: Vec<(NodeId, Option<(NodeId, usize)>)> = match ev.target {
+        FaultTarget::Links(scope) => scope_links(scope),
+        FaultTarget::EdgeLink { host } => {
+            let r = edge_recs[host];
+            vec![
+                (r.uplink, None),
+                (r.downlink, Some((switch_ids[r.edge], r.down_port))),
+            ]
+        }
+        FaultTarget::FabricLink { index } => {
+            let p = fabric_pairs[index];
+            vec![
+                (p.l_ab, Some((switch_ids[p.a], p.port_a))),
+                (p.l_ba, Some((switch_ids[p.b], p.port_b))),
+            ]
+        }
+        FaultTarget::Switch { index } => {
+            let alive = match ev.kind {
+                FaultKind::Up => true,
+                FaultKind::Down => false,
+                FaultKind::Degrade(_) => {
+                    panic!("FaultKind::Degrade needs a link target, not a switch")
+                }
+            };
+            sim.schedule(ev.at, switch_ids[index], SetSwitchAlive(alive));
+            // every neighbor's facing port follows the switch state, so
+            // surviving switches reroute/blackhole instead of queueing
+            // onto a dead path; attached hosts' links stay up (frames
+            // reaching the dead switch are dropped and counted there)
+            for p in fabric_pairs {
+                if p.a == index {
+                    sim.schedule(
+                        ev.at,
+                        switch_ids[p.b],
+                        SetPortUp {
+                            port: p.port_b,
+                            up: alive,
+                        },
+                    );
+                } else if p.b == index {
+                    sim.schedule(
+                        ev.at,
+                        switch_ids[p.a],
+                        SetPortUp {
+                            port: p.port_a,
+                            up: alive,
+                        },
+                    );
+                }
+            }
+            return;
+        }
+    };
+    match ev.kind {
+        FaultKind::Degrade(faults) => {
+            for (link, _) in targets {
+                sim.schedule(ev.at, link, SetFaults(faults));
+            }
+        }
+        FaultKind::Down | FaultKind::Up => {
+            let up = matches!(ev.kind, FaultKind::Up);
+            for (link, feed) in targets {
+                sim.schedule(ev.at, link, SetLinkUp(up));
+                if let Some((sw, port)) = feed {
+                    sim.schedule(ev.at, sw, SetPortUp { port, up });
+                }
+            }
+        }
     }
 }
 
@@ -268,6 +452,7 @@ fn build_leaf_spine(
     assert!(leaves >= 1 && spines >= 1 && hosts_per_leaf >= 1);
     let mut switches = make_switches(sim, leaves + spines);
     let mut fabric_links = Vec::new();
+    let mut fabric_pairs = Vec::new();
 
     // leaf l ↔ spine s, remembering the uplink/downlink port ids
     let mut uplinks = vec![Vec::new(); leaves]; // leaf → its spine ports
@@ -281,6 +466,7 @@ fn build_leaf_spine(
                 leaves + s,
                 &sc.links.fabric,
                 &mut fabric_links,
+                &mut fabric_pairs,
             );
             uplinks[l].push(pl);
             down[l] = ps;
@@ -288,7 +474,7 @@ fn build_leaf_spine(
     }
 
     let edge_of_host: Vec<usize> = (0..sc.hosts.len()).map(|i| i / hosts_per_leaf).collect();
-    let (eps, edge_links) = attach_hosts(sim, sc, &edge_of_host, &mut switches);
+    let (eps, edge_links, edge_recs) = attach_hosts(sim, sc, &edge_of_host, &mut switches);
 
     // routes: leaves ECMP remote hosts over all spines; spines route each
     // host down its leaf
@@ -312,6 +498,8 @@ fn build_leaf_spine(
         switches,
         edge_links,
         fabric_links,
+        fabric_pairs,
+        edge_recs,
     )
 }
 
@@ -328,6 +516,7 @@ fn build_fat_tree(sim: &mut Sim, sc: &Scenario, k: usize) -> BuiltFabric {
 
     let mut switches = make_switches(sim, n_edge + n_agg + n_core);
     let mut fabric_links = Vec::new();
+    let mut fabric_pairs = Vec::new();
 
     // edge(p,e) ↔ agg(p,a): full bipartite per pod
     let mut edge_up = vec![Vec::new(); n_edge]; // edge → agg ports
@@ -342,6 +531,7 @@ fn build_fat_tree(sim: &mut Sim, sc: &Scenario, k: usize) -> BuiltFabric {
                     agg_idx(p, a),
                     &sc.links.fabric,
                     &mut fabric_links,
+                    &mut fabric_pairs,
                 );
                 edge_up[edge_idx(p, e)].push(pe);
                 agg_down[pod_local_agg(p, a, half)][e] = pa;
@@ -362,6 +552,7 @@ fn build_fat_tree(sim: &mut Sim, sc: &Scenario, k: usize) -> BuiltFabric {
                     core_idx(c),
                     &sc.links.fabric,
                     &mut fabric_links,
+                    &mut fabric_pairs,
                 );
                 agg_up[pod_local_agg(p, a, half)].push(pa);
                 core_down[c][p] = pc;
@@ -374,7 +565,7 @@ fn build_fat_tree(sim: &mut Sim, sc: &Scenario, k: usize) -> BuiltFabric {
     let edge_of_host: Vec<usize> = (0..sc.hosts.len())
         .map(|i| edge_idx(i / hosts_per_pod, (i % hosts_per_pod) / half))
         .collect();
-    let (eps, edge_links) = attach_hosts(sim, sc, &edge_of_host, &mut switches);
+    let (eps, edge_links, edge_recs) = attach_hosts(sim, sc, &edge_of_host, &mut switches);
 
     for (i, ep) in eps.iter().enumerate() {
         let pod = i / hosts_per_pod;
@@ -414,6 +605,8 @@ fn build_fat_tree(sim: &mut Sim, sc: &Scenario, k: usize) -> BuiltFabric {
         switches,
         edge_links,
         fabric_links,
+        fabric_pairs,
+        edge_recs,
     )
 }
 

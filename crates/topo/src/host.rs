@@ -95,6 +95,14 @@ pub struct PairOpts {
     pub report_interval: Duration,
     /// Fold installed for new flows (native builtin or compiled eBPF).
     pub fold: FoldSpec,
+    /// Consecutive no-progress RTOs before the control plane aborts a
+    /// flow (`None` = retry forever; see `CtrlConfig::rto_give_up`).
+    pub rto_give_up: Option<u32>,
+    /// RTO floor (`RTO = max(min_rto, 4 × sRTT)`). The chaos experiments
+    /// shrink this so give-up fits inside a millisecond-scale fault window.
+    pub min_rto: Duration,
+    /// Base SYN retransmission interval (exponential backoff + jitter).
+    pub syn_retry: Duration,
     pub propagation: Duration,
     pub faults: Faults,
 }
@@ -108,6 +116,9 @@ impl Default for PairOpts {
             cc_interval: ctrl.cc_interval,
             report_interval: ctrl.report_interval,
             fold: FoldSpec::Builtin,
+            rto_give_up: ctrl.rto_give_up,
+            min_rto: ctrl.min_rto,
+            syn_retry: ctrl.syn_retry,
             propagation: Duration::from_us(2),
             faults: Faults::default(),
         }
@@ -135,6 +146,9 @@ pub fn build_endpoint(
                     cc_interval: opts.cc_interval,
                     report_interval: opts.report_interval,
                     fold: opts.fold.clone(),
+                    rto_give_up: opts.rto_give_up,
+                    min_rto: opts.min_rto,
+                    syn_retry: opts.syn_retry,
                     ..Default::default()
                 },
                 nic.handle(),

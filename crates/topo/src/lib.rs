@@ -22,9 +22,13 @@ pub mod spec;
 
 pub use build::{
     build_fabric, BuiltFabric, BuiltHost, BuiltRole, DynFramedServer, DynOpenLoopClient,
+    DynSessionClient, EdgeRec, FabricPair,
 };
 pub use host::{add_arp, build_endpoint, build_pair, build_star, Endpoint, PairOpts, Stack};
-pub use spec::{Fabric, FaultEvent, HostSpec, LinkClass, LinkScope, LinkSpec, Role, Scenario};
+pub use spec::{
+    Fabric, FaultEvent, FaultKind, FaultTarget, HostSpec, LinkClass, LinkScope, LinkSpec, Role,
+    Scenario,
+};
 
 #[cfg(test)]
 mod tests {

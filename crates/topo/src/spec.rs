@@ -6,7 +6,7 @@
 //! in the simulator-composition style of the NS-2 tutorials: describe the
 //! scenario, let the builder instantiate it.
 
-use flextoe_apps::{FramedServerConfig, OpenLoopConfig};
+use flextoe_apps::{FramedServerConfig, OpenLoopConfig, SessionConfig};
 use flextoe_netsim::{Faults, PortConfig};
 use flextoe_sim::{Duration, Time};
 
@@ -50,6 +50,10 @@ pub enum Role {
     /// Generates open-loop traffic at `cfg` toward host `target` (a host
     /// index into [`Scenario::hosts`]; the builder fills `cfg.server_ip`).
     OpenLoop { cfg: OpenLoopConfig, target: usize },
+    /// A reconnecting session client toward host `target`: long-lived
+    /// closed-loop sessions that back off (seeded exponential + jitter)
+    /// and reconnect after aborts — the reconnection-storm workload.
+    Session { cfg: SessionConfig, target: usize },
 }
 
 /// One host: its transport stack and its application.
@@ -103,14 +107,75 @@ pub enum LinkScope {
     All,
 }
 
-/// A scheduled change of the fault model: at `at`, every link in `scope`
-/// switches to `faults` (schedule a later event with
-/// `Faults::default()` to heal).
+/// What a fault event targets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// Every link in a [`LinkScope`] (the probabilistic-degradation
+    /// scope the `SetFaults` schedule has always used).
+    Links(LinkScope),
+    /// The bidirectional edge link pair of one host (by host index).
+    EdgeLink { host: usize },
+    /// One bidirectional fabric link (by index into the builder's
+    /// fabric-link pair list — wiring order, see `BuiltFabric::fabric_pairs`).
+    FabricLink { index: usize },
+    /// A whole switch (by index into `BuiltFabric::switches`).
+    Switch { index: usize },
+}
+
+/// What happens to the target.
+#[derive(Clone, Copy, Debug)]
+pub enum FaultKind {
+    /// Probabilistic degradation: set the `Faults` model on the target
+    /// links (`Faults::default()` heals). Only valid for link targets.
+    Degrade(Faults),
+    /// Hard failure: links go down (and the feeding switch ports are
+    /// marked dead so ECMP stops hashing onto them); a switch target is
+    /// killed outright (all its ports and attached links die with it).
+    Down,
+    /// Explicit heal of a prior `Down`. **Healing is never implicit** —
+    /// a fault persists until a scheduled `Up` event restores it.
+    Up,
+}
+
+/// A scheduled fault-plane change. Same-timestamp events apply in
+/// schedule order: the builder sorts the schedule by `(at, index)` —
+/// index being the position in [`Scenario::fault_schedule`] — so flap
+/// trains touching the same target at one instant stay deterministic.
 #[derive(Clone, Copy, Debug)]
 pub struct FaultEvent {
     pub at: Time,
-    pub scope: LinkScope,
-    pub faults: Faults,
+    pub target: FaultTarget,
+    pub kind: FaultKind,
+}
+
+impl FaultEvent {
+    /// Probabilistic degradation of every link in `scope` (the
+    /// historical schedule shape).
+    pub fn degrade(at: Time, scope: LinkScope, faults: Faults) -> FaultEvent {
+        FaultEvent {
+            at,
+            target: FaultTarget::Links(scope),
+            kind: FaultKind::Degrade(faults),
+        }
+    }
+
+    /// Hard-fail `target` at `at`.
+    pub fn down(at: Time, target: FaultTarget) -> FaultEvent {
+        FaultEvent {
+            at,
+            target,
+            kind: FaultKind::Down,
+        }
+    }
+
+    /// Explicitly heal `target` at `at`.
+    pub fn up(at: Time, target: FaultTarget) -> FaultEvent {
+        FaultEvent {
+            at,
+            target,
+            kind: FaultKind::Up,
+        }
+    }
 }
 
 /// A complete declarative scenario.
@@ -126,7 +191,8 @@ pub struct Scenario {
     /// algorithm, fold, report cadence). The pair/star-only `propagation`
     /// and `faults` fields are ignored here — `links` governs the fabric.
     pub opts: PairOpts,
-    /// Scheduled link-fault changes.
+    /// Scheduled fault-plane changes: probabilistic degradation and hard
+    /// link/switch down/up events. Applied in `(at, index)` order.
     pub fault_schedule: Vec<FaultEvent>,
     /// When client applications start (servers start at t = 0; clients
     /// are staggered one `client_stagger` apart from `client_start`).

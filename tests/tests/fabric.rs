@@ -63,7 +63,7 @@ fn leaf_spine_ecmp_spreads_flows_across_spines() {
                 assert_eq!(s.bad_frames, 0, "framing intact through the fabric");
                 assert!(s.requests > 0);
             }
-            BuiltRole::Idle => {}
+            BuiltRole::Idle | BuiltRole::Session => {}
         }
     }
     // both spines forwarded traffic, each via the L3 ECMP route path
@@ -225,19 +225,15 @@ fn full_scale_plan_meets_sweep_contract() {
 fn fault_schedule_degrades_and_heals_fabric_links() {
     let mut sc = mini_leaf_spine(9);
     sc.fault_schedule = vec![
-        FaultEvent {
-            at: Time::from_us(800),
-            scope: LinkScope::Fabric,
-            faults: Faults {
+        FaultEvent::degrade(
+            Time::from_us(800),
+            LinkScope::Fabric,
+            Faults {
                 drop_chance: 0.05,
                 ..Default::default()
             },
-        },
-        FaultEvent {
-            at: Time::from_us(1600),
-            scope: LinkScope::Fabric,
-            faults: Faults::default(),
-        },
+        ),
+        FaultEvent::degrade(Time::from_us(1600), LinkScope::Fabric, Faults::default()),
     ];
     let mut sim = Sim::new(sc.seed);
     let fab = build_fabric(&mut sim, &sc);
