@@ -86,11 +86,12 @@ pub fn bench_engine(results: &mut Vec<(String, f64)>) {
     );
 
     println!("-- switch: {SWITCH_FRAMES} frames through one ECMP leaf hop --");
-    for (name, tagged) in [
-        ("switch/forward_raw (reparse per hop)", false),
-        ("switch/forward_tagged (parse-once meta)", true),
+    for (name, tagged, sketched) in [
+        ("switch/forward_raw (reparse per hop)", false, false),
+        ("switch/forward_tagged (parse-once meta)", true, false),
+        ("switch/forward_sketched (telemetry armed)", true, true),
     ] {
-        let fps = switch_best_of(2, tagged);
+        let fps = switch_best_of(2, tagged, sketched);
         println!("{name:<44} {:>10.2} M frames/s", fps / 1e6);
         results.push((name.to_string(), fps));
     }

@@ -186,9 +186,12 @@ pub fn dispatch_best_of(n: u32, nodes: usize, burst: bool) -> f64 {
 // sinks, and the sinks recycle the buffers into the sim pool. `tagged`
 // selects the parse-once fast path (frames carry `FrameMeta`, as every
 // in-sim stack emits them) vs. the checked reparse path — the regression
-// guard for the fabric fast path.
+// guard for the fabric fast path. `sketched` additionally arms the
+// telemetry sketch on the forwarding path (no ground-truth map, no
+// sweeps — the marginal cost of the sketch update alone), the guard for
+// the <5% telemetry-overhead budget.
 
-use flextoe_netsim::{PortConfig, Switch};
+use flextoe_netsim::{PortConfig, Switch, TelemetrySpec};
 use flextoe_sim::Tick;
 use flextoe_wire::{Ecn, Frame, FrameMeta, Ip4, MacAddr, SegmentSpec};
 
@@ -239,7 +242,7 @@ impl Node for SwitchPump {
 }
 
 /// Frames/s of wall time through one leaf-spine hop.
-pub fn switch_forwarding_fps(tagged: bool) -> f64 {
+pub fn switch_forwarding_fps(tagged: bool, sketched: bool) -> f64 {
     let mut sim = Sim::with_queue(7, QueueKind::Wheel);
     let up0 = sim.add_node(SwitchSink);
     let up1 = sim.add_node(SwitchSink);
@@ -248,6 +251,16 @@ pub fn switch_forwarding_fps(tagged: bool) -> f64 {
     let p1 = sw.add_port(up1, PortConfig::default());
     sw.route(Ip4::host(2), vec![p0, p1]);
     sw.set_ecmp_salt(sim.rng.next_u64());
+    if sketched {
+        // sketch-only telemetry: no exact per-flow map, and no sweep is
+        // ever scheduled, so the nominal collector (a sink) stays idle —
+        // the run isolates the per-frame sketch update
+        let spec = TelemetrySpec {
+            ground_truth: false,
+            ..Default::default()
+        };
+        sw.enable_telemetry(0, up0, &spec);
+    }
     let sw = sim.add_node(sw);
 
     let flows: Vec<(Vec<u8>, FrameMeta)> = (0..SWITCH_FLOWS)
@@ -286,8 +299,8 @@ pub fn switch_forwarding_fps(tagged: bool) -> f64 {
 }
 
 /// Best-of-n for the switch micro.
-pub fn switch_best_of(n: u32, tagged: bool) -> f64 {
+pub fn switch_best_of(n: u32, tagged: bool, sketched: bool) -> f64 {
     (0..n)
-        .map(|_| switch_forwarding_fps(tagged))
+        .map(|_| switch_forwarding_fps(tagged, sketched))
         .fold(0.0f64, f64::max)
 }

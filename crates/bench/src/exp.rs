@@ -789,7 +789,8 @@ pub fn bench_pipeline(opts: &crate::cli::RunOpts) {
     const SEED_BASELINE_EPS: f64 = 12_620_000.0;
     enum Micro {
         Ring(QueueKind, bool),
-        Switch(bool),
+        /// Switch-forwarding micro: (tagged, sketched).
+        Switch(bool, bool),
         /// Engine-dispatch micro: (nodes, burst).
         Dispatch(usize, bool),
     }
@@ -798,8 +799,9 @@ pub fn bench_pipeline(opts: &crate::cli::RunOpts) {
         Micro::Ring(QueueKind::Heap, true),
         Micro::Ring(QueueKind::Wheel, false),
         Micro::Ring(QueueKind::Wheel, true),
-        Micro::Switch(false),
-        Micro::Switch(true),
+        Micro::Switch(false, false),
+        Micro::Switch(true, false),
+        Micro::Switch(true, true),
         Micro::Dispatch(1, true),
         Micro::Dispatch(1, false),
         Micro::Dispatch(8, true),
@@ -812,14 +814,14 @@ pub fn bench_pipeline(opts: &crate::cli::RunOpts) {
     let micro_jobs = opts.jobs.unwrap_or(1);
     let measured = crate::par::run_indexed(micro_jobs, variants.len(), |i| match variants[i] {
         Micro::Ring(kind, typed) => crate::enginebench::best_of(5, kind, typed),
-        Micro::Switch(tagged) => crate::enginebench::switch_best_of(3, tagged),
+        Micro::Switch(tagged, sketched) => crate::enginebench::switch_best_of(3, tagged, sketched),
         Micro::Dispatch(nodes, burst) => crate::enginebench::dispatch_best_of(3, nodes, burst),
     });
     let (heap_boxed, heap_typed, wheel_boxed, wheel_typed) =
         (measured[0], measured[1], measured[2], measured[3]);
-    let (switch_raw, switch_tagged) = (measured[4], measured[5]);
+    let (switch_raw, switch_tagged, switch_sketched) = (measured[4], measured[5], measured[6]);
     let (self_burst, self_noburst, ring8_burst, ring8_noburst) =
-        (measured[6], measured[7], measured[8], measured[9]);
+        (measured[7], measured[8], measured[9], measured[10]);
     let speedup = wheel_typed / heap_boxed;
     let speedup_vs_seed = wheel_typed / SEED_BASELINE_EPS;
     println!(
@@ -830,11 +832,14 @@ pub fn bench_pipeline(opts: &crate::cli::RunOpts) {
         speedup,
         speedup_vs_seed
     );
+    let sketch_overhead = 1.0 - switch_sketched / switch_tagged;
     println!(
-        "switch micro: raw {:.2}M frames/s  tagged {:.2}M frames/s  (parse-once x{:.2})",
+        "switch micro: raw {:.2}M frames/s  tagged {:.2}M frames/s  (parse-once x{:.2})  sketched {:.2}M frames/s (overhead {:.1}%)",
         switch_raw / 1e6,
         switch_tagged / 1e6,
-        switch_tagged / switch_raw
+        switch_tagged / switch_raw,
+        switch_sketched / 1e6,
+        sketch_overhead * 100.0,
     );
     println!(
         "dispatch micro: self-send {:.2}M (noburst {:.2}M, burst x{:.2})  ring8 {:.2}M (noburst {:.2}M)",
@@ -879,9 +884,61 @@ pub fn bench_pipeline(opts: &crate::cli::RunOpts) {
         res.rps, sim_events, wall, wall_eps / 1e6, p50_us, p99_us
     );
 
+    // --- prof: per-kind delivery counts + burst-length histogram ----------
+    // A dedicated profiler-armed replay of the same echo scenario: the
+    // best-of-2 timing runs above stay unperturbed, and since profiling
+    // never changes simulated results the counts describe exactly the run
+    // measured above (the replay's event count is asserted to match).
+    let (prof_kinds, prof_burst) = {
+        let mut psim = Sim::new(opts.seed.unwrap_or(7));
+        psim.set_prof(true);
+        let (ea, eb) = build_pair(
+            &mut psim,
+            Stack::FlexToe,
+            Stack::FlexToe,
+            &PairOpts::default(),
+        );
+        let srv = psim.add_node(DynServer::new(
+            server(64, 64, 0),
+            eb.stack_init(Stack::FlexToe, 1),
+        ));
+        let cli = psim.add_node(DynClient::new(
+            ClientConfig {
+                server_ip: eb.ip,
+                ..client(16, 64, 64, 4, 2)
+            },
+            ea.stack_init(Stack::FlexToe, 1),
+        ));
+        psim.schedule(Time::ZERO, srv, Tick);
+        psim.schedule(Time::from_us(20), cli, Tick);
+        psim.run_until(Time::from_ms(30));
+        assert_eq!(
+            psim.events_processed(),
+            sim_events,
+            "prof replay must reproduce the measured run"
+        );
+        (psim.prof_kind_dump(), psim.prof_burst_hist())
+    };
+    let prof_kinds_json = prof_kinds
+        .iter()
+        .map(|(name, n)| format!("\"{name}\": {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let prof_burst_json = prof_burst
+        .iter()
+        .map(|(len, n)| format!("\"{len}\": {n}"))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let top = prof_kinds.first().map(|(n, _)| *n).unwrap_or("-");
+    println!(
+        "prof: {} msg kinds delivered (top {top}), {} burst-length buckets",
+        prof_kinds.len(),
+        prof_burst.len()
+    );
+
     // --- machine-readable snapshot ----------------------------------------
     let json = format!(
-        "{{\n  \"benchmark\": \"pipeline\",\n  \"engine_micro\": {{\n    \"events\": {},\n    \"seed_baseline_eps\": {:.0},\n    \"heap_boxed_eps\": {:.0},\n    \"heap_typed_eps\": {:.0},\n    \"wheel_boxed_eps\": {:.0},\n    \"wheel_typed_eps\": {:.0},\n    \"speedup_wheel_typed_vs_heap_boxed\": {:.3},\n    \"speedup_wheel_typed_vs_seed\": {:.3},\n    \"notes\": \"seed_baseline_eps is the true pre-PR engine (Box<dyn Any>+BinaryHeap+buffered sends) measured from a git worktree at the seed commit on this host; heap_boxed reconstructs it in-tree but still benefits from this PR's direct-push send path, so it over-estimates the baseline\"\n  }},\n  \"switch_micro\": {{\n    \"config\": \"one ECMP leaf hop, 64 flows, 130B frames, 2 uplinks\",\n    \"frames\": {},\n    \"raw_frames_per_sec\": {:.0},\n    \"tagged_frames_per_sec\": {:.0},\n    \"speedup_tagged_vs_raw\": {:.3}\n  }},\n  \"engine_dispatch\": {{\n    \"config\": \"token forwarders; self_send = 1 node zero-delay (all same-slot direct drain), ring8 = 8 nodes 25ns hops (all singleton bursts)\",\n    \"events\": {},\n    \"self_send_burst_eps\": {:.0},\n    \"self_send_noburst_eps\": {:.0},\n    \"ring8_burst_eps\": {:.0},\n    \"ring8_noburst_eps\": {:.0},\n    \"burst_speedup_self_send\": {:.3},\n    \"burst_speedup_ring8\": {:.3}\n  }},\n  \"e2e_echo\": {{\n    \"config\": \"FlexTOE<->FlexTOE, 16 conns, 64B echo, 30ms simulated\",\n    \"simulated_rps\": {:.0},\n    \"simulated_goodput_bps\": {:.0},\n    \"sim_events\": {},\n    \"wall_secs\": {:.3},\n    \"wall_events_per_sec\": {:.0},\n    \"latency_us_p50\": {:.1},\n    \"latency_us_p99\": {:.1}\n  }}\n}}\n",
+        "{{\n  \"benchmark\": \"pipeline\",\n  \"engine_micro\": {{\n    \"events\": {},\n    \"seed_baseline_eps\": {:.0},\n    \"heap_boxed_eps\": {:.0},\n    \"heap_typed_eps\": {:.0},\n    \"wheel_boxed_eps\": {:.0},\n    \"wheel_typed_eps\": {:.0},\n    \"speedup_wheel_typed_vs_heap_boxed\": {:.3},\n    \"speedup_wheel_typed_vs_seed\": {:.3},\n    \"notes\": \"seed_baseline_eps is the true pre-PR engine (Box<dyn Any>+BinaryHeap+buffered sends) measured from a git worktree at the seed commit on this host; heap_boxed reconstructs it in-tree but still benefits from this PR's direct-push send path, so it over-estimates the baseline\"\n  }},\n  \"switch_micro\": {{\n    \"config\": \"one ECMP leaf hop, 64 flows, 130B frames, 2 uplinks\",\n    \"frames\": {},\n    \"raw_frames_per_sec\": {:.0},\n    \"tagged_frames_per_sec\": {:.0},\n    \"speedup_tagged_vs_raw\": {:.3},\n    \"sketched_frames_per_sec\": {:.0},\n    \"sketch_overhead_frac\": {:.4}\n  }},\n  \"engine_dispatch\": {{\n    \"config\": \"token forwarders; self_send = 1 node zero-delay (all same-slot direct drain), ring8 = 8 nodes 25ns hops (all singleton bursts)\",\n    \"events\": {},\n    \"self_send_burst_eps\": {:.0},\n    \"self_send_noburst_eps\": {:.0},\n    \"ring8_burst_eps\": {:.0},\n    \"ring8_noburst_eps\": {:.0},\n    \"burst_speedup_self_send\": {:.3},\n    \"burst_speedup_ring8\": {:.3}\n  }},\n  \"e2e_echo\": {{\n    \"config\": \"FlexTOE<->FlexTOE, 16 conns, 64B echo, 30ms simulated\",\n    \"simulated_rps\": {:.0},\n    \"simulated_goodput_bps\": {:.0},\n    \"sim_events\": {},\n    \"wall_secs\": {:.3},\n    \"wall_events_per_sec\": {:.0},\n    \"latency_us_p50\": {:.1},\n    \"latency_us_p99\": {:.1}\n  }},\n  \"prof\": {{\n    \"config\": \"profiler-armed replay of the e2e echo run (FLEXTOE_SIM_PROF counts; simulated results identical)\",\n    \"events\": {},\n    \"msg_kinds\": {{{}}},\n    \"burst_hist\": {{{}}}\n  }}\n}}\n",
         crate::enginebench::PIPE_EVENTS,
         SEED_BASELINE_EPS,
         heap_boxed,
@@ -894,6 +951,8 @@ pub fn bench_pipeline(opts: &crate::cli::RunOpts) {
         switch_raw,
         switch_tagged,
         switch_tagged / switch_raw,
+        switch_sketched,
+        sketch_overhead,
         crate::enginebench::DISPATCH_EVENTS,
         self_burst,
         self_noburst,
@@ -908,6 +967,9 @@ pub fn bench_pipeline(opts: &crate::cli::RunOpts) {
         wall_eps,
         p50_us,
         p99_us,
+        sim_events,
+        prof_kinds_json,
+        prof_burst_json,
     );
     let path = opts.out_path("BENCH_pipeline.json");
     std::fs::write(&path, &json).expect("write BENCH_pipeline.json");

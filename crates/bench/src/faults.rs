@@ -228,13 +228,25 @@ pub struct FaultsOutcome {
     /// pool and every NIC pool); 0 once everything drained.
     pub buf_delta: i64,
     pub conserved: bool,
+    /// Per-switch field sums match the `Stats` named-counter totals
+    /// (`switch.ecmp_rerouted` / `switch.blackholed` /
+    /// `switch.dead_drops`) — the cross-check the aggregate-only rows
+    /// never had.
+    pub counters_consistent: bool,
+    /// Name-sorted per-switch counter object (`Stats::export_json`):
+    /// `faults.swNN.{reroutes,blackholed,dead_drops,down_drops}`, with
+    /// each link's down-drops attributed to the switch that feeds it
+    /// (host uplinks attribute to the edge switch).
+    pub per_switch_json: String,
     pub sim_events: u64,
 }
 
 /// The chaos scenario: every even host runs reconnecting sessions toward
 /// the server on the next leaf (all traffic crosses the spines, same
-/// pattern as the scale sweep), under `row`'s fault schedule.
-fn scenario(seed: u64, row: &ChaosRow, plan: &FaultsPlan) -> Scenario {
+/// pattern as the scale sweep), under `row`'s fault schedule. Public so
+/// the telemetry experiment can run sketch accuracy under the exact
+/// same fault rows.
+pub fn chaos_scenario(seed: u64, row: &ChaosRow, plan: &FaultsPlan) -> Scenario {
     let fabric = Fabric::LeafSpine {
         leaves: LEAVES,
         spines: SPINES,
@@ -280,6 +292,7 @@ fn scenario(seed: u64, row: &ChaosRow, plan: &FaultsPlan) -> Scenario {
         links: Default::default(),
         opts,
         fault_schedule: row.schedule.clone(),
+        telemetry: None,
         client_start: Time::from_us(20),
         client_stagger: Duration::from_us(1),
     }
@@ -305,7 +318,7 @@ pub fn buf_balance(sim: &Sim, fab: &BuiltFabric) -> i64 {
 /// Run one chaos row: sample goodput per bucket to `t_end`, `CloseAll`,
 /// drain to `t_drain`, then audit conservation and harvest counters.
 pub fn run_faults_one(seed: u64, row: &ChaosRow, plan: &FaultsPlan) -> FaultsOutcome {
-    let sc = scenario(seed, row, plan);
+    let sc = chaos_scenario(seed, row, plan);
     let mut sim = Sim::new(sc.seed);
     let fab = build_fabric(&mut sim, &sc);
     let sessions: Vec<NodeId> = fab.hosts.iter().filter_map(|h| h.session()).collect();
@@ -381,19 +394,53 @@ pub fn run_faults_one(seed: u64, row: &ChaosRow, plan: &FaultsPlan) -> FaultsOut
         && gauges.work_in_use == 0
         && buf_delta == 0;
 
-    let (mut reroutes, mut blackholed, mut dead_drops) = (0u64, 0u64, 0u64);
-    for &s in &fab.switches {
+    // Per-switch harvest: field values per switch, each link's
+    // down-drops attributed to the switch feeding it (host uplinks to
+    // the edge switch), landed on named stats so the row carries the
+    // name-sorted `Stats::export_json` snapshot instead of aggregates
+    // only.
+    let n_switches = fab.switches.len();
+    let mut per_sw: Vec<[u64; 4]> = vec![[0; 4]; n_switches]; // reroutes, blackholed, dead_drops, down_drops
+    for (i, &s) in fab.switches.iter().enumerate() {
         let sw = sim.node_ref::<Switch>(s);
-        reroutes += sw.rerouted;
-        blackholed += sw.blackholed;
-        dead_drops += sw.dead_drops;
+        per_sw[i][0] = sw.rerouted;
+        per_sw[i][1] = sw.blackholed;
+        per_sw[i][2] = sw.dead_drops;
     }
-    let (mut down_drops, mut degrade_drops) = (0u64, 0u64);
+    let mut degrade_drops = 0u64;
+    let link_drops = |sim: &Sim, l: NodeId| -> u64 { sim.node_ref::<Link>(l).down_drops };
+    for p in &fab.fabric_pairs {
+        per_sw[p.a][3] += link_drops(&sim, p.l_ab);
+        per_sw[p.b][3] += link_drops(&sim, p.l_ba);
+    }
+    for r in &fab.edge_recs {
+        per_sw[r.edge][3] += link_drops(&sim, r.uplink) + link_drops(&sim, r.downlink);
+    }
     for &l in fab.edge_links.iter().chain(fab.fabric_links.iter()) {
-        let link = sim.node_ref::<Link>(l);
-        down_drops += link.down_drops;
-        degrade_drops += link.dropped;
+        degrade_drops += sim.node_ref::<Link>(l).dropped;
     }
+    let (mut reroutes, mut blackholed, mut dead_drops, mut down_drops) = (0u64, 0u64, 0u64, 0u64);
+    for (i, row_counts) in per_sw.iter().enumerate() {
+        let [rr, bh, dd, ld] = *row_counts;
+        reroutes += rr;
+        blackholed += bh;
+        dead_drops += dd;
+        down_drops += ld;
+        for (field, v) in [
+            ("reroutes", rr),
+            ("blackholed", bh),
+            ("dead_drops", dd),
+            ("down_drops", ld),
+        ] {
+            sim.stats.bump(&format!("faults.sw{i:02}.{field}"), v);
+        }
+    }
+    let per_switch_json = sim.stats.export_json("faults.sw");
+    // the cross-check: per-switch field sums must equal what the
+    // switches reported through their attached counter handles
+    let counters_consistent = reroutes == sim.stats.get_named("switch.ecmp_rerouted")
+        && blackholed == sim.stats.get_named("switch.blackholed")
+        && dead_drops == sim.stats.get_named("switch.dead_drops");
 
     FaultsOutcome {
         name: row.name,
@@ -427,6 +474,8 @@ pub fn run_faults_one(seed: u64, row: &ChaosRow, plan: &FaultsPlan) -> FaultsOut
         gauges,
         buf_delta,
         conserved,
+        counters_consistent,
+        per_switch_json,
         sim_events: sim.events_processed(),
     }
 }
@@ -468,7 +517,7 @@ pub fn faults_json(seed: u64, plan: &FaultsPlan, results: &[FaultsOutcome]) -> S
     for (i, r) in results.iter().enumerate() {
         let g = &r.gauges;
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"pre_rps\": {:.0}, \"dip_rps\": {:.0}, \"dip_frac\": {:.4}, \"recover_us\": {}, \"recovered\": {}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"issued\": {}, \"completed\": {}, \"dead_requests\": {}, \"aborted_conns\": {}, \"peer_closed\": {}, \"reconnects\": {}, \"connect_failures\": {}, \"rto_fired\": {}, \"ctrl_aborts\": {}, \"reroutes\": {}, \"blackholed\": {}, \"dead_drops\": {}, \"down_drops\": {}, \"degrade_drops\": {}, \"in_flight_end\": {}, \"pools\": {{\"work_in_use\": {}, \"buf_delta\": {}}}, \"conserved\": {}, \"sim_events\": {}, \"timeline\": [{}]}}{}\n",
+            "    {{\"name\": \"{}\", \"pre_rps\": {:.0}, \"dip_rps\": {:.0}, \"dip_frac\": {:.4}, \"recover_us\": {}, \"recovered\": {}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"issued\": {}, \"completed\": {}, \"dead_requests\": {}, \"aborted_conns\": {}, \"peer_closed\": {}, \"reconnects\": {}, \"connect_failures\": {}, \"rto_fired\": {}, \"ctrl_aborts\": {}, \"reroutes\": {}, \"blackholed\": {}, \"dead_drops\": {}, \"down_drops\": {}, \"degrade_drops\": {}, \"in_flight_end\": {}, \"pools\": {{\"work_in_use\": {}, \"buf_delta\": {}}}, \"conserved\": {}, \"counters_consistent\": {}, \"per_switch\": {}, \"sim_events\": {}, \"timeline\": [{}]}}{}\n",
             r.name,
             r.pre_rps,
             r.dip_rps,
@@ -495,6 +544,8 @@ pub fn faults_json(seed: u64, plan: &FaultsPlan, results: &[FaultsOutcome]) -> S
             g.work_in_use,
             r.buf_delta,
             r.conserved,
+            r.counters_consistent,
+            r.per_switch_json,
             r.sim_events,
             r.timeline
                 .iter()

@@ -12,3 +12,4 @@ pub mod faults;
 pub mod harness;
 pub mod par;
 pub mod scale;
+pub mod telemetry;

@@ -10,7 +10,7 @@
 //! ```
 
 use flextoe_bench::cli::RunOpts;
-use flextoe_bench::{cc, exp, faults, scale};
+use flextoe_bench::{cc, exp, faults, scale, telemetry};
 
 /// An experiment entry point: the paper reproductions are parameterless;
 /// the scenario experiments take the shared `--seed/--out/--smoke` opts.
@@ -26,7 +26,7 @@ fn main() {
     // the perf snapshot and the scale sweep only run on explicit request,
     // not under `all`; `cc` stays in `all` (it reproduces the §D
     // congestion-control evaluation)
-    let explicit_only = ["bench-pipeline", "scale", "faults"];
+    let explicit_only = ["bench-pipeline", "scale", "faults", "telemetry"];
     let want = |name: &str| {
         if explicit_only.contains(&name) {
             return names.iter().any(|a| a == name);
@@ -55,6 +55,7 @@ fn main() {
         ("cc", WithOpts(cc::cc)),
         ("scale", WithOpts(scale::scale)),
         ("faults", WithOpts(faults::faults)),
+        ("telemetry", WithOpts(telemetry::telemetry)),
         ("bench-pipeline", WithOpts(exp::bench_pipeline)),
     ];
 

@@ -161,6 +161,7 @@ fn scenario(seed: u64, stack: Stack, conns: u32, plan: &ScalePlan) -> Scenario {
         links: Default::default(),
         opts,
         fault_schedule: Vec::new(),
+        telemetry: None,
         client_start: Time::from_us(20),
         client_stagger: Duration::from_us(1),
     }

@@ -19,9 +19,12 @@
 use std::collections::VecDeque;
 
 use flextoe_sim::{CounterHandle, Ctx, Duration, FxHashMap, Msg, MsgBurst, Node, NodeId, Stats};
+use flextoe_telemetry::SwitchSketch;
 use flextoe_wire::{
     ecmp_basis, ecmp_hash_with_basis, Ecn, Frame, FrameMeta, Ip4, Ipv4Packet, MacAddr, ETH_HDR_LEN,
 };
+
+use crate::telemetry::{SetElephants, SweepNow, TelemetrySpec};
 
 /// Flow hash for ECMP port selection: a splitmix64 finalizer over the
 /// directed 4-tuple mixed with a per-switch `salt` derived from the sim
@@ -125,9 +128,46 @@ pub struct Switch {
     /// Frames dropped because the switch itself was dead, plus queued
     /// frames flushed by a port-down/switch-kill event.
     pub dead_drops: u64,
+    /// Elephant flows routed by collector rank instead of hash (the
+    /// heavy-hitter ECMP mode; always 0 when `hh_ecmp` is off).
+    pub steered: u64,
+    /// Sketch telemetry state, present only when the scenario wires a
+    /// telemetry plane ([`Switch::enable_telemetry`]). Boxed so the
+    /// telemetry-off fast path carries one pointer, not sketch arrays.
+    telemetry: Option<Box<SwitchTelemetry>>,
     /// Counter handles resolved at attach — per-frame paths never do a
     /// string-keyed stats lookup.
     counters: Option<SwitchCounters>,
+}
+
+/// Per-switch telemetry plane state (see `crate::telemetry`).
+struct SwitchTelemetry {
+    sketch: SwitchSketch,
+    /// Exact per-flow byte counts observed since attach — the ground
+    /// truth for the differential harness. Never reset: sweep loss and
+    /// kill-time state loss show up as sketch-vs-truth error, which is
+    /// the measurement. `None` when the scenario doesn't need it (it
+    /// costs a hash-map upsert per frame).
+    truth: Option<FxHashMap<u64, u64>>,
+    collector: NodeId,
+    index: u32,
+    epoch_seq: u32,
+    hh_ecmp: bool,
+    /// Collector-confirmed elephants (sorted `flow_basis` values).
+    elephants: Vec<u64>,
+}
+
+impl SwitchTelemetry {
+    /// The fast-path update: one mix of the precomputed basis into both
+    /// sketches and the key table. No parse, no alloc, no new hash of
+    /// key material (`SwitchSketch::update` is multiply-shift only).
+    #[inline]
+    fn observe(&mut self, basis: u64, len: u64) {
+        self.sketch.update(basis, len);
+        if let Some(t) = &mut self.truth {
+            *t.entry(basis).or_insert(0) += len;
+        }
+    }
 }
 
 #[derive(Clone, Copy)]
@@ -140,6 +180,7 @@ struct SwitchCounters {
     rerouted: CounterHandle,
     blackholed: CounterHandle,
     dead_drops: CounterHandle,
+    steered: CounterHandle,
 }
 
 /// Take one switch port administratively down (`up: false`) or up.
@@ -166,6 +207,9 @@ enum RouteOutcome {
     Port(usize),
     /// Primary pick was down; re-finalized over the live candidates.
     Rerouted(usize),
+    /// A collector-confirmed elephant steered by rank (heavy-hitter
+    /// ECMP mode) instead of by hash.
+    Steered(usize),
     /// A route exists but every candidate port is down.
     Blackhole,
     /// No route (or unparseable headers): flood-and-drop as before.
@@ -186,6 +230,8 @@ impl Switch {
             rerouted: 0,
             blackholed: 0,
             dead_drops: 0,
+            steered: 0,
+            telemetry: None,
             counters: None,
         }
     }
@@ -228,6 +274,36 @@ impl Switch {
         self.ecmp_salt = salt;
     }
 
+    /// Attach the telemetry plane: sketch tagged frames on the
+    /// forwarding fast path, answer [`SweepNow`] with epoch reports to
+    /// `collector` (this switch is report index `index`), and — when
+    /// `spec.hh_ecmp` — steer [`SetElephants`]-confirmed flows by rank.
+    pub fn enable_telemetry(&mut self, index: u32, collector: NodeId, spec: &TelemetrySpec) {
+        self.telemetry = Some(Box::new(SwitchTelemetry {
+            sketch: SwitchSketch::new(spec.sketch),
+            truth: spec.ground_truth.then(FxHashMap::default),
+            collector,
+            index,
+            epoch_seq: 0,
+            hh_ecmp: spec.hh_ecmp,
+            elephants: Vec::new(),
+        }));
+    }
+
+    /// Exact per-flow byte counts this switch observed (ground truth),
+    /// if telemetry with `ground_truth` is enabled.
+    pub fn telemetry_truth(&self) -> Option<&FxHashMap<u64, u64>> {
+        self.telemetry.as_deref().and_then(|t| t.truth.as_ref())
+    }
+
+    /// The confirmed-elephant set currently steering this switch.
+    pub fn telemetry_elephants(&self) -> &[u64] {
+        self.telemetry
+            .as_deref()
+            .map(|t| t.elephants.as_slice())
+            .unwrap_or(&[])
+    }
+
     /// Resolve the egress port for an IP-routed frame, if a route exists.
     /// Tagged frames route off their parse-once [`FrameMeta`] (no header
     /// inspection); untagged frames take the checked reparse path. Both
@@ -257,6 +333,30 @@ impl Switch {
         let Some(candidates) = self.routes.get(&m.dst_ip) else {
             return RouteOutcome::NoRoute;
         };
+        // Heavy-hitter ECMP: collector-confirmed elephants are spread
+        // round-robin by their rank in the (sorted, deterministic)
+        // elephant set instead of hashed — two elephants can no longer
+        // collide onto one uplink. Everything else (and everything,
+        // when the mode is off) takes the historical hash unchanged.
+        if let Some(tel) = self.telemetry.as_deref() {
+            if tel.hh_ecmp && !tel.elephants.is_empty() {
+                if let Ok(rank) = tel.elephants.binary_search(&m.flow_basis) {
+                    let pick = candidates[rank % candidates.len()];
+                    if self.ports[pick].up {
+                        return RouteOutcome::Steered(pick);
+                    }
+                    let live: Vec<usize> = candidates
+                        .iter()
+                        .copied()
+                        .filter(|&p| self.ports[p].up)
+                        .collect();
+                    if live.is_empty() {
+                        return RouteOutcome::Blackhole;
+                    }
+                    return RouteOutcome::Steered(live[rank % live.len()]);
+                }
+            }
+        }
         let h = ecmp_hash_with_basis(m.flow_basis, self.ecmp_salt);
         let pick = candidates[(h % candidates.len() as u64) as usize];
         if self.ports[pick].up {
@@ -383,7 +483,9 @@ impl Switch {
         self.ports[port].queue_bytes = 0;
     }
 
-    /// Hard fault-state admin messages ([`SetPortUp`], [`SetSwitchAlive`]).
+    /// Hard fault-state admin messages ([`SetPortUp`], [`SetSwitchAlive`])
+    /// and the telemetry plane's sweep/steering control
+    /// ([`SweepNow`], [`SetElephants`]).
     fn admin(&mut self, ctx: &mut Ctx<'_>, msg: Msg, counters: SwitchCounters) {
         let msg = match flextoe_sim::try_cast::<SetPortUp>(msg) {
             Ok(s) => {
@@ -397,17 +499,60 @@ impl Switch {
             }
             Err(m) => m,
         };
-        match flextoe_sim::try_cast::<SetSwitchAlive>(msg) {
+        let msg = match flextoe_sim::try_cast::<SetSwitchAlive>(msg) {
             Ok(s) => {
                 self.alive = s.0;
                 if !s.0 {
                     for port in 0..self.ports.len() {
                         self.flush_port(ctx, port, counters);
                     }
+                    // the monitoring plane dies with the switch: the
+                    // un-swept partial epoch is lost (ground truth
+                    // survives — that gap is what the differential
+                    // harness measures under fault schedules)
+                    if let Some(tel) = self.telemetry.as_deref_mut() {
+                        tel.sketch.reset();
+                    }
+                }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match flextoe_sim::try_cast::<SweepNow>(msg) {
+            Ok(_) => {
+                self.sweep(ctx);
+                return;
+            }
+            Err(m) => m,
+        };
+        match flextoe_sim::try_cast::<SetElephants>(msg) {
+            Ok(e) => {
+                if let Some(tel) = self.telemetry.as_deref_mut() {
+                    tel.elephants = e.0;
                 }
             }
             Err(m) => panic!("switch: unexpected message {}", m.variant_name()),
         }
+    }
+
+    /// Answer a collector [`SweepNow`]: snapshot-and-reset the sketch
+    /// epoch into a pooled report frame. A dead switch reports nothing
+    /// (the epoch number still advances, so the loss is visible in the
+    /// collector's per-switch epoch counts); a telemetry-less switch
+    /// ignores the sweep.
+    fn sweep(&mut self, ctx: &mut Ctx<'_>) {
+        let latency = self.latency;
+        let Some(tel) = self.telemetry.as_deref_mut() else {
+            return;
+        };
+        if !self.alive {
+            tel.epoch_seq += 1;
+            return;
+        }
+        let mut buf = ctx.pool.take();
+        tel.sketch.encode_sweep(tel.index, tel.epoch_seq, &mut buf);
+        tel.epoch_seq += 1;
+        ctx.send(tel.collector, latency, Frame::raw(buf));
     }
 }
 
@@ -487,6 +632,15 @@ impl Switch {
         if frame.len() < ETH_HDR_LEN {
             return;
         }
+        // telemetry observes every frame a live switch handles, keyed by
+        // the parse-once flow basis — untagged frames (no metadata) are
+        // invisible to the sketch *and* to the truth map, so the
+        // differential stays exact
+        if let Some(tel) = self.telemetry.as_deref_mut() {
+            if let Some(m) = frame.meta.as_ref() {
+                tel.observe(m.flow_basis, frame.len() as u64);
+            }
+        }
         let dst = MacAddr(frame.bytes()[0..6].try_into().unwrap());
         match self.mac_table.get(&dst) {
             Some(&port) if self.ports[port].up => {
@@ -513,6 +667,13 @@ impl Switch {
                     self.rerouted += 1;
                     ctx.stats.inc(counters.routed);
                     ctx.stats.inc(counters.rerouted);
+                    self.enqueue(ctx, port, frame, counters);
+                }
+                RouteOutcome::Steered(port) => {
+                    self.routed += 1;
+                    self.steered += 1;
+                    ctx.stats.inc(counters.routed);
+                    ctx.stats.inc(counters.steered);
                     self.enqueue(ctx, port, frame, counters);
                 }
                 RouteOutcome::Blackhole => {
@@ -553,6 +714,7 @@ impl Node for Switch {
             rerouted: stats.counter("switch.ecmp_rerouted"),
             blackholed: stats.counter("switch.blackholed"),
             dead_drops: stats.counter("switch.dead_drops"),
+            steered: stats.counter("switch.hh_steered"),
         });
     }
 

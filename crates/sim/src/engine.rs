@@ -682,6 +682,15 @@ impl Sim {
         self.burst
     }
 
+    /// Enable/disable the event profiler programmatically (same switch
+    /// as `FLEXTOE_SIM_PROF=1`; the profile vectors grow lazily, so
+    /// this works any time before `run`). Simulated results are
+    /// identical either way — profiling only observes wall time and
+    /// event counts.
+    pub fn set_prof(&mut self, on: bool) {
+        self.prof_enabled = on;
+    }
+
     /// Per-node-name wall-time totals (requires `FLEXTOE_SIM_PROF=1`),
     /// sorted by time descending: `(name, ns, events)`.
     pub fn prof_dump(&self) -> Vec<(String, u64, u64)> {

@@ -1,0 +1,452 @@
+//! The sketches themselves: count-min, the LSB-sharing variant, and the
+//! direct-mapped candidate-key table that makes heavy-hitter *identity*
+//! recoverable (a sketch alone only answers point queries).
+
+/// splitmix64 finalizer: the one extra mix the fast path is allowed on
+/// top of the already-computed `ecmp_basis`. One multiply-shift chain,
+/// no key-material re-read.
+#[inline]
+pub fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 33)).wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+    z = (z ^ (z >> 33)).wrapping_mul(0xC4CE_B9FE_1A85_EC53);
+    z ^ (z >> 33)
+}
+
+/// Per-row odd multipliers for count-min's multiply-shift indexing.
+/// Eight rows is far more depth than any configuration here uses.
+const ROW_ODD: [u64; 8] = [
+    0x9E37_79B9_7F4A_7C15,
+    0xC2B2_AE3D_27D4_EB4F,
+    0x1656_67B1_9E37_79F9,
+    0x27D4_EB2F_1656_67C5,
+    0x85EB_CA77_C2B2_AE63,
+    0xA24B_AED4_963E_E407,
+    0x9FB2_1C65_1E98_DF25,
+    0xCC9E_2D51_0B5E_1B87,
+];
+
+/// Shape shared by every sketch instance in one scenario. `width` and
+/// `key_slots` must be powers of two (indexing is mask/shift only).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SketchCfg {
+    /// Rows per sketch (hash functions).
+    pub depth: usize,
+    /// Counters per row; power of two.
+    pub width: usize,
+    /// Slots in the candidate-key table; power of two.
+    pub key_slots: usize,
+}
+
+impl SketchCfg {
+    pub fn validate(&self) {
+        assert!(
+            self.depth >= 1 && self.depth <= ROW_ODD.len(),
+            "sketch depth {} out of range 1..={}",
+            self.depth,
+            ROW_ODD.len()
+        );
+        assert!(
+            self.width.is_power_of_two() && self.width >= 2,
+            "sketch width {} must be a power of two >= 2",
+            self.width
+        );
+        assert!(
+            self.key_slots.is_power_of_two(),
+            "key_slots {} must be a power of two",
+            self.key_slots
+        );
+    }
+}
+
+impl Default for SketchCfg {
+    fn default() -> SketchCfg {
+        SketchCfg {
+            depth: 4,
+            width: 4096,
+            key_slots: 4096,
+        }
+    }
+}
+
+/// Count-min sketch. Each row indexes the raw key through a private odd
+/// multiplier and a shift (multiply-shift hashing): one multiply per
+/// row, no rehash of key material.
+pub struct CountMin {
+    depth: usize,
+    width: usize,
+    shift: u32,
+    cells: Vec<u64>,
+    total: u64,
+}
+
+impl CountMin {
+    pub fn new(cfg: &SketchCfg) -> CountMin {
+        cfg.validate();
+        CountMin {
+            depth: cfg.depth,
+            width: cfg.width,
+            shift: 64 - cfg.width.trailing_zeros(),
+            cells: vec![0; cfg.depth * cfg.width],
+            total: 0,
+        }
+    }
+
+    #[inline]
+    pub fn update(&mut self, key: u64, v: u64) {
+        let mut base = 0usize;
+        for &odd in ROW_ODD.iter().take(self.depth) {
+            let idx = (key.wrapping_mul(odd) >> self.shift) as usize;
+            self.cells[base + idx] += v;
+            base += self.width;
+        }
+        self.total += v;
+    }
+
+    /// Point query: min over rows. Never under-estimates the true count.
+    pub fn estimate(&self, key: u64) -> u64 {
+        let mut est = u64::MAX;
+        let mut base = 0usize;
+        for &odd in ROW_ODD.iter().take(self.depth) {
+            let idx = (key.wrapping_mul(odd) >> self.shift) as usize;
+            est = est.min(self.cells[base + idx]);
+            base += self.width;
+        }
+        est
+    }
+
+    /// Cell-wise merge; `merge(A, B)` is exactly `sketch(stream A ++ stream B)`.
+    pub fn merge_cells(&mut self, cells: &[u64], total: u64) {
+        assert_eq!(cells.len(), self.cells.len(), "count-min shape mismatch");
+        for (c, &o) in self.cells.iter_mut().zip(cells) {
+            *c += o;
+        }
+        self.total += total;
+    }
+
+    pub fn reset(&mut self) {
+        self.cells.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+    }
+
+    pub fn cells(&self) -> &[u64] {
+        &self.cells
+    }
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+    pub fn depth(&self) -> usize {
+        self.depth
+    }
+    pub fn width(&self) -> usize {
+        self.width
+    }
+}
+
+/// LSB-sharing sketch (arXiv:2503.11777 style, with the
+/// locality-sensitive framing of arXiv:1905.03113): one `mix64` of the
+/// key, then each row reads an overlapping bit window of that single
+/// hash — adjacent rows share their low `log2(width)/2` bits. Update
+/// cost is one mix regardless of depth; rows are correlated, which is
+/// the resilience/accuracy trade the papers study.
+pub struct LsbSketch {
+    depth: usize,
+    width: usize,
+    mask: u64,
+    /// Bits each successive row shifts the shared hash by.
+    share_shift: u32,
+    cells: Vec<u64>,
+    total: u64,
+}
+
+impl LsbSketch {
+    pub fn new(cfg: &SketchCfg) -> LsbSketch {
+        cfg.validate();
+        let log_w = cfg.width.trailing_zeros();
+        let share_shift = (log_w / 2).max(1);
+        assert!(
+            (cfg.depth as u32 - 1) * share_shift + log_w <= 64,
+            "LSB windows exceed 64 bits (depth {} width {})",
+            cfg.depth,
+            cfg.width
+        );
+        LsbSketch {
+            depth: cfg.depth,
+            width: cfg.width,
+            mask: (cfg.width - 1) as u64,
+            share_shift,
+            cells: vec![0; cfg.depth * cfg.width],
+            total: 0,
+        }
+    }
+
+    /// Update from an already-mixed hash (the fast path computes
+    /// `mix64(basis)` once and shares it with the key table).
+    #[inline]
+    pub fn update_hashed(&mut self, h: u64, v: u64) {
+        let mut base = 0usize;
+        let mut w = h;
+        for _ in 0..self.depth {
+            self.cells[base + (w & self.mask) as usize] += v;
+            base += self.width;
+            w >>= self.share_shift;
+        }
+        self.total += v;
+    }
+
+    pub fn update(&mut self, key: u64, v: u64) {
+        self.update_hashed(mix64(key), v);
+    }
+
+    pub fn estimate(&self, key: u64) -> u64 {
+        let mut est = u64::MAX;
+        let mut base = 0usize;
+        let mut w = mix64(key);
+        for _ in 0..self.depth {
+            est = est.min(self.cells[base + (w & self.mask) as usize]);
+            base += self.width;
+            w >>= self.share_shift;
+        }
+        est
+    }
+
+    pub fn merge_cells(&mut self, cells: &[u64], total: u64) {
+        assert_eq!(cells.len(), self.cells.len(), "lsb sketch shape mismatch");
+        for (c, &o) in self.cells.iter_mut().zip(cells) {
+            *c += o;
+        }
+        self.total += total;
+    }
+
+    pub fn reset(&mut self) {
+        self.cells.iter_mut().for_each(|c| *c = 0);
+        self.total = 0;
+    }
+
+    pub fn cells(&self) -> &[u64] {
+        &self.cells
+    }
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+    pub fn share_shift(&self) -> u32 {
+        self.share_shift
+    }
+}
+
+/// Direct-mapped candidate-key table: remembers *which* keys were seen
+/// so heavy hitters can be named, not just counted. Last writer wins a
+/// slot, so a flow's survival probability tracks its update share —
+/// exactly the bias a heavy-hitter table wants. Key 0 means empty
+/// (`ecmp_basis` of real traffic is never 0: src_ip is nonzero in the
+/// high bits).
+pub struct KeyTable {
+    slots: Vec<u64>,
+    mask: u64,
+}
+
+impl KeyTable {
+    pub fn new(cfg: &SketchCfg) -> KeyTable {
+        cfg.validate();
+        KeyTable {
+            slots: vec![0; cfg.key_slots],
+            mask: (cfg.key_slots - 1) as u64,
+        }
+    }
+
+    /// Store from the already-mixed hash (slot index reuses `mix64`'s
+    /// top bits so it is independent of the LSB windows).
+    #[inline]
+    pub fn insert_hashed(&mut self, key: u64, h: u64) {
+        self.slots[((h >> 32) & self.mask) as usize] = key;
+    }
+
+    /// Non-empty candidates in slot order (deterministic).
+    pub fn keys(&self) -> impl Iterator<Item = u64> + '_ {
+        self.slots.iter().copied().filter(|&k| k != 0)
+    }
+
+    pub fn reset(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = 0);
+    }
+}
+
+/// Everything one switch carries for telemetry: both sketches, the
+/// candidate table, and exact frame/byte totals for the epoch.
+pub struct SwitchSketch {
+    pub cfg: SketchCfg,
+    pub cm: CountMin,
+    pub lsb: LsbSketch,
+    pub keys: KeyTable,
+    pub frames: u64,
+    pub bytes: u64,
+}
+
+impl SwitchSketch {
+    pub fn new(cfg: SketchCfg) -> SwitchSketch {
+        SwitchSketch {
+            cfg,
+            cm: CountMin::new(&cfg),
+            lsb: LsbSketch::new(&cfg),
+            keys: KeyTable::new(&cfg),
+            frames: 0,
+            bytes: 0,
+        }
+    }
+
+    /// THE fast-path hook. `basis` is the frame's precomputed
+    /// `FrameMeta::flow_basis`; `len` the wire length. One `mix64`, a
+    /// handful of multiply-shift adds — no parse, no alloc, no rehash.
+    #[inline]
+    pub fn update(&mut self, basis: u64, len: u64) {
+        let h = mix64(basis);
+        self.cm.update(basis, len);
+        self.lsb.update_hashed(h, len);
+        self.keys.insert_hashed(basis, h);
+        self.frames += 1;
+        self.bytes += len;
+    }
+
+    pub fn reset(&mut self) {
+        self.cm.reset();
+        self.lsb.reset();
+        self.keys.reset();
+        self.frames = 0;
+        self.bytes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    pub(crate) struct Lcg(pub u64);
+    impl Lcg {
+        pub fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 8
+        }
+    }
+
+    fn tiny() -> SketchCfg {
+        SketchCfg {
+            depth: 3,
+            width: 256,
+            key_slots: 64,
+        }
+    }
+
+    #[test]
+    fn never_underestimates() {
+        let mut rng = Lcg(42);
+        let mut cm = CountMin::new(&tiny());
+        let mut lsb = LsbSketch::new(&tiny());
+        let keys: Vec<(u64, u64)> = (0..500)
+            .map(|_| (rng.next(), 1 + rng.next() % 900))
+            .collect();
+        for &(k, v) in &keys {
+            cm.update(k, v);
+            lsb.update(k, v);
+        }
+        let mut truth = std::collections::BTreeMap::new();
+        for &(k, v) in &keys {
+            *truth.entry(k).or_insert(0u64) += v;
+        }
+        for (&k, &t) in &truth {
+            assert!(cm.estimate(k) >= t, "count-min under-estimated");
+            assert!(lsb.estimate(k) >= t, "lsb sketch under-estimated");
+        }
+    }
+
+    #[test]
+    fn respects_eps_n_bound() {
+        // Classic count-min guarantee: overshoot <= e/width * N with
+        // prob 1 - exp(-depth) per key. With a fixed seed we assert the
+        // bound with a small slack on every key rather than in
+        // expectation.
+        let cfg = tiny();
+        let mut rng = Lcg(7);
+        let mut cm = CountMin::new(&cfg);
+        let mut truth = std::collections::BTreeMap::new();
+        for _ in 0..2000 {
+            let (k, v) = (rng.next(), 1 + rng.next() % 50);
+            cm.update(k, v);
+            *truth.entry(k).or_insert(0u64) += v;
+        }
+        let n = cm.total();
+        let bound = (3.0 * std::f64::consts::E * n as f64 / cfg.width as f64) as u64;
+        for (&k, &t) in &truth {
+            let over = cm.estimate(k) - t;
+            assert!(
+                over <= bound,
+                "overshoot {over} exceeds 3eN/w = {bound} (N={n})"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_union_stream() {
+        let cfg = tiny();
+        let mut rng = Lcg(99);
+        let a: Vec<(u64, u64)> = (0..300)
+            .map(|_| (rng.next() % 512, 1 + rng.next() % 9))
+            .collect();
+        let b: Vec<(u64, u64)> = (0..300)
+            .map(|_| (rng.next() % 512, 1 + rng.next() % 9))
+            .collect();
+        let mut cm_a = CountMin::new(&cfg);
+        let mut cm_b = CountMin::new(&cfg);
+        let mut cm_u = CountMin::new(&cfg);
+        let mut ls_a = LsbSketch::new(&cfg);
+        let mut ls_b = LsbSketch::new(&cfg);
+        let mut ls_u = LsbSketch::new(&cfg);
+        for &(k, v) in &a {
+            cm_a.update(k, v);
+            ls_a.update(k, v);
+            cm_u.update(k, v);
+            ls_u.update(k, v);
+        }
+        for &(k, v) in &b {
+            cm_b.update(k, v);
+            ls_b.update(k, v);
+            cm_u.update(k, v);
+            ls_u.update(k, v);
+        }
+        cm_a.merge_cells(cm_b.cells(), cm_b.total());
+        ls_a.merge_cells(ls_b.cells(), ls_b.total());
+        assert_eq!(cm_a.cells(), cm_u.cells(), "count-min merge != union");
+        assert_eq!(cm_a.total(), cm_u.total());
+        assert_eq!(ls_a.cells(), ls_u.cells(), "lsb merge != union");
+        assert_eq!(ls_a.total(), ls_u.total());
+    }
+
+    #[test]
+    fn key_table_keeps_hot_keys() {
+        let cfg = tiny();
+        let mut kt = KeyTable::new(&cfg);
+        // A heavy key updated last in its slot must be present.
+        for k in 1..=200u64 {
+            kt.insert_hashed(k, mix64(k));
+        }
+        kt.insert_hashed(7777, mix64(7777));
+        assert!(kt.keys().any(|k| k == 7777));
+        kt.reset();
+        assert_eq!(kt.keys().count(), 0);
+    }
+
+    #[test]
+    fn switch_sketch_update_and_reset() {
+        let mut s = SwitchSketch::new(tiny());
+        s.update(0xdead_beef, 100);
+        s.update(0xdead_beef, 50);
+        assert_eq!(s.frames, 2);
+        assert_eq!(s.bytes, 150);
+        assert!(s.cm.estimate(0xdead_beef) >= 150);
+        assert!(s.lsb.estimate(0xdead_beef) >= 150);
+        s.reset();
+        assert_eq!(s.frames, 0);
+        assert_eq!(s.cm.estimate(0xdead_beef), 0);
+    }
+}

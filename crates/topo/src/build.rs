@@ -16,7 +16,7 @@
 //! decorrelated between switches (no fabric-wide polarization).
 
 use flextoe_apps::{FramedServerApp, OpenLoopClientApp, SessionClientApp, StackApi};
-use flextoe_netsim::{Link, SetFaults, SetLinkUp, SetPortUp, SetSwitchAlive, Switch};
+use flextoe_netsim::{Collector, Link, SetFaults, SetLinkUp, SetPortUp, SetSwitchAlive, Switch};
 use flextoe_sim::{NodeId, Sim, Tick, Time};
 use flextoe_wire::{Ip4, MacAddr};
 
@@ -112,6 +112,9 @@ pub struct BuiltFabric {
     pub fabric_pairs: Vec<FabricPair>,
     /// Per-host edge wiring records (one per host, host order).
     pub edge_recs: Vec<EdgeRec>,
+    /// The telemetry collector node, when the scenario wires a
+    /// telemetry plane ([`crate::spec::Scenario::telemetry`]).
+    pub collector: Option<NodeId>,
 }
 
 impl BuiltFabric {
@@ -225,13 +228,33 @@ fn finalize(
     sc: &Scenario,
     eps: Vec<Endpoint>,
     edge_of_host: Vec<usize>,
-    switches: Vec<Sw>,
+    mut switches: Vec<Sw>,
     edge_links: Vec<NodeId>,
     fabric_links: Vec<NodeId>,
     fabric_pairs: Vec<FabricPair>,
     edge_recs: Vec<EdgeRec>,
 ) -> BuiltFabric {
     let switch_ids: Vec<NodeId> = switches.iter().map(|s| s.node).collect();
+
+    // Telemetry plane: a collector node, per-switch sketch state, and
+    // pre-scheduled epoch sweeps (pre-scheduled so an idle fabric still
+    // terminates — the collector never self-wakes). Everything here is
+    // conditional on the knob: a telemetry-less scenario reserves no
+    // node and draws nothing from the RNG, keeping existing fabrics
+    // byte-identical.
+    let mut collector = None;
+    if let Some(tel) = &sc.telemetry {
+        let col_node = sim.reserve_node();
+        for (i, s) in switches.iter_mut().enumerate() {
+            s.sw.enable_telemetry(i as u32, col_node, tel);
+        }
+        sim.fill_node(col_node, Collector::new(*tel, switch_ids.clone()));
+        for k in 1..=tel.sweeps {
+            sim.schedule(Time::ZERO + tel.epoch * k as u64, col_node, Tick);
+        }
+        collector = Some(col_node);
+    }
+
     for s in switches {
         sim.fill_node(s.node, s.sw);
     }
@@ -316,6 +339,7 @@ fn finalize(
         fabric_links,
         fabric_pairs,
         edge_recs,
+        collector,
     }
 }
 

@@ -7,7 +7,7 @@
 //! scenario, let the builder instantiate it.
 
 use flextoe_apps::{FramedServerConfig, OpenLoopConfig, SessionConfig};
-use flextoe_netsim::{Faults, PortConfig};
+use flextoe_netsim::{Faults, PortConfig, TelemetrySpec};
 use flextoe_sim::{Duration, Time};
 
 use crate::host::{PairOpts, Stack};
@@ -194,6 +194,11 @@ pub struct Scenario {
     /// Scheduled fault-plane changes: probabilistic degradation and hard
     /// link/switch down/up events. Applied in `(at, index)` order.
     pub fault_schedule: Vec<FaultEvent>,
+    /// Sketch telemetry plane: `Some` wires per-switch fast-path
+    /// sketches, a collector node, and pre-scheduled epoch sweeps.
+    /// `None` (the default) builds the fabric byte-identically to a
+    /// telemetry-less build — no extra nodes, no extra RNG draws.
+    pub telemetry: Option<TelemetrySpec>,
     /// When client applications start (servers start at t = 0; clients
     /// are staggered one `client_stagger` apart from `client_start`).
     pub client_start: Time,
@@ -213,6 +218,7 @@ impl Scenario {
             links: LinkSpec::default(),
             opts: PairOpts::default(),
             fault_schedule: Vec::new(),
+            telemetry: None,
             client_start: Time::from_us(20),
             client_stagger: Duration::from_us(1),
         }

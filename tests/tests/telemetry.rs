@@ -1,0 +1,209 @@
+//! The telemetry plane end to end: fast-path sketches feeding the
+//! collector over real report frames, exactness of the merged views
+//! against per-switch ground truth, the count-min no-underestimate
+//! guarantee surviving the sweep/merge pipeline, sketch loss under a
+//! switch kill (while truth survives — the differential measurement),
+//! default-off wiring, and byte-identity of the `telemetry` sweep
+//! across `--jobs` values.
+
+use flextoe_bench::telemetry::{run_telemetry_jobs, telemetry_json, TelemetryPlan};
+use flextoe_netsim::{Collector, Switch, TelemetrySpec};
+use flextoe_sim::{Sim, Time};
+use flextoe_topo::{build_fabric, BuiltFabric, Fabric, FaultEvent, FaultTarget, Scenario, Stack};
+use flextoe_wire::{Frame, Ip4, MacAddr, SegmentSpec};
+
+/// A small idle fabric with the telemetry plane wired: 2 leaves, 1
+/// spine, 1 host per leaf (hosts stay idle; tests inject frames
+/// directly into the switches).
+fn telemetry_fabric(seed: u64, spec: TelemetrySpec) -> (Sim, BuiltFabric) {
+    let mut sc = Scenario::idle(
+        seed,
+        Fabric::LeafSpine {
+            leaves: 2,
+            spines: 1,
+            hosts_per_leaf: 1,
+        },
+        Stack::FlexToe,
+    );
+    sc.telemetry = Some(spec);
+    let mut sim = Sim::new(seed);
+    let fab = build_fabric(&mut sim, &sc);
+    (sim, fab)
+}
+
+/// Pre-built tagged frame for synthetic flow `f`: unique 5-tuple, dst IP
+/// unrouted on every switch so the fast path observes it, then
+/// flood-drops the buffer.
+fn flow_frame(f: u32) -> (Vec<u8>, flextoe_wire::FrameMeta) {
+    let seg = SegmentSpec {
+        src_mac: MacAddr::local(200),
+        dst_mac: MacAddr::local(201),
+        src_ip: Ip4::host(220),
+        dst_ip: Ip4::host(240),
+        src_port: 1_024 + f as u16,
+        dst_port: 7_000,
+        payload_len: 64 + (f as usize % 4) * 64,
+        ..Default::default()
+    };
+    (seg.emit_zeroed(), seg.meta())
+}
+
+/// Sweep reports merge into views that match per-switch exact truth:
+/// byte totals are equal, every truth key was captured, and neither
+/// sketch ever under-estimates a flow (count-min's guarantee must
+/// survive encode → report frame → decode → epoch merge).
+#[test]
+fn collector_merges_exact_fabric_truth() {
+    let (mut sim, fab) = telemetry_fabric(11, TelemetrySpec::default());
+    // 30 flows, skewed 1 + 60/(f+1) frames, interleaved across the 3
+    // switches at a 500ns spacing — all inside the first 1ms epoch
+    let mut at = Time::ZERO;
+    for f in 0..30u32 {
+        let (bytes, meta) = flow_frame(f);
+        for _ in 0..(1 + 60 / (f + 1)) {
+            let sw = fab.switches[f as usize % fab.switches.len()];
+            sim.schedule(at, sw, Frame::tagged(bytes.clone(), meta));
+            at += flextoe_sim::Duration::from_ns(500);
+        }
+    }
+    sim.run();
+
+    let col = sim.node_ref::<Collector>(fab.collector.expect("collector wired"));
+    assert_eq!(col.bad_reports, 0);
+    assert_eq!(
+        col.reports,
+        col.sweeps_sent * fab.switches.len() as u64,
+        "every sweep of every live switch must report"
+    );
+    for (i, &s) in fab.switches.iter().enumerate() {
+        let sw = sim.node_ref::<Switch>(s);
+        let truth = sw.telemetry_truth().expect("ground truth enabled");
+        let truth_bytes: u64 = truth.values().sum();
+        let v = &col.views()[i];
+        assert_eq!(v.bytes, truth_bytes, "switch {i}: swept bytes != truth");
+        for (&k, &exact) in truth {
+            assert!(v.keys.contains(&k), "switch {i}: key table lost a flow");
+            assert!(
+                v.cm.estimate(k) >= exact,
+                "switch {i}: count-min under-estimated"
+            );
+            assert!(
+                v.lsb.estimate(k) >= exact,
+                "switch {i}: lsb sketch under-estimated"
+            );
+        }
+    }
+    // default theta (0.1%) makes every one of these fat flows a heavy
+    // hitter candidate on its switch
+    assert!(!col.elephants(0).is_empty());
+}
+
+/// Killing a switch mid-epoch resets its sketch: the un-swept bytes are
+/// gone from the merged view while the exact truth map survives — the
+/// loss is visible as a view-vs-truth deficit. The other switches stay
+/// exact, and the collector counts the missed sweeps.
+#[test]
+fn dead_switch_loses_epoch_but_truth_survives() {
+    let spec = TelemetrySpec::default(); // 1ms epochs, 8 sweeps
+    let mut sc = Scenario::idle(
+        11,
+        Fabric::LeafSpine {
+            leaves: 2,
+            spines: 1,
+            hosts_per_leaf: 1,
+        },
+        Stack::FlexToe,
+    );
+    sc.telemetry = Some(spec);
+    // spine (switch index 2) dies at 1.5ms — mid-epoch, after the 1ms
+    // sweep — and heals at 2.6ms, missing the 2ms sweep entirely
+    let spine = FaultTarget::Switch { index: 2 };
+    sc.fault_schedule = vec![
+        FaultEvent::down(Time::from_us(1_500), spine),
+        FaultEvent::up(Time::from_us(2_600), spine),
+    ];
+    let mut sim = Sim::new(sc.seed);
+    let fab = build_fabric(&mut sim, &sc);
+    // 20 flows × 100 frames each into the spine, spread over [0, 1.4ms]:
+    // the [1.0, 1.4ms] tail sits un-swept in the sketch when it dies
+    let mut at = Time::ZERO;
+    for r in 0..100u32 {
+        for f in 0..20u32 {
+            let (bytes, meta) = flow_frame(f);
+            sim.schedule(at, fab.switches[2], Frame::tagged(bytes.clone(), meta));
+            let _ = r;
+            at += flextoe_sim::Duration::from_ns(700);
+        }
+    }
+    assert!(at < Time::from_us(1_500), "all frames land before the kill");
+    sim.run();
+
+    let col = sim.node_ref::<Collector>(fab.collector.expect("collector wired"));
+    let sw = sim.node_ref::<Switch>(fab.switches[2]);
+    let truth_bytes: u64 = sw.telemetry_truth().unwrap().values().sum();
+    let v = &col.views()[2];
+    assert!(
+        v.bytes < truth_bytes,
+        "kill must lose the un-swept epoch: view {} vs truth {truth_bytes}",
+        v.bytes
+    );
+    assert!(v.bytes > 0, "the pre-kill sweep was merged");
+    assert!(
+        col.reports < col.sweeps_sent * fab.switches.len() as u64,
+        "dead switch must miss sweeps"
+    );
+    assert_eq!(col.bad_reports, 0);
+}
+
+/// Telemetry is strictly opt-in: a scenario without the knob builds no
+/// collector and arms no switch, so the fast path carries zero sketch
+/// state — the default fabrics of the other benchmarks are untouched.
+#[test]
+fn telemetry_is_default_off() {
+    let sc = Scenario::idle(
+        11,
+        Fabric::LeafSpine {
+            leaves: 2,
+            spines: 1,
+            hosts_per_leaf: 1,
+        },
+        Stack::FlexToe,
+    );
+    assert!(
+        sc.telemetry.is_none(),
+        "idle scenario must not wire telemetry"
+    );
+    let mut sim = Sim::new(sc.seed);
+    let fab = build_fabric(&mut sim, &sc);
+    assert!(fab.collector.is_none());
+    for &s in &fab.switches {
+        let sw = sim.node_ref::<Switch>(s);
+        assert!(sw.telemetry_truth().is_none());
+        assert!(sw.telemetry_elephants().is_empty());
+    }
+}
+
+/// The telemetry sweep's acceptance contract: smoke accuracy rows are
+/// complete (every observed byte swept) with zero count-min
+/// under-estimates, report frames obey buffer conservation, and
+/// `BENCH_telemetry.json` is byte-identical across `--jobs` values.
+#[test]
+fn telemetry_sweep_is_complete_and_byte_identical() {
+    let plan = TelemetryPlan::smoke();
+    let a = run_telemetry_jobs(29, &plan, 1);
+    let ja = telemetry_json(29, &a);
+    for r in &a {
+        if r.json.contains("\"kind\": \"accuracy\"") {
+            assert!(r.json.contains("\"complete\": true"), "{}", r.json);
+            assert!(r.json.contains("\"cm_underestimates\": 0"), "{}", r.json);
+        }
+        if r.json.contains("\"conserved\"") {
+            assert!(r.json.contains("\"conserved\": true"), "{}", r.json);
+        }
+    }
+    let jb = telemetry_json(29, &run_telemetry_jobs(29, &plan, 2));
+    assert_eq!(ja, jb, "jobs=2 diverged from the serial run");
+    assert!(ja.contains("\"benchmark\": \"telemetry\""));
+    assert!(ja.contains("\"kind\": \"faults\""));
+    assert!(ja.contains("\"kind\": \"hh_ecmp\""));
+}
