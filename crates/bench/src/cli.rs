@@ -18,12 +18,21 @@ pub struct RunOpts {
     /// cores). The merged results — and the BENCH JSON minus its
     /// wall-clock lines — are byte-identical for any value.
     pub jobs: Option<usize>,
+    /// Conservative-PDES shards per scenario (`scale` / `faults`). Any
+    /// value produces byte-identical BENCH bodies; >1 partitions each
+    /// fabric across that many worker threads.
+    pub shards: usize,
 }
 
 impl RunOpts {
     /// Effective worker-thread count.
     pub fn jobs(&self) -> usize {
         self.jobs.unwrap_or_else(crate::par::default_jobs).max(1)
+    }
+    /// Sweep-point workers after reserving threads for `--shards`
+    /// (shards × point workers stay within the `--jobs` budget).
+    pub fn point_jobs(&self) -> usize {
+        crate::par::split_threads(self.jobs, self.shards)
     }
     /// Where to write artifact `name` (creates the directory if needed).
     pub fn out_path(&self, name: &str) -> PathBuf {
@@ -40,7 +49,10 @@ impl RunOpts {
     /// positional arguments (experiment names). Exits with a message on
     /// malformed flags.
     pub fn parse(args: &[String]) -> (RunOpts, Vec<String>) {
-        let mut opts = RunOpts::default();
+        let mut opts = RunOpts {
+            shards: 1,
+            ..RunOpts::default()
+        };
         let mut names = Vec::new();
         let mut it = args.iter();
         while let Some(a) = it.next() {
@@ -58,8 +70,12 @@ impl RunOpts {
                     Some(v) if v >= 1 => opts.jobs = Some(v),
                     _ => die("--jobs needs an integer >= 1"),
                 },
+                "--shards" => match it.next().and_then(|v| v.parse().ok()) {
+                    Some(v) if v >= 1 => opts.shards = v,
+                    _ => die("--shards needs an integer >= 1"),
+                },
                 flag if flag.starts_with("--") => die(&format!(
-                    "unknown flag {flag} (have: --seed N, --out DIR, --smoke, --jobs N)"
+                    "unknown flag {flag} (have: --seed N, --out DIR, --smoke, --jobs N, --shards N)"
                 )),
                 name => names.push(name.to_string()),
             }

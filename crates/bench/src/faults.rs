@@ -18,15 +18,16 @@
 use flextoe_apps::{CloseAll, FramedServerConfig, SessionConfig};
 use flextoe_core::PoolGauges;
 use flextoe_netsim::{Faults, Link, Switch};
-use flextoe_sim::{Duration, Histogram, NodeId, Sim, Time};
+use flextoe_shard::{ShardedSim, SyncStats};
+use flextoe_sim::{Duration, Histogram, NodeId, Sim, Stats, Time};
 use flextoe_topo::{
-    build_fabric, BuiltFabric, DynSessionClient, Fabric, FaultEvent, FaultTarget, HostSpec,
-    LinkScope, PairOpts, Role, Scenario, Stack,
+    build_fabric, partition_fabric, BuiltFabric, DynSessionClient, Fabric, FaultEvent, FaultTarget,
+    HostSpec, LinkScope, PairOpts, Role, Scenario, Stack,
 };
 
 use crate::cli::RunOpts;
 use crate::par::run_indexed;
-use crate::scale::{with_wall_block, HOSTS_PER_LEAF, LEAVES, SPINES};
+use crate::scale::{with_wall_extras, HOSTS_PER_LEAF, LEAVES, SPINES};
 
 /// One chaos case: a named fault schedule over the shared timeline.
 #[derive(Clone)]
@@ -239,6 +240,9 @@ pub struct FaultsOutcome {
     /// (host uplinks attribute to the edge switch).
     pub per_switch_json: String,
     pub sim_events: u64,
+    /// Conservative-sync counters when the row ran sharded (`None` for
+    /// the monolithic path). Never serialized into the body.
+    pub sync: Option<SyncStats>,
 }
 
 /// The chaos scenario: every even host runs reconnecting sessions toward
@@ -295,6 +299,7 @@ pub fn chaos_scenario(seed: u64, row: &ChaosRow, plan: &FaultsPlan) -> Scenario 
         telemetry: None,
         client_start: Time::from_us(20),
         client_stagger: Duration::from_us(1),
+        shards: 1,
     }
 }
 
@@ -303,6 +308,10 @@ pub fn chaos_scenario(seed: u64, row: &ChaosRow, plan: &FaultsPlan) -> Scenario 
 /// pools — taken from the sending NIC's pool, returned to the receiver's,
 /// or to the sim-wide pool when a switch or link drops the frame — so
 /// only this global sum is invariant: zero once the fabric has drained.
+/// Under sharding each shard contributes only its own activity (ghost
+/// nodes never run, so their pools stay untouched), and the invariant
+/// holds on the *sum over shards* — PR 6's conservation contract,
+/// extended across shard pools.
 pub fn buf_balance(sim: &Sim, fab: &BuiltFabric) -> i64 {
     let (mut takes, mut returns) = (sim.frame_pool.takes, sim.frame_pool.returns);
     for h in &fab.hosts {
@@ -315,32 +324,125 @@ pub fn buf_balance(sim: &Sim, fab: &BuiltFabric) -> i64 {
     takes as i64 - returns as i64
 }
 
-/// Run one chaos row: sample goodput per bucket to `t_end`, `CloseAll`,
-/// drain to `t_drain`, then audit conservation and harvest counters.
-pub fn run_faults_one(seed: u64, row: &ChaosRow, plan: &FaultsPlan) -> FaultsOutcome {
-    let sc = chaos_scenario(seed, row, plan);
-    let mut sim = Sim::new(sc.seed);
-    let fab = build_fabric(&mut sim, &sc);
-    let sessions: Vec<NodeId> = fab.hosts.iter().filter_map(|h| h.session()).collect();
+/// Commutative per-shard harvest of one chaos row after the drain.
+/// The monolithic path runs the same harvest over a fully-owned `Sim`,
+/// so sharded and single-shard outcomes are byte-identical merges.
+struct FaultsPartial {
+    latency: Histogram,
+    issued: u64,
+    completed: u64,
+    dead_requests: u64,
+    aborted_conns: u64,
+    peer_closed: u64,
+    reconnects: u64,
+    connect_failures: u64,
+    in_flight_end: u64,
+    gauges: PoolGauges,
+    buf_delta: i64,
+    /// reroutes, blackholed, dead_drops, down_drops per switch (full
+    /// length; zero rows for switches another shard owns).
+    per_sw: Vec<[u64; 4]>,
+    degrade_drops: u64,
+    rto_fired: u64,
+    ctrl_aborts: u64,
+    named_rerouted: u64,
+    named_blackholed: u64,
+    named_dead: u64,
+    events: u64,
+}
 
+fn harvest_faults(sim: &Sim, fab: &BuiltFabric) -> FaultsPartial {
+    let mut p = FaultsPartial {
+        latency: Histogram::new(),
+        issued: 0,
+        completed: 0,
+        dead_requests: 0,
+        aborted_conns: 0,
+        peer_closed: 0,
+        reconnects: 0,
+        connect_failures: 0,
+        in_flight_end: 0,
+        gauges: PoolGauges::default(),
+        buf_delta: buf_balance(sim, fab),
+        per_sw: vec![[0; 4]; fab.switches.len()],
+        degrade_drops: 0,
+        rto_fired: sim.stats.get_named("ctrl.rto_fired"),
+        ctrl_aborts: sim.stats.get_named("ctrl.abort"),
+        named_rerouted: sim.stats.get_named("switch.ecmp_rerouted"),
+        named_blackholed: sim.stats.get_named("switch.blackholed"),
+        named_dead: sim.stats.get_named("switch.dead_drops"),
+        events: sim.events_processed(),
+    };
+    for h in &fab.hosts {
+        let Some(n) = h.session() else { continue };
+        if !sim.owns(n) {
+            continue;
+        }
+        let c = sim.node_ref::<DynSessionClient>(n);
+        p.latency.merge(&c.latency);
+        p.issued += c.issued;
+        p.completed += c.completed;
+        p.dead_requests += c.dead_requests;
+        p.aborted_conns += c.aborted_conns;
+        p.peer_closed += c.peer_closed;
+        p.reconnects += c.reconnects;
+        p.connect_failures += c.connect_failures;
+        p.in_flight_end += c.in_flight() as u64;
+    }
+    for h in &fab.hosts {
+        if !sim.owns(h.ep.ingress) {
+            continue;
+        }
+        if let Some((nic, _)) = &h.ep.flextoe {
+            p.gauges.merge(&nic.pool_gauges(sim));
+        }
+    }
+    // Per-switch fields, each link's down-drops attributed to the
+    // switch feeding it (host uplinks to the edge switch). The feeder
+    // discipline of the partitioner guarantees a link and its feeding
+    // switch share a shard, so each per_sw row is filled by one shard.
+    for (i, &s) in fab.switches.iter().enumerate() {
+        if !sim.owns(s) {
+            continue;
+        }
+        let sw = sim.node_ref::<Switch>(s);
+        p.per_sw[i][0] = sw.rerouted;
+        p.per_sw[i][1] = sw.blackholed;
+        p.per_sw[i][2] = sw.dead_drops;
+    }
+    let link_drops = |l: NodeId| -> u64 {
+        if sim.owns(l) {
+            sim.node_ref::<Link>(l).down_drops
+        } else {
+            0
+        }
+    };
+    for pair in &fab.fabric_pairs {
+        p.per_sw[pair.a][3] += link_drops(pair.l_ab);
+        p.per_sw[pair.b][3] += link_drops(pair.l_ba);
+    }
+    for r in &fab.edge_recs {
+        p.per_sw[r.edge][3] += link_drops(r.uplink) + link_drops(r.downlink);
+    }
+    for &l in fab.edge_links.iter().chain(fab.fabric_links.iter()) {
+        if sim.owns(l) {
+            p.degrade_drops += sim.node_ref::<Link>(l).dropped;
+        }
+    }
+    p
+}
+
+/// Merge shard partials + the goodput timeline into one outcome —
+/// identical math to what the pre-sharding monolithic harvest computed
+/// inline.
+fn assemble_faults(
+    row: &ChaosRow,
+    plan: &FaultsPlan,
+    timeline: Vec<u64>,
+    partials: Vec<FaultsPartial>,
+    sync: Option<SyncStats>,
+) -> FaultsOutcome {
     let bucket_ns = plan.bucket.as_ns();
-    let n_buckets = (plan.t_end.as_ns() / bucket_ns) as usize;
-    let mut timeline = Vec::with_capacity(n_buckets);
-    let mut prev = 0u64;
-    for k in 1..=n_buckets {
-        sim.run_until(Time::from_ns(k as u64 * bucket_ns));
-        let done: u64 = sessions
-            .iter()
-            .map(|&n| sim.node_ref::<DynSessionClient>(n).completed)
-            .sum();
-        timeline.push(done - prev);
-        prev = done;
-    }
-    for &n in &sessions {
-        sim.schedule(sim.now(), n, CloseAll);
-    }
-    sim.run_until(plan.t_drain);
-
     // goodput series → recovery metrics (bucket k covers
     // [k·bucket, (k+1)·bucket) in nanoseconds)
     let b = |t: Time| (t.as_ns() / bucket_ns) as usize;
@@ -364,61 +466,52 @@ pub fn run_faults_one(seed: u64, row: &ChaosRow, plan: &FaultsPlan) -> FaultsOut
     let tail_avg = tail.iter().sum::<u64>() as f64 / tail.len().max(1) as f64;
     let recovered = tail_avg >= 0.95 * pre_avg;
 
-    // session accounting + conservation audit
+    let n_switches = partials[0].per_sw.len();
     let mut latency = Histogram::new();
     let (mut issued, mut completed, mut dead_requests) = (0u64, 0u64, 0u64);
     let (mut aborted_conns, mut peer_closed) = (0u64, 0u64);
     let (mut reconnects, mut connect_failures) = (0u64, 0u64);
     let mut in_flight_end = 0u64;
-    for &n in &sessions {
-        let c = sim.node_ref::<DynSessionClient>(n);
-        latency.merge(&c.latency);
-        issued += c.issued;
-        completed += c.completed;
-        dead_requests += c.dead_requests;
-        aborted_conns += c.aborted_conns;
-        peer_closed += c.peer_closed;
-        reconnects += c.reconnects;
-        connect_failures += c.connect_failures;
-        in_flight_end += c.in_flight() as u64;
-    }
     let mut gauges = PoolGauges::default();
-    for h in &fab.hosts {
-        if let Some((nic, _)) = &h.ep.flextoe {
-            gauges.merge(&nic.pool_gauges(&sim));
+    let mut buf_delta = 0i64;
+    let mut per_sw: Vec<[u64; 4]> = vec![[0; 4]; n_switches];
+    let mut degrade_drops = 0u64;
+    let (mut rto_fired, mut ctrl_aborts) = (0u64, 0u64);
+    let (mut named_rerouted, mut named_blackholed, mut named_dead) = (0u64, 0u64, 0u64);
+    let mut sim_events = 0u64;
+    for p in partials {
+        latency.merge(&p.latency);
+        issued += p.issued;
+        completed += p.completed;
+        dead_requests += p.dead_requests;
+        aborted_conns += p.aborted_conns;
+        peer_closed += p.peer_closed;
+        reconnects += p.reconnects;
+        connect_failures += p.connect_failures;
+        in_flight_end += p.in_flight_end;
+        gauges.merge(&p.gauges);
+        buf_delta += p.buf_delta;
+        for (acc, row_counts) in per_sw.iter_mut().zip(&p.per_sw) {
+            for (a, v) in acc.iter_mut().zip(row_counts) {
+                *a += v;
+            }
         }
+        degrade_drops += p.degrade_drops;
+        rto_fired += p.rto_fired;
+        ctrl_aborts += p.ctrl_aborts;
+        named_rerouted += p.named_rerouted;
+        named_blackholed += p.named_blackholed;
+        named_dead += p.named_dead;
+        sim_events += p.events;
     }
-    let buf_delta = buf_balance(&sim, &fab);
     let conserved = issued == completed + dead_requests
         && in_flight_end == 0
         && gauges.work_in_use == 0
         && buf_delta == 0;
 
-    // Per-switch harvest: field values per switch, each link's
-    // down-drops attributed to the switch feeding it (host uplinks to
-    // the edge switch), landed on named stats so the row carries the
-    // name-sorted `Stats::export_json` snapshot instead of aggregates
-    // only.
-    let n_switches = fab.switches.len();
-    let mut per_sw: Vec<[u64; 4]> = vec![[0; 4]; n_switches]; // reroutes, blackholed, dead_drops, down_drops
-    for (i, &s) in fab.switches.iter().enumerate() {
-        let sw = sim.node_ref::<Switch>(s);
-        per_sw[i][0] = sw.rerouted;
-        per_sw[i][1] = sw.blackholed;
-        per_sw[i][2] = sw.dead_drops;
-    }
-    let mut degrade_drops = 0u64;
-    let link_drops = |sim: &Sim, l: NodeId| -> u64 { sim.node_ref::<Link>(l).down_drops };
-    for p in &fab.fabric_pairs {
-        per_sw[p.a][3] += link_drops(&sim, p.l_ab);
-        per_sw[p.b][3] += link_drops(&sim, p.l_ba);
-    }
-    for r in &fab.edge_recs {
-        per_sw[r.edge][3] += link_drops(&sim, r.uplink) + link_drops(&sim, r.downlink);
-    }
-    for &l in fab.edge_links.iter().chain(fab.fabric_links.iter()) {
-        degrade_drops += sim.node_ref::<Link>(l).dropped;
-    }
+    // land the per-switch fields on a fresh named-stats registry so the
+    // row carries the name-sorted `Stats::export_json` snapshot
+    let mut stats = Stats::new();
     let (mut reroutes, mut blackholed, mut dead_drops, mut down_drops) = (0u64, 0u64, 0u64, 0u64);
     for (i, row_counts) in per_sw.iter().enumerate() {
         let [rr, bh, dd, ld] = *row_counts;
@@ -432,15 +525,14 @@ pub fn run_faults_one(seed: u64, row: &ChaosRow, plan: &FaultsPlan) -> FaultsOut
             ("dead_drops", dd),
             ("down_drops", ld),
         ] {
-            sim.stats.bump(&format!("faults.sw{i:02}.{field}"), v);
+            stats.bump(&format!("faults.sw{i:02}.{field}"), v);
         }
     }
-    let per_switch_json = sim.stats.export_json("faults.sw");
+    let per_switch_json = stats.export_json("faults.sw");
     // the cross-check: per-switch field sums must equal what the
     // switches reported through their attached counter handles
-    let counters_consistent = reroutes == sim.stats.get_named("switch.ecmp_rerouted")
-        && blackholed == sim.stats.get_named("switch.blackholed")
-        && dead_drops == sim.stats.get_named("switch.dead_drops");
+    let counters_consistent =
+        reroutes == named_rerouted && blackholed == named_blackholed && dead_drops == named_dead;
 
     FaultsOutcome {
         name: row.name,
@@ -463,8 +555,8 @@ pub fn run_faults_one(seed: u64, row: &ChaosRow, plan: &FaultsPlan) -> FaultsOut
         peer_closed,
         reconnects,
         connect_failures,
-        rto_fired: sim.stats.get_named("ctrl.rto_fired"),
-        ctrl_aborts: sim.stats.get_named("ctrl.abort"),
+        rto_fired,
+        ctrl_aborts,
         reroutes,
         blackholed,
         dead_drops,
@@ -476,16 +568,114 @@ pub fn run_faults_one(seed: u64, row: &ChaosRow, plan: &FaultsPlan) -> FaultsOut
         conserved,
         counters_consistent,
         per_switch_json,
-        sim_events: sim.events_processed(),
+        sim_events,
+        sync,
     }
 }
 
-/// The whole sweep over `jobs` worker threads; each row builds its own
-/// `Sim` from the same seed, so any `--jobs` merges byte-identically.
-pub fn run_faults_jobs(seed: u64, plan: &FaultsPlan, jobs: usize) -> Vec<FaultsOutcome> {
+/// Run one chaos row across `shards` conservative-PDES shards (`1` =
+/// the classic monolithic path): sample goodput per bucket to `t_end`,
+/// `CloseAll`, drain to `t_drain`, then audit conservation and harvest
+/// counters. Every field of the outcome except `sync` is byte-identical
+/// for any shard count.
+pub fn run_faults_point(
+    seed: u64,
+    row: &ChaosRow,
+    plan: &FaultsPlan,
+    shards: usize,
+) -> FaultsOutcome {
+    let shards = shards.max(1);
+    let bucket_ns = plan.bucket.as_ns();
+    let n_buckets = (plan.t_end.as_ns() / bucket_ns) as usize;
+    let mut timeline = Vec::with_capacity(n_buckets);
+    let mut prev = 0u64;
+
+    if shards == 1 {
+        let sc = chaos_scenario(seed, row, plan);
+        let mut sim = Sim::new(sc.seed);
+        let fab = build_fabric(&mut sim, &sc);
+        let sessions: Vec<NodeId> = fab.hosts.iter().filter_map(|h| h.session()).collect();
+        for k in 1..=n_buckets {
+            sim.run_until(Time::from_ns(k as u64 * bucket_ns));
+            let done: u64 = sessions
+                .iter()
+                .map(|&n| sim.node_ref::<DynSessionClient>(n).completed)
+                .sum();
+            timeline.push(done - prev);
+            prev = done;
+        }
+        for &n in &sessions {
+            sim.schedule(plan.t_end, n, CloseAll);
+        }
+        sim.run_until(plan.t_drain);
+        let partial = harvest_faults(&sim, &fab);
+        return assemble_faults(row, plan, timeline, vec![partial], None);
+    }
+
+    let row_shard = row.clone();
+    let plan_shard = plan.clone();
+    let mut sharded = ShardedSim::launch(shards, move |_| {
+        let mut sc = chaos_scenario(seed, &row_shard, &plan_shard);
+        sc.shards = shards;
+        let mut sim = Sim::new(sc.seed);
+        let fab = build_fabric(&mut sim, &sc);
+        let part = partition_fabric(&sim, &sc, &fab, sc.shards);
+        (sim, fab, part)
+    });
+    for k in 1..=n_buckets {
+        sharded.run_until(Time::from_ns(k as u64 * bucket_ns));
+        let done: u64 = sharded
+            .each(|_, sim, fab| {
+                fab.hosts
+                    .iter()
+                    .filter_map(|h| h.session())
+                    .filter(|&n| sim.owns(n))
+                    .map(|n| sim.node_ref::<DynSessionClient>(n).completed)
+                    .sum::<u64>()
+            })
+            .iter()
+            .sum();
+        timeline.push(done - prev);
+        prev = done;
+    }
+    // CloseAll for *every* session on *every* shard: ghost externals
+    // are dropped at the mask but still consume an external sequence
+    // number, keeping admission order aligned with the monolithic run.
+    let t_end = plan.t_end;
+    sharded.each(move |_, sim, fab| {
+        for n in fab.hosts.iter().filter_map(|h| h.session()) {
+            sim.schedule(t_end, n, CloseAll);
+        }
+    });
+    sharded.run_until(plan.t_drain);
+    let partials = sharded.each(|_, sim, fab| harvest_faults(sim, fab));
+    let sync = sharded.sync_stats();
+    assemble_faults(row, plan, timeline, partials, Some(sync))
+}
+
+/// Run one chaos row (monolithic — the reference the sharded path is
+/// proven byte-identical against).
+pub fn run_faults_one(seed: u64, row: &ChaosRow, plan: &FaultsPlan) -> FaultsOutcome {
+    run_faults_point(seed, row, plan, 1)
+}
+
+/// The whole sweep over `jobs` worker threads with each row split
+/// across `shards` PDES shards; each row builds its own `Sim`(s) from
+/// the same seed, so any `--jobs`/`--shards` merges byte-identically.
+pub fn run_faults_jobs_shards(
+    seed: u64,
+    plan: &FaultsPlan,
+    jobs: usize,
+    shards: usize,
+) -> Vec<FaultsOutcome> {
     run_indexed(jobs, plan.rows.len(), |i| {
-        run_faults_one(seed, &plan.rows[i], plan)
+        run_faults_point(seed, &plan.rows[i], plan, shards)
     })
+}
+
+/// The whole sweep over `jobs` worker threads.
+pub fn run_faults_jobs(seed: u64, plan: &FaultsPlan, jobs: usize) -> Vec<FaultsOutcome> {
+    run_faults_jobs_shards(seed, plan, jobs, 1)
 }
 
 pub fn run_faults(seed: u64, plan: &FaultsPlan) -> Vec<FaultsOutcome> {
@@ -568,9 +758,10 @@ pub fn faults(opts: &RunOpts) {
         FaultsPlan::full()
     };
     let seed = opts.seed.unwrap_or(23);
-    let jobs = opts.jobs();
+    let shards = opts.shards.max(1);
+    let jobs = opts.point_jobs();
     println!(
-        "# faults — chaos plane on the {LEAVES}-leaf/{SPINES}-spine fabric, reconnecting sessions{} [jobs={jobs}]",
+        "# faults — chaos plane on the {LEAVES}-leaf/{SPINES}-spine fabric, reconnecting sessions{} [jobs={jobs} shards={shards}]",
         if opts.smoke { " [smoke]" } else { "" }
     );
     println!(
@@ -588,7 +779,7 @@ pub fn faults(opts: &RunOpts) {
         "conserved"
     );
     let wall0 = std::time::Instant::now();
-    let results = run_faults_jobs(seed, &plan, jobs);
+    let results = run_faults_jobs_shards(seed, &plan, jobs, shards);
     let wall = wall0.elapsed().as_secs_f64();
     for r in &results {
         println!(
@@ -608,13 +799,44 @@ pub fn faults(opts: &RunOpts) {
     }
     let sim_events: u64 = results.iter().map(|r| r.sim_events).sum();
     println!(
-        "sweep wall: {:.2}s, {} events ({:.2}M events/s, jobs={})",
+        "sweep wall: {:.2}s, {} events ({:.2}M events/s, jobs={}, shards={})",
         wall,
         sim_events,
         sim_events as f64 / wall / 1e6,
-        jobs
+        jobs,
+        shards
     );
-    let json = with_wall_block(faults_json(seed, &plan, &results), wall, sim_events, jobs);
+    let mut extras = vec![
+        format!("\"shards\": {shards}"),
+        format!("\"threads_total\": {}", jobs * shards),
+    ];
+    if shards > 1 {
+        let windows: u64 = results
+            .iter()
+            .filter_map(|r| r.sync.as_ref())
+            .map(|s| s.windows)
+            .sum();
+        let envelopes: u64 = results
+            .iter()
+            .filter_map(|r| r.sync.as_ref())
+            .map(|s| s.envelopes.iter().sum::<u64>())
+            .sum();
+        let blocked: u64 = results
+            .iter()
+            .filter_map(|r| r.sync.as_ref())
+            .map(|s| s.blocked_ns.iter().sum::<u64>())
+            .sum();
+        extras.push(format!("\"shard_windows\": {windows}"));
+        extras.push(format!("\"shard_envelopes\": {envelopes}"));
+        extras.push(format!("\"shard_blocked_ns\": {blocked}"));
+    }
+    let json = with_wall_extras(
+        faults_json(seed, &plan, &results),
+        wall,
+        sim_events,
+        jobs,
+        &extras,
+    );
     let path = opts.out_path("BENCH_faults.json");
     std::fs::write(&path, &json).expect("write BENCH_faults.json");
     println!("wrote {}", path.display());

@@ -20,6 +20,57 @@ pub fn default_jobs() -> usize {
         .unwrap_or(1)
 }
 
+/// Physical cores detected (distinct `(physical id, core id)` pairs in
+/// `/proc/cpuinfo`), falling back to [`default_jobs`] when that can't
+/// be read. Recorded in the BENCH wall block so speedup rows from
+/// SMT-less or 1-CPU containers are self-describing.
+pub fn physical_cores() -> usize {
+    let Ok(txt) = std::fs::read_to_string("/proc/cpuinfo") else {
+        return default_jobs();
+    };
+    let mut pairs = std::collections::HashSet::new();
+    let (mut phys, mut core) = (None::<u64>, None::<u64>);
+    for line in txt.lines() {
+        let mut kv = line.splitn(2, ':');
+        let key = kv.next().unwrap_or("").trim();
+        let val = kv.next().map(|v| v.trim().parse::<u64>());
+        match key {
+            "physical id" => phys = val.and_then(Result::ok),
+            "core id" => core = val.and_then(Result::ok),
+            "" => {
+                // blank line = end of one processor stanza
+                if let (Some(p), Some(c)) = (phys, core) {
+                    pairs.insert((p, c));
+                }
+                phys = None;
+                core = None;
+            }
+            _ => {}
+        }
+    }
+    if let (Some(p), Some(c)) = (phys, core) {
+        pairs.insert((p, c));
+    }
+    if pairs.is_empty() {
+        default_jobs()
+    } else {
+        pairs.len()
+    }
+}
+
+/// Compose `--jobs` (sweep-point workers) with `--shards` (threads per
+/// point): the product must not oversubscribe the thread budget, so a
+/// sharded sweep gets `budget / shards` point workers (min 1). With one
+/// shard this is exactly the historical `--jobs` behavior.
+pub fn split_threads(requested_jobs: Option<usize>, shards: usize) -> usize {
+    let budget = requested_jobs.unwrap_or_else(default_jobs).max(1);
+    if shards > 1 {
+        (budget / shards).max(1)
+    } else {
+        budget
+    }
+}
+
 /// Run `f(0..n)` on `jobs` worker threads and return the results in
 /// input order. `f` must be independent per index (each call builds its
 /// own `Sim`); panics in workers propagate to the caller.

@@ -559,6 +559,9 @@ fn hh_scenario(seed: u64, on: bool, t_drain: Time) -> Scenario {
         }),
         client_start: Time::from_us(20),
         client_stagger: Duration::from_us(1),
+        // the telemetry plane is not shardable (collector fan-in
+        // crosses non-link edges) — partition_fabric enforces this
+        shards: 1,
     }
 }
 

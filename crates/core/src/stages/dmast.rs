@@ -133,15 +133,17 @@ impl DmaStage {
         self.seg_pool.borrow_mut().put(frame);
 
         let d = self.exec(ctx, costs::DMA_STAGE);
-        if let Some(frame) = ack_frame {
-            let nbi_seq = nbi_seq.expect("post assigned nbi for ack");
+        if let Some(nbi_seq) = nbi_seq {
+            // ack_frame None = the connection vanished before post could
+            // build the ACK; an empty frame still releases the allocated
+            // NBI slot (seqr skips it) so the egress lane never stalls
             ctx.send(
                 self.seqr,
                 d,
                 NbiFrame {
                     group: group as u32,
                     nbi_seq,
-                    frame,
+                    frame: ack_frame.unwrap_or_default(),
                 },
             );
         }

@@ -151,7 +151,26 @@ impl PostStage {
         let mut table = self.table.borrow_mut();
         let Some(entry) = table.get_mut(conn) else {
             drop(table);
-            if let Work::Rx(w) = pool.retire(slot) {
+            let w = pool.rx_mut(slot);
+            if w.nbi_seq.is_some() {
+                // the connection vanished between the protocol stage
+                // (which allocated an NBI slot for the ACK) and here:
+                // forward the item to the DMA stage anyway so the slot
+                // is released as an NBI skip — retiring it would stall
+                // the flow group's egress reorderer forever
+                if let Some(out) = w.outcome.as_mut() {
+                    out.placement = None; // no payload movement for a dead conn
+                }
+                let d = self.exec(ctx, costs::POST_RX);
+                ctx.send(
+                    self.dma,
+                    d + self.cfg.hop_cross(),
+                    WorkToken {
+                        slot,
+                        entry_seq: None,
+                    },
+                );
+            } else if let Work::Rx(w) = pool.retire(slot) {
                 self.seg_pool.borrow_mut().put(w.frame);
             }
             return;

@@ -2,9 +2,30 @@
 //!
 //! A simulation is a set of [`Node`]s (pipeline-stage FPCs, host cores,
 //! links, switch ports, …) exchanging timestamped messages through a global
-//! event queue. Execution is single-threaded and fully deterministic: ties
-//! in time are broken by enqueue order, and all randomness flows from one
-//! seeded generator.
+//! event queue. Execution is single-threaded per [`Sim`] and fully
+//! deterministic: delivery follows the total `(time, seq)` key order, and
+//! randomness flows from seeded per-node generators.
+//!
+//! # Partition-independent event keys
+//!
+//! Event sequence numbers are **banded** so that the same simulation
+//! produces the same keys no matter how it is partitioned across shards
+//! (`flextoe-shard` runs one scenario as N communicating `Sim`s):
+//!
+//! - band 0 — events scheduled from outside any handler
+//!   ([`Sim::schedule`] / [`Sim::schedule_in`]): `seq` is a global
+//!   schedule-call counter, so externally scheduled ties deliver in call
+//!   order, as they always have.
+//! - band `id+1` — events sent from inside a handler ([`Ctx::send`] and
+//!   friends): `seq = (source id + 1) << 40 | per-source counter`. The key
+//!   depends only on the sending node's own history, never on the global
+//!   interleaving — which is what makes a sharded run byte-identical to
+//!   the monolithic one.
+//!
+//! At equal timestamps this orders all externally scheduled events first,
+//! then runtime sends by `(source id, per-source send count)`. Every
+//! scheduler (wheel, reference heap, sharded) delivers the greedy minimum
+//! of the queued keys, so all of them realize the identical order.
 //!
 //! Latency travels in messages; genuinely shared memory (socket payload
 //! buffers, context queues, NIC memories) is shared via `Rc<RefCell<…>>`
@@ -44,6 +65,34 @@ use flextoe_wire::Frame;
 
 /// Identifies a node within one simulation.
 pub type NodeId = usize;
+
+// ---- partition-independent event keys -----------------------------------
+
+/// Bits of per-source sequence space below the band id (see the module
+/// docs): 2^40 sends per source, 2^24 - 1 bands.
+const SEQ_BAND_SHIFT: u32 = 40;
+/// Per-band counter capacity.
+const SEQ_BAND_SPAN: u64 = 1 << SEQ_BAND_SHIFT;
+/// Highest admissible node id (band `id + 1` must fit above the shift).
+const MAX_NODE_ID: usize = (1 << (64 - SEQ_BAND_SHIFT as usize)) - 2;
+
+/// The seq band of runtime sends from node `id`.
+#[inline]
+fn node_band(id: NodeId) -> u64 {
+    ((id as u64) + 1) << SEQ_BAND_SHIFT
+}
+
+/// A cross-shard event in flight: a frame crossing a cut link, carrying
+/// the exact delivery key the monolithic engine would have used. Produced
+/// by a send to a non-owned node (see [`Sim::set_owned`]), consumed by
+/// [`Sim::import`] on the owning shard.
+#[derive(Debug)]
+pub struct Envelope {
+    pub time: Time,
+    pub seq: u64,
+    pub to: NodeId,
+    pub frame: Frame,
+}
 
 // ---- typed message vocabulary -------------------------------------------
 
@@ -381,14 +430,24 @@ pub trait Node: Any {
 }
 
 /// Per-delivery context handed to a node. Outgoing sends are pushed
-/// straight into the event queue (enqueue order — and therefore the FIFO
-/// tie-break — is the order of the `send` calls, exactly as with the old
-/// commit-on-return buffer, but without the extra copy).
+/// straight into the event queue, keyed `(time, band | per-source seq)`:
+/// same-time sends from one node deliver in call order, and the key never
+/// depends on what other nodes are doing (partition independence).
+///
+/// `rng` is the *receiving node's* private random stream, seeded from
+/// `(sim seed, node id)` — stable across runs, engines, and shardings.
 pub struct Ctx<'a> {
     now: Time,
     self_id: NodeId,
     queue: &'a mut Queue,
-    seq: &'a mut u64,
+    /// Per-source send counter of `self_id` (low bits of the seq key).
+    send_seq: &'a mut u64,
+    /// `node_band(self_id)`, precomputed.
+    seq_base: u64,
+    /// Shard ownership mask (`None` in monolithic runs).
+    owned: Option<&'a [bool]>,
+    /// Outbox for sends addressed to nodes another shard owns.
+    exports: &'a mut Vec<Envelope>,
     pub rng: &'a mut Rng,
     pub stats: &'a mut Stats,
     /// The simulation-wide frame-buffer pool: emitters outside the NICs
@@ -413,8 +472,32 @@ impl<'a> Ctx<'a> {
 
     #[inline]
     fn push(&mut self, time: Time, to: NodeId, msg: Msg) {
-        let seq = *self.seq;
-        *self.seq += 1;
+        let seq = self.seq_base | *self.send_seq;
+        *self.send_seq += 1;
+        debug_assert!(
+            *self.send_seq < SEQ_BAND_SPAN,
+            "per-source seq band overflow"
+        );
+        if let Some(owned) = self.owned {
+            if !owned[to] {
+                // Cross-shard hop: only link traversals (frames with
+                // nonzero propagation — the conservative lookahead) may
+                // cross a cut; anything else is a partitioning bug.
+                match msg {
+                    Msg::Frame(frame) => self.exports.push(Envelope {
+                        time,
+                        seq,
+                        to,
+                        frame,
+                    }),
+                    m => panic!(
+                        "cross-shard send to node {to} must be a Frame on a cut link, got {}",
+                        m.variant_name()
+                    ),
+                }
+                return;
+            }
+        }
         self.queue.push(Ev { time, seq, to, msg });
     }
 
@@ -599,13 +682,31 @@ impl Queue {
     }
 }
 
-/// The simulation: event queue + nodes + global RNG and statistics.
+/// The simulation: event queue + nodes + RNG streams and statistics.
 pub struct Sim {
     time: Time,
-    seq: u64,
+    /// Band-0 counter: externally scheduled events (schedule-call order).
+    ext_seq: u64,
     queue: Queue,
     nodes: Vec<Option<Box<dyn Node>>>,
     node_names: Vec<String>,
+    /// The constructor seed; per-node streams derive from it.
+    seed: u64,
+    /// Per-source runtime send counters (seq key low bits).
+    send_seqs: Vec<u64>,
+    /// Per-node random streams, seeded from `(seed, node id)` — delivery
+    /// handlers draw from their own stream only ([`Ctx::rng`]), so draws
+    /// are independent of global event interleaving.
+    node_rngs: Vec<Rng>,
+    /// Shard ownership mask (`None` = monolithic: this sim owns every
+    /// node). Sends to non-owned nodes become [`Envelope`] exports;
+    /// external schedules to them are dropped (the owning shard makes the
+    /// identical call).
+    owned: Option<Vec<bool>>,
+    exports: Vec<Envelope>,
+    /// Build-time random stream (ECMP salts, wiring-order draws).
+    /// Delivery handlers use [`Ctx::rng`] — their per-node streams —
+    /// instead.
     pub rng: Rng,
     pub stats: Stats,
     /// Simulation-wide recycled frame buffers (see [`Ctx::pool`]).
@@ -651,13 +752,18 @@ impl Sim {
         let kind = if reference { QueueKind::Heap } else { kind };
         Sim {
             time: Time::ZERO,
-            seq: 0,
+            ext_seq: 0,
             queue: match kind {
                 QueueKind::Wheel => Queue::Wheel(EventWheel::new()),
                 QueueKind::Heap => Queue::Heap(BinaryHeap::new()),
             },
             nodes: Vec::new(),
             node_names: Vec::new(),
+            seed,
+            send_seqs: Vec::new(),
+            node_rngs: Vec::new(),
+            owned: None,
+            exports: Vec::new(),
             rng: Rng::new(seed),
             stats: Stats::new(),
             frame_pool: PktBufPool::new(SIM_POOL_BOUND),
@@ -746,9 +852,25 @@ impl Sim {
         self.queue.len()
     }
 
+    /// Register per-node engine state for a new slot: the private random
+    /// stream (a pure function of `(seed, id)`) and the send counter.
+    fn register_slot(&mut self) -> NodeId {
+        let id = self.nodes.len();
+        assert!(id <= MAX_NODE_ID, "node id {id} exceeds the seq band space");
+        assert!(
+            self.owned.is_none(),
+            "add every node before set_owned (ownership mask is fixed-size)"
+        );
+        self.send_seqs.push(0);
+        self.node_rngs.push(Rng::new(
+            self.seed ^ (id as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ));
+        id
+    }
+
     /// Add a node; returns its id.
     pub fn add_node<N: Node>(&mut self, mut node: N) -> NodeId {
-        let id = self.nodes.len();
+        let id = self.register_slot();
         node.on_attach(&mut self.stats);
         self.node_names.push(node.name());
         self.nodes.push(Some(Box::new(node)));
@@ -757,7 +879,7 @@ impl Sim {
 
     /// Reserve a node slot to be filled later (for cyclic wiring).
     pub fn reserve_node(&mut self) -> NodeId {
-        let id = self.nodes.len();
+        let id = self.register_slot();
         self.node_names.push("<reserved>".to_string());
         self.nodes.push(None);
         id
@@ -807,9 +929,82 @@ impl Sim {
 
     #[inline]
     fn push(&mut self, time: Time, to: NodeId, msg: Msg) {
-        let seq = self.seq;
-        self.seq += 1;
+        // Band 0: externally scheduled ties deliver in schedule-call
+        // order. Under sharding every shard makes the identical schedule
+        // calls, so the counter stays aligned; calls addressed to nodes
+        // another shard owns are dropped here (the owner enqueues them).
+        let seq = self.ext_seq;
+        self.ext_seq += 1;
+        debug_assert!(seq < SEQ_BAND_SPAN, "external event band overflow");
+        if let Some(owned) = &self.owned {
+            if !owned[to] {
+                return;
+            }
+        }
         self.queue.push(Ev { time, seq, to, msg });
+    }
+
+    // ---- shard ownership (see `flextoe-shard`) ---------------------------
+
+    /// Restrict this sim to the nodes marked `true`: runtime frames sent
+    /// to other nodes become [`Envelope`] exports ([`Sim::take_exports`]),
+    /// external schedules to them are dropped (counting the band-0 seq
+    /// either way). Call once, after the full — and partition-independent
+    /// — build. Monolithic runs never call this.
+    pub fn set_owned(&mut self, owned: Vec<bool>) {
+        assert_eq!(
+            owned.len(),
+            self.nodes.len(),
+            "ownership mask must cover every node"
+        );
+        assert_eq!(self.time, Time::ZERO, "set_owned must precede the run");
+        // Build-time schedules (app kickoffs, fault events) are already
+        // queued: purge the ones addressed to ghost nodes, keys intact,
+        // on a fresh queue (draining may have rotated the wheel window).
+        let mut kept = Vec::with_capacity(self.queue.len());
+        while let Some(ev) = self.queue.pop() {
+            if owned[ev.to] {
+                kept.push(ev);
+            }
+        }
+        self.queue = match self.queue {
+            Queue::Wheel(_) => Queue::Wheel(EventWheel::new()),
+            Queue::Heap(_) => Queue::Heap(BinaryHeap::new()),
+        };
+        for ev in kept {
+            self.queue.push(ev);
+        }
+        self.owned = Some(owned);
+    }
+
+    /// Does this sim own (execute) node `id`? Always true in monolithic
+    /// runs, so harvest code can filter by ownership unconditionally.
+    #[inline]
+    pub fn owns(&self, id: NodeId) -> bool {
+        self.owned.as_ref().is_none_or(|o| o[id])
+    }
+
+    /// Admit a cross-shard envelope under its original delivery key. The
+    /// conservative synchronizer guarantees `env.time` is not in this
+    /// shard's past.
+    pub fn import(&mut self, env: Envelope) {
+        debug_assert!(env.time >= self.time, "cross-shard import in the past");
+        self.queue.push(Ev {
+            time: env.time,
+            seq: env.seq,
+            to: env.to,
+            msg: Msg::Frame(env.frame),
+        });
+    }
+
+    /// Drain the envelopes exported since the last call.
+    pub fn take_exports(&mut self) -> Vec<Envelope> {
+        std::mem::take(&mut self.exports)
+    }
+
+    /// Number of node slots (partitioners size ownership maps from this).
+    pub fn n_nodes(&self) -> usize {
+        self.nodes.len()
     }
 
     /// Deliver the next event — and, with bursting enabled, every
@@ -851,8 +1046,11 @@ impl Sim {
                 now: self.time,
                 self_id: to,
                 queue: &mut self.queue,
-                seq: &mut self.seq,
-                rng: &mut self.rng,
+                send_seq: &mut self.send_seqs[to],
+                seq_base: node_band(to),
+                owned: self.owned.as_deref(),
+                exports: &mut self.exports,
+                rng: &mut self.node_rngs[to],
                 stats: &mut self.stats,
                 pool: &mut self.frame_pool,
                 halt: &mut self.halt,
@@ -1294,6 +1492,103 @@ mod tests {
         assert_eq!(sim.node_ref::<HaltOnSecond>(h).seen, 2);
         assert_eq!(sim.events_processed(), 2);
         assert_eq!(sim.events_pending(), 3);
+    }
+
+    /// Ownership masks turn cross-boundary frames into exports with the
+    /// key a monolithic run would have used, and `import` delivers them
+    /// under that key. External schedules to ghost nodes burn their
+    /// band-0 seq but deliver nothing.
+    #[test]
+    fn ownership_exports_and_imports_round_trip() {
+        struct Fwd {
+            peer: NodeId,
+        }
+        impl Node for Fwd {
+            fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+                let f = cast::<Frame>(msg);
+                ctx.send(self.peer, Duration::from_ns(500), *f);
+            }
+        }
+        struct Sink {
+            got: Vec<(u64, Vec<u8>)>,
+        }
+        impl Node for Sink {
+            fn on_msg(&mut self, ctx: &mut Ctx<'_>, msg: Msg) {
+                let f = cast::<Frame>(msg);
+                self.got.push((ctx.now().as_ns(), f.bytes.clone()));
+            }
+        }
+
+        // shard 0 owns the forwarder, shard 1 owns the sink; both build
+        // the identical two-node sim
+        let build = || {
+            let mut sim = Sim::new(5);
+            let sink = sim.reserve_node();
+            let fwd = sim.add_node(Fwd { peer: sink });
+            sim.fill_node(sink, Sink { got: vec![] });
+            sim.schedule(Time::from_ns(10), fwd, Frame::raw(vec![7, 7]));
+            // ghost-dropped on shard 0, delivered on shard 1
+            sim.schedule(Time::from_ns(5), sink, Frame::raw(vec![1]));
+            (sim, sink, fwd)
+        };
+        let (mut s0, sink, fwd) = build();
+        s0.set_owned({
+            let mut m = vec![false; s0.n_nodes()];
+            m[fwd] = true;
+            m
+        });
+        let (mut s1, _, _) = build();
+        s1.set_owned({
+            let mut m = vec![false; s1.n_nodes()];
+            m[sink] = true;
+            m
+        });
+
+        s0.run_until(Time::from_us(1));
+        let exports = s0.take_exports();
+        assert_eq!(exports.len(), 1);
+        assert_eq!(exports[0].to, sink);
+        assert_eq!(exports[0].time, Time::from_ns(510));
+        s1.run_until(Time::from_ns(400));
+        for env in exports {
+            s1.import(env);
+        }
+        s1.run_until(Time::from_us(1));
+        assert_eq!(
+            s1.node_ref::<Sink>(sink).got,
+            vec![(5, vec![1]), (510, vec![7, 7])]
+        );
+        // each event ran on exactly one shard
+        assert_eq!(s0.events_processed() + s1.events_processed(), 3);
+    }
+
+    /// Per-node RNG streams depend only on `(seed, node id)` — a node
+    /// draws the same values no matter what other nodes do around it.
+    #[test]
+    fn node_rng_streams_are_interleaving_independent() {
+        struct Drawer {
+            vals: Vec<u64>,
+        }
+        impl Node for Drawer {
+            fn on_msg(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+                self.vals.push(ctx.rng.next_u64());
+            }
+        }
+        let run = |noise: bool| {
+            let mut sim = Sim::new(42);
+            let a = sim.add_node(Drawer { vals: vec![] });
+            let b = sim.add_node(Drawer { vals: vec![] });
+            for i in 0..5u64 {
+                sim.schedule(Time::from_ns(10 * i), a, Tick);
+                if noise {
+                    sim.schedule(Time::from_ns(10 * i), b, Tick);
+                    sim.schedule(Time::from_ns(10 * i + 5), b, Tick);
+                }
+            }
+            sim.run();
+            sim.node_ref::<Drawer>(a).vals.clone()
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

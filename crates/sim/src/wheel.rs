@@ -11,9 +11,10 @@
 //!
 //! # Ordering contract
 //!
-//! Delivery order is exactly `(time, enqueue seq)` — byte-identical to the
-//! `BinaryHeap` reference scheduler, including FIFO tie-break at equal
-//! timestamps. The integration suite proves this differentially.
+//! Every pop yields the minimum queued `(time, seq)` key — byte-identical
+//! to the `BinaryHeap` reference scheduler, including the banded-seq
+//! tie-break at equal timestamps. The integration suite proves this
+//! differentially.
 //!
 //! # Windowing
 //!
@@ -34,16 +35,22 @@
 //! A handler that schedules new work due inside the *current* bucket — a
 //! zero-delay hop, a doorbell, an `FsUpdate`, a same-cycle stage handoff —
 //! takes the **hot deque** instead of the wheel proper: no bucket hashing,
-//! no occupancy-bitmap update, no staging sort. Because such sends carry
-//! strictly increasing enqueue sequence numbers and are issued while the
-//! drain clock advances monotonically, appending to the deque keeps it
-//! `(time, seq)`-sorted in the common case (an O(1) `push_back`); the rare
-//! in-bucket send with an earlier target time inserts at its sorted
-//! position. Popping merges the deque with the staged `ready` run by
-//! comparing fronts — two sorted runs, so the merge preserves the exact
-//! global `(time, seq)` order. The deque is always empty by the time the
-//! cursor advances past its bucket, so hot events can never be overtaken
-//! by later buckets or the overflow heap.
+//! no occupancy-bitmap update, no staging sort. Seq keys are banded per
+//! source node (engine docs), so they are not globally monotone; the deque
+//! is kept `(time, seq)`-sorted by full-key insertion, where zero-delay
+//! self-sends — the common case — still append in O(1) (one source's keys
+//! are monotone within one timestamp). Popping merges the deque with the
+//! staged `ready` run by comparing fronts — two sorted runs, so every pop
+//! yields the minimum queued key: exactly the reference heap's greedy
+//! order. The deque is always empty by the time the cursor advances past
+//! its bucket, so hot events can never be overtaken by later buckets or
+//! the overflow heap.
+//!
+//! Pushes below `base` cannot happen — `base` never passes the sim clock
+//! (rotation happens only while delivering an event at the new base), and
+//! every push (including cross-shard imports, which a conservative
+//! synchronizer admits strictly after the shard's clock) is at or after
+//! the clock. `bucket_of` debug-asserts this.
 
 use std::collections::{BinaryHeap, VecDeque};
 
@@ -141,15 +148,17 @@ impl EventWheel {
         }
         let idx = self.bucket_of(t);
         if idx == self.cursor && self.ready_active {
-            // same-slot direct drain: the cursor bucket is already staged,
-            // so the event joins the hot deque instead of the wheel. The
-            // new event carries the largest enqueue seq, so it orders
-            // after every queued event with time <= t; zero-delay sends
-            // (time == the advancing drain clock) therefore append.
-            if self.hot.back().is_none_or(|b| b.time.ps() <= t) {
+            // Same-slot direct drain: the cursor bucket is already staged,
+            // so the event joins the hot deque instead of the wheel. Seq
+            // keys are banded per source (not globally monotone), so the
+            // deque is kept `(time, seq)`-sorted by full-key comparison;
+            // zero-delay self-sends — the common case — still append,
+            // since one source's keys are monotone at one timestamp.
+            let key = (ev.time, ev.seq);
+            if self.hot.back().is_none_or(|b| (b.time, b.seq) <= key) {
                 self.hot.push_back(ev);
             } else {
-                let pos = self.hot.partition_point(|e| e.time.ps() <= t);
+                let pos = self.hot.partition_point(|e| (e.time, e.seq) <= key);
                 self.hot.insert(pos, ev);
             }
         } else {
@@ -453,6 +462,81 @@ mod tests {
             vec![(120, 5), (150, 3), (200, 1), (250, 4), (300, 2)]
         );
         assert_eq!(wheel.len(), 0);
+    }
+
+    /// Banded seq keys are not globally monotone: a same-slot send from a
+    /// low-band source must insert before staged higher-band events at
+    /// the same timestamp, and the hot deque must order same-time pushes
+    /// by full key, not arrival.
+    #[test]
+    fn hot_deque_orders_banded_seqs_at_equal_time() {
+        const BAND: u64 = 1 << 40;
+        let mut wheel = EventWheel::new();
+        wheel.push(ev(100, 9 * BAND));
+        wheel.push(ev(100, 7 * BAND));
+        assert_eq!(wheel.pop().map(|e| e.seq), Some(7 * BAND));
+        // while bucket 0 is staged, same-time sends arrive from sources
+        // whose bands straddle the staged front's band
+        wheel.push(ev(100, 8 * BAND));
+        wheel.push(ev(100, 2 * BAND));
+        wheel.push(ev(100, 2 * BAND + 1));
+        let order: Vec<u64> = std::iter::from_fn(|| wheel.pop().map(|e| e.seq)).collect();
+        assert_eq!(order, vec![2 * BAND, 2 * BAND + 1, 8 * BAND, 9 * BAND]);
+    }
+
+    /// Greedy differential against the reference heap under banded keys:
+    /// follow-up events carry `(random source band | per-band counter)`
+    /// seqs, so the final key multiset is *not* delivered in sorted order
+    /// (a later send can key below an already-delivered event). Wheel and
+    /// heap must still realize the identical greedy order.
+    #[test]
+    fn matches_reference_heap_under_banded_seqs() {
+        const BAND: u64 = 1 << 40;
+        let mut rng = crate::rng::Rng::new(0xBA2D);
+        for _case in 0..50 {
+            let run = |heap: bool, rng: &mut crate::rng::Rng| {
+                let mut wheel = EventWheel::new();
+                let mut heapq: BinaryHeap<Ev> = BinaryHeap::new();
+                let push = |e: Ev, w: &mut EventWheel, h: &mut BinaryHeap<Ev>| {
+                    if heap {
+                        h.push(e)
+                    } else {
+                        w.push(e)
+                    }
+                };
+                let mut counters = [0u64; 8];
+                let mut out = Vec::new();
+                for i in 0..10u64 {
+                    let t = rng.below(1000) * 100;
+                    push(ev(t, i), &mut wheel, &mut heapq);
+                }
+                loop {
+                    let e = if heap { heapq.pop() } else { wheel.pop() };
+                    let Some(e) = e else { break };
+                    let now = e.time.ps();
+                    out.push((now, e.seq));
+                    if out.len() < 400 && rng.chance(0.7) {
+                        for _ in 0..rng.below(3) + 1 {
+                            let d = match rng.below(4) {
+                                0 => 0,
+                                1 => rng.below(1 << SHIFT),
+                                2 => rng.below(SPAN),
+                                _ => SPAN + rng.below(SPAN * 4),
+                            };
+                            let band = rng.below(8) as usize;
+                            let seq = (band as u64 + 1) * BAND + counters[band];
+                            counters[band] += 1;
+                            push(ev(now + d, seq), &mut wheel, &mut heapq);
+                        }
+                    }
+                }
+                out
+            };
+            // identical rng streams drive both runs
+            let mut r1 = rng.fork();
+            let mut r2 = r1.clone();
+            assert_eq!(run(false, &mut r1), run(true, &mut r2));
+        }
     }
 
     /// `pop_front_if` only surfaces staged-front events for the right

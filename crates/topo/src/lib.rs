@@ -18,6 +18,7 @@
 
 pub mod build;
 pub mod host;
+pub mod shard;
 pub mod spec;
 
 pub use build::{
@@ -25,6 +26,7 @@ pub use build::{
     DynSessionClient, EdgeRec, FabricPair,
 };
 pub use host::{add_arp, build_endpoint, build_pair, build_star, Endpoint, PairOpts, Stack};
+pub use shard::partition_fabric;
 pub use spec::{
     Fabric, FaultEvent, FaultKind, FaultTarget, HostSpec, LinkClass, LinkScope, LinkSpec, Role,
     Scenario,

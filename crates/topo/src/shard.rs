@@ -1,0 +1,198 @@
+//! Fabric partitioner: cut a built fabric at link boundaries so it can
+//! run as N conservative-PDES shards (see the `flextoe-shard` crate).
+//!
+//! The cut discipline keeps every *zero-lookahead* edge inside one
+//! shard and only ever cuts at a link node's final delivery hop, which
+//! carries the link's propagation delay:
+//!
+//! - A **host unit** — every node reserved between the host's uplink
+//!   and downlink link nodes (NIC stages, control plane or baseline
+//!   stack) plus its application node — is indivisible: app ↔ stack ↔
+//!   NIC messaging is same-timestamp shared-state traffic.
+//! - A **link node lives with its feeder** (the host for uplinks, the
+//!   egress switch otherwise), so the only message that can cross a
+//!   shard boundary is the link's `Frame` delivery, delayed by the
+//!   link's propagation — which is exactly the conservative lookahead.
+//! - Hosts take contiguous index blocks (`i * n_shards / n_hosts`), so
+//!   a k=8 fat-tree across 8 shards is one pod per shard and the only
+//!   cut links are pod↔core. Edge switches follow their first attached
+//!   host; aggregation switches follow their pod; spines and cores are
+//!   dealt round-robin.
+//!
+//! The telemetry plane is rejected under `n_shards > 1`: per-switch
+//! sketch sweeps fan into the collector over non-link edges, which the
+//! cut discipline cannot honor.
+
+use flextoe_shard::Partition;
+use flextoe_sim::{Duration, Sim};
+
+use crate::build::BuiltFabric;
+use crate::spec::{Fabric, Scenario};
+
+/// Assign every node of a built fabric to one of `n_shards` shards.
+/// Any `n_shards` in `1..=n_hosts` yields byte-identical results; the
+/// choice only affects parallelism and sync overhead.
+pub fn partition_fabric(sim: &Sim, sc: &Scenario, fab: &BuiltFabric, n_shards: usize) -> Partition {
+    let n_hosts = fab.hosts.len();
+    assert!(n_shards >= 1, "need at least one shard");
+    assert!(
+        n_shards <= n_hosts,
+        "more shards ({n_shards}) than hosts ({n_hosts})"
+    );
+    assert!(
+        fab.collector.is_none() || n_shards == 1,
+        "telemetry plane is not shardable: sketch sweeps fan into the \
+         collector over non-link edges"
+    );
+
+    let host_shard = |i: usize| (i * n_shards / n_hosts) as u32;
+    let mut owner = vec![u32::MAX; sim.n_nodes()];
+
+    // Host units: uplink link + everything reserved while building the
+    // endpoint (attach_hosts reserves uplink, builds the endpoint, then
+    // reserves downlink — so the unit is the contiguous id range).
+    for rec in &fab.edge_recs {
+        let s = host_shard(rec.host);
+        owner[rec.uplink..rec.downlink].fill(s);
+    }
+    for (i, h) in fab.hosts.iter().enumerate() {
+        if let Some(app) = h.app {
+            owner[app] = host_shard(i);
+        }
+    }
+
+    // Switches: edges follow their first attached host, the rest by
+    // fabric-shape policy.
+    let mut sw_shard = vec![u32::MAX; fab.switches.len()];
+    for rec in &fab.edge_recs {
+        if sw_shard[rec.edge] == u32::MAX {
+            sw_shard[rec.edge] = host_shard(rec.host);
+        }
+    }
+    match sc.fabric {
+        Fabric::LeafSpine { leaves, spines, .. } => {
+            for s in 0..spines {
+                sw_shard[leaves + s] = (s % n_shards) as u32;
+            }
+        }
+        Fabric::FatTree { k } => {
+            let half = k / 2;
+            let n_edge = k * half;
+            for p in 0..k {
+                let pod_shard = sw_shard[p * half];
+                for a in 0..half {
+                    sw_shard[n_edge + p * half + a] = pod_shard;
+                }
+            }
+            for c in 0..half * half {
+                sw_shard[2 * n_edge + c] = (c % n_shards) as u32;
+            }
+        }
+    }
+    for (i, &node) in fab.switches.iter().enumerate() {
+        assert_ne!(sw_shard[i], u32::MAX, "switch {i} unassigned");
+        owner[node] = sw_shard[i];
+    }
+
+    // Link nodes live with their feeder.
+    for rec in &fab.edge_recs {
+        owner[rec.downlink] = sw_shard[rec.edge];
+    }
+    for p in &fab.fabric_pairs {
+        owner[p.l_ab] = sw_shard[p.a];
+        owner[p.l_ba] = sw_shard[p.b];
+    }
+    if let Some(col) = fab.collector {
+        owner[col] = 0; // only reachable with n_shards == 1 (asserted)
+    }
+
+    assert!(
+        owner.iter().all(|&s| (s as usize) < n_shards),
+        "partition left nodes unassigned"
+    );
+
+    let lookahead = sc.links.edge.propagation.min(sc.links.fabric.propagation);
+    assert!(
+        lookahead > Duration::ZERO,
+        "cut links need nonzero propagation to provide lookahead"
+    );
+    Partition { owner, lookahead }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_fabric;
+    use crate::host::Stack;
+
+    fn partition_of(fabric: Fabric, n_shards: usize) -> (Partition, BuiltFabric) {
+        let sc = Scenario::idle(1, fabric, Stack::FlexToe);
+        let mut sim = Sim::new(sc.seed);
+        let fab = build_fabric(&mut sim, &sc);
+        (partition_fabric(&sim, &sc, &fab, n_shards), fab)
+    }
+
+    #[test]
+    fn leaf_spine_partition_covers_everything() {
+        let fabric = Fabric::LeafSpine {
+            leaves: 4,
+            spines: 2,
+            hosts_per_leaf: 2,
+        };
+        for n in [1, 2, 4, 8] {
+            let (p, fab) = partition_of(fabric, n);
+            // every shard owns at least one host unit
+            let mut seen = vec![false; n];
+            for rec in &fab.edge_recs {
+                seen[p.owner[rec.uplink] as usize] = true;
+            }
+            assert!(seen.iter().all(|&s| s), "{n} shards: empty shard");
+            assert_eq!(p.lookahead, Duration::from_ns(500));
+        }
+    }
+
+    #[test]
+    fn fat_tree_k4_pods_stay_whole_at_4_shards() {
+        let (p, fab) = partition_of(Fabric::FatTree { k: 4 }, 4);
+        // 16 hosts, 4 pods: one pod per shard, so a pod's edge + agg
+        // switches and its hosts all share a shard.
+        let half = 2;
+        for pod in 0..4 {
+            let s = p.owner[fab.switches[pod * half]];
+            for e in 0..half {
+                assert_eq!(p.owner[fab.switches[pod * half + e]], s);
+                assert_eq!(p.owner[fab.switches[8 + pod * half + e]], s);
+            }
+            for h in pod * 4..(pod + 1) * 4 {
+                assert_eq!(p.owner[fab.edge_recs[h].uplink], s);
+            }
+        }
+    }
+
+    #[test]
+    fn link_nodes_follow_their_feeder() {
+        let (p, fab) = partition_of(
+            Fabric::LeafSpine {
+                leaves: 2,
+                spines: 2,
+                hosts_per_leaf: 2,
+            },
+            4,
+        );
+        for pair in &fab.fabric_pairs {
+            assert_eq!(p.owner[pair.l_ab], p.owner[fab.switches[pair.a]]);
+            assert_eq!(p.owner[pair.l_ba], p.owner[fab.switches[pair.b]]);
+        }
+        for rec in &fab.edge_recs {
+            assert_eq!(
+                p.owner[rec.downlink], p.owner[fab.switches[rec.edge]],
+                "downlink is fed by the edge switch"
+            );
+            assert_eq!(
+                p.owner[rec.uplink],
+                p.owner[rec.uplink + 1],
+                "uplink is fed by the host"
+            );
+        }
+    }
+}

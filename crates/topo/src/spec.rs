@@ -203,6 +203,11 @@ pub struct Scenario {
     /// are staggered one `client_stagger` apart from `client_start`).
     pub client_start: Time,
     pub client_stagger: Duration,
+    /// How many conservative-PDES shards to run the scenario across
+    /// (see `crate::partition_fabric` and the `flextoe-shard` crate).
+    /// 1 (the default) runs the classic monolithic engine; any value
+    /// produces byte-identical results by construction.
+    pub shards: usize,
 }
 
 impl Scenario {
@@ -221,6 +226,7 @@ impl Scenario {
             telemetry: None,
             client_start: Time::from_us(20),
             client_stagger: Duration::from_us(1),
+            shards: 1,
         }
     }
 }
