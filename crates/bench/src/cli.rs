@@ -22,6 +22,10 @@ pub struct RunOpts {
     /// value produces byte-identical BENCH bodies; >1 partitions each
     /// fabric across that many worker threads.
     pub shards: usize,
+    /// Extend the `faults` sweep with the gray-failure rows (bursty
+    /// Gilbert–Elliott loss, duplication storm, reorder jitter, limping
+    /// spine) on top of the hard-fault rows.
+    pub gray: bool,
 }
 
 impl RunOpts {
@@ -74,8 +78,9 @@ impl RunOpts {
                     Some(v) if v >= 1 => opts.shards = v,
                     _ => die("--shards needs an integer >= 1"),
                 },
+                "--gray" => opts.gray = true,
                 flag if flag.starts_with("--") => die(&format!(
-                    "unknown flag {flag} (have: --seed N, --out DIR, --smoke, --jobs N, --shards N)"
+                    "unknown flag {flag} (have: --seed N, --out DIR, --smoke, --jobs N, --shards N, --gray)"
                 )),
                 name => names.push(name.to_string()),
             }

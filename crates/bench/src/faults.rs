@@ -17,7 +17,7 @@
 
 use flextoe_apps::{CloseAll, FramedServerConfig, SessionConfig};
 use flextoe_core::PoolGauges;
-use flextoe_netsim::{Faults, Link, Switch};
+use flextoe_netsim::{Faults, GeParams, Link, Switch};
 use flextoe_shard::{ShardedSim, SyncStats};
 use flextoe_sim::{Duration, Histogram, NodeId, Sim, Stats, Time};
 use flextoe_topo::{
@@ -147,6 +147,61 @@ fn chaos_rows(t_fault: Time, t_heal: Time, full: bool) -> Vec<ChaosRow> {
     rows
 }
 
+/// The gray-failure rows (`--gray`): faults that degrade without
+/// killing anything — bursty Gilbert–Elliott loss, a duplication storm,
+/// reorder-inducing jitter, and spine0 limping at 8× serialization
+/// latency. All heal at `t_heal`. Every probabilistic draw comes from
+/// the afflicted link's own RNG stream, so the rows are byte-identical
+/// per seed across engines, `--jobs`, and `--shards`.
+fn gray_rows(t_fault: Time, t_heal: Time) -> Vec<ChaosRow> {
+    let degrade = |name, faults: Faults| ChaosRow {
+        name,
+        schedule: vec![
+            FaultEvent::degrade(t_fault, LinkScope::Fabric, faults),
+            FaultEvent::degrade(t_heal, LinkScope::Fabric, Faults::default()),
+        ],
+    };
+    vec![
+        degrade(
+            "dup-storm",
+            Faults {
+                dup_chance: 0.3,
+                ..Default::default()
+            },
+        ),
+        degrade(
+            "reorder",
+            Faults {
+                jitter: Duration::from_us(5),
+                ..Default::default()
+            },
+        ),
+        degrade(
+            "ge-loss",
+            Faults {
+                ge: Some(GeParams {
+                    p_enter: 0.02,
+                    p_exit: 0.2,
+                    loss_good: 0.0,
+                    loss_bad: 0.5,
+                }),
+                ..Default::default()
+            },
+        ),
+        // 512× serialization on spine0 turns its 100G ports into ~200M
+        // ones: slow enough to queue and dip the flows ECMP pinned to
+        // it, while spine1's flows sail through — the canonical
+        // differential gray failure (no port ever reports down).
+        ChaosRow {
+            name: "limping-spine",
+            schedule: vec![
+                FaultEvent::limp(t_fault, LEAVES, 512),
+                FaultEvent::limp(t_heal, LEAVES, 1),
+            ],
+        },
+    ]
+}
+
 impl FaultsPlan {
     pub fn full() -> FaultsPlan {
         let (t_fault, t_heal) = (Time::from_ms(4), Time::from_ms(8));
@@ -187,6 +242,15 @@ impl FaultsPlan {
             t_drain: Time::from_ms(8),
         }
     }
+
+    /// Append the gray-failure rows (`--gray`). The hard rows stay
+    /// first and unchanged, so sweeps without the flag keep their exact
+    /// artifact bytes.
+    pub fn with_gray(mut self) -> FaultsPlan {
+        let extra = gray_rows(self.t_fault, self.t_heal);
+        self.rows.extend(extra);
+        self
+    }
 }
 
 /// One chaos row's outcome.
@@ -222,6 +286,25 @@ pub struct FaultsOutcome {
     pub dead_drops: u64,
     pub down_drops: u64,
     pub degrade_drops: u64,
+    // gray-failure plane
+    /// Frames the links delivered twice (`link.duplicated`).
+    pub dup_frames: u64,
+    /// Frames lost to the Gilbert–Elliott bursty-loss model
+    /// (`link.ge_drops`; also included in `degrade_drops`).
+    pub ge_drops: u64,
+    /// Out-of-order segments the protocol stages buffered and later
+    /// accepted (`proto.ooo`) — the reorder row's signature.
+    pub ooo_accepted: u64,
+    /// RX frames shed at the sequencer because a capped work/pktbuf
+    /// pool had no headroom (`nic.pool_exhausted`).
+    pub pool_exhausted: u64,
+    /// Passive opens refused with an RST at the SYN admission cap
+    /// (`ctrl.admission_refused`).
+    pub admission_refused: u64,
+    /// Duplicate SYN / SYN-ACK deliveries the control plane absorbed
+    /// instead of double-installing (`ctrl.dup_handshake`) — the
+    /// dup-storm row's handshake-path signature.
+    pub dup_handshake: u64,
     // conservation audit
     pub in_flight_end: u64,
     pub gauges: PoolGauges,
@@ -343,6 +426,12 @@ struct FaultsPartial {
     /// length; zero rows for switches another shard owns).
     per_sw: Vec<[u64; 4]>,
     degrade_drops: u64,
+    dup_frames: u64,
+    ge_drops: u64,
+    ooo_accepted: u64,
+    pool_exhausted: u64,
+    admission_refused: u64,
+    dup_handshake: u64,
     rto_fired: u64,
     ctrl_aborts: u64,
     named_rerouted: u64,
@@ -366,6 +455,12 @@ fn harvest_faults(sim: &Sim, fab: &BuiltFabric) -> FaultsPartial {
         buf_delta: buf_balance(sim, fab),
         per_sw: vec![[0; 4]; fab.switches.len()],
         degrade_drops: 0,
+        dup_frames: sim.stats.get_named("link.duplicated"),
+        ge_drops: sim.stats.get_named("link.ge_drops"),
+        ooo_accepted: sim.stats.get_named("proto.ooo"),
+        pool_exhausted: sim.stats.get_named("nic.pool_exhausted"),
+        admission_refused: sim.stats.get_named("ctrl.admission_refused"),
+        dup_handshake: sim.stats.get_named("ctrl.dup_handshake"),
         rto_fired: sim.stats.get_named("ctrl.rto_fired"),
         ctrl_aborts: sim.stats.get_named("ctrl.abort"),
         named_rerouted: sim.stats.get_named("switch.ecmp_rerouted"),
@@ -476,6 +571,8 @@ fn assemble_faults(
     let mut buf_delta = 0i64;
     let mut per_sw: Vec<[u64; 4]> = vec![[0; 4]; n_switches];
     let mut degrade_drops = 0u64;
+    let (mut dup_frames, mut ge_drops, mut ooo_accepted) = (0u64, 0u64, 0u64);
+    let (mut pool_exhausted, mut admission_refused, mut dup_handshake) = (0u64, 0u64, 0u64);
     let (mut rto_fired, mut ctrl_aborts) = (0u64, 0u64);
     let (mut named_rerouted, mut named_blackholed, mut named_dead) = (0u64, 0u64, 0u64);
     let mut sim_events = 0u64;
@@ -497,6 +594,12 @@ fn assemble_faults(
             }
         }
         degrade_drops += p.degrade_drops;
+        dup_frames += p.dup_frames;
+        ge_drops += p.ge_drops;
+        ooo_accepted += p.ooo_accepted;
+        pool_exhausted += p.pool_exhausted;
+        admission_refused += p.admission_refused;
+        dup_handshake += p.dup_handshake;
         rto_fired += p.rto_fired;
         ctrl_aborts += p.ctrl_aborts;
         named_rerouted += p.named_rerouted;
@@ -562,6 +665,12 @@ fn assemble_faults(
         dead_drops,
         down_drops,
         degrade_drops,
+        dup_frames,
+        ge_drops,
+        ooo_accepted,
+        pool_exhausted,
+        admission_refused,
+        dup_handshake,
         in_flight_end,
         gauges,
         buf_delta,
@@ -707,7 +816,7 @@ pub fn faults_json(seed: u64, plan: &FaultsPlan, results: &[FaultsOutcome]) -> S
     for (i, r) in results.iter().enumerate() {
         let g = &r.gauges;
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"pre_rps\": {:.0}, \"dip_rps\": {:.0}, \"dip_frac\": {:.4}, \"recover_us\": {}, \"recovered\": {}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"issued\": {}, \"completed\": {}, \"dead_requests\": {}, \"aborted_conns\": {}, \"peer_closed\": {}, \"reconnects\": {}, \"connect_failures\": {}, \"rto_fired\": {}, \"ctrl_aborts\": {}, \"reroutes\": {}, \"blackholed\": {}, \"dead_drops\": {}, \"down_drops\": {}, \"degrade_drops\": {}, \"in_flight_end\": {}, \"pools\": {{\"work_in_use\": {}, \"buf_delta\": {}}}, \"conserved\": {}, \"counters_consistent\": {}, \"per_switch\": {}, \"sim_events\": {}, \"timeline\": [{}]}}{}\n",
+            "    {{\"name\": \"{}\", \"pre_rps\": {:.0}, \"dip_rps\": {:.0}, \"dip_frac\": {:.4}, \"recover_us\": {}, \"recovered\": {}, \"p50_us\": {:.2}, \"p99_us\": {:.2}, \"issued\": {}, \"completed\": {}, \"dead_requests\": {}, \"aborted_conns\": {}, \"peer_closed\": {}, \"reconnects\": {}, \"connect_failures\": {}, \"rto_fired\": {}, \"ctrl_aborts\": {}, \"reroutes\": {}, \"blackholed\": {}, \"dead_drops\": {}, \"down_drops\": {}, \"degrade_drops\": {}, \"dup_frames\": {}, \"ge_drops\": {}, \"ooo_accepted\": {}, \"pool_exhausted\": {}, \"admission_refused\": {}, \"dup_handshake\": {}, \"in_flight_end\": {}, \"pools\": {{\"work_in_use\": {}, \"buf_delta\": {}}}, \"conserved\": {}, \"counters_consistent\": {}, \"per_switch\": {}, \"sim_events\": {}, \"timeline\": [{}]}}{}\n",
             r.name,
             r.pre_rps,
             r.dip_rps,
@@ -730,6 +839,12 @@ pub fn faults_json(seed: u64, plan: &FaultsPlan, results: &[FaultsOutcome]) -> S
             r.dead_drops,
             r.down_drops,
             r.degrade_drops,
+            r.dup_frames,
+            r.ge_drops,
+            r.ooo_accepted,
+            r.pool_exhausted,
+            r.admission_refused,
+            r.dup_handshake,
             r.in_flight_end,
             g.work_in_use,
             r.buf_delta,
@@ -752,17 +867,21 @@ pub fn faults_json(seed: u64, plan: &FaultsPlan, results: &[FaultsOutcome]) -> S
 /// The `faults` experiment: run the chaos sweep (fanned out under
 /// `--jobs`), print a recovery table, write `BENCH_faults.json`.
 pub fn faults(opts: &RunOpts) {
-    let plan = if opts.smoke {
+    let mut plan = if opts.smoke {
         FaultsPlan::smoke()
     } else {
         FaultsPlan::full()
     };
+    if opts.gray {
+        plan = plan.with_gray();
+    }
     let seed = opts.seed.unwrap_or(23);
     let shards = opts.shards.max(1);
     let jobs = opts.point_jobs();
     println!(
-        "# faults — chaos plane on the {LEAVES}-leaf/{SPINES}-spine fabric, reconnecting sessions{} [jobs={jobs} shards={shards}]",
-        if opts.smoke { " [smoke]" } else { "" }
+        "# faults — chaos plane on the {LEAVES}-leaf/{SPINES}-spine fabric, reconnecting sessions{}{} [jobs={jobs} shards={shards}]",
+        if opts.smoke { " [smoke]" } else { "" },
+        if opts.gray { " [gray]" } else { "" }
     );
     println!(
         "{:<16} {:>9} {:>9} {:>6} {:>9} {:>6} {:>7} {:>7} {:>8} {:>8} {:>9}",

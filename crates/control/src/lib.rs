@@ -114,6 +114,12 @@ pub struct CtrlConfig {
     /// `NicToApp::Aborted` to the app) instead of retrying forever.
     /// `None` restores the legacy retry-forever behavior.
     pub rto_give_up: Option<u32>,
+    /// SYN admission control: refuse new passive opens with an RST once
+    /// this many connections are installed (counted in
+    /// `ctrl.admission_refused`). Admission recovers by itself as
+    /// connections tear down. `None` = unbounded (the historical
+    /// behavior).
+    pub max_conns: Option<u32>,
 }
 
 impl Default for CtrlConfig {
@@ -127,6 +133,7 @@ impl Default for CtrlConfig {
             syn_retry: Duration::from_ms(5),
             syn_attempts: 4,
             rto_give_up: Some(8),
+            max_conns: None,
         }
     }
 }
@@ -229,6 +236,14 @@ pub struct ControlPlane {
     pub resets_sent: u64,
     /// Established connections aborted after the RTO give-up threshold.
     pub aborts: u64,
+    /// Passive opens refused with an RST by SYN admission control
+    /// ([`CtrlConfig::max_conns`]).
+    pub admission_refused: u64,
+    /// Duplicate handshake segments absorbed without side effects: SYN
+    /// retransmits answered by re-emitting the original SYN-ACK, and
+    /// handshake segments for already-installed connections dropped
+    /// instead of RST'ing the healthy peer (the dup-storm hazard).
+    pub dup_handshake: u64,
     pub redirected_frames: u64,
     /// Report batches processed / flow reports consumed (diagnostics).
     pub report_batches: u64,
@@ -268,6 +283,8 @@ impl ControlPlane {
             established: 0,
             resets_sent: 0,
             aborts: 0,
+            admission_refused: 0,
+            dup_handshake: 0,
             redirected_frames: 0,
             report_batches: 0,
             flow_reports: 0,
@@ -577,14 +594,57 @@ impl ControlPlane {
                 ctx.pool.put(frame);
                 return;
             }
-            let iss = self.iss(ctx);
-            self.passive.insert(
-                tuple,
-                PendingPassive {
-                    iss,
-                    listen_port: view.dst_port,
-                },
-            );
+            // a duplicated/retransmitted SYN for a connection the final
+            // ACK already installed: the handshake is done — absorb it
+            // without resetting the healthy peer
+            if self.nic.db.borrow().get(&tuple).is_some() {
+                self.dup_handshake += 1;
+                ctx.stats
+                    .inc(self.counters.expect("control plane attached").dup_handshake);
+                ctx.pool.put(frame);
+                return;
+            }
+            // a duplicated SYN while the handshake is pending must reuse
+            // the pending ISS (a fresh draw would desynchronize the final
+            // ACK's sequence check) — re-emit the same SYN-ACK
+            let pending_iss = self.passive.get(&tuple).map(|pp| pp.iss);
+            let iss = match pending_iss {
+                Some(iss) => {
+                    self.dup_handshake += 1;
+                    ctx.stats
+                        .inc(self.counters.expect("control plane attached").dup_handshake);
+                    iss
+                }
+                None => {
+                    // SYN admission control: at the connection cap, refuse
+                    // with an RST instead of wedging the pool — the peer
+                    // sees a failed connect and may retry later; admission
+                    // recovers as connections tear down
+                    if let Some(max) = self.cfg.max_conns {
+                        let installed = self.nic.table.borrow().len() as u32;
+                        if installed + self.passive.len() as u32 >= max {
+                            self.admission_refused += 1;
+                            ctx.stats.inc(
+                                self.counters
+                                    .expect("control plane attached")
+                                    .admission_refused,
+                            );
+                            self.send_rst(ctx, &view);
+                            ctx.pool.put(frame);
+                            return;
+                        }
+                    }
+                    let iss = self.iss(ctx);
+                    self.passive.insert(
+                        tuple,
+                        PendingPassive {
+                            iss,
+                            listen_port: view.dst_port,
+                        },
+                    );
+                    iss
+                }
+            };
             let mut spec =
                 self.handshake_spec(view.src_mac, view.src_ip, view.dst_port, view.src_port);
             spec.seq = SeqNum(iss);
@@ -600,7 +660,15 @@ impl ControlPlane {
         if flags.syn() && flags.ack() {
             // SYN-ACK for an active open
             let Some(p) = self.active.remove(&tuple) else {
-                self.send_rst(ctx, &view);
+                // a duplicated SYN-ACK arriving after the connection was
+                // installed must not RST the healthy peer — absorb it
+                if self.nic.db.borrow().get(&tuple).is_some() {
+                    self.dup_handshake += 1;
+                    ctx.stats
+                        .inc(self.counters.expect("control plane attached").dup_handshake);
+                } else {
+                    self.send_rst(ctx, &view);
+                }
                 ctx.pool.put(frame);
                 return;
             };
@@ -908,6 +976,8 @@ struct CtrlCounters {
     teardown: CounterHandle,
     stray_rst: CounterHandle,
     abort: CounterHandle,
+    admission_refused: CounterHandle,
+    dup_handshake: CounterHandle,
 }
 
 impl Node for ControlPlane {
@@ -990,6 +1060,8 @@ impl Node for ControlPlane {
             teardown: stats.counter("ctrl.teardown"),
             stray_rst: stats.counter("ctrl.stray_rst"),
             abort: stats.counter("ctrl.abort"),
+            admission_refused: stats.counter("ctrl.admission_refused"),
+            dup_handshake: stats.counter("ctrl.dup_handshake"),
         });
     }
 

@@ -59,6 +59,10 @@ impl FlexToeNic {
         let db = Rc::new(RefCell::new(ConnDb::new(&cfg.platform)));
         let work_pool = shared_work_pool();
         let seg_pool = shared_seg_pool();
+        // pool-exhaustion knobs: a capped pool turns overload into counted
+        // RX sheds at the sequencer instead of unbounded growth
+        work_pool.borrow_mut().capacity = cfg.work_pool_cap;
+        seg_pool.borrow_mut().set_capacity(cfg.seg_pool_cap);
         let ccp = shared_datapath(MeasureCfg::default());
 
         // reserve everything first (the graph is cyclic)
@@ -79,6 +83,7 @@ impl FlexToeNic {
         seqr_node.pre_pool = vec![pre];
         seqr_node.protos = protos.clone();
         seqr_node.mac = mac;
+        seqr_node.seg_pool = Some(seg_pool.clone());
         sim.fill_node(seqr, seqr_node);
 
         sim.fill_node(

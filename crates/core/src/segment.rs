@@ -224,6 +224,11 @@ enum Slot {
 pub struct WorkPool {
     slots: Vec<Slot>,
     free: Vec<u32>,
+    /// Optional bound on live slots — the finite work-item memory of the
+    /// NIC. `alloc` stays infallible; admission points (the sequencer's
+    /// RX ingress) consult [`WorkPool::at_capacity`] and shed load with a
+    /// counted drop instead of growing the slab past the cap.
+    pub capacity: Option<usize>,
     pub allocated: u64,
     pub released: u64,
     pub high_water: usize,
@@ -234,10 +239,17 @@ impl WorkPool {
         WorkPool {
             slots: Vec::new(),
             free: Vec::new(),
+            capacity: None,
             allocated: 0,
             released: 0,
             high_water: 0,
         }
+    }
+
+    /// True when a capped pool has no free slot left: another `alloc`
+    /// would exceed the configured bound. Uncapped pools never are.
+    pub fn at_capacity(&self) -> bool {
+        self.capacity.is_some_and(|c| self.in_use() >= c)
     }
 
     /// Place a work item, returning its slot.

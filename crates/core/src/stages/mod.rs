@@ -46,6 +46,14 @@ pub struct PipeCfg {
     /// Default per-socket buffer sizes installed by the control plane.
     pub rx_buf_size: u32,
     pub tx_buf_size: u32,
+    /// Cap on live [`crate::segment::WorkPool`] slots (None = unbounded,
+    /// the historical behavior). When the pool is full, RX ingress sheds
+    /// frames with a counted `nic.pool_exhausted` drop instead of growing
+    /// the slab — backpressure as a degraded mode, not a panic.
+    pub work_pool_cap: Option<usize>,
+    /// Cap on outstanding NIC packet-buffer-pool buffers (None =
+    /// unbounded); same admission point and counter as `work_pool_cap`.
+    pub seg_pool_cap: Option<u64>,
 }
 
 impl PipeCfg {
@@ -65,6 +73,8 @@ impl PipeCfg {
             sched_fpcs: 4,
             rx_buf_size: 64 * 1024,
             tx_buf_size: 64 * 1024,
+            work_pool_cap: None,
+            seg_pool_cap: None,
         }
     }
 

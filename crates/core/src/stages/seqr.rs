@@ -15,12 +15,12 @@
 //! Work items live in the NIC's shared `WorkPool`; only `WorkToken`
 //! slot indices travel through the event queue.
 
-use flextoe_sim::{Ctx, MacTx, Msg, Node, NodeId, WorkToken};
+use flextoe_sim::{CounterHandle, Ctx, MacTx, Msg, Node, NodeId, Stats, WorkToken};
 use flextoe_wire::Frame;
 
 use crate::costs;
 use crate::reorder::Reorder;
-use crate::segment::{RxWork, SharedWorkPool, Work, WorkPool};
+use crate::segment::{RxWork, SharedSegPool, SharedWorkPool, Work, WorkPool};
 use crate::stages::SharedCfg;
 use flextoe_nfp::FpcTimer;
 
@@ -46,6 +46,16 @@ pub struct SeqrNode {
     pub mac: NodeId,
     pub rx_frames: u64,
     pub tx_triggers: u64,
+    /// The NIC's packet-buffer pool, consulted (with the work pool) at RX
+    /// admission when either carries a capacity bound. `None` = the node
+    /// is driven standalone in a test without a NIC (no segment-pool
+    /// pressure to model).
+    pub seg_pool: Option<SharedSegPool>,
+    /// RX frames shed at ingress because a capped pool had no headroom —
+    /// backpressure as a counted degraded mode instead of unbounded slab
+    /// growth (or a panic).
+    pub pool_exhausted: u64,
+    exhausted_counter: Option<CounterHandle>,
 }
 
 impl SeqrNode {
@@ -66,6 +76,9 @@ impl SeqrNode {
             mac: 0,
             rx_frames: 0,
             tx_triggers: 0,
+            seg_pool: None,
+            pool_exhausted: 0,
+            exhausted_counter: None,
         }
     }
 
@@ -129,6 +142,23 @@ impl SeqrNode {
             // raw ingress frame from the MAC
             Msg::Frame(frame) => {
                 self.rx_frames += 1;
+                // pool-exhaustion backpressure: a capped work pool or
+                // packet-buffer pool with no headroom sheds the frame at
+                // ingress (the NBI's behavior when packet memory is gone)
+                // — a counted drop, recycled to the fabric pool so the
+                // conservation invariant holds through exhaustion
+                let seg_full = self
+                    .seg_pool
+                    .as_ref()
+                    .is_some_and(|p| p.borrow().at_capacity());
+                if pool.at_capacity() || seg_full {
+                    self.pool_exhausted += 1;
+                    if let Some(c) = self.exhausted_counter {
+                        ctx.stats.inc(c);
+                    }
+                    ctx.pool.put(frame.into_bytes());
+                    return;
+                }
                 let slot = pool.alloc(Work::Rx(RxWork {
                     meta: frame.meta,
                     frame: frame.bytes,
@@ -194,6 +224,10 @@ impl SeqrNode {
 
 impl Node for SeqrNode {
     crate::stages::pool_batched_delivery!();
+
+    fn on_attach(&mut self, stats: &mut Stats) {
+        self.exhausted_counter = Some(stats.counter("nic.pool_exhausted"));
+    }
 
     fn name(&self) -> String {
         "seqr".to_string()

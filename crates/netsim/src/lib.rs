@@ -11,6 +11,8 @@ pub mod link;
 pub mod switch;
 pub mod telemetry;
 
-pub use link::{Faults, Link, SetFaults, SetLinkUp};
-pub use switch::{ecmp_hash, PortConfig, SetPortUp, SetSwitchAlive, Switch, WredParams};
+pub use link::{Faults, GeParams, Link, SetFaults, SetLinkUp};
+pub use switch::{
+    ecmp_hash, PortConfig, SetPortUp, SetSwitchAlive, SetSwitchLimp, Switch, WredParams,
+};
 pub use telemetry::{Collector, SetElephants, SweepNow, TelemetrySpec};

@@ -7,6 +7,25 @@
 //! fixed probability" — that is this node.
 
 use flextoe_sim::{CounterHandle, Ctx, Duration, Msg, MsgBurst, Node, NodeId, Stats};
+use flextoe_wire::Frame;
+
+/// Gilbert–Elliott two-state bursty-loss parameters. The link is in a
+/// *good* or *bad* state; each frame first draws a state transition
+/// (`p_enter`: good→bad, `p_exit`: bad→good), then a loss draw at the
+/// state's loss probability. Correlated loss bursts emerge from low
+/// `p_exit` with high `loss_bad` — the gray-failure signature a uniform
+/// `drop_chance` cannot produce.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GeParams {
+    /// Per-frame probability of entering the bad state from good.
+    pub p_enter: f64,
+    /// Per-frame probability of returning to the good state from bad.
+    pub p_exit: f64,
+    /// Loss probability while in the good state (usually 0).
+    pub loss_good: f64,
+    /// Loss probability while in the bad state.
+    pub loss_bad: f64,
+}
 
 #[derive(Clone, Copy, Debug)]
 pub struct Faults {
@@ -16,6 +35,17 @@ pub struct Faults {
     pub corrupt_chance: f64,
     /// Frames larger than this are dropped (None = no limit).
     pub size_limit: Option<usize>,
+    /// Probability a surviving frame is delivered twice.
+    pub dup_chance: f64,
+    /// Per-delivery extra-delay bound: each delivered copy draws a
+    /// uniform extra delay in `[0, jitter)`, which can invert delivery
+    /// order on this link (reordering without a separate queue model).
+    pub jitter: Duration,
+    /// Limping-link factor: propagation is multiplied by this (1 =
+    /// healthy). Models a half-alive component serving at N× latency.
+    pub latency_mult: u32,
+    /// Gilbert–Elliott bursty loss (None = no burst-loss process).
+    pub ge: Option<GeParams>,
 }
 
 impl Default for Faults {
@@ -24,6 +54,10 @@ impl Default for Faults {
             drop_chance: 0.0,
             corrupt_chance: 0.0,
             size_limit: None,
+            dup_chance: 0.0,
+            jitter: Duration::ZERO,
+            latency_mult: 1,
+            ge: None,
         }
     }
 }
@@ -41,6 +75,14 @@ pub struct Link {
     pub corrupted: u64,
     /// Frames blackholed while the link was administratively down.
     pub down_drops: u64,
+    /// Frames lost to the Gilbert–Elliott burst process (also counted in
+    /// `dropped`, so degradation totals aggregate uniformly).
+    pub ge_drops: u64,
+    /// Extra copies emitted by the duplication model.
+    pub duplicated: u64,
+    /// Gilbert–Elliott state: currently in the bad (bursty-loss) state.
+    /// Reset to good whenever a `SetFaults` reconfigures the model.
+    ge_bad: bool,
     counters: Option<LinkCounters>,
 }
 
@@ -50,6 +92,8 @@ struct LinkCounters {
     drops: CounterHandle,
     corrupted: CounterHandle,
     down_drops: CounterHandle,
+    ge_drops: CounterHandle,
+    duplicated: CounterHandle,
 }
 
 /// Reconfigure a link's fault model mid-run. Topology builders schedule
@@ -76,6 +120,9 @@ impl Link {
             dropped: 0,
             corrupted: 0,
             down_drops: 0,
+            ge_drops: 0,
+            duplicated: 0,
+            ge_bad: false,
             counters: None,
         }
     }
@@ -95,6 +142,25 @@ impl Link {
         self.faults.drop_chance <= 0.0
             && self.faults.corrupt_chance <= 0.0
             && self.faults.size_limit.is_none()
+            && self.faults.dup_chance <= 0.0
+            && self.faults.jitter == Duration::ZERO
+            && self.faults.latency_mult <= 1
+            && self.faults.ge.is_none()
+    }
+
+    /// One-way delivery delay for one copy: propagation inflated by the
+    /// limp factor plus a fresh jitter draw (when a jitter bound is set).
+    /// Jitter is the *only* per-copy draw, so the draw order stays fixed:
+    /// GE → size → drop → corrupt → jitter(original) → dup →
+    /// jitter(duplicate).
+    #[inline]
+    fn copy_delay(&self, ctx: &mut Ctx<'_>) -> Duration {
+        let base = self.propagation * self.faults.latency_mult.max(1) as u64;
+        if self.faults.jitter == Duration::ZERO {
+            base
+        } else {
+            base + Duration::from_ns(ctx.rng.below(self.faults.jitter.as_ns()))
+        }
     }
 }
 
@@ -106,6 +172,10 @@ impl Node for Link {
                 let msg = match flextoe_sim::try_cast::<SetFaults>(msg) {
                     Ok(sf) => {
                         self.faults = sf.0;
+                        // a reconfigured model starts from the good state;
+                        // healing (Faults::default) must not leave the link
+                        // stuck mid-burst
+                        self.ge_bad = false;
                         return;
                     }
                     Err(m) => m,
@@ -126,6 +196,29 @@ impl Node for Link {
             ctx.stats.inc(counters.down_drops);
             ctx.pool.put(frame.into_bytes());
             return;
+        }
+        if let Some(ge) = self.faults.ge {
+            // state transition first, then the loss draw at the new
+            // state's probability — both from this link's RNG stream, so
+            // the burst schedule is byte-identical per seed, across
+            // engines, and under sharding
+            self.ge_bad = if self.ge_bad {
+                !ctx.rng.chance(ge.p_exit)
+            } else {
+                ctx.rng.chance(ge.p_enter)
+            };
+            let loss = if self.ge_bad {
+                ge.loss_bad
+            } else {
+                ge.loss_good
+            };
+            if ctx.rng.chance(loss) {
+                self.dropped += 1;
+                self.ge_drops += 1;
+                ctx.stats.inc(counters.ge_drops);
+                ctx.pool.put(frame.into_bytes());
+                return;
+            }
         }
         if let Some(limit) = self.faults.size_limit {
             if frame.len() > limit {
@@ -153,7 +246,28 @@ impl Node for Link {
             ctx.stats.inc(counters.corrupted);
         }
         self.forwarded += 1;
-        ctx.send(self.to, self.propagation, frame);
+        let delay = self.copy_delay(ctx);
+        let dup = if ctx.rng.chance(self.faults.dup_chance) {
+            // clone into a pooled buffer so the extra copy participates in
+            // the global take/return balance like any other frame; each
+            // copy draws its own jitter, so duplication composes with
+            // reordering
+            let mut bytes = ctx.pool.take();
+            bytes.extend_from_slice(frame.bytes());
+            let copy = Frame {
+                bytes,
+                meta: frame.meta,
+            };
+            self.duplicated += 1;
+            ctx.stats.inc(counters.duplicated);
+            Some((copy, self.copy_delay(ctx)))
+        } else {
+            None
+        };
+        ctx.send(self.to, delay, frame);
+        if let Some((copy, dup_delay)) = dup {
+            ctx.send(self.to, dup_delay, copy);
+        }
     }
 
     fn on_batch(&mut self, ctx: &mut Ctx<'_>, burst: &mut MsgBurst) {
@@ -177,6 +291,8 @@ impl Node for Link {
             drops: stats.counter("link.drops"),
             corrupted: stats.counter("link.corrupted"),
             down_drops: stats.counter("link.down_drops"),
+            ge_drops: stats.counter("link.ge_drops"),
+            duplicated: stats.counter("link.duplicated"),
         });
     }
 
@@ -304,6 +420,168 @@ mod tests {
         let l = sim.node_ref::<Link>(link);
         assert_eq!(l.down_drops, 2);
         assert_eq!(l.dropped, 2);
+    }
+
+    #[test]
+    fn ge_loss_is_bursty_and_counted() {
+        let mut sim = Sim::new(11);
+        let probe = sim.add_node(Probe { frames: vec![] });
+        let link = sim.add_node(Link::with_faults(
+            probe,
+            Duration::ZERO,
+            Faults {
+                ge: Some(GeParams {
+                    p_enter: 0.02,
+                    p_exit: 0.2,
+                    loss_good: 0.0,
+                    loss_bad: 1.0,
+                }),
+                ..Default::default()
+            },
+        ));
+        for i in 0..20_000u64 {
+            sim.schedule(Time::from_ns(i), link, Frame::raw(vec![(i % 251) as u8]));
+        }
+        sim.run();
+        let l = sim.node_ref::<Link>(link);
+        assert!(l.ge_drops > 0, "bad state never lost a frame");
+        assert_eq!(l.ge_drops, l.dropped, "GE losses aggregate into dropped");
+        // steady-state bad-state occupancy is p_enter/(p_enter+p_exit) ≈ 9%;
+        // with loss_bad = 1.0 the loss rate tracks it
+        let rate = l.ge_drops as f64 / 20_000.0;
+        assert!(
+            (0.04..0.18).contains(&rate),
+            "loss rate {rate} not bursty-plausible"
+        );
+        // burstiness: delivered frames must show at least one loss run ≥ 3
+        // (uniform 9% loss makes runs of 3+ common only under correlation;
+        // GE guarantees them by construction with p_exit = 0.2)
+        let got: Vec<u64> = sim
+            .node_ref::<Probe>(probe)
+            .frames
+            .iter()
+            .map(|(t, _)| *t)
+            .collect();
+        let max_gap = got.windows(2).map(|w| w[1] - w[0]).max().unwrap();
+        assert!(
+            max_gap >= 4,
+            "no loss burst ≥ 3 consecutive frames (max gap {max_gap})"
+        );
+    }
+
+    #[test]
+    fn duplication_delivers_twice_and_balances_buffers() {
+        let mut sim = Sim::new(5);
+        let probe = sim.add_node(Probe { frames: vec![] });
+        let link = sim.add_node(Link::with_faults(
+            probe,
+            Duration::from_us(1),
+            Faults {
+                dup_chance: 1.0,
+                ..Default::default()
+            },
+        ));
+        sim.schedule(Time::ZERO, link, Frame::raw(vec![7, 8, 9]));
+        sim.run();
+        let p = sim.node_ref::<Probe>(probe);
+        assert_eq!(
+            p.frames.len(),
+            2,
+            "dup_chance=1 delivers exactly two copies"
+        );
+        assert_eq!(p.frames[0].1, p.frames[1].1, "copies are byte-identical");
+        assert_eq!(sim.node_ref::<Link>(link).duplicated, 1);
+        // the Probe consumed (dropped) both buffers without returning them;
+        // the extra copy came from the sim pool, so takes-over-returns
+        // accounts exactly for the duplicate's allocation
+        assert_eq!(
+            sim.frame_pool.takes, 1,
+            "only the duplicate drew from the pool"
+        );
+    }
+
+    #[test]
+    fn jitter_can_reorder_frames_on_one_link() {
+        let mut sim = Sim::new(2);
+        let probe = sim.add_node(Probe { frames: vec![] });
+        let link = sim.add_node(Link::with_faults(
+            probe,
+            Duration::from_us(1),
+            Faults {
+                jitter: Duration::from_us(10),
+                ..Default::default()
+            },
+        ));
+        for i in 0..64u64 {
+            sim.schedule(Time::from_ns(i * 100), link, Frame::raw(vec![i as u8]));
+        }
+        sim.run();
+        let order: Vec<u8> = sim
+            .node_ref::<Probe>(probe)
+            .frames
+            .iter()
+            .map(|(_, f)| f[0])
+            .collect();
+        assert_eq!(order.len(), 64, "jitter must not lose frames");
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_ne!(
+            order, sorted,
+            "a 10us jitter over 100ns spacing must invert some pair"
+        );
+    }
+
+    #[test]
+    fn latency_mult_inflates_delivery_without_loss() {
+        let mut sim = Sim::new(1);
+        let probe = sim.add_node(Probe { frames: vec![] });
+        let link = sim.add_node(Link::with_faults(
+            probe,
+            Duration::from_us(1),
+            Faults {
+                latency_mult: 8,
+                ..Default::default()
+            },
+        ));
+        sim.schedule(Time::ZERO, link, Frame::raw(vec![1]));
+        sim.run();
+        let p = sim.node_ref::<Probe>(probe);
+        assert_eq!(p.frames[0].0, 8_000, "8x limp on a 1us link lands at 8us");
+        assert_eq!(sim.node_ref::<Link>(link).dropped, 0);
+    }
+
+    #[test]
+    fn set_faults_resets_ge_state() {
+        let mut sim = Sim::new(9);
+        let probe = sim.add_node(Probe { frames: vec![] });
+        let link = sim.add_node(Link::with_faults(
+            probe,
+            Duration::ZERO,
+            Faults {
+                ge: Some(GeParams {
+                    p_enter: 1.0,
+                    p_exit: 0.0,
+                    loss_good: 0.0,
+                    loss_bad: 1.0,
+                }),
+                ..Default::default()
+            },
+        ));
+        // first frame forces the bad state and is lost
+        sim.schedule(Time::ZERO, link, Frame::raw(vec![1]));
+        // healing resets to the good state; with the model cleared no
+        // further frame can be GE-dropped
+        sim.schedule_in(Duration::from_ns(5), link, SetFaults(Faults::default()));
+        sim.schedule(Time::from_ns(10), link, Frame::raw(vec![2]));
+        sim.run();
+        let got: Vec<u8> = sim
+            .node_ref::<Probe>(probe)
+            .frames
+            .iter()
+            .map(|(_, f)| f[0])
+            .collect();
+        assert_eq!(got, vec![2]);
+        assert_eq!(sim.node_ref::<Link>(link).ge_drops, 1);
     }
 
     #[test]

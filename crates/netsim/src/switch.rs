@@ -116,6 +116,11 @@ pub struct Switch {
     /// frame and its port queues are flushed. Heal is an explicit
     /// [`SetSwitchAlive`] event.
     pub alive: bool,
+    /// Limp factor: every port's serialization delay is multiplied by
+    /// this, modelling a half-alive switch forwarding at 1/N of its rate
+    /// without being dead (gray failure). 1 = healthy; heal is an
+    /// explicit [`SetSwitchLimp`]`(1)`.
+    pub limp: u32,
     pub flooded: u64,
     /// Frames forwarded through an L3 route (ECMP or single-path).
     pub routed: u64,
@@ -201,6 +206,13 @@ flextoe_sim::custom_msg!(SetPortUp);
 pub struct SetSwitchAlive(pub bool);
 flextoe_sim::custom_msg!(SetSwitchAlive);
 
+/// Set the switch's limp factor: `SetSwitchLimp(n)` makes every egress
+/// serialize n× slower (effective rate divided by n) without taking the
+/// switch down — the "limping component" gray failure. `SetSwitchLimp(1)`
+/// heals; like every fault in the plane, healing is always explicit.
+pub struct SetSwitchLimp(pub u32);
+flextoe_sim::custom_msg!(SetSwitchLimp);
+
 /// Egress resolution outcome for an L3-routed frame.
 enum RouteOutcome {
     /// The primary ECMP pick (byte-identical to the healthy-fabric hash).
@@ -225,6 +237,7 @@ impl Switch {
             ecmp_salt: 0,
             latency: Duration::from_ns(500),
             alive: true,
+            limp: 1,
             flooded: 0,
             routed: 0,
             rerouted: 0,
@@ -419,7 +432,10 @@ impl Switch {
         p.queue_bytes -= frame.len();
         p.transmitting = true;
         p.tx_frames += 1;
-        let d = Self::serialize(&p.cfg, frame.len());
+        // a limping switch serializes N× slower on every port — reduced
+        // effective rate is the gray signature (forwarding latency is
+        // charged on the adjacent links, so rate is the right lever here)
+        let d = Self::serialize(&p.cfg, frame.len()) * self.limp.max(1) as u64;
         ctx.send(p.to, d, frame);
         // self-wake token: serialization on `port` finished
         ctx.wake(d, port as u64);
@@ -514,6 +530,13 @@ impl Switch {
                         tel.sketch.reset();
                     }
                 }
+                return;
+            }
+            Err(m) => m,
+        };
+        let msg = match flextoe_sim::try_cast::<SetSwitchLimp>(msg) {
+            Ok(s) => {
+                self.limp = s.0.max(1);
                 return;
             }
             Err(m) => m,
@@ -953,6 +976,44 @@ mod tests {
         assert!(
             counts.contains(&50) && counts.contains(&0),
             "one flow pinned to one port, got {counts:?}"
+        );
+    }
+
+    /// A limping switch serializes N× slower (delivery time scales with
+    /// the limp factor) without dropping anything; `SetSwitchLimp(1)`
+    /// restores the healthy rate exactly.
+    #[test]
+    fn limping_switch_inflates_serialization_without_loss() {
+        let arrival = |limp: Option<u32>| -> u64 {
+            let mut sim = Sim::new(1);
+            let probe = sim.add_node(Probe { frames: vec![] });
+            let mut sw = Switch::new();
+            // 1 Gbps: serialization is a whole number of ns, so the ×N
+            // arithmetic below is exact in the probe's ns timestamps
+            let cfg = PortConfig {
+                rate_bps: 1_000_000_000,
+                ..Default::default()
+            };
+            let p = sw.add_port(probe, cfg);
+            sw.learn(MacAddr::local(2), p);
+            let swid = sim.add_node(sw);
+            if let Some(n) = limp {
+                sim.schedule(Time::ZERO, swid, SetSwitchLimp(n));
+            }
+            sim.schedule(Time::from_ns(10), swid, Frame::raw(flow_frame(1)));
+            sim.run();
+            let pr = sim.node_ref::<Probe>(probe);
+            assert_eq!(pr.frames.len(), 1, "limping must not drop");
+            pr.frames[0].0
+        };
+        let healthy = arrival(None);
+        let limped = arrival(Some(8));
+        let healed = arrival(Some(1));
+        assert_eq!(healed, healthy, "SetSwitchLimp(1) is the healthy rate");
+        assert_eq!(
+            limped - 10,
+            (healthy - 10) * 8,
+            "8x limp scales serialization"
         );
     }
 

@@ -44,6 +44,33 @@ const _: fn() = || {
     assert_send::<Envelope>();
 };
 
+/// `ctx.halt()` fired inside a shard worker. Halting is a monolithic-only
+/// facility: a local halt cannot be ordered against other shards'
+/// events (the halting shard has no way to know whether an envelope in
+/// flight would have preceded it), so sharded runs surface it as this
+/// typed error instead of silently diverging — fuzzer schedules can't
+/// hit undefined behavior.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct HaltUnsupported {
+    /// Which shard halted.
+    pub shard: usize,
+    /// The barrier-window end at which the halt was observed.
+    pub at: Time,
+}
+
+impl std::fmt::Display for HaltUnsupported {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ctx.halt() is unsupported under sharding: shard {} halted at {} \
+             and a local halt cannot be ordered against other shards' events",
+            self.shard, self.at
+        )
+    }
+}
+
+impl std::error::Error for HaltUnsupported {}
+
 /// How a fabric is cut across shards: `owner[node]` is the shard index
 /// that runs the node, `lookahead` is the minimum propagation delay of
 /// any link whose endpoints live on different shards (the conservative
@@ -105,6 +132,9 @@ enum Reply {
         next_time: Option<Time>,
         events: u64,
         blocked_ns: u64,
+        /// `ctx.halt()` fired inside this window — the coordinator turns
+        /// it into a [`HaltUnsupported`] error.
+        halted: bool,
     },
     /// `each` closures may schedule fresh events, so `Call` also
     /// refreshes the coordinator's view of the shard's next event.
@@ -152,16 +182,13 @@ fn worker_loop<B>(
                     sim.import(env);
                 }
                 sim.run_until(to);
-                assert!(
-                    !sim.halted(),
-                    "ctx.halt() is unsupported under sharding: a local halt \
-                     cannot be ordered against other shards' events"
-                );
+                let halted = sim.halted();
                 let reply = Reply::Advanced {
                     exports: sim.take_exports(),
                     next_time: sim.next_event_time(),
                     events: sim.events_processed(),
                     blocked_ns,
+                    halted,
                 };
                 if replies.send(reply).is_err() {
                     return;
@@ -323,7 +350,23 @@ impl<B: 'static> ShardedSim<B> {
     /// Advance every shard to `deadline` in conservative barrier
     /// windows. On return all shards' clocks equal `deadline` and every
     /// cross-shard envelope with time ≤ `deadline` has been delivered.
+    ///
+    /// Panics with the [`HaltUnsupported`] message if any shard calls
+    /// `ctx.halt()`; use [`ShardedSim::try_run_until`] to handle that as
+    /// a typed error instead.
     pub fn run_until(&mut self, deadline: Time) {
+        if let Err(halt) = self.try_run_until(deadline) {
+            panic!("{halt}");
+        }
+    }
+
+    /// [`ShardedSim::run_until`], but `ctx.halt()` inside a shard is
+    /// reported as a typed [`HaltUnsupported`] error instead of a panic.
+    /// The window in which the halt fired is still fully synchronized
+    /// (all shards advanced, all replies drained) before returning, so
+    /// the coordinator's channels stay consistent and the error is
+    /// deterministic per seed.
+    pub fn try_run_until(&mut self, deadline: Time) -> Result<(), HaltUnsupported> {
         assert!(deadline >= self.now, "run_until moving backwards");
         let n = self.workers.len();
         loop {
@@ -359,6 +402,7 @@ impl<B: 'static> ShardedSim<B> {
             }
             self.windows += 1;
             let owner = Arc::clone(&self.owner);
+            let mut halted_shard: Option<usize> = None;
             for i in 0..n {
                 match self.recv(i) {
                     Reply::Advanced {
@@ -366,6 +410,7 @@ impl<B: 'static> ShardedSim<B> {
                         next_time,
                         events,
                         blocked_ns,
+                        halted,
                     } => {
                         self.envelopes[i] += exports.len() as u64;
                         self.events[i] = events;
@@ -374,11 +419,20 @@ impl<B: 'static> ShardedSim<B> {
                         for env in exports {
                             self.pending[owner[env.to] as usize].push(env);
                         }
+                        if halted && halted_shard.is_none() {
+                            halted_shard = Some(i);
+                        }
                     }
                     _ => unreachable!("Advance must be answered by Advanced"),
                 }
             }
             self.now = Time(window_end);
+            if let Some(shard) = halted_shard {
+                return Err(HaltUnsupported {
+                    shard,
+                    at: self.now,
+                });
+            }
             if window_end == deadline.ps() {
                 // Any envelope produced in the final window has time
                 // > window_end == deadline; it stays pending for a
@@ -387,7 +441,7 @@ impl<B: 'static> ShardedSim<B> {
                     .pending
                     .iter()
                     .all(|q| q.iter().all(|e| e.time > deadline)));
-                return;
+                return Ok(());
             }
         }
     }
@@ -571,6 +625,62 @@ mod tests {
         let got = sharded.each(|_, sim, ids| logs_of(sim, ids));
         assert_eq!(got[0], want);
         assert_eq!(sharded.sync_stats().envelopes.iter().sum::<u64>(), 0);
+    }
+
+    /// A node that halts its local engine on the first message — the
+    /// monolithic-only facility the sharded coordinator must reject.
+    struct Halter;
+    impl Node for Halter {
+        fn on_msg(&mut self, ctx: &mut Ctx<'_>, _msg: Msg) {
+            ctx.halt();
+        }
+    }
+
+    fn build_halting(_idx: usize) -> (Sim, (), Partition) {
+        let mut sim = Sim::new(5);
+        let h = sim.add_node(Halter);
+        sim.add_node(PingPong {
+            peer: h,
+            delay: Duration::from_ns(500),
+            hops: 0,
+            log: Vec::new(),
+        });
+        sim.schedule(Time::from_ns(100), h, Msg::Frame(Frame::raw(vec![1u8; 8])));
+        let partition = Partition {
+            owner: vec![0, 1],
+            lookahead: Duration::from_ns(500),
+        };
+        (sim, (), partition)
+    }
+
+    #[test]
+    fn halt_under_sharding_is_a_typed_error() {
+        let mut sharded = ShardedSim::launch(2, build_halting);
+        let err = sharded
+            .try_run_until(Time::from_us(1))
+            .expect_err("ctx.halt() inside a shard must surface as an error");
+        assert_eq!(err.shard, 0, "the Halter lives on shard 0");
+        assert!(
+            err.to_string().contains("unsupported under sharding"),
+            "got: {err}"
+        );
+
+        // The panicking wrapper re-raises the same typed message.
+        let result = std::panic::catch_unwind(|| {
+            let mut sharded = ShardedSim::launch(2, build_halting);
+            sharded.run_until(Time::from_us(1));
+        });
+        let payload = result.expect_err("run_until must panic on a shard halt");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(
+            msg.contains("ctx.halt() is unsupported under sharding"),
+            "got: {msg}"
+        );
     }
 
     #[test]

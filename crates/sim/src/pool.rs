@@ -19,6 +19,11 @@ pub struct PktBufPool {
     /// Bound on pooled (idle) buffers; returns beyond it are dropped to
     /// the allocator, modelling the finite packet-buffer memory.
     max_pooled: usize,
+    /// Optional bound on *outstanding* buffers (taken, not yet returned) —
+    /// the finite packet memory of a real NIC. `take()` stays infallible;
+    /// admission points consult [`PktBufPool::at_capacity`] and shed load
+    /// (counted drops) instead of allocating past the cap.
+    cap: Option<u64>,
     pub takes: u64,
     pub fresh_allocs: u64,
     pub returns: u64,
@@ -33,12 +38,27 @@ impl PktBufPool {
         PktBufPool {
             free: Vec::new(),
             max_pooled,
+            cap: None,
             takes: 0,
             fresh_allocs: 0,
             returns: 0,
             dropped_returns: 0,
             high_water: 0,
         }
+    }
+
+    /// Cap the number of simultaneously outstanding buffers (None lifts
+    /// the cap). Existing in-flight buffers are unaffected; pressure
+    /// shows up at admission points that check [`PktBufPool::at_capacity`].
+    pub fn set_capacity(&mut self, cap: Option<u64>) {
+        self.cap = cap;
+    }
+
+    /// True when a capped pool has no headroom: taking another buffer
+    /// would exceed the configured outstanding bound. Uncapped pools are
+    /// never at capacity.
+    pub fn at_capacity(&self) -> bool {
+        self.cap.is_some_and(|c| self.in_flight() >= c)
     }
 
     /// Buffers currently outstanding (taken and not yet returned).
@@ -110,6 +130,22 @@ mod tests {
         assert_eq!(b.capacity(), cap, "capacity survives the round-trip");
         assert_eq!(pool.fresh_allocs, 1, "second take reused the buffer");
         assert!(pool.reuse_ratio() > 0.49);
+    }
+
+    #[test]
+    fn capacity_gates_admission_and_recovers() {
+        let mut pool = PktBufPool::new(4);
+        assert!(!pool.at_capacity(), "uncapped pool has headroom");
+        pool.set_capacity(Some(2));
+        let a = pool.take();
+        assert!(!pool.at_capacity());
+        let b = pool.take();
+        assert!(pool.at_capacity(), "2 outstanding == cap 2");
+        pool.put(a);
+        assert!(!pool.at_capacity(), "a return restores headroom");
+        pool.put(b);
+        pool.set_capacity(None);
+        assert!(!pool.at_capacity());
     }
 
     #[test]

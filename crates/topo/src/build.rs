@@ -16,7 +16,9 @@
 //! decorrelated between switches (no fabric-wide polarization).
 
 use flextoe_apps::{FramedServerApp, OpenLoopClientApp, SessionClientApp, StackApi};
-use flextoe_netsim::{Collector, Link, SetFaults, SetLinkUp, SetPortUp, SetSwitchAlive, Switch};
+use flextoe_netsim::{
+    Collector, Link, SetFaults, SetLinkUp, SetPortUp, SetSwitchAlive, SetSwitchLimp, Switch,
+};
 use flextoe_sim::{NodeId, Sim, Tick, Time};
 use flextoe_wire::{Ip4, MacAddr};
 
@@ -398,6 +400,12 @@ fn apply_fault_event(
                 FaultKind::Degrade(_) => {
                     panic!("FaultKind::Degrade needs a link target, not a switch")
                 }
+                FaultKind::Limp { factor } => {
+                    // gray: the switch keeps forwarding, just slower —
+                    // neighbor ports stay up so ECMP keeps hashing onto it
+                    sim.schedule(ev.at, switch_ids[index], SetSwitchLimp(factor));
+                    return;
+                }
             };
             sim.schedule(ev.at, switch_ids[index], SetSwitchAlive(alive));
             // every neighbor's facing port follows the switch state, so
@@ -442,6 +450,9 @@ fn apply_fault_event(
                     sim.schedule(ev.at, sw, SetPortUp { port, up });
                 }
             }
+        }
+        FaultKind::Limp { .. } => {
+            panic!("FaultKind::Limp needs a switch target; limp a link via Degrade + latency_mult")
         }
     }
 }

@@ -103,6 +103,10 @@ pub struct PairOpts {
     pub min_rto: Duration,
     /// Base SYN retransmission interval (exponential backoff + jitter).
     pub syn_retry: Duration,
+    /// SYN admission cap: refuse passive opens with an RST past this many
+    /// installed connections (`None` = unbounded; see
+    /// `CtrlConfig::max_conns`).
+    pub max_conns: Option<u32>,
     pub propagation: Duration,
     pub faults: Faults,
 }
@@ -119,6 +123,7 @@ impl Default for PairOpts {
             rto_give_up: ctrl.rto_give_up,
             min_rto: ctrl.min_rto,
             syn_retry: ctrl.syn_retry,
+            max_conns: ctrl.max_conns,
             propagation: Duration::from_us(2),
             faults: Faults::default(),
         }
@@ -149,6 +154,7 @@ pub fn build_endpoint(
                     rto_give_up: opts.rto_give_up,
                     min_rto: opts.min_rto,
                     syn_retry: opts.syn_retry,
+                    max_conns: opts.max_conns,
                     ..Default::default()
                 },
                 nic.handle(),

@@ -135,6 +135,11 @@ pub enum FaultKind {
     /// Explicit heal of a prior `Down`. **Healing is never implicit** —
     /// a fault persists until a scheduled `Up` event restores it.
     Up,
+    /// Gray failure: the target switch limps — every egress serializes
+    /// `factor`× slower without the switch being dead. `Limp { factor: 1 }`
+    /// heals. Only valid for switch targets (limping *links* are expressed
+    /// as `Degrade` with `Faults::latency_mult`).
+    Limp { factor: u32 },
 }
 
 /// A scheduled fault-plane change. Same-timestamp events apply in
@@ -174,6 +179,16 @@ impl FaultEvent {
             at,
             target,
             kind: FaultKind::Up,
+        }
+    }
+
+    /// Make switch `index` limp at `factor`× slower serialization from
+    /// `at` (factor 1 heals).
+    pub fn limp(at: Time, index: usize, factor: u32) -> FaultEvent {
+        FaultEvent {
+            at,
+            target: FaultTarget::Switch { index },
+            kind: FaultKind::Limp { factor },
         }
     }
 }
